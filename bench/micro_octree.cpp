@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark): raw operation throughput of the
+// software octree and the accelerator PE model on this host. These are
+// host-performance numbers for development (regression tracking), not
+// paper reproductions — the modeled i9/A57/OMU numbers come from the
+// table benches.
+#include <benchmark/benchmark.h>
+
+#include "accel/pe_unit.hpp"
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/ray_keys.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace {
+
+using namespace omu;
+
+map::OcKey random_key(geom::SplitMix64& rng, int span) {
+  return map::OcKey{
+      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2),
+      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2),
+      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2)};
+}
+
+void BM_OctreeUpdate(benchmark::State& state) {
+  map::OccupancyOctree tree(0.2);
+  geom::SplitMix64 rng(1);
+  const int span = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    tree.update_node(random_key(rng, span), rng.next_below(100) < 40);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OctreeUpdate)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_OctreeQuery(benchmark::State& state) {
+  map::OccupancyOctree tree(0.2);
+  geom::SplitMix64 rng(2);
+  for (int i = 0; i < 50000; ++i) tree.update_node(random_key(rng, 256), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.classify(random_key(rng, 256)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OctreeQuery);
+
+void BM_RayKeys(benchmark::State& state) {
+  const map::KeyCoder coder(0.2);
+  geom::SplitMix64 rng(3);
+  std::vector<map::OcKey> buffer;
+  const double len = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    buffer.clear();
+    const geom::Vec3d origin{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const geom::Vec3d end{origin.x + rng.uniform(-len, len), origin.y + rng.uniform(-len, len),
+                          origin.z + rng.uniform(-1, 1)};
+    map::compute_ray_keys(coder, origin, end, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RayKeys)->Arg(2)->Arg(8)->Arg(30);
+
+void BM_PeUpdate(benchmark::State& state) {
+  accel::OmuConfig cfg;
+  cfg.rows_per_bank = 1u << 16;
+  accel::PeUnit pe(0, cfg);
+  geom::SplitMix64 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.execute_update(random_key(rng, 256), rng.next_below(2) == 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PeUpdate);
+
+void BM_PeQuery(benchmark::State& state) {
+  accel::OmuConfig cfg;
+  cfg.rows_per_bank = 1u << 16;
+  accel::PeUnit pe(0, cfg);
+  geom::SplitMix64 rng(5);
+  for (int i = 0; i < 50000; ++i) pe.execute_update(random_key(rng, 256), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.execute_query(random_key(rng, 256)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PeQuery);
+
+void BM_ScanInsert(benchmark::State& state) {
+  geom::SplitMix64 rng(6);
+  geom::PointCloud cloud;
+  for (int i = 0; i < 1000; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  const bool dedup = state.range(0) != 0;
+  for (auto _ : state) {
+    map::OccupancyOctree tree(0.2);
+    map::InsertPolicy policy;
+    policy.mode = dedup ? map::InsertMode::kDiscretized : map::InsertMode::kRayByRay;
+    map::ScanInserter inserter(tree, policy);
+    inserter.insert_scan(cloud, {0, 0, 0});
+    benchmark::DoNotOptimize(tree.leaf_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 1000));
+  state.SetLabel(dedup ? "discretized" : "ray-by-ray");
+}
+BENCHMARK(BM_ScanInsert)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

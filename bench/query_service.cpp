@@ -1,0 +1,100 @@
+// Voxel query service characterization (paper Sec. V: "a strong
+// requirement for tasks like collision detection in autonomously moving
+// robots"). The paper does not evaluate query latency; this bench
+// characterizes it on the built FR-079 map: cycles per query by outcome
+// class and by query resolution (multi-resolution queries terminate
+// earlier thanks to the parent max values the update path maintains).
+#include <iostream>
+
+#include "geom/rng.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table_printer.hpp"
+#include "map/scan_inserter.hpp"
+
+int main() {
+  using namespace omu;
+  using harness::TablePrinter;
+
+  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
+  harness::print_bench_header(std::cout, "Query service",
+                              "Voxel-query latency on the built FR-079 map (not a paper\n"
+                              "table; characterizes the Sec. V query path).",
+                              options.scale);
+
+  // Build the map on the accelerator.
+  const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, options.scale,
+                                       options.seed);
+  accel::OmuConfig cfg;
+  cfg.rows_per_bank = options.enlarged_rows_per_bank;
+  accel::OmuAccelerator omu(cfg);
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  std::vector<map::VoxelUpdate> updates;
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    const data::DatasetScan scan = dataset.scan(i);
+    updates.clear();
+    inserter.collect_updates(scan.points, scan.pose.translation(), updates);
+    omu.feed_updates(updates);
+  }
+  omu.flush();
+
+  // Random queries across the corridor volume.
+  geom::SplitMix64 rng(7);
+  const geom::Aabb region = dataset.scene().bounds();
+  struct Bucket {
+    uint64_t n = 0;
+    uint64_t cycles = 0;
+  };
+  Bucket by_class[3];
+  const map::KeyCoder coder(0.2);
+  for (int i = 0; i < 50000; ++i) {
+    const geom::Vec3d p{rng.uniform(region.min.x, region.max.x),
+                        rng.uniform(region.min.y, region.max.y),
+                        rng.uniform(region.min.z, region.max.z)};
+    const auto key = coder.key_for(p);
+    if (!key) continue;
+    const auto r = omu.query(*key);
+    Bucket& b = by_class[static_cast<int>(r.occupancy)];
+    b.n++;
+    b.cycles += r.cycles;
+  }
+
+  TablePrinter table({"outcome", "queries", "avg cycles", "avg ns @1GHz"});
+  const char* names[3] = {"unknown", "free", "occupied"};
+  const int order[3] = {2, 1, 0};  // occupied, free, unknown
+  for (const int c : order) {
+    const Bucket& b = by_class[c];
+    const double avg = b.n ? static_cast<double>(b.cycles) / static_cast<double>(b.n) : 0.0;
+    table.add_row({names[c], TablePrinter::count(b.n), TablePrinter::fixed(avg, 1),
+                   TablePrinter::fixed(avg, 1)});
+  }
+  table.print(std::cout);
+
+  // Multi-resolution sweep: coarser queries finish in fewer cycles.
+  TablePrinter depth_table({"query depth", "voxel edge (m)", "avg cycles"});
+  bool monotone = true;
+  double last = 1e18;
+  for (const int depth : {16, 14, 12, 10, 8}) {
+    uint64_t n = 0;
+    uint64_t cycles = 0;
+    geom::SplitMix64 drng(13);
+    for (int i = 0; i < 20000; ++i) {
+      const geom::Vec3d p{drng.uniform(region.min.x, region.max.x),
+                          drng.uniform(region.min.y, region.max.y),
+                          drng.uniform(region.min.z, region.max.z)};
+      const auto key = coder.key_for(p);
+      if (!key) continue;
+      cycles += omu.query(*key, depth).cycles;
+      ++n;
+    }
+    const double avg = static_cast<double>(cycles) / static_cast<double>(n);
+    depth_table.add_row({std::to_string(depth), TablePrinter::fixed(coder.node_size(depth), 2),
+                         TablePrinter::fixed(avg, 1)});
+    monotone = monotone && avg <= last + 1e-9;
+    last = avg;
+  }
+  depth_table.print(std::cout);
+  std::cout << "Coarser queries are never slower (parent values answer early): "
+            << (monotone ? "HOLDS" : "VIOLATED") << '\n';
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Regenerates Table III: full-map build latency (s) on Intel i9, ARM A57
+// and the OMU accelerator, with speedups.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/table_printer.hpp"
+
+int main() {
+  using namespace omu;
+  using harness::TablePrinter;
+
+  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
+  harness::print_bench_header(std::cout, "Table III",
+                              "Latency performance (s) comparison (paper / measured).",
+                              options.scale);
+
+  const harness::ExperimentRunner runner(options);
+
+  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
+  std::vector<std::string> i9_row{"Intel i9 CPU"};
+  std::vector<std::string> a57_row{"Arm A57 CPU"};
+  std::vector<std::string> omu_row{"OMU accelerator"};
+  std::vector<std::string> su_i9_row{"Speedup over i9"};
+  std::vector<std::string> su_a57_row{"Speedup over A57"};
+
+  bool shape_holds = true;
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const harness::ExperimentResult r = runner.run(id);
+    const harness::PaperDatasetRef ref = harness::paper_reference(id);
+    i9_row.push_back(TablePrinter::fixed(ref.i9_latency_s, 1) + " / " +
+                     TablePrinter::fixed(r.i9.latency_s, 1));
+    a57_row.push_back(TablePrinter::fixed(ref.a57_latency_s, 1) + " / " +
+                      TablePrinter::fixed(r.a57.latency_s, 1));
+    omu_row.push_back(TablePrinter::fixed(ref.omu_latency_s, 2) + " / " +
+                      TablePrinter::fixed(r.omu.latency_s, 2));
+    const double su_i9 = r.i9.latency_s / r.omu.latency_s;
+    const double su_a57 = r.a57.latency_s / r.omu.latency_s;
+    su_i9_row.push_back(TablePrinter::speedup(ref.speedup_over_i9) + " / " +
+                        TablePrinter::speedup(su_i9));
+    su_a57_row.push_back(TablePrinter::speedup(ref.speedup_over_a57) + " / " +
+                         TablePrinter::speedup(su_a57));
+    shape_holds = shape_holds && su_i9 > 5.0 && su_a57 > 25.0 &&
+                  r.a57.latency_s > r.i9.latency_s;
+  }
+
+  table.add_row(i9_row);
+  table.add_row(a57_row);
+  table.add_row(omu_row);
+  table.add_separator();
+  table.add_row(su_i9_row);
+  table.add_row(su_a57_row);
+  table.print(std::cout);
+  std::cout << "Shape check (OMU >> i9 > A57, order-of-magnitude speedups): "
+            << (shape_holds ? "HOLDS" : "VIOLATED") << '\n';
+  return shape_holds ? 0 : 1;
+}

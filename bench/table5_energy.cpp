@@ -1,0 +1,55 @@
+// Regenerates Table V: energy consumption (J) of the ARM A57 CPU vs the
+// OMU accelerator for the full map builds, and the energy benefit. The
+// paper excludes the 165 W-TDP desktop i9 from this comparison; we print
+// its modeled numbers for context anyway.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/table_printer.hpp"
+
+int main() {
+  using namespace omu;
+  using harness::TablePrinter;
+
+  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
+  harness::print_bench_header(std::cout, "Table V",
+                              "Energy consumption (J) comparison (paper / measured).",
+                              options.scale);
+
+  const harness::ExperimentRunner runner(options);
+
+  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
+  std::vector<std::string> a57_row{"Arm A57 CPU"};
+  std::vector<std::string> omu_row{"OMU accelerator"};
+  std::vector<std::string> benefit_row{"Energy benefit"};
+  std::vector<std::string> power_row{"OMU avg power (mW)"};
+  std::vector<std::string> i9_row{"[context] i9 energy (J)"};
+
+  bool shape_holds = true;
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const harness::ExperimentResult r = runner.run(id);
+    const harness::PaperDatasetRef ref = harness::paper_reference(id);
+    a57_row.push_back(TablePrinter::fixed(ref.a57_energy_j, 1) + " / " +
+                      TablePrinter::fixed(r.a57.energy_j, 1));
+    omu_row.push_back(TablePrinter::fixed(ref.omu_energy_j, 2) + " / " +
+                      TablePrinter::fixed(r.omu.energy_j, 2));
+    const double benefit = r.a57.energy_j / r.omu.energy_j;
+    benefit_row.push_back(TablePrinter::speedup(ref.energy_benefit) + " / " +
+                          TablePrinter::speedup(benefit));
+    power_row.push_back("250.8 / " + TablePrinter::fixed(r.omu.power_w * 1e3, 1));
+    i9_row.push_back("- / " + TablePrinter::fixed(r.i9.energy_j, 1));
+    // Shape: benefit must be in the hundreds.
+    shape_holds = shape_holds && benefit > 100.0;
+  }
+
+  table.add_row(a57_row);
+  table.add_row(omu_row);
+  table.add_separator();
+  table.add_row(benefit_row);
+  table.add_row(power_row);
+  table.add_row(i9_row);
+  table.print(std::cout);
+  std::cout << "Energy benefit is in the hundreds on all maps: "
+            << (shape_holds ? "YES" : "NO") << '\n';
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Workload probe: per-update operation-count profiles of the three
+// datasets and the accelerator's per-PE cycle/load breakdown. This is the
+// measurement that grounds the CPU cost-model calibration (see
+// cpumodel/cpu_cost_model.cpp) and the PE load-balance analysis; it is
+// also the quickest place to see how a scene change shifts the workload.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/table_printer.hpp"
+
+int main() {
+  using namespace omu;
+  using harness::TablePrinter;
+
+  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
+  harness::print_bench_header(std::cout, "Workload probe",
+                              "Per-voxel-update operation counts (drive the CPU cost models)\n"
+                              "and accelerator cycle/load profile.",
+                              options.scale);
+  const harness::ExperimentRunner runner(options);
+
+  TablePrinter table({"per update", "FR-079 corridor", "Freiburg campus", "New College"});
+  std::vector<std::vector<std::string>> rows(12);
+  const char* names[] = {"ray_cast_steps", "descend_steps", "leaf_updates",  "early_aborts",
+                         "parent_updates", "prune_checks",  "prunes",        "expands",
+                         "fresh_allocs",   "omu cycles (aggregate)", "omu PE busy cyc/upd",
+                         "omu sram acc/upd"};
+  for (int i = 0; i < 12; ++i) rows[static_cast<std::size_t>(i)].push_back(names[i]);
+
+  TablePrinter pe_table({"dataset", "PE loads (% of updates)", "max/mean", "stall cycles"});
+
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const harness::ExperimentResult r = runner.run(id);
+    const map::PhaseStats& s = r.measured.map_stats;
+    const double n = static_cast<double>(s.voxel_updates);
+    const auto per = [&n](uint64_t v) { return TablePrinter::fixed(static_cast<double>(v) / n, 3); };
+    rows[0].push_back(per(s.ray_cast_steps));
+    rows[1].push_back(per(s.descend_steps));
+    rows[2].push_back(per(s.leaf_updates));
+    rows[3].push_back(per(s.early_aborts));
+    rows[4].push_back(per(s.parent_updates));
+    rows[5].push_back(per(s.prune_checks));
+    rows[6].push_back(per(s.prunes));
+    rows[7].push_back(per(s.expands));
+    rows[8].push_back(per(s.fresh_allocs));
+    rows[9].push_back(TablePrinter::fixed(r.omu_details.cycles_per_update, 2));
+    rows[10].push_back(TablePrinter::fixed(r.omu_details.pe_busy_cycles_per_update, 2));
+    rows[11].push_back(TablePrinter::fixed(r.omu_details.sram_accesses_per_update, 2));
+
+    std::string loads;
+    uint64_t max_load = 0;
+    uint64_t total = 0;
+    for (const uint64_t u : r.omu_details.per_pe_updates) {
+      loads += TablePrinter::fixed(100.0 * static_cast<double>(u) / n, 0) + " ";
+      max_load = std::max(max_load, u);
+      total += u;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(r.omu_details.per_pe_updates.size());
+    std::string busy_str;
+    uint64_t max_busy = 0;
+    for (const uint64_t b : r.omu_details.per_pe_busy_cycles) {
+      busy_str += TablePrinter::fixed(static_cast<double>(b) / 1e6, 1) + " ";
+      max_busy = std::max(max_busy, b);
+    }
+    pe_table.add_row({r.name, loads, TablePrinter::fixed(static_cast<double>(max_load) / mean, 2),
+                      std::to_string(r.omu_details.scheduler_stall_cycles)});
+    pe_table.add_row({"  busy Mcyc: " + busy_str,
+                      "max-PE bound: " +
+                          TablePrinter::fixed(static_cast<double>(max_busy) / n, 2) + " cyc/upd",
+                      "", ""});
+  }
+  for (auto& row : rows) table.add_row(row);
+  table.print(std::cout);
+  std::cout << '\n';
+  pe_table.print(std::cout);
+  return 0;
+}

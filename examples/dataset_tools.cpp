@@ -1,0 +1,87 @@
+// Dataset tooling: generate a synthetic scan dataset, inspect its workload
+// statistics against the paper's Table II, and export/import it as a text
+// scan log (the bridge for running real captured logs through the
+// pipeline).
+//
+//   $ ./dataset_tools [corridor|campus|newcollege] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/scan_log.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omu;
+
+  data::DatasetId id = data::DatasetId::kFr079Corridor;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "campus") == 0) {
+      id = data::DatasetId::kFreiburgCampus;
+    } else if (std::strcmp(argv[1], "newcollege") == 0) {
+      id = data::DatasetId::kNewCollege;
+    } else if (std::strcmp(argv[1], "corridor") != 0) {
+      std::fprintf(stderr, "usage: %s [corridor|campus|newcollege] [scale]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.002;
+
+  const data::SyntheticDataset dataset(id, scale, /*seed=*/1);
+  const data::PaperWorkloadStats& paper = dataset.paper();
+  std::printf("dataset          : %s (synthetic), scale %.3f%%\n", dataset.name().c_str(),
+              scale * 100.0);
+  std::printf("paper (full size): %llu scans, %llu pts/scan, %.1fM points, %.0fM updates "
+              "(%.1f updates/pt)\n",
+              static_cast<unsigned long long>(paper.scans),
+              static_cast<unsigned long long>(paper.avg_points_per_scan),
+              paper.total_points / 1e6, paper.total_voxel_updates / 1e6,
+              paper.updates_per_point());
+
+  // ---- Generate all scans, measure actual statistics ----------------------
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  std::vector<data::DatasetScan> scans;
+  uint64_t points = 0;
+  uint64_t updates = 0;
+  std::vector<map::VoxelUpdate> buffer;
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    scans.push_back(dataset.scan(i));
+    const data::DatasetScan& scan = scans.back();
+    points += scan.points.size();
+    buffer.clear();
+    inserter.collect_updates(scan.points, scan.pose.translation(), buffer);
+    inserter.apply_updates(buffer);
+    updates += buffer.size();
+  }
+  const double upd_per_pt = static_cast<double>(updates) / static_cast<double>(points);
+  std::printf("generated        : %zu scans, %llu points, %llu updates (%.1f updates/pt, "
+              "paper %.1f -> %+.0f%%)\n",
+              scans.size(), static_cast<unsigned long long>(points),
+              static_cast<unsigned long long>(updates), upd_per_pt, paper.updates_per_point(),
+              100.0 * (upd_per_pt / paper.updates_per_point() - 1.0));
+  std::printf("map              : %zu leaves, %zu inner, %.1f KiB\n", tree.leaf_count(),
+              tree.inner_count(), static_cast<double>(tree.memory_bytes()) / 1024.0);
+
+  // ---- Export to scan log and verify the round trip -----------------------
+  const char* path = "dataset_export.scanlog";
+  if (!data::write_scan_log_file(scans, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  const auto reloaded = data::read_scan_log_file(path);
+  if (!reloaded || reloaded->size() != scans.size()) {
+    std::fprintf(stderr, "scan log round trip failed\n");
+    return 1;
+  }
+  // Rebuild the map from the reloaded log; content must match.
+  map::OccupancyOctree tree2(0.2);
+  map::ScanInserter inserter2(tree2);
+  for (const data::DatasetScan& scan : *reloaded) {
+    inserter2.insert_scan(scan.points, scan.pose.translation());
+  }
+  std::printf("scan log         : wrote %s, reload %s (map %s)\n", path, "ok",
+              tree2.content_hash() == tree.content_hash() ? "identical" : "MISMATCH");
+  return tree2.content_hash() == tree.content_hash() ? 0 : 1;
+}

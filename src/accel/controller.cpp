@@ -1,0 +1,64 @@
+#include "accel/controller.hpp"
+
+#include <cmath>
+
+#include "accel/omu_accelerator.hpp"
+
+namespace omu::accel {
+
+namespace {
+constexpr uint32_t kMagicValue = 0x4F4D5531;  // 'OMU1'
+constexpr uint32_t kBusDefault = 0xDEADBEEF;
+}  // namespace
+
+uint32_t Controller::read(uint32_t byte_addr) const {
+  switch (static_cast<OmuReg>(byte_addr)) {
+    case OmuReg::kMagic:
+      return kMagicValue;
+    case OmuReg::kCtrl:
+      return 0;  // soft reset is self-clearing
+    case OmuReg::kStatus: {
+      // The model executes to completion synchronously, so the engine is
+      // always idle between API calls; overflow latches until reset.
+      uint32_t s = kStatusIdle;
+      if (accel_->overflow_seen()) s |= kStatusOverflow;
+      return s;
+    }
+    case OmuReg::kPeCount:
+      return static_cast<uint32_t>(accel_->config().pe_count);
+    case OmuReg::kBanksPerPe:
+      return static_cast<uint32_t>(accel_->config().banks_per_pe);
+    case OmuReg::kRowsPerBank:
+      return static_cast<uint32_t>(accel_->config().rows_per_bank);
+    case OmuReg::kResolutionQ16:
+      return static_cast<uint32_t>(std::lround(accel_->config().resolution * 65536.0));
+    case OmuReg::kCycleLo:
+      return static_cast<uint32_t>(accel_->totals().map_cycles & 0xFFFFFFFFULL);
+    case OmuReg::kCycleHi:
+      return static_cast<uint32_t>(accel_->totals().map_cycles >> 32);
+    case OmuReg::kUpdatesLo:
+      return static_cast<uint32_t>(accel_->totals().updates_dispatched & 0xFFFFFFFFULL);
+    case OmuReg::kUpdatesHi:
+      return static_cast<uint32_t>(accel_->totals().updates_dispatched >> 32);
+    case OmuReg::kRowsInUse:
+      return accel_->rows_in_use();
+    case OmuReg::kScratch:
+      return scratch_;
+  }
+  return kBusDefault;
+}
+
+void Controller::write(uint32_t byte_addr, uint32_t value) {
+  switch (static_cast<OmuReg>(byte_addr)) {
+    case OmuReg::kCtrl:
+      if (value & kCtrlSoftReset) accel_->reset();
+      return;
+    case OmuReg::kScratch:
+      scratch_ = value;
+      return;
+    default:
+      return;  // read-only or unmapped: ignored
+  }
+}
+
+}  // namespace omu::accel

@@ -1,0 +1,57 @@
+// Controller with memory-mapped configuration registers (paper Sec. V,
+// "Interconnect"): the host CPU programs the accelerator through an AXI
+// slave interface. This models the register file the AXI-Lite port would
+// expose — a handful of identification, configuration and status/counter
+// registers — so host-side driver logic can be written and tested against
+// the model.
+#pragma once
+
+#include <cstdint>
+
+namespace omu::accel {
+
+class OmuAccelerator;
+
+/// 32-bit register map (byte addresses, word aligned).
+enum class OmuReg : uint32_t {
+  kMagic = 0x00,        ///< RO: 'OMU1' identification constant
+  kCtrl = 0x04,         ///< RW: bit0 = soft reset (self-clearing)
+  kStatus = 0x08,       ///< RO: bit0 = idle/done, bit1 = memory overflow seen
+  kPeCount = 0x0C,      ///< RO: number of PE units
+  kBanksPerPe = 0x10,   ///< RO: TreeMem banks per PE
+  kRowsPerBank = 0x14,  ///< RO: rows per bank
+  kResolutionQ16 = 0x18,  ///< RO: map resolution in Q16.16 metres
+  kCycleLo = 0x1C,      ///< RO: total map-update cycles, low word
+  kCycleHi = 0x20,      ///< RO: total map-update cycles, high word
+  kUpdatesLo = 0x24,    ///< RO: voxel updates dispatched, low word
+  kUpdatesHi = 0x28,    ///< RO: voxel updates dispatched, high word
+  kRowsInUse = 0x2C,    ///< RO: live TreeMem rows across PEs
+  kScratch = 0x30,      ///< RW: host scratch register (driver handshakes)
+};
+
+/// Control-bit layout of OmuReg::kCtrl.
+inline constexpr uint32_t kCtrlSoftReset = 1u << 0;
+
+/// Status-bit layout of OmuReg::kStatus.
+inline constexpr uint32_t kStatusIdle = 1u << 0;
+inline constexpr uint32_t kStatusOverflow = 1u << 1;
+
+/// The AXI-visible register file, bound to an accelerator instance.
+class Controller {
+ public:
+  explicit Controller(OmuAccelerator& accel) : accel_(&accel) {}
+
+  /// AXI-Lite read. Unknown addresses read as 0xDEADBEEF (bus default),
+  /// matching the common debug convention.
+  uint32_t read(uint32_t byte_addr) const;
+
+  /// AXI-Lite write. Only writable registers take effect; writes to
+  /// read-only addresses are ignored (no bus error modeled).
+  void write(uint32_t byte_addr, uint32_t value);
+
+ private:
+  OmuAccelerator* accel_;
+  uint32_t scratch_ = 0;
+};
+
+}  // namespace omu::accel

@@ -1,0 +1,103 @@
+// The OMU 64-bit node word (paper Fig. 5).
+//
+//   [63:32]  pointer: row address of the node's 8-children row. All eight
+//            children share one row address and are distinguished by the
+//            memory bank they live in (child i in bank i).
+//   [31:16]  status tags: 2 bits per child i at bits [2i+17 : 2i+16]:
+//            00 unknown, 01 occupied, 10 free, 11 inner (non-leaf).
+//   [15:0]   node occupancy probability as Q5.10 fixed-point log-odds.
+//
+// The pointer value 0xFFFFFFFF is reserved as "no children" (the node is a
+// leaf); the paper's prose calls this "deleting the pointer" on prune.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/fixed_point.hpp"
+
+namespace omu::accel {
+
+/// 2-bit child status tag values (paper Fig. 5 encoding).
+enum class ChildTag : uint8_t {
+  kUnknown = 0b00,
+  kOccupied = 0b01,
+  kFree = 0b10,
+  kInner = 0b11,
+};
+
+/// Row-pointer value meaning "this node has no children row".
+inline constexpr uint32_t kNullRowPtr = 0xFFFFFFFFu;
+
+/// Value-type wrapper for the packed 64-bit node word.
+class NodeWord {
+ public:
+  constexpr NodeWord() = default;
+
+  /// Reinterprets a raw 64-bit memory word.
+  static constexpr NodeWord from_raw(uint64_t raw) {
+    NodeWord w;
+    w.raw_ = raw;
+    return w;
+  }
+
+  /// A fresh leaf word: no children, all child tags unknown, given value.
+  static NodeWord leaf(geom::Fixed16 prob) {
+    NodeWord w;
+    w.set_pointer(kNullRowPtr);
+    w.set_prob(prob);
+    return w;
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+
+  // -- pointer field [63:32] ----------------------------------------------
+  constexpr uint32_t pointer() const { return static_cast<uint32_t>(raw_ >> 32); }
+  constexpr void set_pointer(uint32_t ptr) {
+    raw_ = (raw_ & 0x00000000FFFFFFFFULL) | (static_cast<uint64_t>(ptr) << 32);
+  }
+  constexpr bool has_children() const { return pointer() != kNullRowPtr; }
+
+  // -- status tags [31:16] --------------------------------------------------
+  constexpr ChildTag tag(int child) const {
+    return static_cast<ChildTag>((raw_ >> (16 + 2 * child)) & 0x3u);
+  }
+  constexpr void set_tag(int child, ChildTag t) {
+    const int shift = 16 + 2 * child;
+    raw_ = (raw_ & ~(0x3ULL << shift)) | (static_cast<uint64_t>(t) << shift);
+  }
+  constexpr void set_all_tags(ChildTag t) {
+    uint64_t field = 0;
+    for (int i = 0; i < 8; ++i) field |= static_cast<uint64_t>(t) << (2 * i);
+    raw_ = (raw_ & ~0xFFFF0000ULL) | (field << 16);
+  }
+  /// True if every child tag is kOccupied or kFree (prune candidacy: all
+  /// children are known leaves), decided from the parent word alone.
+  constexpr bool all_children_known_leaves() const {
+    for (int i = 0; i < 8; ++i) {
+      const ChildTag t = tag(i);
+      if (t == ChildTag::kUnknown || t == ChildTag::kInner) return false;
+    }
+    return true;
+  }
+
+  // -- probability [15:0] ---------------------------------------------------
+  constexpr geom::Fixed16 prob() const {
+    return geom::Fixed16::from_raw(static_cast<int16_t>(raw_ & 0xFFFFULL));
+  }
+  constexpr void set_prob(geom::Fixed16 p) {
+    raw_ = (raw_ & ~0xFFFFULL) | (static_cast<uint64_t>(static_cast<uint16_t>(p.raw())));
+  }
+
+  constexpr bool operator==(const NodeWord&) const = default;
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+/// Leaf status tag implied by a log-odds value under threshold `thr`:
+/// occupied when strictly above, else free (paper Sec. III-A).
+inline ChildTag tag_for_leaf_value(geom::Fixed16 value, geom::Fixed16 thr) {
+  return value > thr ? ChildTag::kOccupied : ChildTag::kFree;
+}
+
+}  // namespace omu::accel

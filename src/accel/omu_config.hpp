@@ -1,0 +1,67 @@
+// Configuration of the OMU accelerator model.
+//
+// Defaults reproduce the paper's signed-off design point: 8 PEs, each with
+// 8 parallel 32 KiB SRAM banks (256 KiB/PE, 2 MiB total), 1 GHz clock in a
+// 12 nm process (paper Sec. V / VI-A). Cycle costs are per-operation
+// latencies of the PE's update FSM; the defaults assume 2-cycle SRAM access
+// (dependent pointer-chasing reads cannot be pipelined during the tree
+// walk) and single-cycle ALU/write operations, which lands the end-to-end
+// throughput within the paper's reported 60-64 FPS envelope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "map/occupancy_params.hpp"
+
+namespace omu::accel {
+
+/// Per-operation cycle latencies of the PE update/query FSM.
+struct OmuCycleCosts {
+  uint32_t descend_read = 2;   ///< read one child word while walking down
+  uint32_t leaf_update = 1;    ///< log-odds add + clamp ALU op
+  uint32_t leaf_write = 1;     ///< write the updated leaf word
+  uint32_t unwind_read = 2;    ///< parallel 8-bank row read (all children)
+  uint32_t unwind_logic = 2;   ///< max-of-8 + all-equal comparator tree (2 stages)
+  uint32_t unwind_write = 2;   ///< read-modify-write of the parent word
+  uint32_t fresh_alloc = 1;    ///< allocate a children row for unknown space
+  uint32_t expand_seed = 3;    ///< allocate + row-wide write of 8 seeded leaves
+  uint32_t prune = 2;          ///< push pruned pointer + rewrite parent as leaf
+  uint32_t query_read = 2;     ///< per-level read during a voxel query
+};
+
+/// Top-level accelerator parameters.
+struct OmuConfig {
+  std::size_t pe_count = 8;          ///< parallel PE units (1..8; paper uses 8)
+  std::size_t banks_per_pe = 8;      ///< TreeMem banks per PE (paper uses 8)
+  std::size_t rows_per_bank = 4096;  ///< 64-bit rows per bank (4096 = 32 KiB)
+  /// Per-PE input queue entries. Scan-order voxel streams are bursty — a
+  /// sweeping ray fan targets one octant (one PE) for long stretches — so
+  /// the queues must hold a PE's backlog while the dispatch stream moves
+  /// on; with shallow queues the in-order dispatch port suffers
+  /// head-of-line blocking and every other PE starves. The paper's
+  /// free/occupied voxel queues are DMA-backed in shared memory (Fig. 7),
+  /// so buffering capacity is effectively unbounded; the default models
+  /// that (4M entries). Set a small depth to study back-pressure.
+  std::size_t pe_queue_depth = std::size_t{1} << 22;
+  std::size_t scheduler_issue_per_cycle = 1;  ///< voxel dispatches per cycle
+  /// Voxel-update production rate of the ray casting unit (updates/cycle).
+  /// The paper hides ray-casting latency behind the map update; any rate
+  /// comfortably above the PEs' aggregate consumption achieves that.
+  double rc_updates_per_cycle = 2.0;
+  /// When false, the prune address manager never reuses freed rows
+  /// (ablation for Sec. IV-C's memory-utilization claim).
+  bool reuse_pruned_rows = true;
+  double clock_hz = 1.0e9;  ///< signed-off frequency (paper: 1 GHz @ 0.8 V)
+  double resolution = 0.2;  ///< voxel edge length in metres
+
+  OmuCycleCosts costs;
+  map::OccupancyParams params;  ///< quantization is forced on (16-bit datapath)
+
+  /// Total SRAM capacity across all PEs in bytes.
+  std::size_t total_sram_bytes() const {
+    return pe_count * banks_per_pe * rows_per_bank * sizeof(uint64_t);
+  }
+};
+
+}  // namespace omu::accel

@@ -1,0 +1,278 @@
+#include "accel/pe_unit.hpp"
+
+#include <limits>
+
+namespace omu::accel {
+
+namespace {
+
+/// OctoMap's early-abort condition in the fixed-point domain: the update
+/// cannot change a leaf already clamped in the update direction.
+bool is_saturating(geom::Fixed16 value, geom::Fixed16 delta, geom::Fixed16 lo,
+                   geom::Fixed16 hi) {
+  return (delta.raw() >= 0 && value >= hi) || (delta.raw() <= 0 && value <= lo);
+}
+
+}  // namespace
+
+PeUnit::PeUnit(int pe_index, const OmuConfig& config)
+    : pe_index_(pe_index),
+      cfg_(config),
+      mem_(8, config.rows_per_bank),
+      addr_(static_cast<uint32_t>(config.rows_per_bank), config.reuse_pruned_rows) {
+  // The 16-bit probability field forces the quantized parameter grid.
+  const map::OccupancyParams p = cfg_.params.snapped_to_fixed_point();
+  hit_ = geom::Fixed16::from_float(p.log_hit);
+  miss_ = geom::Fixed16::from_float(p.log_miss);
+  clamp_min_ = geom::Fixed16::from_float(p.clamp_min);
+  clamp_max_ = geom::Fixed16::from_float(p.clamp_max);
+  threshold_ = geom::Fixed16::from_float(p.occ_threshold);
+}
+
+uint32_t PeUnit::row_op_factor() const {
+  // With fewer physical banks than the 8 siblings, a row-wide access
+  // serializes into ceil(8/banks) SRAM cycles (bank-count ablation;
+  // factor 1 reproduces the paper's single-cycle sibling fetch).
+  const auto banks = static_cast<uint32_t>(cfg_.banks_per_pe);
+  return (8u + banks - 1u) / banks;
+}
+
+PeUpdateResult PeUnit::execute_update(const map::OcKey& key, bool occupied) {
+  PeUpdateResult res;
+  PeCycleBreakdown c;
+  const geom::Fixed16 delta = occupied ? hit_ : miss_;
+  const int branch = map::first_level_branch(key);
+  RootSlot& root = roots_[static_cast<std::size_t>(branch)];
+
+  stats_.voxel_updates++;
+
+  std::array<PathEntry, map::kTreeDepth + 1> path{};
+  path[1].in_register = true;
+  path[1].was_unknown = !root.known;
+  path[1].word = root.known ? root.word : NodeWord::leaf(geom::Fixed16{});
+
+  bool aborted = false;
+  bool oom = false;
+
+  // ---- Descend: depths 1..15, materializing children rows as needed ----
+  for (int d = 1; d < map::kTreeDepth && !aborted && !oom; ++d) {
+    PathEntry& cur = path[static_cast<std::size_t>(d)];
+    if (!cur.word.has_children()) {
+      if (!cur.was_unknown) {
+        // Known pruned leaf: abort if the update cannot change it,
+        // otherwise expand it into 8 seeded children (paper Fig. 2b).
+        const geom::Fixed16 p = cur.word.prob();
+        if (is_saturating(p, delta, clamp_min_, clamp_max_)) {
+          stats_.early_aborts++;
+          aborted = true;
+          break;
+        }
+        const auto row = addr_.allocate();
+        if (!row) {
+          oom = true;
+          break;
+        }
+        mem_.write_row_broadcast(*row, NodeWord::leaf(p));
+        cur.word.set_pointer(*row);
+        cur.word.set_all_tags(tag_for_leaf_value(p, threshold_));
+        c.prune_expand += cfg_.costs.fresh_alloc +
+                          row_op_factor() * (cfg_.costs.expand_seed - cfg_.costs.fresh_alloc);
+        stats_.expands++;
+      } else {
+        // Fresh node created by this walk: children start unknown, their
+        // slots need no initialization (tags gate validity), so this is
+        // just an address allocation.
+        const auto row = addr_.allocate();
+        if (!row) {
+          oom = true;
+          break;
+        }
+        cur.word.set_pointer(*row);
+        c.prune_expand += cfg_.costs.fresh_alloc;
+        stats_.fresh_allocs++;
+      }
+    }
+
+    const int ci = map::child_index(key, d);
+    PathEntry next;
+    next.in_register = false;
+    next.bank = ci;
+    next.row = cur.word.pointer();
+    if (cur.word.tag(ci) == ChildTag::kUnknown) {
+      // Unknown child: the word is constructed in logic, no SRAM read.
+      next.word = NodeWord::leaf(geom::Fixed16{});
+      next.was_unknown = true;
+    } else {
+      next.word = mem_.read_child(next.row, ci);
+      next.was_unknown = false;
+      c.update_leaf += cfg_.costs.descend_read;
+      stats_.descend_reads++;
+    }
+    stats_.descend_steps++;
+    path[static_cast<std::size_t>(d + 1)] = next;
+  }
+
+  // ---- Leaf update at depth 16 ----
+  if (!aborted && !oom) {
+    PathEntry& leaf = path[map::kTreeDepth];
+    const geom::Fixed16 old_value = leaf.was_unknown ? geom::Fixed16{} : leaf.word.prob();
+    if (!leaf.was_unknown && is_saturating(old_value, delta, clamp_min_, clamp_max_)) {
+      stats_.early_aborts++;
+      aborted = true;
+    } else {
+      const geom::Fixed16 updated = old_value.saturating_add(delta).clamp(clamp_min_, clamp_max_);
+      leaf.word = NodeWord::leaf(updated);
+      mem_.write_child(leaf.row, leaf.bank, leaf.word);
+      c.update_leaf += cfg_.costs.leaf_update + cfg_.costs.leaf_write;
+      stats_.leaf_updates++;
+    }
+  }
+
+  // ---- Unwind: parent updates + prune, depths 15..1 ----
+  if (!aborted && !oom) {
+    for (int d = map::kTreeDepth - 1; d >= 1; --d) {
+      PathEntry& cur = path[static_cast<std::size_t>(d)];
+      const int ci = map::child_index(key, d);
+      const uint32_t row = cur.word.pointer();
+      const NodeRow row_words = mem_.read_row(row);
+      c.update_parents += cfg_.costs.unwind_read * row_op_factor();
+
+      // Refresh the walked child's status tag; sibling tags are unchanged
+      // (only the walked path can have mutated).
+      const NodeWord& child = row_words[static_cast<std::size_t>(ci)];
+      cur.word.set_tag(ci, child.has_children() ? ChildTag::kInner
+                                                : tag_for_leaf_value(child.prob(), threshold_));
+
+      geom::Fixed16 max_value = geom::Fixed16::from_raw(std::numeric_limits<int16_t>::min());
+      bool all_leaves = true;
+      bool all_equal = true;
+      geom::Fixed16 first_value;
+      bool first_set = false;
+      for (int i = 0; i < 8; ++i) {
+        const ChildTag t = cur.word.tag(i);
+        if (t == ChildTag::kUnknown) {
+          all_leaves = false;
+          continue;
+        }
+        const geom::Fixed16 v = row_words[static_cast<std::size_t>(i)].prob();
+        if (v > max_value) max_value = v;
+        if (t == ChildTag::kInner) all_leaves = false;
+        if (!first_set) {
+          first_value = v;
+          first_set = true;
+        } else if (v != first_value) {
+          all_equal = false;
+        }
+      }
+      cur.word.set_prob(max_value);
+      // The comparator tree has two stages: the max reduction (parent
+      // probability update) and the all-equal collapse predicate (prune
+      // decision); the cycle split mirrors that attribution (Fig. 10).
+      c.update_parents += cfg_.costs.unwind_logic - cfg_.costs.unwind_logic / 2;
+      c.prune_expand += cfg_.costs.unwind_logic / 2;
+      stats_.parent_updates++;
+
+      if (all_leaves) {
+        stats_.prune_checks++;
+        if (all_equal) {
+          // All 8 children are identical known leaves: collapse, recycling
+          // the children row through the prune address manager.
+          addr_.release(row);
+          cur.word.set_pointer(kNullRowPtr);
+          cur.word.set_all_tags(ChildTag::kUnknown);
+          cur.word.set_prob(first_value);
+          c.prune_expand += cfg_.costs.prune;
+          stats_.prunes++;
+        }
+      }
+
+      if (cur.in_register) {
+        root.word = cur.word;
+        root.known = true;
+      } else {
+        mem_.write_child(cur.row, cur.bank, cur.word);
+        c.update_parents += cfg_.costs.unwind_write;
+      }
+    }
+  }
+
+  cycles_ += c;
+  res.cycles = static_cast<uint32_t>(c.map_update_total());
+  res.early_abort = aborted;
+  res.out_of_memory = oom;
+  return res;
+}
+
+PeQueryResult PeUnit::execute_query(const map::OcKey& key, int max_depth) {
+  PeQueryResult r;
+  stats_.queries++;
+  const int branch = map::first_level_branch(key);
+  const RootSlot& root = roots_[static_cast<std::size_t>(branch)];
+  r.depth = 1;
+  if (!root.known) {
+    cycles_.query += r.cycles;
+    return r;  // unknown space
+  }
+  NodeWord cur = root.word;
+  int d = 1;
+  while (d < max_depth && cur.has_children()) {
+    const int ci = map::child_index(key, d);
+    if (cur.tag(ci) == ChildTag::kUnknown) {
+      r.depth = d + 1;
+      cycles_.query += r.cycles;
+      return r;  // unknown space
+    }
+    cur = mem_.read_child(cur.pointer(), ci);
+    r.cycles += cfg_.costs.query_read;
+    ++d;
+  }
+  r.depth = d;
+  r.log_odds = cur.prob().to_float();
+  r.occupancy = cur.prob() > threshold_ ? map::Occupancy::kOccupied : map::Occupancy::kFree;
+  cycles_.query += r.cycles;
+  return r;
+}
+
+void PeUnit::for_each_leaf(
+    const std::function<void(const map::OcKey&, int, float)>& fn) const {
+  for (int branch = 0; branch < 8; ++branch) {
+    const RootSlot& root = roots_[static_cast<std::size_t>(branch)];
+    if (!root.known) continue;
+    const int bit = map::kTreeDepth - 1;
+    map::OcKey base;
+    base[0] = static_cast<uint16_t>((branch & 1) << bit);
+    base[1] = static_cast<uint16_t>(((branch >> 1) & 1) << bit);
+    base[2] = static_cast<uint16_t>(((branch >> 2) & 1) << bit);
+    leaf_recurs(root.word, base, 1, fn);
+  }
+}
+
+void PeUnit::leaf_recurs(const NodeWord& word, const map::OcKey& base, int depth,
+                         const std::function<void(const map::OcKey&, int, float)>& fn) const {
+  if (!word.has_children()) {
+    fn(base, depth, word.prob().to_float());
+    return;
+  }
+  const int bit = map::kTreeDepth - 1 - depth;
+  for (int i = 0; i < 8; ++i) {
+    if (word.tag(i) == ChildTag::kUnknown) continue;
+    const NodeWord child =
+        NodeWord::from_raw(mem_.sram().peek(static_cast<std::size_t>(i), word.pointer()));
+    map::OcKey child_base = base;
+    child_base[0] |= static_cast<uint16_t>((i & 1) << bit);
+    child_base[1] |= static_cast<uint16_t>(((i >> 1) & 1) << bit);
+    child_base[2] |= static_cast<uint16_t>(((i >> 2) & 1) << bit);
+    leaf_recurs(child, child_base, depth + 1, fn);
+  }
+}
+
+void PeUnit::reset() {
+  for (RootSlot& r : roots_) r = RootSlot{};
+  mem_.sram().clear_contents();
+  mem_.sram().reset_counters();
+  addr_.reset();
+  stats_.reset();
+  cycles_ = PeCycleBreakdown{};
+}
+
+}  // namespace omu::accel

@@ -1,0 +1,136 @@
+// PE unit: one of the OMU's eight processing elements (paper Sec. IV, V).
+//
+// A PE owns the subtree(s) rooted at the first-level branches assigned to
+// it and executes voxel updates and queries against its private TreeMem.
+// The model is functional + cycle-accounting: each update performs the
+// real node-word reads/writes against the banked SRAM model (so map
+// content and access counts are exact) and accumulates the FSM cycle cost
+// of every step, split into the paper's three map-update phases
+// (update leaf / update parents / node prune-expand, Fig. 10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "accel/node_word.hpp"
+#include "accel/omu_config.hpp"
+#include "accel/prune_addr_manager.hpp"
+#include "accel/tree_mem.hpp"
+#include "map/ockey.hpp"
+#include "map/occupancy_params.hpp"
+#include "map/phase_stats.hpp"
+
+namespace omu::accel {
+
+/// Cycle totals per map-update phase (Fig. 10 categories).
+struct PeCycleBreakdown {
+  uint64_t update_leaf = 0;    ///< descent reads + leaf add/clamp/write
+  uint64_t update_parents = 0; ///< bottom-up row reads, max/compare, write-backs
+  uint64_t prune_expand = 0;   ///< expansions, fresh allocations, prunes
+  uint64_t query = 0;          ///< voxel query service
+
+  uint64_t map_update_total() const { return update_leaf + update_parents + prune_expand; }
+
+  PeCycleBreakdown& operator+=(const PeCycleBreakdown& o) {
+    update_leaf += o.update_leaf;
+    update_parents += o.update_parents;
+    prune_expand += o.prune_expand;
+    query += o.query;
+    return *this;
+  }
+};
+
+/// Outcome of one voxel update executed by a PE.
+struct PeUpdateResult {
+  uint32_t cycles = 0;          ///< FSM cycles consumed by this update
+  bool early_abort = false;     ///< skipped: target leaf saturated at clamp
+  bool out_of_memory = false;   ///< TreeMem exhausted (allocation failed)
+};
+
+/// Outcome of one voxel query.
+struct PeQueryResult {
+  map::Occupancy occupancy = map::Occupancy::kUnknown;
+  float log_odds = 0.0f;  ///< valid when occupancy != kUnknown
+  int depth = 0;          ///< depth at which the walk terminated
+  uint32_t cycles = 0;
+};
+
+/// One OMU processing element.
+class PeUnit {
+ public:
+  /// `pe_index` is informational (reports); the PE serves whatever keys the
+  /// scheduler routes to it.
+  PeUnit(int pe_index, const OmuConfig& config);
+
+  int index() const { return pe_index_; }
+
+  /// Executes a voxel update for `key` (occupied hit or free-space miss).
+  /// Functionally identical to OccupancyOctree::update_node, including the
+  /// early abort on clamped leaves.
+  PeUpdateResult execute_update(const map::OcKey& key, bool occupied);
+
+  /// Executes a voxel occupancy query (the Voxel Query service, Sec. V).
+  /// `max_depth` < 16 answers at coarser resolution — the multi-resolution
+  /// query capability the recursive parent updates exist to support
+  /// (paper Sec. III-A); the walk stops at that depth and classifies the
+  /// inner node's max-occupancy value (conservative for planning).
+  PeQueryResult execute_query(const map::OcKey& key, int max_depth = map::kTreeDepth);
+
+  // -- inspection (backdoor; does not touch cycle or access counters) -----
+
+  /// Visits every known leaf stored in this PE: fn(depth-aligned key,
+  /// depth, log-odds). Keys are reconstructed from the walk path.
+  void for_each_leaf(const std::function<void(const map::OcKey&, int, float)>& fn) const;
+
+  /// Operation counters, mirroring the software tree's definitions so the
+  /// two sides can be compared one-to-one.
+  const map::PhaseStats& stats() const { return stats_; }
+  /// Cycle totals per phase.
+  const PeCycleBreakdown& cycles() const { return cycles_; }
+
+  const TreeMem& tree_mem() const { return mem_; }
+  TreeMem& tree_mem() { return mem_; }
+  const PruneAddrManager& addr_manager() const { return addr_; }
+  PruneAddrManager& addr_manager() { return addr_; }
+
+  /// Clears map content and counters (power-on reset).
+  void reset();
+
+ private:
+  struct PathEntry {
+    NodeWord word;       // working copy of the node's word
+    int bank = 0;        // where the word lives (unless in_register)
+    uint32_t row = 0;
+    bool in_register = false;  // depth-1 roots live in registers
+    bool was_unknown = false;  // node did not exist before this walk
+  };
+
+  /// Root register slot for one first-level branch assigned to this PE.
+  struct RootSlot {
+    NodeWord word;
+    bool known = false;
+  };
+
+  // Cycle-cost helper: row-wide operations serialize when the PE has fewer
+  // physical banks than the 8 siblings (bank-count ablation).
+  uint32_t row_op_factor() const;
+
+  void leaf_recurs(const NodeWord& word, const map::OcKey& base, int depth,
+                   const std::function<void(const map::OcKey&, int, float)>& fn) const;
+
+  int pe_index_;
+  OmuConfig cfg_;
+  geom::Fixed16 hit_;
+  geom::Fixed16 miss_;
+  geom::Fixed16 clamp_min_;
+  geom::Fixed16 clamp_max_;
+  geom::Fixed16 threshold_;
+  TreeMem mem_;
+  PruneAddrManager addr_;
+  std::array<RootSlot, 8> roots_;  // indexed by first-level branch
+  map::PhaseStats stats_;
+  PeCycleBreakdown cycles_;
+};
+
+}  // namespace omu::accel

@@ -1,0 +1,55 @@
+#include "accel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omu::accel {
+
+namespace {
+// The paper's frame-equivalent conversion (see harness/paper_reference.hpp):
+// one 320x240 frame corresponds to 1.152e6 voxel updates.
+constexpr double kVoxelUpdatesPerFrame = 1.152e6;
+}  // namespace
+
+PerfPrediction PerfModel::predict(const map::PhaseStats& stats,
+                                  double max_pe_load_share) const {
+  PerfPrediction p;
+  if (stats.voxel_updates == 0) return p;
+  const double n = static_cast<double>(stats.voxel_updates);
+  const double reads = static_cast<double>(stats.descend_reads) / n;
+  const double leaves = static_cast<double>(stats.leaf_updates) / n;
+  const double parents = static_cast<double>(stats.parent_updates) / n;
+  const double expands = static_cast<double>(stats.expands) / n;
+  const double fresh = static_cast<double>(stats.fresh_allocs) / n;
+  const double prunes = static_cast<double>(stats.prunes) / n;
+
+  const OmuCycleCosts& c = cfg_.costs;
+  const auto banks = static_cast<double>(cfg_.banks_per_pe);
+  const double row_factor = std::ceil(8.0 / banks);
+
+  // Mirrors PeUnit::execute_update's cycle charging exactly:
+  //  * one descend_read per known-child step,
+  //  * leaf add + write per applied leaf update,
+  //  * per unwind level: row read (serialized by bank factor) + two-stage
+  //    comparator + parent word write-back — except the depth-1 level,
+  //    whose word lives in a register (one unwind per applied update ends
+  //    there, so writes = parents - leaves),
+  //  * expansion = alloc + row-wide seed write, fresh alloc = alloc only,
+  //  * prune = stack push + parent rewrite.
+  p.busy_cycles_per_update =
+      reads * c.descend_read + leaves * (c.leaf_update + c.leaf_write) +
+      parents * (c.unwind_read * row_factor + c.unwind_logic) +
+      (parents - leaves) * c.unwind_write +
+      expands * (c.fresh_alloc + row_factor * (c.expand_seed - c.fresh_alloc)) +
+      fresh * c.fresh_alloc + prunes * c.prune;
+
+  // End-to-end wall time is bounded by the busiest PE (deep queues keep
+  // every PE fed; see DESIGN.md Sec. 7).
+  p.wall_cycles_per_update = p.busy_cycles_per_update *
+                             std::max(max_pe_load_share, 1.0 / static_cast<double>(cfg_.pe_count));
+  const double updates_per_second = cfg_.clock_hz / p.wall_cycles_per_update;
+  p.fps = updates_per_second / kVoxelUpdatesPerFrame;
+  return p;
+}
+
+}  // namespace omu::accel

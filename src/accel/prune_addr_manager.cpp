@@ -1,0 +1,39 @@
+#include "accel/prune_addr_manager.hpp"
+
+namespace omu::accel {
+
+PruneAddrManager::PruneAddrManager(uint32_t row_capacity, bool reuse_enabled)
+    : row_capacity_(row_capacity), reuse_enabled_(reuse_enabled) {}
+
+std::optional<uint32_t> PruneAddrManager::allocate() {
+  if (!pruned_stack_.empty()) {
+    const uint32_t row = pruned_stack_.back();
+    pruned_stack_.pop_back();
+    stats_.reused_allocations++;
+    ++live_rows_;
+    return row;
+  }
+  if (next_fresh_row_ >= row_capacity_) return std::nullopt;
+  const uint32_t row = next_fresh_row_++;
+  stats_.fresh_allocations++;
+  ++live_rows_;
+  if (next_fresh_row_ > stats_.peak_rows_touched) stats_.peak_rows_touched = next_fresh_row_;
+  return row;
+}
+
+void PruneAddrManager::release(uint32_t row) {
+  stats_.releases++;
+  if (live_rows_ > 0) --live_rows_;
+  if (reuse_enabled_) pruned_stack_.push_back(row);
+  // Reuse disabled: the address is simply lost, as in a design without the
+  // prune address manager; rows_touched keeps growing.
+}
+
+void PruneAddrManager::reset() {
+  next_fresh_row_ = 0;
+  live_rows_ = 0;
+  pruned_stack_.clear();
+  stats_ = PruneAddrStats{};
+}
+
+}  // namespace omu::accel

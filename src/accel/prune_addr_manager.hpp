@@ -1,0 +1,65 @@
+// Dynamic pruning address manager (paper Sec. IV-C, Fig. 6).
+//
+// Each PE owns one of these. It hands out children-row addresses for tree
+// expansion and recycles the addresses of pruned children rows through a
+// LIFO stack ("a simple stack buffer instead of a more complex FIFO",
+// paper Sec. IV-C). Fresh rows come from a bump pointer; reuse keeps the
+// TreeMem at high utilization so the paper-sized 256 KiB/PE suffices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace omu::accel {
+
+/// Allocation statistics exposed for experiments.
+struct PruneAddrStats {
+  uint64_t fresh_allocations = 0;   ///< rows served by the bump pointer
+  uint64_t reused_allocations = 0;  ///< rows served from the pruned stack
+  uint64_t releases = 0;            ///< pruned rows pushed onto the stack
+  uint32_t peak_rows_touched = 0;   ///< high-water mark of the bump pointer
+};
+
+/// Per-PE allocator for children-row addresses.
+class PruneAddrManager {
+ public:
+  /// `row_capacity` = number of rows in each of the PE's banks.
+  /// `reuse_enabled` = false disables stack reuse (ablation mode; released
+  /// rows are discarded).
+  explicit PruneAddrManager(uint32_t row_capacity, bool reuse_enabled = true);
+
+  /// Allocates a row for a new children block: pops the pruned-pointer
+  /// stack if possible, else bumps the free pointer. Returns std::nullopt
+  /// when the memory is exhausted.
+  std::optional<uint32_t> allocate();
+
+  /// Returns a pruned children row to the stack.
+  void release(uint32_t row);
+
+  /// Rows currently live (allocated and not yet released); correct in
+  /// both reuse modes (leaked rows in no-reuse mode are not "live").
+  uint32_t rows_in_use() const { return live_rows_; }
+
+  /// Rows ever touched (bump pointer position); with reuse disabled this
+  /// grows monotonically and demonstrates the memory blow-up the manager
+  /// prevents.
+  uint32_t rows_touched() const { return next_fresh_row_; }
+
+  uint32_t capacity() const { return row_capacity_; }
+  std::size_t stack_depth() const { return pruned_stack_.size(); }
+  bool reuse_enabled() const { return reuse_enabled_; }
+  const PruneAddrStats& stats() const { return stats_; }
+
+  void reset();
+
+ private:
+  uint32_t row_capacity_;
+  bool reuse_enabled_;
+  uint32_t next_fresh_row_ = 0;
+  uint32_t live_rows_ = 0;
+  std::vector<uint32_t> pruned_stack_;
+  PruneAddrStats stats_;
+};
+
+}  // namespace omu::accel

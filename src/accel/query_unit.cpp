@@ -1,0 +1,23 @@
+#include "accel/query_unit.hpp"
+
+namespace omu::accel {
+
+PeQueryResult QueryUnit::issue(PeUnit& pe, const map::OcKey& key, int max_depth) {
+  const PeQueryResult r = pe.execute_query(key, max_depth);
+  stats_.queries++;
+  stats_.cycles += r.cycles;
+  switch (r.occupancy) {
+    case map::Occupancy::kOccupied:
+      stats_.occupied++;
+      break;
+    case map::Occupancy::kFree:
+      stats_.free++;
+      break;
+    case map::Occupancy::kUnknown:
+      stats_.unknown++;
+      break;
+  }
+  return r;
+}
+
+}  // namespace omu::accel

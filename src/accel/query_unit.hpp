@@ -1,0 +1,42 @@
+// Voxel query unit (paper Sec. V, Fig. 4 "Voxel Query").
+//
+// Services occupancy queries for consumers like collision detection: a
+// query key is routed to the owning PE (ID_check & query issue), the
+// probability is fetched by walking that PE's subtree, and the result is
+// classified against the occupancy threshold. Queries share PE memory
+// ports with updates; this model issues them between update batches,
+// which matches the paper's usage (map build, then query service).
+#pragma once
+
+#include <cstdint>
+
+#include "accel/pe_unit.hpp"
+#include "map/ockey.hpp"
+
+namespace omu::accel {
+
+/// Aggregated query-service statistics.
+struct QueryUnitStats {
+  uint64_t queries = 0;
+  uint64_t occupied = 0;
+  uint64_t free = 0;
+  uint64_t unknown = 0;
+  uint64_t cycles = 0;
+};
+
+/// The query front-end; routing to PEs is done by the caller (the
+/// accelerator top), which owns the PE array.
+class QueryUnit {
+ public:
+  /// Executes one query against the PE owning `key`'s subtree and records
+  /// statistics. `max_depth` < 16 requests a coarser-resolution answer.
+  PeQueryResult issue(PeUnit& pe, const map::OcKey& key, int max_depth = map::kTreeDepth);
+
+  const QueryUnitStats& stats() const { return stats_; }
+  void reset() { stats_ = QueryUnitStats{}; }
+
+ private:
+  QueryUnitStats stats_;
+};
+
+}  // namespace omu::accel

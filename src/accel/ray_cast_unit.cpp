@@ -1,0 +1,56 @@
+#include "accel/ray_cast_unit.hpp"
+
+#include <cmath>
+
+#include "map/ray_keys.hpp"
+
+namespace omu::accel {
+
+RayCastUnit::RayCastUnit(double resolution, double max_range, double updates_per_cycle)
+    : coder_(resolution), max_range_(max_range), updates_per_cycle_(updates_per_cycle) {}
+
+RayCastResult RayCastUnit::cast_scan(const geom::PointCloud& world_points,
+                                     const geom::Vec3d& origin,
+                                     std::vector<map::VoxelUpdate>& out) {
+  RayCastResult result;
+  for (const geom::Vec3f& pf : world_points) {
+    geom::Vec3d end = pf.cast<double>();
+    bool truncated = false;
+    if (max_range_ > 0.0) {
+      const geom::Vec3d d = end - origin;
+      const double dist = d.norm();
+      if (dist > max_range_) {
+        end = origin + d * (max_range_ / dist);
+        truncated = true;
+      }
+    }
+    result.rays++;
+    if (truncated) result.truncated_rays++;
+
+    ray_buffer_.clear();
+    if (!map::compute_ray_keys(coder_, origin, end, ray_buffer_, &stats_)) continue;
+    result.steps += ray_buffer_.size();
+    for (const map::OcKey& key : ray_buffer_) {
+      out.push_back(map::VoxelUpdate{key, false});
+      result.free_updates++;
+    }
+    if (!truncated) {
+      if (const auto end_key = coder_.key_for(end)) {
+        out.push_back(map::VoxelUpdate{*end_key, true});
+        result.occupied_updates++;
+      }
+    }
+  }
+  result.production_cycles = available_at_cycle(result.total_updates() == 0
+                                                    ? 0
+                                                    : result.total_updates() - 1);
+  return result;
+}
+
+uint64_t RayCastUnit::available_at_cycle(uint64_t update_index) const {
+  if (updates_per_cycle_ <= 0.0) return 0;
+  return static_cast<uint64_t>(
+      std::ceil(static_cast<double>(update_index + 1) / updates_per_cycle_));
+}
+
+}  // namespace omu::accel

@@ -1,0 +1,68 @@
+// Ray casting unit (paper Sec. V): converts each point of an incoming
+// point cloud into the free-space voxels its ray traverses plus the
+// occupied endpoint voxel, feeding the free/occupied voxel queues.
+//
+// Functionally identical to the software DDA (map/ray_keys) so the
+// accelerator integrates exactly the same update stream as the baseline.
+// Timing-wise the unit produces `rc_updates_per_cycle` voxel updates per
+// cycle; the paper hides this latency behind the PEs' map update, which
+// holds whenever the production rate exceeds the PEs' aggregate
+// consumption rate (the default 2/cycle is ~25x consumption).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/pointcloud.hpp"
+#include "map/ockey.hpp"
+#include "map/phase_stats.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::accel {
+
+/// Summary of one scan's ray casting.
+struct RayCastResult {
+  uint64_t rays = 0;            ///< points processed
+  uint64_t steps = 0;           ///< DDA steps (free voxels emitted)
+  uint64_t free_updates = 0;    ///< free-space voxel updates emitted
+  uint64_t occupied_updates = 0;  ///< occupied voxel updates emitted
+  uint64_t truncated_rays = 0;  ///< rays clipped to max range
+  uint64_t production_cycles = 0;  ///< cycles to emit all updates at the unit's rate
+
+  uint64_t total_updates() const { return free_updates + occupied_updates; }
+};
+
+/// The OMU ray casting stage.
+class RayCastUnit {
+ public:
+  /// `resolution`: voxel size; `max_range`: ray truncation distance
+  /// (non-positive = unlimited); `updates_per_cycle`: production rate.
+  RayCastUnit(double resolution, double max_range, double updates_per_cycle);
+
+  double max_range() const { return max_range_; }
+  double updates_per_cycle() const { return updates_per_cycle_; }
+
+  /// Casts all rays of a world-frame scan, appending the voxel-update
+  /// stream (free voxels along each ray, then the occupied endpoint) to
+  /// `out` in ray order — the order the voxel queues would drain in.
+  RayCastResult cast_scan(const geom::PointCloud& world_points, const geom::Vec3d& origin,
+                          std::vector<map::VoxelUpdate>& out);
+
+  /// Cycle at which the i-th update of a scan (0-based) becomes available
+  /// to the scheduler, measured from scan start.
+  uint64_t available_at_cycle(uint64_t update_index) const;
+
+  /// Cumulative stats across scans.
+  const map::PhaseStats& stats() const { return stats_; }
+
+  void reset() { stats_.reset(); }
+
+ private:
+  map::KeyCoder coder_;
+  double max_range_;
+  double updates_per_cycle_;
+  map::PhaseStats stats_;
+  std::vector<map::OcKey> ray_buffer_;
+};
+
+}  // namespace omu::accel

@@ -1,0 +1,27 @@
+#include "accel/tree_mem.hpp"
+
+namespace omu::accel {
+
+TreeMem::TreeMem(std::size_t banks, std::size_t rows_per_bank) : mem_(banks, rows_per_bank) {}
+
+NodeWord TreeMem::read_child(uint32_t row, int child) {
+  return NodeWord::from_raw(mem_.read(static_cast<std::size_t>(child), row));
+}
+
+void TreeMem::write_child(uint32_t row, int child, NodeWord word) {
+  mem_.write(static_cast<std::size_t>(child), row, word.raw());
+}
+
+NodeRow TreeMem::read_row(uint32_t row) {
+  NodeRow out;
+  for (std::size_t b = 0; b < mem_.bank_count() && b < out.size(); ++b) {
+    out[b] = NodeWord::from_raw(mem_.read(b, row));
+  }
+  return out;
+}
+
+void TreeMem::write_row_broadcast(uint32_t row, NodeWord word) {
+  for (std::size_t b = 0; b < mem_.bank_count(); ++b) mem_.write(b, row, word.raw());
+}
+
+}  // namespace omu::accel

@@ -1,0 +1,48 @@
+// TreeMem: one PE's octree storage — 8 parallel SRAM banks holding 64-bit
+// node words, with the children of one parent spread across the banks at a
+// shared row address (paper Sec. IV-B, Fig. 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "accel/node_word.hpp"
+#include "sim/sram.hpp"
+
+namespace omu::accel {
+
+/// A full row: the 8 sibling node words fetched in a single cycle.
+using NodeRow = std::array<NodeWord, 8>;
+
+/// Banked node-word memory of one PE.
+class TreeMem {
+ public:
+  TreeMem(std::size_t banks, std::size_t rows_per_bank);
+
+  std::size_t bank_count() const { return mem_.bank_count(); }
+  std::size_t rows_per_bank() const { return mem_.rows_per_bank(); }
+  std::size_t size_bytes() const { return mem_.size_bytes(); }
+
+  /// Reads child `child`'s word at children-row `row` (single-bank read).
+  NodeWord read_child(uint32_t row, int child);
+
+  /// Writes child `child`'s word at children-row `row`.
+  void write_child(uint32_t row, int child, NodeWord word);
+
+  /// Reads the whole sibling row — all banks in parallel, one cycle in
+  /// hardware. This is the operation that removes the prune bottleneck.
+  NodeRow read_row(uint32_t row);
+
+  /// Writes the same word into every bank at `row` (used when expanding a
+  /// pruned leaf: all 8 children are seeded with the parent's value).
+  void write_row_broadcast(uint32_t row, NodeWord word);
+
+  /// Access to the underlying counted SRAM (for energy accounting).
+  const sim::BankedSram& sram() const { return mem_; }
+  sim::BankedSram& sram() { return mem_; }
+
+ private:
+  sim::BankedSram mem_;
+};
+
+}  // namespace omu::accel

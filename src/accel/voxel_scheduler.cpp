@@ -1,0 +1,39 @@
+#include "accel/voxel_scheduler.hpp"
+
+namespace omu::accel {
+
+VoxelScheduler::VoxelScheduler(std::size_t pe_count, std::size_t queue_depth) {
+  queues_.reserve(pe_count);
+  for (std::size_t i = 0; i < pe_count; ++i) queues_.emplace_back(queue_depth);
+  per_pe_dispatched_.assign(pe_count, 0);
+}
+
+bool VoxelScheduler::try_dispatch(const map::VoxelUpdate& update) {
+  const int pe = pe_for_key(update.key);
+  if (!queues_[static_cast<std::size_t>(pe)].try_push(update)) {
+    ++rejected_;
+    return false;
+  }
+  ++dispatched_;
+  ++per_pe_dispatched_[static_cast<std::size_t>(pe)];
+  return true;
+}
+
+bool VoxelScheduler::all_queues_empty() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void VoxelScheduler::reset() {
+  const std::size_t pe_count = queues_.size();
+  const std::size_t depth = queues_.empty() ? 0 : queues_[0].capacity();
+  queues_.clear();
+  for (std::size_t i = 0; i < pe_count; ++i) queues_.emplace_back(depth);
+  per_pe_dispatched_.assign(pe_count, 0);
+  dispatched_ = 0;
+  rejected_ = 0;
+}
+
+}  // namespace omu::accel

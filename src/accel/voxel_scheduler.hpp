@@ -1,0 +1,61 @@
+// Voxel scheduler (paper Sec. IV-A, Fig. 4): routes each voxel update to a
+// PE by its first-level tree branch and buffers it in that PE's bounded
+// input queue. The octree is partitioned across PEs at the first level, so
+// updates to different PEs touch disjoint subtrees and can proceed in
+// parallel with no dependence hazards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "map/ockey.hpp"
+#include "map/scan_inserter.hpp"
+#include "sim/fifo.hpp"
+
+namespace omu::accel {
+
+/// Routing + queueing stage between the ray-casting unit and the PEs.
+class VoxelScheduler {
+ public:
+  /// `pe_count` in 1..8; with fewer than 8 PEs, branches are assigned
+  /// round-robin (branch mod pe_count), so each PE serves 8/pe_count
+  /// subtrees. `queue_depth` is the per-PE input queue capacity.
+  VoxelScheduler(std::size_t pe_count, std::size_t queue_depth);
+
+  std::size_t pe_count() const { return queues_.size(); }
+
+  /// Target PE for a voxel key (first-level branch mod PE count).
+  int pe_for_key(const map::OcKey& key) const {
+    return map::first_level_branch(key) % static_cast<int>(queues_.size());
+  }
+
+  /// Attempts to enqueue an update into its target PE's queue; returns
+  /// false when that queue is full (the dispatch stream stalls:
+  /// head-of-line blocking, as with a single issue port in hardware).
+  bool try_dispatch(const map::VoxelUpdate& update);
+
+  /// Pops the next update for PE `pe`, if any.
+  std::optional<map::VoxelUpdate> pop(int pe) { return queues_[static_cast<std::size_t>(pe)].try_pop(); }
+
+  bool queue_empty(int pe) const { return queues_[static_cast<std::size_t>(pe)].empty(); }
+  bool all_queues_empty() const;
+
+  const sim::Fifo<map::VoxelUpdate>& queue(int pe) const {
+    return queues_[static_cast<std::size_t>(pe)];
+  }
+
+  uint64_t dispatched() const { return dispatched_; }
+  uint64_t rejected() const { return rejected_; }
+  /// Updates routed to each PE so far (load-balance visibility).
+  const std::vector<uint64_t>& per_pe_dispatched() const { return per_pe_dispatched_; }
+
+  void reset();
+
+ private:
+  std::vector<sim::Fifo<map::VoxelUpdate>> queues_;
+  std::vector<uint64_t> per_pe_dispatched_;
+  uint64_t dispatched_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace omu::accel

@@ -1,0 +1,73 @@
+#include "cpumodel/cpu_cost_model.hpp"
+
+namespace omu::cpumodel {
+
+// Calibration note (see header): the i9 constants are fit on the measured
+// FR-079 corridor operation profile (per voxel update: 0.949 ray steps,
+// 15.83 descend steps, 0.564 leaf updates, 9.03 parent updates, 0.234
+// full prune scans, 0.028 fresh allocations) so the modeled run lands on
+// the paper's 16.8 s total with the Fig. 3a split (1% ray casting / 23%
+// update leaf / 14% update parents / 61% prune-expand). The Freiburg
+// campus and New College runs then use the same constants — their
+// latencies, FPS and splits are model predictions.
+//
+// The A57 constants are the i9 constants scaled by 4.863x, the paper's
+// measured FR-079 slowdown (81.7 s / 16.8 s); the edge CPU's lower clock,
+// narrower issue and smaller caches slow this pointer-chasing workload
+// nearly uniformly.
+
+CpuCostParams CpuCostParams::intel_i9_9940x() {
+  CpuCostParams p;
+  p.name = "Intel i9 CPU";
+  p.ray_cast_step_ns = 1.6;
+  p.descend_step_ns = 2.0;
+  p.leaf_update_ns = 5.6;
+  p.parent_update_ns = 2.35;
+  p.collapse_test_ns = 9.3;
+  p.full_scan_ns = 28.0;
+  p.prune_ns = 150.0;
+  p.expand_ns = 220.0;
+  p.fresh_alloc_ns = 55.0;
+  return p;
+}
+
+CpuCostParams CpuCostParams::arm_a57() {
+  constexpr double kSlowdown = 4.863;  // paper: 81.7 s / 16.8 s on FR-079
+  CpuCostParams p = CpuCostParams::intel_i9_9940x();
+  p.name = "Arm A57 CPU";
+  p.ray_cast_step_ns *= kSlowdown;
+  p.descend_step_ns *= kSlowdown;
+  p.leaf_update_ns *= kSlowdown;
+  p.parent_update_ns *= kSlowdown;
+  p.collapse_test_ns *= kSlowdown;
+  p.full_scan_ns *= kSlowdown;
+  p.prune_ns *= kSlowdown;
+  p.expand_ns *= kSlowdown;
+  p.fresh_alloc_ns *= kSlowdown;
+  return p;
+}
+
+CpuPhaseBreakdown CpuCostModel::latency(const map::PhaseStats& stats) const {
+  constexpr double kNsToS = 1e-9;
+  CpuPhaseBreakdown b;
+  b.ray_cast_s = static_cast<double>(stats.ray_cast_steps) * params_.ray_cast_step_ns * kNsToS;
+  b.update_leaf_s = (static_cast<double>(stats.descend_steps) * params_.descend_step_ns +
+                     static_cast<double>(stats.leaf_updates) * params_.leaf_update_ns) *
+                    kNsToS;
+  b.update_parents_s =
+      static_cast<double>(stats.parent_updates) * params_.parent_update_ns * kNsToS;
+  b.prune_expand_s = (static_cast<double>(stats.parent_updates) * params_.collapse_test_ns +
+                      static_cast<double>(stats.prune_checks) * params_.full_scan_ns +
+                      static_cast<double>(stats.prunes) * params_.prune_ns +
+                      static_cast<double>(stats.expands) * params_.expand_ns +
+                      static_cast<double>(stats.fresh_allocs) * params_.fresh_alloc_ns) *
+                     kNsToS;
+  return b;
+}
+
+double CpuCostModel::ns_per_update(const map::PhaseStats& stats) const {
+  if (stats.voxel_updates == 0) return 0.0;
+  return latency(stats).total_s() * 1e9 / static_cast<double>(stats.voxel_updates);
+}
+
+}  // namespace omu::cpumodel

@@ -1,0 +1,93 @@
+// Synthetic reproductions of the OctoMap 3D scan dataset workloads
+// evaluated in the paper (Table II): FR-079 corridor, Freiburg campus and
+// New College.
+//
+// Each dataset pairs a scene with a trajectory and sensor spec tuned so
+// that, at full size, the workload statistics match Table II:
+//
+//   dataset      scans   pts/scan  points   voxel updates  updates/pt
+//   FR-079          66    89,000    5.9e6        101e6        ~17.1
+//   campus          81   248,000   20.1e6       1031e6        ~51.3
+//   New College 92,361       156   14.5e6        449e6        ~31.0
+//
+// A `scale` in (0, 1] shrinks the workload for tractable experiment times
+// (dense scans lose angular resolution; New College loses scans); the
+// updates-per-point statistic is scale-invariant, so full-size latencies
+// extrapolate linearly in the update count (see harness/experiment.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/scan_generator.hpp"
+#include "data/scene.hpp"
+#include "geom/pose.hpp"
+
+namespace omu::data {
+
+/// The three evaluation workloads.
+enum class DatasetId {
+  kFr079Corridor,
+  kFreiburgCampus,
+  kNewCollege,
+};
+
+/// All three, in paper order.
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kFr079Corridor, DatasetId::kFreiburgCampus, DatasetId::kNewCollege};
+
+/// Paper-reported full-size statistics (Table II).
+struct PaperWorkloadStats {
+  std::string name;
+  uint64_t scans = 0;
+  uint64_t avg_points_per_scan = 0;
+  double total_points = 0.0;        // raw count
+  double total_voxel_updates = 0.0; // raw count
+  double updates_per_point() const { return total_voxel_updates / total_points; }
+};
+
+/// Table II constants for a dataset.
+PaperWorkloadStats paper_workload(DatasetId id);
+
+/// One generated scan: sensor pose + world-frame endpoints.
+struct DatasetScan {
+  geom::Pose pose;
+  geom::PointCloud points;
+};
+
+/// A scaled synthetic dataset. Scans are generated on demand so large
+/// workloads never need to be resident at once.
+class SyntheticDataset {
+ public:
+  /// `scale` in (0, 1]; see file comment. Generation is deterministic for
+  /// a given (id, scale, seed).
+  SyntheticDataset(DatasetId id, double scale = 1.0, uint64_t seed = 1);
+
+  DatasetId id() const { return id_; }
+  const std::string& name() const { return paper_.name; }
+  double scale() const { return scale_; }
+  const PaperWorkloadStats& paper() const { return paper_; }
+  const Scene& scene() const { return scene_; }
+
+  /// Number of scans in the scaled dataset.
+  std::size_t scan_count() const { return poses_.size(); }
+
+  /// Nominal rays per scan of the scaled sensor pattern (actual point
+  /// counts vary slightly with scene misses).
+  std::size_t rays_per_scan() const { return sensor_.pattern.ray_count(); }
+
+  /// Generates scan `i` (deterministic per index).
+  DatasetScan scan(std::size_t i) const;
+
+ private:
+  DatasetId id_;
+  double scale_;
+  uint64_t seed_;
+  PaperWorkloadStats paper_;
+  Scene scene_;
+  SensorSpec sensor_;
+  std::vector<geom::Pose> poses_;
+};
+
+}  // namespace omu::data

@@ -1,0 +1,27 @@
+#include "data/scan_generator.hpp"
+
+namespace omu::data {
+
+ScanGenerator::ScanGenerator(const Scene& scene, SensorSpec spec, uint64_t seed)
+    : scene_(&scene), spec_(spec), directions_(geom::make_scan_directions(spec.pattern)),
+      rng_(seed) {}
+
+geom::PointCloud ScanGenerator::generate(const geom::Pose& pose) {
+  geom::PointCloud cloud;
+  cloud.reserve(directions_.size());
+  const geom::Vec3d origin = pose.translation();
+  for (const geom::Vec3f& d_sensor : directions_) {
+    const geom::Vec3d dir = pose.rotate(d_sensor.cast<double>());
+    const auto hit = scene_->cast_ray(origin, dir, spec_.max_range);
+    if (!hit) continue;
+    double range = *hit;
+    if (spec_.range_noise_sigma > 0.0) {
+      range += rng_.normal(0.0, spec_.range_noise_sigma);
+    }
+    if (range < spec_.min_range || range > spec_.max_range) continue;
+    cloud.push_back((origin + dir * range).cast<float>());
+  }
+  return cloud;
+}
+
+}  // namespace omu::data

@@ -1,0 +1,42 @@
+// Virtual range sensor: ray-traces a Scene from a Pose to produce one
+// point cloud per scan, with configurable angular pattern, max range and
+// range noise.
+#pragma once
+
+#include <cstdint>
+
+#include "data/scene.hpp"
+#include "geom/pointcloud.hpp"
+#include "geom/pose.hpp"
+#include "geom/rng.hpp"
+#include "geom/scan_pattern.hpp"
+
+namespace omu::data {
+
+/// Sensor configuration for one dataset.
+struct SensorSpec {
+  geom::ScanPatternSpec pattern;
+  double max_range = 30.0;        ///< rays that hit nothing are dropped
+  double range_noise_sigma = 0.01;  ///< Gaussian range jitter in metres
+  double min_range = 0.3;         ///< hits closer than this are dropped
+};
+
+/// Generates world-frame point clouds by ray tracing.
+class ScanGenerator {
+ public:
+  ScanGenerator(const Scene& scene, SensorSpec spec, uint64_t seed);
+
+  const SensorSpec& spec() const { return spec_; }
+
+  /// One scan from `pose`: returns the world-frame endpoints of all rays
+  /// that hit a surface within [min_range, max_range].
+  geom::PointCloud generate(const geom::Pose& pose);
+
+ private:
+  const Scene* scene_;
+  SensorSpec spec_;
+  std::vector<geom::Vec3f> directions_;  // sensor-frame, precomputed
+  geom::SplitMix64 rng_;
+};
+
+}  // namespace omu::data

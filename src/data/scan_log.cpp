@@ -1,0 +1,83 @@
+#include "data/scan_log.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omu::data {
+
+void write_scan_log(const std::vector<DatasetScan>& scans, std::ostream& os) {
+  // max_digits10 so float32 points and double poses round-trip exactly
+  // (a 6-digit default shifts endpoints across voxel boundaries).
+  os << std::setprecision(17);
+  os << "# omu-scanlog 1\n";
+  for (const DatasetScan& scan : scans) {
+    const geom::Vec3d& t = scan.pose.translation();
+    os << "scan " << t.x << ' ' << t.y << ' ' << t.z << ' ' << scan.pose.yaw() << ' '
+       << scan.pose.pitch() << ' ' << scan.pose.roll() << ' ' << scan.points.size() << '\n';
+    for (const geom::Vec3f& p : scan.points) {
+      os << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+  }
+}
+
+std::vector<DatasetScan> read_scan_log(std::istream& is) {
+  std::vector<DatasetScan> scans;
+  std::string line;
+  std::size_t pending_points = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (pending_points > 0) {
+      geom::Vec3f p;
+      if (!(ss >> p.x >> p.y >> p.z)) {
+        throw std::runtime_error("scan log: malformed point line: " + line);
+      }
+      scans.back().points.push_back(p);
+      --pending_points;
+      continue;
+    }
+    std::string tag;
+    ss >> tag;
+    if (tag != "scan") throw std::runtime_error("scan log: expected 'scan', got: " + line);
+    double x = 0;
+    double y = 0;
+    double z = 0;
+    double yaw = 0;
+    double pitch = 0;
+    double roll = 0;
+    std::size_t n = 0;
+    if (!(ss >> x >> y >> z >> yaw >> pitch >> roll >> n)) {
+      throw std::runtime_error("scan log: malformed scan header: " + line);
+    }
+    DatasetScan scan;
+    scan.pose = geom::Pose({x, y, z}, yaw, pitch, roll);
+    scan.points.reserve(n);
+    scans.push_back(std::move(scan));
+    pending_points = n;
+  }
+  if (pending_points > 0) throw std::runtime_error("scan log: truncated point list");
+  return scans;
+}
+
+bool write_scan_log_file(const std::vector<DatasetScan>& scans, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_scan_log(scans, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<DatasetScan>> read_scan_log_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  try {
+    return read_scan_log(is);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace omu::data

@@ -1,0 +1,34 @@
+// Text scan-log I/O.
+//
+// A simple line-oriented format compatible in spirit with the Freiburg
+// dataset's .log files, so real captured logs can be converted and fed to
+// the pipeline in place of the synthetic scenes:
+//
+//   # omu-scanlog 1
+//   scan <x> <y> <z> <yaw> <pitch> <roll> <n_points>
+//   <px> <py> <pz>            (n_points lines, world frame, metres)
+//
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/datasets.hpp"
+
+namespace omu::data {
+
+/// Writes scans to a stream in the omu-scanlog format.
+void write_scan_log(const std::vector<DatasetScan>& scans, std::ostream& os);
+
+/// Parses an omu-scanlog stream. Throws std::runtime_error on malformed
+/// input.
+std::vector<DatasetScan> read_scan_log(std::istream& is);
+
+/// File convenience wrappers.
+bool write_scan_log_file(const std::vector<DatasetScan>& scans, const std::string& path);
+std::optional<std::vector<DatasetScan>> read_scan_log_file(const std::string& path);
+
+}  // namespace omu::data

@@ -1,0 +1,43 @@
+#include "data/scene.hpp"
+
+#include <limits>
+
+namespace omu::data {
+
+std::optional<double> Scene::cast_ray(const geom::Vec3d& origin, const geom::Vec3d& dir,
+                                      double max_range) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Primitive& prim : primitives_) {
+    const auto hit = geom::intersect_ray_aabb(origin, dir, prim.box);
+    if (!hit) continue;
+    double t = std::numeric_limits<double>::infinity();
+    switch (prim.kind) {
+      case PrimitiveKind::kSolidBox:
+        // Entry face; a ray starting inside a solid box hits immediately
+        // (t_enter clipped to 0), which models a sensor clipping plane.
+        t = hit->t_enter;
+        break;
+      case PrimitiveKind::kRoomShell:
+        // Interior surface: only meaningful when the origin is inside
+        // (t_enter == 0); otherwise the shell's far wall still stops the
+        // ray, acting as an opaque outer boundary.
+        t = hit->t_exit;
+        break;
+    }
+    if (t >= 0.0 && t < best) best = t;
+  }
+  if (best > max_range || !std::isfinite(best)) return std::nullopt;
+  return best;
+}
+
+geom::Aabb Scene::bounds() const {
+  if (primitives_.empty()) return geom::Aabb{};
+  geom::Aabb total = primitives_.front().box;
+  for (const Primitive& prim : primitives_) {
+    total.expand_to(prim.box.min);
+    total.expand_to(prim.box.max);
+  }
+  return total;
+}
+
+}  // namespace omu::data

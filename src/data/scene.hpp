@@ -1,0 +1,60 @@
+// Analytic 3D scenes for synthetic scan generation.
+//
+// The OctoMap 3D scan dataset the paper evaluates on (FR-079 corridor,
+// Freiburg campus, New College) is not redistributable here, so we
+// ray-trace analytic scenes shaped to reproduce the workload properties
+// that matter to the accelerator: total points, voxel updates per point
+// (mean ray length in cells), and the indoor/outdoor prune behaviour.
+// A scene is a set of primitives:
+//  * solid boxes  — obstacles hit from outside (walls, buildings, crates)
+//  * room shells  — enclosures whose *interior* surface stops rays cast
+//                   from inside (corridor walls, bounding terrain box)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace omu::data {
+
+/// Scene primitive kinds (see file comment).
+enum class PrimitiveKind {
+  kSolidBox,   ///< ray stops at the box's entry face
+  kRoomShell,  ///< ray cast from inside stops at the box's exit face
+};
+
+/// One scene primitive.
+struct Primitive {
+  PrimitiveKind kind = PrimitiveKind::kSolidBox;
+  geom::Aabb box;
+};
+
+/// A ray-traceable static scene.
+class Scene {
+ public:
+  void add_solid_box(const geom::Aabb& box) {
+    primitives_.push_back(Primitive{PrimitiveKind::kSolidBox, box});
+  }
+  void add_room_shell(const geom::Aabb& box) {
+    primitives_.push_back(Primitive{PrimitiveKind::kRoomShell, box});
+  }
+
+  const std::vector<Primitive>& primitives() const { return primitives_; }
+  std::size_t size() const { return primitives_.size(); }
+
+  /// Casts a ray from `origin` along unit `dir`; returns the distance to
+  /// the first surface within `max_range`, or std::nullopt if nothing is
+  /// hit. Surfaces behind the origin are ignored.
+  std::optional<double> cast_ray(const geom::Vec3d& origin, const geom::Vec3d& dir,
+                                 double max_range) const;
+
+  /// Metric bounds containing every primitive (empty scene: zero box).
+  geom::Aabb bounds() const;
+
+ private:
+  std::vector<Primitive> primitives_;
+};
+
+}  // namespace omu::data

@@ -1,0 +1,89 @@
+#include "data/scene_builder.hpp"
+
+namespace omu::data {
+
+Scene build_corridor_scene() {
+  Scene scene;
+  // World frame is sensor-centered (z=0 at the scanner), as in the
+  // original datasets; this also balances the octree's first-level
+  // octants across the 8 PEs.
+  // Main hallway: 36 m long, 3.0 m wide, 2.6 m tall. The sensor travels
+  // along the centerline, so lateral rays stop after ~1.7 m and only the
+  // narrow along-axis cone sees far walls — mean ray length ~2.3 m, which
+  // reproduces the FR-079 "voxel updates per point" statistic (~17/pt).
+  scene.add_room_shell(geom::Aabb{{-18, -1.5, -1.3}, {18, 1.5, 1.3}});
+  // Door niches and cabinets along the walls break up the flat surfaces so
+  // occupied voxels accumulate differing hit counts (less trivial pruning).
+  for (int i = -5; i <= 5; ++i) {
+    const double x = static_cast<double>(i) * 3.2;
+    scene.add_solid_box(geom::Aabb{{x - 0.3, -1.5, 0.0}, {x + 0.3, -1.15, 2.1}});
+    scene.add_solid_box(geom::Aabb{{x + 1.3, 1.15, 0.0}, {x + 1.9, 1.5, 1.4}});
+  }
+  // Overhead door frames partially cross the corridor, shortening some of
+  // the long axial rays (as real corridor door frames do).
+  scene.add_solid_box(geom::Aabb{{-4.9, -1.5, 0.65}, {-4.7, 1.5, 1.3}});
+  scene.add_solid_box(geom::Aabb{{4.7, -1.5, 0.65}, {4.9, 1.5, 1.3}});
+  // Free-standing obstacles (carts, boxes).
+  scene.add_solid_box(geom::Aabb{{-7.5, 0.7, -1.3}, {-6.9, 1.3, -0.4}});
+  scene.add_solid_box(geom::Aabb{{3.2, -1.2, -1.3}, {3.9, -0.6, -0.2}});
+  scene.add_solid_box(geom::Aabb{{7.6, 0.4, -1.3}, {8.1, 1, -0.5}});
+  return scene;
+}
+
+Scene build_campus_scene() {
+  Scene scene;
+  // Outdoor area 90 x 64 m bounded by an opaque shell (tree line /
+  // terrain horizon) 18 m high; the shell floor doubles as the ground
+  // plane. The mostly-downward scan pattern hits the ground at ~8-13 m and
+  // buildings interrupt the longer sight lines: ~7 m mean rays, matching
+  // the Freiburg-campus updates-per-point statistic (~51/pt).
+  scene.add_room_shell(geom::Aabb{{-45, -32, -0.98}, {45, 32, 17.02}});
+  // Buildings on a jittered grid around the trajectory loop.
+  const double bw = 10.0;
+  const double bd = 8.0;
+  for (int gx = -2; gx <= 2; ++gx) {
+    for (int gy = -1; gy <= 1; ++gy) {
+      if (gx == 0 && gy == 0) continue;  // central plaza stays open
+      const double cx = static_cast<double>(gx) * 17.0 + (gy % 2 == 0 ? 2.5 : -2.0);
+      const double cy = static_cast<double>(gy) * 20.0 + (gx % 2 == 0 ? 2.0 : -1.5);
+      const double h = 6.0 + 2.0 * ((gx + 2 + gy + 1) % 3);
+      scene.add_solid_box(
+          geom::Aabb{{cx - bw / 2, cy - bd / 2, 0.0}, {cx + bw / 2, cy + bd / 2, h}});
+    }
+  }
+  // Scattered street furniture / kiosks shorten some rays.
+  scene.add_solid_box(geom::Aabb{{8, 10, -0.98}, {9.2, 11.2, 1.22}});
+  scene.add_solid_box(geom::Aabb{{-14, -12, -0.98}, {-12.6, -10.8, 1.02}});
+  scene.add_solid_box(geom::Aabb{{24, -8, -0.98}, {25.5, -6.4, 1.52}});
+  scene.add_solid_box(geom::Aabb{{-30, 14, -0.98}, {-28.8, 15.4, 0.82}});
+  return scene;
+}
+
+Scene build_new_college_scene() {
+  Scene scene;
+  // Courtyard-like outdoor area 64 x 64 m with a 12 m ceiling/horizon and
+  // a dense population of walls and vegetation clusters: mean rays ~4 m
+  // (between the corridor and campus regimes), matching New College
+  // (~31 updates/pt with its sparse 156-point scans).
+  scene.add_room_shell(geom::Aabb{{-32, -32, -0.62}, {32, 32, 11.38}});
+  // Long freestanding walls partition the space.
+  scene.add_solid_box(geom::Aabb{{-25, -6, -0.62}, {-5, -5.4, 2.38}});
+  scene.add_solid_box(geom::Aabb{{5, 5.2, -0.62}, {26, 5.8, 2.38}});
+  scene.add_solid_box(geom::Aabb{{-6.2, -28, -0.62}, {-5.6, -8, 1.98}});
+  scene.add_solid_box(geom::Aabb{{6.4, 8, -0.62}, {7, 28, 1.98}});
+  scene.add_solid_box(geom::Aabb{{-28, 18, -0.62}, {-10, 18.6, 1.78}});
+  scene.add_solid_box(geom::Aabb{{10, -18.6, -0.62}, {28, -18, 1.78}});
+  // Vegetation clusters (hedges, trees) as chunky boxes, densely placed.
+  const double positions[][2] = {
+      {-18, 12}, {-10, 22},  {4, 18},    {14, 12},  {20, -4},  {12, -14}, {-2, -18},
+      {-14, -14}, {-22, -24}, {22, 24},  {-26, 2},  {26, 8},   {0, 26},   {-28, -8},
+      {16, -24},  {-8, 6},    {8, -6},   {-16, 0},  {18, 2},   {0, 10},   {-4, -8},
+      {24, -14},  {-24, 14},  {10, 26},  {-12, -26}};
+  for (const auto& p : positions) {
+    scene.add_solid_box(
+        geom::Aabb{{p[0] - 1.6, p[1] - 1.6, 0.0}, {p[0] + 1.6, p[1] + 1.6, 2.8}});
+  }
+  return scene;
+}
+
+}  // namespace omu::data

@@ -1,0 +1,26 @@
+// Builders for the three evaluation scenes (paper Table II).
+//
+// Scene dimensions are chosen so the mean voxel updates per point at 0.2 m
+// resolution match the paper's workload statistics:
+//   FR-079 corridor:   101e6 / 5.9e6  ~ 17.1 updates/point (indoor, short rays)
+//   Freiburg campus:  1031e6 / 20.1e6 ~ 51.3 updates/point (outdoor, long rays)
+//   New College:       449e6 / 14.5e6 ~ 31.0 updates/point (outdoor, sparse)
+#pragma once
+
+#include "data/scene.hpp"
+
+namespace omu::data {
+
+/// Indoor corridor (FR-079): a long narrow hallway with door niches and
+/// cabinets; rays terminate within a few metres.
+Scene build_corridor_scene();
+
+/// Outdoor campus (Freiburg campus): ground plane with scattered buildings
+/// and an outer boundary; rays run tens of metres.
+Scene build_campus_scene();
+
+/// Outdoor path (New College): winding route between walls and vegetation
+/// clusters with medium-length rays.
+Scene build_new_college_scene();
+
+}  // namespace omu::data

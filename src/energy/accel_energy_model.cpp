@@ -1,0 +1,37 @@
+#include "energy/accel_energy_model.hpp"
+
+namespace omu::energy {
+
+EnergyBreakdown AcceleratorEnergyModel::energy(const accel::OmuAccelerator& omu) const {
+  const double seconds = omu.totals().seconds(omu.config().clock_hz);
+  return energy_from_counts(omu.sram_reads(), omu.sram_writes(),
+                            omu.aggregate_cycles().map_update_total(), seconds,
+                            omu.config().total_sram_bytes());
+}
+
+EnergyBreakdown AcceleratorEnergyModel::energy_from_counts(uint64_t sram_reads,
+                                                           uint64_t sram_writes,
+                                                           uint64_t pe_busy_cycles,
+                                                           double seconds,
+                                                           std::size_t sram_bytes) const {
+  constexpr double kPjToJ = 1e-12;
+  constexpr double kMwToW = 1e-3;
+  EnergyBreakdown e;
+  e.sram_dynamic_j = (static_cast<double>(sram_reads) * tech_.sram_read_energy_pj +
+                      static_cast<double>(sram_writes) * tech_.sram_write_energy_pj) *
+                     kPjToJ;
+  const double sram_kib = static_cast<double>(sram_bytes) / 1024.0;
+  e.sram_leakage_j = sram_kib * tech_.sram_leakage_mw_per_kib * kMwToW * seconds;
+  e.logic_dynamic_j =
+      static_cast<double>(pe_busy_cycles) * tech_.logic_energy_per_cycle_pj * kPjToJ;
+  e.logic_leakage_j = tech_.logic_leakage_mw * kMwToW * seconds;
+  return e;
+}
+
+double AcceleratorEnergyModel::average_power_w(const accel::OmuAccelerator& omu) const {
+  const double seconds = omu.totals().seconds(omu.config().clock_hz);
+  if (seconds <= 0.0) return 0.0;
+  return energy(omu).total_j() / seconds;
+}
+
+}  // namespace omu::energy

@@ -1,0 +1,7 @@
+#include "energy/area_model.hpp"
+
+namespace omu::energy {
+
+static_assert(sizeof(AreaModel) > 0);
+
+}  // namespace omu::energy

@@ -1,0 +1,37 @@
+// Area model for the accelerator floorplan (paper Fig. 8: 2.0 x 1.25 mm =
+// 2.5 mm^2 for 8 PEs with 256 KiB each in 12 nm).
+#pragma once
+
+#include "accel/omu_config.hpp"
+#include "energy/tech_params.hpp"
+
+namespace omu::energy {
+
+/// Area split of the accelerator.
+struct AreaBreakdown {
+  double sram_mm2 = 0.0;       ///< all TreeMem macros
+  double pe_logic_mm2 = 0.0;   ///< PE update FSMs + prune address managers
+  double top_logic_mm2 = 0.0;  ///< scheduler, ray caster, query unit, AXI
+
+  double total_mm2() const { return sram_mm2 + pe_logic_mm2 + top_logic_mm2; }
+};
+
+/// Computes the floorplan area of a configuration.
+class AreaModel {
+ public:
+  explicit AreaModel(TechParams tech = TechParams::commercial_12nm()) : tech_(tech) {}
+
+  AreaBreakdown area(const accel::OmuConfig& cfg) const {
+    AreaBreakdown a;
+    const double sram_kib = static_cast<double>(cfg.total_sram_bytes()) / 1024.0;
+    a.sram_mm2 = sram_kib * tech_.sram_area_mm2_per_kib;
+    a.pe_logic_mm2 = static_cast<double>(cfg.pe_count) * tech_.pe_logic_area_mm2;
+    a.top_logic_mm2 = tech_.top_logic_area_mm2;
+    return a;
+  }
+
+ private:
+  TechParams tech_;
+};
+
+}  // namespace omu::energy

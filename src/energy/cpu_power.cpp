@@ -1,0 +1,7 @@
+#include "energy/cpu_power.hpp"
+
+namespace omu::energy {
+
+static_assert(sizeof(CpuPowerModel) > 0);
+
+}  // namespace omu::energy

@@ -1,0 +1,10 @@
+// TechParams is a plain constant aggregate; this translation unit exists
+// so the omu_energy library always has at least one object file for the
+// header (and gives the linker a home if out-of-line members are added).
+#include "energy/tech_params.hpp"
+
+namespace omu::energy {
+
+static_assert(sizeof(TechParams) > 0);
+
+}  // namespace omu::energy

@@ -1,0 +1,45 @@
+// 12 nm technology parameters for the energy and area models.
+//
+// The paper reports post-P&R numbers from a commercial 12 nm flow we cannot
+// run (Sec. VI-A): 250.8 mW total at 1 GHz / 0.8 V with 91% of power in
+// SRAM access, and 2.5 mm^2 for the 8-PE accelerator with 2 MiB of SRAM
+// (Fig. 8). We substitute an analytic model — energy per SRAM access,
+// energy per active logic cycle, leakage per capacity — with constants
+// chosen inside published 12/14/16 nm ranges and calibrated so the modeled
+// design point lands on the paper's reported power and area. The model
+// then *predicts* (rather than fits) how energy scales with access counts
+// across datasets and ablations.
+#pragma once
+
+namespace omu::energy {
+
+/// Technology constants (energies in picojoules, powers in milliwatts,
+/// areas in mm^2).
+struct TechParams {
+  // -- SRAM (per 64-bit access of a 32 KiB single-port bank) --------------
+  double sram_read_energy_pj = 26.2;
+  double sram_write_energy_pj = 29.0;
+  /// Leakage per KiB of SRAM capacity.
+  double sram_leakage_mw_per_kib = 0.009;
+
+  // -- Logic ---------------------------------------------------------------
+  /// Dynamic energy per PE-active cycle (FSM + comparator tree + ALU).
+  double logic_energy_per_cycle_pj = 2.6;
+  /// Static leakage of all accelerator logic (PEs + scheduler + top).
+  double logic_leakage_mw = 3.0;
+
+  // -- Area -----------------------------------------------------------------
+  /// High-density 12 nm SRAM macro area per KiB (including periphery).
+  double sram_area_mm2_per_kib = 0.00078;
+  /// Synthesized logic area of one PE (update FSM, address generation,
+  /// prune address manager).
+  double pe_logic_area_mm2 = 0.085;
+  /// Top-level logic: voxel scheduler, ray casting unit, query unit,
+  /// controller, AXI interface.
+  double top_logic_area_mm2 = 0.21;
+
+  /// The calibration target used in this reproduction (see file comment).
+  static TechParams commercial_12nm() { return TechParams{}; }
+};
+
+}  // namespace omu::energy

@@ -1,0 +1,87 @@
+// Axis-aligned bounding boxes, used both as scene primitives (the synthetic
+// dataset generator ray-traces against boxes) and as spatial filters for
+// map queries.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "geom/vec3.hpp"
+
+namespace omu::geom {
+
+/// Axis-aligned box [min, max] in world coordinates (metres).
+struct Aabb {
+  Vec3d min = Vec3d::zero();
+  Vec3d max = Vec3d::zero();
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3d& mn, const Vec3d& mx) : min(mn), max(mx) {}
+
+  /// Builds a box from center and full side lengths.
+  static constexpr Aabb from_center_size(const Vec3d& center, const Vec3d& size) {
+    return Aabb{center - size * 0.5, center + size * 0.5};
+  }
+
+  constexpr Vec3d center() const { return (min + max) * 0.5; }
+  constexpr Vec3d size() const { return max - min; }
+
+  constexpr bool contains(const Vec3d& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y && p.z >= min.z &&
+           p.z <= max.z;
+  }
+
+  constexpr bool valid() const { return min.x <= max.x && min.y <= max.y && min.z <= max.z; }
+
+  /// Grows the box to include point `p`.
+  void expand_to(const Vec3d& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    min.z = std::min(min.z, p.z);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+    max.z = std::max(max.z, p.z);
+  }
+
+  constexpr bool intersects(const Aabb& o) const {
+    return min.x <= o.max.x && max.x >= o.min.x && min.y <= o.max.y && max.y >= o.min.y &&
+           min.z <= o.max.z && max.z >= o.min.z;
+  }
+};
+
+/// Interval of ray parameters [t_enter, t_exit] for a slab intersection.
+struct RayHitInterval {
+  double t_enter = 0.0;
+  double t_exit = 0.0;
+};
+
+/// Slab test: intersects the ray `origin + t * dir` (t >= 0) with the box.
+///
+/// Returns the parametric entry/exit interval clipped to t >= 0, or
+/// std::nullopt if the ray misses the box entirely. `dir` need not be
+/// normalized; the returned t values are in units of |dir|.
+inline std::optional<RayHitInterval> intersect_ray_aabb(const Vec3d& origin, const Vec3d& dir,
+                                                        const Aabb& box) {
+  double t_lo = 0.0;
+  double t_hi = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < 3; ++axis) {
+    const double o = origin[axis];
+    const double d = dir[axis];
+    const double mn = box.min[axis];
+    const double mx = box.max[axis];
+    if (std::abs(d) < 1e-300) {
+      if (o < mn || o > mx) return std::nullopt;
+      continue;
+    }
+    double t0 = (mn - o) / d;
+    double t1 = (mx - o) / d;
+    if (t0 > t1) std::swap(t0, t1);
+    t_lo = std::max(t_lo, t0);
+    t_hi = std::min(t_hi, t1);
+    if (t_lo > t_hi) return std::nullopt;
+  }
+  return RayHitInterval{t_lo, t_hi};
+}
+
+}  // namespace omu::geom

@@ -1,0 +1,85 @@
+// Q5.10 fixed-point log-odds arithmetic.
+//
+// The OMU node word (paper Fig. 5) stores the occupancy probability of a
+// node as a 16-bit fixed-point log-odds value, "chosen to have zero loss
+// from the floating-point maps" (Sec. IV-B).  We use a signed Q5.10 format
+// (1 sign bit, 5 integer bits, 10 fractional bits): the OctoMap default
+// clamping range [-2.0, +3.5] and the hit/miss increments (+0.85 / -0.4)
+// are all representable with < 2^-11 quantization error, and the software
+// baseline can run in the same representation so hardware/software
+// equivalence tests can demand bit-exact agreement.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace omu::geom {
+
+/// 16-bit signed fixed-point value with 10 fractional bits (Q5.10).
+///
+/// This is a value type wrapping the raw integer representation used in the
+/// accelerator's 64-bit node word; all arithmetic saturates to the int16
+/// range so hardware overflow behaviour is explicit.
+class Fixed16 {
+ public:
+  static constexpr int kFractionalBits = 10;
+  static constexpr int32_t kOne = 1 << kFractionalBits;  // 1.0 in raw units
+
+  constexpr Fixed16() = default;
+
+  /// Constructs from the raw two's-complement representation.
+  static constexpr Fixed16 from_raw(int16_t raw) {
+    Fixed16 f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Converts a floating-point value with round-to-nearest; saturates.
+  static Fixed16 from_float(float v) {
+    const float scaled = v * static_cast<float>(kOne);
+    const long r = std::lroundf(scaled);
+    return from_raw(saturate(static_cast<int32_t>(r)));
+  }
+
+  constexpr int16_t raw() const { return raw_; }
+  constexpr float to_float() const {
+    return static_cast<float>(raw_) / static_cast<float>(kOne);
+  }
+
+  /// Saturating addition: the result clips to [-32768, 32767] raw units,
+  /// exactly as a hardware adder with saturation logic would behave.
+  constexpr Fixed16 saturating_add(Fixed16 o) const {
+    const int32_t sum = static_cast<int32_t>(raw_) + static_cast<int32_t>(o.raw_);
+    return from_raw(saturate(sum));
+  }
+
+  /// Clamps into [lo, hi] (both inclusive). Used for OctoMap's clamping
+  /// thresholds which keep pruned regions stable.
+  constexpr Fixed16 clamp(Fixed16 lo, Fixed16 hi) const {
+    return from_raw(std::clamp(raw_, lo.raw_, hi.raw_));
+  }
+
+  constexpr bool operator==(const Fixed16&) const = default;
+  constexpr auto operator<=>(const Fixed16&) const = default;
+
+ private:
+  static constexpr int16_t saturate(int32_t v) {
+    constexpr int32_t lo = std::numeric_limits<int16_t>::min();
+    constexpr int32_t hi = std::numeric_limits<int16_t>::max();
+    return static_cast<int16_t>(std::clamp(v, lo, hi));
+  }
+
+  int16_t raw_ = 0;
+};
+
+/// Log-odds <-> probability conversions (paper Eq. 1).
+///
+/// `log_odds(p) = log(p / (1 - p))`; natural logarithm, matching OctoMap.
+inline float log_odds_from_probability(float p) { return std::log(p / (1.0f - p)); }
+
+/// Inverse of log_odds_from_probability: `p = 1 / (1 + exp(-l))`.
+inline float probability_from_log_odds(float l) { return 1.0f / (1.0f + std::exp(-l)); }
+
+}  // namespace omu::geom

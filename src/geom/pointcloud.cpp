@@ -1,0 +1,25 @@
+#include "geom/pointcloud.hpp"
+
+#include <limits>
+
+namespace omu::geom {
+
+void PointCloud::transform(const Pose& pose) {
+  for (Vec3f& p : points_) {
+    p = pose.transform(p.cast<double>()).cast<float>();
+  }
+}
+
+Aabb PointCloud::bounds() const {
+  if (points_.empty()) return Aabb{};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Aabb box{{kInf, kInf, kInf}, {-kInf, -kInf, -kInf}};
+  for (const Vec3f& p : points_) box.expand_to(p.cast<double>());
+  return box;
+}
+
+void PointCloud::append(const PointCloud& other) {
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+}
+
+}  // namespace omu::geom

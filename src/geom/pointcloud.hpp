@@ -1,0 +1,55 @@
+// Point cloud container: one 3D laser/depth scan worth of measurement
+// endpoints, expressed either in the sensor frame or the world frame.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/pose.hpp"
+#include "geom/vec3.hpp"
+
+namespace omu::geom {
+
+/// A batch of 3D measurement endpoints (paper Fig. 1: "Point Cloud").
+///
+/// Stored as float32 points, matching the precision of real sensor
+/// streams; the map integration converts to voxel keys immediately so the
+/// storage type does not affect map content at 0.2 m resolution.
+class PointCloud {
+ public:
+  PointCloud() = default;
+  explicit PointCloud(std::vector<Vec3f> points) : points_(std::move(points)) {}
+
+  void reserve(std::size_t n) { points_.reserve(n); }
+  void push_back(const Vec3f& p) { points_.push_back(p); }
+  void clear() { points_.clear(); }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const Vec3f& operator[](std::size_t i) const { return points_[i]; }
+  Vec3f& operator[](std::size_t i) { return points_[i]; }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+  auto begin() { return points_.begin(); }
+  auto end() { return points_.end(); }
+
+  const std::vector<Vec3f>& points() const { return points_; }
+
+  /// Applies a rigid transform to every point (sensor frame -> world frame).
+  void transform(const Pose& pose);
+
+  /// Axis-aligned bounds of the cloud; an empty cloud yields an
+  /// empty/invalid box at the origin.
+  Aabb bounds() const;
+
+  /// Appends all points of `other`.
+  void append(const PointCloud& other);
+
+ private:
+  std::vector<Vec3f> points_;
+};
+
+}  // namespace omu::geom

@@ -1,0 +1,106 @@
+// Rigid-body sensor poses (SE(3)) for scan origins.
+//
+// The dataset generator moves a virtual range sensor through an analytic
+// scene; each scan records the sensor pose, and the map integrates the
+// point cloud expressed in world coordinates. Rotations are kept as
+// yaw/pitch/roll because scan trajectories in the reproduced datasets are
+// planar or gently banked; the composed rotation matrix is cached for
+// fast point transformation.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "geom/vec3.hpp"
+
+namespace omu::geom {
+
+/// 3x3 row-major rotation matrix.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  constexpr double at(int r, int c) const { return m[static_cast<std::size_t>(r * 3 + c)]; }
+
+  constexpr Vec3d operator*(const Vec3d& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z, m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += at(i, k) * o.at(k, j);
+        r.m[static_cast<std::size_t>(i * 3 + j)] = s;
+      }
+    }
+    return r;
+  }
+
+  constexpr Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[static_cast<std::size_t>(i * 3 + j)] = at(j, i);
+    return r;
+  }
+
+  /// Rotation about +z by `yaw` radians (right-handed).
+  static Mat3 rot_z(double yaw) {
+    const double c = std::cos(yaw);
+    const double s = std::sin(yaw);
+    Mat3 r;
+    r.m = {c, -s, 0, s, c, 0, 0, 0, 1};
+    return r;
+  }
+
+  /// Rotation about +y by `pitch` radians.
+  static Mat3 rot_y(double pitch) {
+    const double c = std::cos(pitch);
+    const double s = std::sin(pitch);
+    Mat3 r;
+    r.m = {c, 0, s, 0, 1, 0, -s, 0, c};
+    return r;
+  }
+
+  /// Rotation about +x by `roll` radians.
+  static Mat3 rot_x(double roll) {
+    const double c = std::cos(roll);
+    const double s = std::sin(roll);
+    Mat3 r;
+    r.m = {1, 0, 0, 0, c, -s, 0, s, c};
+    return r;
+  }
+};
+
+/// Sensor pose: translation plus yaw/pitch/roll orientation.
+class Pose {
+ public:
+  Pose() = default;
+
+  Pose(const Vec3d& translation, double yaw, double pitch = 0.0, double roll = 0.0)
+      : translation_(translation), yaw_(yaw), pitch_(pitch), roll_(roll) {
+    rotation_ = Mat3::rot_z(yaw) * Mat3::rot_y(pitch) * Mat3::rot_x(roll);
+  }
+
+  const Vec3d& translation() const { return translation_; }
+  double yaw() const { return yaw_; }
+  double pitch() const { return pitch_; }
+  double roll() const { return roll_; }
+  const Mat3& rotation() const { return rotation_; }
+
+  /// Transforms a point from the sensor frame into the world frame.
+  Vec3d transform(const Vec3d& p_sensor) const { return rotation_ * p_sensor + translation_; }
+
+  /// Rotates a direction from the sensor frame into the world frame.
+  Vec3d rotate(const Vec3d& d_sensor) const { return rotation_ * d_sensor; }
+
+ private:
+  Vec3d translation_ = Vec3d::zero();
+  double yaw_ = 0.0;
+  double pitch_ = 0.0;
+  double roll_ = 0.0;
+  Mat3 rotation_;
+};
+
+}  // namespace omu::geom

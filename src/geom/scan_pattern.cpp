@@ -1,0 +1,29 @@
+#include "geom/scan_pattern.hpp"
+
+#include <cmath>
+
+namespace omu::geom {
+
+std::vector<Vec3f> make_scan_directions(const ScanPatternSpec& spec) {
+  std::vector<Vec3f> dirs;
+  dirs.reserve(spec.ray_count());
+  const std::size_t n_el = spec.elevation_steps;
+  const std::size_t n_az = spec.azimuth_steps;
+  for (std::size_t ei = 0; ei < n_el; ++ei) {
+    // Center samples inside the interval so a single-ring pattern points
+    // at the interval midpoint instead of its lower edge.
+    const double fe = (static_cast<double>(ei) + 0.5) / static_cast<double>(n_el);
+    const double el = spec.elevation_start_rad + fe * (spec.elevation_end_rad - spec.elevation_start_rad);
+    const double ce = std::cos(el);
+    const double se = std::sin(el);
+    for (std::size_t ai = 0; ai < n_az; ++ai) {
+      const double fa = (static_cast<double>(ai) + 0.5) / static_cast<double>(n_az);
+      const double az = spec.azimuth_start_rad + fa * (spec.azimuth_end_rad - spec.azimuth_start_rad);
+      dirs.push_back(Vec3f{static_cast<float>(ce * std::cos(az)),
+                           static_cast<float>(ce * std::sin(az)), static_cast<float>(se)});
+    }
+  }
+  return dirs;
+}
+
+}  // namespace omu::geom

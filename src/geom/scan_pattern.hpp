@@ -1,0 +1,37 @@
+// Sensor scan patterns: the set of ray directions (in the sensor frame)
+// emitted by one scan of a virtual range sensor.
+//
+// The reproduced datasets come from two sensor classes: sweeping 3D laser
+// scanners producing dense near-spherical scans (FR-079 corridor, Freiburg
+// campus) and a sparse push-broom laser producing ~156 points per "scan"
+// (New College). Both are modeled as azimuth x elevation grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace omu::geom {
+
+/// Parameters of an azimuth/elevation grid scan pattern.
+struct ScanPatternSpec {
+  std::size_t azimuth_steps = 360;      ///< rays per elevation ring
+  std::size_t elevation_steps = 100;    ///< number of elevation rings
+  double azimuth_start_rad = -3.14159265358979323846;
+  double azimuth_end_rad = 3.14159265358979323846;
+  double elevation_start_rad = -0.5;    ///< radians below horizon (negative = down)
+  double elevation_end_rad = 0.5;       ///< radians above horizon
+
+  std::size_t ray_count() const { return azimuth_steps * elevation_steps; }
+};
+
+/// Generates the unit ray directions of a grid scan pattern in the sensor
+/// frame (+x forward, +y left, +z up).
+///
+/// Directions are emitted elevation-major so consecutive rays sweep in
+/// azimuth, matching a spinning scanner; this ordering also exercises the
+/// accelerator's voxel scheduler with realistic spatial locality.
+std::vector<Vec3f> make_scan_directions(const ScanPatternSpec& spec);
+
+}  // namespace omu::geom

@@ -1,0 +1,107 @@
+// Minimal 3D vector math used throughout the OMU reproduction.
+//
+// The mapping pipeline only needs a small, predictable subset of linear
+// algebra (component arithmetic, dot/cross, norms), so we implement it
+// directly instead of pulling in a large dependency.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace omu::geom {
+
+/// A 3-component vector over an arithmetic scalar type.
+///
+/// `Vec3<float>` (`Vec3f`) is the working type for point clouds and scene
+/// geometry; `Vec3<double>` (`Vec3d`) is used where accumulated error
+/// matters (pose composition, scene ray tracing).
+template <typename T>
+struct Vec3 {
+  T x{};
+  T y{};
+  T z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_in, T y_in, T z_in) : x(x_in), y(y_in), z(z_in) {}
+
+  /// Component access by axis index (0=x, 1=y, 2=z).
+  constexpr T operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  /// Component-wise product (useful for anisotropic scaling).
+  constexpr Vec3 cwise_mul(const Vec3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  constexpr T squared_norm() const { return dot(*this); }
+  T norm() const { return std::sqrt(squared_norm()); }
+
+  /// Unit vector in the same direction. Precondition: norm() > 0.
+  Vec3 normalized() const {
+    const T n = norm();
+    return {x / n, y / n, z / n};
+  }
+
+  template <typename U>
+  constexpr Vec3<U> cast() const {
+    return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+  }
+
+  static constexpr Vec3 zero() { return {T{0}, T{0}, T{0}}; }
+  static constexpr Vec3 unit_x() { return {T{1}, T{0}, T{0}}; }
+  static constexpr Vec3 unit_y() { return {T{0}, T{1}, T{0}}; }
+  static constexpr Vec3 unit_z() { return {T{0}, T{0}, T{1}}; }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+
+/// Euclidean distance between two points.
+template <typename T>
+T distance(const Vec3<T>& a, const Vec3<T>& b) {
+  return (a - b).norm();
+}
+
+}  // namespace omu::geom

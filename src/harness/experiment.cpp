@@ -1,0 +1,256 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "map/scan_inserter.hpp"
+
+namespace omu::harness {
+
+namespace {
+
+/// Fills the four phase fractions of a CPU platform result.
+void fill_cpu_fractions(PlatformResult& r, const cpumodel::CpuPhaseBreakdown& b) {
+  r.frac_ray_cast = b.ray_cast_frac();
+  r.frac_update_leaf = b.update_leaf_frac();
+  r.frac_update_parents = b.update_parents_frac();
+  r.frac_prune_expand = b.prune_expand_frac();
+}
+
+}  // namespace
+
+ExperimentOptions ExperimentOptions::from_env() {
+  ExperimentOptions opt;
+  if (const char* s = std::getenv("OMU_DATASET_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) opt.scale = v;
+  }
+  if (const char* s = std::getenv("OMU_SEED")) {
+    opt.seed = static_cast<uint64_t>(std::atoll(s));
+  }
+  return opt;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentOptions options) : options_(options) {}
+
+ExperimentResult ExperimentRunner::run(data::DatasetId id) const {
+  const data::SyntheticDataset dataset(id, options_.scale, options_.seed);
+
+  ExperimentResult result;
+  result.id = id;
+  result.name = dataset.name();
+  result.scale = options_.scale;
+
+  // Accelerator configuration (capacity note in the header).
+  accel::OmuConfig cfg = options_.omu_config;
+  cfg.resolution = 0.2;
+  if (options_.enlarge_rows_for_capacity) cfg.rows_per_bank = options_.enlarged_rows_per_bank;
+  accel::OmuAccelerator omu(cfg);
+
+  // Software baseline with the same quantized parameters.
+  map::OccupancyOctree tree(cfg.resolution, cfg.params);
+  map::ScanInserter inserter(tree);
+
+  std::vector<map::VoxelUpdate> updates;
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    const data::DatasetScan scan = dataset.scan(i);
+    result.measured.points += scan.points.size();
+
+    // One ray-casting pass defines the identical update stream for both
+    // platforms.
+    updates.clear();
+    inserter.collect_updates(scan.points, scan.pose.translation(), updates);
+    inserter.apply_updates(updates);
+    // Scans stream through the accelerator back-to-back (feed per scan,
+    // one flush at the end), as in a deployed pipeline.
+    omu.feed_updates(updates);
+    result.measured.voxel_updates += updates.size();
+  }
+  omu.flush();
+  result.measured.scans = dataset.scan_count();
+  result.measured.map_stats = tree.stats();
+  result.measured.leaf_nodes = tree.leaf_count();
+  result.measured.inner_nodes = tree.inner_count();
+  result.measured.updates_per_point =
+      result.measured.points > 0
+          ? static_cast<double>(result.measured.voxel_updates) /
+                static_cast<double>(result.measured.points)
+          : 0.0;
+
+  // Extrapolation: full-size points at the same updates/point.
+  result.full_points = dataset.paper().total_points;
+  result.full_updates = result.full_points * result.measured.updates_per_point;
+  result.extrapolation = result.measured.voxel_updates > 0
+                             ? result.full_updates /
+                                   static_cast<double>(result.measured.voxel_updates)
+                             : 1.0;
+
+  // ---- CPU platforms (cost models over measured counts) -----------------
+  const cpumodel::CpuCostModel i9_model(cpumodel::CpuCostParams::intel_i9_9940x());
+  const cpumodel::CpuCostModel a57_model(cpumodel::CpuCostParams::arm_a57());
+  const auto i9_breakdown = i9_model.latency(result.measured.map_stats);
+  const auto a57_breakdown = a57_model.latency(result.measured.map_stats);
+
+  result.i9.name = "Intel i9 CPU";
+  result.i9.latency_s = i9_breakdown.total_s() * result.extrapolation;
+  fill_cpu_fractions(result.i9, i9_breakdown);
+  result.a57.name = "Arm A57 CPU";
+  result.a57.latency_s = a57_breakdown.total_s() * result.extrapolation;
+  fill_cpu_fractions(result.a57, a57_breakdown);
+
+  // FPS is rate-based and scale-invariant.
+  const double measured_updates = static_cast<double>(result.measured.voxel_updates);
+  result.i9.fps = fps_from_update_rate(measured_updates / i9_breakdown.total_s());
+  result.a57.fps = fps_from_update_rate(measured_updates / a57_breakdown.total_s());
+
+  // CPU power/energy.
+  const auto a57_power = energy::CpuPowerModel::arm_a57();
+  const auto i9_power = energy::CpuPowerModel::intel_i9();
+  result.a57.power_w = a57_power.average_w();
+  result.a57.energy_j = a57_power.energy_j(result.a57.latency_s);
+  result.i9.power_w = i9_power.average_w();
+  result.i9.energy_j = i9_power.energy_j(result.i9.latency_s);
+
+  // ---- OMU accelerator ---------------------------------------------------
+  const double omu_seconds_measured = omu.totals().seconds(cfg.clock_hz);
+  result.omu.name = "OMU accelerator";
+  result.omu.latency_s = omu_seconds_measured * result.extrapolation;
+  result.omu.fps = fps_from_update_rate(measured_updates / omu_seconds_measured);
+
+  // Energy: dynamic terms scale with counts; leakage with time. Leakage is
+  // charged for the paper's physical 2 MiB SRAM regardless of the enlarged
+  // modeling capacity (see capacity note).
+  const energy::AcceleratorEnergyModel energy_model;
+  constexpr std::size_t kPhysicalSramBytes = 2u * 1024u * 1024u;
+  const auto omu_energy = energy_model.energy_from_counts(
+      omu.sram_reads(), omu.sram_writes(), omu.aggregate_cycles().map_update_total(),
+      omu_seconds_measured, kPhysicalSramBytes);
+  result.omu.power_w = omu_seconds_measured > 0.0 ? omu_energy.total_j() / omu_seconds_measured
+                                                  : 0.0;
+  result.omu.energy_j = omu_energy.total_j() * result.extrapolation;
+
+  // Accelerator phase fractions (Fig. 10; ray casting is hidden).
+  const accel::PeCycleBreakdown phases = omu.aggregate_cycles();
+  const double phase_total = static_cast<double>(phases.map_update_total());
+  if (phase_total > 0.0) {
+    result.omu.frac_ray_cast = 0.0;
+    result.omu.frac_update_leaf = static_cast<double>(phases.update_leaf) / phase_total;
+    result.omu.frac_update_parents = static_cast<double>(phases.update_parents) / phase_total;
+    result.omu.frac_prune_expand = static_cast<double>(phases.prune_expand) / phase_total;
+  }
+
+  result.omu_details.map_cycles = omu.totals().map_cycles;
+  result.omu_details.cycles_per_update =
+      measured_updates > 0.0 ? static_cast<double>(omu.totals().map_cycles) / measured_updates
+                             : 0.0;
+  result.omu_details.pe_busy_cycles_per_update =
+      measured_updates > 0.0 ? static_cast<double>(phases.map_update_total()) / measured_updates
+                             : 0.0;
+  result.omu_details.sram_reads = omu.sram_reads();
+  result.omu_details.sram_writes = omu.sram_writes();
+  result.omu_details.sram_accesses_per_update =
+      measured_updates > 0.0
+          ? static_cast<double>(omu.sram_reads() + omu.sram_writes()) / measured_updates
+          : 0.0;
+  result.omu_details.rows_in_use = omu.rows_in_use();
+  result.omu_details.peak_rows = omu.peak_rows_touched();
+  result.omu_details.sram_power_fraction = omu_energy.sram_fraction();
+  result.omu_details.scheduler_stall_cycles = omu.totals().scheduler_stall_cycles;
+  result.omu_details.per_pe_updates = omu.scheduler().per_pe_dispatched();
+  for (std::size_t p = 0; p < omu.pe_count(); ++p) {
+    result.omu_details.per_pe_busy_cycles.push_back(
+        omu.pe(static_cast<int>(p)).cycles().map_update_total());
+  }
+
+  return result;
+}
+
+ExperimentResult ExperimentRunner::run_accelerator_only(data::DatasetId id,
+                                                        const accel::OmuConfig& config) const {
+  const data::SyntheticDataset dataset(id, options_.scale, options_.seed);
+
+  ExperimentResult result;
+  result.id = id;
+  result.name = dataset.name();
+  result.scale = options_.scale;
+
+  accel::OmuConfig cfg = config;
+  cfg.resolution = 0.2;
+  accel::OmuAccelerator omu(cfg);
+
+  // A throwaway tree provides the ScanInserter front-end for update
+  // collection (ray casting is platform-independent).
+  map::OccupancyOctree tree(cfg.resolution, cfg.params);
+  map::ScanInserter inserter(tree);
+
+  std::vector<map::VoxelUpdate> updates;
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    const data::DatasetScan scan = dataset.scan(i);
+    result.measured.points += scan.points.size();
+    updates.clear();
+    inserter.collect_updates(scan.points, scan.pose.translation(), updates);
+    omu.feed_updates(updates);
+    result.measured.voxel_updates += updates.size();
+  }
+  omu.flush();
+  result.measured.scans = dataset.scan_count();
+  result.measured.updates_per_point =
+      result.measured.points > 0
+          ? static_cast<double>(result.measured.voxel_updates) /
+                static_cast<double>(result.measured.points)
+          : 0.0;
+  result.full_points = dataset.paper().total_points;
+  result.full_updates = result.full_points * result.measured.updates_per_point;
+  result.extrapolation = result.measured.voxel_updates > 0
+                             ? result.full_updates /
+                                   static_cast<double>(result.measured.voxel_updates)
+                             : 1.0;
+
+  const double measured_updates = static_cast<double>(result.measured.voxel_updates);
+  const double omu_seconds = omu.totals().seconds(cfg.clock_hz);
+  result.omu.name = "OMU accelerator";
+  result.omu.latency_s = omu_seconds * result.extrapolation;
+  result.omu.fps = fps_from_update_rate(measured_updates / omu_seconds);
+
+  const energy::AcceleratorEnergyModel energy_model;
+  const auto omu_energy = energy_model.energy_from_counts(
+      omu.sram_reads(), omu.sram_writes(), omu.aggregate_cycles().map_update_total(),
+      omu_seconds, cfg.total_sram_bytes());
+  result.omu.power_w = omu_seconds > 0.0 ? omu_energy.total_j() / omu_seconds : 0.0;
+  result.omu.energy_j = omu_energy.total_j() * result.extrapolation;
+
+  const accel::PeCycleBreakdown phases = omu.aggregate_cycles();
+  const double phase_total = static_cast<double>(phases.map_update_total());
+  if (phase_total > 0.0) {
+    result.omu.frac_update_leaf = static_cast<double>(phases.update_leaf) / phase_total;
+    result.omu.frac_update_parents = static_cast<double>(phases.update_parents) / phase_total;
+    result.omu.frac_prune_expand = static_cast<double>(phases.prune_expand) / phase_total;
+  }
+
+  result.omu_details.map_cycles = omu.totals().map_cycles;
+  result.omu_details.cycles_per_update =
+      measured_updates > 0.0 ? static_cast<double>(omu.totals().map_cycles) / measured_updates
+                             : 0.0;
+  result.omu_details.pe_busy_cycles_per_update =
+      measured_updates > 0.0 ? static_cast<double>(phases.map_update_total()) / measured_updates
+                             : 0.0;
+  result.omu_details.sram_reads = omu.sram_reads();
+  result.omu_details.sram_writes = omu.sram_writes();
+  result.omu_details.sram_accesses_per_update =
+      measured_updates > 0.0
+          ? static_cast<double>(omu.sram_reads() + omu.sram_writes()) / measured_updates
+          : 0.0;
+  result.omu_details.rows_in_use = omu.rows_in_use();
+  result.omu_details.peak_rows = omu.peak_rows_touched();
+  result.omu_details.sram_power_fraction = omu_energy.sram_fraction();
+  result.omu_details.scheduler_stall_cycles = omu.totals().scheduler_stall_cycles;
+  result.omu_details.per_pe_updates = omu.scheduler().per_pe_dispatched();
+  for (std::size_t p = 0; p < omu.pe_count(); ++p) {
+    result.omu_details.per_pe_busy_cycles.push_back(
+        omu.pe(static_cast<int>(p)).cycles().map_update_total());
+  }
+
+  return result;
+}
+
+}  // namespace omu::harness

@@ -1,0 +1,58 @@
+#include "harness/map_quality.hpp"
+
+#include "geom/rng.hpp"
+
+namespace omu::harness {
+
+MapQuality evaluate_map_quality(const map::OccupancyOctree& map,
+                                const std::vector<data::DatasetScan>& eval_scans,
+                                double free_fraction) {
+  MapQuality q;
+  for (const data::DatasetScan& scan : eval_scans) {
+    const geom::Vec3d origin = scan.pose.translation();
+    for (const geom::Vec3f& pf : scan.points) {
+      const geom::Vec3d end = pf.cast<double>();
+      q.occupied_samples++;
+      if (map.classify(end) == map::Occupancy::kOccupied) q.occupied_correct++;
+
+      const geom::Vec3d mid = origin + (end - origin) * free_fraction;
+      // Skip degenerate rays whose midpoint shares the endpoint voxel.
+      const auto mid_key = map.coder().key_for(mid);
+      const auto end_key = map.coder().key_for(end);
+      if (!mid_key || !end_key || *mid_key == *end_key) continue;
+      q.free_samples++;
+      if (map.classify(*mid_key) == map::Occupancy::kFree) q.free_correct++;
+    }
+  }
+  return q;
+}
+
+double classification_agreement(const map::OccupancyOctree& a, const map::OccupancyOctree& b,
+                                const geom::Aabb& region_hint, uint64_t random_samples,
+                                uint64_t seed) {
+  uint64_t total = 0;
+  uint64_t agree = 0;
+
+  // Every leaf of A, evaluated in both maps (covers the known set).
+  a.for_each_leaf([&](const map::OcKey& key, int, float) {
+    ++total;
+    if (a.classify(key) == b.classify(key)) ++agree;
+  });
+  // And of B (catches cells unknown to A).
+  b.for_each_leaf([&](const map::OcKey& key, int, float) {
+    ++total;
+    if (a.classify(key) == b.classify(key)) ++agree;
+  });
+  // Random metric samples inside the region (covers unknown space).
+  geom::SplitMix64 rng(seed);
+  for (uint64_t i = 0; i < random_samples; ++i) {
+    const geom::Vec3d p{rng.uniform(region_hint.min.x, region_hint.max.x),
+                        rng.uniform(region_hint.min.y, region_hint.max.y),
+                        rng.uniform(region_hint.min.z, region_hint.max.z)};
+    ++total;
+    if (a.classify(p) == b.classify(p)) ++agree;
+  }
+  return total ? static_cast<double>(agree) / static_cast<double>(total) : 1.0;
+}
+
+}  // namespace omu::harness

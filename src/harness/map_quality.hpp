@@ -1,0 +1,60 @@
+// Map-quality evaluation against scene ground truth.
+//
+// The paper leans on two accuracy claims it inherits from OctoMap and its
+// own data layout: pruning loses no information (Sec. III-A: "can
+// significantly reduce the memory storage ... with no accuracy loss") and
+// the 16-bit fixed-point probability is "chosen to have zero loss from the
+// floating-point maps" (Sec. IV-B). This evaluator quantifies both: it
+// scores a built map against the analytic scene that generated the scans
+// (endpoint voxels should classify occupied, ray interiors free) and
+// compares classification agreement between map variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "map/occupancy_octree.hpp"
+
+namespace omu::harness {
+
+/// Classification score of a map against held-out evaluation scans.
+struct MapQuality {
+  uint64_t occupied_samples = 0;  ///< endpoint voxels tested
+  uint64_t occupied_correct = 0;  ///< ... classifying occupied
+  uint64_t free_samples = 0;      ///< ray-interior points tested
+  uint64_t free_correct = 0;      ///< ... classifying free
+
+  double occupied_accuracy() const {
+    return occupied_samples ? static_cast<double>(occupied_correct) /
+                                  static_cast<double>(occupied_samples)
+                            : 0.0;
+  }
+  double free_accuracy() const {
+    return free_samples ? static_cast<double>(free_correct) / static_cast<double>(free_samples)
+                        : 0.0;
+  }
+  double overall_accuracy() const {
+    const uint64_t total = occupied_samples + free_samples;
+    return total ? static_cast<double>(occupied_correct + free_correct) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Scores `map` against evaluation scans: each scan point's endpoint voxel
+/// should be occupied and the point at `free_fraction` of the ray should
+/// be free. Evaluation scans should come from the same scene/trajectory
+/// family as the training scans (use a different seed for held-out noise).
+MapQuality evaluate_map_quality(const map::OccupancyOctree& map,
+                                const std::vector<data::DatasetScan>& eval_scans,
+                                double free_fraction = 0.5);
+
+/// Fraction of sampled voxels on which two maps give the same
+/// classification (samples the union of both maps' leaf keys plus random
+/// voxels inside `region_hint`).
+double classification_agreement(const map::OccupancyOctree& a, const map::OccupancyOctree& b,
+                                const geom::Aabb& region_hint, uint64_t random_samples = 10000,
+                                uint64_t seed = 1);
+
+}  // namespace omu::harness

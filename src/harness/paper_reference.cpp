@@ -1,0 +1,70 @@
+#include "harness/paper_reference.hpp"
+
+#include <stdexcept>
+
+namespace omu::harness {
+
+PaperDatasetRef paper_reference(data::DatasetId id) {
+  PaperDatasetRef r;
+  switch (id) {
+    case data::DatasetId::kFr079Corridor:
+      r.name = "FR-079 corridor";
+      r.i9_latency_s = 16.8;
+      r.i9_fps = 5.23;
+      r.a57_latency_s = 81.7;
+      r.omu_latency_s = 1.31;
+      r.speedup_over_i9 = 12.8;
+      r.speedup_over_a57 = 62.4;
+      r.a57_fps = 1.07;
+      r.omu_fps = 63.66;
+      r.a57_energy_j = 227.2;
+      r.omu_energy_j = 0.32;
+      r.energy_benefit = 708.8;
+      r.cpu_frac_ray_cast = 0.01;
+      r.cpu_frac_update_leaf = 0.23;
+      r.cpu_frac_update_parents = 0.14;
+      r.cpu_frac_prune_expand = 0.61;
+      return r;
+    case data::DatasetId::kFreiburgCampus:
+      r.name = "Freiburg campus";
+      r.i9_latency_s = 177.7;
+      r.i9_fps = 5.03;
+      r.a57_latency_s = 897.2;
+      r.omu_latency_s = 14.4;
+      r.speedup_over_i9 = 12.3;
+      r.speedup_over_a57 = 62.2;
+      r.a57_fps = 1.0;
+      r.omu_fps = 62.05;
+      r.a57_energy_j = 2416.2;
+      r.omu_energy_j = 3.62;
+      r.energy_benefit = 668.1;
+      r.cpu_frac_ray_cast = 0.01;
+      r.cpu_frac_update_leaf = 0.26;
+      r.cpu_frac_update_parents = 0.16;
+      r.cpu_frac_prune_expand = 0.57;
+      return r;
+    case data::DatasetId::kNewCollege:
+      r.name = "New College";
+      r.i9_latency_s = 77.3;
+      r.i9_fps = 5.04;
+      r.a57_latency_s = 401.5;
+      r.omu_latency_s = 6.5;
+      r.speedup_over_i9 = 11.9;
+      r.speedup_over_a57 = 61.7;
+      r.a57_fps = 0.97;
+      r.omu_fps = 60.87;
+      r.a57_energy_j = 1147.4;
+      r.omu_energy_j = 1.63;
+      r.energy_benefit = 703.6;
+      r.cpu_frac_ray_cast = 0.02;
+      r.cpu_frac_update_leaf = 0.34;
+      r.cpu_frac_update_parents = 0.23;
+      r.cpu_frac_prune_expand = 0.41;
+      return r;
+  }
+  throw std::invalid_argument("unknown DatasetId");
+}
+
+PaperAcceleratorRef paper_accelerator_reference() { return PaperAcceleratorRef{}; }
+
+}  // namespace omu::harness

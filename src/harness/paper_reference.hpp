@@ -1,0 +1,61 @@
+// The paper's reported numbers (Tables II-V, Figs. 3, 9, 10), used by the
+// benches to print paper-vs-measured comparisons and by EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "data/datasets.hpp"
+
+namespace omu::harness {
+
+/// Per-dataset reference values from the paper.
+struct PaperDatasetRef {
+  std::string name;
+  // Table II.
+  double i9_latency_s = 0.0;
+  double i9_fps = 0.0;
+  // Table III.
+  double a57_latency_s = 0.0;
+  double omu_latency_s = 0.0;
+  double speedup_over_i9 = 0.0;
+  double speedup_over_a57 = 0.0;
+  // Table IV.
+  double a57_fps = 0.0;
+  double omu_fps = 0.0;
+  // Table V.
+  double a57_energy_j = 0.0;
+  double omu_energy_j = 0.0;
+  double energy_benefit = 0.0;
+  // Fig. 3 CPU runtime fractions (ray cast, update leaf, update parents,
+  // prune/expand).
+  double cpu_frac_ray_cast = 0.0;
+  double cpu_frac_update_leaf = 0.0;
+  double cpu_frac_update_parents = 0.0;
+  double cpu_frac_prune_expand = 0.0;
+};
+
+/// Reference values for one dataset.
+PaperDatasetRef paper_reference(data::DatasetId id);
+
+/// Accelerator-level constants reported in the paper.
+struct PaperAcceleratorRef {
+  double power_mw = 250.8;        ///< Sec. VI-C
+  double sram_power_fraction = 0.91;
+  double area_mm2 = 2.5;          ///< Fig. 8
+  double clock_ghz = 1.0;
+  double omu_prune_fraction_max = 0.20;  ///< Fig. 10: prune/expand < 20%
+  double realtime_fps = 30.0;     ///< real-time threshold referenced throughout
+};
+
+PaperAcceleratorRef paper_accelerator_reference();
+
+/// The paper's frame-equivalent conversion: every FPS number in Tables II
+/// and IV equals voxel_updates_per_second / 1.152e6 (a 320x240 frame at 15
+/// voxel updates per pixel). Verified against all 12 table entries.
+inline constexpr double kVoxelUpdatesPerFrame = 1.152e6;
+
+inline double fps_from_update_rate(double updates_per_second) {
+  return updates_per_second / kVoxelUpdatesPerFrame;
+}
+
+}  // namespace omu::harness

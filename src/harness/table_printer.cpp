@@ -1,0 +1,123 @@
+#include "harness/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace omu::harness {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_line = [&os, &widths] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << s << std::string(widths[c] - s.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  print_line();
+  print_cells(headers_);
+  print_line();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_line();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line();
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+std::string TablePrinter::fixed(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TablePrinter::percent(double fraction, int precision) {
+  return fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string TablePrinter::speedup(double ratio, int precision) {
+  return fixed(ratio, precision) + "x";
+}
+
+std::string TablePrinter::count(uint64_t v) {
+  // Thousands separators for readability.
+  const std::string raw = std::to_string(v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void print_bench_header(std::ostream& os, const std::string& experiment_id,
+                        const std::string& description, double scale) {
+  os << "==============================================================\n";
+  os << "OMU reproduction | " << experiment_id << '\n';
+  os << description << '\n';
+  os << "workload scale: " << TablePrinter::fixed(scale * 100.0, scale < 0.001 ? 2 : 1)
+     << "% of the full dataset (set OMU_DATASET_SCALE to change);\n"
+     << "latencies/energies are extrapolated to full size, rates (FPS,\n"
+     << "cycles/update, breakdown fractions) are measured directly.\n";
+  os << "==============================================================\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    os << headers[c] << (c + 1 < headers.size() ? "," : "");
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace omu::harness

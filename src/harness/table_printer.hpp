@@ -1,0 +1,51 @@
+// Fixed-width table printing for the bench harness, in the spirit of the
+// paper's tables: one row per dataset, paper value next to measured value.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omu::harness {
+
+/// A simple left/right-aligned fixed-width table.
+class TablePrinter {
+ public:
+  /// Column headers define the table width.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row (padded/truncated to the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  // -- cell formatting helpers --------------------------------------------
+  static std::string fixed(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 0);
+  static std::string speedup(double ratio, int precision = 1);
+  static std::string count(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Prints a standard bench banner: which table/figure of the paper this
+/// binary regenerates, plus workload scale notes.
+void print_bench_header(std::ostream& os, const std::string& experiment_id,
+                        const std::string& description, double scale);
+
+/// Writes rows as CSV (no quoting needed for our numeric content).
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace omu::harness

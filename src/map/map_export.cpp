@@ -1,0 +1,103 @@
+#include "map/map_export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace omu::map {
+
+void write_occupancy_slice_pgm(const OccupancyOctree& tree, double z, const geom::Aabb& region,
+                               std::ostream& os, std::size_t* width_out,
+                               std::size_t* height_out) {
+  const KeyCoder& coder = tree.coder();
+  const double res = coder.resolution();
+  const auto width = static_cast<std::size_t>(std::max(1.0, std::ceil(region.size().x / res)));
+  const auto height = static_cast<std::size_t>(std::max(1.0, std::ceil(region.size().y / res)));
+  if (width_out != nullptr) *width_out = width;
+  if (height_out != nullptr) *height_out = height;
+
+  os << "P5\n" << width << ' ' << height << "\n255\n";
+  std::vector<uint8_t> row(width);
+  // Image rows top-to-bottom = decreasing y (map convention).
+  for (std::size_t iy = 0; iy < height; ++iy) {
+    const double y = region.max.y - (static_cast<double>(iy) + 0.5) * res;
+    for (std::size_t ix = 0; ix < width; ++ix) {
+      const double x = region.min.x + (static_cast<double>(ix) + 0.5) * res;
+      switch (tree.classify(geom::Vec3d{x, y, z})) {
+        case Occupancy::kFree:
+          row[ix] = kSliceFree;
+          break;
+        case Occupancy::kUnknown:
+          row[ix] = kSliceUnknown;
+          break;
+        case Occupancy::kOccupied:
+          row[ix] = kSliceOccupied;
+          break;
+      }
+    }
+    os.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(width));
+  }
+}
+
+bool write_occupancy_slice_pgm_file(const OccupancyOctree& tree, double z,
+                                    const geom::Aabb& region, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_occupancy_slice_pgm(tree, z, region, os);
+  return static_cast<bool>(os);
+}
+
+std::size_t write_occupied_ply(const OccupancyOctree& tree, std::ostream& os,
+                               std::size_t max_points_per_leaf) {
+  const KeyCoder& coder = tree.coder();
+  const float threshold = tree.params().occ_threshold;
+
+  // First pass: collect points (needed for the PLY header count).
+  std::vector<geom::Vec3d> points;
+  tree.for_each_leaf([&](const OcKey& base, int depth, float value) {
+    if (!(value > threshold)) return;
+    if (depth == kTreeDepth) {
+      points.push_back(coder.coord_for(base));
+      return;
+    }
+    // Pruned occupied leaf: emit covered finest voxels up to the cap.
+    const uint32_t cells = 1u << (kTreeDepth - depth);
+    const uint64_t total = static_cast<uint64_t>(cells) * cells * cells;
+    const uint64_t emit = max_points_per_leaf == 0
+                              ? total
+                              : std::min<uint64_t>(total, max_points_per_leaf);
+    uint64_t step = total / emit;
+    if (step == 0) step = 1;
+    for (uint64_t i = 0; i < total; i += step) {
+      OcKey k = base;
+      k[0] = static_cast<uint16_t>(k[0] + (i % cells));
+      k[1] = static_cast<uint16_t>(k[1] + ((i / cells) % cells));
+      k[2] = static_cast<uint16_t>(k[2] + (i / (static_cast<uint64_t>(cells) * cells)));
+      points.push_back(coder.coord_for(k));
+    }
+  });
+
+  os << "ply\nformat ascii 1.0\n"
+     << "element vertex " << points.size() << '\n'
+     << "property float x\nproperty float y\nproperty float z\n"
+     << "end_header\n";
+  std::ostringstream body;
+  for (const geom::Vec3d& p : points) {
+    body << static_cast<float>(p.x) << ' ' << static_cast<float>(p.y) << ' '
+         << static_cast<float>(p.z) << '\n';
+  }
+  os << body.str();
+  return points.size();
+}
+
+std::size_t write_occupied_ply_file(const OccupancyOctree& tree, const std::string& path,
+                                    std::size_t max_points_per_leaf) {
+  std::ofstream os(path);
+  if (!os) return 0;
+  const std::size_t n = write_occupied_ply(tree, os, max_points_per_leaf);
+  return os ? n : 0;
+}
+
+}  // namespace omu::map

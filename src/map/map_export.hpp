@@ -1,0 +1,43 @@
+// Map export utilities: 2D occupancy slices (PGM images) and occupied
+// voxel clouds (PLY), the two formats roboticists reach for first when
+// eyeballing a map.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "geom/aabb.hpp"
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+
+/// Gray levels used in exported slices.
+inline constexpr uint8_t kSliceFree = 255;      ///< white
+inline constexpr uint8_t kSliceUnknown = 128;   ///< gray
+inline constexpr uint8_t kSliceOccupied = 0;    ///< black
+
+/// Renders the horizontal occupancy slice at height `z` over the x/y
+/// rectangle of `region` as a binary PGM (P5) image, one pixel per voxel
+/// (white = free, gray = unknown, black = occupied). Returns the image
+/// dimensions via out parameters (useful for tests and tooling).
+void write_occupancy_slice_pgm(const OccupancyOctree& tree, double z, const geom::Aabb& region,
+                               std::ostream& os, std::size_t* width_out = nullptr,
+                               std::size_t* height_out = nullptr);
+
+/// File wrapper; returns false on I/O failure.
+bool write_occupancy_slice_pgm_file(const OccupancyOctree& tree, double z,
+                                    const geom::Aabb& region, const std::string& path);
+
+/// Writes the centers of all occupied leaves as an ASCII PLY point cloud
+/// (pruned leaves emit one point per covered finest-level voxel, capped by
+/// `max_points_per_leaf` to keep coarse leaves from exploding the output;
+/// 0 = no cap). Returns the number of points written.
+std::size_t write_occupied_ply(const OccupancyOctree& tree, std::ostream& os,
+                               std::size_t max_points_per_leaf = 64);
+
+/// File wrapper; returns the number of points, or 0 on I/O failure.
+std::size_t write_occupied_ply_file(const OccupancyOctree& tree, const std::string& path,
+                                    std::size_t max_points_per_leaf = 64);
+
+}  // namespace omu::map

@@ -1,0 +1,616 @@
+#include "map/occupancy_octree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+
+namespace omu::map {
+
+namespace {
+
+/// OctoMap's early-abort condition: the update cannot change a leaf whose
+/// value is already clamped in the direction of the update.
+constexpr bool is_saturating(float value, float delta, const OccupancyParams& p) {
+  return (delta >= 0.0f && value >= p.clamp_max) || (delta <= 0.0f && value <= p.clamp_min);
+}
+
+}  // namespace
+
+OccupancyOctree::OccupancyOctree(double resolution, OccupancyParams params)
+    : coder_(resolution), params_(params.quantized ? params.snapped_to_fixed_point() : params) {
+  pool_.push_back(Node{});  // root, initially unknown
+}
+
+void OccupancyOctree::clear() {
+  pool_.clear();
+  pool_.push_back(Node{});
+  free_blocks_.clear();
+}
+
+int32_t OccupancyOctree::alloc_block() {
+  if (!free_blocks_.empty()) {
+    const int32_t base = free_blocks_.back();
+    free_blocks_.pop_back();
+    return base;
+  }
+  const auto base = static_cast<int32_t>(pool_.size());
+  pool_.resize(pool_.size() + 8);
+  return base;
+}
+
+void OccupancyOctree::free_block(int32_t base) {
+  for (int i = 0; i < 8; ++i) pool_[static_cast<std::size_t>(base + i)] = Node{};
+  free_blocks_.push_back(base);
+}
+
+int32_t OccupancyOctree::materialize_children(int32_t node_idx, bool& was_expand) {
+  const int32_t base = alloc_block();  // may reallocate pool_
+  Node& node = pool_[static_cast<std::size_t>(node_idx)];
+  was_expand = (node.state == NodeState::kLeaf);
+  if (was_expand) {
+    // Expansion of a pruned leaf: all children inherit the collapsed value
+    // (paper Fig. 2b in reverse).
+    for (int i = 0; i < 8; ++i) {
+      pool_[static_cast<std::size_t>(base + i)] = Node{node.value, -1, NodeState::kLeaf};
+    }
+    stats_.expands++;
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      pool_[static_cast<std::size_t>(base + i)] = Node{};
+    }
+    stats_.fresh_allocs++;
+  }
+  node.children = base;
+  node.state = NodeState::kInner;
+  return base;
+}
+
+void OccupancyOctree::apply_leaf_delta(Node& leaf, float delta) {
+  // With quantized parameters every operand is an exact multiple of 2^-10
+  // below 2^5 in magnitude, so this float arithmetic is bit-identical to
+  // the accelerator's 16-bit fixed-point datapath.
+  leaf.value = std::clamp(leaf.value + delta, params_.clamp_min, params_.clamp_max);
+  stats_.leaf_updates++;
+}
+
+bool OccupancyOctree::update_inner_and_try_prune(int32_t node_idx) {
+  Node& node = pool_[static_cast<std::size_t>(node_idx)];
+  assert(node.state == NodeState::kInner);
+  const int32_t base = node.children;
+  stats_.parent_updates++;
+
+  bool all_known_leaves = true;
+  float max_value = -std::numeric_limits<float>::infinity();
+  for (int i = 0; i < 8; ++i) {
+    const Node& child = pool_[static_cast<std::size_t>(base + i)];
+    if (child.state == NodeState::kUnknown) {
+      all_known_leaves = false;
+      continue;
+    }
+    max_value = std::max(max_value, child.value);
+    if (child.state != NodeState::kLeaf) all_known_leaves = false;
+  }
+  // The update path guarantees at least one known child below.
+  node.value = max_value;
+
+  if (!all_known_leaves) return false;
+
+  stats_.prune_checks++;
+  const float first = pool_[static_cast<std::size_t>(base)].value;
+  for (int i = 1; i < 8; ++i) {
+    if (pool_[static_cast<std::size_t>(base + i)].value != first) return false;
+  }
+  // All eight children are identical leaves: collapse them (paper Fig. 2b).
+  free_block(base);
+  node.children = -1;
+  node.state = NodeState::kLeaf;
+  node.value = first;
+  stats_.prunes++;
+  return true;
+}
+
+void OccupancyOctree::update_node(const OcKey& key, bool occupied) {
+  update_node_log_odds(key, occupied ? params_.log_hit : params_.log_miss);
+}
+
+void OccupancyOctree::update_node(const geom::Vec3d& position, bool occupied) {
+  if (const auto key = coder_.key_for(position)) update_node(*key, occupied);
+}
+
+void OccupancyOctree::update_node_log_odds(const OcKey& key, float delta) {
+  if (params_.quantized) delta = geom::Fixed16::from_float(delta).to_float();
+  stats_.voxel_updates++;
+
+  std::array<int32_t, kTreeDepth + 1> path;  // node index per depth
+  int32_t idx = 0;
+  path[0] = idx;
+  for (int depth = 0; depth < kTreeDepth; ++depth) {
+    {
+      Node& node = pool_[static_cast<std::size_t>(idx)];
+      if (node.state != NodeState::kInner) {
+        if (node.state == NodeState::kLeaf && is_saturating(node.value, delta, params_)) {
+          // The pruned leaf is already clamped in the update direction; the
+          // update is a no-op for the whole subtree (OctoMap early abort).
+          stats_.early_aborts++;
+          return;
+        }
+        bool was_expand = false;
+        materialize_children(idx, was_expand);
+      }
+    }
+    stats_.descend_steps++;
+    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, depth);
+    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kUnknown) {
+      stats_.descend_reads++;
+    }
+    path[static_cast<std::size_t>(depth + 1)] = idx;
+  }
+
+  {
+    Node& leaf = pool_[static_cast<std::size_t>(idx)];
+    if (leaf.state == NodeState::kLeaf && is_saturating(leaf.value, delta, params_)) {
+      stats_.early_aborts++;
+      return;
+    }
+    if (leaf.state == NodeState::kUnknown) {
+      leaf.state = NodeState::kLeaf;
+      leaf.value = 0.0f;
+    }
+    apply_leaf_delta(leaf, delta);
+  }
+
+  // Unwind: refresh ancestors bottom-up, pruning where possible. Stops
+  // early once an ancestor neither changed value nor was prunable? OctoMap
+  // updates every ancestor on the path; we match that behaviour so the
+  // operation counts feeding the CPU cost model are faithful.
+  for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
+    update_inner_and_try_prune(path[static_cast<std::size_t>(depth)]);
+  }
+}
+
+void OccupancyOctree::set_node_log_odds(const OcKey& key, float log_odds) {
+  if (params_.quantized) log_odds = geom::Fixed16::from_float(log_odds).to_float();
+  stats_.voxel_updates++;
+
+  std::array<int32_t, kTreeDepth + 1> path;
+  int32_t idx = 0;
+  path[0] = idx;
+  for (int depth = 0; depth < kTreeDepth; ++depth) {
+    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+      bool was_expand = false;
+      materialize_children(idx, was_expand);
+    }
+    stats_.descend_steps++;
+    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, depth);
+    path[static_cast<std::size_t>(depth + 1)] = idx;
+  }
+  Node& leaf = pool_[static_cast<std::size_t>(idx)];
+  leaf.state = NodeState::kLeaf;
+  leaf.value = log_odds;
+  stats_.leaf_updates++;
+
+  for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
+    update_inner_and_try_prune(path[static_cast<std::size_t>(depth)]);
+  }
+}
+
+void OccupancyOctree::set_leaf_at_depth(const OcKey& key, int depth, float log_odds) {
+  assert(depth > 0 && depth <= kTreeDepth);
+  if (params_.quantized) log_odds = geom::Fixed16::from_float(log_odds).to_float();
+
+  std::array<int32_t, kTreeDepth + 1> path;
+  int32_t idx = 0;
+  path[0] = idx;
+  for (int d = 0; d < depth; ++d) {
+    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+      bool was_expand = false;
+      materialize_children(idx, was_expand);
+    }
+    stats_.descend_steps++;
+    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, d);
+    path[static_cast<std::size_t>(d + 1)] = idx;
+  }
+  Node& node = pool_[static_cast<std::size_t>(idx)];
+  if (node.state == NodeState::kInner) {
+    // Replace an existing subtree: release its blocks depth-first.
+    std::vector<int32_t> stack{idx};
+    // Collect blocks below (excluding `idx` itself, handled after).
+    std::vector<int32_t> blocks;
+    while (!stack.empty()) {
+      const int32_t cur = stack.back();
+      stack.pop_back();
+      const Node& n = pool_[static_cast<std::size_t>(cur)];
+      if (n.state != NodeState::kInner) continue;
+      blocks.push_back(n.children);
+      for (int i = 0; i < 8; ++i) stack.push_back(n.children + i);
+    }
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) free_block(*it);
+  }
+  node.state = NodeState::kLeaf;
+  node.children = -1;
+  node.value = log_odds;
+  stats_.leaf_updates++;
+
+  for (int d = depth - 1; d >= 0; --d) {
+    update_inner_and_try_prune(path[static_cast<std::size_t>(d)]);
+  }
+}
+
+std::optional<NodeView> OccupancyOctree::search(const OcKey& key, int max_depth) const {
+  int32_t idx = 0;
+  int depth = 0;
+  const Node* node = &pool_[0];
+  if (node->state == NodeState::kUnknown) return std::nullopt;
+  while (depth < max_depth && node->state == NodeState::kInner) {
+    idx = node->children + child_index(key, depth);
+    node = &pool_[static_cast<std::size_t>(idx)];
+    ++depth;
+    if (node->state == NodeState::kUnknown) return std::nullopt;
+  }
+  return NodeView{node->value, depth, node->state == NodeState::kLeaf};
+}
+
+Occupancy OccupancyOctree::classify(const OcKey& key) const {
+  const auto view = search(key);
+  if (!view) return Occupancy::kUnknown;
+  return params_.classify(view->log_odds);
+}
+
+Occupancy OccupancyOctree::classify(const geom::Vec3d& position) const {
+  const auto key = coder_.key_for(position);
+  if (!key) return Occupancy::kUnknown;
+  return classify(*key);
+}
+
+bool OccupancyOctree::any_occupied_in_box(const geom::Aabb& box,
+                                          bool treat_unknown_as_occupied) const {
+  return box_query_recurs(0, OcKey{}, 0, box, treat_unknown_as_occupied);
+}
+
+bool OccupancyOctree::box_query_recurs(int32_t node_idx, const OcKey& base, int depth,
+                                       const geom::Aabb& box, bool unknown_occupied) const {
+  const double res = coder_.resolution();
+  const double size = coder_.node_size(depth);
+  const geom::Vec3d lo{(static_cast<double>(base[0]) - kKeyOrigin) * res,
+                       (static_cast<double>(base[1]) - kKeyOrigin) * res,
+                       (static_cast<double>(base[2]) - kKeyOrigin) * res};
+  const geom::Aabb node_box{lo, lo + geom::Vec3d{size, size, size}};
+  if (!node_box.intersects(box)) return false;
+
+  const Node& node = pool_[static_cast<std::size_t>(node_idx)];
+  switch (node.state) {
+    case NodeState::kUnknown:
+      return unknown_occupied;
+    case NodeState::kLeaf:
+      return params_.classify(node.value) == Occupancy::kOccupied;
+    case NodeState::kInner:
+      break;
+  }
+  const int bit = kTreeDepth - 1 - depth;
+  for (int i = 0; i < 8; ++i) {
+    OcKey child_base = base;
+    child_base[0] |= static_cast<uint16_t>((i & 1) << bit);
+    child_base[1] |= static_cast<uint16_t>(((i >> 1) & 1) << bit);
+    child_base[2] |= static_cast<uint16_t>(((i >> 2) & 1) << bit);
+    if (box_query_recurs(node.children + i, child_base, depth + 1, box, unknown_occupied)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<OccupancyOctree::RayHit> OccupancyOctree::cast_ray(const geom::Vec3d& origin,
+                                                                 const geom::Vec3d& direction,
+                                                                 double max_range,
+                                                                 bool ignore_unknown) const {
+  const double dir_norm = direction.norm();
+  if (!(dir_norm > 0.0) || !(max_range > 0.0)) return std::nullopt;
+  const geom::Vec3d dir = direction / dir_norm;
+
+  const auto start_key = coder_.key_for(origin);
+  if (!start_key) return std::nullopt;
+
+  // Amanatides-Woo walk, evaluating occupancy cell by cell.
+  OcKey current = *start_key;
+  int step[3];
+  double t_max[3];
+  double t_delta[3];
+  const double res = coder_.resolution();
+  for (int axis = 0; axis < 3; ++axis) {
+    step[axis] = dir[axis] > 0.0 ? 1 : (dir[axis] < 0.0 ? -1 : 0);
+    if (step[axis] != 0) {
+      const double border = coder_.axis_coord(current[static_cast<std::size_t>(axis)]) +
+                            static_cast<double>(step[axis]) * 0.5 * res;
+      t_max[axis] = (border - origin[axis]) / dir[axis];
+      t_delta[axis] = res / std::abs(dir[axis]);
+    } else {
+      t_max[axis] = std::numeric_limits<double>::infinity();
+      t_delta[axis] = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  const auto evaluate = [this, &origin](const OcKey& key) -> std::optional<RayHit> {
+    const Occupancy occ = classify(key);
+    if (occ == Occupancy::kOccupied || occ == Occupancy::kUnknown) {
+      RayHit hit;
+      hit.key = key;
+      hit.cell = occ;
+      hit.position = coder_.coord_for(key);
+      hit.distance = geom::distance(origin, hit.position);
+      return hit;
+    }
+    return std::nullopt;
+  };
+
+  // The origin cell itself can block (standing inside an obstacle).
+  if (auto hit = evaluate(current)) {
+    if (hit->cell == Occupancy::kOccupied || !ignore_unknown) return hit;
+  }
+
+  const long max_steps = static_cast<long>(3.0 * max_range / res) + 3;
+  for (long i = 0; i < max_steps; ++i) {
+    int axis = 0;
+    if (t_max[1] < t_max[axis]) axis = 1;
+    if (t_max[2] < t_max[axis]) axis = 2;
+    if (t_max[axis] > max_range) return std::nullopt;  // next crossing beyond range
+
+    t_max[axis] += t_delta[axis];
+    const int next =
+        static_cast<int>(current[static_cast<std::size_t>(axis)]) + step[axis];
+    if (next < 0 || next > 0xFFFF) return std::nullopt;  // left the key space
+    current[static_cast<std::size_t>(axis)] = static_cast<uint16_t>(next);
+
+    if (auto hit = evaluate(current)) {
+      if (hit->cell == Occupancy::kOccupied || !ignore_unknown) return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+void OccupancyOctree::for_each_leaf_in_box(
+    const geom::Aabb& box, const std::function<void(const OcKey&, int, float)>& fn) const {
+  // Reuse the leaf recursion with a box filter via an explicit stack.
+  struct Frame {
+    int32_t idx;
+    OcKey base;
+    int depth;
+  };
+  std::vector<Frame> stack{{0, OcKey{}, 0}};
+  const double res = coder_.resolution();
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = pool_[static_cast<std::size_t>(f.idx)];
+    if (node.state == NodeState::kUnknown) continue;
+
+    const double size = coder_.node_size(f.depth);
+    const geom::Vec3d lo{(static_cast<double>(f.base[0]) - kKeyOrigin) * res,
+                         (static_cast<double>(f.base[1]) - kKeyOrigin) * res,
+                         (static_cast<double>(f.base[2]) - kKeyOrigin) * res};
+    if (!geom::Aabb{lo, lo + geom::Vec3d{size, size, size}}.intersects(box)) continue;
+
+    if (node.state == NodeState::kLeaf) {
+      fn(f.base, f.depth, node.value);
+      continue;
+    }
+    const int bit = kTreeDepth - 1 - f.depth;
+    for (int i = 0; i < 8; ++i) {
+      OcKey child_base = f.base;
+      child_base[0] |= static_cast<uint16_t>((i & 1) << bit);
+      child_base[1] |= static_cast<uint16_t>(((i >> 1) & 1) << bit);
+      child_base[2] |= static_cast<uint16_t>(((i >> 2) & 1) << bit);
+      stack.push_back(Frame{node.children + i, child_base, f.depth + 1});
+    }
+  }
+}
+
+void OccupancyOctree::merge(const OccupancyOctree& other) {
+  if (other.resolution() != resolution()) {
+    throw std::invalid_argument("OccupancyOctree::merge: resolution mismatch");
+  }
+  // Fold the other map's leaves into this one. Leaves at depth 16 are a
+  // plain log-odds addition; pruned leaves apply their value across the
+  // covered subtree, which set-wise is again a single update at that depth
+  // when our side has no finer detail, else recurses via per-voxel
+  // addition of the (uniform) value.
+  other.for_each_leaf([this](const OcKey& key, int depth, float value) {
+    // Walk down to `depth`, materializing as needed.
+    std::array<int32_t, kTreeDepth + 1> path;
+    int32_t idx = 0;
+    path[0] = idx;
+    for (int d = 0; d < depth; ++d) {
+      if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+        bool was_expand = false;
+        materialize_children(idx, was_expand);
+      }
+      idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, d);
+      path[static_cast<std::size_t>(d + 1)] = idx;
+    }
+    // Add `value` to every known node of the subtree (and to the subtree
+    // root itself if it is a leaf/unknown).
+    std::vector<int32_t> stack{idx};
+    while (!stack.empty()) {
+      const int32_t cur = stack.back();
+      stack.pop_back();
+      Node& node = pool_[static_cast<std::size_t>(cur)];
+      switch (node.state) {
+        case NodeState::kUnknown:
+          node.state = NodeState::kLeaf;
+          node.value = std::clamp(value, params_.clamp_min, params_.clamp_max);
+          break;
+        case NodeState::kLeaf:
+          node.value = std::clamp(node.value + value, params_.clamp_min, params_.clamp_max);
+          break;
+        case NodeState::kInner:
+          for (int i = 0; i < 8; ++i) stack.push_back(node.children + i);
+          break;
+      }
+    }
+    // Restore inner values / pruning along the path (bottom-up). The
+    // subtree interior is repaired by a local prune pass.
+    if (pool_[static_cast<std::size_t>(idx)].state == NodeState::kInner) {
+      std::size_t pruned = 0;
+      prune_recurs(idx, depth, pruned);
+    }
+    for (int d = depth - 1; d >= 0; --d) {
+      update_inner_and_try_prune(path[static_cast<std::size_t>(d)]);
+    }
+  });
+}
+
+void OccupancyOctree::prune() {
+  std::size_t pruned = 0;
+  if (pool_[0].state == NodeState::kInner) prune_recurs(0, 0, pruned);
+}
+
+void OccupancyOctree::prune_recurs(int32_t node_idx, int depth, std::size_t& pruned) {
+  const int32_t base = pool_[static_cast<std::size_t>(node_idx)].children;
+  for (int i = 0; i < 8; ++i) {
+    if (pool_[static_cast<std::size_t>(base + i)].state == NodeState::kInner) {
+      prune_recurs(base + i, depth + 1, pruned);
+    }
+  }
+  if (update_inner_and_try_prune(node_idx)) ++pruned;
+}
+
+void OccupancyOctree::expand_all() {
+  if (pool_[0].state == NodeState::kLeaf) {
+    bool was_expand = false;
+    materialize_children(0, was_expand);
+  }
+  if (pool_[0].state == NodeState::kInner) expand_recurs(0, 0);
+}
+
+void OccupancyOctree::expand_recurs(int32_t node_idx, int depth) {
+  if (depth + 1 >= kTreeDepth) return;  // children are finest-level voxels
+  for (int i = 0; i < 8; ++i) {
+    // Re-read the child pointer every iteration: materialize_children can
+    // grow the pool and move nodes.
+    const int32_t child = pool_[static_cast<std::size_t>(node_idx)].children + i;
+    Node& child_node = pool_[static_cast<std::size_t>(child)];
+    if (child_node.state == NodeState::kLeaf) {
+      bool was_expand = false;
+      materialize_children(child, was_expand);
+    }
+    if (pool_[static_cast<std::size_t>(child)].state == NodeState::kInner) {
+      expand_recurs(child, depth + 1);
+    }
+  }
+}
+
+std::size_t OccupancyOctree::leaf_count() const {
+  std::size_t leaves = 0;
+  std::size_t inners = 0;
+  count_recurs(0, leaves, inners);
+  return leaves;
+}
+
+std::size_t OccupancyOctree::inner_count() const {
+  std::size_t leaves = 0;
+  std::size_t inners = 0;
+  count_recurs(0, leaves, inners);
+  return inners;
+}
+
+void OccupancyOctree::count_recurs(int32_t node_idx, std::size_t& leaves,
+                                   std::size_t& inners) const {
+  const Node& node = pool_[static_cast<std::size_t>(node_idx)];
+  switch (node.state) {
+    case NodeState::kUnknown:
+      return;
+    case NodeState::kLeaf:
+      ++leaves;
+      return;
+    case NodeState::kInner:
+      ++inners;
+      for (int i = 0; i < 8; ++i) count_recurs(node.children + i, leaves, inners);
+      return;
+  }
+}
+
+std::size_t OccupancyOctree::memory_bytes() const {
+  return pool_.capacity() * sizeof(Node) + free_blocks_.capacity() * sizeof(int32_t) +
+         sizeof(*this);
+}
+
+void OccupancyOctree::for_each_leaf(
+    const std::function<void(const OcKey&, int, float)>& fn) const {
+  leaves_recurs(0, OcKey{}, 0, fn);
+}
+
+void OccupancyOctree::leaves_recurs(
+    int32_t node_idx, const OcKey& base, int depth,
+    const std::function<void(const OcKey&, int, float)>& fn) const {
+  const Node& node = pool_[static_cast<std::size_t>(node_idx)];
+  switch (node.state) {
+    case NodeState::kUnknown:
+      return;
+    case NodeState::kLeaf:
+      fn(base, depth, node.value);
+      return;
+    case NodeState::kInner:
+      break;
+  }
+  const int bit = kTreeDepth - 1 - depth;
+  for (int i = 0; i < 8; ++i) {
+    OcKey child_base = base;
+    child_base[0] |= static_cast<uint16_t>((i & 1) << bit);
+    child_base[1] |= static_cast<uint16_t>(((i >> 1) & 1) << bit);
+    child_base[2] |= static_cast<uint16_t>(((i >> 2) & 1) << bit);
+    leaves_recurs(node.children + i, child_base, depth + 1, fn);
+  }
+}
+
+std::vector<OccupancyOctree::LeafRecord> OccupancyOctree::leaves_sorted() const {
+  std::vector<LeafRecord> out;
+  for_each_leaf([&out](const OcKey& key, int depth, float value) {
+    out.push_back(LeafRecord{key, depth, value});
+  });
+  std::sort(out.begin(), out.end(), [](const LeafRecord& a, const LeafRecord& b) {
+    if (a.key.packed() != b.key.packed()) return a.key.packed() < b.key.packed();
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+uint64_t OccupancyOctree::content_hash() const {
+  return hash_leaf_records(normalize_to_depth1(leaves_sorted()));
+}
+
+uint64_t hash_leaf_records(const std::vector<LeafRecord>& records) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const LeafRecord& rec : records) {
+    mix(rec.key.packed());
+    mix(static_cast<uint64_t>(rec.depth));
+    mix(static_cast<uint64_t>(geom::Fixed16::from_float(rec.log_odds).raw()) & 0xFFFF);
+  }
+  return h;
+}
+
+std::vector<LeafRecord> normalize_to_depth1(std::vector<LeafRecord> records) {
+  if (records.size() == 1 && records[0].depth == 0) {
+    const float value = records[0].log_odds;
+    records.clear();
+    const int bit = kTreeDepth - 1;
+    for (int branch = 0; branch < 8; ++branch) {
+      OcKey key;
+      key[0] = static_cast<uint16_t>((branch & 1) << bit);
+      key[1] = static_cast<uint16_t>(((branch >> 1) & 1) << bit);
+      key[2] = static_cast<uint16_t>(((branch >> 2) & 1) << bit);
+      records.push_back(LeafRecord{key, 1, value});
+    }
+    std::sort(records.begin(), records.end(), [](const LeafRecord& a, const LeafRecord& b) {
+      return a.key.packed() < b.key.packed();
+    });
+  }
+  return records;
+}
+
+}  // namespace omu::map

@@ -1,0 +1,243 @@
+// Probabilistic occupancy octree — a from-scratch reimplementation of the
+// OctoMap data structure (Hornung et al. 2013) that the OMU paper
+// accelerates.
+//
+// Differences from the original pointer-per-child implementation, chosen
+// to keep the software baseline honest but analyzable:
+//  * Nodes live in a pool (std::vector) and children are allocated as
+//    contiguous blocks of 8, mirroring the row-of-8-children layout of the
+//    accelerator's TreeMem and making prune/expand an O(1) block free/alloc.
+//  * Unknown children are represented explicitly (NodeState::kUnknown)
+//    instead of null pointers, since a block always holds 8 slots.
+// The update/prune/expand semantics — log-odds addition with clamping,
+// parent = max(children), prune when all 8 children are equal leaves,
+// early abort on saturated leaves — follow OctoMap exactly, and are
+// verified bit-for-bit against the accelerator model in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "map/ockey.hpp"
+#include "map/occupancy_params.hpp"
+#include "map/phase_stats.hpp"
+
+namespace omu::map {
+
+/// Lifecycle state of a pool node.
+enum class NodeState : uint8_t {
+  kUnknown,  ///< slot exists in a block but this octant was never observed
+  kLeaf,     ///< carries a log-odds value; no children (may be a pruned subtree)
+  kInner,    ///< has a child block; value is max over known children
+};
+
+/// Read-only view of a node returned by queries.
+struct NodeView {
+  float log_odds = 0.0f;
+  int depth = 0;          ///< tree depth of the node (16 = finest voxel)
+  bool is_leaf = true;    ///< false if the query stopped at an inner node
+};
+
+/// The probabilistic occupancy octree (software baseline of the paper).
+class OccupancyOctree {
+ public:
+  /// Creates an empty map. `resolution` is the finest voxel edge length in
+  /// metres (the paper's experiments use 0.2 m).
+  explicit OccupancyOctree(double resolution, OccupancyParams params = OccupancyParams{});
+
+  const KeyCoder& coder() const { return coder_; }
+  const OccupancyParams& params() const { return params_; }
+  double resolution() const { return coder_.resolution(); }
+
+  // ---- Map update -------------------------------------------------------
+
+  /// Integrates one measurement for the voxel at `key`: adds log_hit if
+  /// `occupied`, else log_miss, clamps, updates ancestors bottom-up and
+  /// prunes/expands as needed (paper Fig. 2).
+  void update_node(const OcKey& key, bool occupied);
+
+  /// Convenience overload taking a metric coordinate; out-of-range
+  /// coordinates are ignored (counted in stats as neither update nor abort).
+  void update_node(const geom::Vec3d& position, bool occupied);
+
+  /// Adds an arbitrary log-odds increment to the voxel at `key`
+  /// (generalization used by tests and by sensor models with non-default
+  /// weights).
+  void update_node_log_odds(const OcKey& key, float log_odds_delta);
+
+  /// Sets a voxel to an exact log-odds value, bypassing the sensor model
+  /// but still maintaining parents/pruning. Intended for map editing and
+  /// tests.
+  void set_node_log_odds(const OcKey& key, float log_odds);
+
+  /// Installs a leaf at an arbitrary depth (a pruned subtree covering
+  /// 2^(3*(16-depth)) voxels), replacing anything below it. This is the
+  /// import primitive for reconstructing a map from leaf records (e.g.
+  /// reading the accelerator's TreeMem back over DMA); ancestors are
+  /// maintained. Precondition: 0 < depth <= kTreeDepth.
+  void set_leaf_at_depth(const OcKey& key, int depth, float log_odds);
+
+  // ---- Queries ----------------------------------------------------------
+
+  /// Finds the deepest node covering `key`, descending at most to
+  /// `max_depth`. Returns std::nullopt for unknown space.
+  std::optional<NodeView> search(const OcKey& key, int max_depth = kTreeDepth) const;
+
+  /// Classifies the voxel at `key` as occupied / free / unknown
+  /// (the accelerator's Voxel Query service, paper Sec. V).
+  Occupancy classify(const OcKey& key) const;
+
+  /// Classifies a metric position (out-of-range -> unknown).
+  Occupancy classify(const geom::Vec3d& position) const;
+
+  /// Occupancy probability in [0, 1] of the voxel at `key`, or
+  /// std::nullopt for unknown space (paper Eq. 1 inverted).
+  std::optional<double> occupancy_probability(const OcKey& key) const {
+    const auto view = search(key);
+    if (!view) return std::nullopt;
+    return static_cast<double>(geom::probability_from_log_odds(view->log_odds));
+  }
+
+  /// True if any voxel intersecting the metric box is occupied; used for
+  /// collision detection queries. Unknown space is not considered occupied
+  /// unless `treat_unknown_as_occupied` is set (conservative planning).
+  bool any_occupied_in_box(const geom::Aabb& box, bool treat_unknown_as_occupied = false) const;
+
+  /// Result of casting a ray into the map (see cast_ray).
+  struct RayHit {
+    geom::Vec3d position;  ///< center of the terminating voxel
+    OcKey key;             ///< its key
+    Occupancy cell = Occupancy::kOccupied;  ///< kOccupied, or kUnknown when
+                                            ///< unknown cells block the ray
+    double distance = 0.0;  ///< metres from the origin to the voxel center
+  };
+
+  /// Casts a ray from `origin` along `direction` (need not be normalized)
+  /// and returns the first blocking voxel within `max_range`: an occupied
+  /// voxel, or — when `ignore_unknown` is false — the first unknown voxel
+  /// (conservative visibility). Returns std::nullopt when the ray exits
+  /// `max_range` or the map bounds without blocking. Mirrors OctoMap's
+  /// castRay; used for visibility checks and map-based localization.
+  std::optional<RayHit> cast_ray(const geom::Vec3d& origin, const geom::Vec3d& direction,
+                                 double max_range, bool ignore_unknown = true) const;
+
+  /// Visits every known leaf whose voxel region intersects the metric box:
+  /// callback(depth-aligned key, depth, log_odds).
+  void for_each_leaf_in_box(const geom::Aabb& box,
+                            const std::function<void(const OcKey&, int, float)>& fn) const;
+
+  /// Merges another map into this one by log-odds addition (clamped), the
+  /// standard fusion of two independent occupancy maps over the same
+  /// frame. Unknown cells adopt the other map's value. Resolutions must
+  /// match (throws std::invalid_argument otherwise).
+  void merge(const OccupancyOctree& other);
+
+  // ---- Structure / maintenance ------------------------------------------
+
+  /// Full-tree prune pass (OctoMap's `prune()`); update_node already prunes
+  /// incrementally along the updated path, so this is mostly for tests and
+  /// for maps edited via set_node_log_odds.
+  void prune();
+
+  /// Expands every pruned leaf above the finest level into explicit
+  /// children (OctoMap's `expand()`); inverse of prune() for testing.
+  void expand_all();
+
+  /// Number of known leaf nodes (pruned subtrees count once).
+  std::size_t leaf_count() const;
+  /// Number of inner nodes.
+  std::size_t inner_count() const;
+  /// Known nodes = leaves + inner nodes.
+  std::size_t node_count() const { return leaf_count() + inner_count(); }
+
+  /// Allocated pool slots (including unknown placeholders and free blocks);
+  /// proxy for peak memory of the pool allocator.
+  std::size_t pool_slots() const { return pool_.size(); }
+  /// Currently free (reusable) child blocks.
+  std::size_t free_blocks() const { return free_blocks_.size(); }
+  /// Approximate memory footprint of the map structure in bytes.
+  std::size_t memory_bytes() const;
+
+  /// Iterates over all known leaves: callback(key_of_leaf_origin, depth,
+  /// log_odds). The key passed is aligned to the leaf's depth (low bits 0).
+  void for_each_leaf(const std::function<void(const OcKey&, int, float)>& fn) const;
+
+  /// Collects (key, depth, log_odds) triples for all leaves, sorted by
+  /// packed key then depth — a canonical form used by equivalence tests.
+  struct LeafRecord {
+    OcKey key;
+    int depth;
+    float log_odds;
+    bool operator==(const LeafRecord&) const = default;
+  };
+  std::vector<LeafRecord> leaves_sorted() const;
+
+  /// FNV-1a hash over the canonical leaf list; two maps with equal hashes
+  /// have identical content (up to hash collision).
+  uint64_t content_hash() const;
+
+  /// Operation counters (see PhaseStats).
+  const PhaseStats& stats() const { return stats_; }
+  PhaseStats& stats() { return stats_; }
+
+  /// Removes all content, keeping resolution and parameters.
+  void clear();
+
+ private:
+  friend class OctreeIo;
+
+  struct Node {
+    float value = 0.0f;     // log-odds; valid when state != kUnknown
+    int32_t children = -1;  // pool index of the first of 8 child slots
+    NodeState state = NodeState::kUnknown;
+  };
+
+  // Pool block management. Blocks are 8 contiguous slots; index 0 is the
+  // root (not part of any block).
+  int32_t alloc_block();
+  void free_block(int32_t base);
+
+  // Seeds a fresh child block for `node_idx`; children copy the parent's
+  // value when the parent was a pruned leaf (expansion), else start
+  // unknown. Returns the block base index.
+  int32_t materialize_children(int32_t node_idx, bool& was_expand);
+
+  // Recomputes an inner node's value (max over known children) and prunes
+  // when all 8 children are equal leaves. Returns true if pruned.
+  bool update_inner_and_try_prune(int32_t node_idx);
+
+  void apply_leaf_delta(Node& leaf, float delta);
+
+  void prune_recurs(int32_t node_idx, int depth, std::size_t& pruned);
+  void expand_recurs(int32_t node_idx, int depth);
+  void count_recurs(int32_t node_idx, std::size_t& leaves, std::size_t& inners) const;
+  void leaves_recurs(int32_t node_idx, const OcKey& base, int depth,
+                     const std::function<void(const OcKey&, int, float)>& fn) const;
+  bool box_query_recurs(int32_t node_idx, const OcKey& base, int depth, const geom::Aabb& box,
+                        bool unknown_occupied) const;
+
+  KeyCoder coder_;
+  OccupancyParams params_;
+  std::vector<Node> pool_;
+  std::vector<int32_t> free_blocks_;
+  PhaseStats stats_;
+};
+
+/// Canonical leaf triple shared with the accelerator model.
+using LeafRecord = OccupancyOctree::LeafRecord;
+
+/// FNV-1a hash over a leaf list (assumed already in canonical sort order);
+/// equal lists hash equal — used for cheap map-content comparison.
+uint64_t hash_leaf_records(const std::vector<LeafRecord>& records);
+
+/// Normalizes a leaf list to depth >= 1 by splitting any depth-0 record
+/// (a fully collapsed map) into its 8 first-level octants. The accelerator
+/// partitions the tree across PEs at level 1 and can never merge above it,
+/// so equivalence comparisons are made in this normalized form.
+std::vector<LeafRecord> normalize_to_depth1(std::vector<LeafRecord> records);
+
+}  // namespace omu::map

@@ -1,0 +1,63 @@
+// Occupancy-update parameters shared by the software baseline and the
+// accelerator model.
+//
+// OctoMap's sensor model (paper Sec. III-A, Eqs. 1-3): a leaf's log-odds is
+// increased by `log_hit` when a measurement endpoint falls in it and
+// decreased by `|log_miss|` when a ray traverses it, then clamped into
+// [clamp_min, clamp_max].  Clamping both bounds map confidence and makes
+// node pruning effective, because saturated neighbours reach identical
+// values.
+#pragma once
+
+#include "geom/fixed_point.hpp"
+
+namespace omu::map {
+
+/// Occupancy classification of a voxel returned by map queries.
+enum class Occupancy {
+  kUnknown,   ///< never observed (no node, or node in unknown state)
+  kFree,      ///< log-odds <= occupancy threshold
+  kOccupied,  ///< log-odds >  occupancy threshold
+};
+
+/// Returns a short human-readable name ("unknown"/"free"/"occupied").
+constexpr const char* to_string(Occupancy occ) {
+  switch (occ) {
+    case Occupancy::kUnknown: return "unknown";
+    case Occupancy::kFree: return "free";
+    case Occupancy::kOccupied: return "occupied";
+  }
+  return "?";
+}
+
+/// Log-odds sensor-model parameters (OctoMap defaults).
+struct OccupancyParams {
+  float log_hit = 0.85f;    ///< increment for an endpoint hit  (P ~ 0.70)
+  float log_miss = -0.4f;   ///< increment for a ray pass-through (P ~ 0.40)
+  float clamp_min = -2.0f;  ///< lower clamping threshold (P ~ 0.12)
+  float clamp_max = 3.5f;   ///< upper clamping threshold (P ~ 0.97)
+  float occ_threshold = 0.0f;  ///< occupied iff log-odds > threshold (P > 0.5)
+
+  /// When true (default, hardware-faithful), all values and updates are
+  /// snapped to the Q5.10 fixed-point grid of the accelerator's 16-bit
+  /// probability field, so software and accelerator maps agree bit-exactly.
+  bool quantized = true;
+
+  /// Returns a copy with every parameter snapped to the Q5.10 grid.
+  OccupancyParams snapped_to_fixed_point() const {
+    OccupancyParams p = *this;
+    p.log_hit = geom::Fixed16::from_float(log_hit).to_float();
+    p.log_miss = geom::Fixed16::from_float(log_miss).to_float();
+    p.clamp_min = geom::Fixed16::from_float(clamp_min).to_float();
+    p.clamp_max = geom::Fixed16::from_float(clamp_max).to_float();
+    p.occ_threshold = geom::Fixed16::from_float(occ_threshold).to_float();
+    return p;
+  }
+
+  /// Classifies a log-odds value against the occupancy threshold.
+  constexpr Occupancy classify(float log_odds) const {
+    return log_odds > occ_threshold ? Occupancy::kOccupied : Occupancy::kFree;
+  }
+};
+
+}  // namespace omu::map

@@ -1,0 +1,124 @@
+#include "map/octree_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace omu::map {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'U', 'T', 'R', 'E', 'E', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("OctreeIo: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void OctreeIo::write(const OccupancyOctree& tree, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, tree.resolution());
+  const OccupancyParams& p = tree.params();
+  write_pod(os, p.log_hit);
+  write_pod(os, p.log_miss);
+  write_pod(os, p.clamp_min);
+  write_pod(os, p.clamp_max);
+  write_pod(os, p.occ_threshold);
+  write_pod(os, static_cast<uint8_t>(p.quantized ? 1 : 0));
+  write_recurs(tree, 0, os);
+  if (!os) throw std::runtime_error("OctreeIo: write failure");
+}
+
+void OctreeIo::write_recurs(const OccupancyOctree& tree, int32_t node_idx, std::ostream& os) {
+  const auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
+  write_pod(os, static_cast<uint8_t>(node.state));
+  if (node.state == NodeState::kUnknown) return;
+  write_pod(os, node.value);
+  if (node.state == NodeState::kInner) {
+    for (int i = 0; i < 8; ++i) write_recurs(tree, node.children + i, os);
+  }
+}
+
+OccupancyOctree OctreeIo::read(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("OctreeIo: bad magic");
+  }
+  const double resolution = read_pod<double>(is);
+  if (!(resolution > 0.0)) throw std::runtime_error("OctreeIo: invalid resolution");
+  OccupancyParams p;
+  p.log_hit = read_pod<float>(is);
+  p.log_miss = read_pod<float>(is);
+  p.clamp_min = read_pod<float>(is);
+  p.clamp_max = read_pod<float>(is);
+  p.occ_threshold = read_pod<float>(is);
+  p.quantized = read_pod<uint8_t>(is) != 0;
+
+  OccupancyOctree tree(resolution, p);
+  read_recurs(is, tree, 0, 0);
+  return tree;
+}
+
+void OctreeIo::read_recurs(std::istream& is, OccupancyOctree& tree, int32_t node_idx, int depth) {
+  const auto state = static_cast<NodeState>(read_pod<uint8_t>(is));
+  switch (state) {
+    case NodeState::kUnknown:
+      tree.pool_[static_cast<std::size_t>(node_idx)] = OccupancyOctree::Node{};
+      return;
+    case NodeState::kLeaf: {
+      auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
+      node.state = NodeState::kLeaf;
+      node.value = read_pod<float>(is);
+      node.children = -1;
+      return;
+    }
+    case NodeState::kInner: {
+      if (depth >= kTreeDepth) throw std::runtime_error("OctreeIo: inner node below max depth");
+      const float value = read_pod<float>(is);
+      const int32_t base = tree.alloc_block();
+      auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
+      node.state = NodeState::kInner;
+      node.value = value;
+      node.children = base;
+      for (int i = 0; i < 8; ++i) read_recurs(is, tree, base + i, depth + 1);
+      return;
+    }
+  }
+  throw std::runtime_error("OctreeIo: invalid node state byte");
+}
+
+bool OctreeIo::write_file(const OccupancyOctree& tree, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  try {
+    write(tree, os);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<OccupancyOctree> OctreeIo::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  try {
+    return read(is);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace omu::map

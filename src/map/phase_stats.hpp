@@ -1,0 +1,80 @@
+// Operation counters for the four OctoMap phases the paper profiles
+// (Sec. III-B, Fig. 3): ray casting, leaf update, parent update, and node
+// prune/expand.
+//
+// The software baseline increments these counters as it works; the CPU
+// cost models (src/cpumodel) turn the counts into modeled i9/A57 latencies
+// and the breakdown percentages of Fig. 3 / Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace omu::map {
+
+/// Raw operation counts accumulated while building a map.
+struct PhaseStats {
+  // Ray casting phase.
+  uint64_t ray_casts = 0;       ///< rays traced (one per point)
+  uint64_t ray_cast_steps = 0;  ///< DDA cell steps across all rays
+
+  // Leaf update phase (descent from root to the target voxel).
+  uint64_t voxel_updates = 0;   ///< update_node invocations (free + occupied)
+  uint64_t descend_steps = 0;   ///< per-level node visits on the way down
+  uint64_t descend_reads = 0;   ///< descend steps into already-known nodes
+                                ///< (require a memory read; fresh nodes are
+                                ///< constructed in logic/registers)
+  uint64_t leaf_updates = 0;    ///< log-odds add+clamp at the target node
+  uint64_t early_aborts = 0;    ///< updates skipped (leaf saturated at clamp)
+
+  // Parent update phase (unwind from leaf back to root).
+  uint64_t parent_updates = 0;  ///< per-level max-of-children recomputations
+
+  // Prune / expand phase.
+  uint64_t prune_checks = 0;    ///< 8-child all-equal scans performed
+  uint64_t prunes = 0;          ///< child blocks collapsed into the parent
+  uint64_t expands = 0;         ///< pruned leaves re-expanded into 8 children
+  uint64_t fresh_allocs = 0;    ///< child blocks allocated for unknown space
+
+  // Query service.
+  uint64_t queries = 0;         ///< voxel occupancy queries answered
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    ray_casts += o.ray_casts;
+    ray_cast_steps += o.ray_cast_steps;
+    voxel_updates += o.voxel_updates;
+    descend_steps += o.descend_steps;
+    descend_reads += o.descend_reads;
+    leaf_updates += o.leaf_updates;
+    early_aborts += o.early_aborts;
+    parent_updates += o.parent_updates;
+    prune_checks += o.prune_checks;
+    prunes += o.prunes;
+    expands += o.expands;
+    fresh_allocs += o.fresh_allocs;
+    queries += o.queries;
+    return *this;
+  }
+
+  void reset() { *this = PhaseStats{}; }
+
+  std::string to_string() const {
+    std::string s;
+    s += "ray_casts=" + std::to_string(ray_casts);
+    s += " ray_cast_steps=" + std::to_string(ray_cast_steps);
+    s += " voxel_updates=" + std::to_string(voxel_updates);
+    s += " descend_steps=" + std::to_string(descend_steps);
+    s += " descend_reads=" + std::to_string(descend_reads);
+    s += " leaf_updates=" + std::to_string(leaf_updates);
+    s += " early_aborts=" + std::to_string(early_aborts);
+    s += " parent_updates=" + std::to_string(parent_updates);
+    s += " prune_checks=" + std::to_string(prune_checks);
+    s += " prunes=" + std::to_string(prunes);
+    s += " expands=" + std::to_string(expands);
+    s += " fresh_allocs=" + std::to_string(fresh_allocs);
+    s += " queries=" + std::to_string(queries);
+    return s;
+  }
+};
+
+}  // namespace omu::map

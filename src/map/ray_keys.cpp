@@ -1,0 +1,94 @@
+#include "map/ray_keys.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace omu::map {
+
+bool compute_ray_keys(const KeyCoder& coder, const geom::Vec3d& origin, const geom::Vec3d& end,
+                      std::vector<OcKey>& out, PhaseStats* stats) {
+  const auto key_origin = coder.key_for(origin);
+  const auto key_end = coder.key_for(end);
+  if (!key_origin || !key_end) return false;
+
+  if (stats != nullptr) stats->ray_casts++;
+  if (*key_origin == *key_end) return true;  // same cell: nothing traversed
+
+  // Amanatides & Woo initialization: for each axis, the parametric distance
+  // to the first voxel boundary crossing (t_max) and between consecutive
+  // crossings (t_delta), in units of metres along the ray.
+  const geom::Vec3d direction = end - origin;
+  const double length = direction.norm();
+  const geom::Vec3d dir = direction / length;
+
+  OcKey current = *key_origin;
+  int step[3];
+  double t_max[3];
+  double t_delta[3];
+  const double res = coder.resolution();
+
+  for (int axis = 0; axis < 3; ++axis) {
+    if (dir[axis] > 0.0) {
+      step[axis] = 1;
+    } else if (dir[axis] < 0.0) {
+      step[axis] = -1;
+    } else {
+      step[axis] = 0;
+    }
+    if (step[axis] != 0) {
+      // Distance from the origin to the first boundary along this axis.
+      const double voxel_border =
+          coder.axis_coord(current[static_cast<std::size_t>(axis)]) +
+          static_cast<double>(step[axis]) * 0.5 * res;
+      t_max[axis] = (voxel_border - origin[axis]) / dir[axis];
+      t_delta[axis] = res / std::abs(dir[axis]);
+    } else {
+      t_max[axis] = std::numeric_limits<double>::infinity();
+      t_delta[axis] = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  // Upper bound on steps: Manhattan distance in cells plus slack; guards
+  // against pathological floating-point states.
+  const long max_steps =
+      std::abs(static_cast<long>(key_end->k[0]) - static_cast<long>(key_origin->k[0])) +
+      std::abs(static_cast<long>(key_end->k[1]) - static_cast<long>(key_origin->k[1])) +
+      std::abs(static_cast<long>(key_end->k[2]) - static_cast<long>(key_origin->k[2])) + 3;
+
+  out.push_back(current);
+  if (stats != nullptr) stats->ray_cast_steps++;
+
+  for (long i = 0; i < max_steps; ++i) {
+    int axis = 0;
+    if (t_max[1] < t_max[axis]) axis = 1;
+    if (t_max[2] < t_max[axis]) axis = 2;
+
+    t_max[axis] += t_delta[axis];
+    current[static_cast<std::size_t>(axis)] =
+        static_cast<uint16_t>(current[static_cast<std::size_t>(axis)] + step[axis]);
+
+    if (current == *key_end) break;
+
+    // Defensive: if we have marched past the segment end without landing on
+    // the end key (can only happen under floating-point corner cases when
+    // the endpoint sits exactly on a voxel boundary), stop.
+    double t_smallest = t_max[0];
+    if (t_max[1] < t_smallest) t_smallest = t_max[1];
+    if (t_max[2] < t_smallest) t_smallest = t_max[2];
+    if (t_smallest > length + res) break;
+
+    out.push_back(current);
+    if (stats != nullptr) stats->ray_cast_steps++;
+  }
+  return true;
+}
+
+std::vector<OcKey> ray_keys(const KeyCoder& coder, const geom::Vec3d& origin,
+                            const geom::Vec3d& end) {
+  std::vector<OcKey> out;
+  compute_ray_keys(coder, origin, end, out, nullptr);
+  return out;
+}
+
+}  // namespace omu::map

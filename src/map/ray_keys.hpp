@@ -1,0 +1,31 @@
+// Ray casting over the voxel grid (paper Fig. 1, "Ray Casting" kernel).
+//
+// Computes the set of voxels a sensor ray traverses between its origin and
+// the measured endpoint using the Amanatides & Woo 3D digital differential
+// analyzer — the same algorithm OctoMap's computeRayKeys uses. Cells from
+// the origin cell (inclusive) to the endpoint cell (exclusive) are reported
+// as free space; the endpoint voxel itself is the occupied hit.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "map/ockey.hpp"
+#include "map/phase_stats.hpp"
+
+namespace omu::map {
+
+/// Computes the keys of all voxels strictly traversed by the segment from
+/// `origin` to `end` (endpoint voxel excluded) and appends them to `out`.
+///
+/// Returns false (leaving `out` untouched) when either endpoint lies
+/// outside the representable key space. `stats`, when non-null, receives
+/// one ray_casts increment and one ray_cast_steps increment per DDA step.
+bool compute_ray_keys(const KeyCoder& coder, const geom::Vec3d& origin, const geom::Vec3d& end,
+                      std::vector<OcKey>& out, PhaseStats* stats = nullptr);
+
+/// Convenience wrapper returning the traversed keys as a fresh vector.
+std::vector<OcKey> ray_keys(const KeyCoder& coder, const geom::Vec3d& origin,
+                            const geom::Vec3d& end);
+
+}  // namespace omu::map

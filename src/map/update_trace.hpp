@@ -1,0 +1,69 @@
+// Voxel-update trace recording and replay.
+//
+// A trace captures the exact stream of voxel updates (the scheduler's
+// input, batched per scan) in a compact binary form — 7 bytes per update —
+// so a workload can be captured once and replayed deterministically
+// through the software octree, the accelerator model, or both. This is
+// the tool behind apples-to-apples debugging and cross-version
+// performance tracking: identical traces guarantee identical maps.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "map/scan_inserter.hpp"
+
+namespace omu::map {
+
+/// One recorded batch (typically one scan's worth of updates).
+using UpdateBatch = std::vector<VoxelUpdate>;
+
+/// Streams batches of voxel updates to a binary trace.
+class UpdateTraceWriter {
+ public:
+  /// Writes the trace header. `resolution` documents the voxel size the
+  /// keys refer to (checked on replay).
+  UpdateTraceWriter(std::ostream& os, double resolution);
+
+  /// Appends one batch. Throws std::runtime_error on stream failure.
+  void append(const UpdateBatch& batch);
+
+  uint64_t batches_written() const { return batches_; }
+  uint64_t updates_written() const { return updates_; }
+
+ private:
+  std::ostream* os_;
+  uint64_t batches_ = 0;
+  uint64_t updates_ = 0;
+};
+
+/// Reads a trace produced by UpdateTraceWriter.
+class UpdateTraceReader {
+ public:
+  /// Parses the header. Throws std::runtime_error on malformed input.
+  explicit UpdateTraceReader(std::istream& is);
+
+  double resolution() const { return resolution_; }
+
+  /// Reads the next batch; std::nullopt at end of trace. Throws
+  /// std::runtime_error on truncation.
+  std::optional<UpdateBatch> next();
+
+ private:
+  std::istream* is_;
+  double resolution_ = 0.0;
+};
+
+/// Writes all batches to a file; returns false on I/O failure.
+bool write_trace_file(const std::string& path, double resolution,
+                      const std::vector<UpdateBatch>& batches);
+
+/// Loads a whole trace file; std::nullopt on failure. The resolution is
+/// returned through `resolution_out` when non-null.
+std::optional<std::vector<UpdateBatch>> read_trace_file(const std::string& path,
+                                                        double* resolution_out = nullptr);
+
+}  // namespace omu::map

@@ -1,0 +1,64 @@
+#include "sim/sram.hpp"
+
+namespace omu::sim {
+
+SramBank::SramBank(std::size_t rows) : storage_(rows, 0) {}
+
+uint64_t SramBank::read(std::size_t row) {
+  if (row >= storage_.size()) throw std::out_of_range("SramBank::read row out of range");
+  ++reads_;
+  return storage_[row];
+}
+
+void SramBank::write(std::size_t row, uint64_t value) {
+  if (row >= storage_.size()) throw std::out_of_range("SramBank::write row out of range");
+  ++writes_;
+  storage_[row] = value;
+}
+
+uint64_t SramBank::peek(std::size_t row) const {
+  if (row >= storage_.size()) throw std::out_of_range("SramBank::peek row out of range");
+  return storage_[row];
+}
+
+void SramBank::clear_contents() {
+  storage_.assign(storage_.size(), 0);
+}
+
+BankedSram::BankedSram(std::size_t banks, std::size_t rows_per_bank) : rows_(rows_per_bank) {
+  banks_.reserve(banks);
+  for (std::size_t i = 0; i < banks; ++i) banks_.emplace_back(rows_per_bank);
+}
+
+std::size_t BankedSram::size_bytes() const {
+  std::size_t total = 0;
+  for (const SramBank& b : banks_) total += b.size_bytes();
+  return total;
+}
+
+void BankedSram::read_row(std::size_t row, std::vector<uint64_t>& out) {
+  out.resize(banks_.size());
+  for (std::size_t i = 0; i < banks_.size(); ++i) out[i] = banks_[i].read(row);
+}
+
+uint64_t BankedSram::total_reads() const {
+  uint64_t n = 0;
+  for (const SramBank& b : banks_) n += b.read_count();
+  return n;
+}
+
+uint64_t BankedSram::total_writes() const {
+  uint64_t n = 0;
+  for (const SramBank& b : banks_) n += b.write_count();
+  return n;
+}
+
+void BankedSram::reset_counters() {
+  for (SramBank& b : banks_) b.reset_counters();
+}
+
+void BankedSram::clear_contents() {
+  for (SramBank& b : banks_) b.clear_contents();
+}
+
+}  // namespace omu::sim

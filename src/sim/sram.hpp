@@ -1,0 +1,91 @@
+// SRAM bank models with access accounting.
+//
+// The OMU accelerator's defining micro-architectural feature is its memory
+// organization: each PE owns 8 parallel 32 KiB single-port SRAM banks whose
+// same-row entries hold the 8 children of one octree node, so a whole
+// sibling set is fetched in a single cycle (paper Sec. IV-B, Fig. 5).
+// These models store 64-bit words and count every read/write per bank; the
+// counts drive the energy model (Sec. VI-C reports 91% of accelerator
+// power in SRAM access).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace omu::sim {
+
+/// A single SRAM bank of 64-bit words.
+class SramBank {
+ public:
+  /// `rows` = word capacity (a 32 KiB bank of 64-bit words has 4096 rows).
+  explicit SramBank(std::size_t rows);
+
+  std::size_t rows() const { return storage_.size(); }
+  std::size_t size_bytes() const { return storage_.size() * sizeof(uint64_t); }
+
+  /// Reads one word. Out-of-range rows throw std::out_of_range — the
+  /// hardware equivalent would be a bus error, and the model treats it as
+  /// a simulation bug rather than silently wrapping.
+  uint64_t read(std::size_t row);
+
+  /// Writes one word.
+  void write(std::size_t row, uint64_t value);
+
+  /// Reads a word without incrementing the access counters. Debug/test
+  /// backdoor (e.g. map extraction for equivalence checks) — never used on
+  /// the modeled datapath, so energy accounting stays faithful.
+  uint64_t peek(std::size_t row) const;
+
+  uint64_t read_count() const { return reads_; }
+  uint64_t write_count() const { return writes_; }
+  uint64_t access_count() const { return reads_ + writes_; }
+
+  void reset_counters() {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+  /// Clears contents to zero (power-on state) without touching counters.
+  void clear_contents();
+
+ private:
+  std::vector<uint64_t> storage_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// A set of parallel banks addressed as (bank, row) — one PE's TreeMem.
+class BankedSram {
+ public:
+  BankedSram(std::size_t banks, std::size_t rows_per_bank);
+
+  std::size_t bank_count() const { return banks_.size(); }
+  std::size_t rows_per_bank() const { return rows_; }
+  std::size_t size_bytes() const;
+
+  SramBank& bank(std::size_t i) { return banks_.at(i); }
+  const SramBank& bank(std::size_t i) const { return banks_.at(i); }
+
+  uint64_t read(std::size_t bank, std::size_t row) { return banks_.at(bank).read(row); }
+  void write(std::size_t bank, std::size_t row, uint64_t v) { banks_.at(bank).write(row, v); }
+
+  /// Counter-free read (see SramBank::peek).
+  uint64_t peek(std::size_t bank, std::size_t row) const { return banks_.at(bank).peek(row); }
+
+  /// Reads the same row across all banks — the single-cycle "fetch all 8
+  /// children" operation enabled by the parallel bank organization.
+  void read_row(std::size_t row, std::vector<uint64_t>& out);
+
+  uint64_t total_reads() const;
+  uint64_t total_writes() const;
+  uint64_t total_accesses() const { return total_reads() + total_writes(); }
+  void reset_counters();
+  void clear_contents();
+
+ private:
+  std::vector<SramBank> banks_;
+  std::size_t rows_;
+};
+
+}  // namespace omu::sim

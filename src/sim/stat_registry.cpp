@@ -1,0 +1,39 @@
+#include "sim/stat_registry.hpp"
+
+namespace omu::sim {
+
+void StatRegistry::add(const std::string& name, uint64_t delta) { counters_[name] += delta; }
+
+void StatRegistry::set(const std::string& name, uint64_t value) { counters_[name] = value; }
+
+uint64_t StatRegistry::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatRegistry::contains(const std::string& name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+void StatRegistry::merge(const StatRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatRegistry::entries() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string StatRegistry::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name;
+    out += " = ";
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+void StatRegistry::clear() { counters_.clear(); }
+
+}  // namespace omu::sim

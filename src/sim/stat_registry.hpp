@@ -1,0 +1,46 @@
+// Named statistic counters for simulation reports.
+//
+// A lightweight registry mapping stable string names to uint64 counters,
+// used by the accelerator model to expose micro-architectural event counts
+// (bank reads, queue stalls, prune-stack reuse, ...) to the harness and
+// benches without hard-coding report formats into the model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace omu::sim {
+
+/// Ordered name -> counter map (ordered so reports are deterministic).
+class StatRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero if new.
+  void add(const std::string& name, uint64_t delta = 1);
+
+  /// Sets a counter to an absolute value.
+  void set(const std::string& name, uint64_t value);
+
+  /// Current value; zero for unknown names.
+  uint64_t get(const std::string& name) const;
+
+  /// True if the counter exists.
+  bool contains(const std::string& name) const;
+
+  /// Merges all counters of `other` into this registry (summing).
+  void merge(const StatRegistry& other);
+
+  /// All (name, value) pairs in name order.
+  std::vector<std::pair<std::string, uint64_t>> entries() const;
+
+  /// Multi-line "name = value" dump.
+  std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace omu::sim

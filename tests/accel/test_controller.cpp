@@ -1,0 +1,113 @@
+#include "accel/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/omu_accelerator.hpp"
+#include "geom/rng.hpp"
+
+namespace omu::accel {
+namespace {
+
+geom::PointCloud small_cloud() {
+  geom::SplitMix64 rng(21);
+  geom::PointCloud cloud;
+  for (int i = 0; i < 50; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-3, 3)),
+                                static_cast<float>(rng.uniform(-3, 3)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  return cloud;
+}
+
+TEST(Controller, MagicRegisterIdentifiesDevice) {
+  OmuAccelerator omu;
+  EXPECT_EQ(omu.controller().read(static_cast<uint32_t>(OmuReg::kMagic)), 0x4F4D5531u);
+}
+
+TEST(Controller, ConfigRegistersReflectConfig) {
+  OmuConfig cfg;
+  cfg.pe_count = 4;
+  cfg.rows_per_bank = 1024;
+  cfg.resolution = 0.25;
+  OmuAccelerator omu(cfg);
+  const Controller& c = omu.controller();
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kPeCount)), 4u);
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kBanksPerPe)), 8u);
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kRowsPerBank)), 1024u);
+  // 0.25 m in Q16.16.
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kResolutionQ16)), 16384u);
+}
+
+TEST(Controller, StatusIdleAndNoOverflowInitially) {
+  OmuAccelerator omu;
+  const uint32_t status = omu.controller().read(static_cast<uint32_t>(OmuReg::kStatus));
+  EXPECT_TRUE(status & kStatusIdle);
+  EXPECT_FALSE(status & kStatusOverflow);
+}
+
+TEST(Controller, CycleCountersReadable) {
+  OmuAccelerator omu;
+  omu.integrate_scan(small_cloud(), {0, 0, 0});
+  Controller& c = omu.controller();
+  const uint64_t cycles = (static_cast<uint64_t>(c.read(static_cast<uint32_t>(OmuReg::kCycleHi)))
+                           << 32) |
+                          c.read(static_cast<uint32_t>(OmuReg::kCycleLo));
+  EXPECT_EQ(cycles, omu.totals().map_cycles);
+  EXPECT_GT(cycles, 0u);
+  const uint64_t updates =
+      (static_cast<uint64_t>(c.read(static_cast<uint32_t>(OmuReg::kUpdatesHi))) << 32) |
+      c.read(static_cast<uint32_t>(OmuReg::kUpdatesLo));
+  EXPECT_EQ(updates, omu.totals().updates_dispatched);
+}
+
+TEST(Controller, RowsInUseRegister) {
+  OmuAccelerator omu;
+  omu.integrate_scan(small_cloud(), {0, 0, 0});
+  EXPECT_EQ(omu.controller().read(static_cast<uint32_t>(OmuReg::kRowsInUse)), omu.rows_in_use());
+}
+
+TEST(Controller, ScratchIsReadWrite) {
+  OmuAccelerator omu;
+  Controller& c = omu.controller();
+  c.write(static_cast<uint32_t>(OmuReg::kScratch), 0xCAFEBABEu);
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kScratch)), 0xCAFEBABEu);
+}
+
+TEST(Controller, SoftResetClearsAccelerator) {
+  OmuAccelerator omu;
+  omu.integrate_scan(small_cloud(), {0, 0, 0});
+  ASSERT_GT(omu.totals().map_cycles, 0u);
+  omu.controller().write(static_cast<uint32_t>(OmuReg::kCtrl), kCtrlSoftReset);
+  EXPECT_EQ(omu.totals().map_cycles, 0u);
+  EXPECT_EQ(omu.controller().read(static_cast<uint32_t>(OmuReg::kCycleLo)), 0u);
+}
+
+TEST(Controller, WritesToReadOnlyRegistersIgnored) {
+  OmuAccelerator omu;
+  Controller& c = omu.controller();
+  c.write(static_cast<uint32_t>(OmuReg::kPeCount), 99);
+  EXPECT_EQ(c.read(static_cast<uint32_t>(OmuReg::kPeCount)), 8u);
+}
+
+TEST(Controller, UnmappedAddressReadsBusDefault) {
+  OmuAccelerator omu;
+  EXPECT_EQ(omu.controller().read(0xFF0), 0xDEADBEEFu);
+}
+
+TEST(Controller, OverflowLatchedInStatus) {
+  OmuConfig cfg;
+  cfg.rows_per_bank = 32;
+  OmuAccelerator omu(cfg);
+  geom::SplitMix64 rng(5);
+  geom::PointCloud big;
+  for (int i = 0; i < 3000; ++i) {
+    big.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-40, 40)),
+                              static_cast<float>(rng.uniform(-40, 40)),
+                              static_cast<float>(rng.uniform(-10, 10))});
+  }
+  EXPECT_THROW(omu.integrate_scan(big, {0, 0, 0}), CapacityExhausted);
+  EXPECT_TRUE(omu.controller().read(static_cast<uint32_t>(OmuReg::kStatus)) & kStatusOverflow);
+}
+
+}  // namespace
+}  // namespace omu::accel

@@ -1,0 +1,109 @@
+// Cycle-cost configuration: each knob must charge the right phase, so
+// design-space exploration with OmuCycleCosts is trustworthy.
+#include <gtest/gtest.h>
+
+#include "accel/pe_unit.hpp"
+
+namespace omu::accel {
+namespace {
+
+using map::OcKey;
+
+OcKey key_near_origin(uint16_t dx = 0) {
+  return OcKey{static_cast<uint16_t>(map::kKeyOrigin + dx), map::kKeyOrigin, map::kKeyOrigin};
+}
+
+OmuConfig with_costs(const OmuCycleCosts& costs) {
+  OmuConfig cfg;
+  cfg.rows_per_bank = 512;
+  cfg.costs = costs;
+  return cfg;
+}
+
+PeCycleBreakdown run_updates(const OmuConfig& cfg) {
+  PeUnit pe(0, cfg);
+  // Two updates to the same key: the second walks an existing path
+  // (descend reads) and both unwind fully.
+  pe.execute_update(key_near_origin(), true);
+  pe.execute_update(key_near_origin(), true);
+  pe.execute_update(key_near_origin(1), false);
+  return pe.cycles();
+}
+
+TEST(CycleCosts, DescendReadChargesUpdateLeafPhase) {
+  OmuCycleCosts base;
+  OmuCycleCosts doubled = base;
+  doubled.descend_read = base.descend_read * 2;
+  const auto a = run_updates(with_costs(base));
+  const auto b = run_updates(with_costs(doubled));
+  EXPECT_GT(b.update_leaf, a.update_leaf);
+  EXPECT_EQ(b.update_parents, a.update_parents);
+  EXPECT_EQ(b.prune_expand, a.prune_expand);
+}
+
+TEST(CycleCosts, UnwindReadChargesParentPhase) {
+  OmuCycleCosts base;
+  OmuCycleCosts doubled = base;
+  doubled.unwind_read = base.unwind_read * 2;
+  const auto a = run_updates(with_costs(base));
+  const auto b = run_updates(with_costs(doubled));
+  EXPECT_EQ(b.update_leaf, a.update_leaf);
+  EXPECT_GT(b.update_parents, a.update_parents);
+}
+
+TEST(CycleCosts, UnwindLogicSplitsBetweenParentAndPrune) {
+  OmuCycleCosts base;
+  base.unwind_logic = 2;
+  OmuCycleCosts quadrupled = base;
+  quadrupled.unwind_logic = 8;
+  const auto a = run_updates(with_costs(base));
+  const auto b = run_updates(with_costs(quadrupled));
+  EXPECT_GT(b.update_parents, a.update_parents);
+  EXPECT_GT(b.prune_expand, a.prune_expand);
+}
+
+TEST(CycleCosts, FreshAllocChargesPruneExpandPhase) {
+  OmuCycleCosts base;
+  OmuCycleCosts expensive = base;
+  expensive.fresh_alloc = base.fresh_alloc + 10;
+  const auto a = run_updates(with_costs(base));
+  const auto b = run_updates(with_costs(expensive));
+  EXPECT_GT(b.prune_expand, a.prune_expand);
+  EXPECT_EQ(b.update_parents, a.update_parents);
+}
+
+TEST(CycleCosts, QueryReadChargesQueryPhaseOnly) {
+  OmuCycleCosts base;
+  OmuCycleCosts expensive = base;
+  expensive.query_read = base.query_read * 3;
+  OmuConfig cfg_a = with_costs(base);
+  OmuConfig cfg_b = with_costs(expensive);
+  PeUnit a(0, cfg_a);
+  PeUnit b(0, cfg_b);
+  a.execute_update(key_near_origin(), true);
+  b.execute_update(key_near_origin(), true);
+  const auto qa = a.execute_query(key_near_origin());
+  const auto qb = b.execute_query(key_near_origin());
+  EXPECT_EQ(qb.cycles, qa.cycles * 3);
+  EXPECT_EQ(a.cycles().map_update_total(), b.cycles().map_update_total());
+}
+
+TEST(CycleCosts, TotalCyclesAreSumOfPhases) {
+  const auto c = run_updates(with_costs(OmuCycleCosts{}));
+  EXPECT_EQ(c.map_update_total(), c.update_leaf + c.update_parents + c.prune_expand);
+  EXPECT_GT(c.map_update_total(), 0u);
+}
+
+TEST(CycleCosts, ZeroCostConfigStillMakesProgress) {
+  // All-zero costs are degenerate but must not break the engine (updates
+  // are clamped to >= 1 wall cycle by the scheduler loop).
+  OmuCycleCosts zero{0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  PeUnit pe(0, with_costs(zero));
+  const auto res = pe.execute_update(key_near_origin(), true);
+  EXPECT_EQ(res.cycles, 0u);
+  EXPECT_FALSE(res.out_of_memory);
+  EXPECT_EQ(pe.execute_query(key_near_origin()).occupancy, map::Occupancy::kOccupied);
+}
+
+}  // namespace
+}  // namespace omu::accel

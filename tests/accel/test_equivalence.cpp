@@ -1,0 +1,185 @@
+// Hardware/software equivalence: the OMU accelerator model must produce a
+// map that is bit-for-bit identical to the software OctoMap baseline when
+// fed the same voxel-update stream. This is the central functional claim
+// behind every performance number in the paper — the accelerator computes
+// the *same* probabilistic map, only faster.
+#include <gtest/gtest.h>
+
+#include "accel/omu_accelerator.hpp"
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::accel {
+namespace {
+
+using map::OccupancyOctree;
+using map::Occupancy;
+using map::OcKey;
+using map::VoxelUpdate;
+
+/// Applies the same stream to both sides and checks bit-exact agreement of
+/// the canonical leaf lists plus spot queries.
+void expect_equivalent(const std::vector<VoxelUpdate>& updates, uint64_t query_seed) {
+  OccupancyOctree sw(0.2);
+  for (const VoxelUpdate& u : updates) sw.update_node(u.key, u.occupied);
+
+  OmuAccelerator hw;
+  hw.simulate_updates(updates);
+
+  const auto sw_leaves = map::normalize_to_depth1(sw.leaves_sorted());
+  const auto hw_leaves = hw.leaves_sorted();
+  ASSERT_EQ(sw_leaves.size(), hw_leaves.size());
+  for (std::size_t i = 0; i < sw_leaves.size(); ++i) {
+    EXPECT_EQ(sw_leaves[i].key.packed(), hw_leaves[i].key.packed()) << "leaf " << i;
+    EXPECT_EQ(sw_leaves[i].depth, hw_leaves[i].depth) << "leaf " << i;
+    EXPECT_EQ(sw_leaves[i].log_odds, hw_leaves[i].log_odds) << "leaf " << i;  // bit-exact
+  }
+  EXPECT_EQ(sw.content_hash(), hw.content_hash());
+
+  // Spot-check occupancy classification on random voxels.
+  geom::SplitMix64 rng(query_seed);
+  for (int i = 0; i < 300; ++i) {
+    const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32)};
+    EXPECT_EQ(sw.classify(k), hw.query(k).occupancy) << i;
+  }
+}
+
+std::vector<VoxelUpdate> random_updates(uint64_t seed, int n, int span) {
+  geom::SplitMix64 rng(seed);
+  std::vector<VoxelUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const OcKey k{
+        static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                              static_cast<uint64_t>(span) / 2),
+        static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                              static_cast<uint64_t>(span) / 2),
+        static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                              static_cast<uint64_t>(span) / 2)};
+    updates.push_back(VoxelUpdate{k, rng.next_below(100) < 40});
+  }
+  return updates;
+}
+
+TEST(Equivalence, SingleUpdate) {
+  expect_equivalent({VoxelUpdate{OcKey{map::kKeyOrigin, map::kKeyOrigin, map::kKeyOrigin}, true}},
+                    1);
+}
+
+TEST(Equivalence, SparseRandomUpdates) { expect_equivalent(random_updates(42, 2000, 64), 2); }
+
+TEST(Equivalence, DenseRegionWithSaturationAndPruning) {
+  // Narrow span + many updates: heavy revisits drive values to the clamps,
+  // triggering prune, early-abort and expand paths on both sides.
+  expect_equivalent(random_updates(43, 20000, 8), 3);
+}
+
+TEST(Equivalence, FreeSpaceDominatedWorkload) {
+  // Mostly misses (like ray casting free space): exercises clamped-free
+  // pruned regions.
+  geom::SplitMix64 rng(44);
+  std::vector<VoxelUpdate> updates;
+  for (int i = 0; i < 15000; ++i) {
+    const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(12)),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(12)),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(4))};
+    updates.push_back(VoxelUpdate{k, rng.next_below(100) < 5});
+  }
+  expect_equivalent(updates, 4);
+}
+
+TEST(Equivalence, CrossOctantUpdates) {
+  // Keys straddling the origin land in all 8 first-level branches (and
+  // thus all 8 PEs).
+  expect_equivalent(random_updates(45, 5000, 40), 5);
+}
+
+TEST(Equivalence, ScanPipelineEndToEnd) {
+  // Full pipeline comparison: identical point clouds through the software
+  // ScanInserter and the accelerator's ray-casting unit.
+  geom::SplitMix64 rng(46);
+  OccupancyOctree sw(0.2);
+  map::ScanInserter inserter(sw);
+  OmuAccelerator hw;
+
+  for (int scan = 0; scan < 5; ++scan) {
+    geom::PointCloud cloud;
+    for (int i = 0; i < 400; ++i) {
+      cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-5, 5)),
+                                  static_cast<float>(rng.uniform(-5, 5)),
+                                  static_cast<float>(rng.uniform(-1.5, 1.5))});
+    }
+    const geom::Vec3d origin{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5), 0.0};
+    inserter.insert_scan(cloud, origin);
+    hw.integrate_scan(cloud, origin);
+  }
+
+  EXPECT_EQ(map::normalize_to_depth1(sw.leaves_sorted()), hw.leaves_sorted());
+  EXPECT_EQ(sw.content_hash(), hw.content_hash());
+}
+
+TEST(Equivalence, OperationCountsMatch) {
+  // Not only the map content but the structural operation counts (prunes,
+  // expands, early aborts, leaf updates) must agree — they drive the
+  // cost/energy models.
+  const auto updates = random_updates(47, 10000, 16);
+  OccupancyOctree sw(0.2);
+  for (const VoxelUpdate& u : updates) sw.update_node(u.key, u.occupied);
+  OmuAccelerator hw;
+  hw.simulate_updates(updates);
+  const map::PhaseStats hs = hw.aggregate_stats();
+  EXPECT_EQ(hs.voxel_updates, sw.stats().voxel_updates);
+  EXPECT_EQ(hs.leaf_updates, sw.stats().leaf_updates);
+  EXPECT_EQ(hs.early_aborts, sw.stats().early_aborts);
+  EXPECT_EQ(hs.prunes, sw.stats().prunes);
+  EXPECT_EQ(hs.expands, sw.stats().expands);
+  // The software tree allocates one children block for the root's 8
+  // depth-1 nodes; the accelerator holds depth-1 subtree roots in PE
+  // registers instead (the scheduler does the level-0 step), so it
+  // performs exactly one fewer fresh allocation.
+  EXPECT_EQ(hs.fresh_allocs + 1, sw.stats().fresh_allocs);
+}
+
+TEST(Equivalence, PeCountDoesNotChangeContent) {
+  const auto updates = random_updates(48, 3000, 32);
+  uint64_t reference_hash = 0;
+  for (std::size_t pes : {1u, 2u, 4u, 8u}) {
+    OmuConfig cfg;
+    cfg.pe_count = pes;
+    cfg.rows_per_bank = 4096;
+    OmuAccelerator hw(cfg);
+    hw.simulate_updates(updates);
+    if (pes == 1) {
+      reference_hash = hw.content_hash();
+    } else {
+      EXPECT_EQ(hw.content_hash(), reference_hash) << pes;
+    }
+  }
+}
+
+TEST(Equivalence, BankCountDoesNotChangeContent) {
+  const auto updates = random_updates(49, 3000, 32);
+  OmuConfig cfg8;
+  OmuConfig cfg2;
+  cfg2.banks_per_pe = 2;
+  OmuAccelerator a(cfg8);
+  OmuAccelerator b(cfg2);
+  a.simulate_updates(updates);
+  b.simulate_updates(updates);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+class EquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceSweep, RandomSeeds) {
+  expect_equivalent(random_updates(GetParam(), 4000, 24), GetParam() + 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace omu::accel

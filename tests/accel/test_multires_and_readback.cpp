@@ -1,0 +1,131 @@
+// Multi-resolution queries (coarse answers from inner-node max values,
+// paper Sec. III-A) and whole-map DMA readback (to_octree).
+#include <gtest/gtest.h>
+
+#include "accel/omu_accelerator.hpp"
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+
+namespace omu::accel {
+namespace {
+
+using map::OcKey;
+using map::Occupancy;
+
+OcKey key_near_origin(uint16_t dx = 0, uint16_t dy = 0, uint16_t dz = 0) {
+  return OcKey{static_cast<uint16_t>(map::kKeyOrigin + dx),
+               static_cast<uint16_t>(map::kKeyOrigin + dy),
+               static_cast<uint16_t>(map::kKeyOrigin + dz)};
+}
+
+TEST(MultiResQuery, CoarseQueryStopsAtRequestedDepth) {
+  OmuAccelerator omu;
+  omu.simulate_updates({{key_near_origin(), true}});
+  const auto fine = omu.query(key_near_origin());
+  EXPECT_EQ(fine.depth, map::kTreeDepth);
+  const auto coarse = omu.query(key_near_origin(), 8);
+  EXPECT_EQ(coarse.depth, 8);
+  EXPECT_EQ(coarse.occupancy, Occupancy::kOccupied);
+  EXPECT_LT(coarse.cycles, fine.cycles);  // shorter walk
+}
+
+TEST(MultiResQuery, CoarseAnswerIsMaxOfSubtree) {
+  OmuAccelerator omu;
+  // One occupied voxel and one free sibling region: the coarse node must
+  // answer occupied (max-propagation makes coarse queries conservative).
+  omu.simulate_updates({{key_near_origin(0), true}, {key_near_origin(1), false}});
+  const auto coarse = omu.query(key_near_origin(1), 12);
+  EXPECT_EQ(coarse.occupancy, Occupancy::kOccupied);
+  // The fine query still answers free for the free voxel.
+  EXPECT_EQ(omu.query(key_near_origin(1)).occupancy, Occupancy::kFree);
+}
+
+TEST(MultiResQuery, MatchesSoftwareSearchAtEveryDepth) {
+  OmuAccelerator omu;
+  map::OccupancyOctree sw(0.2);
+  geom::SplitMix64 rng(31);
+  std::vector<map::VoxelUpdate> updates;
+  for (int i = 0; i < 3000; ++i) {
+    const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16)};
+    updates.push_back({k, rng.next_below(100) < 40});
+  }
+  for (const auto& u : updates) sw.update_node(u.key, u.occupied);
+  omu.simulate_updates(updates);
+
+  for (int depth = 2; depth <= map::kTreeDepth; depth += 2) {
+    for (int i = 0; i < 100; ++i) {
+      const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16),
+                    static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16),
+                    static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16)};
+      const auto sw_view = sw.search(k, depth);
+      const auto hw = omu.query(k, depth);
+      if (!sw_view) {
+        EXPECT_EQ(hw.occupancy, Occupancy::kUnknown) << depth;
+      } else {
+        EXPECT_EQ(hw.occupancy, sw.params().classify(sw_view->log_odds)) << depth;
+        EXPECT_EQ(hw.log_odds, sw_view->log_odds) << depth;
+      }
+    }
+  }
+}
+
+TEST(MapReadback, ToOctreeReproducesContentExactly) {
+  OmuAccelerator omu;
+  geom::SplitMix64 rng(32);
+  std::vector<map::VoxelUpdate> updates;
+  for (int i = 0; i < 5000; ++i) {
+    const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(16) - 8),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(16) - 8),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(16) - 8)};
+    updates.push_back({k, rng.next_below(100) < 45});
+  }
+  omu.simulate_updates(updates);
+
+  const map::OccupancyOctree readback = omu.to_octree();
+  EXPECT_EQ(readback.content_hash(), omu.content_hash());
+  EXPECT_EQ(readback.resolution(), omu.config().resolution);
+
+  // Classification agrees everywhere we sample.
+  for (int i = 0; i < 500; ++i) {
+    const OcKey k{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(24) - 12),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(24) - 12),
+                  static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(24) - 12)};
+    EXPECT_EQ(readback.classify(k), omu.query(k).occupancy) << i;
+  }
+}
+
+TEST(MapReadback, EmptyAcceleratorYieldsEmptyTree) {
+  const OmuAccelerator omu;
+  const map::OccupancyOctree tree = omu.to_octree();
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(SetLeafAtDepth, InstallsPrunedSubtree) {
+  map::OccupancyOctree tree(0.2);
+  tree.set_leaf_at_depth(key_near_origin(), 10, 1.5f);
+  const auto view = tree.search(key_near_origin());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->depth, 10);
+  EXPECT_FLOAT_EQ(view->log_odds, 1.5f);
+  // Every voxel in the covered region classifies occupied.
+  OcKey other = key_near_origin(5, 9, 3);
+  EXPECT_EQ(tree.classify(other), map::Occupancy::kOccupied);
+}
+
+TEST(SetLeafAtDepth, ReplacesExistingSubtreeAndRecyclesBlocks) {
+  map::OccupancyOctree tree(0.2);
+  for (int i = 0; i < 8; ++i) {
+    tree.update_node(key_near_origin(static_cast<uint16_t>(i), 0, 0), i % 2 == 0);
+  }
+  const std::size_t slots = tree.pool_slots();
+  tree.set_leaf_at_depth(key_near_origin(), 12, -1.0f);
+  // Dropped subtree blocks went to the free list, not leaked.
+  EXPECT_GT(tree.free_blocks(), 0u);
+  EXPECT_EQ(tree.pool_slots(), slots);
+  EXPECT_EQ(tree.classify(key_near_origin(3, 0, 0)), map::Occupancy::kFree);
+}
+
+}  // namespace
+}  // namespace omu::accel

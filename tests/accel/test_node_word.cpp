@@ -1,0 +1,118 @@
+#include "accel/node_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::accel {
+namespace {
+
+TEST(NodeWord, DefaultIsZeroRaw) {
+  const NodeWord w;
+  EXPECT_EQ(w.raw(), 0u);
+  EXPECT_EQ(w.pointer(), 0u);
+  EXPECT_EQ(w.prob().raw(), 0);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(w.tag(i), ChildTag::kUnknown);
+}
+
+TEST(NodeWord, LeafFactoryHasNullPointer) {
+  const NodeWord w = NodeWord::leaf(geom::Fixed16::from_float(1.5f));
+  EXPECT_FALSE(w.has_children());
+  EXPECT_EQ(w.pointer(), kNullRowPtr);
+  EXPECT_FLOAT_EQ(w.prob().to_float(), 1.5f);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(w.tag(i), ChildTag::kUnknown);
+}
+
+TEST(NodeWord, PointerFieldBits63To32) {
+  NodeWord w;
+  w.set_pointer(0x12345678u);
+  EXPECT_EQ(w.pointer(), 0x12345678u);
+  EXPECT_EQ(w.raw() >> 32, 0x12345678ULL);
+  EXPECT_TRUE(w.has_children());
+  // Pointer write leaves tags and prob untouched.
+  EXPECT_EQ(w.raw() & 0xFFFFFFFFULL, 0u);
+}
+
+TEST(NodeWord, TagFieldLayout) {
+  NodeWord w;
+  w.set_tag(0, ChildTag::kOccupied);
+  w.set_tag(7, ChildTag::kInner);
+  // Child 0 occupies bits [17:16], child 7 bits [31:30] (paper Fig. 5).
+  EXPECT_EQ((w.raw() >> 16) & 0x3u, 0b01u);
+  EXPECT_EQ((w.raw() >> 30) & 0x3u, 0b11u);
+  EXPECT_EQ(w.tag(0), ChildTag::kOccupied);
+  EXPECT_EQ(w.tag(7), ChildTag::kInner);
+  EXPECT_EQ(w.tag(3), ChildTag::kUnknown);
+}
+
+TEST(NodeWord, TagEncodingMatchesPaper) {
+  // 00 unknown; 01 occupied; 10 free; 11 inner.
+  EXPECT_EQ(static_cast<uint8_t>(ChildTag::kUnknown), 0b00);
+  EXPECT_EQ(static_cast<uint8_t>(ChildTag::kOccupied), 0b01);
+  EXPECT_EQ(static_cast<uint8_t>(ChildTag::kFree), 0b10);
+  EXPECT_EQ(static_cast<uint8_t>(ChildTag::kInner), 0b11);
+}
+
+TEST(NodeWord, SetAllTags) {
+  NodeWord w;
+  w.set_all_tags(ChildTag::kFree);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(w.tag(i), ChildTag::kFree);
+  EXPECT_EQ((w.raw() >> 16) & 0xFFFFu, 0b1010101010101010u);
+}
+
+TEST(NodeWord, ProbFieldLow16Bits) {
+  NodeWord w;
+  w.set_prob(geom::Fixed16::from_float(-2.0f));
+  EXPECT_EQ(static_cast<int16_t>(w.raw() & 0xFFFF), -2048);
+  EXPECT_FLOAT_EQ(w.prob().to_float(), -2.0f);
+  // Negative prob must not bleed into the tag field.
+  EXPECT_EQ(w.tag(0), ChildTag::kUnknown);
+  w.set_prob(geom::Fixed16::from_float(3.5f));
+  EXPECT_FLOAT_EQ(w.prob().to_float(), 3.5f);
+}
+
+TEST(NodeWord, FieldsAreIndependent) {
+  NodeWord w;
+  w.set_pointer(0xABCDEF01u);
+  w.set_all_tags(ChildTag::kInner);
+  w.set_prob(geom::Fixed16::from_float(-1.25f));
+  EXPECT_EQ(w.pointer(), 0xABCDEF01u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(w.tag(i), ChildTag::kInner);
+  EXPECT_FLOAT_EQ(w.prob().to_float(), -1.25f);
+  // Mutating one field preserves the others.
+  w.set_tag(4, ChildTag::kFree);
+  EXPECT_EQ(w.pointer(), 0xABCDEF01u);
+  EXPECT_FLOAT_EQ(w.prob().to_float(), -1.25f);
+  EXPECT_EQ(w.tag(3), ChildTag::kInner);
+  EXPECT_EQ(w.tag(4), ChildTag::kFree);
+}
+
+TEST(NodeWord, RawRoundTrip) {
+  NodeWord w;
+  w.set_pointer(77);
+  w.set_tag(2, ChildTag::kOccupied);
+  w.set_prob(geom::Fixed16::from_float(0.85f));
+  const NodeWord w2 = NodeWord::from_raw(w.raw());
+  EXPECT_EQ(w2, w);
+}
+
+TEST(NodeWord, AllChildrenKnownLeaves) {
+  NodeWord w;
+  w.set_all_tags(ChildTag::kOccupied);
+  EXPECT_TRUE(w.all_children_known_leaves());
+  w.set_tag(5, ChildTag::kFree);
+  EXPECT_TRUE(w.all_children_known_leaves());
+  w.set_tag(2, ChildTag::kInner);
+  EXPECT_FALSE(w.all_children_known_leaves());
+  w.set_tag(2, ChildTag::kUnknown);
+  EXPECT_FALSE(w.all_children_known_leaves());
+}
+
+TEST(NodeWord, TagForLeafValueThresholdSemantics) {
+  const geom::Fixed16 thr = geom::Fixed16::from_float(0.0f);
+  EXPECT_EQ(tag_for_leaf_value(geom::Fixed16::from_float(0.5f), thr), ChildTag::kOccupied);
+  EXPECT_EQ(tag_for_leaf_value(geom::Fixed16::from_float(-0.5f), thr), ChildTag::kFree);
+  // Exactly at threshold: free (strictly-greater = occupied).
+  EXPECT_EQ(tag_for_leaf_value(thr, thr), ChildTag::kFree);
+}
+
+}  // namespace
+}  // namespace omu::accel

@@ -1,0 +1,177 @@
+#include "accel/omu_accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::accel {
+namespace {
+
+using map::Occupancy;
+
+geom::PointCloud random_cloud(uint64_t seed, int n, double radius = 4.0) {
+  geom::SplitMix64 rng(seed);
+  geom::PointCloud cloud;
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-radius, radius)),
+                                static_cast<float>(rng.uniform(-radius, radius)),
+                                static_cast<float>(rng.uniform(-radius / 4, radius / 4))});
+  }
+  return cloud;
+}
+
+TEST(OmuTop, ConstructsWithPaperDefaults) {
+  OmuAccelerator omu;
+  EXPECT_EQ(omu.pe_count(), 8u);
+  EXPECT_EQ(omu.config().total_sram_bytes(), 2u * 1024u * 1024u);  // 8 x 256 KiB
+}
+
+TEST(OmuTop, RejectsInvalidConfigs) {
+  OmuConfig cfg;
+  cfg.pe_count = 0;
+  EXPECT_THROW(OmuAccelerator{cfg}, std::invalid_argument);
+  cfg.pe_count = 9;
+  EXPECT_THROW(OmuAccelerator{cfg}, std::invalid_argument);
+  cfg.pe_count = 8;
+  cfg.banks_per_pe = 0;
+  EXPECT_THROW(OmuAccelerator{cfg}, std::invalid_argument);
+}
+
+TEST(OmuTop, IntegrateScanBuildsQueryableMap) {
+  OmuAccelerator omu;
+  const auto cloud = random_cloud(1, 300);
+  const auto result = omu.integrate_scan(cloud, {0, 0, 0});
+  EXPECT_EQ(result.cast.rays, 300u);
+  EXPECT_GT(result.cast.total_updates(), 300u);
+  EXPECT_GT(result.map_cycles, 0u);
+  // Every endpoint voxel answers occupied or free (occupied unless a later
+  // ray passed through it), never unknown.
+  for (const auto& p : cloud) {
+    EXPECT_NE(omu.classify(p.cast<double>()), Occupancy::kUnknown);
+  }
+  EXPECT_EQ(omu.totals().scans, 1u);
+}
+
+TEST(OmuTop, WallCyclesBoundedByWorkPerPe) {
+  OmuAccelerator omu;
+  const auto cloud = random_cloud(2, 500);
+  const auto result = omu.integrate_scan(cloud, {0, 0, 0});
+  const auto phase = omu.aggregate_cycles();
+  // Wall cycles must be at least the busiest PE's share and at most the
+  // serialized total.
+  EXPECT_GE(result.map_cycles * omu.pe_count(), phase.map_update_total());
+  EXPECT_LE(result.map_cycles, phase.map_update_total() + result.cast.total_updates() + 16);
+}
+
+TEST(OmuTop, ParallelismBeatsSinglePe) {
+  const auto cloud = random_cloud(3, 400);
+  OmuConfig cfg8;
+  OmuConfig cfg1;
+  cfg1.pe_count = 1;
+  cfg1.rows_per_bank = 4096 * 8;
+  OmuAccelerator omu8(cfg8);
+  OmuAccelerator omu1(cfg1);
+  const auto r8 = omu8.integrate_scan(cloud, {0, 0, 0});
+  const auto r1 = omu1.integrate_scan(cloud, {0, 0, 0});
+  EXPECT_LT(r8.map_cycles, r1.map_cycles);
+  // Same map content regardless of PE count.
+  EXPECT_EQ(omu8.content_hash(), omu1.content_hash());
+}
+
+TEST(OmuTop, SimulateUpdatesMatchesScanPipeline) {
+  // Feeding collect_updates output through simulate_updates must equal the
+  // integrated-scan map.
+  const auto cloud = random_cloud(4, 200);
+  OmuAccelerator via_scan;
+  via_scan.integrate_scan(cloud, {0, 0, 0});
+
+  map::OccupancyOctree tmp(0.2);
+  map::ScanInserter inserter(tmp);
+  std::vector<map::VoxelUpdate> updates;
+  inserter.collect_updates(cloud, {0, 0, 0}, updates);
+  OmuAccelerator via_stream;
+  via_stream.simulate_updates(updates);
+
+  EXPECT_EQ(via_scan.content_hash(), via_stream.content_hash());
+}
+
+TEST(OmuTop, SramTrafficIsCounted) {
+  OmuAccelerator omu;
+  omu.integrate_scan(random_cloud(5, 100), {0, 0, 0});
+  EXPECT_GT(omu.sram_reads(), 0u);
+  EXPECT_GT(omu.sram_writes(), 0u);
+  // A depth-16 walk reads at least the unwind rows: >> 1 read per update.
+  EXPECT_GT(omu.sram_reads(), omu.totals().updates_dispatched);
+}
+
+TEST(OmuTop, RowsInUseTracksMapSize) {
+  OmuAccelerator omu;
+  EXPECT_EQ(omu.rows_in_use(), 0u);
+  omu.integrate_scan(random_cloud(6, 200), {0, 0, 0});
+  EXPECT_GT(omu.rows_in_use(), 0u);
+  EXPECT_GE(omu.peak_rows_touched(), omu.rows_in_use());
+}
+
+TEST(OmuTop, QueryServiceCountsAndClassifies) {
+  OmuAccelerator omu;
+  const auto cloud = random_cloud(7, 150);
+  omu.integrate_scan(cloud, {0, 0, 0});
+  const auto key = map::KeyCoder(0.2).key_for(cloud[0].cast<double>());
+  ASSERT_TRUE(key.has_value());
+  omu.query(*key);
+  EXPECT_EQ(omu.query_unit().stats().queries, 1u);
+  EXPECT_GT(omu.query_unit().stats().cycles, 0u);
+}
+
+TEST(OmuTop, CapacityExhaustionThrows) {
+  OmuConfig cfg;
+  cfg.rows_per_bank = 32;  // tiny memory
+  OmuAccelerator omu(cfg);
+  EXPECT_THROW(omu.integrate_scan(random_cloud(8, 2000, 30.0), {0, 0, 0}), CapacityExhausted);
+  EXPECT_TRUE(omu.overflow_seen());
+}
+
+TEST(OmuTop, ResetRestoresPowerOnState) {
+  OmuAccelerator omu;
+  omu.integrate_scan(random_cloud(9, 100), {0, 0, 0});
+  omu.reset();
+  EXPECT_EQ(omu.totals().map_cycles, 0u);
+  EXPECT_EQ(omu.totals().scans, 0u);
+  EXPECT_EQ(omu.rows_in_use(), 0u);
+  EXPECT_EQ(omu.sram_reads(), 0u);
+  EXPECT_EQ(omu.content_hash(), OmuAccelerator().content_hash());
+}
+
+TEST(OmuTop, MultiScanAccumulates) {
+  OmuAccelerator omu;
+  const auto c1 = random_cloud(10, 100);
+  const auto c2 = random_cloud(11, 100);
+  const auto r1 = omu.integrate_scan(c1, {0, 0, 0});
+  const uint64_t cycles_after_1 = omu.totals().map_cycles;
+  EXPECT_EQ(cycles_after_1, r1.map_cycles);
+  omu.integrate_scan(c2, {0.5, 0, 0});
+  EXPECT_GT(omu.totals().map_cycles, cycles_after_1);
+  EXPECT_EQ(omu.totals().scans, 2u);
+}
+
+TEST(OmuTop, SecondsConversionUsesClock) {
+  OmuRunTotals t;
+  t.map_cycles = 2'000'000'000ULL;
+  EXPECT_DOUBLE_EQ(t.seconds(1e9), 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds(2e9), 1.0);
+}
+
+TEST(OmuTop, SchedulerLoadSpreadsAcrossPes) {
+  OmuAccelerator omu;
+  // A cloud spanning all octants around the origin must hit several PEs.
+  omu.integrate_scan(random_cloud(12, 800, 6.0), {0.05, 0.05, 0.05});
+  int active_pes = 0;
+  for (uint64_t n : omu.scheduler().per_pe_dispatched()) {
+    if (n > 0) ++active_pes;
+  }
+  EXPECT_GE(active_pes, 6);
+}
+
+}  // namespace
+}  // namespace omu::accel

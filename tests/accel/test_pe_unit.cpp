@@ -1,0 +1,209 @@
+#include "accel/pe_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::accel {
+namespace {
+
+using map::OcKey;
+using map::Occupancy;
+
+OmuConfig small_config() {
+  OmuConfig cfg;
+  cfg.rows_per_bank = 512;
+  return cfg;
+}
+
+OcKey key_near_origin(uint16_t dx = 0, uint16_t dy = 0, uint16_t dz = 0) {
+  return OcKey{static_cast<uint16_t>(map::kKeyOrigin + dx),
+               static_cast<uint16_t>(map::kKeyOrigin + dy),
+               static_cast<uint16_t>(map::kKeyOrigin + dz)};
+}
+
+std::vector<OcKey> sibling_block(const OcKey& base) {
+  std::vector<OcKey> keys;
+  const OcKey aligned = map::key_at_depth(base, map::kTreeDepth - 1);
+  for (int i = 0; i < 8; ++i) {
+    OcKey k = aligned;
+    k[0] |= static_cast<uint16_t>(i & 1);
+    k[1] |= static_cast<uint16_t>((i >> 1) & 1);
+    k[2] |= static_cast<uint16_t>((i >> 2) & 1);
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(PeUnit, QueryOnEmptyPeIsUnknown) {
+  PeUnit pe(0, small_config());
+  const auto r = pe.execute_query(key_near_origin());
+  EXPECT_EQ(r.occupancy, Occupancy::kUnknown);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(PeUnit, HitThenQueryOccupied) {
+  PeUnit pe(0, small_config());
+  const OcKey k = key_near_origin();
+  const auto res = pe.execute_update(k, true);
+  EXPECT_FALSE(res.early_abort);
+  EXPECT_FALSE(res.out_of_memory);
+  EXPECT_GT(res.cycles, 0u);
+  const auto q = pe.execute_query(k);
+  EXPECT_EQ(q.occupancy, Occupancy::kOccupied);
+  EXPECT_EQ(q.depth, map::kTreeDepth);
+  EXPECT_NEAR(q.log_odds, 870.0f / 1024.0f, 1e-6f);
+  EXPECT_GT(q.cycles, 0u);
+}
+
+TEST(PeUnit, MissThenQueryFree) {
+  PeUnit pe(0, small_config());
+  const OcKey k = key_near_origin(3, 1, 2);
+  pe.execute_update(k, false);
+  const auto q = pe.execute_query(k);
+  EXPECT_EQ(q.occupancy, Occupancy::kFree);
+  EXPECT_NEAR(q.log_odds, -410.0f / 1024.0f, 1e-6f);
+}
+
+TEST(PeUnit, RepeatedHitsClampThenAbort) {
+  PeUnit pe(0, small_config());
+  const OcKey k = key_near_origin();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(pe.execute_update(k, true).early_abort) << i;
+  }
+  EXPECT_FLOAT_EQ(pe.execute_query(k).log_odds, 3.5f);
+  const auto res = pe.execute_update(k, true);
+  EXPECT_TRUE(res.early_abort);
+  // An aborted update still costs the descent cycles it spent.
+  EXPECT_GT(res.cycles, 0u);
+}
+
+TEST(PeUnit, EqualSiblingsPruneAndReleaseRow) {
+  PeUnit pe(0, small_config());
+  const auto block = sibling_block(key_near_origin());
+  for (const OcKey& k : block) pe.execute_update(k, true);
+  EXPECT_GE(pe.stats().prunes, 1u);
+  EXPECT_GE(pe.addr_manager().stats().releases, 1u);
+  // Queries after pruning terminate above the finest level with the value.
+  const auto q = pe.execute_query(block[0]);
+  EXPECT_EQ(q.occupancy, Occupancy::kOccupied);
+  EXPECT_LT(q.depth, map::kTreeDepth);
+}
+
+TEST(PeUnit, ExpandAfterPruneRestoresPerVoxelValues) {
+  PeUnit pe(0, small_config());
+  const auto block = sibling_block(key_near_origin());
+  for (const OcKey& k : block) pe.execute_update(k, true);
+  const uint64_t expands_before = pe.stats().expands;
+  pe.execute_update(block[5], false);
+  EXPECT_EQ(pe.stats().expands, expands_before + 1);
+  EXPECT_NEAR(pe.execute_query(block[5]).log_odds, (870.0f - 410.0f) / 1024.0f, 1e-6f);
+  EXPECT_NEAR(pe.execute_query(block[4]).log_odds, 870.0f / 1024.0f, 1e-6f);
+  EXPECT_EQ(pe.execute_query(block[4]).depth, map::kTreeDepth);
+}
+
+TEST(PeUnit, CycleBreakdownCoversAllPhases) {
+  PeUnit pe(0, small_config());
+  const auto block = sibling_block(key_near_origin());
+  for (const OcKey& k : block) pe.execute_update(k, true);
+  const PeCycleBreakdown& c = pe.cycles();
+  EXPECT_GT(c.update_leaf, 0u);
+  EXPECT_GT(c.update_parents, 0u);
+  EXPECT_GT(c.prune_expand, 0u);
+  EXPECT_EQ(c.query, 0u);
+  // Parent updates dominate leaf updates: 15 levels of row read + write
+  // versus a handful of descent reads.
+  EXPECT_GT(c.update_parents, c.update_leaf / 2);
+}
+
+TEST(PeUnit, SaturatedPrunedRegionAbortsWithoutExpanding) {
+  PeUnit pe(0, small_config());
+  const auto block = sibling_block(key_near_origin());
+  for (int round = 0; round < 5; ++round) {
+    for (const OcKey& k : block) pe.execute_update(k, true);
+  }
+  const uint64_t expands_before = pe.stats().expands;
+  const auto res = pe.execute_update(block[1], true);
+  EXPECT_TRUE(res.early_abort);
+  EXPECT_EQ(pe.stats().expands, expands_before);
+}
+
+TEST(PeUnit, RunsOutOfMemoryGracefully) {
+  OmuConfig cfg;
+  cfg.rows_per_bank = 8;  // far too small for a depth-16 path
+  PeUnit pe(0, cfg);
+  // Fill memory with distinct branches until allocation fails.
+  bool saw_oom = false;
+  for (uint16_t i = 0; i < 64 && !saw_oom; ++i) {
+    const auto res = pe.execute_update(key_near_origin(static_cast<uint16_t>(i * 4),
+                                                       static_cast<uint16_t>(i * 8), 0),
+                                       true);
+    saw_oom = res.out_of_memory;
+  }
+  EXPECT_TRUE(saw_oom);
+}
+
+TEST(PeUnit, DistinctBranchesCoexistInOnePe) {
+  // With fewer PEs than branches one PE serves several first-level
+  // subtrees; exercise two opposite octants.
+  PeUnit pe(0, small_config());
+  const OcKey pos = key_near_origin(10, 10, 10);
+  const OcKey neg{static_cast<uint16_t>(map::kKeyOrigin - 10),
+                  static_cast<uint16_t>(map::kKeyOrigin - 10),
+                  static_cast<uint16_t>(map::kKeyOrigin - 10)};
+  ASSERT_NE(map::first_level_branch(pos), map::first_level_branch(neg));
+  pe.execute_update(pos, true);
+  pe.execute_update(neg, false);
+  EXPECT_EQ(pe.execute_query(pos).occupancy, Occupancy::kOccupied);
+  EXPECT_EQ(pe.execute_query(neg).occupancy, Occupancy::kFree);
+}
+
+TEST(PeUnit, ForEachLeafEnumeratesContent) {
+  PeUnit pe(0, small_config());
+  pe.execute_update(key_near_origin(0), true);
+  pe.execute_update(key_near_origin(4, 4, 0), false);
+  std::size_t leaves = 0;
+  std::size_t occupied = 0;
+  pe.for_each_leaf([&](const OcKey&, int depth, float value) {
+    ++leaves;
+    EXPECT_LE(depth, map::kTreeDepth);
+    if (value > 0) ++occupied;
+  });
+  EXPECT_EQ(leaves, 2u);
+  EXPECT_EQ(occupied, 1u);
+}
+
+TEST(PeUnit, LeafEnumerationDoesNotPerturbCounters) {
+  PeUnit pe(0, small_config());
+  pe.execute_update(key_near_origin(), true);
+  const uint64_t reads_before = pe.tree_mem().sram().total_reads();
+  pe.for_each_leaf([](const OcKey&, int, float) {});
+  EXPECT_EQ(pe.tree_mem().sram().total_reads(), reads_before);
+}
+
+TEST(PeUnit, ResetClearsEverything) {
+  PeUnit pe(0, small_config());
+  pe.execute_update(key_near_origin(), true);
+  pe.reset();
+  EXPECT_EQ(pe.execute_query(key_near_origin()).occupancy, Occupancy::kUnknown);
+  EXPECT_EQ(pe.stats().voxel_updates, 0u);
+  EXPECT_EQ(pe.addr_manager().rows_in_use(), 0u);
+  EXPECT_EQ(pe.tree_mem().sram().total_accesses(), 0u);
+}
+
+TEST(PeUnit, FewerBanksCostMoreParentCycles) {
+  OmuConfig full = small_config();
+  OmuConfig narrow = small_config();
+  narrow.banks_per_pe = 1;
+  PeUnit pe8(0, full);
+  PeUnit pe1(0, narrow);
+  const OcKey k = key_near_origin();
+  const auto r8 = pe8.execute_update(k, true);
+  const auto r1 = pe1.execute_update(k, true);
+  // Serialized sibling fetches make the 1-bank walk far slower — this is
+  // the paper's 8x memory bandwidth argument.
+  EXPECT_GT(r1.cycles, 2 * r8.cycles);
+  // Functional content is identical regardless of banking.
+  EXPECT_EQ(pe1.execute_query(k).occupancy, pe8.execute_query(k).occupancy);
+}
+
+}  // namespace
+}  // namespace omu::accel

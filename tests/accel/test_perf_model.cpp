@@ -1,0 +1,128 @@
+// The closed-form performance model must agree with the cycle-level
+// simulator: any divergence means the simulator charges cycles the
+// documented micro-architecture doesn't explain (or vice versa).
+#include "accel/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/omu_accelerator.hpp"
+#include "geom/rng.hpp"
+
+namespace omu::accel {
+namespace {
+
+std::vector<map::VoxelUpdate> random_updates(uint64_t seed, int n, int span) {
+  geom::SplitMix64 rng(seed);
+  std::vector<map::VoxelUpdate> updates;
+  for (int i = 0; i < n; ++i) {
+    updates.push_back(
+        {map::OcKey{
+             static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                   static_cast<uint64_t>(span) / 2),
+             static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                   static_cast<uint64_t>(span) / 2),
+             static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                   static_cast<uint64_t>(span) / 2)},
+         rng.next_below(100) < 40});
+  }
+  return updates;
+}
+
+double max_pe_share(const OmuAccelerator& omu) {
+  uint64_t max_load = 0;
+  uint64_t total = 0;
+  for (const uint64_t u : omu.scheduler().per_pe_dispatched()) {
+    max_load = std::max(max_load, u);
+    total += u;
+  }
+  return total > 0 ? static_cast<double>(max_load) / static_cast<double>(total) : 0.0;
+}
+
+TEST(PerfModel, BusyCyclesMatchSimulatorExactly) {
+  OmuConfig cfg;
+  OmuAccelerator omu(cfg);
+  const auto updates = random_updates(1, 20000, 24);
+  omu.simulate_updates(updates);
+
+  const PerfModel model(cfg);
+  const map::PhaseStats stats = omu.aggregate_stats();
+  const PerfPrediction p = model.predict(stats, max_pe_share(omu));
+
+  const double measured_busy = static_cast<double>(omu.aggregate_cycles().map_update_total()) /
+                               static_cast<double>(stats.voxel_updates);
+  // The formula mirrors the PE FSM exactly; integer truncation of the
+  // per-update cycle count is the only slack.
+  EXPECT_NEAR(p.busy_cycles_per_update, measured_busy, measured_busy * 0.01);
+}
+
+TEST(PerfModel, BusyCyclesMatchAcrossBankCounts) {
+  for (const std::size_t banks : {1u, 2u, 4u, 8u}) {
+    OmuConfig cfg;
+    cfg.banks_per_pe = banks;
+    OmuAccelerator omu(cfg);
+    const auto updates = random_updates(2, 10000, 16);
+    omu.simulate_updates(updates);
+    const map::PhaseStats stats = omu.aggregate_stats();
+    const PerfPrediction p = PerfModel(cfg).predict(stats, max_pe_share(omu));
+    const double measured = static_cast<double>(omu.aggregate_cycles().map_update_total()) /
+                            static_cast<double>(stats.voxel_updates);
+    EXPECT_NEAR(p.busy_cycles_per_update, measured, measured * 0.01) << banks;
+  }
+}
+
+TEST(PerfModel, WallPredictionBoundsSimulatedWall) {
+  OmuConfig cfg;
+  OmuAccelerator omu(cfg);
+  const auto updates = random_updates(3, 30000, 32);
+  omu.simulate_updates(updates);
+  const map::PhaseStats stats = omu.aggregate_stats();
+  const PerfPrediction p = PerfModel(cfg).predict(stats, max_pe_share(omu));
+  const double measured_wall = static_cast<double>(omu.totals().map_cycles) /
+                               static_cast<double>(stats.voxel_updates);
+  // The max-PE bound is a lower bound on wall time; the simulator adds
+  // arrival/drain effects. It should be tight within ~50% for a single
+  // drained batch, and the prediction must never exceed measurement by
+  // more than the batch-tail slack.
+  EXPECT_LE(p.wall_cycles_per_update, measured_wall * 1.10);
+  EXPECT_GE(p.wall_cycles_per_update, measured_wall * 0.5);
+}
+
+TEST(PerfModel, ZeroUpdatesYieldsZero) {
+  const PerfModel model(OmuConfig{});
+  const PerfPrediction p = model.predict(map::PhaseStats{}, 0.125);
+  EXPECT_DOUBLE_EQ(p.busy_cycles_per_update, 0.0);
+  EXPECT_DOUBLE_EQ(p.fps, 0.0);
+}
+
+TEST(PerfModel, LoadShareFloorsAtPerfectBalance) {
+  // A claimed share below 1/pe_count is impossible; the model floors it.
+  OmuConfig cfg;
+  map::PhaseStats stats;
+  stats.voxel_updates = 1000;
+  stats.descend_reads = 15000;
+  stats.leaf_updates = 1000;
+  stats.parent_updates = 15000;
+  const PerfModel model(cfg);
+  const auto balanced = model.predict(stats, 0.125);
+  const auto impossible = model.predict(stats, 0.01);
+  EXPECT_DOUBLE_EQ(balanced.wall_cycles_per_update, impossible.wall_cycles_per_update);
+}
+
+TEST(PerfModel, PaperDesignPointPredicts60PlusFps) {
+  // The measured FR-079 profile (see workload_probe) through the model
+  // must land in the paper's 60-76 FPS window.
+  OmuConfig cfg;
+  map::PhaseStats stats;
+  stats.voxel_updates = 1000000;
+  stats.descend_reads = static_cast<uint64_t>(13.9e6);
+  stats.leaf_updates = 564000;
+  stats.parent_updates = static_cast<uint64_t>(8.46e6);
+  stats.fresh_allocs = 28000;
+  stats.prunes = 4000;
+  const PerfPrediction p = PerfModel(cfg).predict(stats, 0.155);
+  EXPECT_GT(p.fps, 55.0);
+  EXPECT_LT(p.fps, 95.0);
+}
+
+}  // namespace
+}  // namespace omu::accel

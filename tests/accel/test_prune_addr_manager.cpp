@@ -1,0 +1,109 @@
+#include "accel/prune_addr_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace omu::accel {
+namespace {
+
+TEST(PruneAddrManager, FreshAllocationsAreSequential) {
+  PruneAddrManager mgr(16);
+  EXPECT_EQ(*mgr.allocate(), 0u);
+  EXPECT_EQ(*mgr.allocate(), 1u);
+  EXPECT_EQ(*mgr.allocate(), 2u);
+  EXPECT_EQ(mgr.stats().fresh_allocations, 3u);
+  EXPECT_EQ(mgr.rows_in_use(), 3u);
+}
+
+TEST(PruneAddrManager, ReleasedRowIsReusedLifo) {
+  PruneAddrManager mgr(16);
+  const uint32_t a = *mgr.allocate();
+  const uint32_t b = *mgr.allocate();
+  mgr.release(a);
+  mgr.release(b);
+  // LIFO stack: last released comes back first (paper Fig. 6 stack buffer).
+  EXPECT_EQ(*mgr.allocate(), b);
+  EXPECT_EQ(*mgr.allocate(), a);
+  EXPECT_EQ(mgr.stats().reused_allocations, 2u);
+  EXPECT_EQ(mgr.stats().releases, 2u);
+}
+
+TEST(PruneAddrManager, StackPreferredOverBumpPointer) {
+  PruneAddrManager mgr(16);
+  mgr.allocate();
+  const uint32_t b = *mgr.allocate();
+  mgr.release(b);
+  EXPECT_EQ(*mgr.allocate(), b);       // reuse, not row 2
+  EXPECT_EQ(mgr.rows_touched(), 2u);   // bump pointer did not advance
+}
+
+TEST(PruneAddrManager, ExhaustionReturnsNullopt) {
+  PruneAddrManager mgr(3);
+  EXPECT_TRUE(mgr.allocate().has_value());
+  EXPECT_TRUE(mgr.allocate().has_value());
+  EXPECT_TRUE(mgr.allocate().has_value());
+  EXPECT_FALSE(mgr.allocate().has_value());
+  // Releasing restores capacity.
+  mgr.release(1);
+  EXPECT_EQ(*mgr.allocate(), 1u);
+}
+
+TEST(PruneAddrManager, ReuseDisabledLeaksAddresses) {
+  PruneAddrManager mgr(4, /*reuse_enabled=*/false);
+  const uint32_t a = *mgr.allocate();
+  mgr.release(a);
+  EXPECT_EQ(mgr.stack_depth(), 0u);
+  // The freed row is never handed out again; capacity burns down.
+  EXPECT_EQ(*mgr.allocate(), 1u);
+  EXPECT_EQ(*mgr.allocate(), 2u);
+  EXPECT_EQ(*mgr.allocate(), 3u);
+  EXPECT_FALSE(mgr.allocate().has_value());
+  EXPECT_EQ(mgr.stats().reused_allocations, 0u);
+}
+
+TEST(PruneAddrManager, PeakRowsTouchedHighWater) {
+  PruneAddrManager mgr(16);
+  for (int i = 0; i < 5; ++i) mgr.allocate();
+  mgr.release(4);
+  mgr.release(3);
+  mgr.allocate();
+  mgr.allocate();
+  EXPECT_EQ(mgr.stats().peak_rows_touched, 5u);
+  EXPECT_EQ(mgr.rows_in_use(), 5u);
+}
+
+TEST(PruneAddrManager, NoDoubleHandoutUnderChurn) {
+  // Property: at any time, the set of live rows has no duplicates.
+  PruneAddrManager mgr(64);
+  std::set<uint32_t> live;
+  uint64_t op = 0;
+  for (int round = 0; round < 1000; ++round) {
+    if ((op++ % 3) != 0 || live.empty()) {
+      const auto row = mgr.allocate();
+      if (!row) continue;
+      EXPECT_TRUE(live.insert(*row).second) << "row handed out twice: " << *row;
+    } else {
+      const uint32_t victim = *live.begin();
+      live.erase(live.begin());
+      mgr.release(victim);
+    }
+  }
+  EXPECT_EQ(mgr.rows_in_use(), live.size());
+}
+
+TEST(PruneAddrManager, ResetRestoresPowerOnState) {
+  PruneAddrManager mgr(8);
+  mgr.allocate();
+  mgr.allocate();
+  mgr.release(0);
+  mgr.reset();
+  EXPECT_EQ(mgr.rows_in_use(), 0u);
+  EXPECT_EQ(mgr.rows_touched(), 0u);
+  EXPECT_EQ(mgr.stack_depth(), 0u);
+  EXPECT_EQ(mgr.stats().fresh_allocations, 0u);
+  EXPECT_EQ(*mgr.allocate(), 0u);
+}
+
+}  // namespace
+}  // namespace omu::accel

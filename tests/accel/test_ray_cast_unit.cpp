@@ -1,0 +1,98 @@
+#include "accel/ray_cast_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::accel {
+namespace {
+
+TEST(RayCastUnit, EmitsFreeCellsThenOccupiedEndpoint) {
+  RayCastUnit rc(0.2, -1.0, 2.0);
+  std::vector<map::VoxelUpdate> out;
+  geom::PointCloud cloud({{1.1f, 0.1f, 0.1f}});
+  const RayCastResult r = rc.cast_scan(cloud, {0.1, 0.1, 0.1}, out);
+  EXPECT_EQ(r.rays, 1u);
+  EXPECT_EQ(r.free_updates, 5u);
+  EXPECT_EQ(r.occupied_updates, 1u);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FALSE(out[i].occupied);
+  EXPECT_TRUE(out[5].occupied);
+}
+
+TEST(RayCastUnit, MatchesSoftwareScanInserterStream) {
+  // The hardware ray caster must produce exactly the same update stream as
+  // the software path feeding the CPU baseline.
+  RayCastUnit rc(0.2, -1.0, 2.0);
+  geom::PointCloud cloud;
+  for (int i = 0; i < 50; ++i) {
+    cloud.push_back(geom::Vec3f{0.3f * static_cast<float>(i % 7) - 1.0f,
+                                0.2f * static_cast<float>(i % 5) - 0.5f,
+                                0.1f * static_cast<float>(i % 3)});
+  }
+  std::vector<map::VoxelUpdate> hw;
+  rc.cast_scan(cloud, {0, 0, 0}, hw);
+
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  std::vector<map::VoxelUpdate> sw;
+  inserter.collect_updates(cloud, {0, 0, 0}, sw);
+
+  ASSERT_EQ(hw.size(), sw.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) {
+    EXPECT_EQ(hw[i].key, sw[i].key) << i;
+    EXPECT_EQ(hw[i].occupied, sw[i].occupied) << i;
+  }
+}
+
+TEST(RayCastUnit, MaxRangeTruncatesToFreeOnly) {
+  RayCastUnit rc(0.2, 1.0, 2.0);
+  std::vector<map::VoxelUpdate> out;
+  geom::PointCloud cloud({{5.0f, 0.1f, 0.1f}});
+  const RayCastResult r = rc.cast_scan(cloud, {0.1, 0.1, 0.1}, out);
+  EXPECT_EQ(r.truncated_rays, 1u);
+  EXPECT_EQ(r.occupied_updates, 0u);
+  EXPECT_GT(r.free_updates, 0u);
+  for (const auto& u : out) EXPECT_FALSE(u.occupied);
+}
+
+TEST(RayCastUnit, ProductionRatePacesAvailability) {
+  RayCastUnit rc(0.2, -1.0, 2.0);
+  EXPECT_EQ(rc.available_at_cycle(0), 1u);   // first update after 1 cycle
+  EXPECT_EQ(rc.available_at_cycle(1), 1u);   // 2 updates/cycle
+  EXPECT_EQ(rc.available_at_cycle(3), 2u);
+  EXPECT_EQ(rc.available_at_cycle(99), 50u);
+  RayCastUnit slow(0.2, -1.0, 0.5);
+  EXPECT_EQ(slow.available_at_cycle(0), 2u);
+  EXPECT_EQ(slow.available_at_cycle(9), 20u);
+}
+
+TEST(RayCastUnit, ZeroRateMeansImmediateAvailability) {
+  RayCastUnit rc(0.2, -1.0, 0.0);
+  EXPECT_EQ(rc.available_at_cycle(123), 0u);
+}
+
+TEST(RayCastUnit, StatsAccumulateAcrossScans) {
+  RayCastUnit rc(0.2, -1.0, 2.0);
+  std::vector<map::VoxelUpdate> out;
+  geom::PointCloud cloud({{1.1f, 0.1f, 0.1f}});
+  rc.cast_scan(cloud, {0.1, 0.1, 0.1}, out);
+  rc.cast_scan(cloud, {0.1, 0.1, 0.1}, out);
+  EXPECT_EQ(rc.stats().ray_casts, 2u);
+  EXPECT_EQ(rc.stats().ray_cast_steps, 10u);
+  rc.reset();
+  EXPECT_EQ(rc.stats().ray_casts, 0u);
+}
+
+TEST(RayCastUnit, ProductionCyclesCoverWholeScan) {
+  RayCastUnit rc(0.2, -1.0, 2.0);
+  std::vector<map::VoxelUpdate> out;
+  geom::PointCloud cloud({{1.1f, 0.1f, 0.1f}, {-1.1f, 0.1f, 0.1f}});
+  const RayCastResult r = rc.cast_scan(cloud, {0.1, 0.1, 0.1}, out);
+  EXPECT_EQ(r.production_cycles, rc.available_at_cycle(r.total_updates() - 1));
+  EXPECT_GT(r.production_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace omu::accel

@@ -1,0 +1,93 @@
+#include "accel/voxel_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::accel {
+namespace {
+
+using map::OcKey;
+using map::VoxelUpdate;
+
+OcKey key_for_branch(int branch) {
+  // Set bit 15 of each axis according to the branch bits.
+  OcKey k{0, 0, 0};
+  k[0] = static_cast<uint16_t>((branch & 1) << 15);
+  k[1] = static_cast<uint16_t>(((branch >> 1) & 1) << 15);
+  k[2] = static_cast<uint16_t>(((branch >> 2) & 1) << 15);
+  return k;
+}
+
+TEST(VoxelScheduler, RoutesByFirstLevelBranch) {
+  VoxelScheduler sched(8, 4);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(sched.pe_for_key(key_for_branch(b)), b);
+  }
+}
+
+TEST(VoxelScheduler, ModuloRoutingWithFewerPes) {
+  VoxelScheduler sched(4, 4);
+  EXPECT_EQ(sched.pe_for_key(key_for_branch(0)), 0);
+  EXPECT_EQ(sched.pe_for_key(key_for_branch(4)), 0);
+  EXPECT_EQ(sched.pe_for_key(key_for_branch(5)), 1);
+  EXPECT_EQ(sched.pe_for_key(key_for_branch(7)), 3);
+}
+
+TEST(VoxelScheduler, DispatchLandsInTargetQueue) {
+  VoxelScheduler sched(8, 4);
+  EXPECT_TRUE(sched.try_dispatch(VoxelUpdate{key_for_branch(3), true}));
+  EXPECT_FALSE(sched.queue_empty(3));
+  EXPECT_TRUE(sched.queue_empty(2));
+  const auto u = sched.pop(3);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->occupied);
+  EXPECT_TRUE(sched.all_queues_empty());
+}
+
+TEST(VoxelScheduler, FullQueueRejects) {
+  VoxelScheduler sched(8, 2);
+  EXPECT_TRUE(sched.try_dispatch(VoxelUpdate{key_for_branch(1), true}));
+  EXPECT_TRUE(sched.try_dispatch(VoxelUpdate{key_for_branch(1), false}));
+  EXPECT_FALSE(sched.try_dispatch(VoxelUpdate{key_for_branch(1), true}));
+  EXPECT_EQ(sched.rejected(), 1u);
+  EXPECT_EQ(sched.dispatched(), 2u);
+  // Other PEs' queues are unaffected.
+  EXPECT_TRUE(sched.try_dispatch(VoxelUpdate{key_for_branch(2), true}));
+}
+
+TEST(VoxelScheduler, PerPeDispatchCountsTrackLoadBalance) {
+  VoxelScheduler sched(8, 64);
+  for (int i = 0; i < 5; ++i) sched.try_dispatch(VoxelUpdate{key_for_branch(6), false});
+  sched.try_dispatch(VoxelUpdate{key_for_branch(0), true});
+  EXPECT_EQ(sched.per_pe_dispatched()[6], 5u);
+  EXPECT_EQ(sched.per_pe_dispatched()[0], 1u);
+  EXPECT_EQ(sched.per_pe_dispatched()[3], 0u);
+}
+
+TEST(VoxelScheduler, FifoOrderWithinPe) {
+  VoxelScheduler sched(8, 8);
+  sched.try_dispatch(VoxelUpdate{key_for_branch(2), true});
+  sched.try_dispatch(VoxelUpdate{key_for_branch(2), false});
+  EXPECT_TRUE(sched.pop(2)->occupied);
+  EXPECT_FALSE(sched.pop(2)->occupied);
+}
+
+TEST(VoxelScheduler, ResetClearsQueuesAndCounters) {
+  VoxelScheduler sched(8, 4);
+  sched.try_dispatch(VoxelUpdate{key_for_branch(1), true});
+  sched.reset();
+  EXPECT_TRUE(sched.all_queues_empty());
+  EXPECT_EQ(sched.dispatched(), 0u);
+  EXPECT_EQ(sched.per_pe_dispatched()[1], 0u);
+  // Capacity is preserved after reset.
+  EXPECT_TRUE(sched.try_dispatch(VoxelUpdate{key_for_branch(1), true}));
+}
+
+TEST(VoxelScheduler, QueueHighWaterVisible) {
+  VoxelScheduler sched(8, 16);
+  for (int i = 0; i < 10; ++i) sched.try_dispatch(VoxelUpdate{key_for_branch(5), true});
+  for (int i = 0; i < 10; ++i) sched.pop(5);
+  EXPECT_EQ(sched.queue(5).high_water(), 10u);
+}
+
+}  // namespace
+}  // namespace omu::accel

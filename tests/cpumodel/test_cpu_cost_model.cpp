@@ -1,0 +1,106 @@
+#include "cpumodel/cpu_cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::cpumodel {
+namespace {
+
+/// The measured FR-079 corridor per-update operation profile the model was
+/// calibrated against (see cpu_cost_model.cpp).
+map::PhaseStats corridor_profile(uint64_t updates) {
+  map::PhaseStats s;
+  s.voxel_updates = updates;
+  const double n = static_cast<double>(updates);
+  s.ray_cast_steps = static_cast<uint64_t>(0.949 * n);
+  s.descend_steps = static_cast<uint64_t>(15.827 * n);
+  s.leaf_updates = static_cast<uint64_t>(0.564 * n);
+  s.early_aborts = static_cast<uint64_t>(0.436 * n);
+  s.parent_updates = static_cast<uint64_t>(9.029 * n);
+  s.prune_checks = static_cast<uint64_t>(0.234 * n);
+  s.prunes = static_cast<uint64_t>(0.004 * n);
+  s.expands = 0;
+  s.fresh_allocs = static_cast<uint64_t>(0.028 * n);
+  return s;
+}
+
+TEST(CpuCostModel, ZeroCountsZeroLatency) {
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  const map::PhaseStats empty;
+  EXPECT_DOUBLE_EQ(model.total_seconds(empty), 0.0);
+  EXPECT_DOUBLE_EQ(model.ns_per_update(empty), 0.0);
+}
+
+TEST(CpuCostModel, LatencyLinearInCounts) {
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  const auto t1 = model.total_seconds(corridor_profile(1'000'000));
+  const auto t2 = model.total_seconds(corridor_profile(2'000'000));
+  EXPECT_NEAR(t2, 2.0 * t1, t1 * 0.001);
+}
+
+TEST(CpuCostModel, I9CorridorCalibrationPoint) {
+  // 110.9M updates (our synthetic FR-079 at full size) must land near the
+  // paper's 16.8 s.
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  const double total = model.total_seconds(corridor_profile(110'900'000));
+  EXPECT_NEAR(total, 16.8, 16.8 * 0.06);
+}
+
+TEST(CpuCostModel, I9CorridorPhaseSplitMatchesFig3a) {
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  const auto b = model.latency(corridor_profile(1'000'000));
+  EXPECT_NEAR(b.ray_cast_frac(), 0.01, 0.01);
+  EXPECT_NEAR(b.update_leaf_frac(), 0.23, 0.04);
+  EXPECT_NEAR(b.update_parents_frac(), 0.14, 0.04);
+  EXPECT_NEAR(b.prune_expand_frac(), 0.61, 0.05);
+  // Fractions sum to one.
+  EXPECT_NEAR(b.ray_cast_frac() + b.update_leaf_frac() + b.update_parents_frac() +
+                  b.prune_expand_frac(),
+              1.0, 1e-12);
+}
+
+TEST(CpuCostModel, A57CorridorCalibrationPoint) {
+  const CpuCostModel model(CpuCostParams::arm_a57());
+  const double total = model.total_seconds(corridor_profile(110'900'000));
+  EXPECT_NEAR(total, 81.7, 81.7 * 0.06);
+}
+
+TEST(CpuCostModel, A57IsUniformScalingOfI9) {
+  const CpuCostParams i9 = CpuCostParams::intel_i9_9940x();
+  const CpuCostParams a57 = CpuCostParams::arm_a57();
+  const double r = a57.descend_step_ns / i9.descend_step_ns;
+  EXPECT_NEAR(r, 4.863, 0.01);
+  EXPECT_NEAR(a57.collapse_test_ns / i9.collapse_test_ns, r, 1e-9);
+  EXPECT_NEAR(a57.ray_cast_step_ns / i9.ray_cast_step_ns, r, 1e-9);
+}
+
+TEST(CpuCostModel, PruneExpandChargedPerUnwindLevel) {
+  // A workload with parent updates but no actual prunes must still incur
+  // prune-phase time (OctoMap attempts a collapse at every unwind level).
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  map::PhaseStats s;
+  s.voxel_updates = 1000;
+  s.parent_updates = 16000;
+  const auto b = model.latency(s);
+  EXPECT_GT(b.prune_expand_s, 0.0);
+  EXPECT_GT(b.update_parents_s, 0.0);
+}
+
+TEST(CpuCostModel, MoreAbortsMeansCheaperUpdates) {
+  // Early-aborted updates skip the unwind entirely: a profile with fewer
+  // parent updates per update must cost less.
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  map::PhaseStats busy = corridor_profile(1'000'000);
+  map::PhaseStats aborty = busy;
+  aborty.parent_updates /= 2;
+  EXPECT_LT(model.total_seconds(aborty), model.total_seconds(busy));
+}
+
+TEST(CpuCostModel, NsPerUpdateMatchesTotal) {
+  const CpuCostModel model(CpuCostParams::intel_i9_9940x());
+  const auto profile = corridor_profile(500'000);
+  EXPECT_NEAR(model.ns_per_update(profile) * 500'000 * 1e-9, model.total_seconds(profile),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace omu::cpumodel

@@ -1,0 +1,125 @@
+#include "data/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::data {
+namespace {
+
+TEST(Datasets, PaperWorkloadConstantsMatchTable2) {
+  const auto fr = paper_workload(DatasetId::kFr079Corridor);
+  EXPECT_EQ(fr.scans, 66u);
+  EXPECT_EQ(fr.avg_points_per_scan, 89000u);
+  EXPECT_NEAR(fr.updates_per_point(), 17.1, 0.1);
+  const auto campus = paper_workload(DatasetId::kFreiburgCampus);
+  EXPECT_EQ(campus.scans, 81u);
+  EXPECT_NEAR(campus.updates_per_point(), 51.3, 0.1);
+  const auto nc = paper_workload(DatasetId::kNewCollege);
+  EXPECT_EQ(nc.scans, 92361u);
+  EXPECT_EQ(nc.avg_points_per_scan, 156u);
+  EXPECT_NEAR(nc.updates_per_point(), 31.0, 0.1);
+}
+
+TEST(Datasets, InvalidScaleRejected) {
+  EXPECT_THROW(SyntheticDataset(DatasetId::kFr079Corridor, 0.0), std::invalid_argument);
+  EXPECT_THROW(SyntheticDataset(DatasetId::kFr079Corridor, 1.5), std::invalid_argument);
+  EXPECT_THROW(SyntheticDataset(DatasetId::kFr079Corridor, -1.0), std::invalid_argument);
+}
+
+TEST(Datasets, ScanCountsFollowScale) {
+  // Dense datasets keep all scans and scale points; New College scales the
+  // scan count.
+  const SyntheticDataset fr(DatasetId::kFr079Corridor, 0.001);
+  EXPECT_EQ(fr.scan_count(), 66u);
+  const SyntheticDataset campus(DatasetId::kFreiburgCampus, 0.001);
+  EXPECT_EQ(campus.scan_count(), 81u);
+  const SyntheticDataset nc(DatasetId::kNewCollege, 0.001);
+  EXPECT_NEAR(static_cast<double>(nc.scan_count()), 92361.0 * 0.001, 2.0);
+}
+
+TEST(Datasets, RaysPerScanTracksScaledPoints) {
+  const SyntheticDataset fr(DatasetId::kFr079Corridor, 0.002);
+  const double target = 89000.0 * 0.002;
+  EXPECT_NEAR(static_cast<double>(fr.rays_per_scan()), target, target * 0.25);
+  // New College always uses the full 156-point scans.
+  const SyntheticDataset nc(DatasetId::kNewCollege, 0.002);
+  EXPECT_NEAR(static_cast<double>(nc.rays_per_scan()), 156.0, 16.0);
+}
+
+TEST(Datasets, ScansAreDeterministic) {
+  const SyntheticDataset a(DatasetId::kFr079Corridor, 0.001, 7);
+  const SyntheticDataset b(DatasetId::kFr079Corridor, 0.001, 7);
+  const DatasetScan sa = a.scan(5);
+  const DatasetScan sb = b.scan(5);
+  ASSERT_EQ(sa.points.size(), sb.points.size());
+  for (std::size_t i = 0; i < sa.points.size(); ++i) EXPECT_EQ(sa.points[i], sb.points[i]);
+  EXPECT_EQ(sa.pose.translation(), sb.pose.translation());
+}
+
+TEST(Datasets, DifferentSeedsChangeNoise) {
+  const SyntheticDataset a(DatasetId::kFr079Corridor, 0.001, 7);
+  const SyntheticDataset b(DatasetId::kFr079Corridor, 0.001, 8);
+  const DatasetScan sa = a.scan(0);
+  const DatasetScan sb = b.scan(0);
+  ASSERT_EQ(sa.points.size(), sb.points.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < sa.points.size() && !any_diff; ++i) {
+    any_diff = !(sa.points[i] == sb.points[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Datasets, OutOfRangeScanThrows) {
+  const SyntheticDataset fr(DatasetId::kFr079Corridor, 0.001);
+  EXPECT_THROW(fr.scan(fr.scan_count()), std::out_of_range);
+}
+
+// The headline property: updates per point of each synthetic dataset must
+// land near the paper's Table II statistic — it is what makes the
+// extrapolated workloads meaningful.
+class DatasetWorkloadFidelity : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetWorkloadFidelity, UpdatesPerPointNearPaper) {
+  const DatasetId id = GetParam();
+  const SyntheticDataset dataset(id, 0.001, 1);
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  uint64_t points = 0;
+  uint64_t updates = 0;
+  std::vector<map::VoxelUpdate> buffer;
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    const DatasetScan scan = dataset.scan(i);
+    points += scan.points.size();
+    buffer.clear();
+    inserter.collect_updates(scan.points, scan.pose.translation(), buffer);
+    updates += buffer.size();
+  }
+  ASSERT_GT(points, 0u);
+  const double measured = static_cast<double>(updates) / static_cast<double>(points);
+  const double target = dataset.paper().updates_per_point();
+  EXPECT_GT(measured, target * 0.80) << dataset.name();
+  EXPECT_LT(measured, target * 1.25) << dataset.name();
+}
+
+TEST_P(DatasetWorkloadFidelity, PointsStayInsideSceneBounds) {
+  const DatasetId id = GetParam();
+  const SyntheticDataset dataset(id, 0.0005, 1);
+  geom::Aabb bounds = dataset.scene().bounds();
+  // Allow noise slack.
+  bounds.min -= geom::Vec3d{0.5, 0.5, 0.5};
+  bounds.max += geom::Vec3d{0.5, 0.5, 0.5};
+  const DatasetScan scan = dataset.scan(0);
+  for (const geom::Vec3f& p : scan.points) {
+    EXPECT_TRUE(bounds.contains(p.cast<double>())) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetWorkloadFidelity,
+                         ::testing::Values(DatasetId::kFr079Corridor,
+                                           DatasetId::kFreiburgCampus,
+                                           DatasetId::kNewCollege));
+
+}  // namespace
+}  // namespace omu::data

@@ -1,0 +1,105 @@
+#include "data/scan_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/scene_builder.hpp"
+
+namespace omu::data {
+namespace {
+
+Scene box_room() {
+  Scene scene;
+  scene.add_room_shell(geom::Aabb{{-5, -5, -2}, {5, 5, 2}});
+  return scene;
+}
+
+SensorSpec small_sensor() {
+  SensorSpec spec;
+  spec.pattern.azimuth_steps = 64;
+  spec.pattern.elevation_steps = 8;
+  spec.pattern.elevation_start_rad = -0.3;
+  spec.pattern.elevation_end_rad = 0.3;
+  spec.range_noise_sigma = 0.0;
+  return spec;
+}
+
+TEST(ScanGenerator, EnclosedSceneReturnsAllRays) {
+  const Scene scene = box_room();
+  ScanGenerator generator(scene, small_sensor(), 1);
+  const geom::PointCloud cloud = generator.generate(geom::Pose({0, 0, 0}, 0.0));
+  EXPECT_EQ(cloud.size(), 64u * 8u);  // every ray hits a wall
+}
+
+TEST(ScanGenerator, PointsLieOnSceneSurfaces) {
+  const Scene scene = box_room();
+  ScanGenerator generator(scene, small_sensor(), 2);
+  const geom::PointCloud cloud = generator.generate(geom::Pose({0, 0, 0}, 0.0));
+  for (const geom::Vec3f& p : cloud) {
+    const double dx = 5.0 - std::abs(p.x);
+    const double dy = 5.0 - std::abs(p.y);
+    const double dz = 2.0 - std::abs(p.z);
+    const double closest = std::min({std::abs(dx), std::abs(dy), std::abs(dz)});
+    EXPECT_LT(closest, 1e-4) << p;  // on a wall plane
+  }
+}
+
+TEST(ScanGenerator, NoiseIsDeterministicPerSeed) {
+  const Scene scene = box_room();
+  SensorSpec spec = small_sensor();
+  spec.range_noise_sigma = 0.05;
+  ScanGenerator a(scene, spec, 42);
+  ScanGenerator b(scene, spec, 42);
+  const auto ca = a.generate(geom::Pose({0, 0, 0}, 0.0));
+  const auto cb = b.generate(geom::Pose({0, 0, 0}, 0.0));
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) EXPECT_EQ(ca[i], cb[i]);
+  // Different seed -> different jitter.
+  ScanGenerator c(scene, spec, 43);
+  const auto cc = c.generate(geom::Pose({0, 0, 0}, 0.0));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ca.size() && !any_diff; ++i) any_diff = !(ca[i] == cc[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScanGenerator, PoseRotatesTheScan) {
+  Scene scene;
+  // Single wall in front (+x) only; an unrotated forward ray hits it, a
+  // 180-degree rotated scan does not.
+  scene.add_solid_box(geom::Aabb{{4, -10, -10}, {5, 10, 10}});
+  SensorSpec spec;
+  spec.pattern.azimuth_steps = 1;
+  spec.pattern.elevation_steps = 1;
+  spec.pattern.azimuth_start_rad = -0.01;
+  spec.pattern.azimuth_end_rad = 0.01;
+  spec.pattern.elevation_start_rad = 0.0;
+  spec.pattern.elevation_end_rad = 0.0;
+  spec.range_noise_sigma = 0.0;
+  ScanGenerator generator(scene, spec, 3);
+  EXPECT_EQ(generator.generate(geom::Pose({0, 0, 0}, 0.0)).size(), 1u);
+  EXPECT_EQ(generator.generate(geom::Pose({0, 0, 0}, 3.14159265)).size(), 0u);
+}
+
+TEST(ScanGenerator, MinRangeDropsCloseHits) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{0.05, -1, -1}, {0.2, 1, 1}});
+  SensorSpec spec = small_sensor();
+  spec.min_range = 0.5;
+  ScanGenerator generator(scene, spec, 4);
+  const auto cloud = generator.generate(geom::Pose({0, 0, 0}, 0.0));
+  for (const geom::Vec3f& p : cloud) {
+    EXPECT_GE(p.cast<double>().norm(), 0.5);
+  }
+}
+
+TEST(ScanGenerator, OpenSceneDropsMisses) {
+  Scene scene;  // nothing to hit
+  scene.add_solid_box(geom::Aabb{{4, -0.5, -0.5}, {5, 0.5, 0.5}});
+  ScanGenerator generator(scene, small_sensor(), 5);
+  const auto cloud = generator.generate(geom::Pose({0, 0, 0}, 0.0));
+  // Only the small frontal cone hits; most rays miss and are dropped.
+  EXPECT_GT(cloud.size(), 0u);
+  EXPECT_LT(cloud.size(), 64u * 8u / 4u);
+}
+
+}  // namespace
+}  // namespace omu::data

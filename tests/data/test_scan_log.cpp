@@ -1,0 +1,92 @@
+#include "data/scan_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace omu::data {
+namespace {
+
+std::vector<DatasetScan> sample_scans() {
+  std::vector<DatasetScan> scans;
+  DatasetScan a;
+  a.pose = geom::Pose({1.5, -2.25, 0.75}, 0.5, 0.1, -0.2);
+  a.points.push_back({1.0f, 2.0f, 3.0f});
+  a.points.push_back({-0.125f, 0.0625f, 9.5f});
+  scans.push_back(a);
+  DatasetScan b;
+  b.pose = geom::Pose({-10.0, 4.0, 0.0}, -1.25);
+  b.points.push_back({0.1f, 0.2f, 0.3f});
+  scans.push_back(b);
+  return scans;
+}
+
+TEST(ScanLog, RoundTripPreservesEverything) {
+  const auto scans = sample_scans();
+  std::stringstream ss;
+  write_scan_log(scans, ss);
+  const auto loaded = read_scan_log(ss);
+  ASSERT_EQ(loaded.size(), scans.size());
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    EXPECT_EQ(loaded[i].pose.translation(), scans[i].pose.translation());
+    EXPECT_DOUBLE_EQ(loaded[i].pose.yaw(), scans[i].pose.yaw());
+    EXPECT_DOUBLE_EQ(loaded[i].pose.pitch(), scans[i].pose.pitch());
+    EXPECT_DOUBLE_EQ(loaded[i].pose.roll(), scans[i].pose.roll());
+    ASSERT_EQ(loaded[i].points.size(), scans[i].points.size());
+    for (std::size_t j = 0; j < scans[i].points.size(); ++j) {
+      EXPECT_EQ(loaded[i].points[j], scans[i].points[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(ScanLog, EmptyListRoundTrips) {
+  std::stringstream ss;
+  write_scan_log({}, ss);
+  EXPECT_TRUE(read_scan_log(ss).empty());
+}
+
+TEST(ScanLog, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a comment\n\nscan 0 0 0 0 0 0 1\n# mid comment is NOT allowed between points?\n";
+  // Points must follow; a comment line between points is skipped too.
+  ss << "1 2 3\n";
+  const auto scans = read_scan_log(ss);
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].points.size(), 1u);
+}
+
+TEST(ScanLog, MalformedHeaderThrows) {
+  std::stringstream ss;
+  ss << "scna 0 0 0 0 0 0 1\n1 2 3\n";
+  EXPECT_THROW(read_scan_log(ss), std::runtime_error);
+}
+
+TEST(ScanLog, TruncatedPointsThrows) {
+  std::stringstream ss;
+  ss << "scan 0 0 0 0 0 0 3\n1 2 3\n4 5 6\n";
+  EXPECT_THROW(read_scan_log(ss), std::runtime_error);
+}
+
+TEST(ScanLog, MalformedPointThrows) {
+  std::stringstream ss;
+  ss << "scan 0 0 0 0 0 0 1\nnot a point\n";
+  EXPECT_THROW(read_scan_log(ss), std::runtime_error);
+}
+
+TEST(ScanLog, FileRoundTrip) {
+  const auto scans = sample_scans();
+  const std::string path = testing::TempDir() + "/omu_scan_log_test.log";
+  ASSERT_TRUE(write_scan_log_file(scans, path));
+  const auto loaded = read_scan_log_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), scans.size());
+  std::remove(path.c_str());
+}
+
+TEST(ScanLog, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_scan_log_file("/nonexistent/dir/scan.log").has_value());
+}
+
+}  // namespace
+}  // namespace omu::data

@@ -1,0 +1,79 @@
+#include "data/scene.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::data {
+namespace {
+
+TEST(Scene, EmptySceneMissesEverything) {
+  const Scene scene;
+  EXPECT_FALSE(scene.cast_ray({0, 0, 0}, {1, 0, 0}, 100.0).has_value());
+  EXPECT_EQ(scene.size(), 0u);
+}
+
+TEST(Scene, SolidBoxStopsRayAtEntryFace) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{5, -1, -1}, {7, 1, 1}});
+  const auto hit = scene.cast_ray({0, 0, 0}, {1, 0, 0}, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 5.0);
+}
+
+TEST(Scene, RoomShellStopsRayAtInteriorSurface) {
+  Scene scene;
+  scene.add_room_shell(geom::Aabb{{-10, -10, -10}, {10, 10, 10}});
+  const auto hit = scene.cast_ray({0, 0, 0}, {1, 0, 0}, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 10.0);
+  // Diagonal still terminates on the shell.
+  const geom::Vec3d diag = geom::Vec3d{1, 1, 0}.normalized();
+  const auto hit2 = scene.cast_ray({0, 0, 0}, diag, 100.0);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_NEAR(*hit2, 10.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Scene, NearestPrimitiveWins) {
+  Scene scene;
+  scene.add_room_shell(geom::Aabb{{-10, -10, -10}, {10, 10, 10}});
+  scene.add_solid_box(geom::Aabb{{3, -1, -1}, {4, 1, 1}});
+  const auto hit = scene.cast_ray({0, 0, 0}, {1, 0, 0}, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 3.0);
+  // Looking the other way misses the box and hits the shell.
+  const auto hit_back = scene.cast_ray({0, 0, 0}, {-1, 0, 0}, 100.0);
+  ASSERT_TRUE(hit_back.has_value());
+  EXPECT_DOUBLE_EQ(*hit_back, 10.0);
+}
+
+TEST(Scene, MaxRangeCutsOff) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{50, -1, -1}, {52, 1, 1}});
+  EXPECT_FALSE(scene.cast_ray({0, 0, 0}, {1, 0, 0}, 20.0).has_value());
+  EXPECT_TRUE(scene.cast_ray({0, 0, 0}, {1, 0, 0}, 60.0).has_value());
+}
+
+TEST(Scene, RayStartingInsideSolidBoxHitsImmediately) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{-1, -1, -1}, {1, 1, 1}});
+  const auto hit = scene.cast_ray({0, 0, 0}, {1, 0, 0}, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.0);
+}
+
+TEST(Scene, BoundsCoverAllPrimitives) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{0, 0, 0}, {1, 1, 1}});
+  scene.add_solid_box(geom::Aabb{{5, -3, 2}, {6, -2, 4}});
+  const geom::Aabb b = scene.bounds();
+  EXPECT_EQ(b.min, (geom::Vec3d{0, -3, 0}));
+  EXPECT_EQ(b.max, (geom::Vec3d{6, 1, 4}));
+}
+
+TEST(Scene, BehindOriginIgnored) {
+  Scene scene;
+  scene.add_solid_box(geom::Aabb{{-5, -1, -1}, {-3, 1, 1}});
+  EXPECT_FALSE(scene.cast_ray({0, 0, 0}, {1, 0, 0}, 100.0).has_value());
+}
+
+}  // namespace
+}  // namespace omu::data

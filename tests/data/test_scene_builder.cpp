@@ -1,0 +1,81 @@
+#include "data/scene_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::data {
+namespace {
+
+TEST(SceneBuilder, CorridorIsIndoorScale) {
+  const Scene scene = build_corridor_scene();
+  EXPECT_GT(scene.size(), 5u);  // shell + furniture
+  const geom::Aabb b = scene.bounds();
+  EXPECT_LT(b.size().x, 50.0);
+  EXPECT_LT(b.size().z, 5.0);  // room height
+}
+
+TEST(SceneBuilder, CampusIsOutdoorScale) {
+  const Scene scene = build_campus_scene();
+  const geom::Aabb b = scene.bounds();
+  EXPECT_GT(b.size().x, 60.0);
+  EXPECT_GT(b.size().y, 40.0);
+  EXPECT_GT(b.size().z, 10.0);
+}
+
+TEST(SceneBuilder, ScenesEncloseTheirTrajectoryPlane) {
+  // A ray in any horizontal direction from the scene center must hit
+  // something (the shells make the scenes watertight), so synthetic scans
+  // always return points.
+  for (const Scene& scene :
+       {build_corridor_scene(), build_campus_scene(), build_new_college_scene()}) {
+    for (double ang = 0.0; ang < 6.28; ang += 0.37) {
+      const geom::Vec3d dir{std::cos(ang), std::sin(ang), 0.0};
+      EXPECT_TRUE(scene.cast_ray({0.0, 0.0, 0.0}, dir, 500.0).has_value()) << ang;
+    }
+  }
+}
+
+TEST(SceneBuilder, CorridorLateralRaysAreShort) {
+  const Scene scene = build_corridor_scene();
+  const auto left = scene.cast_ray({0, 0, 0}, {0, 1, 0}, 100.0);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_LT(*left, 2.5);  // narrow hallway
+}
+
+TEST(SceneBuilder, CampusSightLinesAreLong) {
+  const Scene scene = build_campus_scene();
+  // Somewhere on the trajectory loop a horizontal ray runs far.
+  double longest = 0.0;
+  for (double ang = 0.0; ang < 6.28; ang += 0.1) {
+    const auto hit = scene.cast_ray({30.0, 0.0, 0.62}, {std::cos(ang), std::sin(ang), 0.0},
+                                    200.0);
+    if (hit) longest = std::max(longest, *hit);
+  }
+  EXPECT_GT(longest, 15.0);
+}
+
+TEST(SceneBuilder, IndoorSightLinesShorterThanOutdoor) {
+  // Mean horizontal ray length: the corridor must be much tighter than
+  // either outdoor scene. (The campus/New College workload ordering comes
+  // from their scan patterns, not horizontal sight lines, and is verified
+  // end-to-end by DatasetWorkloadFidelity.UpdatesPerPointNearPaper.)
+  const auto mean_range = [](const Scene& scene, const geom::Vec3d& origin) {
+    double sum = 0.0;
+    int n = 0;
+    for (double ang = 0.05; ang < 6.28; ang += 0.05) {
+      const auto hit = scene.cast_ray(origin, {std::cos(ang), std::sin(ang), 0.0}, 500.0);
+      if (hit) {
+        sum += *hit;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  const double corridor = mean_range(build_corridor_scene(), {0, 0, 0});
+  const double college = mean_range(build_new_college_scene(), {0, 0, 0.38});
+  const double campus = mean_range(build_campus_scene(), {30, 0, 0.62});
+  EXPECT_LT(corridor, 0.5 * college);
+  EXPECT_LT(corridor, 0.5 * campus);
+}
+
+}  // namespace
+}  // namespace omu::data

@@ -1,0 +1,47 @@
+#include "energy/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::energy {
+namespace {
+
+TEST(AreaModel, PaperDesignPointNear2p5mm2) {
+  const AreaModel model;
+  const AreaBreakdown a = model.area(accel::OmuConfig{});
+  EXPECT_GT(a.total_mm2(), 2.2);
+  EXPECT_LT(a.total_mm2(), 2.8);  // paper Fig. 8: 2.5 mm^2
+  // SRAM dominates the floorplan, as the die photo shows.
+  EXPECT_GT(a.sram_mm2, a.pe_logic_mm2);
+  EXPECT_GT(a.sram_mm2, a.total_mm2() * 0.5);
+}
+
+TEST(AreaModel, SramAreaScalesWithCapacity) {
+  const AreaModel model;
+  accel::OmuConfig half;
+  half.rows_per_bank = 2048;  // 128 KiB per PE
+  const auto full_area = model.area(accel::OmuConfig{});
+  const auto half_area = model.area(half);
+  EXPECT_NEAR(half_area.sram_mm2, full_area.sram_mm2 / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(half_area.pe_logic_mm2, full_area.pe_logic_mm2);
+}
+
+TEST(AreaModel, PeLogicScalesWithPeCount) {
+  const AreaModel model;
+  accel::OmuConfig quad;
+  quad.pe_count = 4;
+  const auto a8 = model.area(accel::OmuConfig{});
+  const auto a4 = model.area(quad);
+  EXPECT_NEAR(a4.pe_logic_mm2, a8.pe_logic_mm2 / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a4.top_logic_mm2, a8.top_logic_mm2);
+}
+
+TEST(AreaModel, CustomTechParamsRespected) {
+  TechParams tech;
+  tech.sram_area_mm2_per_kib = 0.002;
+  const AreaModel model(tech);
+  const auto a = model.area(accel::OmuConfig{});
+  EXPECT_NEAR(a.sram_mm2, 2048.0 * 0.002, 1e-9);
+}
+
+}  // namespace
+}  // namespace omu::energy

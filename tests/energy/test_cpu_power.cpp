@@ -1,0 +1,43 @@
+#include "energy/cpu_power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::energy {
+namespace {
+
+TEST(CpuPower, A57InPaperMeasuredRange) {
+  // Paper Sec. VI-C: 2.6 to 2.9 W while running the mapping workload.
+  const CpuPowerModel a57 = CpuPowerModel::arm_a57();
+  const double w = a57.average_w();
+  EXPECT_GT(w, 2.5);
+  EXPECT_LT(w, 3.0);
+}
+
+TEST(CpuPower, EnergyIsPowerTimesTime) {
+  const CpuPowerModel a57 = CpuPowerModel::arm_a57();
+  EXPECT_DOUBLE_EQ(a57.energy_j(10.0), a57.average_w() * 10.0);
+  EXPECT_DOUBLE_EQ(a57.energy_j(0.0), 0.0);
+}
+
+TEST(CpuPower, UtilizationScalesDynamicOnly) {
+  const CpuPowerModel a57 = CpuPowerModel::arm_a57();
+  EXPECT_DOUBLE_EQ(a57.average_w(0.0), a57.base_w);
+  EXPECT_GT(a57.average_w(1.0), a57.average_w(0.5));
+}
+
+TEST(CpuPower, I9IsDesktopClass) {
+  const CpuPowerModel i9 = CpuPowerModel::intel_i9();
+  // Far above any edge budget; the paper excludes it from Table V.
+  EXPECT_GT(i9.average_w(), 30.0);
+  EXPECT_LT(i9.average_w(), 165.0);  // under TDP at one active core
+}
+
+TEST(CpuPower, A57EnergyReproducesTable5Magnitudes) {
+  // Paper Table V row 1: 227.2 J over 81.7 s => 2.78 W average.
+  const CpuPowerModel a57 = CpuPowerModel::arm_a57();
+  const double energy = a57.energy_j(81.7);
+  EXPECT_NEAR(energy, 227.2, 227.2 * 0.05);
+}
+
+}  // namespace
+}  // namespace omu::energy

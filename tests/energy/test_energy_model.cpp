@@ -1,0 +1,96 @@
+#include "energy/accel_energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace omu::energy {
+namespace {
+
+TEST(EnergyModel, ZeroActivityZeroTimeIsZeroEnergy) {
+  const AcceleratorEnergyModel model;
+  const EnergyBreakdown e = model.energy_from_counts(0, 0, 0, 0.0, 2u << 20);
+  EXPECT_DOUBLE_EQ(e.total_j(), 0.0);
+}
+
+TEST(EnergyModel, DynamicEnergyScalesWithAccesses) {
+  const AcceleratorEnergyModel model;
+  const auto e1 = model.energy_from_counts(1000, 500, 0, 0.0, 2u << 20);
+  const auto e2 = model.energy_from_counts(2000, 1000, 0, 0.0, 2u << 20);
+  EXPECT_NEAR(e2.sram_dynamic_j, 2.0 * e1.sram_dynamic_j, 1e-18);
+  EXPECT_GT(e1.sram_dynamic_j, 0.0);
+}
+
+TEST(EnergyModel, WritesCostMoreThanReads) {
+  const AcceleratorEnergyModel model;
+  const auto reads = model.energy_from_counts(1000, 0, 0, 0.0, 2u << 20);
+  const auto writes = model.energy_from_counts(0, 1000, 0, 0.0, 2u << 20);
+  EXPECT_GT(writes.sram_dynamic_j, reads.sram_dynamic_j);
+}
+
+TEST(EnergyModel, LeakageScalesWithTimeAndCapacity) {
+  const AcceleratorEnergyModel model;
+  const auto short_run = model.energy_from_counts(0, 0, 0, 1.0, 2u << 20);
+  const auto long_run = model.energy_from_counts(0, 0, 0, 2.0, 2u << 20);
+  EXPECT_NEAR(long_run.sram_leakage_j, 2.0 * short_run.sram_leakage_j, 1e-15);
+  const auto big_mem = model.energy_from_counts(0, 0, 0, 1.0, 4u << 20);
+  EXPECT_NEAR(big_mem.sram_leakage_j, 2.0 * short_run.sram_leakage_j, 1e-15);
+}
+
+TEST(EnergyModel, PaperDesignPointLandsNearReportedPower) {
+  // Steady state at the paper's operating point: ~90.8 SRAM accesses and
+  // ~64 PE busy cycles per update at 87.7M updates/s (11.4 cycles/update
+  // at 1 GHz, the measured FR-079 profile) must land near 250.8 mW with
+  // an SRAM share near 91% (Sec. VI-C).
+  const AcceleratorEnergyModel model;
+  const double updates_per_s = 1e9 / 11.4;
+  const double seconds = 1.0;
+  const auto reads = static_cast<uint64_t>(0.75 * 90.8 * updates_per_s);
+  const auto writes = static_cast<uint64_t>(0.25 * 90.8 * updates_per_s);
+  const auto busy = static_cast<uint64_t>(63.7 * updates_per_s);
+  const auto e = model.energy_from_counts(reads, writes, busy, seconds, 2u << 20);
+  const double power_mw = e.total_j() / seconds * 1e3;
+  EXPECT_GT(power_mw, 200.0);
+  EXPECT_LT(power_mw, 300.0);
+  EXPECT_GT(e.sram_fraction(), 0.85);
+  EXPECT_LT(e.sram_fraction(), 0.96);
+}
+
+TEST(EnergyModel, SramFractionDefinition) {
+  EnergyBreakdown e;
+  e.sram_dynamic_j = 0.8;
+  e.sram_leakage_j = 0.1;
+  e.logic_dynamic_j = 0.05;
+  e.logic_leakage_j = 0.05;
+  EXPECT_DOUBLE_EQ(e.total_j(), 1.0);
+  EXPECT_DOUBLE_EQ(e.sram_fraction(), 0.9);
+}
+
+TEST(EnergyModel, AcceleratorIntegrationMatchesCounts) {
+  accel::OmuAccelerator omu;
+  geom::SplitMix64 rng(5);
+  geom::PointCloud cloud;
+  for (int i = 0; i < 200; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  omu.integrate_scan(cloud, {0, 0, 0});
+  const AcceleratorEnergyModel model;
+  const auto direct = model.energy(omu);
+  const auto via_counts = model.energy_from_counts(
+      omu.sram_reads(), omu.sram_writes(), omu.aggregate_cycles().map_update_total(),
+      omu.totals().seconds(omu.config().clock_hz), omu.config().total_sram_bytes());
+  EXPECT_DOUBLE_EQ(direct.total_j(), via_counts.total_j());
+  EXPECT_GT(direct.total_j(), 0.0);
+  EXPECT_GT(model.average_power_w(omu), 0.0);
+}
+
+TEST(EnergyModel, IdleAcceleratorHasZeroAveragePower) {
+  accel::OmuAccelerator omu;
+  const AcceleratorEnergyModel model;
+  EXPECT_DOUBLE_EQ(model.average_power_w(omu), 0.0);
+}
+
+}  // namespace
+}  // namespace omu::energy

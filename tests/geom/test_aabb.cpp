@@ -1,0 +1,87 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::geom {
+namespace {
+
+TEST(Aabb, FromCenterSize) {
+  const Aabb box = Aabb::from_center_size({0, 0, 0}, {2, 4, 6});
+  EXPECT_EQ(box.min, (Vec3d{-1, -2, -3}));
+  EXPECT_EQ(box.max, (Vec3d{1, 2, 3}));
+  EXPECT_EQ(box.center(), (Vec3d{0, 0, 0}));
+  EXPECT_EQ(box.size(), (Vec3d{2, 4, 6}));
+}
+
+TEST(Aabb, ContainsBoundaryInclusive) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_TRUE(box.contains({1, 1, 1}));
+  EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(box.contains({1.001, 0.5, 0.5}));
+  EXPECT_FALSE(box.contains({0.5, -0.001, 0.5}));
+}
+
+TEST(Aabb, ExpandTo) {
+  Aabb box{{0, 0, 0}, {1, 1, 1}};
+  box.expand_to({2, -1, 0.5});
+  EXPECT_EQ(box.min, (Vec3d{0, -1, 0}));
+  EXPECT_EQ(box.max, (Vec3d{2, 1, 1}));
+}
+
+TEST(Aabb, IntersectsOverlapAndTouch) {
+  const Aabb a{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(a.intersects(Aabb{{0.5, 0.5, 0.5}, {2, 2, 2}}));
+  // Touching faces count as intersecting.
+  EXPECT_TRUE(a.intersects(Aabb{{1, 0, 0}, {2, 1, 1}}));
+  EXPECT_FALSE(a.intersects(Aabb{{1.1, 0, 0}, {2, 1, 1}}));
+}
+
+TEST(Aabb, Valid) {
+  EXPECT_TRUE((Aabb{{0, 0, 0}, {1, 1, 1}}).valid());
+  EXPECT_FALSE((Aabb{{1, 0, 0}, {0, 1, 1}}).valid());
+}
+
+TEST(RayAabb, HitsBoxFromOutside) {
+  const Aabb box{{1, -1, -1}, {3, 1, 1}};
+  const auto hit = intersect_ray_aabb({0, 0, 0}, {1, 0, 0}, box);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->t_enter, 1.0);
+  EXPECT_DOUBLE_EQ(hit->t_exit, 3.0);
+}
+
+TEST(RayAabb, MissesBox) {
+  const Aabb box{{1, -1, -1}, {3, 1, 1}};
+  EXPECT_FALSE(intersect_ray_aabb({0, 0, 0}, {0, 1, 0}, box).has_value());
+  // Pointing away from the box.
+  EXPECT_FALSE(intersect_ray_aabb({0, 0, 0}, {-1, 0, 0}, box).has_value());
+}
+
+TEST(RayAabb, StartsInsideBox) {
+  const Aabb box{{-1, -1, -1}, {1, 1, 1}};
+  const auto hit = intersect_ray_aabb({0, 0, 0}, {0, 0, 1}, box);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->t_enter, 0.0);
+  EXPECT_DOUBLE_EQ(hit->t_exit, 1.0);
+}
+
+TEST(RayAabb, AxisParallelRayInsideSlab) {
+  const Aabb box{{-1, -1, 0}, {1, 1, 2}};
+  // Ray along +z with x,y inside the box footprint.
+  const auto hit = intersect_ray_aabb({0.5, 0.5, -5}, {0, 0, 1}, box);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->t_enter, 5.0);
+  // Same ray but x outside the slab: miss regardless of z extent.
+  EXPECT_FALSE(intersect_ray_aabb({5, 0.5, -5}, {0, 0, 1}, box).has_value());
+}
+
+TEST(RayAabb, DiagonalThroughCorner) {
+  const Aabb box{{0, 0, 0}, {1, 1, 1}};
+  const auto hit = intersect_ray_aabb({-1, -1, -1}, {1, 1, 1}, box);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t_enter, 1.0, 1e-12);
+  EXPECT_NEAR(hit->t_exit, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace omu::geom

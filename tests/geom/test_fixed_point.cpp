@@ -1,0 +1,104 @@
+#include "geom/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omu::geom {
+namespace {
+
+TEST(Fixed16, RawRoundTrip) {
+  const Fixed16 f = Fixed16::from_raw(870);
+  EXPECT_EQ(f.raw(), 870);
+  EXPECT_FLOAT_EQ(f.to_float(), 870.0f / 1024.0f);
+}
+
+TEST(Fixed16, FromFloatRoundsToNearest) {
+  // 0.85 * 1024 = 870.4 -> 870; -0.4 * 1024 = -409.6 -> -410.
+  EXPECT_EQ(Fixed16::from_float(0.85f).raw(), 870);
+  EXPECT_EQ(Fixed16::from_float(-0.4f).raw(), -410);
+  EXPECT_EQ(Fixed16::from_float(0.0f).raw(), 0);
+  EXPECT_EQ(Fixed16::from_float(1.0f).raw(), 1024);
+}
+
+TEST(Fixed16, OctoMapDefaultsAreRepresentable) {
+  // Clamping thresholds are exact in Q5.10.
+  EXPECT_EQ(Fixed16::from_float(-2.0f).raw(), -2048);
+  EXPECT_EQ(Fixed16::from_float(3.5f).raw(), 3584);
+  EXPECT_FLOAT_EQ(Fixed16::from_float(-2.0f).to_float(), -2.0f);
+  EXPECT_FLOAT_EQ(Fixed16::from_float(3.5f).to_float(), 3.5f);
+}
+
+TEST(Fixed16, QuantizationErrorBound) {
+  // Any float in range converts with error < one LSB (2^-10).
+  for (float v = -30.0f; v < 30.0f; v += 0.0371f) {
+    const float q = Fixed16::from_float(v).to_float();
+    EXPECT_LT(std::abs(q - v), 1.0f / 1024.0f) << v;
+  }
+}
+
+TEST(Fixed16, FromFloatSaturates) {
+  EXPECT_EQ(Fixed16::from_float(1e6f).raw(), 32767);
+  EXPECT_EQ(Fixed16::from_float(-1e6f).raw(), -32768);
+}
+
+TEST(Fixed16, SaturatingAddNormal) {
+  const Fixed16 a = Fixed16::from_float(1.5f);
+  const Fixed16 b = Fixed16::from_float(0.25f);
+  EXPECT_FLOAT_EQ(a.saturating_add(b).to_float(), 1.75f);
+}
+
+TEST(Fixed16, SaturatingAddClipsAtInt16Bounds) {
+  const Fixed16 big = Fixed16::from_raw(32000);
+  EXPECT_EQ(big.saturating_add(big).raw(), 32767);
+  const Fixed16 small = Fixed16::from_raw(-32000);
+  EXPECT_EQ(small.saturating_add(small).raw(), -32768);
+}
+
+TEST(Fixed16, ClampWithinOctoMapBounds) {
+  const Fixed16 lo = Fixed16::from_float(-2.0f);
+  const Fixed16 hi = Fixed16::from_float(3.5f);
+  EXPECT_EQ(Fixed16::from_float(5.0f).clamp(lo, hi), hi);
+  EXPECT_EQ(Fixed16::from_float(-5.0f).clamp(lo, hi), lo);
+  const Fixed16 mid = Fixed16::from_float(1.0f);
+  EXPECT_EQ(mid.clamp(lo, hi), mid);
+}
+
+TEST(Fixed16, Ordering) {
+  EXPECT_LT(Fixed16::from_float(-0.4f), Fixed16::from_float(0.0f));
+  EXPECT_GT(Fixed16::from_float(0.85f), Fixed16::from_float(0.0f));
+}
+
+TEST(Fixed16, QuantizedFloatArithmeticMatchesIntegerDatapath) {
+  // The software baseline runs quantized updates in float; verify float
+  // addition over the Q5.10 grid is bit-exact against integer arithmetic
+  // across the full OctoMap operating range.
+  const int16_t hit = 870;
+  const int16_t lo = -2048;
+  const int16_t hi = 3584;
+  for (int16_t raw = lo; raw <= hi; raw = static_cast<int16_t>(raw + 7)) {
+    const float f = Fixed16::from_raw(raw).to_float();
+    const float sum = f + Fixed16::from_raw(hit).to_float();
+    int32_t expect = raw + hit;
+    if (expect > hi) expect = hi;
+    const float clamped = std::min(sum, Fixed16::from_raw(hi).to_float());
+    EXPECT_EQ(Fixed16::from_float(clamped).raw(), static_cast<int16_t>(expect));
+  }
+}
+
+TEST(LogOdds, ProbabilityConversionsInverse) {
+  for (float p = 0.05f; p < 1.0f; p += 0.05f) {
+    const float l = log_odds_from_probability(p);
+    EXPECT_NEAR(probability_from_log_odds(l), p, 1e-6f);
+  }
+}
+
+TEST(LogOdds, KnownValues) {
+  EXPECT_NEAR(log_odds_from_probability(0.5f), 0.0f, 1e-7f);
+  EXPECT_NEAR(log_odds_from_probability(0.7f), 0.8473f, 1e-4f);
+  EXPECT_NEAR(probability_from_log_odds(3.5f), 0.9707f, 1e-4f);
+  EXPECT_NEAR(probability_from_log_odds(-2.0f), 0.1192f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace omu::geom

@@ -1,0 +1,73 @@
+#include "geom/pointcloud.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::geom {
+namespace {
+
+TEST(PointCloud, StartsEmpty) {
+  const PointCloud pc;
+  EXPECT_TRUE(pc.empty());
+  EXPECT_EQ(pc.size(), 0u);
+}
+
+TEST(PointCloud, PushAndIndex) {
+  PointCloud pc;
+  pc.push_back({1, 2, 3});
+  pc.push_back({4, 5, 6});
+  ASSERT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc[0], (Vec3f{1, 2, 3}));
+  EXPECT_EQ(pc[1], (Vec3f{4, 5, 6}));
+}
+
+TEST(PointCloud, RangeIteration) {
+  PointCloud pc({{1, 0, 0}, {2, 0, 0}, {3, 0, 0}});
+  float sum = 0;
+  for (const Vec3f& p : pc) sum += p.x;
+  EXPECT_FLOAT_EQ(sum, 6.0f);
+}
+
+TEST(PointCloud, TransformAppliesPose) {
+  PointCloud pc({{1, 0, 0}});
+  pc.transform(Pose({10, 0, 0}, 0.0));
+  EXPECT_NEAR(pc[0].x, 11.0f, 1e-5f);
+}
+
+TEST(PointCloud, TransformWithYaw) {
+  PointCloud pc({{1, 0, 0}});
+  pc.transform(Pose({0, 0, 0}, 3.14159265358979323846 / 2));
+  EXPECT_NEAR(pc[0].x, 0.0f, 1e-5f);
+  EXPECT_NEAR(pc[0].y, 1.0f, 1e-5f);
+}
+
+TEST(PointCloud, BoundsOfEmptyCloudInvalidOrZero) {
+  const PointCloud pc;
+  const Aabb b = pc.bounds();
+  EXPECT_EQ(b.min, Vec3d::zero());
+  EXPECT_EQ(b.max, Vec3d::zero());
+}
+
+TEST(PointCloud, BoundsCoverAllPoints) {
+  const PointCloud pc({{1, 2, 3}, {-1, 5, 0}, {0, 0, 10}});
+  const Aabb b = pc.bounds();
+  EXPECT_EQ(b.min, (Vec3d{-1, 0, 0}));
+  EXPECT_EQ(b.max, (Vec3d{1, 5, 10}));
+  for (const Vec3f& p : pc) EXPECT_TRUE(b.contains(p.cast<double>()));
+}
+
+TEST(PointCloud, AppendConcatenates) {
+  PointCloud a({{1, 0, 0}});
+  const PointCloud b({{2, 0, 0}, {3, 0, 0}});
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_FLOAT_EQ(a[2].x, 3.0f);
+}
+
+TEST(PointCloud, ClearEmpties) {
+  PointCloud pc({{1, 2, 3}});
+  pc.clear();
+  EXPECT_TRUE(pc.empty());
+}
+
+}  // namespace
+}  // namespace omu::geom

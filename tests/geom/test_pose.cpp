@@ -1,0 +1,85 @@
+#include "geom/pose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omu::geom {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Mat3, IdentityByDefault) {
+  const Mat3 m;
+  const Vec3d v{1, 2, 3};
+  EXPECT_EQ(m * v, v);
+}
+
+TEST(Mat3, RotZQuarterTurn) {
+  const Mat3 r = Mat3::rot_z(kPi / 2);
+  const Vec3d v = r * Vec3d{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(Mat3, RotYQuarterTurn) {
+  const Vec3d v = Mat3::rot_y(kPi / 2) * Vec3d{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.z, -1.0, 1e-12);
+}
+
+TEST(Mat3, RotXQuarterTurn) {
+  const Vec3d v = Mat3::rot_x(kPi / 2) * Vec3d{0, 1, 0};
+  EXPECT_NEAR(v.y, 0.0, 1e-12);
+  EXPECT_NEAR(v.z, 1.0, 1e-12);
+}
+
+TEST(Mat3, TransposeIsInverseForRotations) {
+  const Mat3 r = Mat3::rot_z(0.7) * Mat3::rot_y(-0.3) * Mat3::rot_x(1.1);
+  const Mat3 rt = r.transposed();
+  const Vec3d v{1.5, -2.5, 0.5};
+  const Vec3d round_trip = rt * (r * v);
+  EXPECT_NEAR(round_trip.x, v.x, 1e-12);
+  EXPECT_NEAR(round_trip.y, v.y, 1e-12);
+  EXPECT_NEAR(round_trip.z, v.z, 1e-12);
+}
+
+TEST(Pose, PureTranslation) {
+  const Pose p({10, 20, 30}, 0.0);
+  EXPECT_EQ(p.transform({1, 2, 3}), (Vec3d{11, 22, 33}));
+}
+
+TEST(Pose, YawRotatesSensorFrame) {
+  // Sensor looking along +x, pose yawed 90 degrees: sensor +x maps to
+  // world +y.
+  const Pose p({0, 0, 0}, kPi / 2);
+  const Vec3d w = p.transform({2, 0, 0});
+  EXPECT_NEAR(w.x, 0.0, 1e-12);
+  EXPECT_NEAR(w.y, 2.0, 1e-12);
+}
+
+TEST(Pose, RotateIgnoresTranslation) {
+  const Pose p({100, 100, 100}, kPi);
+  const Vec3d d = p.rotate({1, 0, 0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+}
+
+TEST(Pose, PreservesDistances) {
+  const Pose p({3, -2, 5}, 0.8, 0.2, -0.4);
+  const Vec3d a{1, 2, 3};
+  const Vec3d b{-2, 0, 1};
+  EXPECT_NEAR(distance(p.transform(a), p.transform(b)), distance(a, b), 1e-12);
+}
+
+TEST(Pose, AccessorsReturnConstructorValues) {
+  const Pose p({1, 2, 3}, 0.5, 0.25, -0.125);
+  EXPECT_EQ(p.translation(), (Vec3d{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(p.yaw(), 0.5);
+  EXPECT_DOUBLE_EQ(p.pitch(), 0.25);
+  EXPECT_DOUBLE_EQ(p.roll(), -0.125);
+}
+
+}  // namespace
+}  // namespace omu::geom

@@ -1,0 +1,74 @@
+#include "geom/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omu::geom {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformRespectsRange) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(SplitMix64, UniformMeanIsCentered) {
+  SplitMix64 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(SplitMix64, NextBelowStaysInRange) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(SplitMix64, NormalHasRequestedMoments) {
+  SplitMix64 rng(15);
+  const int n = 100000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 0.5);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace omu::geom

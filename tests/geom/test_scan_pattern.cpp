@@ -1,0 +1,85 @@
+#include "geom/scan_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omu::geom {
+namespace {
+
+TEST(ScanPattern, RayCountMatchesSpec) {
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 36;
+  spec.elevation_steps = 10;
+  EXPECT_EQ(spec.ray_count(), 360u);
+  EXPECT_EQ(make_scan_directions(spec).size(), 360u);
+}
+
+TEST(ScanPattern, DirectionsAreUnitVectors) {
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 24;
+  spec.elevation_steps = 8;
+  for (const Vec3f& d : make_scan_directions(spec)) {
+    EXPECT_NEAR(d.norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(ScanPattern, ElevationLimitsRespected) {
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 16;
+  spec.elevation_steps = 6;
+  spec.elevation_start_rad = -0.3;
+  spec.elevation_end_rad = 0.6;
+  for (const Vec3f& d : make_scan_directions(spec)) {
+    const double el = std::asin(static_cast<double>(d.z));
+    EXPECT_GE(el, -0.3 - 1e-6);
+    EXPECT_LE(el, 0.6 + 1e-6);
+  }
+}
+
+TEST(ScanPattern, SingleForwardRay) {
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 1;
+  spec.elevation_steps = 1;
+  spec.azimuth_start_rad = -0.1;
+  spec.azimuth_end_rad = 0.1;
+  spec.elevation_start_rad = -0.1;
+  spec.elevation_end_rad = 0.1;
+  const auto dirs = make_scan_directions(spec);
+  ASSERT_EQ(dirs.size(), 1u);
+  // Sample is interval-centered, so it points straight ahead (+x).
+  EXPECT_NEAR(dirs[0].x, 1.0f, 1e-5f);
+  EXPECT_NEAR(dirs[0].y, 0.0f, 1e-5f);
+  EXPECT_NEAR(dirs[0].z, 0.0f, 1e-5f);
+}
+
+TEST(ScanPattern, FullAzimuthSweepCoversAllQuadrants) {
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 64;
+  spec.elevation_steps = 1;
+  spec.elevation_start_rad = 0.0;
+  spec.elevation_end_rad = 0.0;
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const Vec3f& d : make_scan_directions(spec)) {
+    const int qi = (d.x >= 0 ? 0 : 1) + (d.y >= 0 ? 0 : 2);
+    quadrant[qi]++;
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quadrant[q], 0) << "quadrant " << q;
+}
+
+TEST(ScanPattern, AzimuthOrderingIsSweeping) {
+  // Consecutive rays within one elevation ring differ by a small angle.
+  ScanPatternSpec spec;
+  spec.azimuth_steps = 128;
+  spec.elevation_steps = 1;
+  spec.elevation_start_rad = 0.0;
+  spec.elevation_end_rad = 0.0;
+  const auto dirs = make_scan_directions(spec);
+  for (std::size_t i = 1; i < dirs.size(); ++i) {
+    const float dot = dirs[i - 1].dot(dirs[i]);
+    EXPECT_GT(dot, 0.99f);  // < ~8 degrees apart
+  }
+}
+
+}  // namespace
+}  // namespace omu::geom

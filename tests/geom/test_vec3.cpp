@@ -1,0 +1,93 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omu::geom {
+namespace {
+
+TEST(Vec3, DefaultConstructsToZero) {
+  const Vec3d v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, ComponentIndexing) {
+  Vec3d v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 7.0;
+  EXPECT_EQ(v.y, 7.0);
+}
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3d a{1, 2, 3};
+  const Vec3d b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(b / 2.0, (Vec3d{2, 2.5, 3}));
+  EXPECT_EQ(-a, (Vec3d{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d v{1, 1, 1};
+  v += Vec3d{1, 2, 3};
+  EXPECT_EQ(v, (Vec3d{2, 3, 4}));
+  v -= Vec3d{1, 1, 1};
+  EXPECT_EQ(v, (Vec3d{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3d{3, 6, 9}));
+}
+
+TEST(Vec3, DotProduct) {
+  const Vec3d a{1, 2, 3};
+  const Vec3d b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 4 - 10 + 18);
+}
+
+TEST(Vec3, CrossProductIsOrthogonal) {
+  const Vec3d a{1, 2, 3};
+  const Vec3d b{-2, 1, 4};
+  const Vec3d c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, CrossProductOfUnitAxes) {
+  EXPECT_EQ(Vec3d::unit_x().cross(Vec3d::unit_y()), Vec3d::unit_z());
+  EXPECT_EQ(Vec3d::unit_y().cross(Vec3d::unit_z()), Vec3d::unit_x());
+  EXPECT_EQ(Vec3d::unit_z().cross(Vec3d::unit_x()), Vec3d::unit_y());
+}
+
+TEST(Vec3, NormAndNormalized) {
+  const Vec3d v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.squared_norm(), 25.0);
+  const Vec3d n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+}
+
+TEST(Vec3, CwiseMul) {
+  EXPECT_EQ((Vec3d{1, 2, 3}).cwise_mul(Vec3d{4, 5, 6}), (Vec3d{4, 10, 18}));
+}
+
+TEST(Vec3, CastBetweenScalars) {
+  const Vec3d d{1.7, -2.3, 3.9};
+  const Vec3f f = d.cast<float>();
+  EXPECT_FLOAT_EQ(f.x, 1.7f);
+  EXPECT_FLOAT_EQ(f.y, -2.3f);
+  EXPECT_FLOAT_EQ(f.z, 3.9f);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3d{1, 0, 0}, Vec3d{1, 0, 7}), 7.0);
+}
+
+}  // namespace
+}  // namespace omu::geom

@@ -1,0 +1,117 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace omu::harness {
+namespace {
+
+ExperimentOptions tiny_options() {
+  ExperimentOptions opt;
+  opt.scale = 0.0005;  // keep the test fast
+  opt.seed = 1;
+  return opt;
+}
+
+TEST(Experiment, RunProducesAllPlatformResults) {
+  const ExperimentRunner runner(tiny_options());
+  const ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+  EXPECT_EQ(r.name, "FR-079 corridor");
+  EXPECT_GT(r.measured.points, 0u);
+  EXPECT_GT(r.measured.voxel_updates, r.measured.points);
+  EXPECT_GT(r.i9.latency_s, 0.0);
+  EXPECT_GT(r.a57.latency_s, r.i9.latency_s);
+  EXPECT_GT(r.omu.latency_s, 0.0);
+  EXPECT_LT(r.omu.latency_s, r.i9.latency_s);
+  EXPECT_GT(r.omu.fps, r.i9.fps);
+  EXPECT_GT(r.i9.fps, r.a57.fps);
+  EXPECT_GT(r.a57.energy_j, r.omu.energy_j);
+}
+
+TEST(Experiment, ExtrapolationIsConsistent) {
+  const ExperimentRunner runner(tiny_options());
+  const ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+  EXPECT_NEAR(r.full_updates,
+              r.extrapolation * static_cast<double>(r.measured.voxel_updates),
+              r.full_updates * 1e-9);
+  // Full points pinned to the paper's dataset size.
+  EXPECT_DOUBLE_EQ(r.full_points, 5.9e6);
+  EXPECT_GT(r.extrapolation, 1.0);
+}
+
+TEST(Experiment, CpuFractionsSumToOne) {
+  const ExperimentRunner runner(tiny_options());
+  const ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+  const double sum = r.i9.frac_ray_cast + r.i9.frac_update_leaf + r.i9.frac_update_parents +
+                     r.i9.frac_prune_expand;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const double omu_sum =
+      r.omu.frac_update_leaf + r.omu.frac_update_parents + r.omu.frac_prune_expand;
+  EXPECT_NEAR(omu_sum, 1.0, 1e-9);
+}
+
+TEST(Experiment, OmuDetailsPopulated) {
+  const ExperimentRunner runner(tiny_options());
+  const ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+  EXPECT_GT(r.omu_details.map_cycles, 0u);
+  EXPECT_GT(r.omu_details.cycles_per_update, 1.0);
+  EXPECT_GT(r.omu_details.pe_busy_cycles_per_update, r.omu_details.cycles_per_update);
+  EXPECT_GT(r.omu_details.sram_reads, 0u);
+  EXPECT_GT(r.omu_details.sram_writes, 0u);
+  EXPECT_GT(r.omu_details.rows_in_use, 0u);
+  EXPECT_GE(r.omu_details.peak_rows, r.omu_details.rows_in_use);
+  EXPECT_EQ(r.omu_details.per_pe_updates.size(), 8u);
+  EXPECT_GT(r.omu_details.sram_power_fraction, 0.7);
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  const ExperimentRunner runner(tiny_options());
+  const ExperimentResult a = runner.run(data::DatasetId::kFr079Corridor);
+  const ExperimentResult b = runner.run(data::DatasetId::kFr079Corridor);
+  EXPECT_EQ(a.measured.voxel_updates, b.measured.voxel_updates);
+  EXPECT_EQ(a.omu_details.map_cycles, b.omu_details.map_cycles);
+  EXPECT_DOUBLE_EQ(a.i9.latency_s, b.i9.latency_s);
+}
+
+TEST(Experiment, AcceleratorOnlyRunMatchesFullRunOmuSide) {
+  const ExperimentOptions opt = tiny_options();
+  const ExperimentRunner runner(opt);
+  accel::OmuConfig cfg = opt.omu_config;
+  cfg.rows_per_bank = opt.enlarged_rows_per_bank;
+  const ExperimentResult full = runner.run(data::DatasetId::kFr079Corridor);
+  const ExperimentResult only =
+      runner.run_accelerator_only(data::DatasetId::kFr079Corridor, cfg);
+  EXPECT_EQ(only.measured.voxel_updates, full.measured.voxel_updates);
+  EXPECT_EQ(only.omu_details.map_cycles, full.omu_details.map_cycles);
+}
+
+TEST(Experiment, PeSweepReducesLatency) {
+  const ExperimentOptions opt = tiny_options();
+  const ExperimentRunner runner(opt);
+  accel::OmuConfig one;
+  one.pe_count = 1;
+  one.rows_per_bank = opt.enlarged_rows_per_bank * 8;
+  accel::OmuConfig eight;
+  eight.rows_per_bank = opt.enlarged_rows_per_bank;
+  const auto r1 = runner.run_accelerator_only(data::DatasetId::kFr079Corridor, one);
+  const auto r8 = runner.run_accelerator_only(data::DatasetId::kFr079Corridor, eight);
+  EXPECT_GT(r1.omu.latency_s, 3.0 * r8.omu.latency_s);
+}
+
+TEST(Experiment, OptionsFromEnvReadsScale) {
+  setenv("OMU_DATASET_SCALE", "0.123", 1);
+  setenv("OMU_SEED", "77", 1);
+  const ExperimentOptions opt = ExperimentOptions::from_env();
+  EXPECT_DOUBLE_EQ(opt.scale, 0.123);
+  EXPECT_EQ(opt.seed, 77u);
+  unsetenv("OMU_DATASET_SCALE");
+  unsetenv("OMU_SEED");
+  // Invalid values fall back to the default.
+  setenv("OMU_DATASET_SCALE", "7.5", 1);
+  EXPECT_DOUBLE_EQ(ExperimentOptions::from_env().scale, ExperimentOptions{}.scale);
+  unsetenv("OMU_DATASET_SCALE");
+}
+
+}  // namespace
+}  // namespace omu::harness

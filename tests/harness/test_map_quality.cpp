@@ -1,0 +1,85 @@
+#include "harness/map_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "map/scan_inserter.hpp"
+
+namespace omu::harness {
+namespace {
+
+std::vector<data::DatasetScan> corridor_scans(double scale, uint64_t seed, std::size_t stride) {
+  const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, scale, seed);
+  std::vector<data::DatasetScan> scans;
+  for (std::size_t i = 0; i < dataset.scan_count(); i += stride) {
+    scans.push_back(dataset.scan(i));
+  }
+  return scans;
+}
+
+TEST(MapQuality, WellBuiltMapScoresHigh) {
+  const auto train = corridor_scans(0.001, 1, 1);
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  for (const auto& scan : train) inserter.insert_scan(scan.points, scan.pose.translation());
+
+  const auto eval = corridor_scans(0.001, 2001, 8);
+  const MapQuality q = evaluate_map_quality(tree, eval);
+  EXPECT_GT(q.occupied_samples, 100u);
+  EXPECT_GT(q.free_samples, 100u);
+  EXPECT_GT(q.occupied_accuracy(), 0.85);
+  EXPECT_GT(q.free_accuracy(), 0.95);
+  EXPECT_GT(q.overall_accuracy(), 0.90);
+}
+
+TEST(MapQuality, EmptyMapScoresZeroOccupied) {
+  const map::OccupancyOctree tree(0.2);
+  const auto eval = corridor_scans(0.001, 3001, 16);
+  const MapQuality q = evaluate_map_quality(tree, eval);
+  EXPECT_EQ(q.occupied_correct, 0u);
+  EXPECT_EQ(q.free_correct, 0u);  // everything unknown
+  EXPECT_DOUBLE_EQ(q.overall_accuracy(), 0.0);
+}
+
+TEST(MapQuality, EmptyScansYieldZeroSamples) {
+  const map::OccupancyOctree tree(0.2);
+  const MapQuality q = evaluate_map_quality(tree, {});
+  EXPECT_EQ(q.occupied_samples, 0u);
+  EXPECT_DOUBLE_EQ(q.overall_accuracy(), 0.0);
+}
+
+TEST(Agreement, IdenticalMapsAgreeFully) {
+  map::OccupancyOctree a(0.2);
+  a.update_node(geom::Vec3d{1, 1, 0}, true);
+  a.update_node(geom::Vec3d{-1, 1, 0}, false);
+  const map::OccupancyOctree b = a;
+  EXPECT_DOUBLE_EQ(
+      classification_agreement(a, b, geom::Aabb{{-2, -2, -1}, {2, 2, 1}}, 1000), 1.0);
+}
+
+TEST(Agreement, DetectsDifferences) {
+  map::OccupancyOctree a(0.2);
+  map::OccupancyOctree b(0.2);
+  a.update_node(geom::Vec3d{1, 1, 0}, true);
+  b.update_node(geom::Vec3d{1, 1, 0}, false);  // flipped classification
+  const double agreement =
+      classification_agreement(a, b, geom::Aabb{{0, 0, -1}, {2, 2, 1}}, 500);
+  EXPECT_LT(agreement, 1.0);
+}
+
+TEST(Agreement, PrunedVsExpandedAgreeExactly) {
+  // The pruning-losslessness invariant, measured the way the quality
+  // bench does.
+  map::OccupancyOctree pruned(0.2);
+  map::ScanInserter inserter(pruned);
+  for (const auto& scan : corridor_scans(0.0005, 5, 2)) {
+    inserter.insert_scan(scan.points, scan.pose.translation());
+  }
+  map::OccupancyOctree expanded = pruned;
+  expanded.expand_all();
+  EXPECT_DOUBLE_EQ(classification_agreement(pruned, expanded,
+                                            geom::Aabb{{-18, -2, -2}, {18, 2, 2}}, 5000),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace omu::harness

@@ -1,0 +1,75 @@
+#include "harness/paper_reference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::harness {
+namespace {
+
+TEST(PaperReference, Table3ValuesInternallyConsistent) {
+  // The paper's own speedup rows must equal the latency ratios it reports.
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const PaperDatasetRef r = paper_reference(id);
+    EXPECT_NEAR(r.i9_latency_s / r.omu_latency_s, r.speedup_over_i9, 0.12) << r.name;
+    EXPECT_NEAR(r.a57_latency_s / r.omu_latency_s, r.speedup_over_a57, 0.9) << r.name;
+  }
+}
+
+TEST(PaperReference, Table5EnergyBenefitConsistent) {
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const PaperDatasetRef r = paper_reference(id);
+    EXPECT_NEAR(r.a57_energy_j / r.omu_energy_j, r.energy_benefit,
+                r.energy_benefit * 0.07) << r.name;
+  }
+}
+
+TEST(PaperReference, Fig3FractionsSumToOne) {
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const PaperDatasetRef r = paper_reference(id);
+    const double sum = r.cpu_frac_ray_cast + r.cpu_frac_update_leaf +
+                       r.cpu_frac_update_parents + r.cpu_frac_prune_expand;
+    EXPECT_NEAR(sum, 1.0, 0.02) << r.name;  // paper rounds to whole percent
+  }
+}
+
+TEST(PaperReference, FpsFormulaReproducesAllTableEntries) {
+  // The 1.152e6 updates/frame conversion must reproduce every FPS entry in
+  // Tables II and IV from the corresponding latency and update counts.
+  struct Case {
+    data::DatasetId id;
+    double updates;
+  };
+  const Case cases[] = {{data::DatasetId::kFr079Corridor, 101e6},
+                        {data::DatasetId::kFreiburgCampus, 1031e6},
+                        {data::DatasetId::kNewCollege, 449e6}};
+  for (const Case& c : cases) {
+    const PaperDatasetRef r = paper_reference(c.id);
+    EXPECT_NEAR(fps_from_update_rate(c.updates / r.i9_latency_s), r.i9_fps, 0.35) << r.name;
+    EXPECT_NEAR(fps_from_update_rate(c.updates / r.a57_latency_s), r.a57_fps, 0.07) << r.name;
+    // OMU entries carry more rounding in the paper; stay within 10%.
+    EXPECT_NEAR(fps_from_update_rate(c.updates / r.omu_latency_s), r.omu_fps,
+                r.omu_fps * 0.10)
+        << r.name;
+  }
+}
+
+TEST(PaperReference, AcceleratorConstants) {
+  const PaperAcceleratorRef a = paper_accelerator_reference();
+  EXPECT_DOUBLE_EQ(a.power_mw, 250.8);
+  EXPECT_DOUBLE_EQ(a.area_mm2, 2.5);
+  EXPECT_DOUBLE_EQ(a.sram_power_fraction, 0.91);
+  EXPECT_DOUBLE_EQ(a.realtime_fps, 30.0);
+}
+
+TEST(PaperReference, A57PowerImpliedByTable5InMeasuredRange) {
+  // Energy / latency must land in the 2.6-2.9 W the paper reports for the
+  // A57 cluster.
+  for (const data::DatasetId id : data::kAllDatasets) {
+    const PaperDatasetRef r = paper_reference(id);
+    const double implied_w = r.a57_energy_j / r.a57_latency_s;
+    EXPECT_GT(implied_w, 2.6) << r.name;
+    EXPECT_LT(implied_w, 2.9) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace omu::harness

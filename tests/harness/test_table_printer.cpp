@@ -1,0 +1,92 @@
+#include "harness/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace omu::harness {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell) {
+  TablePrinter table({"h", "x"});
+  table.add_row({"a-very-long-cell", "1"});
+  const std::string out = table.to_string();
+  // Every rendered line has the same length.
+  std::istringstream ss(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(ss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorProducesRule) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // header rule + top + bottom + middle = 4 horizontal lines.
+  std::size_t rules = 0;
+  std::istringstream ss(out);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, FixedFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fixed(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::fixed(-1.005, 1), "-1.0");
+}
+
+TEST(TablePrinter, PercentAndSpeedup) {
+  EXPECT_EQ(TablePrinter::percent(0.61), "61%");
+  EXPECT_EQ(TablePrinter::percent(0.125, 1), "12.5%");
+  EXPECT_EQ(TablePrinter::speedup(12.8), "12.8x");
+}
+
+TEST(TablePrinter, CountAddsThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::count(0), "0");
+  EXPECT_EQ(TablePrinter::count(999), "999");
+  EXPECT_EQ(TablePrinter::count(1000), "1,000");
+  EXPECT_EQ(TablePrinter::count(92361), "92,361");
+  EXPECT_EQ(TablePrinter::count(101000000), "101,000,000");
+}
+
+TEST(WriteCsv, EmitsHeaderAndRows) {
+  std::ostringstream ss;
+  write_csv(ss, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(BenchHeader, MentionsExperimentAndScale) {
+  std::ostringstream ss;
+  print_bench_header(ss, "Table III", "Latency comparison.", 0.004);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("Table III"), std::string::npos);
+  EXPECT_NE(out.find("0.4%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omu::harness

@@ -1,0 +1,129 @@
+#include "map/map_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "map/scan_inserter.hpp"
+
+namespace omu::map {
+namespace {
+
+OccupancyOctree room_map() {
+  // Free disc around the origin with a wall voxel at (1.5, 0.1).
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  geom::PointCloud cloud;
+  for (int i = 0; i < 72; ++i) {
+    const double ang = i * 2.0 * 3.14159265 / 72;
+    cloud.push_back(geom::Vec3f{static_cast<float>(1.5 * std::cos(ang)),
+                                static_cast<float>(1.5 * std::sin(ang)), 0.1f});
+  }
+  inserter.insert_scan(cloud, {0.1, 0.1, 0.1});
+  return tree;
+}
+
+TEST(SliceExport, HeaderAndDimensions) {
+  const OccupancyOctree tree = room_map();
+  std::stringstream ss;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  write_occupancy_slice_pgm(tree, 0.1, geom::Aabb{{-2, -2, 0}, {2, 2, 0.2}}, ss, &w, &h);
+  EXPECT_EQ(w, 20u);  // 4 m / 0.2 m
+  EXPECT_EQ(h, 20u);
+  std::string magic;
+  ss >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::size_t pw = 0;
+  std::size_t ph = 0;
+  int maxval = 0;
+  ss >> pw >> ph >> maxval;
+  EXPECT_EQ(pw, w);
+  EXPECT_EQ(ph, h);
+  EXPECT_EQ(maxval, 255);
+  // Payload is exactly w*h bytes after the single whitespace.
+  ss.get();
+  std::string payload((std::istreambuf_iterator<char>(ss)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(payload.size(), w * h);
+}
+
+TEST(SliceExport, PixelValuesMatchClassification) {
+  const OccupancyOctree tree = room_map();
+  std::stringstream ss;
+  std::size_t w = 0;
+  std::size_t h = 0;
+  const geom::Aabb region{{-2, -2, 0}, {2, 2, 0.2}};
+  write_occupancy_slice_pgm(tree, 0.1, region, ss, &w, &h);
+  const std::string out = ss.str();
+  const std::size_t header_end = out.find("255\n") + 4;
+  int free_px = 0;
+  int occ_px = 0;
+  int unknown_px = 0;
+  for (std::size_t i = header_end; i < out.size(); ++i) {
+    switch (static_cast<uint8_t>(out[i])) {
+      case kSliceFree: ++free_px; break;
+      case kSliceOccupied: ++occ_px; break;
+      case kSliceUnknown: ++unknown_px; break;
+      default: FAIL() << "unexpected gray level";
+    }
+  }
+  EXPECT_GT(free_px, 50);    // interior of the disc
+  EXPECT_GT(occ_px, 20);     // the ring
+  EXPECT_GT(unknown_px, 50); // outside corners
+  // Center pixel is free: row h/2, col w/2.
+  const std::size_t center = header_end + (h / 2) * w + w / 2;
+  EXPECT_EQ(static_cast<uint8_t>(out[center]), kSliceFree);
+}
+
+TEST(SliceExport, FileWrapperWrites) {
+  const OccupancyOctree tree = room_map();
+  const std::string path = testing::TempDir() + "/omu_slice.pgm";
+  EXPECT_TRUE(
+      write_occupancy_slice_pgm_file(tree, 0.1, geom::Aabb{{-2, -2, 0}, {2, 2, 0.2}}, path));
+  std::remove(path.c_str());
+}
+
+TEST(PlyExport, CountsMatchHeader) {
+  const OccupancyOctree tree = room_map();
+  std::stringstream ss;
+  const std::size_t n = write_occupied_ply(tree, ss);
+  EXPECT_GT(n, 20u);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("element vertex " + std::to_string(n)), std::string::npos);
+  // Body has exactly n lines after end_header.
+  const std::size_t body_start = out.find("end_header\n") + 11;
+  std::size_t lines = 0;
+  for (std::size_t i = body_start; i < out.size(); ++i) {
+    if (out[i] == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, n);
+}
+
+TEST(PlyExport, EmptyMapProducesValidEmptyPly) {
+  const OccupancyOctree tree(0.2);
+  std::stringstream ss;
+  EXPECT_EQ(write_occupied_ply(tree, ss), 0u);
+  EXPECT_NE(ss.str().find("element vertex 0"), std::string::npos);
+}
+
+TEST(PlyExport, PrunedLeavesCapRespected) {
+  // A pruned occupied block would emit many points; verify the cap.
+  OccupancyOctree tree(0.2);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+      k[0] |= static_cast<uint16_t>(i & 1);
+      k[1] |= static_cast<uint16_t>((i >> 1) & 1);
+      k[2] |= static_cast<uint16_t>((i >> 2) & 1);
+      tree.update_node(k, true);
+    }
+  }
+  ASSERT_EQ(tree.leaf_count(), 1u);  // pruned
+  std::stringstream capped;
+  EXPECT_LE(write_occupied_ply(tree, capped, 4), 8u);
+  std::stringstream uncapped;
+  EXPECT_EQ(write_occupied_ply(tree, uncapped, 0), 8u);  // 2x2x2 block
+}
+
+}  // namespace
+}  // namespace omu::map

@@ -1,0 +1,185 @@
+// Map ray casting (castRay-style visibility), box-filtered iteration, and
+// map merging.
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::map {
+namespace {
+
+TEST(MapCastRay, FindsOccupiedVoxelAlongRay) {
+  OccupancyOctree tree(0.2);
+  // Wall voxel at x ~ 2.1, free corridor before it.
+  ScanInserter inserter(tree);
+  inserter.insert_scan(geom::PointCloud({{2.1f, 0.1f, 0.1f}}), {0.1, 0.1, 0.1});
+  const auto hit = tree.cast_ray({0.1, 0.1, 0.1}, {1, 0, 0}, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cell, Occupancy::kOccupied);
+  EXPECT_NEAR(hit->position.x, 2.1, 0.21);
+  EXPECT_NEAR(hit->distance, 2.0, 0.3);
+}
+
+TEST(MapCastRay, ReturnsNulloptInFreeCorridorWithinRange) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  inserter.insert_scan(geom::PointCloud({{5.1f, 0.1f, 0.1f}}), {0.1, 0.1, 0.1});
+  // Range stops before the wall.
+  EXPECT_FALSE(tree.cast_ray({0.1, 0.1, 0.1}, {1, 0, 0}, 2.0).has_value());
+}
+
+TEST(MapCastRay, UnknownBlocksWhenNotIgnored) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  inserter.insert_scan(geom::PointCloud({{2.1f, 0.1f, 0.1f}}), {0.1, 0.1, 0.1});
+  // Ray in a direction never observed: all unknown.
+  const auto ignore = tree.cast_ray({0.1, 0.1, 0.1}, {0, -1, 0}, 5.0, true);
+  EXPECT_FALSE(ignore.has_value());
+  const auto conservative = tree.cast_ray({0.1, 0.1, 0.1}, {0, -1, 0}, 5.0, false);
+  ASSERT_TRUE(conservative.has_value());
+  EXPECT_EQ(conservative->cell, Occupancy::kUnknown);
+}
+
+TEST(MapCastRay, DiagonalRayHitsWall) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  // Build a small wall patch around (2, 2, 0).
+  geom::PointCloud wall;
+  for (int i = -2; i <= 2; ++i) {
+    for (int j = -2; j <= 2; ++j) {
+      wall.push_back(geom::Vec3f{2.0f + 0.2f * static_cast<float>(i),
+                                 2.0f + 0.2f * static_cast<float>(j), 0.1f});
+    }
+  }
+  inserter.insert_scan(wall, {0.1, 0.1, 0.1});
+  const auto hit = tree.cast_ray({0.1, 0.1, 0.1}, {1, 1, 0}, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->position.x, 2.0, 0.5);
+  EXPECT_NEAR(hit->position.y, 2.0, 0.5);
+}
+
+TEST(MapCastRay, DegenerateInputsRejected) {
+  OccupancyOctree tree(0.2);
+  EXPECT_FALSE(tree.cast_ray({0, 0, 0}, {0, 0, 0}, 5.0).has_value());
+  EXPECT_FALSE(tree.cast_ray({0, 0, 0}, {1, 0, 0}, 0.0).has_value());
+  EXPECT_FALSE(tree.cast_ray({1e7, 0, 0}, {1, 0, 0}, 5.0).has_value());
+}
+
+TEST(MapCastRay, StartingInsideOccupiedVoxelHitsImmediately) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{0.1, 0.1, 0.1}, true);
+  const auto hit = tree.cast_ray({0.1, 0.1, 0.1}, {1, 0, 0}, 5.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->distance, 0.0, 0.2);
+}
+
+TEST(BoxIteration, VisitsOnlyIntersectingLeaves) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1.0, 1.0, 1.0}, true);
+  tree.update_node(geom::Vec3d{-5.0, -5.0, 0.0}, true);
+  std::size_t inside = 0;
+  tree.for_each_leaf_in_box(geom::Aabb{{0, 0, 0}, {2, 2, 2}},
+                            [&inside](const OcKey&, int, float) { ++inside; });
+  EXPECT_EQ(inside, 1u);
+  std::size_t all = 0;
+  tree.for_each_leaf_in_box(geom::Aabb{{-10, -10, -10}, {10, 10, 10}},
+                            [&all](const OcKey&, int, float) { ++all; });
+  EXPECT_EQ(all, tree.leaf_count());
+}
+
+TEST(BoxIteration, EmptyBoxRegionVisitsNothing) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1.0, 1.0, 1.0}, true);
+  std::size_t n = 0;
+  tree.for_each_leaf_in_box(geom::Aabb{{50, 50, 50}, {51, 51, 51}},
+                            [&n](const OcKey&, int, float) { ++n; });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(Merge, DisjointMapsUnion) {
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.2);
+  a.update_node(geom::Vec3d{1, 0, 0}, true);
+  b.update_node(geom::Vec3d{-1, 0, 0}, false);
+  a.merge(b);
+  EXPECT_EQ(a.classify(geom::Vec3d{1, 0, 0}), Occupancy::kOccupied);
+  EXPECT_EQ(a.classify(geom::Vec3d{-1, 0, 0}), Occupancy::kFree);
+  EXPECT_EQ(a.leaf_count(), 2u);
+}
+
+TEST(Merge, OverlappingCellsAddLogOdds) {
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.2);
+  const geom::Vec3d p{0.5, 0.5, 0.5};
+  a.update_node(p, true);
+  b.update_node(p, true);
+  a.merge(b);
+  const auto key = a.coder().key_for(p);
+  EXPECT_NEAR(a.search(*key)->log_odds, 2 * (870.0f / 1024.0f), 1e-5f);
+}
+
+TEST(Merge, WithEmptyMapIsIdentity) {
+  OccupancyOctree a(0.2);
+  a.update_node(geom::Vec3d{1, 2, 0}, true);
+  const uint64_t before = a.content_hash();
+  const OccupancyOctree empty(0.2);
+  a.merge(empty);
+  EXPECT_EQ(a.content_hash(), before);
+}
+
+TEST(Merge, PrunedLeafAppliesAcrossSubtree) {
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.2);
+  // b has a pruned free block (8 siblings saturated to equal values).
+  const OcKey base{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      OcKey k = base;
+      k[0] |= static_cast<uint16_t>(i & 1);
+      k[1] |= static_cast<uint16_t>((i >> 1) & 1);
+      k[2] |= static_cast<uint16_t>((i >> 2) & 1);
+      b.update_node(k, false);
+    }
+  }
+  ASSERT_LT(b.search(base)->depth, kTreeDepth);
+  // a has one occupied voxel inside that block.
+  a.update_node(base, true);
+  a.merge(b);
+  // The occupied voxel got -2.0 added (0.85 - 2.0 < 0 -> free now).
+  EXPECT_EQ(a.classify(base), Occupancy::kFree);
+  // Former unknown siblings adopt the free value.
+  OcKey sibling = base;
+  sibling[0] |= 1;
+  EXPECT_EQ(a.classify(sibling), Occupancy::kFree);
+}
+
+TEST(Merge, ResolutionMismatchThrows) {
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.1);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Merge, CommutesOnRandomMaps) {
+  geom::SplitMix64 rng(88);
+  const auto random_map = [&rng](uint64_t) {
+    OccupancyOctree t(0.2);
+    for (int i = 0; i < 400; ++i) {
+      const OcKey k{static_cast<uint16_t>(kKeyOrigin + rng.next_below(16) - 8),
+                    static_cast<uint16_t>(kKeyOrigin + rng.next_below(16) - 8),
+                    static_cast<uint16_t>(kKeyOrigin + rng.next_below(16) - 8)};
+      t.update_node(k, rng.next_below(2) == 0);
+    }
+    return t;
+  };
+  OccupancyOctree a1 = random_map(1);
+  OccupancyOctree b1 = random_map(2);
+  OccupancyOctree a2 = a1;  // copies
+  OccupancyOctree b2 = b1;
+  a1.merge(b1);
+  b2.merge(a2);
+  EXPECT_EQ(a1.content_hash(), b2.content_hash());
+}
+
+}  // namespace
+}  // namespace omu::map

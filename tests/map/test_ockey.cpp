@@ -1,0 +1,134 @@
+#include "map/ockey.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::map {
+namespace {
+
+TEST(OcKey, PackedIsInjectiveOverAxes) {
+  const OcKey a{1, 2, 3};
+  const OcKey b{3, 2, 1};
+  EXPECT_NE(a.packed(), b.packed());
+  EXPECT_EQ(a.packed(), OcKey(1, 2, 3).packed());
+}
+
+TEST(OcKey, ChildIndexAtRoot) {
+  // Bit 15 of each axis selects the first-level octant.
+  EXPECT_EQ(child_index(OcKey{0x8000, 0, 0}, 0), 1);
+  EXPECT_EQ(child_index(OcKey{0, 0x8000, 0}, 0), 2);
+  EXPECT_EQ(child_index(OcKey{0, 0, 0x8000}, 0), 4);
+  EXPECT_EQ(child_index(OcKey{0x8000, 0x8000, 0x8000}, 0), 7);
+  EXPECT_EQ(child_index(OcKey{0x7FFF, 0x7FFF, 0x7FFF}, 0), 0);
+}
+
+TEST(OcKey, ChildIndexAtDeepestLevel) {
+  // Bit 0 selects the final descent (depth 15 -> 16).
+  EXPECT_EQ(child_index(OcKey{1, 0, 1}, 15), 5);
+  EXPECT_EQ(child_index(OcKey{0, 1, 0}, 15), 2);
+}
+
+TEST(OcKey, FirstLevelBranchMatchesChildIndex0) {
+  const OcKey k{0x8123, 0x0456, 0xF789};
+  EXPECT_EQ(first_level_branch(k), child_index(k, 0));
+}
+
+TEST(OcKey, KeyAtDepthClearsLowBits) {
+  const OcKey k{0xFFFF, 0x1234, 0x8001};
+  const OcKey d1 = key_at_depth(k, 1);
+  EXPECT_EQ(d1[0], 0x8000);
+  EXPECT_EQ(d1[1], 0x0000);
+  EXPECT_EQ(d1[2], 0x8000);
+  const OcKey d16 = key_at_depth(k, 16);
+  EXPECT_EQ(d16, k);
+  const OcKey d0 = key_at_depth(k, 0);
+  EXPECT_EQ(d0, OcKey{});
+}
+
+TEST(OcKey, PathOfChildIndicesReconstructsKey) {
+  const OcKey k{0xA5C3, 0x5A3C, 0x0F0F};
+  OcKey rebuilt{};
+  for (int d = 0; d < kTreeDepth; ++d) {
+    const int ci = child_index(k, d);
+    const int bit = kTreeDepth - 1 - d;
+    rebuilt[0] |= static_cast<uint16_t>((ci & 1) << bit);
+    rebuilt[1] |= static_cast<uint16_t>(((ci >> 1) & 1) << bit);
+    rebuilt[2] |= static_cast<uint16_t>(((ci >> 2) & 1) << bit);
+  }
+  EXPECT_EQ(rebuilt, k);
+}
+
+TEST(KeyCoder, OriginMapsToCenterKey) {
+  const KeyCoder coder(0.2);
+  const auto k = coder.key_for({0.0, 0.0, 0.0});
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ((*k)[0], kKeyOrigin);
+  EXPECT_EQ((*k)[1], kKeyOrigin);
+  EXPECT_EQ((*k)[2], kKeyOrigin);
+}
+
+TEST(KeyCoder, NegativeCoordinatesFloorCorrectly) {
+  const KeyCoder coder(0.2);
+  // -0.1 is in cell floor(-0.1/0.2) = -1.
+  EXPECT_EQ(*coder.axis_key(-0.1), kKeyOrigin - 1);
+  EXPECT_EQ(*coder.axis_key(-0.2), kKeyOrigin - 1);
+  EXPECT_EQ(*coder.axis_key(-0.2001), kKeyOrigin - 2);
+}
+
+TEST(KeyCoder, KeyCoordRoundTrip) {
+  const KeyCoder coder(0.2);
+  for (double x : {-100.0, -3.13, -0.05, 0.0, 0.05, 7.77, 512.3}) {
+    const auto k = coder.axis_key(x);
+    ASSERT_TRUE(k.has_value());
+    const double center = coder.axis_coord(*k);
+    // The center of the voxel containing x is within half a voxel of x.
+    EXPECT_NEAR(center, x, 0.1 + 1e-9) << x;
+    // And converting the center back yields the same key.
+    EXPECT_EQ(*coder.axis_key(center), *k);
+  }
+}
+
+TEST(KeyCoder, OutOfRangeReturnsNullopt) {
+  const KeyCoder coder(0.2);
+  // Key space covers roughly +/- 6553.6 m at 0.2 m resolution.
+  EXPECT_FALSE(coder.axis_key(7000.0).has_value());
+  EXPECT_FALSE(coder.axis_key(-7000.0).has_value());
+  EXPECT_TRUE(coder.axis_key(6000.0).has_value());
+  EXPECT_FALSE(coder.key_for({0.0, 0.0, 9000.0}).has_value());
+}
+
+TEST(KeyCoder, NodeSizeDoublesPerLevel) {
+  const KeyCoder coder(0.1);
+  EXPECT_DOUBLE_EQ(coder.node_size(kTreeDepth), 0.1);
+  EXPECT_DOUBLE_EQ(coder.node_size(kTreeDepth - 1), 0.2);
+  EXPECT_DOUBLE_EQ(coder.node_size(kTreeDepth - 3), 0.8);
+}
+
+TEST(KeyCoder, DepthCoordIsCenterOfCoveredRegion) {
+  const KeyCoder coder(0.2);
+  const OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  // At depth 15 a node covers 2 cells per axis: [0, 0.4); center 0.2.
+  const auto c = coder.coord_for(k, 15);
+  EXPECT_NEAR(c.x, 0.2, 1e-12);
+  // At full depth the voxel center is 0.1.
+  const auto cf = coder.coord_for(k, 16);
+  EXPECT_NEAR(cf.x, 0.1, 1e-12);
+  EXPECT_EQ(cf.x, coder.coord_for(k).x);
+}
+
+TEST(OcKeyHash, NoTrivialCollisionsOnNeighbours) {
+  OcKeyHash h;
+  KeySet seen;
+  for (uint16_t x = 100; x < 110; ++x) {
+    for (uint16_t y = 100; y < 110; ++y) {
+      for (uint16_t z = 100; z < 110; ++z) {
+        seen.insert(OcKey{x, y, z});
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  // Hash should differ for adjacent keys in virtually all cases.
+  EXPECT_NE(h(OcKey{1, 2, 3}), h(OcKey{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace omu::map

@@ -1,0 +1,107 @@
+#include "map/octree_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "geom/rng.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::map {
+namespace {
+
+OccupancyOctree make_sample_tree() {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  geom::PointCloud cloud;
+  geom::SplitMix64 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  inserter.insert_scan(cloud, {0, 0, 0});
+  return tree;
+}
+
+TEST(OctreeIo, RoundTripPreservesContent) {
+  const OccupancyOctree tree = make_sample_tree();
+  std::stringstream ss;
+  OctreeIo::write(tree, ss);
+  const OccupancyOctree loaded = OctreeIo::read(ss);
+  EXPECT_EQ(loaded.resolution(), tree.resolution());
+  EXPECT_EQ(loaded.leaf_count(), tree.leaf_count());
+  EXPECT_EQ(loaded.inner_count(), tree.inner_count());
+  EXPECT_EQ(loaded.content_hash(), tree.content_hash());
+  EXPECT_EQ(loaded.leaves_sorted(), tree.leaves_sorted());
+}
+
+TEST(OctreeIo, RoundTripPreservesParams) {
+  OccupancyParams params;
+  params.log_hit = 1.0f;
+  params.log_miss = -0.25f;
+  params.quantized = false;
+  OccupancyOctree tree(0.1, params);
+  tree.update_node(geom::Vec3d{1, 2, 3}, true);
+  std::stringstream ss;
+  OctreeIo::write(tree, ss);
+  const OccupancyOctree loaded = OctreeIo::read(ss);
+  EXPECT_FLOAT_EQ(loaded.params().log_hit, 1.0f);
+  EXPECT_FLOAT_EQ(loaded.params().log_miss, -0.25f);
+  EXPECT_FALSE(loaded.params().quantized);
+  EXPECT_EQ(loaded.classify(geom::Vec3d{1, 2, 3}), Occupancy::kOccupied);
+}
+
+TEST(OctreeIo, EmptyTreeRoundTrips) {
+  const OccupancyOctree tree(0.5);
+  std::stringstream ss;
+  OctreeIo::write(tree, ss);
+  const OccupancyOctree loaded = OctreeIo::read(ss);
+  EXPECT_EQ(loaded.node_count(), 0u);
+  EXPECT_EQ(loaded.resolution(), 0.5);
+}
+
+TEST(OctreeIo, QueriesMatchAfterRoundTrip) {
+  const OccupancyOctree tree = make_sample_tree();
+  std::stringstream ss;
+  OctreeIo::write(tree, ss);
+  const OccupancyOctree loaded = OctreeIo::read(ss);
+  geom::SplitMix64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const geom::Vec3d p{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-2, 2)};
+    EXPECT_EQ(loaded.classify(p), tree.classify(p));
+  }
+}
+
+TEST(OctreeIo, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOTATREE-------------------------";
+  EXPECT_THROW(OctreeIo::read(ss), std::runtime_error);
+}
+
+TEST(OctreeIo, TruncatedStreamRejected) {
+  const OccupancyOctree tree = make_sample_tree();
+  std::stringstream ss;
+  OctreeIo::write(tree, ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(OctreeIo::read(truncated), std::runtime_error);
+}
+
+TEST(OctreeIo, FileRoundTrip) {
+  const OccupancyOctree tree = make_sample_tree();
+  const std::string path = testing::TempDir() + "/omu_octree_io_test.bin";
+  ASSERT_TRUE(OctreeIo::write_file(tree, path));
+  const auto loaded = OctreeIo::read_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->content_hash(), tree.content_hash());
+  std::remove(path.c_str());
+}
+
+TEST(OctreeIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(OctreeIo::read_file("/nonexistent/path/to/tree.bin").has_value());
+}
+
+}  // namespace
+}  // namespace omu::map

@@ -1,0 +1,142 @@
+// Property-based invariants of the occupancy octree, swept over random
+// workload seeds with TEST_P. These are the structural guarantees the
+// prune/expand machinery must never violate.
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+namespace {
+
+OcKey random_key(geom::SplitMix64& rng, int span) {
+  return OcKey{
+      static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2),
+      static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2),
+      static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                            static_cast<uint64_t>(span) / 2)};
+}
+
+class OctreeProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  OccupancyOctree random_tree(int updates, int span) {
+    OccupancyOctree tree(0.2);
+    geom::SplitMix64 rng(GetParam());
+    for (int i = 0; i < updates; ++i) {
+      tree.update_node(random_key(rng, span), rng.next_below(100) < 45);
+    }
+    return tree;
+  }
+};
+
+TEST_P(OctreeProperty, InnerValuesAreMaxOfChildren) {
+  const OccupancyOctree tree = random_tree(4000, 24);
+  // Walk every known leaf; for each, searching any ancestor depth must
+  // yield a log-odds >= the leaf's (max-propagation invariant).
+  tree.for_each_leaf([&tree](const OcKey& key, int depth, float value) {
+    for (int d = 1; d < depth; ++d) {
+      const auto ancestor = tree.search(key, d);
+      ASSERT_TRUE(ancestor.has_value());
+      EXPECT_GE(ancestor->log_odds, value - 1e-6f);
+    }
+  });
+}
+
+TEST_P(OctreeProperty, AllLeafValuesWithinClampBounds) {
+  const OccupancyOctree tree = random_tree(6000, 12);
+  const OccupancyParams& p = tree.params();
+  tree.for_each_leaf([&p](const OcKey&, int, float value) {
+    EXPECT_GE(value, p.clamp_min);
+    EXPECT_LE(value, p.clamp_max);
+  });
+}
+
+TEST_P(OctreeProperty, PrunedTreeHasNoCollapsibleBlocks) {
+  OccupancyOctree tree = random_tree(8000, 10);
+  tree.prune();
+  // After a full prune pass, no 8 sibling finest-level leaves may share a
+  // value (they would have been collapsed). We verify via leaf records: no
+  // 8 records at the same depth with identical aligned parent and value.
+  const auto leaves = tree.leaves_sorted();
+  for (std::size_t i = 0; i + 7 < leaves.size(); ++i) {
+    const auto& first = leaves[i];
+    if (first.depth == 0) continue;
+    const OcKey parent = key_at_depth(first.key, first.depth - 1);
+    int same = 0;
+    for (std::size_t j = i; j < leaves.size() && j < i + 8; ++j) {
+      if (leaves[j].depth == first.depth && leaves[j].log_odds == first.log_odds &&
+          key_at_depth(leaves[j].key, first.depth - 1) == parent) {
+        ++same;
+      }
+    }
+    EXPECT_LT(same, 8) << "collapsible block survived prune() at leaf " << i;
+  }
+}
+
+TEST_P(OctreeProperty, ExpandPruneRoundTripPreservesContent) {
+  OccupancyOctree tree = random_tree(3000, 8);
+  const uint64_t hash_before = tree.content_hash();
+  const std::size_t leaves_before = tree.leaf_count();
+  tree.expand_all();
+  tree.prune();
+  EXPECT_EQ(tree.content_hash(), hash_before);
+  EXPECT_EQ(tree.leaf_count(), leaves_before);
+}
+
+TEST_P(OctreeProperty, ClassificationMatchesLeafSign) {
+  const OccupancyOctree tree = random_tree(3000, 16);
+  geom::SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 500; ++i) {
+    const OcKey k = random_key(rng, 16);
+    const auto view = tree.search(k);
+    const Occupancy occ = tree.classify(k);
+    if (!view) {
+      EXPECT_EQ(occ, Occupancy::kUnknown);
+    } else {
+      EXPECT_EQ(occ, view->log_odds > 0.0f ? Occupancy::kOccupied : Occupancy::kFree);
+    }
+  }
+}
+
+TEST_P(OctreeProperty, PoolNeverLeaksBlocks) {
+  // Every allocated slot is either reachable from the root or parked on
+  // the free list: slots = 1 (root) + 8 * (inner nodes + free blocks).
+  OccupancyOctree tree = random_tree(5000, 10);
+  const std::size_t inner = tree.inner_count();
+  EXPECT_EQ(tree.pool_slots(), 1 + 8 * (inner + tree.free_blocks()));
+}
+
+TEST_P(OctreeProperty, QuantizedValuesSitOnQ510Grid) {
+  const OccupancyOctree tree = random_tree(2000, 12);
+  tree.for_each_leaf([](const OcKey&, int, float value) {
+    const float snapped = geom::Fixed16::from_float(value).to_float();
+    EXPECT_EQ(value, snapped);  // bit-exact grid membership
+  });
+}
+
+TEST_P(OctreeProperty, UpdateOrderIndependenceForDisjointKeys) {
+  // Updates to distinct voxels commute: applying a permutation of a
+  // distinct-key workload yields the identical map.
+  geom::SplitMix64 rng(GetParam() + 999);
+  std::vector<std::pair<OcKey, bool>> ops;
+  KeySet seen;
+  while (ops.size() < 300) {
+    const OcKey k = random_key(rng, 64);
+    if (seen.insert(k).second) ops.emplace_back(k, rng.next_below(2) == 0);
+  }
+  OccupancyOctree forward(0.2);
+  for (const auto& [k, occ] : ops) forward.update_node(k, occ);
+  OccupancyOctree backward(0.2);
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    backward.update_node(it->first, it->second);
+  }
+  EXPECT_EQ(forward.content_hash(), backward.content_hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctreeProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace omu::map

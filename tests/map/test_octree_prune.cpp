@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+namespace {
+
+// Returns the 8 sibling keys of the finest-level block containing `base`.
+std::vector<OcKey> sibling_block(const OcKey& base) {
+  std::vector<OcKey> keys;
+  const OcKey aligned = key_at_depth(base, kTreeDepth - 1);
+  for (int i = 0; i < 8; ++i) {
+    OcKey k = aligned;
+    k[0] |= static_cast<uint16_t>(i & 1);
+    k[1] |= static_cast<uint16_t>((i >> 1) & 1);
+    k[2] |= static_cast<uint16_t>((i >> 2) & 1);
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+OcKey origin_key() { return OcKey{kKeyOrigin, kKeyOrigin, kKeyOrigin}; }
+
+TEST(OctreePrune, EqualSiblingsCollapse) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (const OcKey& k : block) tree.update_node(k, true);
+  // After the 8th identical update the block must have been pruned into a
+  // depth-15 leaf.
+  EXPECT_GE(tree.stats().prunes, 1u);
+  const auto view = tree.search(block[0]);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_LT(view->depth, kTreeDepth);
+  EXPECT_TRUE(view->is_leaf);
+  // Query results are unchanged by pruning.
+  for (const OcKey& k : block) EXPECT_EQ(tree.classify(k), Occupancy::kOccupied);
+}
+
+TEST(OctreePrune, UnequalSiblingsDoNotCollapse) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    tree.update_node(block[i], i != 3);  // one free voxel among occupied
+  }
+  EXPECT_EQ(tree.stats().prunes, 0u);
+  const auto view = tree.search(block[0]);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->depth, kTreeDepth);
+}
+
+TEST(OctreePrune, PruneReducesLeafCount) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (std::size_t i = 0; i + 1 < block.size(); ++i) tree.update_node(block[i], true);
+  const std::size_t before = tree.leaf_count();
+  EXPECT_EQ(before, 7u);
+  tree.update_node(block[7], true);
+  EXPECT_EQ(tree.leaf_count(), 1u);  // collapsed into one depth-15 leaf
+}
+
+TEST(OctreePrune, ExpansionOnDivergingUpdate) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (const OcKey& k : block) tree.update_node(k, true);
+  ASSERT_LT(tree.search(block[0])->depth, kTreeDepth);
+  // A miss on one sibling must expand the pruned leaf again.
+  const uint64_t expands_before = tree.stats().expands;
+  tree.update_node(block[2], false);
+  EXPECT_GT(tree.stats().expands, expands_before);
+  EXPECT_EQ(tree.search(block[2])->depth, kTreeDepth);
+  EXPECT_NEAR(tree.search(block[2])->log_odds, 870.0f / 1024.0f - 410.0f / 1024.0f, 1e-6f);
+  // Untouched siblings keep the pre-expansion value at full depth.
+  EXPECT_EQ(tree.search(block[3])->depth, kTreeDepth);
+  EXPECT_NEAR(tree.search(block[3])->log_odds, 870.0f / 1024.0f, 1e-6f);
+}
+
+TEST(OctreePrune, SaturatedBlockStaysPrunedUnderRepeatedHits) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  // Saturate all 8 siblings to the clamp.
+  for (int round = 0; round < 5; ++round) {
+    for (const OcKey& k : block) tree.update_node(k, true);
+  }
+  const auto view = tree.search(block[0]);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_LT(view->depth, kTreeDepth);
+  EXPECT_FLOAT_EQ(view->log_odds, 3.5f);
+  // Additional hits early-abort and never expand the block.
+  const uint64_t expands_before = tree.stats().expands;
+  for (const OcKey& k : block) tree.update_node(k, true);
+  EXPECT_EQ(tree.stats().expands, expands_before);
+}
+
+TEST(OctreePrune, CascadingPruneUpMultipleLevels) {
+  OccupancyOctree tree(0.2);
+  // Saturate a full depth-14 block (8x8 = 64 finest voxels) as free space;
+  // clamping makes all values equal so pruning cascades at least one extra
+  // level.
+  const OcKey base = key_at_depth(origin_key(), kTreeDepth - 2);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      OcKey k = base;
+      k[0] |= static_cast<uint16_t>(i & 3);
+      k[1] |= static_cast<uint16_t>((i >> 2) & 3);
+      k[2] |= static_cast<uint16_t>((i >> 4) & 3);
+      tree.update_node(k, false);
+    }
+  }
+  const auto view = tree.search(base);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_LE(view->depth, kTreeDepth - 2);
+  EXPECT_FLOAT_EQ(view->log_odds, -2.0f);
+}
+
+TEST(OctreePrune, GlobalPrunePassMatchesIncremental) {
+  // Build a map with set_node_log_odds at a uniform value (no pruning path
+  // runs because values are set directly... they do prune incrementally).
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (const OcKey& k : block) tree.set_node_log_odds(k, 1.0f);
+  // Incremental pruning on the set path already collapsed it.
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  // A full prune pass is idempotent.
+  tree.prune();
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(OctreePrune, ExpandAllIsInverseOfPrune) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (const OcKey& k : block) tree.update_node(k, true);
+  ASSERT_EQ(tree.leaf_count(), 1u);
+  const uint64_t hash_before = tree.content_hash();
+  tree.expand_all();
+  // Expansion materializes the finest level again.
+  EXPECT_EQ(tree.search(block[0])->depth, kTreeDepth);
+  EXPECT_GT(tree.leaf_count(), 1u);
+  tree.prune();
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.content_hash(), hash_before);
+}
+
+TEST(OctreePrune, FreedBlocksAreReused) {
+  OccupancyOctree tree(0.2);
+  const auto block = sibling_block(origin_key());
+  for (const OcKey& k : block) tree.update_node(k, true);
+  EXPECT_GT(tree.free_blocks(), 0u);
+  const std::size_t slots_before = tree.pool_slots();
+  // Expanding again must reuse the freed block rather than grow the pool.
+  tree.update_node(block[0], false);
+  EXPECT_EQ(tree.pool_slots(), slots_before);
+}
+
+TEST(OctreePrune, PruneNeverChangesQueries) {
+  OccupancyOctree tree(0.2);
+  // Mixed pattern over a small neighbourhood.
+  std::vector<OcKey> keys;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int l = 0; l < 4; ++l) {
+        OcKey k = origin_key();
+        k[0] = static_cast<uint16_t>(k[0] + i);
+        k[1] = static_cast<uint16_t>(k[1] + j);
+        k[2] = static_cast<uint16_t>(k[2] + l);
+        keys.push_back(k);
+        tree.update_node(k, (i + j + l) % 3 != 0);
+      }
+    }
+  }
+  std::vector<Occupancy> before;
+  before.reserve(keys.size());
+  for (const OcKey& k : keys) before.push_back(tree.classify(k));
+  tree.prune();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(tree.classify(keys[i]), before[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace omu::map

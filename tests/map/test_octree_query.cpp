@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+namespace {
+
+TEST(OctreeQuery, SearchUnknownReturnsNullopt) {
+  const OccupancyOctree tree(0.2);
+  EXPECT_FALSE(tree.search(OcKey{1, 2, 3}).has_value());
+}
+
+TEST(OctreeQuery, SearchAtReducedDepthStopsEarly) {
+  OccupancyOctree tree(0.2);
+  const OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  tree.update_node(k, true);
+  const auto at8 = tree.search(k, 8);
+  ASSERT_TRUE(at8.has_value());
+  EXPECT_EQ(at8->depth, 8);
+  EXPECT_FALSE(at8->is_leaf);
+}
+
+TEST(OctreeQuery, SearchNeighbourOfKnownIsUnknown) {
+  OccupancyOctree tree(0.2);
+  const OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  tree.update_node(k, true);
+  // A far-away key shares only the root; its branch is unknown.
+  EXPECT_FALSE(tree.search(OcKey{100, 100, 100}).has_value());
+}
+
+TEST(OctreeQuery, ClassifyThresholdBoundary) {
+  OccupancyOctree tree(0.2);
+  const OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  // Exactly at the threshold (0.0) classifies as free (strictly-greater
+  // semantics, matching OctoMap's isNodeOccupied).
+  tree.set_node_log_odds(k, 0.0f);
+  EXPECT_EQ(tree.classify(k), Occupancy::kFree);
+  tree.set_node_log_odds(k, 1.0f / 1024.0f);  // one LSB above
+  EXPECT_EQ(tree.classify(k), Occupancy::kOccupied);
+}
+
+TEST(OctreeQuery, BoxQueryFindsOccupiedVoxel) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1.0, 1.0, 1.0}, true);
+  EXPECT_TRUE(tree.any_occupied_in_box(geom::Aabb{{0.5, 0.5, 0.5}, {1.5, 1.5, 1.5}}));
+  EXPECT_FALSE(tree.any_occupied_in_box(geom::Aabb{{2.0, 2.0, 2.0}, {3.0, 3.0, 3.0}}));
+}
+
+TEST(OctreeQuery, BoxQueryFreeSpaceIsNotOccupied) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1.0, 1.0, 1.0}, false);
+  EXPECT_FALSE(tree.any_occupied_in_box(geom::Aabb{{0.5, 0.5, 0.5}, {1.5, 1.5, 1.5}}));
+}
+
+TEST(OctreeQuery, BoxQueryUnknownTreatedAsOccupiedWhenConservative) {
+  OccupancyOctree tree(0.2);
+  // Entirely unknown map: conservative planner sees obstacles everywhere.
+  EXPECT_TRUE(tree.any_occupied_in_box(geom::Aabb{{0, 0, 0}, {1, 1, 1}}, true));
+  EXPECT_FALSE(tree.any_occupied_in_box(geom::Aabb{{0, 0, 0}, {1, 1, 1}}, false));
+}
+
+TEST(OctreeQuery, BoxQueryRespectsPrunedLeaves) {
+  OccupancyOctree tree(0.2);
+  // Saturate a 2x2x2 block at (0..0.4)^3 so it prunes to one occupied leaf.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+      k[0] = static_cast<uint16_t>(k[0] + (i & 1));
+      k[1] = static_cast<uint16_t>(k[1] + ((i >> 1) & 1));
+      k[2] = static_cast<uint16_t>(k[2] + ((i >> 2) & 1));
+      tree.update_node(k, true);
+    }
+  }
+  EXPECT_LT(tree.search(OcKey{kKeyOrigin, kKeyOrigin, kKeyOrigin})->depth, kTreeDepth);
+  EXPECT_TRUE(tree.any_occupied_in_box(geom::Aabb{{0.05, 0.05, 0.05}, {0.1, 0.1, 0.1}}));
+}
+
+TEST(OctreeQuery, BoxOutsideMapRange) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{0.1, 0.1, 0.1}, true);
+  EXPECT_FALSE(
+      tree.any_occupied_in_box(geom::Aabb{{5000.0, 5000.0, 5000.0}, {5001.0, 5001.0, 5001.0}}));
+}
+
+TEST(OctreeQuery, ClassifyPositionOutOfRangeIsUnknown) {
+  OccupancyOctree tree(0.2);
+  EXPECT_EQ(tree.classify(geom::Vec3d{1e7, 0, 0}), Occupancy::kUnknown);
+}
+
+TEST(OctreeQuery, OccupancyProbabilityInvertsLogOdds) {
+  OccupancyOctree tree(0.2);
+  const OcKey k{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  EXPECT_FALSE(tree.occupancy_probability(k).has_value());  // unknown
+  tree.update_node(k, true);
+  const auto p = tree.occupancy_probability(k);
+  ASSERT_TRUE(p.has_value());
+  // One hit: log-odds ~0.85 -> P ~ 0.70.
+  EXPECT_NEAR(*p, 0.70, 0.01);
+  for (int i = 0; i < 10; ++i) tree.update_node(k, true);
+  // Clamped at 3.5 -> P ~ 0.97.
+  EXPECT_NEAR(*tree.occupancy_probability(k), 0.9707, 0.001);
+  for (int i = 0; i < 20; ++i) tree.update_node(k, false);
+  EXPECT_NEAR(*tree.occupancy_probability(k), 0.1192, 0.001);
+}
+
+TEST(OctreeQuery, LeafIterationCoversAllLeaves) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{0.1, 0.1, 0.1}, true);
+  tree.update_node(geom::Vec3d{-3.0, 2.0, 0.5}, false);
+  tree.update_node(geom::Vec3d{10.0, -10.0, 1.0}, true);
+  std::size_t count = 0;
+  std::size_t occupied = 0;
+  tree.for_each_leaf([&](const OcKey&, int depth, float value) {
+    ++count;
+    EXPECT_LE(depth, kTreeDepth);
+    if (value > 0.0f) ++occupied;
+  });
+  EXPECT_EQ(count, tree.leaf_count());
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(occupied, 2u);
+}
+
+TEST(OctreeQuery, LeavesSortedIsCanonical) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1, 1, 1}, true);
+  tree.update_node(geom::Vec3d{-1, -1, -1}, true);
+  const auto leaves = tree.leaves_sorted();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_LT(leaves[0].key.packed(), leaves[1].key.packed());
+}
+
+TEST(OctreeQuery, ContentHashDetectsDifference) {
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.2);
+  a.update_node(geom::Vec3d{1, 1, 1}, true);
+  b.update_node(geom::Vec3d{1, 1, 1}, true);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.update_node(geom::Vec3d{2, 1, 1}, false);
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(OctreeQuery, MemoryAccountingGrowsWithContent) {
+  OccupancyOctree tree(0.2);
+  const std::size_t empty_bytes = tree.memory_bytes();
+  for (int i = 0; i < 50; ++i) {
+    tree.update_node(geom::Vec3d{static_cast<double>(i), 0.0, 0.0}, true);
+  }
+  EXPECT_GT(tree.memory_bytes(), empty_bytes);
+  EXPECT_GT(tree.pool_slots(), 100u);
+}
+
+TEST(OctreeQuery, NormalizeToDepth1SplitsCollapsedRoot) {
+  std::vector<LeafRecord> records{LeafRecord{OcKey{}, 0, -2.0f}};
+  const auto normalized = normalize_to_depth1(records);
+  ASSERT_EQ(normalized.size(), 8u);
+  for (const auto& r : normalized) {
+    EXPECT_EQ(r.depth, 1);
+    EXPECT_FLOAT_EQ(r.log_odds, -2.0f);
+  }
+  // Already-normalized lists pass through unchanged.
+  const auto again = normalize_to_depth1(normalized);
+  EXPECT_EQ(again.size(), 8u);
+}
+
+}  // namespace
+}  // namespace omu::map

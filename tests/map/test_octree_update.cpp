@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+namespace {
+
+OcKey key_near_origin(uint16_t dx = 0, uint16_t dy = 0, uint16_t dz = 0) {
+  return OcKey{static_cast<uint16_t>(kKeyOrigin + dx), static_cast<uint16_t>(kKeyOrigin + dy),
+               static_cast<uint16_t>(kKeyOrigin + dz)};
+}
+
+TEST(OctreeUpdate, EmptyTreeIsAllUnknown) {
+  const OccupancyOctree tree(0.2);
+  EXPECT_EQ(tree.classify(key_near_origin()), Occupancy::kUnknown);
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(OctreeUpdate, SingleHitCreatesOccupiedLeaf) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  tree.update_node(k, true);
+  EXPECT_EQ(tree.classify(k), Occupancy::kOccupied);
+  const auto view = tree.search(k);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->depth, kTreeDepth);
+  EXPECT_NEAR(view->log_odds, 0.85f, 0.002f);  // quantized 870/1024
+}
+
+TEST(OctreeUpdate, SingleMissCreatesFreeLeaf) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin(1);
+  tree.update_node(k, false);
+  EXPECT_EQ(tree.classify(k), Occupancy::kFree);
+  EXPECT_NEAR(tree.search(k)->log_odds, -0.4f, 0.002f);
+}
+
+TEST(OctreeUpdate, LogOddsAccumulateAdditively) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  tree.update_node(k, true);
+  tree.update_node(k, true);
+  EXPECT_NEAR(tree.search(k)->log_odds, 2 * (870.0f / 1024.0f), 1e-6f);
+}
+
+TEST(OctreeUpdate, HitThenMissPartiallyCancels) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  tree.update_node(k, true);
+  tree.update_node(k, false);
+  EXPECT_NEAR(tree.search(k)->log_odds, (870.0f - 410.0f) / 1024.0f, 1e-6f);
+  EXPECT_EQ(tree.classify(k), Occupancy::kOccupied);  // still above 0
+}
+
+TEST(OctreeUpdate, ClampsAtMaximum) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  for (int i = 0; i < 20; ++i) tree.update_node(k, true);
+  EXPECT_FLOAT_EQ(tree.search(k)->log_odds, 3.5f);
+}
+
+TEST(OctreeUpdate, ClampsAtMinimum) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  for (int i = 0; i < 20; ++i) tree.update_node(k, false);
+  EXPECT_FLOAT_EQ(tree.search(k)->log_odds, -2.0f);
+}
+
+TEST(OctreeUpdate, EarlyAbortOnSaturatedLeaf) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  // 5 hits reach the 3.5 clamp (5 * 0.85 = 4.25).
+  for (int i = 0; i < 5; ++i) tree.update_node(k, true);
+  EXPECT_FLOAT_EQ(tree.search(k)->log_odds, 3.5f);
+  const uint64_t aborts_before = tree.stats().early_aborts;
+  const uint64_t leafs_before = tree.stats().leaf_updates;
+  tree.update_node(k, true);
+  EXPECT_EQ(tree.stats().early_aborts, aborts_before + 1);
+  EXPECT_EQ(tree.stats().leaf_updates, leafs_before);  // no work done
+  // A miss is not aborted: it moves the value away from the clamp.
+  tree.update_node(k, false);
+  EXPECT_NEAR(tree.search(k)->log_odds, 3.5f - 410.0f / 1024.0f, 1e-6f);
+}
+
+TEST(OctreeUpdate, ParentValueIsMaxOfChildren) {
+  OccupancyOctree tree(0.2);
+  const OcKey occupied = key_near_origin(0);
+  const OcKey free_voxel = key_near_origin(1);  // sibling at the last level
+  tree.update_node(occupied, true);
+  tree.update_node(free_voxel, false);
+  const auto parent = tree.search(occupied, kTreeDepth - 1);
+  ASSERT_TRUE(parent.has_value());
+  EXPECT_EQ(parent->depth, kTreeDepth - 1);
+  EXPECT_FALSE(parent->is_leaf);
+  EXPECT_NEAR(parent->log_odds, 870.0f / 1024.0f, 1e-6f);  // max(hit, miss)
+}
+
+TEST(OctreeUpdate, AncestorsBecomeOccupiedWithDeepHit) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin(100, 200, 300);
+  tree.update_node(k, true);
+  for (int depth = 1; depth <= kTreeDepth; ++depth) {
+    const auto view = tree.search(k, depth);
+    ASSERT_TRUE(view.has_value()) << depth;
+    EXPECT_NEAR(view->log_odds, 870.0f / 1024.0f, 1e-6f) << depth;
+  }
+}
+
+TEST(OctreeUpdate, SiblingVoxelsIndependent) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(key_near_origin(0), true);
+  tree.update_node(key_near_origin(1), false);
+  EXPECT_EQ(tree.classify(key_near_origin(0)), Occupancy::kOccupied);
+  EXPECT_EQ(tree.classify(key_near_origin(1)), Occupancy::kFree);
+  EXPECT_EQ(tree.classify(key_near_origin(2)), Occupancy::kUnknown);
+}
+
+TEST(OctreeUpdate, MetricOverloadMatchesKeyOverload) {
+  OccupancyOctree tree(0.2);
+  const geom::Vec3d pos{1.05, -2.33, 0.71};
+  tree.update_node(pos, true);
+  const auto key = tree.coder().key_for(pos);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(tree.classify(*key), Occupancy::kOccupied);
+  EXPECT_EQ(tree.classify(pos), Occupancy::kOccupied);
+}
+
+TEST(OctreeUpdate, OutOfRangePositionIgnored) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(geom::Vec3d{1e6, 0, 0}, true);
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(OctreeUpdate, StatsCountDescentAndUnwind) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(key_near_origin(), true);
+  const PhaseStats& s = tree.stats();
+  EXPECT_EQ(s.voxel_updates, 1u);
+  EXPECT_EQ(s.descend_steps, static_cast<uint64_t>(kTreeDepth));
+  EXPECT_EQ(s.leaf_updates, 1u);
+  EXPECT_EQ(s.parent_updates, static_cast<uint64_t>(kTreeDepth));
+  EXPECT_EQ(s.fresh_allocs, static_cast<uint64_t>(kTreeDepth));
+}
+
+TEST(OctreeUpdate, SetNodeLogOddsExactValue) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin(5, 5, 5);
+  tree.set_node_log_odds(k, 1.25f);
+  EXPECT_FLOAT_EQ(tree.search(k)->log_odds, 1.25f);
+  EXPECT_EQ(tree.classify(k), Occupancy::kOccupied);
+}
+
+TEST(OctreeUpdate, GeneralizedLogOddsDelta) {
+  OccupancyOctree tree(0.2);
+  const OcKey k = key_near_origin();
+  tree.update_node_log_odds(k, 0.5f);
+  tree.update_node_log_odds(k, 0.25f);
+  EXPECT_NEAR(tree.search(k)->log_odds, 0.75f, 1e-4f);
+}
+
+TEST(OctreeUpdate, UnquantizedModeUsesExactFloats) {
+  OccupancyParams params;
+  params.quantized = false;
+  params.log_hit = 0.9f;
+  OccupancyOctree tree(0.2, params);
+  const OcKey k = key_near_origin();
+  tree.update_node(k, true);
+  EXPECT_FLOAT_EQ(tree.search(k)->log_odds, 0.9f);
+}
+
+TEST(OctreeUpdate, ClearRemovesContent) {
+  OccupancyOctree tree(0.2);
+  tree.update_node(key_near_origin(), true);
+  EXPECT_GT(tree.node_count(), 0u);
+  tree.clear();
+  EXPECT_EQ(tree.node_count(), 0u);
+  EXPECT_EQ(tree.classify(key_near_origin()), Occupancy::kUnknown);
+}
+
+}  // namespace
+}  // namespace omu::map

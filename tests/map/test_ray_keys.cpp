@@ -1,0 +1,134 @@
+#include "map/ray_keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace omu::map {
+namespace {
+
+TEST(RayKeys, SameCellYieldsEmptyTraversal) {
+  const KeyCoder coder(0.2);
+  const auto keys = ray_keys(coder, {0.05, 0.05, 0.05}, {0.15, 0.1, 0.02});
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(RayKeys, AxisAlignedRayVisitsEveryCell) {
+  const KeyCoder coder(0.2);
+  // From x=0.1 to x=1.1: cells 0,1,2,3,4 traversed; endpoint cell 5 excluded.
+  const auto keys = ray_keys(coder, {0.1, 0.1, 0.1}, {1.1, 0.1, 0.1});
+  ASSERT_EQ(keys.size(), 5u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i][0], kKeyOrigin + i);
+    EXPECT_EQ(keys[i][1], kKeyOrigin);
+    EXPECT_EQ(keys[i][2], kKeyOrigin);
+  }
+}
+
+TEST(RayKeys, NegativeDirectionWalksDownward) {
+  const KeyCoder coder(0.2);
+  const auto keys = ray_keys(coder, {0.1, 0.1, 0.1}, {-0.9, 0.1, 0.1});
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys[0][0], kKeyOrigin);
+  EXPECT_EQ(keys[4][0], kKeyOrigin - 4);
+}
+
+TEST(RayKeys, FirstKeyIsOriginCellLastIsNotEndpoint) {
+  const KeyCoder coder(0.1);
+  const geom::Vec3d origin{0.05, 0.05, 0.05};
+  const geom::Vec3d end{1.23, 0.87, -0.33};
+  const auto keys = ray_keys(coder, origin, end);
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), *coder.key_for(origin));
+  const auto end_key = *coder.key_for(end);
+  for (const OcKey& k : keys) EXPECT_FALSE(k == end_key);
+}
+
+TEST(RayKeys, ConsecutiveCellsAreFaceAdjacent) {
+  const KeyCoder coder(0.1);
+  const auto keys = ray_keys(coder, {0.0, 0.0, 0.0}, {2.7, 1.9, -1.3});
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    int manhattan = 0;
+    for (int a = 0; a < 3; ++a) {
+      manhattan += std::abs(static_cast<int>(keys[i][static_cast<std::size_t>(a)]) -
+                            static_cast<int>(keys[i - 1][static_cast<std::size_t>(a)]));
+    }
+    EXPECT_EQ(manhattan, 1) << "step " << i;  // DDA advances one axis per step
+  }
+}
+
+TEST(RayKeys, DiagonalRayStepCountIsManhattanDistance) {
+  const KeyCoder coder(0.2);
+  // Perfect diagonal avoiding boundary ties by offsetting origin slightly.
+  const auto keys = ray_keys(coder, {0.01, 0.03, 0.05}, {0.81, 0.83, 0.85});
+  // Manhattan distance = 4+4+4 = 12 cells; endpoint excluded, origin included.
+  EXPECT_EQ(keys.size(), 12u);
+}
+
+TEST(RayKeys, OutOfRangeEndpointsRejected) {
+  const KeyCoder coder(0.2);
+  std::vector<OcKey> out;
+  EXPECT_FALSE(compute_ray_keys(coder, {0, 0, 0}, {20000.0, 0, 0}, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(compute_ray_keys(coder, {-20000.0, 0, 0}, {0, 0, 0}, out));
+}
+
+TEST(RayKeys, StatsCountStepsAndCasts) {
+  const KeyCoder coder(0.2);
+  PhaseStats stats;
+  std::vector<OcKey> out;
+  ASSERT_TRUE(compute_ray_keys(coder, {0.1, 0.1, 0.1}, {1.1, 0.1, 0.1}, out, &stats));
+  EXPECT_EQ(stats.ray_casts, 1u);
+  EXPECT_EQ(stats.ray_cast_steps, out.size());
+}
+
+TEST(RayKeys, NoDuplicateCellsOnRandomRays) {
+  const KeyCoder coder(0.15);
+  geom::SplitMix64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Vec3d origin{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-2, 2)};
+    const geom::Vec3d end{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-2, 2)};
+    const auto keys = ray_keys(coder, origin, end);
+    KeySet unique(keys.begin(), keys.end());
+    EXPECT_EQ(unique.size(), keys.size()) << "trial " << trial;
+  }
+}
+
+TEST(RayKeys, StepCountMatchesManhattanSpanOnRandomRays) {
+  // Property: the DDA emits exactly manhattan(start_cell, end_cell) cells
+  // (origin included, endpoint excluded) whenever it terminates on the
+  // endpoint cell.
+  const KeyCoder coder(0.25);
+  geom::SplitMix64 rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const geom::Vec3d origin{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-3, 3)};
+    const geom::Vec3d end{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-3, 3)};
+    const auto keys = ray_keys(coder, origin, end);
+    const auto k0 = *coder.key_for(origin);
+    const auto k1 = *coder.key_for(end);
+    std::size_t manhattan = 0;
+    for (int a = 0; a < 3; ++a) {
+      manhattan += static_cast<std::size_t>(
+          std::abs(static_cast<int>(k0[static_cast<std::size_t>(a)]) -
+                   static_cast<int>(k1[static_cast<std::size_t>(a)])));
+    }
+    // Ties on voxel boundaries may terminate one step early; allow a slack
+    // of 1 but never more, and never an overshoot.
+    EXPECT_LE(keys.size(), manhattan);
+    if (manhattan > 0) {
+      EXPECT_GE(keys.size() + 1, manhattan);
+    }
+  }
+}
+
+TEST(RayKeys, VerticalRay) {
+  const KeyCoder coder(0.2);
+  const auto keys = ray_keys(coder, {0.1, 0.1, 0.1}, {0.1, 0.1, 1.3});
+  ASSERT_EQ(keys.size(), 6u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i][2], kKeyOrigin + i);
+  }
+}
+
+}  // namespace
+}  // namespace omu::map

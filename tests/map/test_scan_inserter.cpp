@@ -1,0 +1,165 @@
+#include "map/scan_inserter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::map {
+namespace {
+
+geom::PointCloud single_point_cloud(const geom::Vec3f& p) { return geom::PointCloud({p}); }
+
+TEST(ScanInserter, SingleRayMarksFreeAndOccupied) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  const auto result = inserter.insert_scan(single_point_cloud({1.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1});
+  EXPECT_EQ(result.points, 1u);
+  EXPECT_EQ(result.occupied_updates, 1u);
+  EXPECT_EQ(result.free_updates, 5u);  // cells 0..4 along x
+  // Endpoint occupied, intermediate cells free.
+  EXPECT_EQ(tree.classify(geom::Vec3d{1.1, 0.1, 0.1}), Occupancy::kOccupied);
+  EXPECT_EQ(tree.classify(geom::Vec3d{0.5, 0.1, 0.1}), Occupancy::kFree);
+  EXPECT_EQ(tree.classify(geom::Vec3d{0.1, 0.1, 0.1}), Occupancy::kFree);
+}
+
+TEST(ScanInserter, MaxRangeTruncatesToFreeOnlyRay) {
+  OccupancyOctree tree(0.2);
+  InsertPolicy policy;
+  policy.max_range = 1.0;
+  ScanInserter inserter(tree, policy);
+  const auto result = inserter.insert_scan(single_point_cloud({3.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1});
+  EXPECT_EQ(result.truncated_rays, 1u);
+  EXPECT_EQ(result.occupied_updates, 0u);
+  EXPECT_GT(result.free_updates, 0u);
+  // The far endpoint must stay unknown; space within range is free.
+  EXPECT_EQ(tree.classify(geom::Vec3d{3.1, 0.1, 0.1}), Occupancy::kUnknown);
+  EXPECT_EQ(tree.classify(geom::Vec3d{0.5, 0.1, 0.1}), Occupancy::kFree);
+}
+
+TEST(ScanInserter, RayByRayCountsEveryTraversal) {
+  // Two rays through the same corridor cell: ray-by-ray mode updates the
+  // shared cells twice (the paper's accounting).
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  geom::PointCloud cloud({{1.1f, 0.11f, 0.1f}, {1.1f, 0.09f, 0.1f}});
+  const auto result = inserter.insert_scan(cloud, {0.1, 0.1, 0.1});
+  EXPECT_EQ(result.free_updates, 10u);
+  EXPECT_EQ(result.occupied_updates, 2u);
+  // Shared free cell got two misses.
+  const auto view = tree.search(*tree.coder().key_for({0.5, 0.1, 0.1}));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_NEAR(view->log_odds, 2 * (-410.0f / 1024.0f), 1e-6f);
+}
+
+TEST(ScanInserter, DiscretizedModeDeduplicates) {
+  OccupancyOctree tree(0.2);
+  InsertPolicy policy;
+  policy.mode = InsertMode::kDiscretized;
+  ScanInserter inserter(tree, policy);
+  geom::PointCloud cloud({{1.1f, 0.11f, 0.1f}, {1.1f, 0.09f, 0.1f}});
+  const auto result = inserter.insert_scan(cloud, {0.1, 0.1, 0.1});
+  // Both rays traverse the same 5 cells and hit the same endpoint voxel.
+  EXPECT_EQ(result.free_updates, 5u);
+  EXPECT_EQ(result.occupied_updates, 1u);
+  const auto view = tree.search(*tree.coder().key_for({0.5, 0.1, 0.1}));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_NEAR(view->log_odds, -410.0f / 1024.0f, 1e-6f);  // single miss
+}
+
+TEST(ScanInserter, DiscretizedOccupiedWinsOverFree) {
+  // A ray passing through another ray's endpoint cell: the endpoint must
+  // receive only the occupied update in discretized mode.
+  OccupancyOctree tree(0.2);
+  InsertPolicy policy;
+  policy.mode = InsertMode::kDiscretized;
+  ScanInserter inserter(tree, policy);
+  // First point ends at x~0.5; second ray passes through that cell.
+  geom::PointCloud cloud({{0.5f, 0.1f, 0.1f}, {1.5f, 0.1f, 0.1f}});
+  inserter.insert_scan(cloud, {0.1, 0.1, 0.1});
+  EXPECT_EQ(tree.classify(geom::Vec3d{0.5, 0.1, 0.1}), Occupancy::kOccupied);
+}
+
+TEST(ScanInserter, CollectWithoutApplyLeavesTreeUntouched) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  std::vector<VoxelUpdate> updates;
+  inserter.collect_updates(single_point_cloud({1.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1}, updates);
+  EXPECT_FALSE(updates.empty());
+  EXPECT_EQ(tree.node_count(), 0u);
+  // Applying afterwards produces the same map as insert_scan.
+  inserter.apply_updates(updates);
+  EXPECT_EQ(tree.classify(geom::Vec3d{1.1, 0.1, 0.1}), Occupancy::kOccupied);
+}
+
+TEST(ScanInserter, UpdateStreamOrderIsRayOrder) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  std::vector<VoxelUpdate> updates;
+  inserter.collect_updates(single_point_cloud({0.9f, 0.1f, 0.1f}), {0.1, 0.1, 0.1}, updates);
+  ASSERT_GE(updates.size(), 2u);
+  // Free voxels first (in traversal order), occupied endpoint last.
+  for (std::size_t i = 0; i + 1 < updates.size(); ++i) EXPECT_FALSE(updates[i].occupied);
+  EXPECT_TRUE(updates.back().occupied);
+}
+
+TEST(ScanInserter, EmptyCloudIsNoOp) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  const auto result = inserter.insert_scan(geom::PointCloud{}, {0, 0, 0});
+  EXPECT_EQ(result.points, 0u);
+  EXPECT_EQ(result.total_updates(), 0u);
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(ScanInserter, PointInOriginCellYieldsOnlyOccupied) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  const auto result = inserter.insert_scan(single_point_cloud({0.12f, 0.1f, 0.1f}), {0.1, 0.1, 0.1});
+  EXPECT_EQ(result.free_updates, 0u);
+  EXPECT_EQ(result.occupied_updates, 1u);
+}
+
+TEST(ScanInserter, PoseOverloadTransformsSensorFrame) {
+  // A sensor-frame point 1 m ahead, with the pose yawed 90 degrees and
+  // translated: the occupied voxel must land at the transformed location.
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  geom::PointCloud sensor_cloud({{1.0f, 0.0f, 0.0f}});
+  const geom::Pose pose({2.0, 3.0, 0.5}, 3.14159265358979323846 / 2);
+  inserter.insert_scan(sensor_cloud, pose);
+  // Sensor +x maps to world +y: endpoint at (2, 4, 0.5).
+  EXPECT_EQ(tree.classify(geom::Vec3d{2.0, 4.0, 0.5}), Occupancy::kOccupied);
+  // The ray interior between origin and endpoint is free.
+  EXPECT_EQ(tree.classify(geom::Vec3d{2.0, 3.5, 0.5}), Occupancy::kFree);
+}
+
+TEST(ScanInserter, PoseOverloadMatchesManualTransform) {
+  geom::PointCloud sensor_cloud;
+  for (int i = 0; i < 50; ++i) {
+    sensor_cloud.push_back(geom::Vec3f{1.0f + 0.05f * static_cast<float>(i),
+                                       0.3f * static_cast<float>(i % 5), 0.1f});
+  }
+  const geom::Pose pose({-1.5, 2.5, 0.2}, 0.7, 0.1, -0.05);
+
+  OccupancyOctree via_pose(0.2);
+  ScanInserter inserter_pose(via_pose);
+  inserter_pose.insert_scan(sensor_cloud, pose);
+
+  OccupancyOctree via_manual(0.2);
+  ScanInserter inserter_manual(via_manual);
+  geom::PointCloud world = sensor_cloud;
+  world.transform(pose);
+  inserter_manual.insert_scan(world, pose.translation());
+
+  EXPECT_EQ(via_pose.content_hash(), via_manual.content_hash());
+}
+
+TEST(ScanInserter, StatsAccumulateAcrossScans) {
+  OccupancyOctree tree(0.2);
+  ScanInserter inserter(tree);
+  inserter.insert_scan(single_point_cloud({1.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1});
+  inserter.insert_scan(single_point_cloud({1.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1});
+  EXPECT_EQ(tree.stats().ray_casts, 2u);
+  EXPECT_EQ(tree.stats().voxel_updates, 12u);  // 2 * (5 free + 1 occupied)
+}
+
+}  // namespace
+}  // namespace omu::map

@@ -1,0 +1,119 @@
+#include "map/update_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+
+namespace omu::map {
+namespace {
+
+std::vector<UpdateBatch> sample_batches(uint64_t seed, int batches, int per_batch) {
+  geom::SplitMix64 rng(seed);
+  std::vector<UpdateBatch> out;
+  for (int b = 0; b < batches; ++b) {
+    UpdateBatch batch;
+    for (int i = 0; i < per_batch; ++i) {
+      batch.push_back(VoxelUpdate{
+          OcKey{static_cast<uint16_t>(rng.next_below(65536)),
+                static_cast<uint16_t>(rng.next_below(65536)),
+                static_cast<uint16_t>(rng.next_below(65536))},
+          rng.next_below(2) == 0});
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+TEST(UpdateTrace, RoundTripPreservesEverything) {
+  const auto batches = sample_batches(1, 5, 100);
+  std::stringstream ss;
+  UpdateTraceWriter writer(ss, 0.2);
+  for (const auto& b : batches) writer.append(b);
+  EXPECT_EQ(writer.batches_written(), 5u);
+  EXPECT_EQ(writer.updates_written(), 500u);
+
+  UpdateTraceReader reader(ss);
+  EXPECT_DOUBLE_EQ(reader.resolution(), 0.2);
+  for (const auto& expected : batches) {
+    const auto batch = reader.next();
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*batch)[i].key, expected[i].key);
+      EXPECT_EQ((*batch)[i].occupied, expected[i].occupied);
+    }
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(UpdateTrace, EmptyBatchesSupported) {
+  std::stringstream ss;
+  UpdateTraceWriter writer(ss, 0.1);
+  writer.append({});
+  writer.append({});
+  UpdateTraceReader reader(ss);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_TRUE(reader.next()->empty());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(UpdateTrace, CompactEncoding) {
+  // 7 bytes per update + 4 per batch header + 17 header bytes.
+  const auto batches = sample_batches(2, 2, 50);
+  std::stringstream ss;
+  UpdateTraceWriter writer(ss, 0.2);
+  for (const auto& b : batches) writer.append(b);
+  EXPECT_EQ(ss.str().size(), 17u + 2u * 4u + 100u * 7u);
+}
+
+TEST(UpdateTrace, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOTATRACE........................";
+  EXPECT_THROW(UpdateTraceReader{ss}, std::runtime_error);
+}
+
+TEST(UpdateTrace, TruncationDetected) {
+  const auto batches = sample_batches(3, 1, 10);
+  std::stringstream ss;
+  UpdateTraceWriter writer(ss, 0.2);
+  writer.append(batches[0]);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 3));
+  UpdateTraceReader reader(truncated);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(UpdateTrace, FileRoundTripAndReplayEquivalence) {
+  // The core use case: capture a workload, replay it, get the same map.
+  const auto batches = sample_batches(4, 3, 200);
+  const std::string path = testing::TempDir() + "/omu_trace_test.bin";
+  ASSERT_TRUE(write_trace_file(path, 0.2, batches));
+
+  double resolution = 0.0;
+  const auto loaded = read_trace_file(path, &resolution);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(resolution, 0.2);
+  ASSERT_EQ(loaded->size(), batches.size());
+
+  OccupancyOctree original(0.2);
+  for (const auto& b : batches) {
+    for (const auto& u : b) original.update_node(u.key, u.occupied);
+  }
+  OccupancyOctree replayed(0.2);
+  for (const auto& b : *loaded) {
+    for (const auto& u : b) replayed.update_node(u.key, u.occupied);
+  }
+  EXPECT_EQ(replayed.content_hash(), original.content_hash());
+  std::remove(path.c_str());
+}
+
+TEST(UpdateTrace, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_trace_file("/nonexistent/trace.bin").has_value());
+}
+
+}  // namespace
+}  // namespace omu::map

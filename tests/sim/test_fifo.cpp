@@ -1,0 +1,75 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::sim {
+namespace {
+
+TEST(Fifo, StartsEmpty) {
+  Fifo<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_EQ(q.front(), nullptr);
+}
+
+TEST(Fifo, PushPopFifoOrder) {
+  Fifo<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(*q.try_pop(), 1);
+  EXPECT_EQ(*q.try_pop(), 2);
+  EXPECT_EQ(*q.try_pop(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Fifo, RejectsWhenFull) {
+  Fifo<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.rejected_pushes(), 1u);
+  // Popping frees a slot.
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(Fifo, FrontPeeksWithoutRemoving) {
+  Fifo<int> q(2);
+  q.try_push(42);
+  ASSERT_NE(q.front(), nullptr);
+  EXPECT_EQ(*q.front(), 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Fifo, HighWaterTracksPeakOccupancy) {
+  Fifo<int> q(8);
+  for (int i = 0; i < 5; ++i) q.try_push(i);
+  for (int i = 0; i < 3; ++i) q.try_pop();
+  q.try_push(9);
+  EXPECT_EQ(q.high_water(), 5u);
+  EXPECT_EQ(q.total_pushes(), 6u);
+}
+
+TEST(Fifo, ZeroCapacityAlwaysRejects) {
+  Fifo<int> q(0);
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.try_push(1));
+}
+
+TEST(Fifo, ClearEmptiesButKeepsStats) {
+  Fifo<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_pushes(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+}  // namespace
+}  // namespace omu::sim

@@ -1,0 +1,102 @@
+#include "sim/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::sim {
+namespace {
+
+TEST(SramBank, PowersOnZeroed) {
+  SramBank bank(16);
+  EXPECT_EQ(bank.rows(), 16u);
+  EXPECT_EQ(bank.size_bytes(), 16u * 8u);
+  for (std::size_t r = 0; r < 16; ++r) EXPECT_EQ(bank.peek(r), 0u);
+}
+
+TEST(SramBank, ReadWriteRoundTrip) {
+  SramBank bank(8);
+  bank.write(3, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(bank.read(3), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(SramBank, CountersTrackAccesses) {
+  SramBank bank(8);
+  bank.write(0, 1);
+  bank.write(1, 2);
+  bank.read(0);
+  EXPECT_EQ(bank.write_count(), 2u);
+  EXPECT_EQ(bank.read_count(), 1u);
+  EXPECT_EQ(bank.access_count(), 3u);
+  bank.reset_counters();
+  EXPECT_EQ(bank.access_count(), 0u);
+}
+
+TEST(SramBank, PeekDoesNotCount) {
+  SramBank bank(8);
+  bank.write(2, 77);
+  const uint64_t reads_before = bank.read_count();
+  EXPECT_EQ(bank.peek(2), 77u);
+  EXPECT_EQ(bank.read_count(), reads_before);
+}
+
+TEST(SramBank, OutOfRangeThrows) {
+  SramBank bank(4);
+  EXPECT_THROW(bank.read(4), std::out_of_range);
+  EXPECT_THROW(bank.write(100, 0), std::out_of_range);
+  EXPECT_THROW((void)bank.peek(4), std::out_of_range);
+}
+
+TEST(SramBank, ClearContentsKeepsCounters) {
+  SramBank bank(4);
+  bank.write(1, 42);
+  bank.clear_contents();
+  EXPECT_EQ(bank.peek(1), 0u);
+  EXPECT_EQ(bank.write_count(), 1u);
+}
+
+TEST(BankedSram, GeometryAndSize) {
+  BankedSram mem(8, 4096);
+  EXPECT_EQ(mem.bank_count(), 8u);
+  EXPECT_EQ(mem.rows_per_bank(), 4096u);
+  // 8 banks x 4096 rows x 8 bytes = 256 KiB, the paper's per-PE memory.
+  EXPECT_EQ(mem.size_bytes(), 256u * 1024u);
+}
+
+TEST(BankedSram, BanksAreIndependent) {
+  BankedSram mem(4, 8);
+  mem.write(0, 3, 100);
+  mem.write(1, 3, 200);
+  EXPECT_EQ(mem.read(0, 3), 100u);
+  EXPECT_EQ(mem.read(1, 3), 200u);
+  EXPECT_EQ(mem.read(2, 3), 0u);
+}
+
+TEST(BankedSram, RowReadFetchesAllBanks) {
+  BankedSram mem(8, 8);
+  for (std::size_t b = 0; b < 8; ++b) mem.write(b, 5, b * 11);
+  std::vector<uint64_t> row;
+  mem.read_row(5, row);
+  ASSERT_EQ(row.size(), 8u);
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_EQ(row[b], b * 11);
+  // One read per bank.
+  EXPECT_EQ(mem.total_reads(), 8u);
+}
+
+TEST(BankedSram, TotalsAggregateAcrossBanks) {
+  BankedSram mem(2, 4);
+  mem.write(0, 0, 1);
+  mem.write(1, 1, 2);
+  mem.read(0, 0);
+  EXPECT_EQ(mem.total_writes(), 2u);
+  EXPECT_EQ(mem.total_reads(), 1u);
+  EXPECT_EQ(mem.total_accesses(), 3u);
+  mem.reset_counters();
+  EXPECT_EQ(mem.total_accesses(), 0u);
+}
+
+TEST(BankedSram, InvalidBankThrows) {
+  BankedSram mem(2, 4);
+  EXPECT_THROW(mem.read(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace omu::sim

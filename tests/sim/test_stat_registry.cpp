@@ -1,0 +1,67 @@
+#include "sim/stat_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::sim {
+namespace {
+
+TEST(StatRegistry, UnknownCountersReadZero) {
+  StatRegistry stats;
+  EXPECT_EQ(stats.get("nope"), 0u);
+  EXPECT_FALSE(stats.contains("nope"));
+}
+
+TEST(StatRegistry, AddAccumulates) {
+  StatRegistry stats;
+  stats.add("reads");
+  stats.add("reads", 9);
+  EXPECT_EQ(stats.get("reads"), 10u);
+  EXPECT_TRUE(stats.contains("reads"));
+}
+
+TEST(StatRegistry, SetOverrides) {
+  StatRegistry stats;
+  stats.add("x", 5);
+  stats.set("x", 2);
+  EXPECT_EQ(stats.get("x"), 2u);
+}
+
+TEST(StatRegistry, MergeSums) {
+  StatRegistry a;
+  StatRegistry b;
+  a.add("shared", 1);
+  b.add("shared", 2);
+  b.add("only_b", 3);
+  a.merge(b);
+  EXPECT_EQ(a.get("shared"), 3u);
+  EXPECT_EQ(a.get("only_b"), 3u);
+}
+
+TEST(StatRegistry, EntriesAreNameOrdered) {
+  StatRegistry stats;
+  stats.add("zebra", 1);
+  stats.add("alpha", 2);
+  stats.add("mid", 3);
+  const auto entries = stats.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "alpha");
+  EXPECT_EQ(entries[1].first, "mid");
+  EXPECT_EQ(entries[2].first, "zebra");
+}
+
+TEST(StatRegistry, ToStringContainsAllCounters) {
+  StatRegistry stats;
+  stats.add("pe0.reads", 7);
+  const std::string s = stats.to_string();
+  EXPECT_NE(s.find("pe0.reads = 7"), std::string::npos);
+}
+
+TEST(StatRegistry, ClearRemovesEverything) {
+  StatRegistry stats;
+  stats.add("a", 1);
+  stats.clear();
+  EXPECT_TRUE(stats.entries().empty());
+}
+
+}  // namespace
+}  // namespace omu::sim
