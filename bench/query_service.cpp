@@ -6,9 +6,11 @@
 // earlier thanks to the parent max values the update path maintains).
 #include <iostream>
 
+#include "accel/accel_backend.hpp"
 #include "geom/rng.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table_printer.hpp"
+#include "map/map_backend.hpp"
 #include "map/scan_inserter.hpp"
 
 int main() {
@@ -21,22 +23,30 @@ int main() {
                               "table; characterizes the Sec. V query path).",
                               options.scale);
 
-  // Build the map on the accelerator.
+  // Build the map on both platforms through the MapBackend interface: one
+  // ray-casting pass, the identical batch applied to the software octree
+  // and streamed into the accelerator.
   const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, options.scale,
                                        options.seed);
   accel::OmuConfig cfg;
   cfg.rows_per_bank = options.enlarged_rows_per_bank;
   accel::OmuAccelerator omu(cfg);
+  accel::AcceleratorBackend omu_backend(omu);
   map::OccupancyOctree tree(0.2);
-  map::ScanInserter inserter(tree);
-  std::vector<map::VoxelUpdate> updates;
+  map::OctreeBackend tree_backend(tree);
+  map::MapBackend* const backends[] = {&tree_backend, &omu_backend};
+  map::ScanInserter inserter(tree_backend);
+  map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
     updates.clear();
     inserter.collect_updates(scan.points, scan.pose.translation(), updates);
-    omu.feed_updates(updates);
+    for (map::MapBackend* backend : backends) backend->apply(updates);
   }
-  omu.flush();
+  for (map::MapBackend* backend : backends) backend->flush();
+  std::cout << "backends bit-identical (" << tree_backend.name() << " vs " << omu_backend.name()
+            << "): " << (tree.content_hash() == omu.content_hash() ? "yes" : "NO (bug!)")
+            << "\n\n";
 
   // Random queries across the corridor volume.
   geom::SplitMix64 rng(7);

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   accel::OmuAccelerator omu;
 
   uint64_t total_updates = 0;
-  std::vector<map::VoxelUpdate> updates;
+  map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
     updates.clear();

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   std::vector<data::DatasetScan> scans;
   uint64_t points = 0;
   uint64_t updates = 0;
-  std::vector<map::VoxelUpdate> buffer;
+  map::UpdateBatch buffer;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     scans.push_back(dataset.scan(i));
     const data::DatasetScan& scan = scans.back();

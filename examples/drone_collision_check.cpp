@@ -69,7 +69,7 @@ int main() {
   map::ScanInserter inserter(reference);
 
   const geom::Vec3d hover_points[] = {{-20, -20, 1.5}, {0, 0, 1.5}, {18, 14, 1.5}};
-  std::vector<map::VoxelUpdate> updates;
+  map::UpdateBatch updates;
   for (const geom::Vec3d& hover : hover_points) {
     const geom::Pose pose(hover, 0.0);
     const geom::PointCloud cloud = generator.generate(pose);

@@ -24,6 +24,7 @@
 #include "accel/voxel_scheduler.hpp"
 #include "geom/pointcloud.hpp"
 #include "map/occupancy_octree.hpp"
+#include "map/update_batch.hpp"
 
 namespace omu::accel {
 
@@ -45,8 +46,12 @@ struct OmuRunTotals {
   uint64_t scheduler_stall_cycles = 0; ///< cycles the dispatch port was blocked
   uint64_t scans = 0;                  ///< scans integrated
 
-  /// Seconds of accelerator time at `clock_hz`.
+  /// Seconds of accelerator time at `clock_hz`. Throws
+  /// std::invalid_argument for a non-positive clock.
   double seconds(double clock_hz) const {
+    if (clock_hz <= 0.0) {
+      throw std::invalid_argument("OmuRunTotals::seconds: clock_hz must be > 0");
+    }
     return static_cast<double>(map_cycles) / clock_hz;
   }
 };
@@ -75,6 +80,9 @@ class OmuAccelerator {
   /// equivalence tests and benches replaying identical work on both
   /// platforms). Returns the wall cycles consumed by this batch.
   uint64_t simulate_updates(const std::vector<map::VoxelUpdate>& updates);
+  uint64_t simulate_updates(const map::UpdateBatch& batch) {
+    return simulate_updates(batch.items());
+  }
 
   /// Streaming interface: dispatches a batch without draining, so PEs keep
   /// chewing on queued backlog while the next scan is ray-cast — scans
@@ -82,6 +90,7 @@ class OmuAccelerator {
   /// flush() after the last batch to retire the backlog; totals() then
   /// reports end-to-end wall cycles.
   void feed_updates(const std::vector<map::VoxelUpdate>& updates);
+  void feed_updates(const map::UpdateBatch& batch) { feed_updates(batch.items()); }
 
   /// Runs the engine until all queues are empty and every PE is idle;
   /// returns the absolute engine cycle.

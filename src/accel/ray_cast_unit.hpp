@@ -16,7 +16,7 @@
 #include "geom/pointcloud.hpp"
 #include "map/ockey.hpp"
 #include "map/phase_stats.hpp"
-#include "map/scan_inserter.hpp"
+#include "map/update_batch.hpp"
 
 namespace omu::accel {
 

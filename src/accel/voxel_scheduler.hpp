@@ -6,10 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "map/ockey.hpp"
-#include "map/scan_inserter.hpp"
+#include "map/update_batch.hpp"
 #include "sim/fifo.hpp"
 
 namespace omu::accel {

@@ -51,7 +51,7 @@ ExperimentResult ExperimentRunner::run(data::DatasetId id) const {
   map::OccupancyOctree tree(cfg.resolution, cfg.params);
   map::ScanInserter inserter(tree);
 
-  std::vector<map::VoxelUpdate> updates;
+  map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
     result.measured.points += scan.points.size();
@@ -183,7 +183,7 @@ ExperimentResult ExperimentRunner::run_accelerator_only(data::DatasetId id,
   map::OccupancyOctree tree(cfg.resolution, cfg.params);
   map::ScanInserter inserter(tree);
 
-  std::vector<map::VoxelUpdate> updates;
+  map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
     result.measured.points += scan.points.size();

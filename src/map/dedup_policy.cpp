@@ -1,0 +1,59 @@
+#include "map/dedup_policy.hpp"
+
+#include <cassert>
+
+namespace omu::map {
+
+void UpdateDeduper::begin_scan(UpdateBatch& out) {
+  out_ = &out;
+  result_ = ScanInsertResult{};
+  if (mode_ == InsertMode::kDiscretized) {
+    // Fresh sets each scan: cheap at scan granularity, and keeps the
+    // emission order independent of earlier scans' bucket history.
+    free_cells_ = KeySet{};
+    occupied_cells_ = KeySet{};
+  }
+}
+
+void UpdateDeduper::consume(const RaySegment& ray) {
+  assert(out_ != nullptr && "begin_scan must be called before consume");
+  result_.points++;
+  if (ray.truncated) result_.truncated_rays++;
+
+  if (mode_ == InsertMode::kRayByRay) {
+    for (const OcKey& key : ray.free_keys) {
+      out_->push(key, false);
+      result_.free_updates++;
+    }
+    if (ray.endpoint) {
+      out_->push(*ray.endpoint, true);
+      result_.occupied_updates++;
+    }
+    return;
+  }
+
+  free_cells_.insert(ray.free_keys.begin(), ray.free_keys.end());
+  if (ray.endpoint) occupied_cells_.insert(*ray.endpoint);
+}
+
+ScanInsertResult UpdateDeduper::finish_scan() {
+  assert(out_ != nullptr && "begin_scan must be called before finish_scan");
+  if (mode_ == InsertMode::kDiscretized) {
+    // Occupied endpoints win over free traversals of the same cell, as in
+    // OctoMap's insertPointCloud.
+    for (const OcKey& key : free_cells_) {
+      if (!occupied_cells_.contains(key)) {
+        out_->push(key, false);
+        result_.free_updates++;
+      }
+    }
+    for (const OcKey& key : occupied_cells_) {
+      out_->push(key, true);
+      result_.occupied_updates++;
+    }
+  }
+  out_ = nullptr;
+  return result_;
+}
+
+}  // namespace omu::map

@@ -1,0 +1,46 @@
+// Stage 2 of the scan-ingest pipeline: the dedup policy.
+//
+// Consumes the per-ray voxel streams of stage 1 (ray_generator.hpp) and
+// emits one UpdateBatch per scan. The two policies mirror OctoMap's two
+// insertion paths (see insert_policy.hpp):
+//  * kRayByRay streams every traversal straight into the batch;
+//  * kDiscretized collects the scan's cells into key sets, resolves
+//    occupied-beats-free, and emits the de-duplicated cells when the scan
+//    finishes.
+// Either way the output is the same kind of batch, so stage 3 (dispatch to
+// a MapBackend) and every downstream consumer is policy-agnostic.
+#pragma once
+
+#include "map/insert_policy.hpp"
+#include "map/ockey.hpp"
+#include "map/ray_generator.hpp"
+#include "map/update_batch.hpp"
+
+namespace omu::map {
+
+/// Per-scan accumulator applying an InsertMode to ray segments.
+class UpdateDeduper {
+ public:
+  explicit UpdateDeduper(InsertMode mode) : mode_(mode) {}
+
+  InsertMode mode() const { return mode_; }
+
+  /// Starts a new scan appending into `out`. `out` must outlive the scan.
+  void begin_scan(UpdateBatch& out);
+
+  /// Consumes one ray segment (valid only during the call).
+  void consume(const RaySegment& ray);
+
+  /// Ends the scan: flushes any held-back cells (discretized mode) into
+  /// the batch and returns the per-scan summary.
+  ScanInsertResult finish_scan();
+
+ private:
+  InsertMode mode_;
+  UpdateBatch* out_ = nullptr;
+  ScanInsertResult result_;
+  KeySet free_cells_;
+  KeySet occupied_cells_;
+};
+
+}  // namespace omu::map

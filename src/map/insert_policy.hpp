@@ -1,0 +1,47 @@
+// Insertion policy and per-scan summary types shared by the three stages
+// of the scan-ingest pipeline (ray generation, dedup policy, dispatch —
+// see scan_inserter.hpp for the composition).
+//
+// Two insertion modes are provided, matching the two code paths in the
+// OctoMap library:
+//  * kRayByRay (default; `insertPointCloudRays`): every ray updates every
+//    traversed voxel independently. This is the workload the OMU paper
+//    counts — Table II's "Voxel Update" column is the raw number of
+//    per-voxel updates — and the one the accelerator executes (the paper
+//    explicitly leaves voxel-overlap/dedup to future ray-casting
+//    accelerators, Sec. III-B).
+//  * kDiscretized (`insertPointCloud` + KeySet): free/occupied cells are
+//    de-duplicated within the scan, occupied beats free. Fewer updates,
+//    extra hashing cost; provided for completeness and comparison benches.
+#pragma once
+
+#include <cstdint>
+
+namespace omu::map {
+
+/// Insertion strategy for a scan (see file comment).
+enum class InsertMode : uint8_t {
+  kRayByRay,     ///< raw per-ray updates (paper's accounting; default)
+  kDiscretized,  ///< per-scan key-set de-duplication (OctoMap insertPointCloud)
+};
+
+/// Tuning knobs for scan insertion.
+struct InsertPolicy {
+  InsertMode mode = InsertMode::kRayByRay;
+  /// Rays longer than this are truncated: the shortened ray is integrated
+  /// as free space only (no occupied endpoint), matching OctoMap's
+  /// `maxrange` semantics. Non-positive = unlimited.
+  double max_range = -1.0;
+};
+
+/// Per-scan insertion summary.
+struct ScanInsertResult {
+  uint64_t points = 0;           ///< points consumed from the cloud
+  uint64_t free_updates = 0;     ///< free-space voxel updates issued
+  uint64_t occupied_updates = 0; ///< occupied voxel updates issued
+  uint64_t truncated_rays = 0;   ///< rays clipped to max_range
+
+  uint64_t total_updates() const { return free_updates + occupied_updates; }
+};
+
+}  // namespace omu::map

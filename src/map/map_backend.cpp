@@ -1,0 +1,17 @@
+#include "map/map_backend.hpp"
+
+namespace omu::map {
+
+Occupancy MapBackend::classify(const geom::Vec3d& position) {
+  const auto key = coder().key_for(position);
+  if (!key) return Occupancy::kUnknown;
+  return classify(*key);
+}
+
+uint64_t MapBackend::content_hash() const { return hash_leaf_records(leaves_sorted()); }
+
+void OctreeBackend::apply(const UpdateBatch& batch) {
+  for (const VoxelUpdate& u : batch) tree_->update_node(u.key, u.occupied);
+}
+
+}  // namespace omu::map

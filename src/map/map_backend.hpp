@@ -1,0 +1,88 @@
+// The map backend abstraction: one interface for every consumer of the
+// voxel-update stream.
+//
+// Stage 3 of the scan-ingest pipeline dispatches UpdateBatches to a
+// MapBackend; today's implementations are the serial software octree
+// (OctreeBackend below), the OMU accelerator model
+// (accel::AcceleratorBackend) and the key-sharded thread pipeline
+// (pipeline::ShardedMapPipeline). All of them integrate the same batches
+// and export the same canonical leaf records, so maps built on any backend
+// can be compared bit for bit — the property every equivalence suite in
+// tests/ leans on.
+//
+// apply() may be asynchronous (the accelerator streams, the pipeline
+// queues); flush() is the barrier that retires any backlog. classify() and
+// the leaf exports reflect the updates applied so far — call flush() first
+// when an exact point-in-time snapshot is needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/ockey.hpp"
+#include "map/update_batch.hpp"
+
+namespace omu::map {
+
+/// Abstract consumer of voxel-update batches.
+class MapBackend {
+ public:
+  virtual ~MapBackend() = default;
+
+  /// Short human-readable backend name (for bench tables and logs).
+  virtual std::string name() const = 0;
+
+  /// The key<->metric coder of the backend's map.
+  virtual const KeyCoder& coder() const = 0;
+
+  /// Integrates one batch of voxel updates (possibly asynchronously).
+  virtual void apply(const UpdateBatch& batch) = 0;
+
+  /// Retires any asynchronous backlog; no-op for synchronous backends.
+  virtual void flush() {}
+
+  /// Classifies the voxel at `key` (the Voxel Query service, paper Sec. V).
+  virtual Occupancy classify(const OcKey& key) = 0;
+
+  /// Classifies a metric position (out-of-range -> unknown).
+  Occupancy classify(const geom::Vec3d& position);
+
+  /// Canonical (packed-key, depth)-sorted leaf export of the map content.
+  virtual std::vector<LeafRecord> leaves_sorted() const = 0;
+
+  /// Hash of the canonical leaf export; equal hashes mean identical maps
+  /// (up to hash collision). Backends with a native hash may override.
+  virtual uint64_t content_hash() const;
+
+  /// Where the ray-casting front-end should record its PhaseStats, or
+  /// nullptr when the backend keeps no software-side counters (the caller
+  /// then uses its own).
+  virtual PhaseStats* ray_stats() { return nullptr; }
+};
+
+/// MapBackend adapter over the serial software octree — the reference
+/// implementation every other backend is verified against.
+class OctreeBackend final : public MapBackend {
+ public:
+  explicit OctreeBackend(OccupancyOctree& tree) : tree_(&tree) {}
+
+  using MapBackend::classify;
+
+  std::string name() const override { return "octree"; }
+  const KeyCoder& coder() const override { return tree_->coder(); }
+  void apply(const UpdateBatch& batch) override;
+  Occupancy classify(const OcKey& key) override { return tree_->classify(key); }
+  std::vector<LeafRecord> leaves_sorted() const override { return tree_->leaves_sorted(); }
+  uint64_t content_hash() const override { return tree_->content_hash(); }
+  PhaseStats* ray_stats() override { return &tree_->stats(); }
+
+  OccupancyOctree& tree() { return *tree_; }
+  const OccupancyOctree& tree() const { return *tree_; }
+
+ private:
+  OccupancyOctree* tree_;
+};
+
+}  // namespace omu::map

@@ -2,26 +2,28 @@
 
 namespace omu::map {
 
-namespace {
+ScanInserter::ScanInserter(OccupancyOctree& tree, InsertPolicy policy)
+    : owned_backend_(std::make_unique<OctreeBackend>(tree)),
+      backend_(owned_backend_.get()),
+      ray_stats_(backend_->ray_stats()),
+      policy_(policy),
+      generator_(backend_->coder()),
+      deduper_(policy.mode) {}
 
-/// Clips `end` to at most `max_range` metres from `origin`. Returns true
-/// if the ray was truncated.
-bool clip_to_max_range(const geom::Vec3d& origin, geom::Vec3d& end, double max_range) {
-  if (max_range <= 0.0) return false;
-  const geom::Vec3d d = end - origin;
-  const double dist = d.norm();
-  if (dist <= max_range) return false;
-  end = origin + d * (max_range / dist);
-  return true;
+ScanInserter::ScanInserter(MapBackend& backend, InsertPolicy policy)
+    : backend_(&backend),
+      ray_stats_(backend.ray_stats()),
+      policy_(policy),
+      generator_(backend.coder()),
+      deduper_(policy.mode) {
+  if (ray_stats_ == nullptr) ray_stats_ = &local_ray_stats_;
 }
-
-}  // namespace
 
 ScanInsertResult ScanInserter::insert_scan(const geom::PointCloud& world_points,
                                            const geom::Vec3d& origin) {
-  std::vector<VoxelUpdate> updates;
-  const ScanInsertResult result = collect_updates(world_points, origin, updates);
-  apply_updates(updates);
+  scratch_.clear();
+  const ScanInsertResult result = collect_updates(world_points, origin, scratch_);
+  apply_updates(scratch_);
   return result;
 }
 
@@ -33,81 +35,19 @@ ScanInsertResult ScanInserter::insert_scan(const geom::PointCloud& sensor_points
 }
 
 ScanInsertResult ScanInserter::collect_updates(const geom::PointCloud& world_points,
-                                               const geom::Vec3d& origin,
-                                               std::vector<VoxelUpdate>& out) {
-  switch (policy_.mode) {
-    case InsertMode::kRayByRay:
-      return scan_rays(world_points, origin, out);
-    case InsertMode::kDiscretized:
-      return scan_discretized(world_points, origin, out);
-  }
-  return {};
-}
-
-void ScanInserter::apply_updates(const std::vector<VoxelUpdate>& updates) {
-  for (const VoxelUpdate& u : updates) tree_->update_node(u.key, u.occupied);
-}
-
-ScanInsertResult ScanInserter::scan_rays(const geom::PointCloud& world_points,
-                                         const geom::Vec3d& origin,
-                                         std::vector<VoxelUpdate>& out) {
-  ScanInsertResult result;
-  const KeyCoder& coder = tree_->coder();
-  for (const geom::Vec3f& pf : world_points) {
-    geom::Vec3d end = pf.cast<double>();
-    const bool truncated = clip_to_max_range(origin, end, policy_.max_range);
-    result.points++;
-    if (truncated) result.truncated_rays++;
-
-    ray_buffer_.clear();
-    if (!compute_ray_keys(coder, origin, end, ray_buffer_, &tree_->stats())) continue;
-    for (const OcKey& key : ray_buffer_) {
-      out.push_back(VoxelUpdate{key, false});
-      result.free_updates++;
-    }
-    if (!truncated) {
-      if (const auto end_key = coder.key_for(end)) {
-        out.push_back(VoxelUpdate{*end_key, true});
-        result.occupied_updates++;
-      }
-    }
-  }
+                                               const geom::Vec3d& origin, UpdateBatch& out) {
+  // Reserve from the previous scan's update count: consecutive scans of a
+  // stream are similar in size, so this removes the repeated growth
+  // reallocations from the hot loop.
+  out.reserve(out.size() + last_scan_updates_);
+  deduper_.begin_scan(out);
+  generator_.generate(world_points, origin, policy_.max_range, ray_stats_,
+                      [this](const RaySegment& ray) { deduper_.consume(ray); });
+  const ScanInsertResult result = deduper_.finish_scan();
+  last_scan_updates_ = result.total_updates();
   return result;
 }
 
-ScanInsertResult ScanInserter::scan_discretized(const geom::PointCloud& world_points,
-                                                const geom::Vec3d& origin,
-                                                std::vector<VoxelUpdate>& out) {
-  ScanInsertResult result;
-  const KeyCoder& coder = tree_->coder();
-  KeySet free_cells;
-  KeySet occupied_cells;
-  for (const geom::Vec3f& pf : world_points) {
-    geom::Vec3d end = pf.cast<double>();
-    const bool truncated = clip_to_max_range(origin, end, policy_.max_range);
-    result.points++;
-    if (truncated) result.truncated_rays++;
-
-    ray_buffer_.clear();
-    if (!compute_ray_keys(coder, origin, end, ray_buffer_, &tree_->stats())) continue;
-    free_cells.insert(ray_buffer_.begin(), ray_buffer_.end());
-    if (!truncated) {
-      if (const auto end_key = coder.key_for(end)) occupied_cells.insert(*end_key);
-    }
-  }
-  // Occupied endpoints win over free traversals of the same cell, as in
-  // OctoMap's insertPointCloud.
-  for (const OcKey& key : free_cells) {
-    if (!occupied_cells.contains(key)) {
-      out.push_back(VoxelUpdate{key, false});
-      result.free_updates++;
-    }
-  }
-  for (const OcKey& key : occupied_cells) {
-    out.push_back(VoxelUpdate{key, true});
-    result.occupied_updates++;
-  }
-  return result;
-}
+void ScanInserter::apply_updates(const UpdateBatch& updates) { backend_->apply(updates); }
 
 }  // namespace omu::map

@@ -1,69 +1,48 @@
 // Scan integration: turns one point cloud plus its sensor origin into a
-// stream of voxel updates against an OccupancyOctree.
+// stream of voxel updates against a map backend.
 //
-// Two insertion modes are provided, matching the two code paths in the
-// OctoMap library:
-//  * kRayByRay (default; `insertPointCloudRays`): every ray updates every
-//    traversed voxel independently. This is the workload the OMU paper
-//    counts — Table II's "Voxel Update" column is the raw number of
-//    per-voxel updates — and the one the accelerator executes (the paper
-//    explicitly leaves voxel-overlap/dedup to future ray-casting
-//    accelerators, Sec. III-B).
-//  * kDiscretized (`insertPointCloud` + KeySet): free/occupied cells are
-//    de-duplicated within the scan, occupied beats free. Fewer updates,
-//    extra hashing cost; provided for completeness and comparison benches.
+// The inserter is the composition of the three explicit ingest stages:
+//   1. ray generation (ray_generator.hpp) — DDA over the voxel grid,
+//      per-ray free cells plus occupied endpoint;
+//   2. dedup policy (dedup_policy.hpp) — kRayByRay streams raw updates,
+//      kDiscretized de-duplicates within the scan (see insert_policy.hpp);
+//   3. dispatch (map_backend.hpp) — the resulting UpdateBatch is applied
+//      to a MapBackend: the serial octree, the accelerator model, or the
+//      sharded thread pipeline.
+// Both insert modes produce the same kind of UpdateBatch, and any backend
+// consumes it, so one ray-cast scan can drive every platform with
+// bit-identical work.
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "geom/pointcloud.hpp"
+#include "geom/pose.hpp"
 #include "geom/vec3.hpp"
+#include "map/dedup_policy.hpp"
+#include "map/insert_policy.hpp"
+#include "map/map_backend.hpp"
 #include "map/occupancy_octree.hpp"
-#include "map/ray_keys.hpp"
+#include "map/ray_generator.hpp"
+#include "map/update_batch.hpp"
 
 namespace omu::map {
 
-/// Insertion strategy for a scan (see file comment).
-enum class InsertMode : uint8_t {
-  kRayByRay,     ///< raw per-ray updates (paper's accounting; default)
-  kDiscretized,  ///< per-scan key-set de-duplication (OctoMap insertPointCloud)
-};
-
-/// Tuning knobs for scan insertion.
-struct InsertPolicy {
-  InsertMode mode = InsertMode::kRayByRay;
-  /// Rays longer than this are truncated: the shortened ray is integrated
-  /// as free space only (no occupied endpoint), matching OctoMap's
-  /// `maxrange` semantics. Non-positive = unlimited.
-  double max_range = -1.0;
-};
-
-/// Per-scan insertion summary.
-struct ScanInsertResult {
-  uint64_t points = 0;           ///< points consumed from the cloud
-  uint64_t free_updates = 0;     ///< free-space voxel updates issued
-  uint64_t occupied_updates = 0; ///< occupied voxel updates issued
-  uint64_t truncated_rays = 0;   ///< rays clipped to max_range
-
-  uint64_t total_updates() const { return free_updates + occupied_updates; }
-};
-
-/// One voxel update request: the unit of work the OMU voxel scheduler
-/// dispatches to a PE (paper Fig. 4). Exposed so the accelerator model can
-/// consume exactly the same update stream as the software baseline.
-struct VoxelUpdate {
-  OcKey key;
-  bool occupied = false;
-};
-
-/// Integrates scans into an OccupancyOctree.
+/// Integrates scans into a map backend.
 class ScanInserter {
  public:
-  explicit ScanInserter(OccupancyOctree& tree, InsertPolicy policy = InsertPolicy{})
-      : tree_(&tree), policy_(policy) {}
+  /// Serial-octree convenience: wraps `tree` in an OctreeBackend owned by
+  /// the inserter (the classic OctoMap-style usage).
+  explicit ScanInserter(OccupancyOctree& tree, InsertPolicy policy = InsertPolicy{});
+
+  /// Dispatches to an arbitrary backend (accelerator, sharded pipeline, ...).
+  explicit ScanInserter(MapBackend& backend, InsertPolicy policy = InsertPolicy{});
+
+  ScanInserter(const ScanInserter&) = delete;
+  ScanInserter& operator=(const ScanInserter&) = delete;
 
   const InsertPolicy& policy() const { return policy_; }
+  MapBackend& backend() { return *backend_; }
 
   /// Integrates a world-frame point cloud captured from `origin`.
   ScanInsertResult insert_scan(const geom::PointCloud& world_points, const geom::Vec3d& origin);
@@ -77,21 +56,22 @@ class ScanInserter {
   /// free/occupied voxel queues the OMU ray-casting unit would emit —
   /// appending to `out`. Returns the same summary as insert_scan.
   ScanInsertResult collect_updates(const geom::PointCloud& world_points,
-                                   const geom::Vec3d& origin, std::vector<VoxelUpdate>& out);
+                                   const geom::Vec3d& origin, UpdateBatch& out);
 
-  /// Applies a precomputed update stream (used to feed identical work to
-  /// the software tree and the accelerator model).
-  void apply_updates(const std::vector<VoxelUpdate>& updates);
+  /// Applies a precomputed update stream to the backend (used to feed
+  /// identical work to several platforms).
+  void apply_updates(const UpdateBatch& updates);
 
  private:
-  ScanInsertResult scan_rays(const geom::PointCloud& world_points, const geom::Vec3d& origin,
-                             std::vector<VoxelUpdate>& out);
-  ScanInsertResult scan_discretized(const geom::PointCloud& world_points,
-                                    const geom::Vec3d& origin, std::vector<VoxelUpdate>& out);
-
-  OccupancyOctree* tree_;
+  std::unique_ptr<OctreeBackend> owned_backend_;  // set in octree mode only
+  MapBackend* backend_;
+  PhaseStats* ray_stats_;       // backend's counters, or local_ray_stats_
+  PhaseStats local_ray_stats_;  // used when the backend keeps none
   InsertPolicy policy_;
-  std::vector<OcKey> ray_buffer_;
+  RayUpdateGenerator generator_;
+  UpdateDeduper deduper_;
+  UpdateBatch scratch_;
+  std::size_t last_scan_updates_ = 0;  // reserve hint for the next scan
 };
 
 }  // namespace omu::map

@@ -14,12 +14,9 @@
 #include <string>
 #include <vector>
 
-#include "map/scan_inserter.hpp"
+#include "map/update_batch.hpp"
 
 namespace omu::map {
-
-/// One recorded batch (typically one scan's worth of updates).
-using UpdateBatch = std::vector<VoxelUpdate>;
 
 /// Streams batches of voxel updates to a binary trace.
 class UpdateTraceWriter {

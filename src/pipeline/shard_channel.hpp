@@ -1,0 +1,122 @@
+// Thread-safe bounded channel feeding a pipeline shard.
+//
+// Wraps the hardware queue model (sim::Fifo) in a mutex/condvar shell so
+// the software pipeline gets exactly the semantics of the accelerator's
+// per-PE input queues (paper Fig. 4/7): fixed capacity, FIFO order,
+// producer back-pressure when full, and observable occupancy statistics
+// (high-water mark, blocked pushes). push() blocking on a full queue is
+// the software analogue of the scheduler's dispatch stall.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "sim/fifo.hpp"
+
+namespace omu::pipeline {
+
+/// Bounded multi-producer / single-consumer channel over a sim::Fifo.
+template <typename T>
+class BoundedChannel {
+ public:
+  /// `capacity` = maximum queued entries before producers block.
+  explicit BoundedChannel(std::size_t capacity) : fifo_(capacity) {}
+
+  /// Enqueues, blocking while the channel is full (back-pressure).
+  /// Returns false only when the channel was closed.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    if (fifo_.full() && !closed_) {
+      ++blocked_pushes_;
+      not_full_.wait(lock, [this] { return !fifo_.full() || closed_; });
+    }
+    if (closed_) return false;
+    fifo_.try_push(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; false when full or closed (counts a rejected
+  /// push in the underlying Fifo when full).
+  bool try_push(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_) return false;
+    if (!fifo_.try_push(std::move(value))) return false;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues, blocking while empty. Returns std::nullopt once the
+  /// channel is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !fifo_.empty() || closed_; });
+    auto v = fifo_.try_pop();
+    if (v) not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    auto v = fifo_.try_pop();
+    if (v) not_full_.notify_one();
+    return v;
+  }
+
+  /// Closes the channel: producers fail fast, consumers drain what is
+  /// queued and then see end-of-stream.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t capacity() const {
+    std::lock_guard lock(mutex_);
+    return fifo_.capacity();
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return fifo_.size();
+  }
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return fifo_.empty();
+  }
+
+  // -- statistics (Fifo semantics) ----------------------------------------
+  std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return fifo_.high_water();
+  }
+  std::size_t total_pushes() const {
+    std::lock_guard lock(mutex_);
+    return fifo_.total_pushes();
+  }
+  /// Number of push() calls that had to block on a full queue.
+  uint64_t blocked_pushes() const {
+    std::lock_guard lock(mutex_);
+    return blocked_pushes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  sim::Fifo<T> fifo_;
+  uint64_t blocked_pushes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace omu::pipeline

@@ -1,0 +1,137 @@
+#include "pipeline/sharded_map_pipeline.hpp"
+
+#include <stdexcept>
+
+namespace omu::pipeline {
+
+ShardedMapPipeline::ShardedMapPipeline(const ShardedPipelineConfig& config)
+    : cfg_(config), coder_(config.resolution) {
+  if (cfg_.shard_count < 1) {
+    throw std::invalid_argument("ShardedPipelineConfig::shard_count must be >= 1");
+  }
+  if (cfg_.queue_depth < 1) {
+    throw std::invalid_argument("ShardedPipelineConfig::queue_depth must be >= 1");
+  }
+  shards_.reserve(cfg_.shard_count);
+  for (std::size_t i = 0; i < cfg_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(cfg_));
+  }
+  // Spawn after the vector is fully built so worker_loop never sees a
+  // partially constructed pipeline.
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+ShardedMapPipeline::~ShardedMapPipeline() {
+  for (auto& shard : shards_) shard->channel.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::string ShardedMapPipeline::name() const {
+  return "sharded-pipeline-x" + std::to_string(shards_.size());
+}
+
+void ShardedMapPipeline::worker_loop(Shard& shard) {
+  while (auto batch = shard.channel.pop()) {
+    {
+      std::lock_guard lock(shard.tree_mutex);
+      for (const map::VoxelUpdate& u : *batch) shard.tree.update_node(u.key, u.occupied);
+    }
+    shard.updates_applied.fetch_add(batch->size(), std::memory_order_relaxed);
+    shard.batches_applied.fetch_add(1, std::memory_order_relaxed);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last in-flight sub-batch retired: wake flush() waiters. The empty
+      // critical section pairs with the wait in flush() so the notify
+      // cannot slip between its predicate check and its sleep.
+      { std::lock_guard lock(flush_mutex_); }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
+  if (batch.empty()) return;
+  const std::size_t n = shards_.size();
+
+  // Split the batch per shard, preserving arrival order within each shard
+  // (the property the bit-for-bit equivalence rests on).
+  std::vector<map::UpdateBatch> split(n);
+  for (std::size_t s = 0; s < n; ++s) split[s].reserve(shards_[s]->last_routed_size);
+  for (const map::VoxelUpdate& u : batch) {
+    split[static_cast<std::size_t>(shard_for_key(u.key))].push(u.key, u.occupied);
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    const std::size_t count = split[s].size();
+    shard.last_routed_size = count;
+    if (count == 0) continue;
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (shard.channel.push(std::move(split[s]))) {
+      shard.updates_routed += count;
+      updates_routed_ += count;
+    } else if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Channel closed (destruction race): the sub-batch was dropped, so
+      // undo the in-flight accounting — through the same notify path the
+      // workers use, in case a flush() is already waiting.
+      { std::lock_guard lock(flush_mutex_); }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ShardedMapPipeline::flush() {
+  std::unique_lock lock(flush_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+map::Occupancy ShardedMapPipeline::classify(const map::OcKey& key) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_for_key(key))];
+  std::lock_guard lock(shard.tree_mutex);
+  return shard.tree.classify(key);
+}
+
+map::OccupancyOctree ShardedMapPipeline::merged_octree() const {
+  map::OccupancyOctree merged(cfg_.resolution, cfg_.params);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->tree_mutex);
+    // normalize_to_depth1 splits a fully collapsed single-shard tree into
+    // its octants; set_leaf_at_depth's unwind re-prunes the merged tree,
+    // so the result carries the exact prune state of the serial tree.
+    for (const map::LeafRecord& leaf : map::normalize_to_depth1(shard->tree.leaves_sorted())) {
+      merged.set_leaf_at_depth(leaf.key, leaf.depth, leaf.log_odds);
+    }
+  }
+  return merged;
+}
+
+std::vector<map::LeafRecord> ShardedMapPipeline::leaves_sorted() const {
+  return merged_octree().leaves_sorted();
+}
+
+uint64_t ShardedMapPipeline::content_hash() const { return merged_octree().content_hash(); }
+
+ShardStats ShardedMapPipeline::shard_stats(int shard_index) const {
+  const Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  ShardStats s;
+  s.batches_applied = shard.batches_applied.load(std::memory_order_relaxed);
+  s.updates_applied = shard.updates_applied.load(std::memory_order_relaxed);
+  s.updates_routed = shard.updates_routed;
+  s.queue_high_water = shard.channel.high_water();
+  s.blocked_pushes = shard.channel.blocked_pushes();
+  return s;
+}
+
+map::PhaseStats ShardedMapPipeline::aggregate_stats() const {
+  map::PhaseStats total = ray_stats_;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->tree_mutex);
+    total += shard->tree.stats();
+  }
+  return total;
+}
+
+}  // namespace omu::pipeline

@@ -1,0 +1,149 @@
+// Key-sharded parallel map inserter — the software analogue of the OMU PE
+// array (paper Sec. IV-A, Fig. 4).
+//
+// N worker threads each own a private OccupancyOctree shard. Updates are
+// routed by the same low-bits key hash the accelerator's voxel scheduler
+// uses (first-level branch mod shard count), so updates to different
+// shards touch disjoint subtrees and proceed in parallel with no
+// dependence hazards; updates to the same voxel always land on the same
+// shard in arrival order, which is what makes the merged map bit-identical
+// to the serial tree (same log-odds, same prune state — verified by
+// tests/pipeline/test_sharded_equivalence.cpp).
+//
+// Each shard is fed through a bounded channel with the accelerator queue's
+// semantics (shard_channel.hpp): when a shard falls behind, apply() blocks
+// — back-pressure, exactly like the scheduler's dispatch stall. flush() is
+// the drain barrier; classify() serves cross-shard queries against the
+// live shard trees; leaves_sorted()/merged_octree() export the merged map.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "map/map_backend.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/occupancy_params.hpp"
+#include "map/update_batch.hpp"
+#include "pipeline/shard_channel.hpp"
+
+namespace omu::pipeline {
+
+/// Construction parameters of the sharded pipeline.
+struct ShardedPipelineConfig {
+  /// Worker threads / private octree shards (>= 1). 8 mirrors the paper's
+  /// PE array; any count works because routing is branch mod shard_count,
+  /// like the voxel scheduler with fewer than 8 PEs.
+  std::size_t shard_count = 8;
+  /// Per-shard channel capacity in sub-batches; the back-pressure bound.
+  std::size_t queue_depth = 64;
+  double resolution = 0.2;
+  map::OccupancyParams params{};
+};
+
+/// Per-shard observability counters.
+struct ShardStats {
+  uint64_t batches_applied = 0;    ///< sub-batches retired by the worker
+  uint64_t updates_applied = 0;    ///< voxel updates retired by the worker
+  uint64_t updates_routed = 0;     ///< voxel updates routed to this shard
+  std::size_t queue_high_water = 0;  ///< peak channel occupancy
+  uint64_t blocked_pushes = 0;     ///< producer back-pressure events
+};
+
+/// The key-sharded parallel inserter (a map::MapBackend).
+class ShardedMapPipeline final : public map::MapBackend {
+ public:
+  explicit ShardedMapPipeline(const ShardedPipelineConfig& config = ShardedPipelineConfig{});
+  ~ShardedMapPipeline() override;
+
+  ShardedMapPipeline(const ShardedMapPipeline&) = delete;
+  ShardedMapPipeline& operator=(const ShardedMapPipeline&) = delete;
+
+  const ShardedPipelineConfig& config() const { return cfg_; }
+
+  using map::MapBackend::classify;
+
+  // ---- MapBackend --------------------------------------------------------
+
+  std::string name() const override;
+  const map::KeyCoder& coder() const override { return coder_; }
+
+  /// Routes the batch across the shard channels (blocking on a full shard
+  /// queue) and returns; the workers apply it asynchronously.
+  void apply(const map::UpdateBatch& batch) override;
+
+  /// Blocks until every routed update has been applied to its shard tree.
+  void flush() override;
+
+  /// Classifies a voxel against its owning shard's live tree. Reflects
+  /// the updates applied so far; call flush() first for a barrier.
+  map::Occupancy classify(const map::OcKey& key) override;
+
+  /// Canonical leaf export of the merged map (identical to the serial
+  /// tree's leaves_sorted()). Implies a merge; flush() first.
+  std::vector<map::LeafRecord> leaves_sorted() const override;
+
+  /// Hash of the merged map; equals the serial tree's content_hash().
+  uint64_t content_hash() const override;
+
+  map::PhaseStats* ray_stats() override { return &ray_stats_; }
+
+  // ---- Sharding introspection -------------------------------------------
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Target shard for a key: first-level branch mod shard count — the
+  /// exact bank-interleaving hash of accel::VoxelScheduler::pe_for_key.
+  int shard_for_key(const map::OcKey& key) const {
+    return map::first_level_branch(key) % static_cast<int>(shards_.size());
+  }
+
+  ShardStats shard_stats(int shard) const;
+
+  /// Updates routed across all shards so far.
+  uint64_t updates_routed() const { return updates_routed_; }
+
+  /// Reconstructs the merged map as one octree (the serial-equivalent
+  /// form); also the DMA-readback analogue of OmuAccelerator::to_octree.
+  map::OccupancyOctree merged_octree() const;
+
+  /// Operation counters summed over shard trees, plus the producer-side
+  /// ray casting counters (same fields as the serial baseline).
+  map::PhaseStats aggregate_stats() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const ShardedPipelineConfig& cfg)
+        : tree(cfg.resolution, cfg.params), channel(cfg.queue_depth) {}
+
+    map::OccupancyOctree tree;
+    BoundedChannel<map::UpdateBatch> channel;
+    mutable std::mutex tree_mutex;  // worker holds it per sub-batch
+    std::thread worker;
+    std::atomic<uint64_t> batches_applied{0};
+    std::atomic<uint64_t> updates_applied{0};
+    uint64_t updates_routed = 0;      // producer-side only
+    std::size_t last_routed_size = 0; // reserve hint for the next split
+  };
+
+  void worker_loop(Shard& shard);
+
+  ShardedPipelineConfig cfg_;
+  map::KeyCoder coder_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  map::PhaseStats ray_stats_;
+
+  // Drain barrier: sub-batches in flight between apply() and retirement.
+  std::atomic<uint64_t> in_flight_{0};
+  std::mutex flush_mutex_;
+  std::condition_variable idle_cv_;
+
+  uint64_t updates_routed_ = 0;
+};
+
+}  // namespace omu::pipeline

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <deque>
 #include <optional>
+#include <utility>
 
 namespace omu::sim {
 
@@ -25,13 +26,15 @@ class Fifo {
   bool full() const { return items_.size() >= capacity_; }
 
   /// Attempts to enqueue; returns false (and counts a rejected push) when
-  /// the queue is full — the producer must retry, modeling a stall.
-  bool try_push(const T& v) {
+  /// the queue is full — the producer must retry, modeling a stall. Takes
+  /// by value so expensive payloads (e.g. whole UpdateBatches in the
+  /// software pipeline) can be moved in.
+  bool try_push(T v) {
     if (full()) {
       ++rejected_pushes_;
       return false;
     }
-    items_.push_back(v);
+    items_.push_back(std::move(v));
     ++total_pushes_;
     if (items_.size() > high_water_) high_water_ = items_.size();
     return true;
@@ -40,7 +43,7 @@ class Fifo {
   /// Dequeues the head element, or std::nullopt when empty.
   std::optional<T> try_pop() {
     if (items_.empty()) return std::nullopt;
-    T v = items_.front();
+    std::optional<T> v(std::move(items_.front()));
     items_.pop_front();
     return v;
   }

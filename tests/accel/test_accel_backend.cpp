@@ -1,0 +1,72 @@
+// The accelerator behind the MapBackend interface: identical batches
+// applied through AcceleratorBackend and OctreeBackend must produce
+// bit-identical maps and agreeing queries.
+#include "accel/accel_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::accel {
+namespace {
+
+geom::PointCloud random_cloud(uint64_t seed, int n) {
+  geom::SplitMix64 rng(seed);
+  geom::PointCloud cloud;
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-4, 4)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  return cloud;
+}
+
+TEST(AcceleratorBackend, MatchesOctreeBackendBitForBit) {
+  OmuAccelerator omu;
+  AcceleratorBackend hw(omu);
+  map::OccupancyOctree tree(0.2);
+  map::OctreeBackend sw(tree);
+
+  map::ScanInserter inserter(sw);
+  map::UpdateBatch batch;
+  for (int scan = 0; scan < 3; ++scan) {
+    batch.clear();
+    inserter.collect_updates(random_cloud(static_cast<uint64_t>(scan + 1), 250), {0, 0, 0},
+                             batch);
+    sw.apply(batch);
+    hw.apply(batch);
+  }
+  sw.flush();
+  hw.flush();
+
+  EXPECT_EQ(hw.content_hash(), sw.content_hash());
+  EXPECT_EQ(hw.leaves_sorted(), map::normalize_to_depth1(tree.leaves_sorted()));
+}
+
+TEST(AcceleratorBackend, StreamsWithoutDrainingUntilFlush) {
+  OmuAccelerator omu;
+  AcceleratorBackend backend(omu);
+  map::OccupancyOctree tmp(0.2);
+  map::ScanInserter inserter(tmp);
+  map::UpdateBatch batch;
+  inserter.collect_updates(random_cloud(9, 400), {0, 0, 0}, batch);
+  backend.apply(batch);  // feed_updates: dispatch without drain
+  backend.flush();
+  EXPECT_EQ(omu.totals().updates_dispatched, batch.size());
+}
+
+TEST(AcceleratorBackend, QueriesGoThroughTheQueryUnit) {
+  OmuAccelerator omu;
+  AcceleratorBackend backend(omu);
+  const auto cloud = random_cloud(5, 100);
+  omu.integrate_scan(cloud, {0, 0, 0});
+  const auto occ = backend.classify(cloud[0].cast<double>());
+  EXPECT_NE(occ, map::Occupancy::kUnknown);
+  EXPECT_GT(omu.query_unit().stats().queries, 0u);
+  EXPECT_DOUBLE_EQ(backend.coder().resolution(), omu.config().resolution);
+}
+
+}  // namespace
+}  // namespace omu::accel

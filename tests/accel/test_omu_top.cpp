@@ -88,7 +88,7 @@ TEST(OmuTop, SimulateUpdatesMatchesScanPipeline) {
 
   map::OccupancyOctree tmp(0.2);
   map::ScanInserter inserter(tmp);
-  std::vector<map::VoxelUpdate> updates;
+  map::UpdateBatch updates;
   inserter.collect_updates(cloud, {0, 0, 0}, updates);
   OmuAccelerator via_stream;
   via_stream.simulate_updates(updates);
@@ -160,6 +160,13 @@ TEST(OmuTop, SecondsConversionUsesClock) {
   t.map_cycles = 2'000'000'000ULL;
   EXPECT_DOUBLE_EQ(t.seconds(1e9), 2.0);
   EXPECT_DOUBLE_EQ(t.seconds(2e9), 1.0);
+}
+
+TEST(OmuTop, SecondsRejectsNonPositiveClock) {
+  OmuRunTotals t;
+  t.map_cycles = 1000;
+  EXPECT_THROW(t.seconds(0.0), std::invalid_argument);
+  EXPECT_THROW(t.seconds(-1e9), std::invalid_argument);
 }
 
 TEST(OmuTop, SchedulerLoadSpreadsAcrossPes) {

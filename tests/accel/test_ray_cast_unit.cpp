@@ -36,7 +36,7 @@ TEST(RayCastUnit, MatchesSoftwareScanInserterStream) {
 
   map::OccupancyOctree tree(0.2);
   map::ScanInserter inserter(tree);
-  std::vector<map::VoxelUpdate> sw;
+  map::UpdateBatch sw;
   inserter.collect_updates(cloud, {0, 0, 0}, sw);
 
   ASSERT_EQ(hw.size(), sw.size());

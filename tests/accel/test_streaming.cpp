@@ -11,12 +11,12 @@
 namespace omu::accel {
 namespace {
 
-std::vector<std::vector<map::VoxelUpdate>> make_scan_batches(uint64_t seed, int scans,
+std::vector<map::UpdateBatch> make_scan_batches(uint64_t seed, int scans,
                                                              int points_per_scan) {
   geom::SplitMix64 rng(seed);
   map::OccupancyOctree tmp(0.2);
   map::ScanInserter inserter(tmp);
-  std::vector<std::vector<map::VoxelUpdate>> batches;
+  std::vector<map::UpdateBatch> batches;
   for (int s = 0; s < scans; ++s) {
     geom::PointCloud cloud;
     for (int i = 0; i < points_per_scan; ++i) {
@@ -24,7 +24,7 @@ std::vector<std::vector<map::VoxelUpdate>> make_scan_batches(uint64_t seed, int 
                                   static_cast<float>(rng.uniform(-5, 5)),
                                   static_cast<float>(rng.uniform(-1.5, 1.5))});
     }
-    std::vector<map::VoxelUpdate> updates;
+    map::UpdateBatch updates;
     inserter.collect_updates(cloud, {0, 0, 0}, updates);
     batches.push_back(std::move(updates));
   }

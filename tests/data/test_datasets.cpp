@@ -88,7 +88,7 @@ TEST_P(DatasetWorkloadFidelity, UpdatesPerPointNearPaper) {
   map::ScanInserter inserter(tree);
   uint64_t points = 0;
   uint64_t updates = 0;
-  std::vector<map::VoxelUpdate> buffer;
+  map::UpdateBatch buffer;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const DatasetScan scan = dataset.scan(i);
     points += scan.points.size();

@@ -80,7 +80,7 @@ TEST(ScanInserter, DiscretizedOccupiedWinsOverFree) {
 TEST(ScanInserter, CollectWithoutApplyLeavesTreeUntouched) {
   OccupancyOctree tree(0.2);
   ScanInserter inserter(tree);
-  std::vector<VoxelUpdate> updates;
+  UpdateBatch updates;
   inserter.collect_updates(single_point_cloud({1.1f, 0.1f, 0.1f}), {0.1, 0.1, 0.1}, updates);
   EXPECT_FALSE(updates.empty());
   EXPECT_EQ(tree.node_count(), 0u);
@@ -92,7 +92,7 @@ TEST(ScanInserter, CollectWithoutApplyLeavesTreeUntouched) {
 TEST(ScanInserter, UpdateStreamOrderIsRayOrder) {
   OccupancyOctree tree(0.2);
   ScanInserter inserter(tree);
-  std::vector<VoxelUpdate> updates;
+  UpdateBatch updates;
   inserter.collect_updates(single_point_cloud({0.9f, 0.1f, 0.1f}), {0.1, 0.1, 0.1}, updates);
   ASSERT_GE(updates.size(), 2u);
   // Free voxels first (in traversal order), occupied endpoint last.

@@ -1,0 +1,110 @@
+#include "pipeline/shard_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace omu::pipeline {
+namespace {
+
+TEST(BoundedChannel, FifoOrderAndCapacity) {
+  BoundedChannel<int> ch(4);
+  EXPECT_EQ(ch.capacity(), 4u);
+  EXPECT_TRUE(ch.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.try_push(i));
+  EXPECT_FALSE(ch.try_push(4));  // full: non-blocking push rejects
+  EXPECT_EQ(ch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = ch.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(BoundedChannel, HighWaterTracksPeakOccupancy) {
+  BoundedChannel<int> ch(8);
+  for (int i = 0; i < 5; ++i) ch.try_push(i);
+  for (int i = 0; i < 5; ++i) ch.try_pop();
+  ch.try_push(9);
+  EXPECT_EQ(ch.high_water(), 5u);
+  EXPECT_EQ(ch.total_pushes(), 6u);
+}
+
+TEST(BoundedChannel, CloseDrainsThenSignalsEndOfStream) {
+  BoundedChannel<int> ch(4);
+  ch.try_push(1);
+  ch.try_push(2);
+  ch.close();
+  EXPECT_FALSE(ch.push(3));      // producers fail fast after close
+  EXPECT_FALSE(ch.try_push(3));
+  EXPECT_EQ(ch.pop(), 1);        // queued items still drain
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_FALSE(ch.pop().has_value());  // then end-of-stream
+}
+
+TEST(BoundedChannel, PushBlocksOnFullUntilConsumerMakesRoom) {
+  BoundedChannel<int> ch(1);
+  ASSERT_TRUE(ch.push(0));
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    ch.push(1);  // must block: capacity 1, queue full
+    second_push_done.store(true);
+  });
+  // Give the producer a chance to block, then release it by consuming.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_push_done.load());
+  EXPECT_EQ(ch.pop(), 0);
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_GE(ch.blocked_pushes(), 1u);
+}
+
+TEST(BoundedChannel, PopBlocksUntilProducerDelivers) {
+  BoundedChannel<int> ch(4);
+  std::thread consumer([&] {
+    const auto v = ch.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.push(42);
+  consumer.join();
+}
+
+TEST(BoundedChannel, StressManyItemsThroughTinyQueue) {
+  // Every item pushed before close must come out exactly once, in order.
+  BoundedChannel<int> ch(2);
+  constexpr int kItems = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ch.push(i);
+    ch.close();
+  });
+  int expected = 0;
+  while (auto v = ch.pop()) {
+    EXPECT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(ch.total_pushes(), static_cast<std::size_t>(kItems));
+}
+
+TEST(BoundedChannel, MoveOnlyFriendlyPayload) {
+  // UpdateBatch-sized payloads move through without copies being required.
+  BoundedChannel<std::vector<int>> ch(2);
+  std::vector<int> big(1000, 7);
+  const int* data = big.data();
+  ch.push(std::move(big));
+  const auto out = ch.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 1000u);
+  EXPECT_EQ(out->data(), data);  // same buffer end to end: moved, not copied
+}
+
+}  // namespace
+}  // namespace omu::pipeline

@@ -1,0 +1,206 @@
+// The hard requirement of the sharded pipeline: the merged map must be
+// bit-identical to the serial ScanInserter output — same leaf log-odds,
+// same prune state — for both insert modes, any shard count, and
+// max_range-truncated scans. Key-sharding preserves per-voxel update
+// order, which is exactly what makes this hold.
+#include "pipeline/sharded_map_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/scan_inserter.hpp"
+
+namespace omu::pipeline {
+namespace {
+
+using map::InsertMode;
+using map::InsertPolicy;
+using map::OccupancyOctree;
+using map::ScanInserter;
+
+std::vector<std::pair<geom::PointCloud, geom::Vec3d>> make_scans(uint64_t seed, int scans,
+                                                                 int points_per_scan) {
+  geom::SplitMix64 rng(seed);
+  std::vector<std::pair<geom::PointCloud, geom::Vec3d>> out;
+  for (int s = 0; s < scans; ++s) {
+    geom::PointCloud cloud;
+    for (int i = 0; i < points_per_scan; ++i) {
+      cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-6, 6)),
+                                  static_cast<float>(rng.uniform(-6, 6)),
+                                  static_cast<float>(rng.uniform(-1.5, 1.5))});
+    }
+    const geom::Vec3d origin{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5), 0.0};
+    out.emplace_back(std::move(cloud), origin);
+  }
+  return out;
+}
+
+/// Builds the serial reference and the sharded map from identical scans
+/// and asserts bit-for-bit equality of the canonical leaf exports.
+void expect_equivalent(const InsertPolicy& policy, std::size_t shard_count,
+                       std::size_t queue_depth = 64, uint64_t seed = 1) {
+  const auto scans = make_scans(seed, 6, 300);
+
+  OccupancyOctree serial(0.2);
+  ScanInserter serial_inserter(serial, policy);
+  for (const auto& [cloud, origin] : scans) serial_inserter.insert_scan(cloud, origin);
+
+  ShardedPipelineConfig cfg;
+  cfg.shard_count = shard_count;
+  cfg.queue_depth = queue_depth;
+  ShardedMapPipeline pipeline(cfg);
+  ScanInserter sharded_inserter(pipeline, policy);
+  for (const auto& [cloud, origin] : scans) sharded_inserter.insert_scan(cloud, origin);
+  pipeline.flush();
+
+  // Bit-for-bit: every leaf record (key, depth, log-odds) identical, and
+  // the content hashes agree.
+  const auto expected = serial.leaves_sorted();
+  const auto actual = pipeline.leaves_sorted();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].key, expected[i].key) << i;
+    EXPECT_EQ(actual[i].depth, expected[i].depth) << i;
+    EXPECT_EQ(actual[i].log_odds, expected[i].log_odds) << i;  // exact float equality
+  }
+  EXPECT_EQ(pipeline.content_hash(), serial.content_hash());
+
+  // The merged octree carries the serial prune state too: node counts match.
+  const OccupancyOctree merged = pipeline.merged_octree();
+  EXPECT_EQ(merged.leaf_count(), serial.leaf_count());
+  EXPECT_EQ(merged.inner_count(), serial.inner_count());
+}
+
+TEST(ShardedEquivalence, RayByRayShards1) { expect_equivalent(InsertPolicy{}, 1); }
+TEST(ShardedEquivalence, RayByRayShards2) { expect_equivalent(InsertPolicy{}, 2); }
+TEST(ShardedEquivalence, RayByRayShards8) { expect_equivalent(InsertPolicy{}, 8); }
+
+TEST(ShardedEquivalence, DiscretizedShards1) {
+  InsertPolicy policy;
+  policy.mode = InsertMode::kDiscretized;
+  expect_equivalent(policy, 1, 64, 2);
+}
+TEST(ShardedEquivalence, DiscretizedShards2) {
+  InsertPolicy policy;
+  policy.mode = InsertMode::kDiscretized;
+  expect_equivalent(policy, 2, 64, 2);
+}
+TEST(ShardedEquivalence, DiscretizedShards8) {
+  InsertPolicy policy;
+  policy.mode = InsertMode::kDiscretized;
+  expect_equivalent(policy, 8, 64, 2);
+}
+
+TEST(ShardedEquivalence, MaxRangeTruncatedScan) {
+  // Truncated rays integrate free space only; the sharded path must agree.
+  InsertPolicy policy;
+  policy.max_range = 3.0;
+  expect_equivalent(policy, 8, 64, 3);
+}
+
+TEST(ShardedEquivalence, TinyQueueDepthForcesBackPressure) {
+  // queue_depth 1 makes the producer block on nearly every sub-batch; the
+  // result must still be bit-identical (back-pressure, not drops).
+  expect_equivalent(InsertPolicy{}, 4, 1, 4);
+}
+
+TEST(ShardedEquivalence, NonPowerOfTwoShardCount) {
+  // branch mod shard_count routing works for any count, like the voxel
+  // scheduler with fewer than 8 PEs.
+  expect_equivalent(InsertPolicy{}, 3, 64, 5);
+}
+
+TEST(ShardedEquivalence, CrossShardQueriesMatchSerial) {
+  const auto scans = make_scans(7, 4, 250);
+
+  OccupancyOctree serial(0.2);
+  ScanInserter serial_inserter(serial);
+  ShardedMapPipeline pipeline;
+  ScanInserter sharded_inserter(pipeline);
+  for (const auto& [cloud, origin] : scans) {
+    serial_inserter.insert_scan(cloud, origin);
+    sharded_inserter.insert_scan(cloud, origin);
+  }
+  pipeline.flush();
+
+  geom::SplitMix64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const geom::Vec3d p{rng.uniform(-7, 7), rng.uniform(-7, 7), rng.uniform(-2, 2)};
+    EXPECT_EQ(pipeline.classify(p), serial.classify(p)) << p.x << "," << p.y << "," << p.z;
+  }
+}
+
+TEST(ShardedEquivalence, RoutingMatchesVoxelSchedulerHash) {
+  ShardedPipelineConfig cfg;
+  cfg.shard_count = 8;
+  ShardedMapPipeline pipeline(cfg);
+  geom::SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const map::OcKey key{static_cast<uint16_t>(rng.next_below(65536)),
+                         static_cast<uint16_t>(rng.next_below(65536)),
+                         static_cast<uint16_t>(rng.next_below(65536))};
+    EXPECT_EQ(pipeline.shard_for_key(key), map::first_level_branch(key));
+  }
+}
+
+TEST(ShardedEquivalence, ShardStatsAccountForEveryUpdate) {
+  const auto scans = make_scans(13, 3, 200);
+  ShardedMapPipeline pipeline;
+  ScanInserter inserter(pipeline);
+  uint64_t expected_updates = 0;
+  for (const auto& [cloud, origin] : scans) {
+    expected_updates += inserter.insert_scan(cloud, origin).total_updates();
+  }
+  pipeline.flush();
+
+  uint64_t routed = 0;
+  uint64_t applied = 0;
+  for (std::size_t s = 0; s < pipeline.shard_count(); ++s) {
+    const ShardStats stats = pipeline.shard_stats(static_cast<int>(s));
+    routed += stats.updates_routed;
+    applied += stats.updates_applied;
+  }
+  EXPECT_EQ(routed, expected_updates);
+  EXPECT_EQ(applied, expected_updates);
+  EXPECT_EQ(pipeline.updates_routed(), expected_updates);
+}
+
+TEST(ShardedEquivalence, AggregateStatsMatchSerialCounters) {
+  // Per-voxel operation counts are order-independent across disjoint
+  // subtrees, so the summed shard counters must equal the serial ones
+  // (fresh child-block allocs differ by the root block bookkeeping only).
+  const auto scans = make_scans(17, 4, 250);
+
+  OccupancyOctree serial(0.2);
+  ScanInserter serial_inserter(serial);
+  ShardedMapPipeline pipeline;
+  ScanInserter sharded_inserter(pipeline);
+  for (const auto& [cloud, origin] : scans) {
+    serial_inserter.insert_scan(cloud, origin);
+    sharded_inserter.insert_scan(cloud, origin);
+  }
+  pipeline.flush();
+
+  const map::PhaseStats sharded = pipeline.aggregate_stats();
+  const map::PhaseStats& reference = serial.stats();
+  EXPECT_EQ(sharded.ray_casts, reference.ray_casts);
+  EXPECT_EQ(sharded.ray_cast_steps, reference.ray_cast_steps);
+  EXPECT_EQ(sharded.voxel_updates, reference.voxel_updates);
+  EXPECT_EQ(sharded.leaf_updates, reference.leaf_updates);
+  EXPECT_EQ(sharded.early_aborts, reference.early_aborts);
+  EXPECT_EQ(sharded.prunes, reference.prunes);
+  EXPECT_EQ(sharded.expands, reference.expands);
+}
+
+TEST(ShardedEquivalence, RejectsInvalidConfig) {
+  ShardedPipelineConfig cfg;
+  cfg.shard_count = 0;
+  EXPECT_THROW(ShardedMapPipeline{cfg}, std::invalid_argument);
+  cfg.shard_count = 4;
+  cfg.queue_depth = 0;
+  EXPECT_THROW(ShardedMapPipeline{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omu::pipeline
