@@ -6,7 +6,9 @@
 // drains the engine, queries go through the accelerator's query unit, and
 // the leaf export is the canonical depth>=1 form of the PE TreeMems (see
 // normalize_to_depth1 for why the accelerator can never merge above the
-// first level).
+// first level). The snapshot export hook rides on that same TreeMem
+// readback, so maps built on the accelerator serve the query::MapSnapshot
+// API identically to the software backends.
 #pragma once
 
 #include <string>
@@ -27,6 +29,7 @@ class AcceleratorBackend final : public map::MapBackend {
 
   std::string name() const override { return "omu-accelerator"; }
   const map::KeyCoder& coder() const override { return coder_; }
+  map::OccupancyParams occupancy_params() const override { return omu_->config().params; }
   void apply(const map::UpdateBatch& batch) override { omu_->feed_updates(batch); }
   void flush() override { omu_->flush(); }
   map::Occupancy classify(const map::OcKey& key) override { return omu_->query(key).occupancy; }

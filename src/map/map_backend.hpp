@@ -26,6 +26,16 @@
 
 namespace omu::map {
 
+/// Everything a backend exports to build an immutable map snapshot (see
+/// query::MapSnapshot): the canonical sorted leaf list plus the metric and
+/// sensor-model parameters needed to answer queries against it. Kept in
+/// the map layer so backends don't depend on the query layer.
+struct MapSnapshotData {
+  std::vector<LeafRecord> leaves;  ///< canonical (packed-key, depth) order
+  double resolution = 0.2;
+  OccupancyParams params{};
+};
+
 /// Abstract consumer of voxel-update batches.
 class MapBackend {
  public:
@@ -36,6 +46,9 @@ class MapBackend {
 
   /// The key<->metric coder of the backend's map.
   virtual const KeyCoder& coder() const = 0;
+
+  /// The sensor-model parameters the backend classifies against.
+  virtual OccupancyParams occupancy_params() const = 0;
 
   /// Integrates one batch of voxel updates (possibly asynchronously).
   virtual void apply(const UpdateBatch& batch) = 0;
@@ -56,6 +69,16 @@ class MapBackend {
   /// (up to hash collision). Backends with a native hash may override.
   virtual uint64_t content_hash() const;
 
+  /// Snapshot export hook: the canonical leaf list plus query parameters,
+  /// the input of query::MapSnapshot::build. Reflects the updates applied
+  /// so far — flush() first for a point-in-time snapshot. Asynchronous
+  /// backends whose leaf export is not safe against a concurrent apply()
+  /// may override (the sharded pipeline locks its shards; the default just
+  /// composes the virtuals above).
+  virtual MapSnapshotData export_snapshot_data() const {
+    return MapSnapshotData{leaves_sorted(), coder().resolution(), occupancy_params()};
+  }
+
   /// Where the ray-casting front-end should record its PhaseStats, or
   /// nullptr when the backend keeps no software-side counters (the caller
   /// then uses its own).
@@ -72,6 +95,7 @@ class OctreeBackend final : public MapBackend {
 
   std::string name() const override { return "octree"; }
   const KeyCoder& coder() const override { return tree_->coder(); }
+  OccupancyParams occupancy_params() const override { return tree_->params(); }
   void apply(const UpdateBatch& batch) override;
   Occupancy classify(const OcKey& key) override { return tree_->classify(key); }
   std::vector<LeafRecord> leaves_sorted() const override { return tree_->leaves_sorted(); }

@@ -1,16 +1,28 @@
 #include "map/octree_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace omu::map {
 
 namespace {
 
-constexpr char kMagic[8] = {'O', 'M', 'U', 'T', 'R', 'E', 'E', '1'};
+// Format v2: magic + u64 payload size + payload + u64 FNV-1a of the
+// payload. The trailing checksum turns any bit corruption — not just
+// structural damage — into a clean read error instead of a silently
+// different map. v1 files (unframed, no checksum) are still readable.
+constexpr char kMagic[8] = {'O', 'M', 'U', 'T', 'R', 'E', 'E', '2'};
+constexpr char kMagicV1[8] = {'O', 'M', 'U', 'T', 'R', 'E', 'E', '1'};
+
+/// Upper bound on a plausible serialized tree (the 5-byte/node payload of
+/// a fully expanded pool would be far below this); anything larger is a
+/// corrupt size field and must not be handed to the allocator.
+constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 32;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -25,19 +37,34 @@ T read_pod(std::istream& is) {
   return v;
 }
 
+uint64_t fnv1a(const std::string& bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 void OctreeIo::write(const OccupancyOctree& tree, std::ostream& os) {
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, tree.resolution());
+  std::ostringstream payload(std::ios::binary);
+  write_pod(payload, tree.resolution());
   const OccupancyParams& p = tree.params();
-  write_pod(os, p.log_hit);
-  write_pod(os, p.log_miss);
-  write_pod(os, p.clamp_min);
-  write_pod(os, p.clamp_max);
-  write_pod(os, p.occ_threshold);
-  write_pod(os, static_cast<uint8_t>(p.quantized ? 1 : 0));
-  write_recurs(tree, 0, os);
+  write_pod(payload, p.log_hit);
+  write_pod(payload, p.log_miss);
+  write_pod(payload, p.clamp_min);
+  write_pod(payload, p.clamp_max);
+  write_pod(payload, p.occ_threshold);
+  write_pod(payload, static_cast<uint8_t>(p.quantized ? 1 : 0));
+  write_recurs(tree, 0, payload);
+
+  const std::string bytes = std::move(payload).str();
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, static_cast<uint64_t>(bytes.size()));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  write_pod(os, fnv1a(bytes));
   if (!os) throw std::runtime_error("OctreeIo: write failure");
 }
 
@@ -54,9 +81,41 @@ void OctreeIo::write_recurs(const OccupancyOctree& tree, int32_t node_idx, std::
 OccupancyOctree OctreeIo::read(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!is) throw std::runtime_error("OctreeIo: bad magic");
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    // Legacy v1: the node stream follows the header directly, unframed and
+    // without a checksum — corruption detection is structural only.
+    return read_payload(is);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("OctreeIo: bad magic");
   }
+  const auto payload_size = read_pod<uint64_t>(is);
+  if (payload_size > kMaxPayloadBytes) {
+    throw std::runtime_error("OctreeIo: implausible payload size (corrupt stream)");
+  }
+  // Read in bounded chunks so a corrupt (inflated) size field fails on the
+  // actual stream length instead of committing a giant upfront allocation.
+  std::string bytes;
+  char chunk[64 * 1024];
+  for (uint64_t remaining = payload_size; remaining > 0;) {
+    const auto n = static_cast<std::streamsize>(
+        std::min<uint64_t>(remaining, sizeof(chunk)));
+    is.read(chunk, n);
+    if (!is) throw std::runtime_error("OctreeIo: truncated stream");
+    bytes.append(chunk, static_cast<std::size_t>(n));
+    remaining -= static_cast<uint64_t>(n);
+  }
+  const auto stored_hash = read_pod<uint64_t>(is);
+  if (stored_hash != fnv1a(bytes)) {
+    throw std::runtime_error("OctreeIo: checksum mismatch (corrupt stream)");
+  }
+
+  std::istringstream payload(std::move(bytes), std::ios::binary);
+  return read_payload(payload);
+}
+
+OccupancyOctree OctreeIo::read_payload(std::istream& is) {
   const double resolution = read_pod<double>(is);
   if (!(resolution > 0.0)) throw std::runtime_error("OctreeIo: invalid resolution");
   OccupancyParams p;

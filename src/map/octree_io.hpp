@@ -3,6 +3,13 @@
 // A compact pre-order stream (state byte + log-odds per known node),
 // analogous to OctoMap's .ot format. Round-tripping preserves map content
 // exactly, including pruned-leaf structure and inner-node values.
+//
+// Format v2 frames the payload with its length and a trailing FNV-1a
+// checksum, so truncated or bit-flipped streams are rejected with a clean
+// std::runtime_error — never a crash, never a silently different map
+// (tests/map/test_octree_io.cpp fuzzes both corruption classes). Files
+// written by the v1 format are still readable (structural checks only; no
+// checksum existed to verify).
 #pragma once
 
 #include <iosfwd>
@@ -30,6 +37,7 @@ class OctreeIo {
 
  private:
   static void write_recurs(const OccupancyOctree& tree, int32_t node_idx, std::ostream& os);
+  static OccupancyOctree read_payload(std::istream& is);
   static void read_recurs(std::istream& is, OccupancyOctree& tree, int32_t node_idx, int depth);
 };
 

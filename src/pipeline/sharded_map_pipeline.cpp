@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "query/query_service.hpp"
+
 namespace omu::pipeline {
 
 ShardedMapPipeline::ShardedMapPipeline(const ShardedPipelineConfig& config)
@@ -64,6 +66,11 @@ void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
     split[static_cast<std::size_t>(shard_for_key(u.key))].push(u.key, u.occupied);
   }
 
+  // Producer token: holds in_flight_ above zero for the whole routing loop
+  // so a concurrent flush() cannot observe (and publish) a half-routed
+  // batch between two shards' pushes.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
   for (std::size_t s = 0; s < n; ++s) {
     Shard& shard = *shards_[s];
     const std::size_t count = split[s].size();
@@ -72,18 +79,69 @@ void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     if (shard.channel.push(std::move(split[s]))) {
       shard.updates_routed += count;
-      updates_routed_ += count;
-    } else if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      updates_routed_.fetch_add(count, std::memory_order_relaxed);
+    } else {
       // Channel closed (destruction race): the sub-batch was dropped, so
-      // undo the in-flight accounting — through the same notify path the
-      // workers use, in case a flush() is already waiting.
-      { std::lock_guard lock(flush_mutex_); }
-      idle_cv_.notify_all();
+      // undo its in-flight accounting. The producer token below keeps the
+      // count above zero, so no notify can be needed here.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     }
+  }
+
+  // Release the producer token; if every routed sub-batch already retired,
+  // wake flush() waiters through the same notify path the workers use.
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard lock(flush_mutex_); }
+    idle_cv_.notify_all();
   }
 }
 
 void ShardedMapPipeline::flush() {
+  wait_until_idle();
+  if (query_service_ == nullptr) return;
+
+  // Publish outside flush_mutex_: the snapshot export takes each shard's
+  // tree mutex, and holding flush_mutex_ through that would stall workers
+  // on their retirement notify. The export and the publish sit in one
+  // critical section so two concurrent flush() callers cannot publish out
+  // of order (a stale export must not land under a newer epoch).
+  std::lock_guard publish_lock(publish_hook_mutex_);
+  for (;;) {
+    // Bracketing order matters: read the routed count, then confirm idle
+    // with an acquire load. idle-after-count proves every update counted
+    // in routed_before has retired into its shard tree (the worker's
+    // release decrement makes the tree writes visible), so the export
+    // below starts from fully integrated state.
+    const uint64_t routed_before = updates_routed_.load(std::memory_order_relaxed);
+    if (in_flight_.load(std::memory_order_acquire) != 0) {
+      wait_until_idle();
+      continue;
+    }
+    if (published_once_ && routed_before == published_routed_) {
+      // Nothing new since the last publication: a freshness poll on an
+      // idle map republishing identical content would only burn rebuilds.
+      return;
+    }
+    map::MapSnapshotData data = export_snapshot_data();
+    // Re-check after the export: an apply() racing this (foreign) flush
+    // could have landed updates on some shards mid-export, making the
+    // view torn across shards. Any such batch holds the producer token
+    // (in_flight_) until routing completes and bumps the routed count, so
+    // a stable pair brackets a consistent export. (The acquire load comes
+    // first: it synchronizes with the token's release, making a racing
+    // apply's routed increment visible to the comparison.)
+    if (in_flight_.load(std::memory_order_acquire) == 0 &&
+        updates_routed_.load(std::memory_order_relaxed) == routed_before) {
+      query_service_->publish(std::move(data));
+      published_routed_ = routed_before;
+      published_once_ = true;
+      return;
+    }
+    wait_until_idle();
+  }
+}
+
+void ShardedMapPipeline::wait_until_idle() {
   std::unique_lock lock(flush_mutex_);
   idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
 }

@@ -32,6 +32,10 @@
 #include "map/update_batch.hpp"
 #include "pipeline/shard_channel.hpp"
 
+namespace omu::query {
+class QueryService;
+}
+
 namespace omu::pipeline {
 
 /// Construction parameters of the sharded pipeline.
@@ -72,13 +76,25 @@ class ShardedMapPipeline final : public map::MapBackend {
 
   std::string name() const override;
   const map::KeyCoder& coder() const override { return coder_; }
+  map::OccupancyParams occupancy_params() const override { return cfg_.params; }
 
   /// Routes the batch across the shard channels (blocking on a full shard
-  /// queue) and returns; the workers apply it asynchronously.
+  /// queue) and returns; the workers apply it asynchronously. Single
+  /// producer: apply() must not be called from two threads concurrently
+  /// (routing counters and channel order assume one dispatch stream, like
+  /// the accelerator's scheduler port). flush() and queries are safe from
+  /// any thread.
   void apply(const map::UpdateBatch& batch) override;
 
-  /// Blocks until every routed update has been applied to its shard tree.
+  /// Blocks until every routed update has been applied to its shard tree,
+  /// then publishes a snapshot to the attached query service (if any) —
+  /// flush() is the epoch boundary concurrent readers observe.
   void flush() override;
+
+  /// Attaches a query service that receives a fresh MapSnapshot at every
+  /// flush boundary. Pass nullptr to detach. Not synchronized against a
+  /// concurrent flush(): attach before the ingest loop starts.
+  void attach_query_service(query::QueryService* service) { query_service_ = service; }
 
   /// Classifies a voxel against its owning shard's live tree. Reflects
   /// the updates applied so far; call flush() first for a barrier.
@@ -106,7 +122,7 @@ class ShardedMapPipeline final : public map::MapBackend {
   ShardStats shard_stats(int shard) const;
 
   /// Updates routed across all shards so far.
-  uint64_t updates_routed() const { return updates_routed_; }
+  uint64_t updates_routed() const { return updates_routed_.load(std::memory_order_relaxed); }
 
   /// Reconstructs the merged map as one octree (the serial-equivalent
   /// form); also the DMA-readback analogue of OmuAccelerator::to_octree.
@@ -132,18 +148,24 @@ class ShardedMapPipeline final : public map::MapBackend {
   };
 
   void worker_loop(Shard& shard);
+  void wait_until_idle();
 
   ShardedPipelineConfig cfg_;
   map::KeyCoder coder_;
   std::vector<std::unique_ptr<Shard>> shards_;
   map::PhaseStats ray_stats_;
+  query::QueryService* query_service_ = nullptr;  ///< snapshot sink at flush
+  std::mutex publish_hook_mutex_;  ///< orders concurrent flush() export+publish pairs
 
-  // Drain barrier: sub-batches in flight between apply() and retirement.
+  // Drain barrier: sub-batches in flight between apply() and retirement
+  // (plus a producer token held across apply()'s routing loop).
   std::atomic<uint64_t> in_flight_{0};
   std::mutex flush_mutex_;
   std::condition_variable idle_cv_;
 
-  uint64_t updates_routed_ = 0;
+  std::atomic<uint64_t> updates_routed_{0};
+  uint64_t published_routed_ = 0;   // guarded by publish_hook_mutex_
+  bool published_once_ = false;     // guarded by publish_hook_mutex_
 };
 
 }  // namespace omu::pipeline

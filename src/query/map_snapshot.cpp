@@ -1,0 +1,193 @@
+#include "query/map_snapshot.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace omu::query {
+
+namespace {
+
+/// Canonical leaf order: packed key, then depth (the leaves_sorted()
+/// contract every backend exports in).
+bool canonical_less(const map::LeafRecord& a, const map::LeafRecord& b) {
+  if (a.key.packed() != b.key.packed()) return a.key.packed() < b.key.packed();
+  return a.depth < b.depth;
+}
+
+/// Binary search in a sorted packed-key array; returns the value at the
+/// matching index, or nullopt.
+std::optional<float> find_packed(const std::vector<uint64_t>& keys,
+                                 const std::vector<float>& values, uint64_t packed) {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), packed);
+  if (it == keys.end() || *it != packed) return std::nullopt;
+  return values[static_cast<std::size_t>(it - keys.begin())];
+}
+
+}  // namespace
+
+std::shared_ptr<const MapSnapshot> MapSnapshot::build(map::MapSnapshotData data, uint64_t epoch) {
+  return std::shared_ptr<const MapSnapshot>(new MapSnapshot(std::move(data), epoch));
+}
+
+std::shared_ptr<const MapSnapshot> MapSnapshot::capture(map::MapBackend& backend,
+                                                        uint64_t epoch) {
+  backend.flush();
+  return build(backend.export_snapshot_data(), epoch);
+}
+
+MapSnapshot::MapSnapshot(map::MapSnapshotData data, uint64_t epoch)
+    : coder_(data.resolution),
+      params_(data.params.quantized ? data.params.snapped_to_fixed_point() : data.params),
+      epoch_(epoch),
+      leaves_(std::move(data.leaves)) {
+  // Defensive re-sort: backends export in canonical order already, so this
+  // is a no-op pass for them, but build() accepts any leaf list.
+  std::sort(leaves_.begin(), leaves_.end(), canonical_less);
+  content_hash_ = map::hash_leaf_records(map::normalize_to_depth1(leaves_));
+
+  // Root node. A single depth-0 record is a fully collapsed map.
+  if (leaves_.empty()) {
+    root_ = NodeLookup{NodeKind::kUnknown, 0.0f};
+    return;
+  }
+  if (leaves_.size() == 1 && leaves_[0].depth == 0) {
+    root_ = NodeLookup{NodeKind::kLeaf, leaves_[0].log_odds};
+    return;
+  }
+
+  // Bucket leaves by (first-level branch, depth) and reconstruct the inner
+  // nodes by folding each leaf's value into every ancestor level — the max
+  // over descendant leaves is exactly the octree's parent max-propagation.
+  std::array<std::array<std::unordered_map<uint64_t, float>, map::kTreeDepth + 1>, 8> inner;
+  float root_max = leaves_[0].log_odds;
+  for (const map::LeafRecord& leaf : leaves_) {
+    root_max = std::max(root_max, leaf.log_odds);
+    const int b = map::first_level_branch(leaf.key);
+    Level& level = branches_[static_cast<std::size_t>(b)].levels[static_cast<std::size_t>(leaf.depth)];
+    level.leaf_keys.push_back(leaf.key.packed());
+    level.leaf_values.push_back(leaf.log_odds);
+    for (int d = 1; d < leaf.depth; ++d) {
+      const uint64_t packed = map::key_at_depth(leaf.key, d).packed();
+      auto [it, inserted] =
+          inner[static_cast<std::size_t>(b)][static_cast<std::size_t>(d)].try_emplace(
+              packed, leaf.log_odds);
+      if (!inserted) it->second = std::max(it->second, leaf.log_odds);
+    }
+  }
+  root_ = NodeLookup{NodeKind::kInner, root_max};
+
+  for (std::size_t b = 0; b < 8; ++b) {
+    for (int d = 1; d <= map::kTreeDepth; ++d) {
+      Level& level = branches_[b].levels[static_cast<std::size_t>(d)];
+      // Leaf arrays arrive in canonical packed order (leaves_ is sorted and
+      // bucketing preserves relative order), so they are already sorted.
+      auto& agg = inner[b][static_cast<std::size_t>(d)];
+      level.inner_keys.reserve(agg.size());
+      for (const auto& [packed, value] : agg) level.inner_keys.push_back(packed);
+      std::sort(level.inner_keys.begin(), level.inner_keys.end());
+      level.inner_max.resize(level.inner_keys.size());
+      for (std::size_t i = 0; i < level.inner_keys.size(); ++i) {
+        level.inner_max[i] = agg.at(level.inner_keys[i]);
+      }
+    }
+  }
+}
+
+MapSnapshot::NodeLookup MapSnapshot::node_at(const map::OcKey& key, int depth) const {
+  if (depth == 0) return root_;
+  const Level& level = branches_[static_cast<std::size_t>(map::first_level_branch(key))]
+                           .levels[static_cast<std::size_t>(depth)];
+  const uint64_t packed = map::key_at_depth(key, depth).packed();
+  if (const auto leaf = find_packed(level.leaf_keys, level.leaf_values, packed)) {
+    return NodeLookup{NodeKind::kLeaf, *leaf};
+  }
+  if (const auto max = find_packed(level.inner_keys, level.inner_max, packed)) {
+    return NodeLookup{NodeKind::kInner, *max};
+  }
+  return NodeLookup{NodeKind::kUnknown, 0.0f};
+}
+
+std::optional<SnapshotNodeView> MapSnapshot::search(const map::OcKey& key, int max_depth) const {
+  NodeLookup node = root_;
+  if (node.kind == NodeKind::kUnknown) return std::nullopt;
+  int depth = 0;
+  while (depth < max_depth && node.kind == NodeKind::kInner) {
+    node = node_at(key, depth + 1);
+    ++depth;
+    if (node.kind == NodeKind::kUnknown) return std::nullopt;
+  }
+  return SnapshotNodeView{node.value, depth, node.kind == NodeKind::kLeaf};
+}
+
+map::Occupancy MapSnapshot::classify(const map::OcKey& key, int max_depth) const {
+  const auto view = search(key, max_depth);
+  if (!view) return map::Occupancy::kUnknown;
+  return params_.classify(view->log_odds);
+}
+
+map::Occupancy MapSnapshot::classify(const geom::Vec3d& position) const {
+  const auto key = coder_.key_for(position);
+  if (!key) return map::Occupancy::kUnknown;
+  return classify(*key);
+}
+
+void MapSnapshot::classify_batch(const std::vector<map::OcKey>& keys,
+                                 std::vector<map::Occupancy>& out, int max_depth) const {
+  out.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) out[i] = classify(keys[i], max_depth);
+}
+
+bool MapSnapshot::any_occupied_in_box(const geom::Aabb& box,
+                                      bool treat_unknown_as_occupied) const {
+  return box_recurs(map::OcKey{}, 0, box, treat_unknown_as_occupied);
+}
+
+bool MapSnapshot::box_recurs(const map::OcKey& base, int depth, const geom::Aabb& box,
+                             bool unknown_occupied) const {
+  const double res = coder_.resolution();
+  const double size = coder_.node_size(depth);
+  const geom::Vec3d lo{(static_cast<double>(base[0]) - map::kKeyOrigin) * res,
+                       (static_cast<double>(base[1]) - map::kKeyOrigin) * res,
+                       (static_cast<double>(base[2]) - map::kKeyOrigin) * res};
+  if (!geom::Aabb{lo, lo + geom::Vec3d{size, size, size}}.intersects(box)) return false;
+
+  const NodeLookup node = node_at(base, depth);
+  switch (node.kind) {
+    case NodeKind::kUnknown:
+      return unknown_occupied;
+    case NodeKind::kLeaf:
+      return params_.classify(node.value) == map::Occupancy::kOccupied;
+    case NodeKind::kInner:
+      break;
+  }
+  // Max-propagation prune (the octree descends instead, with the same
+  // outcome): a subtree whose max is not occupied can only answer true
+  // through an unknown octant.
+  if (!unknown_occupied && params_.classify(node.value) != map::Occupancy::kOccupied) {
+    return false;
+  }
+  const int bit = map::kTreeDepth - 1 - depth;
+  for (int i = 0; i < 8; ++i) {
+    map::OcKey child_base = base;
+    child_base[0] |= static_cast<uint16_t>((i & 1) << bit);
+    child_base[1] |= static_cast<uint16_t>(((i >> 1) & 1) << bit);
+    child_base[2] |= static_cast<uint16_t>(((i >> 2) & 1) << bit);
+    if (box_recurs(child_base, depth + 1, box, unknown_occupied)) return true;
+  }
+  return false;
+}
+
+std::size_t MapSnapshot::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) + leaves_.capacity() * sizeof(map::LeafRecord);
+  for (const Branch& branch : branches_) {
+    for (const Level& level : branch.levels) {
+      bytes += level.leaf_keys.capacity() * sizeof(uint64_t) +
+               level.leaf_values.capacity() * sizeof(float) +
+               level.inner_keys.capacity() * sizeof(uint64_t) +
+               level.inner_max.capacity() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace omu::query

@@ -1,0 +1,145 @@
+// Immutable, flattened snapshot of an occupancy map — the read side of the
+// concurrent Voxel Query service (paper Sec. V, Fig. 4).
+//
+// A MapSnapshot is built from any MapBackend's canonical leaves_sorted()
+// export and never mutated afterwards, so any number of reader threads can
+// answer point, batch, multi-resolution and AABB queries against it with
+// no synchronization at all while the writer keeps integrating scans into
+// the live map. This is the same reader/writer decoupling OHM and the
+// OpenVDB mapping pipeline get from immutable/flattened map views.
+//
+// Representation: the canonical packed-key-sorted leaf array, plus a
+// first-level index — leaves and (reconstructed) inner nodes are bucketed
+// by the root child octant the OMU voxel scheduler routes by, then by
+// depth, as flat sorted arrays of packed aligned keys. Every query is a
+// short chain of binary searches; inner-node values are the max over the
+// descendant leaves, which is bit-identical to the octree's parent
+// max-propagation (max over the same floats is associative), so snapshot
+// answers match a flushed serial classify()/search() exactly — the
+// property tests/query/test_snapshot_equivalence.cpp enforces across all
+// three backends.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "map/map_backend.hpp"
+#include "map/ockey.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/occupancy_params.hpp"
+
+namespace omu::query {
+
+/// Read-only view of the node a snapshot query terminated at (the
+/// flattened analogue of map::NodeView).
+struct SnapshotNodeView {
+  float log_odds = 0.0f;
+  int depth = 0;
+  bool is_leaf = true;
+};
+
+/// The immutable flattened map snapshot. Construction is the only mutation;
+/// all query methods are const and safe to call from any number of threads
+/// concurrently. Always held by shared_ptr (see build) so readers keep a
+/// snapshot alive across a concurrent publication of its successor.
+class MapSnapshot {
+ public:
+  /// Builds a snapshot from a backend's export. `epoch` tags the snapshot
+  /// with its publication sequence number (see QueryService).
+  static std::shared_ptr<const MapSnapshot> build(map::MapSnapshotData data, uint64_t epoch = 0);
+
+  /// Convenience: flushes the backend and snapshots its current content.
+  static std::shared_ptr<const MapSnapshot> capture(map::MapBackend& backend, uint64_t epoch = 0);
+
+  // ---- Point queries -----------------------------------------------------
+
+  /// Finds the deepest node covering `key`, descending at most to
+  /// `max_depth` — identical semantics to OccupancyOctree::search.
+  std::optional<SnapshotNodeView> search(const map::OcKey& key,
+                                         int max_depth = map::kTreeDepth) const;
+
+  /// Classifies the voxel at `key`; `max_depth` < 16 answers at coarser
+  /// resolution from the reconstructed inner-node max values.
+  map::Occupancy classify(const map::OcKey& key, int max_depth = map::kTreeDepth) const;
+
+  /// Classifies a metric position (out-of-range -> unknown).
+  map::Occupancy classify(const geom::Vec3d& position) const;
+
+  // ---- Batch / box queries ----------------------------------------------
+
+  /// Classifies a batch of keys (collision-checking a whole trajectory in
+  /// one call); out[i] corresponds to keys[i].
+  void classify_batch(const std::vector<map::OcKey>& keys,
+                      std::vector<map::Occupancy>& out,
+                      int max_depth = map::kTreeDepth) const;
+
+  /// True if any voxel intersecting the metric box is occupied — identical
+  /// semantics to OccupancyOctree::any_occupied_in_box, including the
+  /// conservative treat-unknown-as-occupied mode.
+  bool any_occupied_in_box(const geom::Aabb& box, bool treat_unknown_as_occupied = false) const;
+
+  // ---- Introspection -----------------------------------------------------
+
+  const map::KeyCoder& coder() const { return coder_; }
+  const map::OccupancyParams& params() const { return params_; }
+  double resolution() const { return coder_.resolution(); }
+  uint64_t epoch() const { return epoch_; }
+  std::size_t leaf_count() const { return leaves_.size(); }
+  bool empty() const { return leaves_.empty(); }
+
+  /// The canonical sorted leaf array the snapshot was built from.
+  const std::vector<map::LeafRecord>& leaves() const { return leaves_; }
+
+  /// Hash of the canonical leaf content, comparable with the backends'
+  /// content_hash() (same depth>=1 normalization).
+  uint64_t content_hash() const { return content_hash_; }
+
+  /// Approximate memory footprint of the flattened structure in bytes.
+  std::size_t memory_bytes() const;
+
+ private:
+  MapSnapshot(map::MapSnapshotData data, uint64_t epoch);
+
+  /// One depth level of one first-level branch: parallel sorted arrays of
+  /// packed depth-aligned keys and node values.
+  struct Level {
+    std::vector<uint64_t> leaf_keys;
+    std::vector<float> leaf_values;
+    std::vector<uint64_t> inner_keys;
+    std::vector<float> inner_max;  ///< max log-odds over descendant leaves
+  };
+
+  /// First-level index: the per-branch bucket of levels 1..16 (index 0 of
+  /// `levels` is unused; the root is held explicitly below).
+  struct Branch {
+    std::array<Level, map::kTreeDepth + 1> levels;
+  };
+
+  enum class NodeKind : uint8_t { kUnknown, kLeaf, kInner };
+  struct NodeLookup {
+    NodeKind kind = NodeKind::kUnknown;
+    float value = 0.0f;
+  };
+
+  /// Node at (aligned key, depth) — kLeaf with its value, kInner with the
+  /// subtree max, or kUnknown.
+  NodeLookup node_at(const map::OcKey& key, int depth) const;
+
+  bool box_recurs(const map::OcKey& base, int depth, const geom::Aabb& box,
+                  bool unknown_occupied) const;
+
+  map::KeyCoder coder_;
+  map::OccupancyParams params_;
+  uint64_t epoch_ = 0;
+  uint64_t content_hash_ = 0;
+  std::vector<map::LeafRecord> leaves_;
+  NodeLookup root_;  ///< the depth-0 node
+  std::array<Branch, 8> branches_;
+};
+
+}  // namespace omu::query

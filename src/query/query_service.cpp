@@ -1,0 +1,73 @@
+#include "query/query_service.hpp"
+
+namespace omu::query {
+
+std::atomic<uint64_t> QueryService::next_version_{1};
+
+QueryService::ReaderCacheEntry& QueryService::reader_cache_entry() const {
+  thread_local ReaderCache cache;
+  for (ReaderCacheEntry& entry : cache.entries) {
+    if (entry.service == this) return entry;
+  }
+  // Miss: recycle a slot round-robin (an unused slot still has
+  // service == nullptr and loses first).
+  for (ReaderCacheEntry& entry : cache.entries) {
+    if (entry.service == nullptr) return entry;
+  }
+  ReaderCacheEntry& victim = cache.entries[cache.next_evict];
+  cache.next_evict = (cache.next_evict + 1) % cache.entries.size();
+  victim = ReaderCacheEntry{};
+  return victim;
+}
+
+QueryService::QueryService() { swap_in(MapSnapshot::build(map::MapSnapshotData{}, 0)); }
+
+std::shared_ptr<const MapSnapshot> QueryService::snapshot() const {
+  ReaderCacheEntry& cache = reader_cache_entry();
+  // Fast path: nothing published since this thread last looked — the
+  // acquire load pairs with the release store in swap_in, so the cached
+  // pointer's contents are fully visible.
+  if (cache.service == this &&
+      cache.version == current_version_.load(std::memory_order_acquire)) {
+    return cache.snapshot;
+  }
+  // Publication boundary (or first read of this service on this thread):
+  // refresh the entry under the swap mutex (pointer copy only; the
+  // publisher never builds while holding it).
+  std::lock_guard lock(swap_mutex_);
+  cache.service = this;
+  cache.version = current_version_.load(std::memory_order_relaxed);
+  cache.snapshot = current_;
+  return cache.snapshot;
+}
+
+void QueryService::swap_in(std::shared_ptr<const MapSnapshot> next) {
+  const uint64_t version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const MapSnapshot> retired;
+  {
+    std::lock_guard lock(swap_mutex_);
+    retired = std::move(current_);
+    current_ = std::move(next);
+    current_version_.store(version, std::memory_order_release);
+  }
+  // `retired` tears down here, outside swap_mutex_: when no reader still
+  // holds the superseded snapshot, its (potentially multi-MiB) flattened
+  // arrays free on the publisher's time, not under the readers' mutex.
+}
+
+uint64_t QueryService::publish(map::MapSnapshotData data) {
+  // Serialize publishers so epochs stay dense and monotonic; the build —
+  // the expensive part — happens here, outside the readers' swap mutex.
+  std::lock_guard lock(publish_mutex_);
+  const uint64_t epoch = publications_.load(std::memory_order_relaxed) + 1;
+  swap_in(MapSnapshot::build(std::move(data), epoch));
+  publications_.store(epoch, std::memory_order_release);
+  return epoch;
+}
+
+uint64_t QueryService::refresh_from(map::MapBackend& backend) {
+  backend.flush();
+  return publish(backend.export_snapshot_data());
+}
+
+}  // namespace omu::query

@@ -1,0 +1,131 @@
+// The concurrent Voxel Query service (paper Sec. V): snapshot publication
+// and the lock-free read path.
+//
+// Downstream consumers — collision checking, planners — hammer the map
+// with reads while scans stream in. The service decouples them from the
+// writer with immutable MapSnapshots published double-buffer style: the
+// writer builds the next snapshot off to the side and swaps it in; the
+// shared_ptr refcount keeps a superseded snapshot alive until its last
+// reader drops it.
+//
+// Read path: each reader thread caches the shared_ptr of the snapshot it
+// last saw, validated by a single atomic version load per snapshot()
+// call. In steady state a snapshot() call costs that version load plus
+// one refcount increment on the snapshot's control block (shared across
+// readers — batch queries against one returned pointer to avoid even
+// that), and never a lock. Only when a new
+// epoch has been published does the calling thread refresh its cached
+// reference under a brief pointer-swap mutex (once per publication per
+// thread; snapshot *construction* happens outside that mutex, so readers
+// never wait on a build). We deliberately avoid std::atomic<shared_ptr>:
+// libstdc++'s lock-bit implementation unlocks its reader side with a
+// relaxed RMW, which ThreadSanitizer (correctly, per the letter of the
+// memory model) reports as a data race against the writer's pointer swap.
+//
+// Staleness bound: readers see exactly the map content as of the epoch's
+// flush boundary; updates applied after the latest publish are invisible
+// until the next one. Epochs increase by one per publication, so a reader
+// can detect how far behind its snapshot is. A thread that stops calling
+// snapshot() keeps at most a few superseded snapshots alive through its
+// cache (one per service in its cache slots).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "map/map_backend.hpp"
+#include "query/map_snapshot.hpp"
+
+namespace omu::query {
+
+/// Publishes immutable map snapshots to concurrent readers.
+class QueryService {
+ public:
+  /// Starts with an empty (all-unknown) placeholder snapshot at epoch 0,
+  /// so readers never observe a null snapshot.
+  QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- Read path (lock-free in steady state, any thread) ----------------
+
+  /// The current snapshot. One atomic version check against the calling
+  /// thread's cached reference; hold the returned pointer for as many
+  /// queries as the read batch needs — every query against one snapshot
+  /// sees one consistent map state.
+  std::shared_ptr<const MapSnapshot> snapshot() const;
+
+  /// One-shot conveniences forwarding to the current snapshot.
+  map::Occupancy classify(const map::OcKey& key, int max_depth = map::kTreeDepth) const {
+    return snapshot()->classify(key, max_depth);
+  }
+  map::Occupancy classify(const geom::Vec3d& position) const {
+    return snapshot()->classify(position);
+  }
+  void classify_batch(const std::vector<map::OcKey>& keys, std::vector<map::Occupancy>& out,
+                      int max_depth = map::kTreeDepth) const {
+    snapshot()->classify_batch(keys, out, max_depth);
+  }
+  bool any_occupied_in_box(const geom::Aabb& box, bool treat_unknown_as_occupied = false) const {
+    return snapshot()->any_occupied_in_box(box, treat_unknown_as_occupied);
+  }
+
+  // ---- Write path (publishers serialize on a writer mutex) --------------
+
+  /// Builds a snapshot from exported data and publishes it under the next
+  /// epoch. Returns that epoch. The build runs outside the reader-visible
+  /// swap mutex; only the pointer swap itself excludes readers.
+  uint64_t publish(map::MapSnapshotData data);
+
+  /// Flushes the backend and publishes its current content: the epoch
+  /// boundary a caller invokes at the cadence its consumers need. Don't
+  /// combine with ShardedMapPipeline::attach_query_service on the same
+  /// backend — its flush() already publishes, so refresh_from would build
+  /// and publish the identical content a second time (two epochs per
+  /// refresh). Pick one publication path: attach (publish every flush) or
+  /// refresh_from (publish on the caller's schedule).
+  uint64_t refresh_from(map::MapBackend& backend);
+
+  // ---- Introspection -----------------------------------------------------
+
+  /// Epoch of the current snapshot (0 = the construction placeholder).
+  uint64_t epoch() const { return snapshot()->epoch(); }
+
+  /// Total snapshots published (excluding the placeholder).
+  uint64_t publications() const { return publications_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Per-thread cache of the last snapshots a thread observed, a few
+  /// services wide so a thread reading several maps (local costmap +
+  /// global map) keeps the lock-free fast path on each. `service` is only
+  /// ever compared, never dereferenced, and `version` values are
+  /// process-globally unique, so a stale entry (even one naming a
+  /// destroyed service whose address was reused) can never validate.
+  struct ReaderCacheEntry {
+    const QueryService* service = nullptr;
+    uint64_t version = 0;
+    std::shared_ptr<const MapSnapshot> snapshot;
+  };
+  struct ReaderCache {
+    std::array<ReaderCacheEntry, 4> entries;
+    std::size_t next_evict = 0;  ///< round-robin victim on a miss
+  };
+  ReaderCacheEntry& reader_cache_entry() const;
+
+  void swap_in(std::shared_ptr<const MapSnapshot> next);
+
+  std::shared_ptr<const MapSnapshot> current_;  ///< guarded by swap_mutex_
+  mutable std::mutex swap_mutex_;  ///< guards current_; held only across pointer swaps
+  std::atomic<uint64_t> current_version_{0};  ///< globally unique per publication
+  std::mutex publish_mutex_;  ///< serializes publishers (and their builds)
+  std::atomic<uint64_t> publications_{0};
+
+  static std::atomic<uint64_t> next_version_;
+};
+
+}  // namespace omu::query

@@ -1,7 +1,15 @@
 // Property-based invariants of the occupancy octree, swept over random
-// workload seeds with TEST_P. These are the structural guarantees the
-// prune/expand machinery must never violate.
+// workload seeds x map resolutions with TEST_P. These are the structural
+// guarantees the prune/expand machinery must never violate, and the
+// contract the snapshot query layer (src/query) reconstructs its flattened
+// view from: parent = max over children at every inner node, prune is
+// idempotent, and classify() is consistent with the canonical
+// leaves_sorted() export.
 #include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <tuple>
 
 #include "geom/rng.hpp"
 #include "map/occupancy_octree.hpp"
@@ -19,11 +27,15 @@ OcKey random_key(geom::SplitMix64& rng, int span) {
                             static_cast<uint64_t>(span) / 2)};
 }
 
-class OctreeProperty : public ::testing::TestWithParam<uint64_t> {
+/// Param: (workload seed, map resolution in metres).
+class OctreeProperty : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {
  protected:
+  uint64_t seed() const { return std::get<0>(GetParam()); }
+  double resolution() const { return std::get<1>(GetParam()); }
+
   OccupancyOctree random_tree(int updates, int span) {
-    OccupancyOctree tree(0.2);
-    geom::SplitMix64 rng(GetParam());
+    OccupancyOctree tree(resolution());
+    geom::SplitMix64 rng(seed());
     for (int i = 0; i < updates; ++i) {
       tree.update_node(random_key(rng, span), rng.next_below(100) < 45);
     }
@@ -40,6 +52,33 @@ TEST_P(OctreeProperty, InnerValuesAreMaxOfChildren) {
       const auto ancestor = tree.search(key, d);
       ASSERT_TRUE(ancestor.has_value());
       EXPECT_GE(ancestor->log_odds, value - 1e-6f);
+    }
+  });
+}
+
+TEST_P(OctreeProperty, InnerValuesEqualMaxOverDescendantLeavesExactly) {
+  // The strict form of max-propagation: the value of every inner node is
+  // bit-exactly the max over the leaves below it (max over the same floats
+  // is associative, so this pins the stored parent values, not just an
+  // inequality). This is precisely the reconstruction MapSnapshot performs.
+  const OccupancyOctree tree = random_tree(3000, 20);
+  std::array<std::map<uint64_t, float>, kTreeDepth> expected_max;
+  tree.for_each_leaf([&expected_max](const OcKey& key, int depth, float value) {
+    for (int d = 0; d < depth; ++d) {
+      auto [it, inserted] =
+          expected_max[static_cast<std::size_t>(d)].try_emplace(key_at_depth(key, d).packed(),
+                                                                value);
+      if (!inserted) it->second = std::max(it->second, value);
+    }
+  });
+  tree.for_each_leaf([&](const OcKey& key, int depth, float) {
+    for (int d = 0; d < depth; ++d) {
+      const auto view = tree.search(key, d);
+      ASSERT_TRUE(view.has_value());
+      ASSERT_FALSE(view->is_leaf);
+      EXPECT_EQ(view->log_odds,
+                expected_max[static_cast<std::size_t>(d)].at(key_at_depth(key, d).packed()))
+          << "inner node at depth " << d;
     }
   });
 }
@@ -75,6 +114,26 @@ TEST_P(OctreeProperty, PrunedTreeHasNoCollapsibleBlocks) {
   }
 }
 
+TEST_P(OctreeProperty, PruneIsIdempotent) {
+  // prune() must be a fixed point after one application: a second pass
+  // changes nothing — not the content, not the structure, not the pool.
+  OccupancyOctree tree = random_tree(5000, 10);
+  tree.prune();
+  const uint64_t hash_once = tree.content_hash();
+  const auto leaves_once = tree.leaves_sorted();
+  const std::size_t leaf_count_once = tree.leaf_count();
+  const std::size_t inner_count_once = tree.inner_count();
+  const std::size_t slots_once = tree.pool_slots();
+  const std::size_t free_once = tree.free_blocks();
+  tree.prune();
+  EXPECT_EQ(tree.content_hash(), hash_once);
+  EXPECT_EQ(tree.leaves_sorted(), leaves_once);
+  EXPECT_EQ(tree.leaf_count(), leaf_count_once);
+  EXPECT_EQ(tree.inner_count(), inner_count_once);
+  EXPECT_EQ(tree.pool_slots(), slots_once);
+  EXPECT_EQ(tree.free_blocks(), free_once);
+}
+
 TEST_P(OctreeProperty, ExpandPruneRoundTripPreservesContent) {
   OccupancyOctree tree = random_tree(3000, 8);
   const uint64_t hash_before = tree.content_hash();
@@ -87,7 +146,7 @@ TEST_P(OctreeProperty, ExpandPruneRoundTripPreservesContent) {
 
 TEST_P(OctreeProperty, ClassificationMatchesLeafSign) {
   const OccupancyOctree tree = random_tree(3000, 16);
-  geom::SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  geom::SplitMix64 rng(seed() ^ 0xABCDEF);
   for (int i = 0; i < 500; ++i) {
     const OcKey k = random_key(rng, 16);
     const auto view = tree.search(k);
@@ -97,6 +156,42 @@ TEST_P(OctreeProperty, ClassificationMatchesLeafSign) {
     } else {
       EXPECT_EQ(occ, view->log_odds > 0.0f ? Occupancy::kOccupied : Occupancy::kFree);
     }
+  }
+}
+
+TEST_P(OctreeProperty, ClassifyConsistentWithLeavesSortedForEveryLeaf) {
+  // The canonical export and the query path must tell one story: for every
+  // exported leaf, classifying any voxel inside the leaf's region returns
+  // exactly the classification of the exported log-odds, and search()
+  // terminates on that leaf.
+  const OccupancyOctree tree = random_tree(4000, 18);
+  geom::SplitMix64 rng(seed() ^ 0x5EAF);
+  for (const LeafRecord& leaf : tree.leaves_sorted()) {
+    // The aligned base key itself...
+    const auto base_view = tree.search(leaf.key);
+    ASSERT_TRUE(base_view.has_value());
+    EXPECT_EQ(base_view->depth, leaf.depth);
+    EXPECT_TRUE(base_view->is_leaf);
+    EXPECT_EQ(base_view->log_odds, leaf.log_odds);
+    EXPECT_EQ(tree.classify(leaf.key), tree.params().classify(leaf.log_odds));
+    // ...and a random finest-level voxel inside the covered region.
+    const uint16_t span = static_cast<uint16_t>(1u << (kTreeDepth - leaf.depth));
+    const OcKey inside{
+        static_cast<uint16_t>(leaf.key[0] + rng.next_below(span)),
+        static_cast<uint16_t>(leaf.key[1] + rng.next_below(span)),
+        static_cast<uint16_t>(leaf.key[2] + rng.next_below(span))};
+    EXPECT_EQ(tree.classify(inside), tree.params().classify(leaf.log_odds));
+  }
+}
+
+TEST_P(OctreeProperty, LeavesSortedIsStrictlyOrderedAndDisjoint) {
+  // Canonical export invariants the equivalence suites rely on: strictly
+  // increasing packed keys (no duplicates) and depth-aligned keys.
+  const OccupancyOctree tree = random_tree(5000, 14);
+  const auto leaves = tree.leaves_sorted();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i].key, key_at_depth(leaves[i].key, leaves[i].depth)) << i;
+    if (i > 0) EXPECT_LT(leaves[i - 1].key.packed(), leaves[i].key.packed()) << i;
   }
 }
 
@@ -119,24 +214,45 @@ TEST_P(OctreeProperty, QuantizedValuesSitOnQ510Grid) {
 TEST_P(OctreeProperty, UpdateOrderIndependenceForDisjointKeys) {
   // Updates to distinct voxels commute: applying a permutation of a
   // distinct-key workload yields the identical map.
-  geom::SplitMix64 rng(GetParam() + 999);
+  geom::SplitMix64 rng(seed() + 999);
   std::vector<std::pair<OcKey, bool>> ops;
   KeySet seen;
   while (ops.size() < 300) {
     const OcKey k = random_key(rng, 64);
     if (seen.insert(k).second) ops.emplace_back(k, rng.next_below(2) == 0);
   }
-  OccupancyOctree forward(0.2);
+  OccupancyOctree forward(resolution());
   for (const auto& [k, occ] : ops) forward.update_node(k, occ);
-  OccupancyOctree backward(0.2);
+  OccupancyOctree backward(resolution());
   for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
     backward.update_node(it->first, it->second);
   }
   EXPECT_EQ(forward.content_hash(), backward.content_hash());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, OctreeProperty,
-                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+TEST_P(OctreeProperty, ClearResetsToEmpty) {
+  OccupancyOctree tree = random_tree(2000, 12);
+  ASSERT_GT(tree.leaf_count(), 0u);
+  tree.clear();
+  EXPECT_EQ(tree.node_count(), 0u);
+  EXPECT_TRUE(tree.leaves_sorted().empty());
+  geom::SplitMix64 rng(1);
+  EXPECT_EQ(tree.classify(random_key(rng, 8)), Occupancy::kUnknown);
+  EXPECT_EQ(tree.resolution(), resolution());
+}
+
+using OctreePropertyParam = std::tuple<uint64_t, double>;
+
+std::string property_param_name(const ::testing::TestParamInfo<OctreePropertyParam>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) + "_res" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 1000)) + "mm";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByResolution, OctreeProperty,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 1234, 98765),
+                       ::testing::Values(0.05, 0.1, 0.2, 0.5)),
+    property_param_name);
 
 }  // namespace
 }  // namespace omu::map

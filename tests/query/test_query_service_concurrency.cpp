@@ -1,0 +1,238 @@
+// Concurrency contract of the QueryService: N reader threads race the
+// sharded writer across snapshot publications with no locks on the read
+// path. Run under ThreadSanitizer in CI (the sanitizer matrix job) — the
+// assertions here check the memory-model-visible guarantees (snapshot
+// immutability, epoch monotonicity, final convergence); TSan checks that
+// the races the design claims are benign actually don't exist.
+#include "query/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "map/scan_inserter.hpp"
+#include "pipeline/sharded_map_pipeline.hpp"
+
+namespace omu::query {
+namespace {
+
+using map::OcKey;
+using map::Occupancy;
+
+geom::PointCloud random_cloud(geom::SplitMix64& rng, int n) {
+  geom::PointCloud cloud;
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back(geom::Vec3f{static_cast<float>(rng.uniform(-5, 5)),
+                                static_cast<float>(rng.uniform(-5, 5)),
+                                static_cast<float>(rng.uniform(-1, 1))});
+  }
+  return cloud;
+}
+
+TEST(QueryServiceConcurrency, StartsWithEmptyPlaceholderSnapshot) {
+  QueryService service;
+  ASSERT_NE(service.snapshot(), nullptr);
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_EQ(service.publications(), 0u);
+  EXPECT_EQ(service.classify(OcKey{1, 2, 3}), Occupancy::kUnknown);
+}
+
+TEST(QueryServiceConcurrency, PublicationsBumpEpochsMonotonically) {
+  QueryService service;
+  map::OccupancyOctree tree(0.2);
+  map::OctreeBackend backend(tree);
+  for (int i = 0; i < 5; ++i) {
+    tree.update_node(OcKey{map::kKeyOrigin, map::kKeyOrigin,
+                           static_cast<uint16_t>(map::kKeyOrigin + i)},
+                     true);
+    const uint64_t epoch = service.refresh_from(backend);
+    EXPECT_EQ(epoch, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(service.epoch(), epoch);
+  }
+  EXPECT_EQ(service.publications(), 5u);
+  EXPECT_EQ(service.snapshot()->content_hash(), tree.content_hash());
+}
+
+TEST(QueryServiceConcurrency, ReaderKeepsSupersededSnapshotAlive) {
+  QueryService service;
+  map::OccupancyOctree tree(0.2);
+  map::OctreeBackend backend(tree);
+  tree.update_node(OcKey{map::kKeyOrigin, map::kKeyOrigin, map::kKeyOrigin}, true);
+  service.refresh_from(backend);
+
+  const auto held = service.snapshot();
+  const uint64_t held_hash = held->content_hash();
+  for (int i = 1; i <= 10; ++i) {
+    tree.update_node(OcKey{static_cast<uint16_t>(map::kKeyOrigin + i), map::kKeyOrigin,
+                           map::kKeyOrigin},
+                     true);
+    service.refresh_from(backend);
+  }
+  // The held snapshot is untouched by ten later publications.
+  EXPECT_EQ(held->content_hash(), held_hash);
+  EXPECT_EQ(held->epoch(), 1u);
+  EXPECT_EQ(service.epoch(), 11u);
+  EXPECT_NE(service.snapshot()->content_hash(), held_hash);
+}
+
+TEST(QueryServiceConcurrency, ReadersRaceShardedWriterAcrossPublications) {
+  // The flagship race: one writer streams scans into the sharded pipeline
+  // and publishes at every flush boundary while reader threads hammer the
+  // service. Readers assert per-snapshot invariants; the final snapshot
+  // must converge to the serial reference bit-identically.
+  constexpr int kScans = 12;
+  constexpr int kReaders = 4;
+
+  QueryService service;
+  pipeline::ShardedMapPipeline pipeline;
+  pipeline.attach_query_service(&service);
+
+  map::OccupancyOctree serial(0.2);
+  map::ScanInserter serial_inserter(serial);
+
+  geom::SplitMix64 scan_rng(101);
+  std::vector<geom::PointCloud> clouds;
+  for (int s = 0; s < kScans; ++s) clouds.push_back(random_cloud(scan_rng, 250));
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reader_queries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      geom::SplitMix64 rng(static_cast<uint64_t>(r) * 7919 + 1);
+      uint64_t last_epoch = 0;
+      uint64_t queries = 0;
+      std::vector<OcKey> batch_keys(16);
+      std::vector<Occupancy> batch_out;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snapshot = service.snapshot();
+        // Epochs never go backwards from a reader's point of view.
+        ASSERT_GE(snapshot->epoch(), last_epoch);
+        last_epoch = snapshot->epoch();
+        // One snapshot is one consistent map: a batch answer equals the
+        // pointwise answers against the same snapshot, whatever the writer
+        // is doing meanwhile.
+        for (auto& key : batch_keys) {
+          key = OcKey{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32)};
+        }
+        snapshot->classify_batch(batch_keys, batch_out);
+        for (std::size_t i = 0; i < batch_keys.size(); ++i) {
+          ASSERT_EQ(batch_out[i], snapshot->classify(batch_keys[i]));
+        }
+        // Box queries race the writer too.
+        snapshot->any_occupied_in_box(
+            geom::Aabb::from_center_size({rng.uniform(-4, 4), rng.uniform(-4, 4), 0},
+                                         {1.0, 1.0, 1.0}),
+            rng.next_below(2) == 0);
+        queries += batch_keys.size();
+      }
+      reader_queries.fetch_add(queries, std::memory_order_relaxed);
+    });
+  }
+
+  {
+    map::ScanInserter sharded_inserter(pipeline);
+    for (const auto& cloud : clouds) {
+      serial_inserter.insert_scan(cloud, {0, 0, 0});
+      sharded_inserter.insert_scan(cloud, {0, 0, 0});
+      pipeline.flush();  // drain + publish: the epoch boundary
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(reader_queries.load(), 0u);
+  EXPECT_EQ(service.publications(), static_cast<uint64_t>(kScans));
+  EXPECT_EQ(service.snapshot()->content_hash(), serial.content_hash());
+  EXPECT_EQ(service.snapshot()->leaves(), map::normalize_to_depth1(serial.leaves_sorted()));
+}
+
+TEST(QueryServiceConcurrency, ConcurrentFlushesNeverPublishStaleContent) {
+  // The single producer applies and flushes while a second thread calls
+  // bare flush() concurrently (a consumer forcing a fresh epoch — the
+  // documented multi-thread use of flush()). Export and publish are one
+  // critical section, so a newer epoch can never carry an older export.
+  // Observable contract: occupancy maps only gain information, so once
+  // any reader sees a voxel as known, every later epoch must know it too.
+  QueryService service;
+  pipeline::ShardedMapPipeline pipeline;
+  pipeline.attach_query_service(&service);
+
+  constexpr int kRounds = 60;
+  std::atomic<bool> done{false};
+
+  std::thread refresher([&] {
+    while (!done.load(std::memory_order_acquire)) pipeline.flush();
+  });
+
+  std::thread observer([&] {
+    // Tracks (key -> first epoch it was seen known); a later snapshot
+    // forgetting it means a stale export was published under a newer epoch.
+    std::map<uint64_t, uint64_t> known_since;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snapshot = service.snapshot();
+      for (const auto& [packed, epoch] : known_since) {
+        if (snapshot->epoch() <= epoch) continue;
+        const OcKey key{static_cast<uint16_t>(packed & 0xFFFF),
+                        static_cast<uint16_t>((packed >> 16) & 0xFFFF),
+                        static_cast<uint16_t>((packed >> 32) & 0xFFFF)};
+        EXPECT_NE(snapshot->classify(key), Occupancy::kUnknown)
+            << "epoch " << snapshot->epoch() << " forgot a voxel known since epoch " << epoch;
+      }
+      for (const map::LeafRecord& leaf : snapshot->leaves()) {
+        known_since.try_emplace(leaf.key.packed(), snapshot->epoch());
+      }
+    }
+  });
+
+  geom::SplitMix64 rng(11);
+  map::UpdateBatch batch;
+  for (int i = 0; i < kRounds; ++i) {
+    batch.clear();
+    batch.push(OcKey{static_cast<uint16_t>(map::kKeyOrigin + i),
+                     static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(8)),
+                     map::kKeyOrigin},
+               true);
+    pipeline.apply(batch);
+    pipeline.flush();
+  }
+  done.store(true, std::memory_order_release);
+  refresher.join();
+  observer.join();
+  // The producer's own flushes plus however many the refresher landed.
+  EXPECT_GE(service.publications(), static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(service.snapshot()->leaf_count(), static_cast<std::size_t>(kRounds));
+}
+
+TEST(QueryServiceConcurrency, ConcurrentPublishersSerializeWithMonotonicEpochs) {
+  // Several threads publishing concurrently (e.g. two pipelines flushing):
+  // epochs stay dense and monotonic, the final count is exact.
+  constexpr int kPublishers = 4;
+  constexpr int kPerThread = 25;
+  QueryService service;
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&, t] {
+      map::OccupancyOctree tree(0.2);
+      map::OctreeBackend backend(tree);
+      for (int i = 0; i < kPerThread; ++i) {
+        tree.update_node(OcKey{static_cast<uint16_t>(map::kKeyOrigin + t),
+                               static_cast<uint16_t>(map::kKeyOrigin + i), map::kKeyOrigin},
+                         true);
+        service.refresh_from(backend);
+      }
+    });
+  }
+  for (auto& publisher : publishers) publisher.join();
+  EXPECT_EQ(service.publications(), static_cast<uint64_t>(kPublishers * kPerThread));
+  EXPECT_EQ(service.epoch(), service.publications());
+}
+
+}  // namespace
+}  // namespace omu::query
