@@ -1,58 +1,53 @@
-// Ablation: PE count sweep (paper Sec. V: "The PE number is set to be 8 to
-// maximize the OctoMap throughput, but it is also scalable").
-//
-// Runs the FR-079 workload on 1/2/4/8-PE configurations (total SRAM held
-// constant) and reports cycles per update, throughput and the scaling
-// efficiency against the ideal linear speedup.
-#include <iostream>
+// Ablation: PE count sweep (paper Sec. V: "The PE number is set to be 8
+// to maximize the OctoMap throughput, but it is also scalable"). FR-079
+// on 1/2/4/8-PE configurations at constant total SRAM; the pes:8 case
+// checks >3x scaling against the memoized 1-PE run.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Ablation: PE sweep",
-                              "FR-079 corridor on 1..8 PEs, constant 2 MiB total SRAM.",
-                              options.scale);
-
-  const harness::ExperimentRunner runner(options);
-
-  TablePrinter table({"PEs", "cycles/update", "latency (s)", "FPS", "speedup", "efficiency",
-                      "sched stalls"});
-  double base_latency = 0.0;
-  double fps_8 = 0.0;
-  double fps_1 = 0.0;
-  for (const std::size_t pes : {1u, 2u, 4u, 8u}) {
-    accel::OmuConfig cfg;
-    cfg.pe_count = pes;
-    // Keep total capacity constant and generous (capacity note in
-    // harness/experiment.hpp).
-    cfg.rows_per_bank = options.enlarged_rows_per_bank * 8 / pes;
-    const harness::ExperimentResult r =
-        runner.run_accelerator_only(data::DatasetId::kFr079Corridor, cfg);
-    if (pes == 1) {
-      base_latency = r.omu.latency_s;
-      fps_1 = r.omu.fps;
-    }
-    if (pes == 8) fps_8 = r.omu.fps;
-    const double speedup = base_latency / r.omu.latency_s;
-    table.add_row({std::to_string(pes), TablePrinter::fixed(r.omu_details.cycles_per_update, 1),
-                   TablePrinter::fixed(r.omu.latency_s, 2), TablePrinter::fixed(r.omu.fps, 1),
-                   TablePrinter::speedup(speedup, 2),
-                   TablePrinter::percent(speedup / static_cast<double>(pes)),
-                   std::to_string(r.omu_details.scheduler_stall_cycles)});
-  }
-  table.print(std::cout);
-
-  const double scaling = fps_8 / fps_1;
-  std::cout << "8-PE over 1-PE throughput: " << TablePrinter::speedup(scaling, 2)
-            << " (ideal 8x; losses = first-level-branch load imbalance\n"
-               " and queue back-pressure, which the wall-cycle model exposes)\n";
-  const bool ok = scaling > 3.0;
-  std::cout << "Shape check (parallel PEs deliver substantial speedup): "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+accel::OmuConfig pe_config(int64_t pes) {
+  accel::OmuConfig cfg;
+  cfg.pe_count = static_cast<std::size_t>(pes);
+  // Keep total capacity constant and generous (capacity note in
+  // harness/experiment.hpp).
+  cfg.rows_per_bank = bench::bench_options().enlarged_rows_per_bank * 8 /
+                      static_cast<std::size_t>(pes);
+  return cfg;
 }
+
+void ablation_pe_sweep(benchkit::State& state) {
+  const int64_t pes = state.param_int("pes");
+  const std::string tag = "pes" + std::to_string(pes);
+  const harness::ExperimentResult r =
+      bench::accel_run_timed(data::DatasetId::kFr079Corridor, tag, pe_config(pes));
+
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("cycles_per_update", r.omu_details.cycles_per_update);
+  state.set_counter("latency_s", r.omu.latency_s);
+  state.set_counter("fps", r.omu.fps);
+  state.set_counter("scheduler_stall_cycles",
+                    static_cast<double>(r.omu_details.scheduler_stall_cycles));
+
+  state.pause_timing();
+  const harness::ExperimentResult& r1 =
+      bench::accel_run_memo(data::DatasetId::kFr079Corridor, "pes1", pe_config(1));
+  state.resume_timing();
+  const double speedup = r1.omu.latency_s / r.omu.latency_s;
+  state.set_counter("speedup_vs_1pe", speedup);
+  state.set_counter("efficiency", speedup / static_cast<double>(pes));
+  if (pes == 8) {
+    // Losses vs the ideal 8x = first-level-branch load imbalance and queue
+    // back-pressure, which the wall-cycle model exposes.
+    state.check("pe_scaling_gt_3x", speedup > 3.0);
+  }
+}
+
+OMU_BENCHMARK(ablation_pe_sweep)
+    .axis("pes", std::vector<int64_t>{1, 2, 4, 8})
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,62 +1,69 @@
 // Ablation: dynamic prune address manager on/off (paper Sec. IV-C: the
-// stack of pruned pointers keeps TreeMem utilization high and relaxes the
-// capacity requirement).
-//
-// With reuse disabled, every pruned children row is leaked; the bump
-// pointer grows monotonically and the paper-sized 4096 rows/bank would be
-// exhausted far earlier. We run both configurations on the FR-079
-// workload and compare peak rows touched vs rows actually live.
-#include <iostream>
+// stack of pruned pointers keeps TreeMem utilization high). With reuse
+// disabled, every pruned children row is leaked; the bump pointer grows
+// monotonically. Prune churn grows with scan revisit density, so this
+// family runs at a denser scale (>= 0.006) than the global default — it
+// therefore keeps its own runner and local memo instead of the shared
+// bench_common caches.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  // Prune/expand churn — and therefore the manager's benefit — grows with
-  // scan revisit density; run this ablation at a denser scale so the
-  // effect is representative of the full workload.
-  if (options.scale < 0.006) options.scale = 0.006;
-  harness::print_bench_header(std::cout, "Ablation: prune address manager",
-                              "FR-079 corridor with pruned-row reuse enabled vs disabled.",
-                              options.scale);
-
-  const harness::ExperimentRunner runner(options);
-  constexpr uint32_t kPaperRowsTotal = 8 * 4096;  // 8 PEs x 4096 rows
-
-  TablePrinter table({"reuse", "rows live", "rows touched (peak)", "waste", "fits paper 2 MiB?"});
-  uint32_t touched_on = 0;
-  uint32_t touched_off = 0;
-  for (const bool reuse : {true, false}) {
-    accel::OmuConfig cfg;
-    cfg.reuse_pruned_rows = reuse;
-    cfg.rows_per_bank = options.enlarged_rows_per_bank;
-    const harness::ExperimentResult r =
-        runner.run_accelerator_only(data::DatasetId::kFr079Corridor, cfg);
-    if (reuse) {
-      touched_on = r.omu_details.peak_rows;
-    } else {
-      touched_off = r.omu_details.peak_rows;
-    }
-    const double waste =
-        static_cast<double>(r.omu_details.peak_rows - r.omu_details.rows_in_use) /
-        static_cast<double>(r.omu_details.peak_rows);
-    table.add_row({reuse ? "on" : "off", std::to_string(r.omu_details.rows_in_use),
-                   std::to_string(r.omu_details.peak_rows), TablePrinter::percent(waste),
-                   r.omu_details.peak_rows <= kPaperRowsTotal ? "yes" : "NO (overflow)"});
-  }
-  table.print(std::cout);
-
-  const double blowup = static_cast<double>(touched_off) / static_cast<double>(touched_on);
-  std::cout << "Address footprint without the manager: " << TablePrinter::speedup(blowup, 2)
-            << " larger\n"
-            << "(every prune leaks a row that expansion must re-allocate fresh;\n"
-            << " the LIFO stack recycles it at zero cost, paper Fig. 6)\n";
-  const bool ok = blowup > 1.2;
-  std::cout << "Shape check (manager materially reduces memory footprint): "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+const harness::ExperimentRunner& dense_runner() {
+  static const harness::ExperimentRunner runner = [] {
+    harness::ExperimentOptions options = bench::bench_options();
+    if (options.scale < 0.006) options.scale = 0.006;
+    return harness::ExperimentRunner(options);
+  }();
+  return runner;
 }
+
+const harness::ExperimentResult& prune_run_memo(bool reuse) {
+  static std::map<bool, harness::ExperimentResult> cache;
+  const auto it = cache.find(reuse);
+  if (it != cache.end()) return it->second;
+  accel::OmuConfig cfg;
+  cfg.reuse_pruned_rows = reuse;
+  cfg.rows_per_bank = dense_runner().options().enlarged_rows_per_bank;
+  return cache
+      .emplace(reuse,
+               dense_runner().run_accelerator_only(data::DatasetId::kFr079Corridor, cfg))
+      .first->second;
+}
+
+void ablation_prune_mgr(benchkit::State& state) {
+  const bool reuse = state.param_flag("reuse");
+  accel::OmuConfig cfg;
+  cfg.reuse_pruned_rows = reuse;
+  cfg.rows_per_bank = dense_runner().options().enlarged_rows_per_bank;
+  const harness::ExperimentResult r =
+      dense_runner().run_accelerator_only(data::DatasetId::kFr079Corridor, cfg);
+
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("rows_live", static_cast<double>(r.omu_details.rows_in_use));
+  state.set_counter("rows_touched_peak", static_cast<double>(r.omu_details.peak_rows));
+  state.set_counter("waste_fraction",
+                    static_cast<double>(r.omu_details.peak_rows - r.omu_details.rows_in_use) /
+                        static_cast<double>(r.omu_details.peak_rows));
+  constexpr uint32_t kPaperRowsTotal = 8 * 4096;  // 8 PEs x 4096 rows
+  state.set_counter("fits_paper_2mib", r.omu_details.peak_rows <= kPaperRowsTotal ? 1.0 : 0.0);
+
+  if (!reuse) {
+    state.pause_timing();
+    const harness::ExperimentResult& with_manager = prune_run_memo(true);
+    state.resume_timing();
+    const double blowup = static_cast<double>(r.omu_details.peak_rows) /
+                          static_cast<double>(with_manager.omu_details.peak_rows);
+    state.set_counter("footprint_blowup_without_manager", blowup);
+    state.check("manager_reduces_footprint_gt_1.2x", blowup > 1.2);
+  }
+}
+
+OMU_BENCHMARK(ablation_prune_mgr)
+    .axis("reuse", std::vector<std::string>{"on", "off"})
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,54 +1,49 @@
-// Ablation: per-PE input queue depth.
-//
-// Scan-order voxel streams are bursty (a sweeping ray fan dwells on one
-// octant at a time), so shallow per-PE queues cause head-of-line blocking
-// at the single dispatch port: the hot PE's full queue stalls dispatch
-// while the other PEs starve. The paper's free/occupied voxel queues are
-// DMA-backed in shared memory (Fig. 7), which this sweep justifies
-// quantitatively: throughput saturates only once queues are deep enough to
-// hold a PE's transient backlog.
-#include <iostream>
+// Ablation: per-PE input queue depth. Scan-order voxel streams are bursty
+// (a sweeping ray fan dwells on one octant at a time), so shallow per-PE
+// queues cause head-of-line blocking at the single dispatch port. The
+// paper's free/occupied voxel queues are DMA-backed in shared memory
+// (Fig. 7); this sweep justifies that quantitatively. The shallowest case
+// checks that the deepest configuration outperforms it.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Ablation: queue depth",
-                              "FR-079 corridor with per-PE queue depths 64..4M.",
-                              options.scale);
+constexpr int64_t kDeepest = int64_t{1} << 22;
 
-  const harness::ExperimentRunner runner(options);
-
-  TablePrinter table(
-      {"queue depth", "cycles/update", "FPS", "stall cycles", "vs deep-queue FPS"});
-  double deep_fps = 0.0;
-  const std::size_t depths[] = {64, 512, 4096, 32768, std::size_t{1} << 22};
-  // Run the deepest first to establish the reference.
-  std::vector<std::pair<std::size_t, harness::ExperimentResult>> results;
-  for (const std::size_t depth : depths) {
-    accel::OmuConfig cfg;
-    cfg.pe_queue_depth = depth;
-    cfg.rows_per_bank = options.enlarged_rows_per_bank;
-    results.emplace_back(depth,
-                         runner.run_accelerator_only(data::DatasetId::kFr079Corridor, cfg));
-  }
-  deep_fps = results.back().second.omu.fps;
-  for (const auto& [depth, r] : results) {
-    table.add_row({TablePrinter::count(depth),
-                   TablePrinter::fixed(r.omu_details.cycles_per_update, 1),
-                   TablePrinter::fixed(r.omu.fps, 1),
-                   TablePrinter::count(r.omu_details.scheduler_stall_cycles),
-                   TablePrinter::percent(r.omu.fps / deep_fps)});
-  }
-  table.print(std::cout);
-
-  const bool ok = deep_fps > results.front().second.omu.fps;
-  std::cout << "Deep (shared-memory-backed) queues outperform shallow on-chip\n"
-               "queues under bursty scan traffic: "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+accel::OmuConfig queue_config(int64_t depth) {
+  accel::OmuConfig cfg;
+  cfg.pe_queue_depth = static_cast<std::size_t>(depth);
+  cfg.rows_per_bank = bench::bench_options().enlarged_rows_per_bank;
+  return cfg;
 }
+
+void ablation_queue_depth(benchkit::State& state) {
+  const int64_t depth = state.param_int("depth");
+  const std::string tag = "depth" + std::to_string(depth);
+  const harness::ExperimentResult r =
+      bench::accel_run_timed(data::DatasetId::kFr079Corridor, tag, queue_config(depth));
+
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("cycles_per_update", r.omu_details.cycles_per_update);
+  state.set_counter("fps", r.omu.fps);
+  state.set_counter("stall_cycles", static_cast<double>(r.omu_details.scheduler_stall_cycles));
+
+  state.pause_timing();
+  const harness::ExperimentResult& deep = bench::accel_run_memo(
+      data::DatasetId::kFr079Corridor, "depth" + std::to_string(kDeepest),
+      queue_config(kDeepest));
+  state.resume_timing();
+  state.set_counter("fps_vs_deep_queue", r.omu.fps / deep.omu.fps);
+  if (depth == 64) {
+    state.check("deep_queues_beat_shallow", deep.omu.fps > r.omu.fps);
+  }
+}
+
+OMU_BENCHMARK(ablation_queue_depth)
+    .axis("depth", std::vector<int64_t>{64, 512, 4096, 32768, kDeepest})
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

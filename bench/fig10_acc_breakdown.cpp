@@ -1,70 +1,38 @@
-// Regenerates Fig. 10: runtime breakdown of the map-update phases on the
-// i9 CPU vs the OMU accelerator. The paper's claim: node prune/expand
-// consumes the majority of CPU time but less than 20% of OMU time, thanks
-// to the single-cycle parallel fetch of all 8 children.
-#include <iostream>
-
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+// Fig. 10: runtime breakdown of the map-update phases, i9 CPU vs OMU
+// accelerator. Claim (Sec. VI-B): node prune/expand consumes the majority
+// of CPU time but less than 20% of OMU time, thanks to the single-cycle
+// parallel fetch of all 8 children.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 
 namespace {
 
-std::string stacked_bar(double leaf, double parents, double prune) {
-  const auto chars = [](double f) { return static_cast<std::size_t>(f * 50.0 + 0.5); };
-  std::string bar;
-  bar += std::string(chars(leaf), 'L');
-  bar += std::string(chars(parents), 'P');
-  bar += std::string(chars(prune), 'X');
-  return bar;
+using namespace omu;
+
+void fig10_acc_breakdown(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+
+  // CPU fractions over the map-update phases only (exclude ray casting,
+  // matching the figure's normalization).
+  const double cpu_map =
+      r.i9.frac_update_leaf + r.i9.frac_update_parents + r.i9.frac_prune_expand;
+  const double cpu_prune = r.i9.frac_prune_expand / cpu_map;
+
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("cpu_frac_update_leaf", r.i9.frac_update_leaf / cpu_map);
+  state.set_counter("cpu_frac_update_parents", r.i9.frac_update_parents / cpu_map);
+  state.set_counter("cpu_frac_prune_expand", cpu_prune);
+  state.set_counter("omu_frac_update_leaf", r.omu.frac_update_leaf);
+  state.set_counter("omu_frac_update_parents", r.omu.frac_update_parents);
+  state.set_counter("omu_frac_prune_expand", r.omu.frac_prune_expand);
+
+  state.check("omu_prune_below_20pct", r.omu.frac_prune_expand < 0.20);
+  state.check("cpu_prune_above_35pct", cpu_prune > 0.35);
 }
+
+OMU_BENCHMARK(fig10_acc_breakdown)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
 
 }  // namespace
-
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
-
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(
-      std::cout, "Figure 10",
-      "Runtime breakdown, i9 CPU vs OMU accelerator (map-update phases\n"
-      "normalized to 100%; ray casting is overlapped on OMU).\n"
-      "Legend: L update leaf, P update parents, X node prune/expand.",
-      options.scale);
-
-  const harness::ExperimentRunner runner(options);
-
-  TablePrinter table({"Dataset", "Platform", "Update Leaf", "Update Parents", "Prune/Expand"});
-  bool claim_holds = true;
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-
-    // CPU fractions over the map-update phases only (exclude ray casting,
-    // matching the figure's normalization).
-    const double cpu_map = r.i9.frac_update_leaf + r.i9.frac_update_parents +
-                           r.i9.frac_prune_expand;
-    const double cpu_leaf = r.i9.frac_update_leaf / cpu_map;
-    const double cpu_parents = r.i9.frac_update_parents / cpu_map;
-    const double cpu_prune = r.i9.frac_prune_expand / cpu_map;
-
-    table.add_row({r.name, "i9 CPU", TablePrinter::percent(cpu_leaf),
-                   TablePrinter::percent(cpu_parents), TablePrinter::percent(cpu_prune)});
-    table.add_row({"", "OMU acc.", TablePrinter::percent(r.omu.frac_update_leaf),
-                   TablePrinter::percent(r.omu.frac_update_parents),
-                   TablePrinter::percent(r.omu.frac_prune_expand)});
-    table.add_separator();
-
-    std::cout << r.name << "\n  i9 CPU   |" << stacked_bar(cpu_leaf, cpu_parents, cpu_prune)
-              << "|\n  OMU acc. |"
-              << stacked_bar(r.omu.frac_update_leaf, r.omu.frac_update_parents,
-                             r.omu.frac_prune_expand)
-              << "|\n";
-
-    claim_holds = claim_holds && r.omu.frac_prune_expand < 0.20 && cpu_prune > 0.35;
-  }
-  std::cout << '\n';
-  table.print(std::cout);
-  std::cout << "Claim (Sec. VI-B): prune/expand < 20% on OMU while dominating on CPU: "
-            << (claim_holds ? "HOLDS" : "VIOLATED") << '\n';
-  return claim_holds ? 0 : 1;
-}

@@ -1,65 +1,38 @@
-// Regenerates Fig. 3: runtime breakdown of the OctoMap workload phases on
-// the CPU baseline (ray casting / update leaf / update parents / node
-// prune-expand) for the three datasets.
-#include <iostream>
-
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+// Fig. 3: runtime breakdown of the OctoMap workload phases on the CPU
+// baseline (ray casting / update leaf / update parents / prune-expand).
+// Key claim (Sec. III-B): node prune/expand dominates the CPU runtime and
+// is largest for the dense indoor map.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
 namespace {
 
-/// ASCII stacked bar of the four phase fractions, 50 chars wide.
-std::string stacked_bar(double rc, double leaf, double parents, double prune) {
-  const auto chars = [](double f) { return static_cast<int>(f * 50.0 + 0.5); };
-  std::string bar;
-  bar += std::string(static_cast<std::size_t>(chars(rc)), 'R');
-  bar += std::string(static_cast<std::size_t>(chars(leaf)), 'L');
-  bar += std::string(static_cast<std::size_t>(chars(parents)), 'P');
-  bar += std::string(static_cast<std::size_t>(chars(prune)), 'X');
-  return bar;
+using namespace omu;
+
+void fig3_cpu_breakdown(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const harness::PaperDatasetRef ref = harness::paper_reference(id);
+
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("frac_ray_cast", r.i9.frac_ray_cast);
+  state.set_counter("frac_update_leaf", r.i9.frac_update_leaf);
+  state.set_counter("frac_update_parents", r.i9.frac_update_parents);
+  state.set_counter("frac_prune_expand", r.i9.frac_prune_expand);
+  state.set_counter("paper_frac_prune_expand", ref.cpu_frac_prune_expand);
+
+  const double sum = r.i9.frac_ray_cast + r.i9.frac_update_leaf +
+                     r.i9.frac_update_parents + r.i9.frac_prune_expand;
+  state.check("fractions_sum_to_1", sum > 0.99 && sum < 1.01);
+  // The paper's headline bottleneck: tree maintenance (parents + prune)
+  // outweighs the leaf update itself on every dataset.
+  state.check("tree_maintenance_dominates_leaf",
+              r.i9.frac_update_parents + r.i9.frac_prune_expand > r.i9.frac_update_leaf);
 }
+
+OMU_BENCHMARK(fig3_cpu_breakdown)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
 
 }  // namespace
-
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
-
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(
-      std::cout, "Figure 3",
-      "Runtime breakdown in OctoMap workloads on the modeled i9 CPU.\n"
-      "Legend: R ray casting, L update leaf, P update parents, X prune/expand.",
-      options.scale);
-
-  const harness::ExperimentRunner runner(options);
-
-  TablePrinter table({"Dataset", "Phase", "Paper", "Measured"});
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const harness::PaperDatasetRef ref = harness::paper_reference(id);
-    table.add_row({r.name, "Ray Casting", TablePrinter::percent(ref.cpu_frac_ray_cast),
-                   TablePrinter::percent(r.i9.frac_ray_cast)});
-    table.add_row({"", "Update Leaf", TablePrinter::percent(ref.cpu_frac_update_leaf),
-                   TablePrinter::percent(r.i9.frac_update_leaf)});
-    table.add_row({"", "Update Parents", TablePrinter::percent(ref.cpu_frac_update_parents),
-                   TablePrinter::percent(r.i9.frac_update_parents)});
-    table.add_row({"", "Node Prune/Expand", TablePrinter::percent(ref.cpu_frac_prune_expand),
-                   TablePrinter::percent(r.i9.frac_prune_expand)});
-    table.add_separator();
-
-    std::cout << r.name << "\n  paper    |"
-              << stacked_bar(ref.cpu_frac_ray_cast, ref.cpu_frac_update_leaf,
-                             ref.cpu_frac_update_parents, ref.cpu_frac_prune_expand)
-              << "|\n  measured |"
-              << stacked_bar(r.i9.frac_ray_cast, r.i9.frac_update_leaf,
-                             r.i9.frac_update_parents, r.i9.frac_prune_expand)
-              << "|\n";
-  }
-  std::cout << '\n';
-  table.print(std::cout);
-  std::cout << "Key claim (Sec. III-B): node prune/expand dominates the CPU runtime\n"
-               "and is largest for the dense indoor map, smallest for sparse\n"
-               "New College scans.\n";
-  return 0;
-}

@@ -1,59 +1,38 @@
-// Regenerates Fig. 8 / Sec. VI-C: accelerator area (2.5 mm^2 in 12 nm for
-// 8 PEs with 256 KiB each) and power (250.8 mW at 1 GHz, ~91% in SRAM).
-// Area comes from the analytic 12 nm model; power is measured on a
-// steady-state FR-079 workload through the energy model.
-#include <iostream>
-
+// Fig. 8 / Sec. VI-C: accelerator area (2.5 mm^2 in 12 nm) and power
+// (250.8 mW at 1 GHz, ~91% in SRAM). Area from the analytic 12 nm model;
+// power measured on a steady-state FR-079 workload through the energy
+// model.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 #include "energy/area_model.hpp"
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+#include "harness/paper_reference.hpp"
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+namespace {
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Figure 8 + Sec. VI-C",
-                              "Accelerator area and power at the signed-off design point\n"
-                              "(8 PEs x 8 banks x 32 KiB, 1 GHz, 12 nm).",
-                              options.scale);
+using namespace omu;
 
-  // ---- Area ---------------------------------------------------------------
+void fig8_area_power(benchkit::State& state) {
   accel::OmuConfig cfg;  // paper design point
   const energy::AreaModel area_model;
   const energy::AreaBreakdown area = area_model.area(cfg);
 
-  TablePrinter area_table({"Component", "Area (mm^2)", "Share"});
-  area_table.add_row({"TreeMem SRAM (2 MiB)", TablePrinter::fixed(area.sram_mm2, 2),
-                      TablePrinter::percent(area.sram_mm2 / area.total_mm2())});
-  area_table.add_row({"PE logic (8x)", TablePrinter::fixed(area.pe_logic_mm2, 2),
-                      TablePrinter::percent(area.pe_logic_mm2 / area.total_mm2())});
-  area_table.add_row({"Scheduler/RC/query/AXI", TablePrinter::fixed(area.top_logic_mm2, 2),
-                      TablePrinter::percent(area.top_logic_mm2 / area.total_mm2())});
-  area_table.add_separator();
-  area_table.add_row({"Total (paper: 2.5)", TablePrinter::fixed(area.total_mm2(), 2), "100%"});
-  area_table.print(std::cout);
-
-  // ---- Power on a steady-state workload ------------------------------------
-  const harness::ExperimentRunner runner(options);
-  const harness::ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+  const harness::ExperimentResult r = bench::full_run_timed(data::DatasetId::kFr079Corridor);
   const harness::PaperAcceleratorRef ref = harness::paper_accelerator_reference();
 
-  TablePrinter power_table({"Metric", "Paper", "Measured"});
-  power_table.add_row({"Average power (mW)", TablePrinter::fixed(ref.power_mw, 1),
-                       TablePrinter::fixed(r.omu.power_w * 1e3, 1)});
-  power_table.add_row({"SRAM share of power", TablePrinter::percent(ref.sram_power_fraction),
-                       TablePrinter::percent(r.omu_details.sram_power_fraction)});
-  power_table.add_row({"SRAM accesses/update", "-",
-                       TablePrinter::fixed(r.omu_details.sram_accesses_per_update, 1)});
-  power_table.add_row({"Cycles/update (aggregate)", "~13",
-                       TablePrinter::fixed(r.omu_details.cycles_per_update, 1)});
-  power_table.print(std::cout);
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("area_mm2", area.total_mm2());
+  state.set_counter("sram_area_mm2", area.sram_mm2);
+  state.set_counter("power_mw", r.omu.power_w * 1e3);
+  state.set_counter("paper_power_mw", ref.power_mw);
+  state.set_counter("sram_power_fraction", r.omu_details.sram_power_fraction);
+  state.set_counter("sram_accesses_per_update", r.omu_details.sram_accesses_per_update);
+  state.set_counter("cycles_per_update", r.omu_details.cycles_per_update);
 
-  const bool ok = area.total_mm2() > 2.0 && area.total_mm2() < 3.0 &&
-                  r.omu.power_w * 1e3 > 180.0 && r.omu.power_w * 1e3 < 330.0 &&
-                  r.omu_details.sram_power_fraction > 0.80;
-  std::cout << "Shape check (area ~2.5 mm^2, power ~250 mW, SRAM-dominated): "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+  state.check("area_near_2.5mm2", area.total_mm2() > 2.0 && area.total_mm2() < 3.0);
+  state.check("power_near_250mw", r.omu.power_w * 1e3 > 180.0 && r.omu.power_w * 1e3 < 330.0);
+  state.check("sram_dominates_power", r.omu_details.sram_power_fraction > 0.80);
 }
+
+OMU_BENCHMARK(fig8_area_power).default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,70 +1,34 @@
-// Regenerates Fig. 9: latency and throughput of the three platforms on the
-// FR-079 corridor map, as ASCII bar charts with the paper's speedup
-// annotations (12.8x over i9, 62.4x over A57; 30 FPS real-time line).
-#include <algorithm>
-#include <iostream>
-
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+// Fig. 9: latency and throughput of the three platforms on the FR-079
+// corridor map, with the paper's speedup annotations (12.8x over i9,
+// 62.4x over A57; 30 FPS real-time line).
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
 namespace {
 
-void bar(std::ostream& os, const std::string& label, double value, double max_value,
-         const std::string& suffix) {
-  const int width = static_cast<int>(56.0 * value / max_value + 0.5);
-  os << "  " << label << " |" << std::string(static_cast<std::size_t>(std::max(width, 1)), '#')
-     << ' ' << suffix << '\n';
-}
+using namespace omu;
 
-}  // namespace
-
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
-
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Figure 9",
-                              "Latency and throughput improvement for FR-079 corridor.",
-                              options.scale);
-
-  const harness::ExperimentRunner runner(options);
-  const harness::ExperimentResult r = runner.run(data::DatasetId::kFr079Corridor);
+void fig9_fr079_bars(benchkit::State& state) {
+  const harness::ExperimentResult r = bench::full_run_timed(data::DatasetId::kFr079Corridor);
   const harness::PaperDatasetRef ref = harness::paper_reference(data::DatasetId::kFr079Corridor);
 
   const double su_i9 = r.i9.latency_s / r.omu.latency_s;
   const double su_a57 = r.a57.latency_s / r.omu.latency_s;
 
-  std::cout << "\n(a) Latency (s), full map build\n";
-  const double lat_max = std::max(r.a57.latency_s, ref.a57_latency_s);
-  bar(std::cout, "Arm A57 CPU ", r.a57.latency_s, lat_max,
-      TablePrinter::fixed(r.a57.latency_s, 1) + " s (paper " +
-          TablePrinter::fixed(ref.a57_latency_s, 1) + ")");
-  bar(std::cout, "Intel i9 CPU", r.i9.latency_s, lat_max,
-      TablePrinter::fixed(r.i9.latency_s, 1) + " s (paper " +
-          TablePrinter::fixed(ref.i9_latency_s, 1) + ")");
-  bar(std::cout, "OMU accel.  ", r.omu.latency_s, lat_max,
-      TablePrinter::fixed(r.omu.latency_s, 2) + " s (paper " +
-          TablePrinter::fixed(ref.omu_latency_s, 2) + ")  <- " +
-          TablePrinter::speedup(su_i9) + " vs i9 (paper " +
-          TablePrinter::speedup(ref.speedup_over_i9) + "), " + TablePrinter::speedup(su_a57) +
-          " vs A57 (paper " + TablePrinter::speedup(ref.speedup_over_a57) + ")");
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("omu_latency_s", r.omu.latency_s);
+  state.set_counter("omu_fps", r.omu.fps);
+  state.set_counter("speedup_over_i9", su_i9);
+  state.set_counter("speedup_over_a57", su_a57);
+  state.set_counter("paper_speedup_over_i9", ref.speedup_over_i9);
+  state.set_counter("paper_speedup_over_a57", ref.speedup_over_a57);
 
-  std::cout << "\n(b) Throughput (FPS)\n";
-  const double fps_max = std::max(r.omu.fps, ref.omu_fps);
-  bar(std::cout, "Arm A57 CPU ", r.a57.fps, fps_max,
-      TablePrinter::fixed(r.a57.fps, 2) + " (paper " + TablePrinter::fixed(ref.a57_fps, 2) +
-          ")");
-  bar(std::cout, "Intel i9 CPU", r.i9.fps, fps_max,
-      TablePrinter::fixed(r.i9.fps, 2) + " (paper " + TablePrinter::fixed(ref.i9_fps, 2) + ")");
-  bar(std::cout, "OMU accel.  ", r.omu.fps, fps_max,
-      TablePrinter::fixed(r.omu.fps, 2) + " (paper " + TablePrinter::fixed(ref.omu_fps, 2) +
-          ")");
-  const int rt_col = static_cast<int>(56.0 * 30.0 / fps_max + 0.5);
-  std::cout << "  real-time    " << std::string(static_cast<std::size_t>(rt_col) + 1, ' ')
-            << "^ 30 FPS\n";
-
-  const bool ok = su_i9 > 5.0 && su_a57 > 25.0 && r.omu.fps > 30.0;
-  std::cout << "\nShape check (order-of-magnitude speedups, >30 FPS): "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+  state.check("speedup_i9_gt_5x", su_i9 > 5.0);
+  state.check("speedup_a57_gt_25x", su_a57 > 25.0);
+  state.check("omu_realtime_30fps", r.omu.fps > 30.0);
 }
+
+OMU_BENCHMARK(fig9_fr079_bars).default_repeats(1).default_warmup(0);
+
+}  // namespace

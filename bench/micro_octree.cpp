@@ -1,11 +1,13 @@
-// Microbenchmarks (google-benchmark): raw operation throughput of the
-// software octree and the accelerator PE model on this host. These are
-// host-performance numbers for development (regression tracking), not
-// paper reproductions — the modeled i9/A57/OMU numbers come from the
-// table benches.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks: raw operation throughput of the software octree and
+// the accelerator PE model on this host. These are host-performance
+// numbers for development (regression tracking), not paper reproductions
+// — the modeled i9/A57/OMU numbers come from the table families.
+// Each repeat runs a fixed batch of operations; ns/op falls out of
+// items/s. (Formerly a google-benchmark binary; benchkit removed that
+// external dependency.)
 #include "accel/pe_unit.hpp"
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 #include "geom/rng.hpp"
 #include "map/occupancy_octree.hpp"
 #include "map/ray_keys.hpp"
@@ -25,71 +27,88 @@ map::OcKey random_key(geom::SplitMix64& rng, int span) {
                             static_cast<uint64_t>(span) / 2)};
 }
 
-void BM_OctreeUpdate(benchmark::State& state) {
+void micro_octree_update(benchkit::State& state) {
+  const int span = static_cast<int>(state.param_int("span"));
   map::OccupancyOctree tree(0.2);
   geom::SplitMix64 rng(1);
-  const int span = static_cast<int>(state.range(0));
-  for (auto _ : state) {
+  constexpr uint64_t kOps = 200000;
+  for (uint64_t i = 0; i < kOps; ++i) {
     tree.update_node(random_key(rng, span), rng.next_below(100) < 40);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.set_items_processed(kOps);
+  state.set_counter("leaves", static_cast<double>(tree.leaf_count()));
 }
-BENCHMARK(BM_OctreeUpdate)->Arg(32)->Arg(256)->Arg(2048);
 
-void BM_OctreeQuery(benchmark::State& state) {
+void micro_octree_query(benchkit::State& state) {
   map::OccupancyOctree tree(0.2);
   geom::SplitMix64 rng(2);
+  state.pause_timing();
   for (int i = 0; i < 50000; ++i) tree.update_node(random_key(rng, 256), true);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.classify(random_key(rng, 256)));
+  state.resume_timing();
+  constexpr uint64_t kOps = 500000;
+  uint64_t occupied = 0;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    occupied += tree.classify(random_key(rng, 256)) == map::Occupancy::kOccupied ? 1 : 0;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.set_items_processed(kOps);
+  state.set_counter("occupied_hits", static_cast<double>(occupied));
 }
-BENCHMARK(BM_OctreeQuery);
 
-void BM_RayKeys(benchmark::State& state) {
+void micro_ray_keys(benchkit::State& state) {
   const map::KeyCoder coder(0.2);
   geom::SplitMix64 rng(3);
   std::vector<map::OcKey> buffer;
-  const double len = static_cast<double>(state.range(0));
-  for (auto _ : state) {
+  const double len = state.param_double("len");
+  constexpr uint64_t kRays = 20000;
+  uint64_t keys = 0;
+  for (uint64_t i = 0; i < kRays; ++i) {
     buffer.clear();
     const geom::Vec3d origin{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
     const geom::Vec3d end{origin.x + rng.uniform(-len, len), origin.y + rng.uniform(-len, len),
                           origin.z + rng.uniform(-1, 1)};
     map::compute_ray_keys(coder, origin, end, buffer);
-    benchmark::DoNotOptimize(buffer.data());
+    keys += buffer.size();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.set_items_processed(kRays);
+  state.set_counter("keys_per_ray", static_cast<double>(keys) / static_cast<double>(kRays));
 }
-BENCHMARK(BM_RayKeys)->Arg(2)->Arg(8)->Arg(30);
 
-void BM_PeUpdate(benchmark::State& state) {
+void micro_pe_update(benchkit::State& state) {
   accel::OmuConfig cfg;
   cfg.rows_per_bank = 1u << 16;
   accel::PeUnit pe(0, cfg);
   geom::SplitMix64 rng(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pe.execute_update(random_key(rng, 256), rng.next_below(2) == 0));
+  constexpr uint64_t kOps = 200000;
+  uint64_t cycles = 0;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    cycles += pe.execute_update(random_key(rng, 256), rng.next_below(2) == 0).cycles;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.set_items_processed(kOps);
+  state.set_counter("sim_cycles_per_update",
+                    static_cast<double>(cycles) / static_cast<double>(kOps));
 }
-BENCHMARK(BM_PeUpdate);
 
-void BM_PeQuery(benchmark::State& state) {
+void micro_pe_query(benchkit::State& state) {
   accel::OmuConfig cfg;
   cfg.rows_per_bank = 1u << 16;
   accel::PeUnit pe(0, cfg);
   geom::SplitMix64 rng(5);
+  state.pause_timing();
   for (int i = 0; i < 50000; ++i) pe.execute_update(random_key(rng, 256), true);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pe.execute_query(random_key(rng, 256)));
+  state.resume_timing();
+  constexpr uint64_t kOps = 500000;
+  uint64_t cycles = 0;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    cycles += pe.execute_query(random_key(rng, 256)).cycles;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.set_items_processed(kOps);
+  state.set_counter("sim_cycles_per_query",
+                    static_cast<double>(cycles) / static_cast<double>(kOps));
 }
-BENCHMARK(BM_PeQuery);
 
-void BM_ScanInsert(benchmark::State& state) {
+void micro_scan_insert(benchkit::State& state) {
+  const bool dedup = state.param("mode") == "discretized";
+  state.pause_timing();
   geom::SplitMix64 rng(6);
   geom::PointCloud cloud;
   for (int i = 0; i < 1000; ++i) {
@@ -97,20 +116,27 @@ void BM_ScanInsert(benchmark::State& state) {
                                 static_cast<float>(rng.uniform(-4, 4)),
                                 static_cast<float>(rng.uniform(-1, 1))});
   }
-  const bool dedup = state.range(0) != 0;
-  for (auto _ : state) {
+  state.resume_timing();
+  constexpr int kScans = 20;
+  uint64_t leaves = 0;
+  for (int s = 0; s < kScans; ++s) {
     map::OccupancyOctree tree(0.2);
     map::InsertPolicy policy;
     policy.mode = dedup ? map::InsertMode::kDiscretized : map::InsertMode::kRayByRay;
     map::ScanInserter inserter(tree, policy);
     inserter.insert_scan(cloud, {0, 0, 0});
-    benchmark::DoNotOptimize(tree.leaf_count());
+    leaves += tree.leaf_count();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 1000));
-  state.SetLabel(dedup ? "discretized" : "ray-by-ray");
+  state.set_items_processed(static_cast<uint64_t>(kScans) * 1000);  // points
+  state.set_counter("leaves_per_scan", static_cast<double>(leaves) / kScans);
 }
-BENCHMARK(BM_ScanInsert)->Arg(0)->Arg(1);
+
+OMU_BENCHMARK(micro_octree_update).axis("span", std::vector<int64_t>{32, 256, 2048});
+OMU_BENCHMARK(micro_octree_query);
+OMU_BENCHMARK(micro_ray_keys).axis("len", std::vector<std::string>{"2", "8", "30"});
+OMU_BENCHMARK(micro_pe_update);
+OMU_BENCHMARK(micro_pe_query);
+OMU_BENCHMARK(micro_scan_insert)
+    .axis("mode", std::vector<std::string>{"ray_by_ray", "discretized"});
 
 }  // namespace
-
-BENCHMARK_MAIN();

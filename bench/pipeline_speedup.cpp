@@ -2,96 +2,75 @@
 // wall-clock scans/sec on the FR-079 synthetic dataset for the serial
 // ScanInserter and the key-sharded pipeline at 1/2/4/8 worker threads —
 // the software realization of the PE-array parallelism the OMU paper gets
-// in hardware (Sec. IV-A). Content is verified bit-identical to the
-// serial tree for every configuration.
-#include <chrono>
-#include <iostream>
-#include <vector>
-
-#include "data/datasets.hpp"
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+// in hardware (Sec. IV-A). Content is verified bit-identical to the serial
+// tree for every configuration. These are genuine host wall-time numbers,
+// so the family keeps the global repeat default.
+//
+// Note: speedup tracks available hardware threads; on a single-core host
+// the sharded path measures routing+queueing overhead only.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "benchkit/clock.hpp"
 #include "map/occupancy_octree.hpp"
 #include "map/scan_inserter.hpp"
 #include "pipeline/sharded_map_pipeline.hpp"
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
-  using Clock = std::chrono::steady_clock;
+namespace {
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Pipeline speedup",
-                              "Serial vs key-sharded parallel insertion on the FR-079\n"
-                              "synthetic dataset (software analogue of the PE array).",
-                              options.scale);
+using namespace omu;
 
-  // Materialize the scan stream once so every configuration integrates
-  // identical data and generation cost stays out of the timings.
-  const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, options.scale,
-                                       options.seed);
-  std::vector<data::DatasetScan> scans;
-  scans.reserve(dataset.scan_count());
-  for (std::size_t i = 0; i < dataset.scan_count(); ++i) scans.push_back(dataset.scan(i));
+/// Serial ScanInserter reference (the `threads:0` analogue lives in
+/// bench_common::serial_baseline_memo; this case times it live).
+void pipeline_serial(benchkit::State& state) {
+  state.pause_timing();
+  const std::vector<data::DatasetScan>& scans =
+      bench::scans_memo(data::DatasetId::kFr079Corridor);
+  state.resume_timing();
 
-  const auto seconds_since = [](Clock::time_point t0) {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-  };
-
-  // ---- Serial baseline ----------------------------------------------------
-  map::OccupancyOctree serial_tree(0.2);
-  uint64_t total_updates = 0;
-  double serial_s = 0.0;
-  {
-    map::ScanInserter inserter(serial_tree);
-    const auto t0 = Clock::now();
-    for (const data::DatasetScan& scan : scans) {
-      total_updates += inserter.insert_scan(scan.points, scan.pose.translation()).total_updates();
-    }
-    serial_s = seconds_since(t0);
+  map::OccupancyOctree tree(0.2);
+  map::ScanInserter inserter(tree);
+  uint64_t updates = 0;
+  for (const data::DatasetScan& scan : scans) {
+    updates += inserter.insert_scan(scan.points, scan.pose.translation()).total_updates();
   }
-  const uint64_t reference_hash = serial_tree.content_hash();
-  const double serial_scans_per_s = static_cast<double>(scans.size()) / serial_s;
 
-  std::cout << scans.size() << " scans, " << total_updates << " voxel updates\n\n";
-
-  TablePrinter table({"configuration", "scans/sec", "speedup", "updates/sec", "bit-identical"});
-  table.add_row({"serial ScanInserter", TablePrinter::fixed(serial_scans_per_s, 1),
-                 TablePrinter::speedup(1.0), TablePrinter::count(static_cast<uint64_t>(
-                     static_cast<double>(total_updates) / serial_s)),
-                 "reference"});
-  table.add_separator();
-
-  // ---- Sharded pipeline at 1/2/4/8 workers --------------------------------
-  bool all_identical = true;
-  for (const std::size_t shard_count : {1u, 2u, 4u, 8u}) {
-    pipeline::ShardedPipelineConfig cfg;
-    cfg.shard_count = shard_count;
-    pipeline::ShardedMapPipeline pipe(cfg);
-    map::ScanInserter inserter(pipe);
-
-    const auto t0 = Clock::now();
-    for (const data::DatasetScan& scan : scans) {
-      inserter.insert_scan(scan.points, scan.pose.translation());
-    }
-    pipe.flush();
-    const double elapsed = seconds_since(t0);
-
-    const bool identical = pipe.content_hash() == reference_hash;
-    all_identical = all_identical && identical;
-    const double scans_per_s = static_cast<double>(scans.size()) / elapsed;
-    table.add_row({"sharded x" + std::to_string(shard_count),
-                   TablePrinter::fixed(scans_per_s, 1),
-                   TablePrinter::speedup(scans_per_s / serial_scans_per_s),
-                   TablePrinter::count(static_cast<uint64_t>(
-                       static_cast<double>(total_updates) / elapsed)),
-                   identical ? "yes" : "NO (bug!)"});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nNote: speedup tracks available hardware threads; on a single-core\n"
-               "host the sharded path measures routing+queueing overhead only.\n";
-  std::cout << "All configurations bit-identical to serial: "
-            << (all_identical ? "HOLDS" : "VIOLATED") << '\n';
-  return all_identical ? 0 : 1;
+  state.set_items_processed(updates);
+  state.set_counter("scans", static_cast<double>(scans.size()));
+  state.set_counter("updates", static_cast<double>(updates));
+  state.pause_timing();  // first use may compute the memoized baseline
+  const uint64_t reference_hash = bench::serial_baseline_memo().content_hash;
+  state.resume_timing();
+  state.check("content_matches_reference_hash", tree.content_hash() == reference_hash);
 }
+
+void pipeline_speedup(benchkit::State& state) {
+  const auto threads = static_cast<std::size_t>(state.param_int("threads"));
+  state.pause_timing();
+  const std::vector<data::DatasetScan>& scans =
+      bench::scans_memo(data::DatasetId::kFr079Corridor);
+  const bench::SerialBaseline& serial = bench::serial_baseline_memo();
+  state.resume_timing();
+
+  pipeline::ShardedPipelineConfig cfg;
+  cfg.shard_count = threads;
+  pipeline::ShardedMapPipeline pipe(cfg);
+  map::ScanInserter inserter(pipe);
+
+  const double t0 = benchkit::wall_now_ns();
+  for (const data::DatasetScan& scan : scans) {
+    inserter.insert_scan(scan.points, scan.pose.translation());
+  }
+  pipe.flush();
+  const double elapsed_s = (benchkit::wall_now_ns() - t0) / 1e9;
+
+  const double scans_per_s = static_cast<double>(scans.size()) / elapsed_s;
+  state.set_items_processed(serial.total_updates);
+  state.set_counter("scans_per_sec", scans_per_s);
+  state.set_counter("speedup_vs_serial", scans_per_s / serial.scans_per_sec);
+  state.check("bit_identical_to_serial", pipe.content_hash() == serial.content_hash);
+}
+
+OMU_BENCHMARK(pipeline_serial);
+OMU_BENCHMARK(pipeline_speedup).axis("threads", std::vector<int64_t>{1, 2, 4, 8});
+
+}  // namespace

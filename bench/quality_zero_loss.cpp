@@ -1,31 +1,22 @@
-// Regenerates the paper's two accuracy claims (no dedicated table/figure,
-// asserted in Secs. III-A and IV-B):
-//   1. "Octree pruning can significantly reduce the memory storage by up
-//      to 44% with no accuracy loss"
-//   2. the 16-bit fixed-point probability is "chosen to have zero loss
-//      from the floating-point maps"
-// We build the FR-079 map four ways (float/quantized x pruned/expanded),
-// score each against the generating scene, and measure cross-variant
-// classification agreement.
-#include <iostream>
-
-#include "harness/experiment.hpp"
+// Accuracy claims (paper Secs. III-A and IV-B): octree pruning reduces
+// memory by up to 44% with no accuracy loss, and the 16-bit fixed-point
+// probability has zero loss vs floating-point maps. Builds the FR-079 map
+// four ways (float/quantized x pruned/expanded), scores each against the
+// generating scene, and measures cross-variant classification agreement.
+// Runs at a denser scale (>= 0.006): pruning grows with saturation.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 #include "harness/map_quality.hpp"
-#include "harness/table_printer.hpp"
+#include "map/occupancy_octree.hpp"
 #include "map/scan_inserter.hpp"
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+namespace {
 
-  harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  // Pruning (and therefore the compression claim) grows with saturation
-  // density; evaluate at a denser scale, like the prune-manager ablation.
+using namespace omu;
+
+void quality_zero_loss(benchkit::State& state) {
+  harness::ExperimentOptions options = bench::bench_options();
   if (options.scale < 0.006) options.scale = 0.006;
-  harness::print_bench_header(std::cout, "Accuracy: pruning + fixed point",
-                              "Zero-loss claims (Secs. III-A, IV-B): map accuracy against\n"
-                              "scene ground truth, across quantization and pruning variants.",
-                              options.scale);
 
   const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, options.scale,
                                        options.seed);
@@ -45,35 +36,21 @@ int main() {
   }
 
   // Held-out evaluation scans: same trajectory, different sensor noise.
+  state.pause_timing();
   const data::SyntheticDataset eval_set(data::DatasetId::kFr079Corridor, options.scale,
                                         options.seed + 1000);
   std::vector<data::DatasetScan> eval_scans;
   for (std::size_t i = 0; i < eval_set.scan_count(); i += 4) {
     eval_scans.push_back(eval_set.scan(i));
   }
+  state.resume_timing();
 
   // Expanded copy of the quantized map (pruning undone).
   map::OccupancyOctree expanded = quantized;  // copy
   expanded.expand_all();
 
   const auto q_pruned = harness::evaluate_map_quality(quantized, eval_scans);
-  const auto q_expanded = harness::evaluate_map_quality(expanded, eval_scans);
   const auto q_float = harness::evaluate_map_quality(floating, eval_scans);
-
-  TablePrinter table({"map variant", "occupied acc", "free acc", "overall", "leaves"});
-  table.add_row({"quantized + pruned (OMU)", TablePrinter::percent(q_pruned.occupied_accuracy(), 1),
-                 TablePrinter::percent(q_pruned.free_accuracy(), 1),
-                 TablePrinter::percent(q_pruned.overall_accuracy(), 1),
-                 TablePrinter::count(quantized.leaf_count())});
-  table.add_row({"quantized + expanded", TablePrinter::percent(q_expanded.occupied_accuracy(), 1),
-                 TablePrinter::percent(q_expanded.free_accuracy(), 1),
-                 TablePrinter::percent(q_expanded.overall_accuracy(), 1),
-                 TablePrinter::count(expanded.leaf_count())});
-  table.add_row({"float32 + pruned", TablePrinter::percent(q_float.occupied_accuracy(), 1),
-                 TablePrinter::percent(q_float.free_accuracy(), 1),
-                 TablePrinter::percent(q_float.overall_accuracy(), 1),
-                 TablePrinter::count(floating.leaf_count())});
-  table.print(std::cout);
 
   const geom::Aabb region = dataset.scene().bounds();
   const double prune_agreement =
@@ -83,18 +60,20 @@ int main() {
   const double compression = 1.0 - static_cast<double>(quantized.leaf_count()) /
                                        static_cast<double>(expanded.leaf_count());
 
-  TablePrinter claims({"claim", "paper", "measured"});
-  claims.add_row({"pruning memory reduction", "up to 44%",
-                  TablePrinter::percent(compression, 1) + " fewer leaves"});
-  claims.add_row({"pruning accuracy loss", "none",
-                  TablePrinter::percent(1.0 - prune_agreement, 3) + " disagreement"});
-  claims.add_row({"fixed-point vs float loss", "zero",
-                  TablePrinter::percent(1.0 - fixed_agreement, 3) + " disagreement"});
-  claims.print(std::cout);
+  state.set_items_processed(dataset.scan_count() * 2);  // two maps built
+  state.set_counter("occupied_accuracy", q_pruned.occupied_accuracy());
+  state.set_counter("free_accuracy", q_pruned.free_accuracy());
+  state.set_counter("overall_accuracy", q_pruned.overall_accuracy());
+  state.set_counter("float_overall_accuracy", q_float.overall_accuracy());
+  state.set_counter("compression", compression);
+  state.set_counter("prune_disagreement", 1.0 - prune_agreement);
+  state.set_counter("fixed_point_disagreement", 1.0 - fixed_agreement);
 
-  const bool ok = prune_agreement == 1.0 && fixed_agreement > 0.999 && compression > 0.15;
-  std::cout << "Shape check (pruning lossless, fixed point ~lossless, strong\n"
-               "compression): "
-            << (ok ? "HOLDS" : "VIOLATED") << '\n';
-  return ok ? 0 : 1;
+  state.check("pruning_lossless", prune_agreement == 1.0);
+  state.check("fixed_point_near_lossless", fixed_agreement > 0.999);
+  state.check("compression_gt_15pct", compression > 0.15);
 }
+
+OMU_BENCHMARK(quality_zero_loss).default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,38 +1,90 @@
-// Voxel query service characterization (paper Sec. V: "a strong
-// requirement for tasks like collision detection in autonomously moving
-// robots"). The paper does not evaluate query latency; this bench
-// characterizes it on the built FR-079 map: cycles per query by outcome
-// class and by query resolution (multi-resolution queries terminate
-// earlier thanks to the parent max values the update path maintains).
+// Voxel query characterization (paper Sec. V: "a strong requirement for
+// tasks like collision detection in autonomously moving robots"). The
+// paper does not evaluate query latency; three families cover it:
 //
-// The second half benches the concurrent snapshot query service
-// (src/query): queries/second against the published MapSnapshot as reader
-// threads scale, both on a quiescent map and while the sharded writer is
-// live re-integrating scans and publishing at every flush boundary.
+//   accel_query_outcomes        simulated cycles per query by outcome class
+//   accel_query_depth/depth:N   multi-resolution queries (parent max values
+//                               answer coarse queries early; monotone check)
+//   query_service/readers:N/writer:{off,on}
+//                               queries/second against the published
+//                               MapSnapshot, quiescent and with a live
+//                               sharded writer republishing at every flush
+//
+// The FR-079 map is built once (shared fixture under paused timing): one
+// ray-casting pass, the identical batch applied to the software octree and
+// streamed into the accelerator, plus a sharded pipeline with an attached
+// QueryService.
 #include <atomic>
 #include <chrono>
-#include <iostream>
+#include <memory>
 #include <thread>
-#include <vector>
 
 #include "accel/accel_backend.hpp"
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 #include "geom/rng.hpp"
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
 #include "map/map_backend.hpp"
+#include "map/occupancy_octree.hpp"
 #include "map/scan_inserter.hpp"
 #include "pipeline/sharded_map_pipeline.hpp"
 #include "query/query_service.hpp"
 
 namespace {
 
+using namespace omu;
+
+/// Shared fixture: accelerator + serial octree + pipeline-backed query
+/// service, all integrating the identical FR-079 stream.
+struct QueryFixture {
+  accel::OmuConfig cfg;
+  std::unique_ptr<accel::OmuAccelerator> omu;
+  map::OccupancyOctree tree{0.2};
+  pipeline::ShardedMapPipeline pipeline;
+  query::QueryService service;
+  geom::Aabb region;
+  bool backends_identical = false;
+  bool snapshot_identical = false;
+
+  QueryFixture() {
+    const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor,
+                                         bench::bench_options().scale,
+                                         bench::bench_options().seed);
+    region = dataset.scene().bounds();
+    cfg.rows_per_bank = bench::bench_options().enlarged_rows_per_bank;
+    omu = std::make_unique<accel::OmuAccelerator>(cfg);
+
+    accel::AcceleratorBackend omu_backend(*omu);
+    map::OctreeBackend tree_backend(tree);
+    map::MapBackend* const backends[] = {&tree_backend, &omu_backend};
+    map::ScanInserter inserter(tree_backend);
+    map::UpdateBatch updates;
+    pipeline.attach_query_service(&service);
+    map::ScanInserter pipeline_inserter(pipeline);
+    for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+      const data::DatasetScan scan = dataset.scan(i);
+      updates.clear();
+      inserter.collect_updates(scan.points, scan.pose.translation(), updates);
+      for (map::MapBackend* backend : backends) backend->apply(updates);
+      pipeline_inserter.insert_scan(scan.points, scan.pose.translation());
+    }
+    for (map::MapBackend* backend : backends) backend->flush();
+    pipeline.flush();
+    backends_identical = tree.content_hash() == omu->content_hash();
+    snapshot_identical = service.snapshot()->content_hash() == tree.content_hash();
+  }
+};
+
+QueryFixture& fixture() {
+  static QueryFixture* f = new QueryFixture();
+  return *f;
+}
+
 /// Runs `readers` threads hammering the query service for `duration` and
 /// returns aggregate queries/second. Each reader re-grabs the published
 /// snapshot every 1024 queries (a realistic consumer holds one snapshot
 /// per read batch, not per query).
-double measure_read_throughput(const omu::query::QueryService& service,
-                               const omu::geom::Aabb& region, int readers,
-                               std::chrono::milliseconds duration) {
+double measure_read_throughput(const query::QueryService& service, const geom::Aabb& region,
+                               int readers, std::chrono::milliseconds duration) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_queries{0};
   std::vector<std::thread> threads;
@@ -41,15 +93,15 @@ double measure_read_throughput(const omu::query::QueryService& service,
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < readers; ++r) {
     threads.emplace_back([&, r] {
-      omu::geom::SplitMix64 rng(static_cast<uint64_t>(r) * 104729 + 17);
-      const omu::map::KeyCoder coder(service.snapshot()->resolution());
+      geom::SplitMix64 rng(static_cast<uint64_t>(r) * 104729 + 17);
+      const map::KeyCoder coder(service.snapshot()->resolution());
       uint64_t queries = 0;
       while (!stop.load(std::memory_order_acquire)) {
         const auto snapshot = service.snapshot();
         for (int i = 0; i < 1024; ++i) {
-          const omu::geom::Vec3d p{rng.uniform(region.min.x, region.max.x),
-                                   rng.uniform(region.min.y, region.max.y),
-                                   rng.uniform(region.min.z, region.max.z)};
+          const geom::Vec3d p{rng.uniform(region.min.x, region.max.x),
+                              rng.uniform(region.min.y, region.max.y),
+                              rng.uniform(region.min.z, region.max.z)};
           if (const auto key = coder.key_for(p)) {
             snapshot->classify(*key);
             ++queries;
@@ -62,174 +114,151 @@ double measure_read_throughput(const omu::query::QueryService& service,
   std::this_thread::sleep_for(duration);
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
-  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return static_cast<double>(total_queries.load()) / seconds;
 }
 
-}  // namespace
+/// Simulated accelerator query cycles bucketed by outcome class.
+void accel_query_outcomes(benchkit::State& state) {
+  state.pause_timing();
+  QueryFixture& f = fixture();
+  state.resume_timing();
+  state.check("backends_bit_identical", f.backends_identical);
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
-
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Query service",
-                              "Voxel-query latency on the built FR-079 map (not a paper\n"
-                              "table; characterizes the Sec. V query path).",
-                              options.scale);
-
-  // Build the map on both platforms through the MapBackend interface: one
-  // ray-casting pass, the identical batch applied to the software octree
-  // and streamed into the accelerator.
-  const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, options.scale,
-                                       options.seed);
-  accel::OmuConfig cfg;
-  cfg.rows_per_bank = options.enlarged_rows_per_bank;
-  accel::OmuAccelerator omu(cfg);
-  accel::AcceleratorBackend omu_backend(omu);
-  map::OccupancyOctree tree(0.2);
-  map::OctreeBackend tree_backend(tree);
-  map::MapBackend* const backends[] = {&tree_backend, &omu_backend};
-  map::ScanInserter inserter(tree_backend);
-  map::UpdateBatch updates;
-  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
-    const data::DatasetScan scan = dataset.scan(i);
-    updates.clear();
-    inserter.collect_updates(scan.points, scan.pose.translation(), updates);
-    for (map::MapBackend* backend : backends) backend->apply(updates);
-  }
-  for (map::MapBackend* backend : backends) backend->flush();
-  std::cout << "backends bit-identical (" << tree_backend.name() << " vs " << omu_backend.name()
-            << "): " << (tree.content_hash() == omu.content_hash() ? "yes" : "NO (bug!)")
-            << "\n\n";
-
-  // Random queries across the corridor volume.
   geom::SplitMix64 rng(7);
-  const geom::Aabb region = dataset.scene().bounds();
   struct Bucket {
     uint64_t n = 0;
     uint64_t cycles = 0;
   };
   Bucket by_class[3];
   const map::KeyCoder coder(0.2);
-  for (int i = 0; i < 50000; ++i) {
-    const geom::Vec3d p{rng.uniform(region.min.x, region.max.x),
-                        rng.uniform(region.min.y, region.max.y),
-                        rng.uniform(region.min.z, region.max.z)};
+  constexpr int kQueries = 50000;
+  for (int i = 0; i < kQueries; ++i) {
+    const geom::Vec3d p{rng.uniform(f.region.min.x, f.region.max.x),
+                        rng.uniform(f.region.min.y, f.region.max.y),
+                        rng.uniform(f.region.min.z, f.region.max.z)};
     const auto key = coder.key_for(p);
     if (!key) continue;
-    const auto r = omu.query(*key);
+    const auto r = f.omu->query(*key);
     Bucket& b = by_class[static_cast<int>(r.occupancy)];
     b.n++;
     b.cycles += r.cycles;
   }
 
-  TablePrinter table({"outcome", "queries", "avg cycles", "avg ns @1GHz"});
+  state.set_items_processed(kQueries);
   const char* names[3] = {"unknown", "free", "occupied"};
-  const int order[3] = {2, 1, 0};  // occupied, free, unknown
-  for (const int c : order) {
+  for (int c = 0; c < 3; ++c) {
     const Bucket& b = by_class[c];
-    const double avg = b.n ? static_cast<double>(b.cycles) / static_cast<double>(b.n) : 0.0;
-    table.add_row({names[c], TablePrinter::count(b.n), TablePrinter::fixed(avg, 1),
-                   TablePrinter::fixed(avg, 1)});
+    if (b.n == 0) continue;
+    state.set_counter(std::string("avg_cycles_") + names[c],
+                      static_cast<double>(b.cycles) / static_cast<double>(b.n));
+    state.set_counter(std::string("queries_") + names[c], static_cast<double>(b.n));
   }
-  table.print(std::cout);
+}
 
-  // Multi-resolution sweep: coarser queries finish in fewer cycles.
-  TablePrinter depth_table({"query depth", "voxel edge (m)", "avg cycles"});
+/// Per-depth cycle averages recorded for the monotonicity check (coarser
+/// queries terminate earlier thanks to maintained parent max values).
+std::map<int64_t, double>& depth_cycles_cache() {
+  static std::map<int64_t, double> cache;
+  return cache;
+}
+
+void accel_query_depth(benchkit::State& state) {
+  const int64_t depth = state.param_int("depth");
+  state.pause_timing();
+  QueryFixture& f = fixture();
+  state.resume_timing();
+
+  const map::KeyCoder coder(0.2);
+  uint64_t n = 0;
+  uint64_t cycles = 0;
+  geom::SplitMix64 drng(13);
+  constexpr int kQueries = 20000;
+  for (int i = 0; i < kQueries; ++i) {
+    const geom::Vec3d p{drng.uniform(f.region.min.x, f.region.max.x),
+                        drng.uniform(f.region.min.y, f.region.max.y),
+                        drng.uniform(f.region.min.z, f.region.max.z)};
+    const auto key = coder.key_for(p);
+    if (!key) continue;
+    cycles += f.omu->query(*key, static_cast<int>(depth)).cycles;
+    ++n;
+  }
+  const double avg = static_cast<double>(cycles) / static_cast<double>(n);
+  state.set_items_processed(n);
+  state.set_counter("avg_cycles", avg);
+  state.set_counter("voxel_edge_m", coder.node_size(static_cast<int>(depth)));
+  depth_cycles_cache()[depth] = avg;
+
+  // Coarser queries are never slower (parent values answer early). The
+  // axis runs fine-to-coarse, so each case checks against all finer ones
+  // recorded so far; under a filter the cache may be partial and the
+  // check degenerates to trivially true.
   bool monotone = true;
-  double last = 1e18;
-  for (const int depth : {16, 14, 12, 10, 8}) {
-    uint64_t n = 0;
-    uint64_t cycles = 0;
-    geom::SplitMix64 drng(13);
-    for (int i = 0; i < 20000; ++i) {
-      const geom::Vec3d p{drng.uniform(region.min.x, region.max.x),
-                          drng.uniform(region.min.y, region.max.y),
-                          drng.uniform(region.min.z, region.max.z)};
-      const auto key = coder.key_for(p);
-      if (!key) continue;
-      cycles += omu.query(*key, depth).cycles;
-      ++n;
-    }
-    const double avg = static_cast<double>(cycles) / static_cast<double>(n);
-    depth_table.add_row({std::to_string(depth), TablePrinter::fixed(coder.node_size(depth), 2),
-                         TablePrinter::fixed(avg, 1)});
-    monotone = monotone && avg <= last + 1e-9;
-    last = avg;
+  for (const auto& [finer_depth, finer_avg] : depth_cycles_cache()) {
+    if (finer_depth > depth) monotone = monotone && avg <= finer_avg + 1e-9;
   }
-  depth_table.print(std::cout);
-  std::cout << "Coarser queries are never slower (parent values answer early): "
-            << (monotone ? "HOLDS" : "VIOLATED") << '\n';
+  state.check("coarser_never_slower", monotone);
+}
 
-  // ---- Concurrent snapshot query service --------------------------------
-  //
-  // Build the same map through the sharded pipeline with an attached
-  // QueryService (publishing at every flush), then scale reader threads
-  // against the published snapshot — first quiescent, then with a live
-  // writer continuously re-integrating scans and republishing.
-  std::cout << "\nConcurrent snapshot query service (src/query):\n";
-  pipeline::ShardedMapPipeline pipeline;
-  query::QueryService service;
-  pipeline.attach_query_service(&service);
-  {
-    map::ScanInserter pipeline_inserter(pipeline);
-    for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
-      const data::DatasetScan scan = dataset.scan(i);
-      pipeline_inserter.insert_scan(scan.points, scan.pose.translation());
-    }
-  }
-  pipeline.flush();
-  const bool snapshot_identical = service.snapshot()->content_hash() == tree.content_hash();
-  std::cout << "snapshot bit-identical to flushed serial map: "
-            << (snapshot_identical ? "yes" : "NO (bug!)") << "\n"
-            << "snapshot leaves: " << TablePrinter::count(service.snapshot()->leaf_count())
-            << ", epoch " << service.epoch() << ", "
-            << TablePrinter::fixed(static_cast<double>(service.snapshot()->memory_bytes()) / (1024.0 * 1024.0), 1)
-            << " MiB flattened\n\n";
+void query_service(benchkit::State& state) {
+  const int readers = static_cast<int>(state.param_int("readers"));
+  const bool live_writer = state.param_flag("writer");
 
-  const auto bench_ms = std::chrono::milliseconds(options.scale < 0.1 ? 100 : 200);
-  TablePrinter concurrent_table(
-      {"readers", "Mq/s (quiescent)", "Mq/s (live writer)", "publications"});
-  double qps_1 = 0.0;
-  double qps_max = 0.0;
-  for (const int readers : {1, 2, 4, 8}) {
-    const double quiet = measure_read_throughput(service, region, readers, bench_ms);
+  state.pause_timing();
+  QueryFixture& f = fixture();
+  const std::vector<data::DatasetScan>& scans =
+      bench::scans_memo(data::DatasetId::kFr079Corridor);
+  state.resume_timing();
 
+  state.check("snapshot_bit_identical_to_serial", f.snapshot_identical);
+  state.set_counter("snapshot_leaves", static_cast<double>(f.service.snapshot()->leaf_count()));
+  state.set_counter("snapshot_mib",
+                    static_cast<double>(f.service.snapshot()->memory_bytes()) / (1024.0 * 1024.0));
+
+  const auto bench_ms =
+      std::chrono::milliseconds(bench::bench_options().scale < 0.1 ? 100 : 200);
+
+  std::atomic<bool> writer_stop{false};
+  std::thread writer;
+  const uint64_t pubs_before = f.service.publications();
+  if (live_writer) {
     // Live writer: re-stream the dataset into the pipeline, flushing (and
     // therefore publishing a fresh snapshot) after every scan.
-    std::atomic<bool> writer_stop{false};
-    std::thread writer([&] {
-      map::ScanInserter writer_inserter(pipeline);
+    writer = std::thread([&] {
+      map::ScanInserter writer_inserter(f.pipeline);
       std::size_t i = 0;
       while (!writer_stop.load(std::memory_order_acquire)) {
-        const data::DatasetScan scan = dataset.scan(i++ % dataset.scan_count());
+        const data::DatasetScan& scan = scans[i++ % scans.size()];
         writer_inserter.insert_scan(scan.points, scan.pose.translation());
-        pipeline.flush();
+        f.pipeline.flush();
       }
     });
-    const uint64_t pubs_before = service.publications();
-    const double live = measure_read_throughput(service, region, readers, bench_ms);
+  }
+  const double qps = measure_read_throughput(f.service, f.region, readers, bench_ms);
+  if (live_writer) {
     writer_stop.store(true, std::memory_order_release);
     writer.join();
-    const uint64_t pubs = service.publications() - pubs_before;
-
-    if (readers == 1) qps_1 = quiet;
-    qps_max = std::max(qps_max, quiet);
-    concurrent_table.add_row({std::to_string(readers), TablePrinter::fixed(quiet / 1e6, 2),
-                              TablePrinter::fixed(live / 1e6, 2), TablePrinter::count(pubs)});
-  }
-  concurrent_table.print(std::cout);
-  const unsigned cores = std::thread::hardware_concurrency();
-  if (cores >= 2) {
-    const bool scales = qps_max > qps_1 * 1.5;
-    std::cout << "Read throughput scales with reader threads (" << cores
-              << " cores): " << (scales ? "HOLDS" : "VIOLATED (no speedup over 1 reader)")
-              << '\n';
-  } else {
-    std::cout << "Read scaling not assessable on a single-core host (readers are "
-                 "time-sliced); the lock-free read path is still exercised.\n";
+    state.set_counter("publications", static_cast<double>(f.service.publications() - pubs_before));
   }
 
-  return (monotone && snapshot_identical) ? 0 : 1;
+  state.set_items_processed(static_cast<uint64_t>(qps * (static_cast<double>(bench_ms.count()) / 1e3)));
+  state.set_counter("mqps", qps / 1e6);
+
+  // Reader scaling is only assessable on a multi-core host; the lock-free
+  // read path is exercised regardless.
+  if (readers > 1 && std::thread::hardware_concurrency() < 2) {
+    state.set_counter("single_core_host", 1.0);
+  }
 }
+
+OMU_BENCHMARK(accel_query_outcomes).default_repeats(1).default_warmup(0);
+OMU_BENCHMARK(accel_query_depth)
+    .axis("depth", std::vector<int64_t>{16, 14, 12, 10, 8})
+    .default_repeats(1).default_warmup(0);
+OMU_BENCHMARK(query_service)
+    .axis("readers", std::vector<int64_t>{1, 2, 4})
+    .axis("writer", std::vector<std::string>{"off", "on"})
+    .default_warmup(0);
+
+}  // namespace

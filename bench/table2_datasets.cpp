@@ -1,64 +1,38 @@
-// Regenerates Table II: details of the OctoMap 3D scan dataset — scan
-// counts, points, voxel updates, modeled i9 latency and CPU throughput.
-#include <iostream>
+// Table II: details of the OctoMap 3D scan dataset — scan counts, points,
+// voxel updates, modeled i9 latency and CPU throughput, per dataset.
+// Timed region: the full three-platform experiment (the host-side cost of
+// the simulation pipeline itself). Counters carry the modeled workload
+// numbers the paper's table reports.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(
-      std::cout, "Table II",
-      "Details of the OctoMap 3D scan dataset (synthetic reproduction):\n"
-      "paper value / measured value per cell.",
-      options.scale);
+void table2_datasets(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const data::PaperWorkloadStats paper = data::paper_workload(id);
 
-  const harness::ExperimentRunner runner(options);
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("scans", static_cast<double>(r.measured.scans));
+  state.set_counter("points_m", r.full_points / 1e6);
+  state.set_counter("voxel_updates_m", r.full_updates / 1e6);
+  state.set_counter("updates_per_point", r.measured.updates_per_point);
+  state.set_counter("paper_updates_per_point", paper.updates_per_point());
+  state.set_counter("i9_latency_s", r.i9.latency_s);
+  state.set_counter("i9_fps", r.i9.fps);
 
-  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
-  std::vector<std::string> scan_row{"Scan Number"};
-  std::vector<std::string> pts_row{"Average Points / Scan"};
-  std::vector<std::string> cloud_row{"Point Cloud (x1e6)"};
-  std::vector<std::string> updates_row{"Voxel Update (x1e6)"};
-  std::vector<std::string> upd_pt_row{"Updates / Point"};
-  std::vector<std::string> lat_row{"i9 CPU Latency (s)"};
-  std::vector<std::string> fps_row{"CPU Throughput (FPS)"};
-
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const data::PaperWorkloadStats paper = data::paper_workload(id);
-    const harness::PaperDatasetRef ref = harness::paper_reference(id);
-
-    scan_row.push_back(TablePrinter::count(paper.scans) + " / " +
-                       TablePrinter::count(r.measured.scans * (id == data::DatasetId::kNewCollege
-                                                                   ? static_cast<uint64_t>(1.0 / r.scale)
-                                                                   : 1)));
-    pts_row.push_back(TablePrinter::count(paper.avg_points_per_scan));
-    cloud_row.push_back(TablePrinter::fixed(paper.total_points / 1e6, 1) + " / " +
-                        TablePrinter::fixed(r.full_points / 1e6, 1));
-    updates_row.push_back(TablePrinter::fixed(paper.total_voxel_updates / 1e6, 0) + " / " +
-                          TablePrinter::fixed(r.full_updates / 1e6, 0));
-    upd_pt_row.push_back(TablePrinter::fixed(paper.updates_per_point(), 1) + " / " +
-                         TablePrinter::fixed(r.measured.updates_per_point, 1));
-    lat_row.push_back(TablePrinter::fixed(ref.i9_latency_s, 1) + " / " +
-                      TablePrinter::fixed(r.i9.latency_s, 1));
-    fps_row.push_back(TablePrinter::fixed(ref.i9_fps, 2) + " / " +
-                      TablePrinter::fixed(r.i9.fps, 2));
-  }
-
-  table.add_row(scan_row);
-  table.add_row(pts_row);
-  table.add_row(cloud_row);
-  table.add_row(updates_row);
-  table.add_row(upd_pt_row);
-  table.add_separator();
-  table.add_row(lat_row);
-  table.add_row(fps_row);
-  table.print(std::cout);
-  std::cout << "(cells: paper / this reproduction; scan number for New College is\n"
-               " scaled back to full size for comparison)\n";
-  return 0;
+  // The synthetic workload must stay in the paper's updates-per-point
+  // regime, else every downstream model number silently drifts.
+  const double ratio = r.measured.updates_per_point / paper.updates_per_point();
+  state.check("updates_per_point_within_2x", ratio > 0.5 && ratio < 2.0);
 }
+
+OMU_BENCHMARK(table2_datasets)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,56 +1,38 @@
-// Regenerates Table III: full-map build latency (s) on Intel i9, ARM A57
-// and the OMU accelerator, with speedups.
-#include <iostream>
+// Table III: full-map build latency (s) on Intel i9, Arm A57 and the OMU
+// accelerator, with speedups. The old shape check survives as benchkit
+// checks: order-of-magnitude speedups and the OMU >> i9 > A57 ordering.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Table III",
-                              "Latency performance (s) comparison (paper / measured).",
-                              options.scale);
+void table3_latency(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const harness::PaperDatasetRef ref = harness::paper_reference(id);
 
-  const harness::ExperimentRunner runner(options);
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("i9_latency_s", r.i9.latency_s);
+  state.set_counter("a57_latency_s", r.a57.latency_s);
+  state.set_counter("omu_latency_s", r.omu.latency_s);
+  state.set_counter("paper_omu_latency_s", ref.omu_latency_s);
+  const double su_i9 = r.i9.latency_s / r.omu.latency_s;
+  const double su_a57 = r.a57.latency_s / r.omu.latency_s;
+  state.set_counter("speedup_over_i9", su_i9);
+  state.set_counter("speedup_over_a57", su_a57);
+  state.set_counter("paper_speedup_over_i9", ref.speedup_over_i9);
+  state.set_counter("paper_speedup_over_a57", ref.speedup_over_a57);
 
-  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
-  std::vector<std::string> i9_row{"Intel i9 CPU"};
-  std::vector<std::string> a57_row{"Arm A57 CPU"};
-  std::vector<std::string> omu_row{"OMU accelerator"};
-  std::vector<std::string> su_i9_row{"Speedup over i9"};
-  std::vector<std::string> su_a57_row{"Speedup over A57"};
-
-  bool shape_holds = true;
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const harness::PaperDatasetRef ref = harness::paper_reference(id);
-    i9_row.push_back(TablePrinter::fixed(ref.i9_latency_s, 1) + " / " +
-                     TablePrinter::fixed(r.i9.latency_s, 1));
-    a57_row.push_back(TablePrinter::fixed(ref.a57_latency_s, 1) + " / " +
-                      TablePrinter::fixed(r.a57.latency_s, 1));
-    omu_row.push_back(TablePrinter::fixed(ref.omu_latency_s, 2) + " / " +
-                      TablePrinter::fixed(r.omu.latency_s, 2));
-    const double su_i9 = r.i9.latency_s / r.omu.latency_s;
-    const double su_a57 = r.a57.latency_s / r.omu.latency_s;
-    su_i9_row.push_back(TablePrinter::speedup(ref.speedup_over_i9) + " / " +
-                        TablePrinter::speedup(su_i9));
-    su_a57_row.push_back(TablePrinter::speedup(ref.speedup_over_a57) + " / " +
-                         TablePrinter::speedup(su_a57));
-    shape_holds = shape_holds && su_i9 > 5.0 && su_a57 > 25.0 &&
-                  r.a57.latency_s > r.i9.latency_s;
-  }
-
-  table.add_row(i9_row);
-  table.add_row(a57_row);
-  table.add_row(omu_row);
-  table.add_separator();
-  table.add_row(su_i9_row);
-  table.add_row(su_a57_row);
-  table.print(std::cout);
-  std::cout << "Shape check (OMU >> i9 > A57, order-of-magnitude speedups): "
-            << (shape_holds ? "HOLDS" : "VIOLATED") << '\n';
-  return shape_holds ? 0 : 1;
+  state.check("speedup_i9_gt_5x", su_i9 > 5.0);
+  state.check("speedup_a57_gt_25x", su_a57 > 25.0);
+  state.check("a57_slower_than_i9", r.a57.latency_s > r.i9.latency_s);
 }
+
+OMU_BENCHMARK(table3_latency)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,49 +1,32 @@
-// Regenerates Table IV: frame-equivalent throughput (FPS) on the three
-// platforms. FPS = voxel updates/s / 1.152e6 (the paper's 320x240-frame
-// conversion, verified against all 12 of its table entries).
-#include <iostream>
+// Table IV: frame-equivalent throughput (FPS) on the three platforms.
+// FPS = voxel updates/s / 1.152e6 (the paper's 320x240-frame conversion).
+// Checks: OMU exceeds the 30 FPS real-time requirement, and the platform
+// ordering OMU > i9 > A57 holds.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Table IV",
-                              "Throughput performance (FPS) comparison (paper / measured).\n"
-                              "Real-time requirement: 30 FPS.",
-                              options.scale);
+void table4_throughput(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const harness::PaperDatasetRef ref = harness::paper_reference(id);
 
-  const harness::ExperimentRunner runner(options);
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("i9_fps", r.i9.fps);
+  state.set_counter("a57_fps", r.a57.fps);
+  state.set_counter("omu_fps", r.omu.fps);
+  state.set_counter("paper_omu_fps", ref.omu_fps);
 
-  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
-  std::vector<std::string> i9_row{"Intel i9 CPU"};
-  std::vector<std::string> a57_row{"Arm A57 CPU"};
-  std::vector<std::string> omu_row{"OMU accelerator"};
-
-  bool realtime = true;
-  bool ordering = true;
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const harness::PaperDatasetRef ref = harness::paper_reference(id);
-    i9_row.push_back(TablePrinter::fixed(ref.i9_fps, 2) + " / " +
-                     TablePrinter::fixed(r.i9.fps, 2));
-    a57_row.push_back(TablePrinter::fixed(ref.a57_fps, 2) + " / " +
-                      TablePrinter::fixed(r.a57.fps, 2));
-    omu_row.push_back(TablePrinter::fixed(ref.omu_fps, 2) + " / " +
-                      TablePrinter::fixed(r.omu.fps, 2));
-    realtime = realtime && r.omu.fps > 30.0;
-    ordering = ordering && r.omu.fps > r.i9.fps && r.i9.fps > r.a57.fps;
-  }
-
-  table.add_row(i9_row);
-  table.add_row(a57_row);
-  table.add_row(omu_row);
-  table.print(std::cout);
-  std::cout << "OMU exceeds the 30 FPS real-time requirement on all maps: "
-            << (realtime ? "YES" : "NO") << '\n'
-            << "Platform ordering OMU > i9 > A57 holds: " << (ordering ? "YES" : "NO") << '\n';
-  return (realtime && ordering) ? 0 : 1;
+  state.check("omu_realtime_30fps", r.omu.fps > 30.0);
+  state.check("ordering_omu_i9_a57", r.omu.fps > r.i9.fps && r.i9.fps > r.a57.fps);
 }
+
+OMU_BENCHMARK(table4_throughput)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

@@ -1,55 +1,34 @@
-// Regenerates Table V: energy consumption (J) of the ARM A57 CPU vs the
-// OMU accelerator for the full map builds, and the energy benefit. The
-// paper excludes the 165 W-TDP desktop i9 from this comparison; we print
-// its modeled numbers for context anyway.
-#include <iostream>
+// Table V: energy consumption (J) of the Arm A57 CPU vs the OMU
+// accelerator for the full map builds. The paper excludes the 165 W-TDP
+// desktop i9 from this comparison; its modeled energy is a counter for
+// context anyway. Check: the energy benefit is in the hundreds.
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "harness/paper_reference.hpp"
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+namespace {
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+using namespace omu;
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Table V",
-                              "Energy consumption (J) comparison (paper / measured).",
-                              options.scale);
+void table5_energy(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const harness::PaperDatasetRef ref = harness::paper_reference(id);
 
-  const harness::ExperimentRunner runner(options);
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("a57_energy_j", r.a57.energy_j);
+  state.set_counter("omu_energy_j", r.omu.energy_j);
+  state.set_counter("i9_energy_j", r.i9.energy_j);
+  state.set_counter("omu_power_mw", r.omu.power_w * 1e3);
+  const double benefit = r.a57.energy_j / r.omu.energy_j;
+  state.set_counter("energy_benefit", benefit);
+  state.set_counter("paper_energy_benefit", ref.energy_benefit);
 
-  TablePrinter table({"", "FR-079 corridor", "Freiburg campus", "New College"});
-  std::vector<std::string> a57_row{"Arm A57 CPU"};
-  std::vector<std::string> omu_row{"OMU accelerator"};
-  std::vector<std::string> benefit_row{"Energy benefit"};
-  std::vector<std::string> power_row{"OMU avg power (mW)"};
-  std::vector<std::string> i9_row{"[context] i9 energy (J)"};
-
-  bool shape_holds = true;
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const harness::PaperDatasetRef ref = harness::paper_reference(id);
-    a57_row.push_back(TablePrinter::fixed(ref.a57_energy_j, 1) + " / " +
-                      TablePrinter::fixed(r.a57.energy_j, 1));
-    omu_row.push_back(TablePrinter::fixed(ref.omu_energy_j, 2) + " / " +
-                      TablePrinter::fixed(r.omu.energy_j, 2));
-    const double benefit = r.a57.energy_j / r.omu.energy_j;
-    benefit_row.push_back(TablePrinter::speedup(ref.energy_benefit) + " / " +
-                          TablePrinter::speedup(benefit));
-    power_row.push_back("250.8 / " + TablePrinter::fixed(r.omu.power_w * 1e3, 1));
-    i9_row.push_back("- / " + TablePrinter::fixed(r.i9.energy_j, 1));
-    // Shape: benefit must be in the hundreds.
-    shape_holds = shape_holds && benefit > 100.0;
-  }
-
-  table.add_row(a57_row);
-  table.add_row(omu_row);
-  table.add_separator();
-  table.add_row(benefit_row);
-  table.add_row(power_row);
-  table.add_row(i9_row);
-  table.print(std::cout);
-  std::cout << "Energy benefit is in the hundreds on all maps: "
-            << (shape_holds ? "YES" : "NO") << '\n';
-  return shape_holds ? 0 : 1;
+  state.check("energy_benefit_gt_100x", benefit > 100.0);
 }
+
+OMU_BENCHMARK(table5_energy)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

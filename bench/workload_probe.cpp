@@ -3,76 +3,53 @@
 // measurement that grounds the CPU cost-model calibration (see
 // cpumodel/cpu_cost_model.cpp) and the PE load-balance analysis; it is
 // also the quickest place to see how a scene change shifts the workload.
-#include <iostream>
+#include <algorithm>
 
-#include "harness/experiment.hpp"
-#include "harness/table_printer.hpp"
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
 
-int main() {
-  using namespace omu;
-  using harness::TablePrinter;
+namespace {
 
-  const harness::ExperimentOptions options = harness::ExperimentOptions::from_env();
-  harness::print_bench_header(std::cout, "Workload probe",
-                              "Per-voxel-update operation counts (drive the CPU cost models)\n"
-                              "and accelerator cycle/load profile.",
-                              options.scale);
-  const harness::ExperimentRunner runner(options);
+using namespace omu;
 
-  TablePrinter table({"per update", "FR-079 corridor", "Freiburg campus", "New College"});
-  std::vector<std::vector<std::string>> rows(12);
-  const char* names[] = {"ray_cast_steps", "descend_steps", "leaf_updates",  "early_aborts",
-                         "parent_updates", "prune_checks",  "prunes",        "expands",
-                         "fresh_allocs",   "omu cycles (aggregate)", "omu PE busy cyc/upd",
-                         "omu sram acc/upd"};
-  for (int i = 0; i < 12; ++i) rows[static_cast<std::size_t>(i)].push_back(names[i]);
+void workload_probe(benchkit::State& state) {
+  const data::DatasetId id = bench::dataset_param(state);
+  const harness::ExperimentResult r = bench::full_run_timed(id);
+  const map::PhaseStats& s = r.measured.map_stats;
+  const double n = static_cast<double>(s.voxel_updates);
 
-  TablePrinter pe_table({"dataset", "PE loads (% of updates)", "max/mean", "stall cycles"});
+  state.set_items_processed(r.measured.voxel_updates);
+  state.set_counter("ray_cast_steps_per_update", static_cast<double>(s.ray_cast_steps) / n);
+  state.set_counter("descend_steps_per_update", static_cast<double>(s.descend_steps) / n);
+  state.set_counter("leaf_updates_per_update", static_cast<double>(s.leaf_updates) / n);
+  state.set_counter("early_aborts_per_update", static_cast<double>(s.early_aborts) / n);
+  state.set_counter("parent_updates_per_update", static_cast<double>(s.parent_updates) / n);
+  state.set_counter("prune_checks_per_update", static_cast<double>(s.prune_checks) / n);
+  state.set_counter("prunes_per_update", static_cast<double>(s.prunes) / n);
+  state.set_counter("expands_per_update", static_cast<double>(s.expands) / n);
+  state.set_counter("fresh_allocs_per_update", static_cast<double>(s.fresh_allocs) / n);
+  state.set_counter("omu_cycles_per_update", r.omu_details.cycles_per_update);
+  state.set_counter("omu_pe_busy_cycles_per_update", r.omu_details.pe_busy_cycles_per_update);
+  state.set_counter("omu_sram_accesses_per_update", r.omu_details.sram_accesses_per_update);
 
-  for (const data::DatasetId id : data::kAllDatasets) {
-    const harness::ExperimentResult r = runner.run(id);
-    const map::PhaseStats& s = r.measured.map_stats;
-    const double n = static_cast<double>(s.voxel_updates);
-    const auto per = [&n](uint64_t v) { return TablePrinter::fixed(static_cast<double>(v) / n, 3); };
-    rows[0].push_back(per(s.ray_cast_steps));
-    rows[1].push_back(per(s.descend_steps));
-    rows[2].push_back(per(s.leaf_updates));
-    rows[3].push_back(per(s.early_aborts));
-    rows[4].push_back(per(s.parent_updates));
-    rows[5].push_back(per(s.prune_checks));
-    rows[6].push_back(per(s.prunes));
-    rows[7].push_back(per(s.expands));
-    rows[8].push_back(per(s.fresh_allocs));
-    rows[9].push_back(TablePrinter::fixed(r.omu_details.cycles_per_update, 2));
-    rows[10].push_back(TablePrinter::fixed(r.omu_details.pe_busy_cycles_per_update, 2));
-    rows[11].push_back(TablePrinter::fixed(r.omu_details.sram_accesses_per_update, 2));
-
-    std::string loads;
-    uint64_t max_load = 0;
-    uint64_t total = 0;
-    for (const uint64_t u : r.omu_details.per_pe_updates) {
-      loads += TablePrinter::fixed(100.0 * static_cast<double>(u) / n, 0) + " ";
-      max_load = std::max(max_load, u);
-      total += u;
-    }
-    const double mean =
-        static_cast<double>(total) / static_cast<double>(r.omu_details.per_pe_updates.size());
-    std::string busy_str;
-    uint64_t max_busy = 0;
-    for (const uint64_t b : r.omu_details.per_pe_busy_cycles) {
-      busy_str += TablePrinter::fixed(static_cast<double>(b) / 1e6, 1) + " ";
-      max_busy = std::max(max_busy, b);
-    }
-    pe_table.add_row({r.name, loads, TablePrinter::fixed(static_cast<double>(max_load) / mean, 2),
-                      std::to_string(r.omu_details.scheduler_stall_cycles)});
-    pe_table.add_row({"  busy Mcyc: " + busy_str,
-                      "max-PE bound: " +
-                          TablePrinter::fixed(static_cast<double>(max_busy) / n, 2) + " cyc/upd",
-                      "", ""});
+  // PE load balance: max/mean of per-PE update counts.
+  uint64_t max_load = 0;
+  uint64_t total = 0;
+  for (const uint64_t u : r.omu_details.per_pe_updates) {
+    max_load = std::max(max_load, u);
+    total += u;
   }
-  for (auto& row : rows) table.add_row(row);
-  table.print(std::cout);
-  std::cout << '\n';
-  pe_table.print(std::cout);
-  return 0;
+  if (!r.omu_details.per_pe_updates.empty() && total > 0) {
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(r.omu_details.per_pe_updates.size());
+    state.set_counter("pe_load_max_over_mean", static_cast<double>(max_load) / mean);
+  }
+  state.set_counter("scheduler_stall_cycles",
+                    static_cast<double>(r.omu_details.scheduler_stall_cycles));
 }
+
+OMU_BENCHMARK(workload_probe)
+    .axis("dataset", omu::bench::dataset_axis())
+    .default_repeats(1).default_warmup(0);
+
+}  // namespace

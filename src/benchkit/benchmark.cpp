@@ -1,0 +1,122 @@
+#include "benchkit/benchmark.hpp"
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "benchkit/clock.hpp"
+
+namespace omu::benchkit {
+
+double wall_now_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+double cpu_now_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+}
+
+const std::string& State::param(const std::string& key) const {
+  for (const Param& p : params_) {
+    if (p.key == key) return p.value;
+  }
+  throw std::out_of_range("benchkit: unknown parameter '" + key + "'");
+}
+
+int64_t State::param_int(const std::string& key) const {
+  return std::strtoll(param(key).c_str(), nullptr, 10);
+}
+
+double State::param_double(const std::string& key) const {
+  return std::strtod(param(key).c_str(), nullptr);
+}
+
+bool State::param_flag(const std::string& key) const {
+  const std::string& v = param(key);
+  return v == "on" || v == "true" || v == "1";
+}
+
+void State::pause_timing() {
+  if (paused_) return;
+  paused_ = true;
+  pause_started_wall_ns_ = wall_now_ns();
+  pause_started_cpu_ns_ = cpu_now_ns();
+}
+
+void State::resume_timing() {
+  if (!paused_) return;
+  paused_ = false;
+  paused_wall_ns_ += wall_now_ns() - pause_started_wall_ns_;
+  paused_cpu_ns_ += cpu_now_ns() - pause_started_cpu_ns_;
+}
+
+void State::skip(std::string reason) {
+  skipped_ = true;
+  skip_reason_ = std::move(reason);
+}
+
+void State::reset_for_repeat() {
+  resume_timing();  // a body that forgot to resume still accounts correctly
+  paused_wall_ns_ = 0.0;
+  paused_cpu_ns_ = 0.0;
+}
+
+Family& Family::axis(std::string key, std::vector<int64_t> values) {
+  Axis axis;
+  axis.key = std::move(key);
+  axis.values.reserve(values.size());
+  for (const int64_t v : values) axis.values.push_back(std::to_string(v));
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+Family& Family::axis(std::string key, std::vector<std::string> values) {
+  axes_.push_back(Axis{std::move(key), std::move(values)});
+  return *this;
+}
+
+std::vector<std::vector<Param>> Family::expand_cases() const {
+  std::vector<std::vector<Param>> cases{{}};
+  for (const Axis& axis : axes_) {
+    std::vector<std::vector<Param>> next;
+    next.reserve(cases.size() * axis.values.size());
+    for (const std::vector<Param>& base : cases) {
+      for (const std::string& value : axis.values) {
+        std::vector<Param> expanded = base;
+        expanded.push_back(Param{axis.key, value});
+        next.push_back(std::move(expanded));
+      }
+    }
+    cases = std::move(next);
+  }
+  return cases;
+}
+
+std::string case_name(const std::string& family, const std::vector<Param>& params) {
+  std::string name = family;
+  for (const Param& p : params) {
+    name += '/';
+    name += p.key;
+    name += ':';
+    name += p.value;
+  }
+  return name;
+}
+
+std::deque<Family>& registry() {
+  static std::deque<Family>* families = new std::deque<Family>();
+  return *families;
+}
+
+Family& register_family(std::string name, BenchFn fn) {
+  registry().emplace_back(std::move(name), std::move(fn));
+  return registry().back();
+}
+
+}  // namespace omu::benchkit

@@ -1,0 +1,11 @@
+// Wall and process-CPU clock reads in nanoseconds (monotonic; only
+// differences are meaningful). CPU time aggregates all threads of the
+// process, so a perfectly parallel section shows cpu ~= nproc * wall.
+#pragma once
+
+namespace omu::benchkit {
+
+double wall_now_ns();
+double cpu_now_ns();
+
+}  // namespace omu::benchkit

@@ -1,0 +1,92 @@
+#include "benchkit/env_capture.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+namespace omu::benchkit {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("Clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("GNU ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// First line of a shell command's stdout, or empty on any failure.
+std::string command_line_output(const char* cmd) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (!pipe) return {};
+  std::array<char, 128> buf{};
+  std::string out;
+  if (std::fgets(buf.data(), buf.size(), pipe)) out = buf.data();
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+std::string resolve_git_sha() {
+  if (const char* sha = std::getenv("OMU_GIT_SHA")) return sha;
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  const std::string sha = command_line_output("git rev-parse --short=12 HEAD 2>/dev/null");
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace
+
+EnvInfo capture_env() {
+  EnvInfo env;
+  env.compiler = compiler_id();
+#ifdef OMU_COMPILE_FLAGS
+  env.flags = OMU_COMPILE_FLAGS;
+#else
+  env.flags = "unknown";
+#endif
+#ifdef OMU_BUILD_TYPE
+  env.build_type = OMU_BUILD_TYPE;
+#else
+  env.build_type = "unknown";
+#endif
+  env.git_sha = resolve_git_sha();
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) == 0) env.hostname = host;
+  env.nproc = std::thread::hardware_concurrency();
+  env.timestamp_s = static_cast<int64_t>(std::time(nullptr));
+  return env;
+}
+
+Json EnvInfo::to_json() const {
+  Json::Object obj;
+  obj["compiler"] = compiler;
+  obj["flags"] = flags;
+  obj["build_type"] = build_type;
+  obj["git_sha"] = git_sha;
+  obj["hostname"] = hostname;
+  obj["nproc"] = static_cast<int64_t>(nproc);
+  obj["timestamp_s"] = timestamp_s;
+  return Json(std::move(obj));
+}
+
+EnvInfo EnvInfo::from_json(const Json& j) {
+  EnvInfo env;
+  env.compiler = j.string_or("compiler", "unknown");
+  env.flags = j.string_or("flags", "unknown");
+  env.build_type = j.string_or("build_type", "unknown");
+  env.git_sha = j.string_or("git_sha", "unknown");
+  env.hostname = j.string_or("hostname", "");
+  env.nproc = static_cast<unsigned>(j.number_or("nproc", 0));
+  env.timestamp_s = static_cast<int64_t>(j.number_or("timestamp_s", 0));
+  return env;
+}
+
+}  // namespace omu::benchkit

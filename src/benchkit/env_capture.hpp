@@ -1,0 +1,29 @@
+// Capture of the build/host environment that a benchmark number is only
+// meaningful relative to: compiler, flags, core count, git revision.
+// Serialized into every BENCH.json so baselines carry their provenance.
+#pragma once
+
+#include <string>
+
+#include "benchkit/json.hpp"
+
+namespace omu::benchkit {
+
+struct EnvInfo {
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string flags;       ///< compile flags baked in by CMake
+  std::string build_type;  ///< Release / RelWithDebInfo / ...
+  std::string git_sha;     ///< short revision, "unknown" outside a checkout
+  std::string hostname;
+  unsigned nproc = 0;
+  int64_t timestamp_s = 0;  ///< unix seconds at capture
+
+  Json to_json() const;
+  static EnvInfo from_json(const Json& j);
+};
+
+/// Captures the current process environment. Git revision resolution order:
+/// OMU_GIT_SHA env var, GITHUB_SHA env var, `git rev-parse` in the cwd.
+EnvInfo capture_env();
+
+}  // namespace omu::benchkit

@@ -1,0 +1,358 @@
+#include "benchkit/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace omu::benchkit {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not ") + wanted);
+}
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no inf/nan; null keeps parsers alive
+    return;
+  }
+  if (std::fabs(d) < 1e15 && d == static_cast<double>(static_cast<int64_t>(d))) {
+    os << static_cast<int64_t>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // not emitted by our writer and rejected here for simplicity).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate escapes unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) fail("bad number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(std::ostream& os, const Json& v, int indent, int depth);
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+void dump_value(std::ostream& os, const Json& v, int indent, int depth) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    dump_number(os, v.as_number());
+  } else if (v.is_string()) {
+    dump_string(os, v.as_string());
+  } else if (v.is_array()) {
+    const Json::Array& arr = v.as_array();
+    if (arr.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[';
+    bool first = true;
+    for (const Json& item : arr) {
+      if (!first) os << ',';
+      first = false;
+      newline_indent(os, indent, depth + 1);
+      dump_value(os, item, indent, depth + 1);
+    }
+    newline_indent(os, indent, depth);
+    os << ']';
+  } else {
+    const Json::Object& obj = v.as_object();
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) os << ',';
+      first = false;
+      newline_indent(os, indent, depth + 1);
+      dump_string(os, key);
+      os << (indent > 0 ? ": " : ":");
+      dump_value(os, value, indent, depth + 1);
+    }
+    newline_indent(os, indent, depth);
+    os << '}';
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  return as_object()[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(value_);
+  const auto it = obj.find(key);
+  return it != obj.end() ? &it->second : nullptr;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string Json::string_or(const std::string& key, const std::string& fallback) const {
+  const Json* v = find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream ss;
+  dump_value(ss, *this, indent, 0);
+  return ss.str();
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace omu::benchkit

@@ -1,0 +1,331 @@
+#include "benchkit/runner.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <regex>
+#include <sstream>
+
+#include "benchkit/clock.hpp"
+#include "harness/table_printer.hpp"
+
+namespace omu::benchkit {
+
+namespace {
+
+/// A timed invocation of the body: (wall_ns, cpu_ns) with pauses removed.
+std::pair<double, double> timed_invocation(const BenchFn& fn, State& state) {
+  state.reset_for_repeat();
+  const double wall0 = wall_now_ns();
+  const double cpu0 = cpu_now_ns();
+  fn(state);
+  const double wall = wall_now_ns() - wall0;
+  const double cpu = cpu_now_ns() - cpu0;
+  state.resume_timing();  // close a dangling pause before reading totals
+  return {wall - state.paused_wall_ns(), cpu - state.paused_cpu_ns()};
+}
+
+/// Human-readable ns with unit scaling.
+std::string format_ns(double ns) {
+  if (ns >= 1e9) return harness::TablePrinter::fixed(ns / 1e9, 2) + " s";
+  if (ns >= 1e6) return harness::TablePrinter::fixed(ns / 1e6, 2) + " ms";
+  if (ns >= 1e3) return harness::TablePrinter::fixed(ns / 1e3, 2) + " us";
+  return harness::TablePrinter::fixed(ns, 0) + " ns";
+}
+
+std::string format_rate(double per_sec) {
+  if (per_sec <= 0.0) return "-";
+  if (per_sec >= 1e9) return harness::TablePrinter::fixed(per_sec / 1e9, 2) + " G/s";
+  if (per_sec >= 1e6) return harness::TablePrinter::fixed(per_sec / 1e6, 2) + " M/s";
+  if (per_sec >= 1e3) return harness::TablePrinter::fixed(per_sec / 1e3, 2) + " K/s";
+  return harness::TablePrinter::fixed(per_sec, 1) + " /s";
+}
+
+Json stats_to_json(const SampleStats& s) {
+  Json::Object obj;
+  obj["min"] = s.min;
+  obj["max"] = s.max;
+  obj["mean"] = s.mean;
+  obj["median"] = s.median;
+  obj["p90"] = s.p90;
+  obj["stddev"] = s.stddev;
+  obj["n"] = static_cast<int64_t>(s.n);
+  return Json(std::move(obj));
+}
+
+SampleStats stats_from_json(const Json& j) {
+  SampleStats s;
+  s.min = j.number_or("min", 0.0);
+  s.max = j.number_or("max", 0.0);
+  s.mean = j.number_or("mean", 0.0);
+  s.median = j.number_or("median", 0.0);
+  s.p90 = j.number_or("p90", 0.0);
+  s.stddev = j.number_or("stddev", 0.0);
+  s.n = static_cast<std::size_t>(j.number_or("n", 0.0));
+  return s;
+}
+
+}  // namespace
+
+double CaseResult::items_per_sec() const {
+  if (items == 0 || wall_ns.median <= 0.0) return 0.0;
+  return static_cast<double>(items) / (wall_ns.median / 1e9);
+}
+
+double CaseResult::bytes_per_sec() const {
+  if (bytes == 0 || wall_ns.median <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / (wall_ns.median / 1e9);
+}
+
+bool CaseResult::failed() const {
+  if (!error.empty()) return true;
+  for (const auto& [name, ok] : checks) {
+    if (!ok) return true;
+  }
+  return false;
+}
+
+bool RunResult::all_passed() const {
+  for (const CaseResult& c : cases) {
+    if (c.failed()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> list_cases(const std::string& filter) {
+  const std::regex re(filter.empty() ? ".*" : filter);
+  std::vector<std::string> names;
+  for (const Family& family : registry()) {
+    for (const std::vector<Param>& params : family.expand_cases()) {
+      std::string name = case_name(family.name(), params);
+      if (std::regex_search(name, re)) names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+RunResult run_benchmarks(const RunOptions& options, std::ostream& log) {
+  const std::regex re(options.filter.empty() ? ".*" : options.filter);
+  RunResult result;
+  result.env = capture_env();
+
+  for (const Family& family : registry()) {
+    for (const std::vector<Param>& params : family.expand_cases()) {
+      CaseResult cr;
+      cr.family = family.name();
+      cr.name = case_name(family.name(), params);
+      cr.params = params;
+      if (!std::regex_search(cr.name, re)) continue;
+
+      // Resolution order: explicit CLI flag > family default > global.
+      const int repeats = options.repeats >= 0       ? options.repeats
+                          : family.repeats_default() >= 0 ? family.repeats_default()
+                                                          : 3;
+      const int warmup = options.warmup >= 0        ? options.warmup
+                         : family.warmup_default() >= 0 ? family.warmup_default()
+                                                        : -1;
+
+      if (options.verbose) log << "[benchkit] " << cr.name << " ..." << std::flush;
+      const double case_start_ns = wall_now_ns();
+
+      State state(params);
+      std::vector<double> wall_samples;
+      std::vector<double> cpu_samples;
+      try {
+        // Warmup: fixed count, or adaptive steady-state detection — stop
+        // once two consecutive samples agree within the tolerance.
+        if (warmup >= 0) {
+          for (int i = 0; i < warmup && !state.skipped(); ++i) {
+            timed_invocation(family.fn(), state);
+            ++cr.warmup_used;
+          }
+        } else {
+          double previous = -1.0;
+          for (int i = 0; i < options.max_warmup && !state.skipped(); ++i) {
+            const auto [wall, cpu] = timed_invocation(family.fn(), state);
+            (void)cpu;
+            ++cr.warmup_used;
+            if (previous > 0.0 &&
+                std::fabs(wall - previous) <= options.steady_tolerance * previous) {
+              break;  // steady state reached
+            }
+            previous = wall;
+          }
+        }
+        for (int r = 0; r < repeats && !state.skipped(); ++r) {
+          const auto [wall, cpu] = timed_invocation(family.fn(), state);
+          if (state.skipped()) break;  // the skipping invocation is not a sample
+          wall_samples.push_back(wall);
+          cpu_samples.push_back(cpu);
+        }
+      } catch (const std::exception& e) {
+        cr.error = e.what();
+      }
+
+      cr.repeats = static_cast<int>(wall_samples.size());
+      cr.wall_ns = summarize(std::move(wall_samples));
+      cr.cpu_ns = summarize(std::move(cpu_samples));
+      cr.items = state.items();
+      cr.bytes = state.bytes();
+      cr.counters = state.counters();
+      cr.checks = state.checks();
+      cr.skipped = state.skipped();
+      cr.skip_reason = state.skip_reason();
+
+      if (options.verbose) {
+        if (!cr.error.empty()) {
+          log << " ERROR: " << cr.error << '\n';
+        } else if (cr.skipped) {
+          log << " skipped (" << cr.skip_reason << ")\n";
+        } else {
+          log << ' ' << format_ns(cr.wall_ns.median) << " median, " << cr.repeats
+              << " repeats, " << format_ns(wall_now_ns() - case_start_ns) << " total\n";
+        }
+      }
+      result.cases.push_back(std::move(cr));
+    }
+  }
+  return result;
+}
+
+void print_report(const RunResult& result, std::ostream& os) {
+  harness::TablePrinter table(
+      {"benchmark", "median", "p90", "cpu median", "items/s", "repeats", "checks"});
+  std::string last_family;
+  for (const CaseResult& c : result.cases) {
+    if (!last_family.empty() && c.family != last_family) table.add_separator();
+    last_family = c.family;
+    if (c.skipped) {
+      table.add_row({c.name, "skipped: " + c.skip_reason, "", "", "", "", ""});
+      continue;
+    }
+    if (!c.error.empty()) {
+      table.add_row({c.name, "ERROR: " + c.error, "", "", "", "", ""});
+      continue;
+    }
+    std::size_t checks_passed = 0;
+    for (const auto& [name, ok] : c.checks) checks_passed += ok ? 1u : 0u;
+    std::string checks = c.checks.empty()
+                             ? "-"
+                             : std::to_string(checks_passed) + "/" +
+                                   std::to_string(c.checks.size());
+    if (checks_passed != c.checks.size()) {
+      for (const auto& [name, ok] : c.checks) {
+        if (!ok) checks += " FAIL:" + name;
+      }
+    }
+    table.add_row({c.name, format_ns(c.wall_ns.median), format_ns(c.wall_ns.p90),
+                   format_ns(c.cpu_ns.median), format_rate(c.items_per_sec()),
+                   std::to_string(c.repeats), checks});
+  }
+  table.print(os);
+
+  // Counters, one block per case that has any (kept out of the main table:
+  // each family has its own counter vocabulary).
+  for (const CaseResult& c : result.cases) {
+    if (c.counters.empty() || c.skipped || !c.error.empty()) continue;
+    os << c.name << ':';
+    for (const auto& [name, value] : c.counters) {
+      os << ' ' << name << '=' << harness::TablePrinter::fixed(value, 3);
+    }
+    os << '\n';
+  }
+
+  std::size_t failed = 0;
+  for (const CaseResult& c : result.cases) failed += c.failed() ? 1u : 0u;
+  os << result.cases.size() << " cases, " << failed << " failed\n";
+}
+
+Json to_json(const RunResult& result) {
+  Json::Object doc;
+  doc["schema_version"] = 1;
+  doc["env"] = result.env.to_json();
+  Json::Array benchmarks;
+  benchmarks.reserve(result.cases.size());
+  for (const CaseResult& c : result.cases) {
+    Json::Object b;
+    b["name"] = c.name;
+    b["family"] = c.family;
+    Json::Object params;
+    for (const Param& p : c.params) params[p.key] = p.value;
+    b["params"] = Json(std::move(params));
+    b["repeats"] = c.repeats;
+    b["warmup"] = c.warmup_used;
+    // Headline numbers duplicated at the top level (the fields the
+    // comparator and external tooling key on).
+    b["median_ns"] = c.wall_ns.median;
+    b["p90_ns"] = c.wall_ns.p90;
+    Json::Object throughput;
+    throughput["items_per_sec"] = c.items_per_sec();
+    throughput["bytes_per_sec"] = c.bytes_per_sec();
+    throughput["items"] = c.items;
+    throughput["bytes"] = c.bytes;
+    b["throughput"] = Json(std::move(throughput));
+    b["wall_ns"] = stats_to_json(c.wall_ns);
+    b["cpu_ns"] = stats_to_json(c.cpu_ns);
+    Json::Object counters;
+    for (const auto& [name, value] : c.counters) counters[name] = value;
+    b["counters"] = Json(std::move(counters));
+    Json::Object checks;
+    for (const auto& [name, ok] : c.checks) checks[name] = ok;
+    b["checks"] = Json(std::move(checks));
+    if (c.skipped) b["skipped"] = c.skip_reason;
+    if (!c.error.empty()) b["error"] = c.error;
+    benchmarks.push_back(Json(std::move(b)));
+  }
+  doc["benchmarks"] = Json(std::move(benchmarks));
+  return Json(std::move(doc));
+}
+
+RunResult from_json(const Json& doc) {
+  RunResult result;
+  if (!doc.is_object()) throw std::runtime_error("BENCH.json: document is not an object");
+  if (const Json* env = doc.find("env")) result.env = EnvInfo::from_json(*env);
+  const Json* benchmarks = doc.find("benchmarks");
+  if (!benchmarks || !benchmarks->is_array()) {
+    throw std::runtime_error("BENCH.json: missing 'benchmarks' array");
+  }
+  for (const Json& b : benchmarks->as_array()) {
+    CaseResult c;
+    const Json* name = b.find("name");
+    if (!name || !name->is_string()) {
+      throw std::runtime_error("BENCH.json: benchmark entry without a string 'name'");
+    }
+    c.name = name->as_string();
+    c.family = b.string_or("family", c.name.substr(0, c.name.find('/')));
+    if (const Json* params = b.find("params"); params && params->is_object()) {
+      for (const auto& [key, value] : params->as_object()) {
+        c.params.push_back(Param{key, value.is_string() ? value.as_string() : value.dump()});
+      }
+    }
+    c.repeats = static_cast<int>(b.number_or("repeats", 0.0));
+    c.warmup_used = static_cast<int>(b.number_or("warmup", 0.0));
+    if (const Json* wall = b.find("wall_ns")) c.wall_ns = stats_from_json(*wall);
+    if (const Json* cpu = b.find("cpu_ns")) c.cpu_ns = stats_from_json(*cpu);
+    // Headline median/p90 win over the nested block if they disagree.
+    c.wall_ns.median = b.number_or("median_ns", c.wall_ns.median);
+    c.wall_ns.p90 = b.number_or("p90_ns", c.wall_ns.p90);
+    if (const Json* throughput = b.find("throughput")) {
+      c.items = static_cast<uint64_t>(throughput->number_or("items", 0.0));
+      c.bytes = static_cast<uint64_t>(throughput->number_or("bytes", 0.0));
+    }
+    if (const Json* counters = b.find("counters"); counters && counters->is_object()) {
+      for (const auto& [key, value] : counters->as_object()) {
+        if (value.is_number()) c.counters[key] = value.as_number();
+      }
+    }
+    if (const Json* checks = b.find("checks"); checks && checks->is_object()) {
+      for (const auto& [key, value] : checks->as_object()) {
+        if (value.is_bool()) c.checks[key] = value.as_bool();
+      }
+    }
+    if (const Json* skipped = b.find("skipped")) {
+      c.skipped = true;
+      c.skip_reason = skipped->is_string() ? skipped->as_string() : "";
+    }
+    c.error = b.string_or("error", "");
+    result.cases.push_back(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace omu::benchkit

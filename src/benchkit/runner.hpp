@@ -1,0 +1,87 @@
+// The measurement loop and result model of the bench harness.
+//
+// For each expanded case: adaptive warmup (run until two consecutive
+// samples agree within `steady_tolerance`, i.e. the process reached a
+// steady state — caches hot, allocator warmed), then `repeats` timed
+// invocations on the wall and process-CPU clocks, summarized by
+// min/median/p90/stddev. Results serialize to the BENCH.json schema:
+//   { "schema_version", "env": {...}, "benchmarks": [
+//       { "name", "family", "params", "repeats", "warmup",
+//         "median_ns", "p90_ns", "throughput": {...}, "wall_ns": {...},
+//         "cpu_ns": {...}, "counters": {...}, "checks": {...} } ] }
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchkit/benchmark.hpp"
+#include "benchkit/env_capture.hpp"
+#include "benchkit/json.hpp"
+#include "benchkit/stats.hpp"
+
+namespace omu::benchkit {
+
+struct RunOptions {
+  /// Measured repeats per case; <0 means "3, unless the family overrides".
+  int repeats = -1;
+  /// Warmup runs per case; <0 means adaptive (up to max_warmup, stopping
+  /// early at steady state), unless the family overrides.
+  int warmup = -1;
+  int max_warmup = 3;
+  /// Two consecutive warmup samples within this relative distance count as
+  /// steady state.
+  double steady_tolerance = 0.05;
+  /// ECMAScript regex matched against the full case name; empty = all.
+  std::string filter;
+  /// Progress notes to stderr while running.
+  bool verbose = true;
+};
+
+/// Everything one case produced.
+struct CaseResult {
+  std::string family;
+  std::string name;  ///< full case name incl. params
+  std::vector<Param> params;
+  int repeats = 0;
+  int warmup_used = 0;
+  SampleStats wall_ns;  ///< per-repeat wall time
+  SampleStats cpu_ns;   ///< per-repeat process-CPU time
+  uint64_t items = 0;   ///< per-repeat work items (for throughput)
+  uint64_t bytes = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, bool> checks;
+  bool skipped = false;
+  std::string skip_reason;
+  std::string error;  ///< non-empty if the body threw
+
+  double items_per_sec() const;
+  double bytes_per_sec() const;
+  bool failed() const;
+};
+
+struct RunResult {
+  EnvInfo env;
+  std::vector<CaseResult> cases;
+  /// True when no case failed a check or threw.
+  bool all_passed() const;
+};
+
+/// Case names that `options.filter` selects, in execution order.
+std::vector<std::string> list_cases(const std::string& filter);
+
+/// Runs every registered case matching the filter.
+RunResult run_benchmarks(const RunOptions& options, std::ostream& log);
+
+/// Console report: one table row per case (median/p90/throughput/checks),
+/// rendered with harness::TablePrinter.
+void print_report(const RunResult& result, std::ostream& os);
+
+// -- serialization -----------------------------------------------------------
+Json to_json(const RunResult& result);
+/// Parses a BENCH.json document; throws std::runtime_error on schema or
+/// syntax violations.
+RunResult from_json(const Json& doc);
+
+}  // namespace omu::benchkit

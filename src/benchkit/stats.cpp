@@ -1,0 +1,37 @@
+#include "benchkit/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omu::benchkit {
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SampleStats summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.median = percentile_sorted(samples, 50.0);
+  s.p90 = percentile_sorted(samples, 90.0);
+  double sq = 0.0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
+  return s;
+}
+
+}  // namespace omu::benchkit

@@ -1,0 +1,32 @@
+// Statistics kernel for the bench harness: order statistics and moments
+// over a vector of repeat samples (nanoseconds, but unit-agnostic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace omu::benchkit {
+
+/// Summary statistics of one sample vector.
+struct SampleStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double stddev = 0.0;  ///< population stddev (n in the denominator)
+
+  /// Coefficient of variation; zero for a zero mean.
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Percentile in [0,100] with linear interpolation between closest ranks
+/// (the "exclusive" variant used by numpy's default). `sorted` must be
+/// ascending and non-empty.
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
+/// Computes all summary statistics; an empty input yields all zeros.
+SampleStats summarize(std::vector<double> samples);
+
+}  // namespace omu::benchkit

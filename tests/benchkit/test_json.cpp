@@ -1,0 +1,90 @@
+// JSON value type: parse/dump round-trips and malformed-input rejection.
+#include "benchkit/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::benchkit {
+namespace {
+
+TEST(BenchkitJson, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(BenchkitJson, ParsesNestedStructure) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc.string_or("c", ""), "x");
+  EXPECT_EQ(doc.string_or("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+TEST(BenchkitJson, StringEscapesRoundTrip) {
+  Json::Object obj;
+  obj["s"] = "line1\nline2\t\"quoted\" back\\slash";
+  const std::string dumped = Json(std::move(obj)).dump();
+  const Json parsed = Json::parse(dumped);
+  EXPECT_EQ(parsed.find("s")->as_string(), "line1\nline2\t\"quoted\" back\\slash");
+}
+
+TEST(BenchkitJson, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(BenchkitJson, RoundTripPreservesValues) {
+  const std::string text =
+      R"({"env": {"nproc": 8, "flags": "-O3"}, "benchmarks": [{"name": "x", "median_ns": 123456.789}]})";
+  const Json doc = Json::parse(text);
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_DOUBLE_EQ(reparsed.find("env")->number_or("nproc", 0), 8.0);
+  EXPECT_DOUBLE_EQ(
+      reparsed.find("benchmarks")->as_array()[0].number_or("median_ns", 0), 123456.789);
+  // Dump is deterministic (ordered object keys).
+  EXPECT_EQ(doc.dump(2), reparsed.dump(2));
+}
+
+TEST(BenchkitJson, IntegersEmitWithoutDecimalPoint) {
+  Json::Object obj;
+  obj["n"] = 42;
+  EXPECT_EQ(Json(std::move(obj)).dump(), "{\"n\":42}");
+}
+
+TEST(BenchkitJson, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);  // trailing garbage
+  EXPECT_THROW(Json::parse("{'single': 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nan"), std::runtime_error);
+}
+
+TEST(BenchkitJson, TypeMismatchThrows) {
+  const Json num = Json::parse("3");
+  EXPECT_THROW(num.as_string(), std::runtime_error);
+  EXPECT_THROW(num.as_object(), std::runtime_error);
+  EXPECT_THROW(num.as_array(), std::runtime_error);
+  EXPECT_THROW(num.as_bool(), std::runtime_error);
+}
+
+TEST(BenchkitJson, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(Json::parse("[1]").find("a"), nullptr);
+  EXPECT_EQ(Json::parse("3").find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace omu::benchkit

@@ -1,0 +1,169 @@
+// Registration, case expansion, and the measurement loop itself: these
+// tests register throwaway families directly (no OMU_BENCHMARK macro, so
+// nothing leaks into the omu_bench registry — this binary's registry is
+// its own) and drive run_benchmarks end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "benchkit/benchmark.hpp"
+#include "benchkit/runner.hpp"
+
+namespace omu::benchkit {
+namespace {
+
+/// Each test registers families into the global (per-binary) registry;
+/// runs are isolated through unique family names + filters.
+RunResult run_filtered(const std::string& filter, int repeats = 2, int warmup = 0) {
+  RunOptions options;
+  options.filter = filter;
+  options.repeats = repeats;
+  options.warmup = warmup;
+  options.verbose = false;
+  std::ostringstream sink;
+  return run_benchmarks(options, sink);
+}
+
+TEST(BenchkitRegistry, AxesExpandAsCartesianProduct) {
+  register_family("t_expand", [](State&) {})
+      .axis("a", std::vector<int64_t>{1, 2})
+      .axis("b", std::vector<std::string>{"x", "y"});
+  const std::vector<std::string> names = list_cases("^t_expand/");
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "t_expand/a:1/b:x");
+  EXPECT_EQ(names[1], "t_expand/a:1/b:y");
+  EXPECT_EQ(names[2], "t_expand/a:2/b:x");
+  EXPECT_EQ(names[3], "t_expand/a:2/b:y");
+}
+
+TEST(BenchkitRegistry, RunRecordsRepeatsParamsCountersChecks) {
+  register_family("t_run",
+                  [](State& state) {
+                    EXPECT_EQ(state.param_int("n"), 7);
+                    state.set_items_processed(100);
+                    state.set_counter("metric", 1.5);
+                    state.check("always_true", true);
+                    std::this_thread::sleep_for(std::chrono::microseconds(200));
+                  })
+      .axis("n", std::vector<int64_t>{7});
+  const RunResult result = run_filtered("^t_run/", 3);
+  ASSERT_EQ(result.cases.size(), 1u);
+  const CaseResult& c = result.cases[0];
+  EXPECT_EQ(c.name, "t_run/n:7");
+  EXPECT_EQ(c.repeats, 3);
+  EXPECT_EQ(c.wall_ns.n, 3u);
+  EXPECT_GT(c.wall_ns.median, 0.0);
+  EXPECT_EQ(c.items, 100u);
+  EXPECT_DOUBLE_EQ(c.counters.at("metric"), 1.5);
+  EXPECT_TRUE(c.checks.at("always_true"));
+  EXPECT_FALSE(c.failed());
+  EXPECT_TRUE(result.all_passed());
+  EXPECT_GT(c.items_per_sec(), 0.0);
+}
+
+TEST(BenchkitRegistry, FailedCheckFailsTheRun) {
+  register_family("t_failcheck", [](State& state) { state.check("broken", false); });
+  const RunResult result = run_filtered("^t_failcheck$");
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_TRUE(result.cases[0].failed());
+  EXPECT_FALSE(result.all_passed());
+}
+
+TEST(BenchkitRegistry, ThrowingBodyIsAnErrorNotACrash) {
+  register_family("t_throw",
+                  [](State&) { throw std::runtime_error("body exploded"); });
+  const RunResult result = run_filtered("^t_throw$");
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_NE(result.cases[0].error.find("body exploded"), std::string::npos);
+  EXPECT_TRUE(result.cases[0].failed());
+}
+
+TEST(BenchkitRegistry, SkippedCaseIsNeverAFailure) {
+  register_family("t_skip", [](State& state) { state.skip("not applicable here"); });
+  const RunResult result = run_filtered("^t_skip$");
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_TRUE(result.cases[0].skipped);
+  EXPECT_EQ(result.cases[0].skip_reason, "not applicable here");
+  EXPECT_EQ(result.cases[0].repeats, 0);
+  EXPECT_FALSE(result.cases[0].failed());
+  EXPECT_TRUE(result.all_passed());
+}
+
+TEST(BenchkitRegistry, PausedTimingIsExcluded) {
+  register_family("t_pause", [](State& state) {
+    state.pause_timing();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    state.resume_timing();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const RunResult result = run_filtered("^t_pause$", 1);
+  ASSERT_EQ(result.cases.size(), 1u);
+  // Measured wall must be ~1 ms, nowhere near the 20 ms paused setup.
+  EXPECT_LT(result.cases[0].wall_ns.median, 15e6);
+  EXPECT_GT(result.cases[0].wall_ns.median, 0.5e6);
+}
+
+TEST(BenchkitRegistry, UnknownParamThrowsIntoCaseError) {
+  register_family("t_badparam", [](State& state) { (void)state.param("no_such_key"); });
+  const RunResult result = run_filtered("^t_badparam$");
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_TRUE(result.cases[0].failed());
+  EXPECT_NE(result.cases[0].error.find("no_such_key"), std::string::npos);
+}
+
+TEST(BenchkitRegistry, FilterSelectsSubset) {
+  register_family("t_filter_one", [](State&) {});
+  register_family("t_filter_two", [](State&) {});
+  const RunResult result = run_filtered("^t_filter_two$");
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_EQ(result.cases[0].name, "t_filter_two");
+}
+
+TEST(BenchkitRegistry, WarmupCountsAreRecorded) {
+  register_family("t_warmup", [](State&) {});
+  RunOptions options;
+  options.filter = "^t_warmup$";
+  options.repeats = 1;
+  options.warmup = 2;
+  options.verbose = false;
+  std::ostringstream sink;
+  const RunResult result = run_benchmarks(options, sink);
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_EQ(result.cases[0].warmup_used, 2);
+}
+
+TEST(BenchkitRegistry, AdaptiveWarmupStopsAtSteadyState) {
+  register_family("t_steady", [](State&) {
+    // Deterministic, fast body: sample-to-sample agreement is immediate,
+    // so adaptive warmup should stop well before max_warmup.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
+  });
+  RunOptions options;
+  options.filter = "^t_steady$";
+  options.repeats = 1;
+  options.warmup = -1;  // adaptive
+  options.max_warmup = 10;
+  options.steady_tolerance = 0.75;  // generous: CI hosts are noisy
+  options.verbose = false;
+  std::ostringstream sink;
+  const RunResult result = run_benchmarks(options, sink);
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_GE(result.cases[0].warmup_used, 2);   // needs two samples to agree
+  EXPECT_LT(result.cases[0].warmup_used, 10);  // but converged early
+}
+
+TEST(BenchkitRegistry, ReportPrintsEveryCase) {
+  register_family("t_report", [](State& state) { state.set_counter("k", 2.0); })
+      .axis("v", std::vector<int64_t>{1, 2});
+  const RunResult result = run_filtered("^t_report/");
+  std::ostringstream os;
+  print_report(result, os);
+  EXPECT_NE(os.str().find("t_report/v:1"), std::string::npos);
+  EXPECT_NE(os.str().find("t_report/v:2"), std::string::npos);
+  EXPECT_NE(os.str().find("k=2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omu::benchkit

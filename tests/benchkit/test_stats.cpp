@@ -1,0 +1,82 @@
+// Statistics kernel: order statistics and moments on known vectors.
+#include "benchkit/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omu::benchkit {
+namespace {
+
+TEST(BenchkitStats, EmptyInputIsAllZeros) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(BenchkitStats, SingleSample) {
+  const SampleStats s = summarize({42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.p90, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(BenchkitStats, OddCountMedianIsMiddleElement) {
+  const SampleStats s = summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(BenchkitStats, EvenCountMedianInterpolates) {
+  const SampleStats s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(BenchkitStats, P90OnElevenSamplesIsExactRank) {
+  // 0..10: rank = 0.9 * 10 = 9 exactly -> value 9.
+  std::vector<double> v;
+  for (int i = 0; i <= 10; ++i) v.push_back(static_cast<double>(i));
+  const SampleStats s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p90, 9.0);
+}
+
+TEST(BenchkitStats, P90Interpolates) {
+  // {10, 20}: rank = 0.9 -> 10 + 0.9 * 10 = 19.
+  const SampleStats s = summarize({20.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.p90, 19.0);
+}
+
+TEST(BenchkitStats, PercentileBoundsClamp) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 150.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 50.0), 2.0);
+}
+
+TEST(BenchkitStats, PopulationStddev) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: the classic example with stddev exactly 2.
+  const SampleStats s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(BenchkitStats, UnsortedInputIsSortedInternally) {
+  const SampleStats s = summarize({9.0, 1.0, 5.0, 3.0, 7.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_EQ(s.median, 5.0);
+}
+
+}  // namespace
+}  // namespace omu::benchkit
