@@ -1,19 +1,24 @@
-// Corridor mapping: the paper's FR-079 scenario end to end.
+// Corridor mapping, out of core: the paper's FR-079 scenario streamed
+// into a TiledWorldMap under a hard resident-memory budget.
 //
 //   $ ./corridor_mapping [scale]
 //
-// Streams a scaled synthetic FR-079 corridor dataset through the software
-// octree and the OMU accelerator model scan by scan — the way a robot
-// would integrate its sensor stream — reporting per-scan progress, final
-// map statistics, memory utilization of the prune address manager, and
-// saving the map to corridor.omap (reloadable via map::OctreeIo).
+// Streams a scaled synthetic FR-079 corridor dataset scan by scan — the
+// way a robot would integrate its sensor stream — into (a) the serial
+// software octree and (b) a tiled world map whose LRU pager must evict
+// cold tiles to disk to stay under a byte budget sized well below the
+// full map. Reports per-scan progress and pager churn, verifies the
+// world map is bit-identical to the monolithic tree despite the paging,
+// answers queries through a federated WorldQueryView, and persists the
+// world directory (reloadable via world::TiledWorldMap::open).
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
-#include "accel/omu_accelerator.hpp"
 #include "data/datasets.hpp"
-#include "map/octree_io.hpp"
 #include "map/scan_inserter.hpp"
+#include "world/tiled_world_map.hpp"
+#include "world/world_manifest.hpp"
 
 int main(int argc, char** argv) {
   using namespace omu;
@@ -28,67 +33,95 @@ int main(int argc, char** argv) {
   std::printf("FR-079 corridor (synthetic), %zu scans, ~%zu rays/scan\n",
               dataset.scan_count(), dataset.rays_per_scan());
 
+  // ---- Reference pass: the monolithic octree, and the batches to replay --
   map::OccupancyOctree tree(0.2);
   map::ScanInserter inserter(tree);
-  accel::OmuAccelerator omu;
-
+  std::vector<map::UpdateBatch> batches(dataset.scan_count());
   uint64_t total_updates = 0;
-  map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
-    updates.clear();
-    inserter.collect_updates(scan.points, scan.pose.translation(), updates);
-    inserter.apply_updates(updates);
-    omu.simulate_updates(updates);
-    total_updates += updates.size();
+    inserter.collect_updates(scan.points, scan.pose.translation(), batches[i]);
+    inserter.apply_updates(batches[i]);
+    total_updates += batches[i].size();
+  }
+
+  // ---- Out-of-core pass: identical batches through the tiled world -------
+  // Budget: under half the monolithic footprint, so the pager must evict.
+  world::TiledWorldConfig cfg;
+  cfg.resolution = 0.2;
+  cfg.tile_shift = 5;  // 6.4 m tiles; the corridor spans several
+  cfg.directory = "corridor_world";
+  cfg.resident_byte_budget = tree.memory_bytes() / 2;
+  // corridor_world/ is this example's scratch output. A fresh
+  // TiledWorldMap refuses to shadow an existing world, so a leftover from
+  // a previous run is removed — loudly, and only if it actually is a
+  // world directory (anything else in the way is the user's, not ours).
+  if (std::filesystem::exists(cfg.directory)) {
+    if (!std::filesystem::exists(world::WorldManifest::manifest_path(cfg.directory))) {
+      std::fprintf(stderr, "%s exists but is not a world directory; move it aside\n",
+                   cfg.directory.c_str());
+      return 2;
+    }
+    std::printf("removing previous %s/ (this example's scratch world)\n", cfg.directory.c_str());
+    std::filesystem::remove_all(cfg.directory);
+  }
+  world::TiledWorldMap world(cfg);
+
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    world.apply(batches[i]);
     if (i % 16 == 0 || i + 1 == dataset.scan_count()) {
-      std::printf("  scan %3zu: pose x=%+6.2f m, %6zu points, %8llu updates so far, "
-                  "%zu map leaves\n",
-                  i, scan.pose.translation().x, scan.points.size(),
-                  static_cast<unsigned long long>(total_updates), tree.leaf_count());
+      const world::TilePagerStats stats = world.pager_stats();
+      std::printf("  scan %3zu: %6zu updates, tiles %zu known / %zu resident, "
+                  "%5.1f KiB resident (budget %5.1f), %llu evictions\n",
+                  i, batches[i].size(), stats.known_tiles, stats.resident_tiles,
+                  static_cast<double>(stats.resident_bytes) / 1024.0,
+                  static_cast<double>(cfg.resident_byte_budget) / 1024.0,
+                  static_cast<unsigned long long>(stats.evictions));
     }
   }
+  world.flush();
 
-  // ---- Final map statistics ----------------------------------------------
-  std::printf("\nmap statistics:\n");
-  std::printf("  leaves / inner nodes : %zu / %zu\n", tree.leaf_count(), tree.inner_count());
-  std::printf("  pool memory          : %.1f KiB\n",
+  // ---- Pager statistics ---------------------------------------------------
+  const world::TilePagerStats stats = world.pager_stats();
+  std::printf("\npager statistics:\n");
+  std::printf("  tiles known / resident : %zu / %zu (span %.1f m)\n", stats.known_tiles,
+              stats.resident_tiles, world.grid().tile_size());
+  std::printf("  evictions / reloads    : %llu / %llu (%llu tile file writes)\n",
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(stats.tile_writes));
+  std::printf("  peak resident          : %.1f KiB (budget %.1f KiB, monolithic %.1f KiB)\n",
+              static_cast<double>(stats.peak_resident_bytes) / 1024.0,
+              static_cast<double>(cfg.resident_byte_budget) / 1024.0,
               static_cast<double>(tree.memory_bytes()) / 1024.0);
-  std::printf("  prunes / expands     : %llu / %llu\n",
-              static_cast<unsigned long long>(tree.stats().prunes),
-              static_cast<unsigned long long>(tree.stats().expands));
-  std::printf("  early aborts         : %llu (%.1f%% of updates)\n",
-              static_cast<unsigned long long>(tree.stats().early_aborts),
-              100.0 * static_cast<double>(tree.stats().early_aborts) /
-                  static_cast<double>(tree.stats().voxel_updates));
 
-  std::printf("\naccelerator statistics:\n");
-  std::printf("  cycles/update        : %.1f\n",
-              static_cast<double>(omu.totals().map_cycles) / static_cast<double>(total_updates));
-  std::printf("  TreeMem rows in use  : %u (of %zu per-PE rows x %zu PEs)\n", omu.rows_in_use(),
-              omu.config().rows_per_bank, omu.pe_count());
-  std::printf("  pruned rows recycled : %llu\n",
-              static_cast<unsigned long long>(
-                  [&] {
-                    uint64_t n = 0;
-                    for (std::size_t p = 0; p < omu.pe_count(); ++p) {
-                      n += omu.pe(static_cast<int>(p)).addr_manager().stats().reused_allocations;
-                    }
-                    return n;
-                  }()));
-  std::printf("  maps bit-identical   : %s\n",
-              tree.content_hash() == omu.content_hash() ? "yes" : "NO (bug!)");
+  // ---- Equivalence: paging must not cost a single bit ---------------------
+  const bool identical =
+      world.leaves_sorted() ==
+      map::normalize_to_min_depth(tree.leaves_sorted(), world.grid().tile_depth());
+  std::printf("  maps bit-identical     : %s\n", identical ? "yes" : "NO (bug!)");
+
+  // ---- Query through a federated view ------------------------------------
+  const auto view = world.capture_view();
+  std::size_t occupied = 0;
+  std::size_t free_cells = 0;
+  for (const map::LeafRecord& leaf : tree.leaves_sorted()) {
+    const map::Occupancy occ = view->classify(leaf.key);
+    occupied += occ == map::Occupancy::kOccupied;
+    free_cells += occ == map::Occupancy::kFree;
+  }
+  std::printf("\nfederated view: %zu tiles, %zu leaves, %zu occupied / %zu free sampled\n",
+              view->tile_count(), view->leaf_count(), occupied, free_cells);
 
   // ---- Persist and reload -------------------------------------------------
-  const char* path = "corridor.omap";
-  if (!map::OctreeIo::write_file(tree, path)) {
-    std::fprintf(stderr, "failed to write %s\n", path);
-    return 1;
-  }
-  const auto reloaded = map::OctreeIo::read_file(path);
-  std::printf("\nsaved map to %s (%s reload, %zu leaves)\n", path,
-              reloaded && reloaded->content_hash() == tree.content_hash() ? "verified"
-                                                                          : "FAILED",
-              reloaded ? reloaded->leaf_count() : 0);
+  world.save();
+  const auto reopened = world::TiledWorldMap::open(cfg.directory);
+  const bool reload_ok = reopened->content_hash() == world.content_hash();
+  std::printf("saved world to %s/ (%zu tiles, %s reload)\n", cfg.directory.c_str(),
+              reopened->tile_count(), reload_ok ? "verified" : "FAILED");
+
+  if (!identical || !reload_ok) return 1;
+  std::printf("\n%llu updates mapped out-of-core with zero accuracy loss\n",
+              static_cast<unsigned long long>(total_updates));
   return 0;
 }

@@ -1,0 +1,77 @@
+// Tile backend factory: how the tiled world map (src/world) creates,
+// persists and reloads the per-tile MapBackend instances its pager cycles
+// through.
+//
+// A TileBackend bundles a MapBackend with the three capabilities paging
+// needs beyond the update/query interface: a resident-memory measure (the
+// pager's byte budget is enforced against it), and save/load through the
+// checksummed octree_io v2 stream so an evicted tile round-trips
+// bit-identically from disk. The factory is the policy point for what
+// backs a tile — the default is the serial software octree, which keeps a
+// tile's tree bit-compatible with the corresponding subtree of a
+// monolithic map (the equivalence the world layer's tests enforce).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "map/map_backend.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/occupancy_params.hpp"
+
+namespace omu::map {
+
+/// One pageable map tile: a MapBackend plus memory accounting and
+/// serialization.
+class TileBackend {
+ public:
+  virtual ~TileBackend() = default;
+
+  virtual MapBackend& backend() = 0;
+  virtual const MapBackend& backend() const = 0;
+
+  /// Resident bytes of the tile's map structure (the quantity the pager's
+  /// byte budget bounds).
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Serializes the tile's map content. Callers flush() the backend first;
+  /// the stream must reload (via TileBackendFactory::load) to a
+  /// bit-identical tile. Throws std::runtime_error on stream failure.
+  virtual void save(std::ostream& os) const = 0;
+};
+
+/// Creates empty tiles and reloads saved ones; one factory per world, so
+/// every tile shares the world's resolution and sensor model.
+class TileBackendFactory {
+ public:
+  virtual ~TileBackendFactory() = default;
+
+  virtual double resolution() const = 0;
+  virtual OccupancyParams params() const = 0;
+
+  /// A fresh, empty tile.
+  virtual std::unique_ptr<TileBackend> create() const = 0;
+
+  /// Reloads a tile previously written by TileBackend::save. Throws
+  /// std::runtime_error on malformed input or on a resolution/params
+  /// mismatch with this factory (a tile from a different world).
+  virtual std::unique_ptr<TileBackend> load(std::istream& is) const = 0;
+};
+
+/// The default tile flavour: a private serial OccupancyOctree per tile,
+/// persisted through OctreeIo (format v2, length-framed + checksummed).
+class OctreeTileBackendFactory final : public TileBackendFactory {
+ public:
+  OctreeTileBackendFactory(double resolution, OccupancyParams params);
+
+  double resolution() const override { return resolution_; }
+  OccupancyParams params() const override { return params_; }
+  std::unique_ptr<TileBackend> create() const override;
+  std::unique_ptr<TileBackend> load(std::istream& is) const override;
+
+ private:
+  double resolution_;
+  OccupancyParams params_;
+};
+
+}  // namespace omu::map

@@ -567,10 +567,7 @@ std::vector<OccupancyOctree::LeafRecord> OccupancyOctree::leaves_sorted() const 
   for_each_leaf([&out](const OcKey& key, int depth, float value) {
     out.push_back(LeafRecord{key, depth, value});
   });
-  std::sort(out.begin(), out.end(), [](const LeafRecord& a, const LeafRecord& b) {
-    if (a.key.packed() != b.key.packed()) return a.key.packed() < b.key.packed();
-    return a.depth < b.depth;
-  });
+  std::sort(out.begin(), out.end(), canonical_leaf_less);
   return out;
 }
 
@@ -595,22 +592,39 @@ uint64_t hash_leaf_records(const std::vector<LeafRecord>& records) {
 }
 
 std::vector<LeafRecord> normalize_to_depth1(std::vector<LeafRecord> records) {
-  if (records.size() == 1 && records[0].depth == 0) {
-    const float value = records[0].log_odds;
-    records.clear();
-    const int bit = kTreeDepth - 1;
-    for (int branch = 0; branch < 8; ++branch) {
-      OcKey key;
-      key[0] = static_cast<uint16_t>((branch & 1) << bit);
-      key[1] = static_cast<uint16_t>(((branch >> 1) & 1) << bit);
-      key[2] = static_cast<uint16_t>(((branch >> 2) & 1) << bit);
-      records.push_back(LeafRecord{key, 1, value});
+  return normalize_to_min_depth(std::move(records), 1);
+}
+
+std::vector<LeafRecord> normalize_to_min_depth(std::vector<LeafRecord> records, int min_depth) {
+  assert(min_depth >= 0 && min_depth <= kTreeDepth);
+  bool any_shallow = false;
+  for (const LeafRecord& rec : records) any_shallow = any_shallow || rec.depth < min_depth;
+  if (!any_shallow) return records;
+
+  std::vector<LeafRecord> out;
+  out.reserve(records.size());
+  for (const LeafRecord& rec : records) {
+    if (rec.depth >= min_depth) {
+      out.push_back(rec);
+      continue;
     }
-    std::sort(records.begin(), records.end(), [](const LeafRecord& a, const LeafRecord& b) {
-      return a.key.packed() < b.key.packed();
-    });
+    // Enumerate the depth-aligned descendant keys of the record's subtree.
+    const OcKey base = key_at_depth(rec.key, rec.depth);
+    const uint32_t cells = 1u << (min_depth - rec.depth);  // per axis
+    const uint32_t step = 1u << (kTreeDepth - min_depth);  // key units per cell
+    for (uint32_t z = 0; z < cells; ++z) {
+      for (uint32_t y = 0; y < cells; ++y) {
+        for (uint32_t x = 0; x < cells; ++x) {
+          const OcKey key{static_cast<uint16_t>(base[0] + x * step),
+                          static_cast<uint16_t>(base[1] + y * step),
+                          static_cast<uint16_t>(base[2] + z * step)};
+          out.push_back(LeafRecord{key, min_depth, rec.log_odds});
+        }
+      }
+    }
   }
-  return records;
+  std::sort(out.begin(), out.end(), canonical_leaf_less);
+  return out;
 }
 
 }  // namespace omu::map

@@ -230,6 +230,15 @@ class OccupancyOctree {
 /// Canonical leaf triple shared with the accelerator model.
 using LeafRecord = OccupancyOctree::LeafRecord;
 
+/// THE canonical leaf ordering — packed key, then depth — every backend
+/// exports in and every bit-identity comparison in the repo relies on.
+/// One definition, so the tie-break can never silently drift between the
+/// octree export, snapshot build, world merge and normalization.
+inline bool canonical_leaf_less(const LeafRecord& a, const LeafRecord& b) {
+  if (a.key.packed() != b.key.packed()) return a.key.packed() < b.key.packed();
+  return a.depth < b.depth;
+}
+
 /// FNV-1a hash over a leaf list (assumed already in canonical sort order);
 /// equal lists hash equal — used for cheap map-content comparison.
 uint64_t hash_leaf_records(const std::vector<LeafRecord>& records);
@@ -239,5 +248,14 @@ uint64_t hash_leaf_records(const std::vector<LeafRecord>& records);
 /// partitions the tree across PEs at level 1 and can never merge above it,
 /// so equivalence comparisons are made in this normalized form.
 std::vector<LeafRecord> normalize_to_depth1(std::vector<LeafRecord> records);
+
+/// Generalization of normalize_to_depth1 to an arbitrary partition level:
+/// splits every record shallower than `min_depth` into its equal-valued
+/// depth-`min_depth` descendants (8^(min_depth - depth) records each) and
+/// returns the list in canonical (packed key, depth) order. A map sharded
+/// at depth d — the accelerator's PE split at d = 1, the tiled world map's
+/// tile split at its tile-root depth — can never merge leaves above d, so
+/// comparisons against a monolithic tree are made in this form.
+std::vector<LeafRecord> normalize_to_min_depth(std::vector<LeafRecord> records, int min_depth);
 
 }  // namespace omu::map

@@ -1,0 +1,33 @@
+// The key-sharding split shared by every fan-out ingest path.
+//
+// One UpdateBatch in, one sub-batch per route out, preserving arrival
+// order within each route — the property all bit-for-bit equivalence in
+// this repo rests on: updates to the same voxel always take the same
+// route, in order. ShardedMapPipeline routes by first-level branch (the
+// accelerator's PE interleaving); world::TiledWorldMap routes by tile at
+// the same layer. Both call this one splitter so the routing semantics
+// can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "map/update_batch.hpp"
+
+namespace omu::pipeline {
+
+/// Appends each update of `batch` to `out[route_of(key)]`, growing `out`
+/// as needed. `route_of` maps an OcKey to a dense route index; callers
+/// reusing `out` across batches clear (and may reserve) its entries first
+/// — capacity is kept, matching the reserve-once idiom of the hot path.
+template <typename RouteFn>
+void route_batch(const map::UpdateBatch& batch, RouteFn&& route_of,
+                 std::vector<map::UpdateBatch>& out) {
+  for (const map::VoxelUpdate& u : batch) {
+    const std::size_t route = route_of(u.key);
+    if (route >= out.size()) out.resize(route + 1);
+    out[route].push(u.key, u.occupied);
+  }
+}
+
+}  // namespace omu::pipeline

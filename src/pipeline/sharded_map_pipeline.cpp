@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "pipeline/batch_router.hpp"
 #include "query/query_service.hpp"
 
 namespace omu::pipeline {
@@ -58,13 +59,13 @@ void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
   if (batch.empty()) return;
   const std::size_t n = shards_.size();
 
-  // Split the batch per shard, preserving arrival order within each shard
-  // (the property the bit-for-bit equivalence rests on).
+  // Split the batch per shard through the shared key-sharding layer
+  // (batch_router.hpp): per-shard arrival order is preserved, the property
+  // the bit-for-bit equivalence rests on.
   std::vector<map::UpdateBatch> split(n);
   for (std::size_t s = 0; s < n; ++s) split[s].reserve(shards_[s]->last_routed_size);
-  for (const map::VoxelUpdate& u : batch) {
-    split[static_cast<std::size_t>(shard_for_key(u.key))].push(u.key, u.occupied);
-  }
+  route_batch(batch, [this](const map::OcKey& key) { return static_cast<std::size_t>(shard_for_key(key)); },
+              split);
 
   // Producer token: holds in_flight_ above zero for the whole routing loop
   // so a concurrent flush() cannot observe (and publish) a half-routed

@@ -7,13 +7,6 @@ namespace omu::query {
 
 namespace {
 
-/// Canonical leaf order: packed key, then depth (the leaves_sorted()
-/// contract every backend exports in).
-bool canonical_less(const map::LeafRecord& a, const map::LeafRecord& b) {
-  if (a.key.packed() != b.key.packed()) return a.key.packed() < b.key.packed();
-  return a.depth < b.depth;
-}
-
 /// Binary search in a sorted packed-key array; returns the value at the
 /// matching index, or nullopt.
 std::optional<float> find_packed(const std::vector<uint64_t>& keys,
@@ -42,7 +35,7 @@ MapSnapshot::MapSnapshot(map::MapSnapshotData data, uint64_t epoch)
       leaves_(std::move(data.leaves)) {
   // Defensive re-sort: backends export in canonical order already, so this
   // is a no-op pass for them, but build() accepts any leaf list.
-  std::sort(leaves_.begin(), leaves_.end(), canonical_less);
+  std::sort(leaves_.begin(), leaves_.end(), map::canonical_leaf_less);
   content_hash_ = map::hash_leaf_records(map::normalize_to_depth1(leaves_));
 
   // Root node. A single depth-0 record is a fully collapsed map.
@@ -105,6 +98,19 @@ MapSnapshot::NodeLookup MapSnapshot::node_at(const map::OcKey& key, int depth) c
     return NodeLookup{NodeKind::kInner, *max};
   }
   return NodeLookup{NodeKind::kUnknown, 0.0f};
+}
+
+SnapshotNodeProbe MapSnapshot::probe(const map::OcKey& key, int depth) const {
+  const NodeLookup node = node_at(key, depth);
+  switch (node.kind) {
+    case NodeKind::kUnknown:
+      return SnapshotNodeProbe{SnapshotNodeKind::kUnknown, 0.0f};
+    case NodeKind::kLeaf:
+      return SnapshotNodeProbe{SnapshotNodeKind::kLeaf, node.value};
+    case NodeKind::kInner:
+      return SnapshotNodeProbe{SnapshotNodeKind::kInner, node.value};
+  }
+  return SnapshotNodeProbe{};
 }
 
 std::optional<SnapshotNodeView> MapSnapshot::search(const map::OcKey& key, int max_depth) const {

@@ -43,6 +43,19 @@ struct SnapshotNodeView {
   bool is_leaf = true;
 };
 
+/// Kind of the node an exact probe() lands on.
+enum class SnapshotNodeKind : uint8_t {
+  kUnknown,  ///< no node at exactly (key, depth)
+  kLeaf,     ///< a leaf record (value = its log-odds)
+  kInner,    ///< reconstructed inner node (value = max over descendant leaves)
+};
+
+/// Result of probing the node at exactly (key truncated to depth, depth).
+struct SnapshotNodeProbe {
+  SnapshotNodeKind kind = SnapshotNodeKind::kUnknown;
+  float value = 0.0f;
+};
+
 /// The immutable flattened map snapshot. Construction is the only mutation;
 /// all query methods are const and safe to call from any number of threads
 /// concurrently. Always held by shared_ptr (see build) so readers keep a
@@ -82,6 +95,17 @@ class MapSnapshot {
   /// semantics to OccupancyOctree::any_occupied_in_box, including the
   /// conservative treat-unknown-as-occupied mode.
   bool any_occupied_in_box(const geom::Aabb& box, bool treat_unknown_as_occupied = false) const;
+
+  // ---- Structural probes -------------------------------------------------
+
+  /// The node at exactly (key truncated to `depth`, `depth`): a leaf with
+  /// its value, a reconstructed inner node with its subtree max, or
+  /// unknown — including unknown when a *shallower* leaf covers the
+  /// region (probe is an exact-level lookup, not a search). This is the
+  /// building block the tiled world's query federation recurses on
+  /// (world::WorldQueryView): it lets a multi-snapshot view reproduce the
+  /// octree's descent bit for bit across tile boundaries.
+  SnapshotNodeProbe probe(const map::OcKey& key, int depth) const;
 
   // ---- Introspection -----------------------------------------------------
 

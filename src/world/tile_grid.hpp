@@ -1,0 +1,124 @@
+// Tile addressing for the tiled out-of-core world map.
+//
+// World key space (the 16-bit voxel cube of map/ockey.hpp) is partitioned
+// into fixed-size cubic tiles of 2^tile_shift finest voxels per axis, so a
+// tile is exactly one aligned octree subtree rooted at depth
+// kTreeDepth - tile_shift. That alignment is what makes a tile's private
+// octree a bit-compatible subtree of the monolithic map: updates with
+// global keys build the identical nodes, values and prune state below the
+// tile root, and pruning can never cross a tile boundary inside a tile's
+// own tree (the tile root's siblings are unknown there). See
+// world/tiled_world_map.hpp for the equivalence argument this underpins.
+//
+// Tiles keep *global* keys; the grid carries each tile's local origin
+// offset (base key / metric lower corner) for the manifest, exports and
+// query federation instead of re-basing keys per tile, which would change
+// subtree alignment and break bit-identity with the monolithic tree.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "geom/aabb.hpp"
+#include "map/ockey.hpp"
+
+namespace omu::world {
+
+/// Discrete tile address: the per-axis voxel key shifted down by
+/// tile_shift. Coordinates fit in 16 bits by construction.
+struct TileCoord {
+  uint16_t tx = 0;
+  uint16_t ty = 0;
+  uint16_t tz = 0;
+
+  constexpr bool operator==(const TileCoord&) const = default;
+};
+
+/// Packed tile address (tx | ty<<16 | tz<<32): hash/map key and the stable
+/// identity tiles keep across eviction, reload and reopen.
+using TileId = uint64_t;
+
+constexpr TileId pack_tile(const TileCoord& c) {
+  return static_cast<TileId>(c.tx) | (static_cast<TileId>(c.ty) << 16) |
+         (static_cast<TileId>(c.tz) << 32);
+}
+
+constexpr TileCoord unpack_tile(TileId id) {
+  return TileCoord{static_cast<uint16_t>(id & 0xFFFF), static_cast<uint16_t>((id >> 16) & 0xFFFF),
+                   static_cast<uint16_t>((id >> 32) & 0xFFFF)};
+}
+
+/// The world's tile partition: key <-> tile math at a fixed resolution and
+/// tile span. Immutable; shared by the map, the pager, the manifest and
+/// every query view.
+class TileGrid {
+ public:
+  /// `tile_shift` is log2 of the tile span in finest voxels per axis
+  /// (1..16; 16 = one tile covering the whole key space). A shift of s
+  /// puts tile roots at octree depth kTreeDepth - s, i.e. a tile spans
+  /// 2^(s + shift_to_branch) -th of a first-level branch per axis.
+  TileGrid(double resolution, int tile_shift)
+      : resolution_(resolution), shift_(tile_shift) {
+    if (tile_shift < 1 || tile_shift > map::kTreeDepth) {
+      throw std::invalid_argument("TileGrid: tile_shift must be in [1, 16]");
+    }
+    if (!(resolution > 0.0)) {
+      throw std::invalid_argument("TileGrid: resolution must be positive");
+    }
+  }
+
+  double resolution() const { return resolution_; }
+  int tile_shift() const { return shift_; }
+  /// Octree depth of a tile's root subtree (0 when one tile spans all).
+  int tile_depth() const { return map::kTreeDepth - shift_; }
+  /// Tile span in finest voxels per axis.
+  uint32_t tile_span() const { return 1u << shift_; }
+  /// Tile edge length in metres.
+  double tile_size() const { return resolution_ * static_cast<double>(tile_span()); }
+  /// Tiles per axis across the whole key space.
+  uint32_t tiles_per_axis() const { return 1u << (map::kTreeDepth - shift_); }
+
+  TileCoord tile_of(const map::OcKey& key) const {
+    return TileCoord{static_cast<uint16_t>(key[0] >> shift_),
+                     static_cast<uint16_t>(key[1] >> shift_),
+                     static_cast<uint16_t>(key[2] >> shift_)};
+  }
+  TileId tile_id(const map::OcKey& key) const { return pack_tile(tile_of(key)); }
+
+  /// Lowest voxel key of the tile (the tile-local origin in key space;
+  /// also the depth-aligned key of the tile's octree root).
+  map::OcKey base_key(const TileCoord& c) const {
+    return map::OcKey{static_cast<uint16_t>(c.tx << shift_),
+                      static_cast<uint16_t>(c.ty << shift_),
+                      static_cast<uint16_t>(c.tz << shift_)};
+  }
+
+  /// Metric lower corner of the tile (the tile-local origin offset).
+  geom::Vec3d tile_origin(const TileCoord& c) const {
+    const map::OcKey base = base_key(c);
+    return {(static_cast<double>(base[0]) - map::kKeyOrigin) * resolution_,
+            (static_cast<double>(base[1]) - map::kKeyOrigin) * resolution_,
+            (static_cast<double>(base[2]) - map::kKeyOrigin) * resolution_};
+  }
+
+  /// Metric bounds of the tile.
+  geom::Aabb tile_bounds(const TileCoord& c) const {
+    const geom::Vec3d lo = tile_origin(c);
+    const double s = tile_size();
+    return geom::Aabb{lo, lo + geom::Vec3d{s, s, s}};
+  }
+
+  /// Canonical file-name stem of a tile ("tile_<tx>_<ty>_<tz>") — the name
+  /// persistence errors report and the world directory stores tiles under.
+  std::string tile_name(const TileCoord& c) const {
+    return "tile_" + std::to_string(c.tx) + "_" + std::to_string(c.ty) + "_" +
+           std::to_string(c.tz);
+  }
+
+ private:
+  double resolution_;
+  int shift_;
+};
+
+}  // namespace omu::world

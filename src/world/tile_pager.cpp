@@ -1,0 +1,234 @@
+#include "world/tile_pager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "world/world_manifest.hpp"
+
+namespace omu::world {
+
+namespace {
+
+/// Canonical tile content signature: normalized to the depth floor shared
+/// by every backend flavour, so save-time and load-time hashes agree for
+/// any TileBackend implementation.
+TilePager::SavedInfo tile_signature(const map::MapBackend& backend) {
+  const std::vector<map::LeafRecord> leaves = backend.leaves_sorted();
+  TilePager::SavedInfo info;
+  info.leaf_count = leaves.size();
+  info.content_hash = map::hash_leaf_records(map::normalize_to_depth1(leaves));
+  return info;
+}
+
+}  // namespace
+
+TilePager::TilePager(TilePagerConfig config, const map::TileBackendFactory& factory,
+                     TileGrid grid)
+    : cfg_(std::move(config)), factory_(&factory), grid_(grid) {
+  if (cfg_.byte_budget > 0 && cfg_.directory.empty()) {
+    throw std::invalid_argument(
+        "TilePager: a byte budget requires a world directory to evict into");
+  }
+  if (!cfg_.directory.empty()) {
+    std::filesystem::create_directories(cfg_.directory + "/" + WorldManifest::kTilesDir);
+  }
+}
+
+bool TilePager::resident(TileId id) const {
+  const auto it = slots_.find(id);
+  return it != slots_.end() && it->second.handle != nullptr;
+}
+
+std::vector<TileId> TilePager::known_tiles() const {
+  std::vector<TileId> ids;
+  ids.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string TilePager::tile_file(TileId id) const {
+  return WorldManifest::tile_path(cfg_.directory, grid_, unpack_tile(id));
+}
+
+std::unique_ptr<map::TileBackend> TilePager::load_file(TileId id, const Slot& slot) const {
+  const std::string name = grid_.tile_name(unpack_tile(id));
+  const std::string path = tile_file(id);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("TilePager: cannot open tile " + name + " (" + path + ")");
+  }
+  std::unique_ptr<map::TileBackend> handle;
+  try {
+    handle = factory_->load(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("TilePager: tile " + name + " is corrupt: " + e.what());
+  }
+  const SavedInfo sig = tile_signature(handle->backend());
+  if (sig.content_hash != slot.saved.content_hash || sig.leaf_count != slot.saved.leaf_count) {
+    throw std::runtime_error("TilePager: tile " + name +
+                             " content does not match the manifest (stale or swapped file)");
+  }
+  return handle;
+}
+
+void TilePager::write_file(TileId id, Slot& slot) {
+  const std::string name = grid_.tile_name(unpack_tile(id));
+  const std::string path = tile_file(id);
+  // Write-to-temp + rename: an interrupted write must never clobber the
+  // only on-disk copy of an (evicted) tile with a truncated stream.
+  const std::string tmp = path + ".tmp";
+  slot.handle->backend().flush();
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("TilePager: cannot open tile " + name + " (" + tmp +
+                               ") for writing");
+    }
+    try {
+      slot.handle->save(os);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("TilePager: failed writing tile " + name + ": " + e.what());
+    }
+    if (!os) throw std::runtime_error("TilePager: failed writing tile " + name);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("TilePager: failed committing tile " + name + ": " + ec.message());
+  }
+  slot.saved = tile_signature(slot.handle->backend());
+  slot.dirty = false;
+  slot.on_disk = true;
+  counters_.tile_writes++;
+}
+
+void TilePager::set_resident_bytes(Slot& slot, std::size_t bytes) {
+  if (bytes > slot.bytes) {
+    counters_.max_residency_step_bytes =
+        std::max(counters_.max_residency_step_bytes, bytes - slot.bytes);
+  }
+  resident_bytes_ -= slot.bytes;
+  slot.bytes = bytes;
+  resident_bytes_ += bytes;
+  counters_.peak_resident_bytes = std::max(counters_.peak_resident_bytes, resident_bytes_);
+}
+
+map::TileBackend& TilePager::acquire(TileId id) {
+  auto [it, inserted] = slots_.try_emplace(id);
+  Slot& slot = it->second;
+  if (inserted) {
+    slot.handle = factory_->create();
+    slot.dirty = true;  // not on disk yet
+    resident_tiles_++;
+    set_resident_bytes(slot, slot.handle->memory_bytes());
+  } else if (slot.handle == nullptr) {
+    if (cfg_.byte_budget > 0 && resident_bytes_ > 0) {
+      // Make room before paging in so mid-load residency stays bounded by
+      // budget + one tile (one residency step).
+      rebalance(id);
+    }
+    slot.handle = load_file(id, slot);
+    slot.dirty = false;
+    counters_.reloads++;
+    resident_tiles_++;
+    set_resident_bytes(slot, slot.handle->memory_bytes());
+    // Re-enforce right after the page-in so the overshoot window closes
+    // here, not at the caller's next boundary.
+    slot.lru_tick = ++lru_clock_;
+    rebalance(id);
+    return *slot.handle;
+  }
+  slot.lru_tick = ++lru_clock_;
+  return *slot.handle;
+}
+
+map::TileBackend* TilePager::resident_backend(TileId id) {
+  const auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : it->second.handle.get();
+}
+
+const map::TileBackend* TilePager::resident_backend(TileId id) const {
+  const auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : it->second.handle.get();
+}
+
+void TilePager::mark_dirty(TileId id) {
+  Slot& slot = slots_.at(id);
+  slot.dirty = true;
+  slot.version++;
+  set_resident_bytes(slot, slot.handle->memory_bytes());
+}
+
+void TilePager::evict(TileId id, Slot& slot) {
+  if (slot.dirty) write_file(id, slot);
+  set_resident_bytes(slot, 0);
+  slot.handle.reset();
+  resident_tiles_--;
+  counters_.evictions++;
+}
+
+void TilePager::rebalance(TileId keep) {
+  if (cfg_.byte_budget == 0) return;
+  while (resident_bytes_ > cfg_.byte_budget && resident_tiles_ > 0) {
+    // Victim: least-recently-used resident tile other than `keep`.
+    TileId victim = 0;
+    Slot* victim_slot = nullptr;
+    for (auto& [id, slot] : slots_) {
+      if (slot.handle == nullptr || id == keep) continue;
+      if (victim_slot == nullptr || slot.lru_tick < victim_slot->lru_tick) {
+        victim = id;
+        victim_slot = &slot;
+      }
+    }
+    if (victim_slot == nullptr) break;  // only `keep` is resident
+    evict(victim, *victim_slot);
+  }
+}
+
+uint64_t TilePager::version(TileId id) const { return slots_.at(id).version; }
+
+std::unique_ptr<map::TileBackend> TilePager::read_transient(TileId id) const {
+  const Slot& slot = slots_.at(id);
+  counters_.transient_reads++;
+  return load_file(id, slot);
+}
+
+void TilePager::write_back_all() {
+  for (auto& [id, slot] : slots_) {
+    if (slot.handle != nullptr && slot.dirty) write_file(id, slot);
+  }
+}
+
+void TilePager::register_on_disk(TileId id, const SavedInfo& info) {
+  auto [it, inserted] = slots_.try_emplace(id);
+  if (!inserted) {
+    throw std::runtime_error("TilePager: tile registered twice (corrupt manifest)");
+  }
+  Slot& slot = it->second;
+  slot.on_disk = true;
+  slot.saved = info;
+  if (!std::filesystem::exists(tile_file(id))) {
+    throw std::runtime_error("TilePager: manifest names missing tile " +
+                             grid_.tile_name(unpack_tile(id)) + " (" + tile_file(id) + ")");
+  }
+}
+
+bool TilePager::on_disk(TileId id) const {
+  const auto it = slots_.find(id);
+  return it != slots_.end() && it->second.on_disk;
+}
+
+TilePager::SavedInfo TilePager::saved_info(TileId id) const { return slots_.at(id).saved; }
+
+TilePagerStats TilePager::stats() const {
+  TilePagerStats s = counters_;  // peak/step are maintained by set_resident_bytes
+  s.known_tiles = slots_.size();
+  s.resident_tiles = resident_tiles_;
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace omu::world

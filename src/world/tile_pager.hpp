@@ -1,0 +1,165 @@
+// The LRU tile pager: bounded-memory residency for the tiled world map.
+//
+// Every tile the world has ever touched is *known*; a known tile is either
+// *resident* (its TileBackend lives in memory) or *evicted* (its content
+// sits in the world directory as an octree_io v2 file). acquire() is the
+// only way in: it creates a fresh tile, returns the resident one, or
+// transparently reloads an evicted one from disk — the synchronous paging
+// path both updates and live queries go through. rebalance() writes back
+// and drops least-recently-used tiles until resident bytes fit the budget
+// again (the caller's hot tile is never evicted under it).
+//
+// Persistence integrity: every tile write records the tile's canonical
+// content hash and leaf count (the manifest's per-tile entries), and every
+// read back — paging or transient — recomputes and verifies that hash, so
+// a corrupt, truncated, stale or swapped tile file fails with a clean
+// std::runtime_error naming the tile, never a silently different map.
+//
+// Not internally synchronized: the owning TiledWorldMap serializes all
+// access under its own mutex (immutable WorldQueryViews are the
+// concurrent read path; see world_query_view.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "map/backend_factory.hpp"
+#include "world/tile_grid.hpp"
+
+namespace omu::world {
+
+/// Pager construction parameters.
+struct TilePagerConfig {
+  /// World directory (tiles live in <dir>/tiles/). Empty = in-memory only:
+  /// no eviction possible, so byte_budget must be 0.
+  std::string directory;
+  /// Hard resident-tile byte budget enforced at rebalance boundaries
+  /// (0 = unbounded). The single most-recently-touched tile is always kept,
+  /// so the effective floor is one tile's footprint.
+  std::size_t byte_budget = 0;
+};
+
+/// Observability counters (the bench family's domain counters).
+struct TilePagerStats {
+  uint64_t evictions = 0;        ///< resident tiles dropped (written back first if dirty)
+  uint64_t reloads = 0;          ///< evicted tiles paged back in by acquire()
+  uint64_t tile_writes = 0;      ///< tile files written (evictions + write_back_all)
+  uint64_t transient_reads = 0;  ///< off-residency disk reads (exports, view capture)
+  std::size_t known_tiles = 0;
+  std::size_t resident_tiles = 0;
+  std::size_t resident_bytes = 0;
+  /// Continuous high-water of resident_bytes (every accounting step is
+  /// sampled, not just enforcement boundaries).
+  std::size_t peak_resident_bytes = 0;
+  /// Largest single residency increase (one tile paged in, or one tile's
+  /// growth across one applied sub-batch). The pager's guarantee, given no
+  /// single tile outgrows the budget: resident_bytes <= byte_budget at
+  /// operation boundaries, and peak_resident_bytes <= byte_budget +
+  /// max_residency_step_bytes at every instant — demand paging cannot
+  /// evict ahead of growth it has not seen yet, so one step of transient
+  /// overshoot is the honest bound (and what the acceptance checks
+  /// assert).
+  std::size_t max_residency_step_bytes = 0;
+};
+
+/// LRU pager over per-tile MapBackends.
+class TilePager {
+ public:
+  /// Recorded at each tile write; reproduced in the world manifest and
+  /// verified on every read back.
+  struct SavedInfo {
+    uint64_t content_hash = 0;
+    uint64_t leaf_count = 0;
+  };
+
+  TilePager(TilePagerConfig config, const map::TileBackendFactory& factory, TileGrid grid);
+
+  TilePager(const TilePager&) = delete;
+  TilePager& operator=(const TilePager&) = delete;
+
+  const TileGrid& grid() const { return grid_; }
+  const TilePagerConfig& config() const { return cfg_; }
+
+  bool known(TileId id) const { return slots_.find(id) != slots_.end(); }
+  bool resident(TileId id) const;
+  /// All known tile ids in ascending order (deterministic iteration).
+  std::vector<TileId> known_tiles() const;
+
+  /// Resident backend for the tile, creating or reloading as needed, and
+  /// bumping its LRU recency. Throws std::runtime_error (naming the tile)
+  /// when a reload fails.
+  map::TileBackend& acquire(TileId id);
+
+  /// The tile's resident backend without touching LRU recency (nullptr
+  /// when evicted or unknown) — for exports and view capture, which must
+  /// not reorder the eviction queue by scanning every tile.
+  map::TileBackend* resident_backend(TileId id);
+  const map::TileBackend* resident_backend(TileId id) const;
+
+  /// Marks a tile mutated: refreshes its byte accounting, flags it dirty
+  /// and bumps its content version (see version()).
+  void mark_dirty(TileId id);
+
+  /// Evicts least-recently-used resident tiles — writing dirty ones back —
+  /// until resident bytes fit the budget; `keep` is never evicted. Updates
+  /// peak_resident_bytes. No-op when unbounded.
+  void rebalance(TileId keep);
+
+  /// Monotonic per-tile content version (bumped by mark_dirty); lets view
+  /// capture reuse cached per-tile snapshots across evict/reload cycles,
+  /// since an evicted tile's content cannot change.
+  uint64_t version(TileId id) const;
+
+  /// Loads an evicted tile from disk without making it resident (content
+  /// hash verified). Precondition: known(id) && !resident(id).
+  std::unique_ptr<map::TileBackend> read_transient(TileId id) const;
+
+  /// Writes every dirty resident tile to disk (keeping it resident).
+  void write_back_all();
+
+  /// Registers a tile known to live on disk (reopening a world from its
+  /// manifest). Throws std::runtime_error naming the tile if the file is
+  /// missing.
+  void register_on_disk(TileId id, const SavedInfo& info);
+
+  /// True when a tile file exists for the tile (its saved_info describes
+  /// that file) — the set a world manifest must enumerate.
+  bool on_disk(TileId id) const;
+
+  /// Last-written info of a tile; valid when every tile has been written
+  /// (after write_back_all) or for registered/evicted tiles.
+  SavedInfo saved_info(TileId id) const;
+
+  TilePagerStats stats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<map::TileBackend> handle;  ///< null when evicted
+    bool dirty = false;      ///< resident content newer than the file
+    bool on_disk = false;    ///< a tile file exists
+    uint64_t lru_tick = 0;   ///< recency (higher = more recent)
+    uint64_t version = 1;    ///< content version (mark_dirty bumps)
+    std::size_t bytes = 0;   ///< counted toward resident_bytes
+    SavedInfo saved{};       ///< as of the last write
+  };
+
+  std::string tile_file(TileId id) const;
+  std::unique_ptr<map::TileBackend> load_file(TileId id, const Slot& slot) const;
+  void write_file(TileId id, Slot& slot);
+  void evict(TileId id, Slot& slot);
+  void set_resident_bytes(Slot& slot, std::size_t bytes);
+
+  TilePagerConfig cfg_;
+  const map::TileBackendFactory* factory_;
+  TileGrid grid_;
+  std::unordered_map<TileId, Slot> slots_;
+  uint64_t lru_clock_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::size_t resident_tiles_ = 0;
+  mutable TilePagerStats counters_{};  // evictions/reloads/writes/transient
+};
+
+}  // namespace omu::world

@@ -1,0 +1,221 @@
+#include "world/tiled_world_map.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "world/world_manifest.hpp"
+
+namespace omu::world {
+
+TiledWorldMap::TiledWorldMap(TiledWorldConfig config, OpenTag)
+    : cfg_(std::move(config)),
+      grid_(cfg_.resolution, cfg_.tile_shift),
+      coder_(cfg_.resolution),
+      params_(cfg_.params.quantized ? cfg_.params.snapped_to_fixed_point() : cfg_.params),
+      factory_(std::make_unique<map::OctreeTileBackendFactory>(cfg_.resolution, cfg_.params)),
+      pager_(TilePagerConfig{cfg_.directory, cfg_.resident_byte_budget}, *factory_, grid_) {}
+
+TiledWorldMap::TiledWorldMap(TiledWorldConfig config)
+    : TiledWorldMap(std::move(config), OpenTag{}) {
+  if (!cfg_.directory.empty() &&
+      std::filesystem::exists(WorldManifest::manifest_path(cfg_.directory))) {
+    throw std::invalid_argument(
+        "TiledWorldMap: " + cfg_.directory +
+        " already holds a world manifest; use TiledWorldMap::open to resume it");
+  }
+}
+
+std::unique_ptr<TiledWorldMap> TiledWorldMap::open(const std::string& directory,
+                                                   std::size_t resident_byte_budget) {
+  const WorldManifest manifest = WorldManifest::read_file(directory);
+  TiledWorldConfig cfg;
+  cfg.resolution = manifest.resolution;
+  cfg.params = manifest.params;
+  cfg.tile_shift = manifest.tile_shift;
+  cfg.resident_byte_budget = resident_byte_budget;
+  cfg.directory = directory;
+  // Not the public constructor: it rejects a directory that holds a
+  // manifest, which is exactly the case here.
+  std::unique_ptr<TiledWorldMap> world(new TiledWorldMap(std::move(cfg), OpenTag{}));
+  for (const WorldManifest::TileEntry& tile : manifest.tiles) {
+    world->pager_.register_on_disk(
+        pack_tile(tile.coord), TilePager::SavedInfo{tile.content_hash, tile.leaf_count});
+  }
+  world->manifest_on_disk_ = true;
+  world->manifest_synced_writes_ = 0;
+  return world;
+}
+
+std::string TiledWorldMap::name() const {
+  return "tiled-world/shift:" + std::to_string(cfg_.tile_shift);
+}
+
+void TiledWorldMap::apply(const map::UpdateBatch& batch) {
+  if (batch.empty()) return;
+  std::lock_guard lock(mutex_);
+
+  // Split per tile at the shared key-sharding layer; per-voxel order is
+  // preserved (a voxel always routes to the same tile), which is what the
+  // bit-for-bit equivalence with the monolithic tree rests on.
+  route_index_.clear();
+  split_ids_.clear();
+  for (map::UpdateBatch& sub : split_) sub.clear();
+  pipeline::route_batch(
+      batch,
+      [this](const map::OcKey& key) {
+        const TileId id = grid_.tile_id(key);
+        const auto [it, inserted] = route_index_.try_emplace(id, split_ids_.size());
+        if (inserted) split_ids_.push_back(id);
+        return it->second;
+      },
+      split_);
+
+  for (std::size_t i = 0; i < split_ids_.size(); ++i) {
+    const TileId id = split_ids_[i];
+    map::TileBackend& tile = pager_.acquire(id);
+    tile.backend().apply(split_[i]);
+    pager_.mark_dirty(id);
+    // Enforce the byte budget at the batch boundary; the tile just
+    // written is the one tile never evicted under itself.
+    pager_.rebalance(id);
+  }
+  updates_applied_ += batch.size();
+  sync_manifest_locked();
+}
+
+void TiledWorldMap::flush() {
+  std::lock_guard lock(mutex_);
+  for (const TileId id : pager_.known_tiles()) {
+    if (map::TileBackend* tile = pager_.resident_backend(id)) tile->backend().flush();
+  }
+  sync_manifest_locked();
+  if (view_service_ != nullptr) view_service_->publish(capture_view_locked());
+}
+
+map::Occupancy TiledWorldMap::classify(const map::OcKey& key) {
+  std::lock_guard lock(mutex_);
+  const TileId id = grid_.tile_id(key);
+  if (!pager_.known(id)) return map::Occupancy::kUnknown;
+  // On-demand synchronous page-in of an evicted tile.
+  map::TileBackend& tile = pager_.acquire(id);
+  const map::Occupancy occ = tile.backend().classify(key);
+  sync_manifest_locked();
+  return occ;
+}
+
+std::vector<map::LeafRecord> TiledWorldMap::leaves_sorted() const {
+  std::lock_guard lock(mutex_);
+  std::vector<map::LeafRecord> all;
+  for (const TileId id : pager_.known_tiles()) {
+    std::vector<map::LeafRecord> leaves;
+    if (const map::TileBackend* tile = pager_.resident_backend(id)) {
+      leaves = tile->backend().leaves_sorted();
+    } else {
+      leaves = pager_.read_transient(id)->backend().leaves_sorted();
+    }
+    all.insert(all.end(), leaves.begin(), leaves.end());
+  }
+  std::sort(all.begin(), all.end(), map::canonical_leaf_less);
+  return all;
+}
+
+uint64_t TiledWorldMap::content_hash() const {
+  return map::hash_leaf_records(map::normalize_to_depth1(leaves_sorted()));
+}
+
+std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view() {
+  std::lock_guard lock(mutex_);
+  return capture_view_locked();
+}
+
+std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view_locked() {
+  std::vector<std::pair<TileId, std::shared_ptr<const query::MapSnapshot>>> tiles;
+  const std::vector<TileId> known = pager_.known_tiles();
+  tiles.reserve(known.size());
+  for (const TileId id : known) {
+    const uint64_t version = pager_.version(id);
+    const auto cached = snapshot_cache_.find(id);
+    std::shared_ptr<const query::MapSnapshot> snapshot;
+    if (cached != snapshot_cache_.end() && cached->second.version == version) {
+      snapshot = cached->second.snapshot.lock();  // null if no view holds it anymore
+    }
+    if (snapshot == nullptr) {
+      map::MapSnapshotData data;
+      if (map::TileBackend* tile = pager_.resident_backend(id)) {
+        tile->backend().flush();
+        data = tile->backend().export_snapshot_data();
+      } else {
+        // On-demand load of an evicted tile, off-residency: the snapshot
+        // is read-side memory, not a paged-in tile.
+        const std::unique_ptr<map::TileBackend> tile_copy = pager_.read_transient(id);
+        data = tile_copy->backend().export_snapshot_data();
+      }
+      snapshot = query::MapSnapshot::build(std::move(data), version);
+      snapshot_cache_[id] = CachedSnapshot{snapshot, version};
+    }
+    tiles.emplace_back(id, std::move(snapshot));
+  }
+  return WorldQueryView::build(grid_, params_, std::move(tiles), ++view_epoch_);
+}
+
+void TiledWorldMap::attach_view_service(WorldViewService* service) {
+  std::lock_guard lock(mutex_);
+  view_service_ = service;
+  // Publish immediately so an attached service never hands out nullptr.
+  if (view_service_ != nullptr) view_service_->publish(capture_view_locked());
+}
+
+void TiledWorldMap::save() {
+  std::lock_guard lock(mutex_);
+  if (cfg_.directory.empty()) {
+    throw std::invalid_argument("TiledWorldMap::save: world has no directory");
+  }
+  pager_.write_back_all();
+  write_manifest_locked();
+}
+
+void TiledWorldMap::write_manifest_locked() {
+  WorldManifest manifest;
+  manifest.resolution = cfg_.resolution;
+  manifest.params = params_;
+  manifest.tile_shift = cfg_.tile_shift;
+  // Only tiles with a file behind them: a dirty resident tile that was
+  // never written yet has no on-disk content for a manifest to promise.
+  for (const TileId id : pager_.known_tiles()) {
+    if (!pager_.on_disk(id)) continue;
+    const TilePager::SavedInfo info = pager_.saved_info(id);
+    manifest.tiles.push_back(
+        WorldManifest::TileEntry{unpack_tile(id), info.content_hash, info.leaf_count});
+  }
+  manifest.write_file(cfg_.directory);
+  manifest_on_disk_ = true;
+  manifest_synced_writes_ = pager_.stats().tile_writes;
+}
+
+void TiledWorldMap::sync_manifest_locked() {
+  // Once a manifest exists, evictions rewriting tile files must not leave
+  // it stale — a reopened world that pages but never save()s again would
+  // otherwise fail its own content-hash verification on the next open.
+  if (!manifest_on_disk_) return;
+  if (pager_.stats().tile_writes == manifest_synced_writes_) return;
+  write_manifest_locked();
+}
+
+std::size_t TiledWorldMap::tile_count() const {
+  std::lock_guard lock(mutex_);
+  return pager_.stats().known_tiles;
+}
+
+TilePagerStats TiledWorldMap::pager_stats() const {
+  std::lock_guard lock(mutex_);
+  return pager_.stats();
+}
+
+uint64_t TiledWorldMap::updates_applied() const {
+  std::lock_guard lock(mutex_);
+  return updates_applied_;
+}
+
+}  // namespace omu::world

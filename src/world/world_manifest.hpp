@@ -1,0 +1,65 @@
+// The world directory manifest: the index of a persisted tiled world.
+//
+// A world directory holds one MANIFEST.omw plus one octree_io v2 tile
+// file per non-empty tile under tiles/. The manifest records the world's
+// metric/sensor parameters, the tile partition, and for each tile its
+// coordinates, canonical content hash and leaf count — enough to reopen
+// the world without touching any tile file, and to verify on reload that
+// a tile file is the one the manifest promised (a swapped or stale file
+// fails with a clean error naming the tile, not a silently wrong map).
+//
+// Layout on disk (binary, octree_io v2 framing style):
+//   magic "OMUWRLD1" | u64 payload length | payload | u64 FNV-1a(payload)
+// so truncation and bit corruption are rejected with std::runtime_error —
+// the same contract tests/map/test_octree_io.cpp fuzzes for tile files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "map/occupancy_params.hpp"
+#include "world/tile_grid.hpp"
+
+namespace omu::world {
+
+/// In-memory form of MANIFEST.omw.
+struct WorldManifest {
+  /// File name of the manifest inside a world directory.
+  static constexpr const char* kFileName = "MANIFEST.omw";
+  /// Subdirectory of a world directory holding the tile files.
+  static constexpr const char* kTilesDir = "tiles";
+
+  double resolution = 0.2;
+  map::OccupancyParams params{};
+  int tile_shift = 12;
+
+  struct TileEntry {
+    TileCoord coord;
+    uint64_t content_hash = 0;  ///< MapBackend::content_hash of the tile
+    uint64_t leaf_count = 0;    ///< leaves in the tile's canonical export
+  };
+  std::vector<TileEntry> tiles;
+
+  /// Serializes to the framed + checksummed on-disk form. Throws
+  /// std::runtime_error on stream failure.
+  void write(std::ostream& os) const;
+
+  /// Parses a manifest stream. Throws std::runtime_error on bad magic,
+  /// truncation, checksum mismatch or implausible field values.
+  static WorldManifest read(std::istream& is);
+
+  /// File wrappers over the world directory. write_file throws
+  /// std::runtime_error on I/O failure; read_file throws on a missing or
+  /// malformed manifest (the message names the path).
+  void write_file(const std::string& world_dir) const;
+  static WorldManifest read_file(const std::string& world_dir);
+
+  /// Path helpers for a world directory.
+  static std::string manifest_path(const std::string& world_dir);
+  static std::string tile_path(const std::string& world_dir, const TileGrid& grid,
+                               const TileCoord& coord);
+};
+
+}  // namespace omu::world

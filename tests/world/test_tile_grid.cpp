@@ -1,0 +1,95 @@
+// Tile addressing math: key <-> tile round trips, subtree alignment, and
+// the metric tile bounds query federation and the manifest rely on.
+#include "world/tile_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace omu::world {
+namespace {
+
+using map::OcKey;
+
+TEST(WorldTileGrid, RejectsInvalidParameters) {
+  EXPECT_THROW(TileGrid(0.2, 0), std::invalid_argument);
+  EXPECT_THROW(TileGrid(0.2, 17), std::invalid_argument);
+  EXPECT_THROW(TileGrid(0.0, 8), std::invalid_argument);
+  EXPECT_NO_THROW(TileGrid(0.2, 1));
+  EXPECT_NO_THROW(TileGrid(0.2, 16));
+}
+
+TEST(WorldTileGrid, SpanDepthAndCountsAreConsistent) {
+  for (int shift = 1; shift <= map::kTreeDepth; ++shift) {
+    const TileGrid grid(0.2, shift);
+    EXPECT_EQ(grid.tile_shift(), shift);
+    EXPECT_EQ(grid.tile_depth(), map::kTreeDepth - shift);
+    EXPECT_EQ(grid.tile_span(), 1u << shift);
+    EXPECT_EQ(grid.tiles_per_axis(), 1u << (map::kTreeDepth - shift));
+    EXPECT_DOUBLE_EQ(grid.tile_size(), 0.2 * static_cast<double>(grid.tile_span()));
+  }
+}
+
+TEST(WorldTileGrid, TileIdPackingRoundTrips) {
+  geom::SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const TileCoord c{static_cast<uint16_t>(rng.next_below(1u << 16)),
+                      static_cast<uint16_t>(rng.next_below(1u << 16)),
+                      static_cast<uint16_t>(rng.next_below(1u << 16))};
+    EXPECT_EQ(unpack_tile(pack_tile(c)), c);
+  }
+}
+
+TEST(WorldTileGrid, EveryKeyLandsInsideItsTile) {
+  geom::SplitMix64 rng(7);
+  for (const int shift : {1, 5, 8, 13, 16}) {
+    const TileGrid grid(0.1, shift);
+    for (int i = 0; i < 2000; ++i) {
+      const OcKey key{static_cast<uint16_t>(rng.next_below(1u << 16)),
+                      static_cast<uint16_t>(rng.next_below(1u << 16)),
+                      static_cast<uint16_t>(rng.next_below(1u << 16))};
+      const TileCoord tile = grid.tile_of(key);
+      const OcKey base = grid.base_key(tile);
+      for (int axis = 0; axis < 3; ++axis) {
+        EXPECT_GE(key[static_cast<std::size_t>(axis)], base[static_cast<std::size_t>(axis)]);
+        EXPECT_LT(static_cast<uint32_t>(key[static_cast<std::size_t>(axis)]),
+                  static_cast<uint32_t>(base[static_cast<std::size_t>(axis)]) + grid.tile_span());
+      }
+      // The base key is aligned to the tile-root depth: truncating it
+      // there is the identity (tiles are whole octree subtrees).
+      EXPECT_EQ(map::key_at_depth(base, grid.tile_depth()), base);
+      EXPECT_EQ(grid.tile_id(key), pack_tile(tile));
+    }
+  }
+}
+
+TEST(WorldTileGrid, TileBoundsContainExactlyTheTileVoxelCenters) {
+  const TileGrid grid(0.25, 6);
+  const map::KeyCoder coder(0.25);
+  geom::SplitMix64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const OcKey key{static_cast<uint16_t>(rng.next_below(1u << 16)),
+                    static_cast<uint16_t>(rng.next_below(1u << 16)),
+                    static_cast<uint16_t>(rng.next_below(1u << 16))};
+    const TileCoord tile = grid.tile_of(key);
+    const geom::Aabb bounds = grid.tile_bounds(tile);
+    EXPECT_TRUE(bounds.contains(coder.coord_for(key)))
+        << grid.tile_name(tile) << " does not contain its voxel center";
+    // The tile's metric origin is the lower corner of its base voxel.
+    const geom::Vec3d origin = grid.tile_origin(tile);
+    const geom::Vec3d base_center = coder.coord_for(grid.base_key(tile));
+    EXPECT_DOUBLE_EQ(origin.x, base_center.x - 0.5 * 0.25);
+    EXPECT_DOUBLE_EQ(origin.y, base_center.y - 0.5 * 0.25);
+    EXPECT_DOUBLE_EQ(origin.z, base_center.z - 0.5 * 0.25);
+  }
+}
+
+TEST(WorldTileGrid, TileNamesAreUniquePerCoordinate) {
+  const TileGrid grid(0.2, 10);
+  EXPECT_EQ(grid.tile_name(TileCoord{1, 2, 3}), "tile_1_2_3");
+  EXPECT_NE(grid.tile_name(TileCoord{1, 2, 3}), grid.tile_name(TileCoord{1, 3, 2}));
+  EXPECT_NE(grid.tile_name(TileCoord{12, 3, 4}), grid.tile_name(TileCoord{1, 23, 4}));
+}
+
+}  // namespace
+}  // namespace omu::world

@@ -1,0 +1,159 @@
+// Concurrency contract of the tiled world's read path: reader threads
+// holding federated WorldQueryViews race a live writer whose pager is
+// actively evicting and reloading tiles under a tight byte budget. Run
+// under ThreadSanitizer in CI (the sanitizer matrix job) — the assertions
+// check the visible guarantees (view immutability, epoch monotonicity,
+// batch/pointwise consistency, final convergence to the serial
+// reference); TSan checks that eviction never races a published view.
+// Same harness style as tests/query/test_query_service_concurrency.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "map/scan_inserter.hpp"
+#include "world/tiled_world_map.hpp"
+#include "world/world_query_view.hpp"
+#include "world_test_util.hpp"
+
+namespace omu::world {
+namespace {
+
+using map::OcKey;
+using map::Occupancy;
+using testing::SweepScan;
+using testing::TempDir;
+using testing::make_sweep_scans;
+
+TEST(WorldConcurrency, ReadersHoldViewsWhileWriterEvictsAndReloads) {
+  constexpr int kReaders = 4;
+  const std::vector<SweepScan> scans = make_sweep_scans(202, 20, 220);
+
+  // Size a budget that forces tile churn while the writer streams.
+  TiledWorldConfig sizing;
+  sizing.tile_shift = 5;
+  std::size_t total_bytes = 0;
+  map::OccupancyOctree serial(sizing.resolution, sizing.params);
+  {
+    TiledWorldMap sizing_world(sizing);
+    map::ScanInserter sizing_inserter(sizing_world);
+    map::ScanInserter serial_inserter(serial);
+    for (const SweepScan& scan : scans) {
+      sizing_inserter.insert_scan(scan.points, scan.origin);
+      serial_inserter.insert_scan(scan.points, scan.origin);
+    }
+    total_bytes = sizing_world.pager_stats().resident_bytes;
+  }
+
+  TempDir dir("world_tsan");
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 5;
+  cfg.directory = dir.path();
+  cfg.resident_byte_budget = (total_bytes * 2) / 3;
+  TiledWorldMap world(cfg);
+  WorldViewService service;
+  world.attach_view_service(&service);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reader_queries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      geom::SplitMix64 rng(static_cast<uint64_t>(r) * 6151 + 11);
+      uint64_t last_epoch = 0;
+      uint64_t queries = 0;
+      std::vector<OcKey> batch_keys(16);
+      std::vector<Occupancy> batch_out;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto view = service.view();
+        ASSERT_NE(view, nullptr);
+        // Epochs never go backwards from a reader's point of view.
+        ASSERT_GE(view->epoch(), last_epoch);
+        last_epoch = view->epoch();
+        // One view is one consistent map, whatever the pager is doing:
+        // batch answers equal pointwise answers against the same view.
+        for (auto& key : batch_keys) {
+          key = OcKey{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(128) - 64),
+                      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                      static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(32) - 16)};
+        }
+        view->classify_batch(batch_keys, batch_out);
+        for (std::size_t i = 0; i < batch_keys.size(); ++i) {
+          ASSERT_EQ(batch_out[i], view->classify(batch_keys[i]));
+        }
+        // Box and coarse-depth queries race the writer too.
+        view->any_occupied_in_box(
+            geom::Aabb::from_center_size({rng.uniform(-10, 10), rng.uniform(-4, 4), 0},
+                                         {2.0, 2.0, 1.0}),
+            rng.next_below(2) == 0);
+        view->classify(batch_keys[0], 8);
+        queries += batch_keys.size();
+      }
+      reader_queries.fetch_add(queries, std::memory_order_relaxed);
+    });
+  }
+
+  {
+    // The writer: stream scans, forcing evict/reload churn, and publish a
+    // fresh federated view at every flush boundary.
+    map::ScanInserter inserter(world);
+    for (const SweepScan& scan : scans) {
+      inserter.insert_scan(scan.points, scan.origin);
+      world.flush();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(reader_queries.load(), 0u);
+  EXPECT_GT(world.pager_stats().evictions, 0u) << "budget never forced churn; test is vacuous";
+  // attach publishes once, then one publication per flush.
+  EXPECT_EQ(service.publications(), static_cast<uint64_t>(scans.size()) + 1);
+
+  // Final convergence: the last published view answers like the serial
+  // reference tree, bit for bit.
+  const auto final_view = service.view();
+  geom::SplitMix64 rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    const OcKey key{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(220) - 110),
+                    static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(80) - 40),
+                    static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(40) - 20)};
+    ASSERT_EQ(final_view->classify(key), serial.classify(key));
+  }
+  EXPECT_EQ(world.leaves_sorted(),
+            map::normalize_to_min_depth(serial.leaves_sorted(), world.grid().tile_depth()));
+}
+
+TEST(WorldConcurrency, HeldViewSurvivesLaterEvictionsUnchanged) {
+  TempDir dir("world_held_view");
+  const std::vector<SweepScan> scans = make_sweep_scans(303, 16, 200);
+
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 5;
+  cfg.directory = dir.path();
+  cfg.resident_byte_budget = 192 * 1024;
+  TiledWorldMap world(cfg);
+
+  map::ScanInserter inserter(world);
+  for (int s = 0; s < 4; ++s) inserter.insert_scan(scans[static_cast<std::size_t>(s)].points,
+                                                   scans[static_cast<std::size_t>(s)].origin);
+  const auto held = world.capture_view();
+  const std::size_t held_leaves = held->leaf_count();
+  const uint64_t held_epoch = held->epoch();
+
+  // Keep mapping: evictions, reloads and republications leave the held
+  // view untouched.
+  for (std::size_t s = 4; s < scans.size(); ++s) {
+    inserter.insert_scan(scans[s].points, scans[s].origin);
+  }
+  const auto fresh = world.capture_view();
+  EXPECT_EQ(held->leaf_count(), held_leaves);
+  EXPECT_EQ(held->epoch(), held_epoch);
+  EXPECT_GT(fresh->epoch(), held_epoch);
+  EXPECT_GT(fresh->leaf_count(), held_leaves);
+}
+
+}  // namespace
+}  // namespace omu::world

@@ -1,0 +1,209 @@
+// Cross-tile query federation: a WorldQueryView's point, batch,
+// coarse-depth and AABB answers are bit-identical to a monolithic
+// MapSnapshot of the same stream — including views captured after every
+// tile was evicted (the on-demand load path).
+#include "world/world_query_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "map/scan_inserter.hpp"
+#include "query/map_snapshot.hpp"
+#include "world/tiled_world_map.hpp"
+#include "world_test_util.hpp"
+
+namespace omu::world {
+namespace {
+
+using map::OcKey;
+using map::Occupancy;
+using testing::SweepScan;
+using testing::TempDir;
+using testing::make_sweep_scans;
+
+struct FederationFixture {
+  TiledWorldMap world;
+  map::OccupancyOctree mono;
+  std::shared_ptr<const query::MapSnapshot> mono_snapshot;
+
+  explicit FederationFixture(TiledWorldConfig cfg, uint64_t seed = 31)
+      : world(cfg), mono(cfg.resolution, cfg.params) {
+    map::ScanInserter world_inserter(world);
+    map::ScanInserter mono_inserter(mono);
+    for (const SweepScan& scan : make_sweep_scans(seed, 20, 250)) {
+      world_inserter.insert_scan(scan.points, scan.origin);
+      mono_inserter.insert_scan(scan.points, scan.origin);
+    }
+    map::OctreeBackend mono_backend(mono);
+    mono_snapshot = query::MapSnapshot::capture(mono_backend);
+  }
+};
+
+OcKey random_key(geom::SplitMix64& rng) {
+  if (rng.next_below(16) == 0) {
+    return OcKey{static_cast<uint16_t>(rng.next_below(1u << 16)),
+                 static_cast<uint16_t>(rng.next_below(1u << 16)),
+                 static_cast<uint16_t>(rng.next_below(1u << 16))};
+  }
+  return OcKey{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(200) - 100),
+               static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(80) - 40),
+               static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(40) - 20)};
+}
+
+geom::Aabb random_box(geom::SplitMix64& rng) {
+  // Sizes from sub-voxel to multi-tile, occasionally straddling the mapped
+  // slab's edge or missing the map entirely.
+  const geom::Vec3d center{rng.uniform(-25, 25), rng.uniform(-10, 10), rng.uniform(-5, 5)};
+  const geom::Vec3d size{rng.uniform(0.05, 15.0), rng.uniform(0.05, 8.0),
+                         rng.uniform(0.05, 4.0)};
+  return geom::Aabb::from_center_size(center, size);
+}
+
+void expect_view_matches_snapshot(const WorldQueryView& view,
+                                  const query::MapSnapshot& snapshot, uint64_t seed) {
+  geom::SplitMix64 rng(seed);
+  const int depths[] = {map::kTreeDepth, 14, 11, 8, 5, 2, 1};
+  for (int i = 0; i < 2000; ++i) {
+    const OcKey key = random_key(rng);
+    for (const int depth : depths) {
+      ASSERT_EQ(view.classify(key, depth), snapshot.classify(key, depth))
+          << "key " << key.packed() << " depth " << depth;
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec3d p{rng.uniform(-30, 30), rng.uniform(-10, 10), rng.uniform(-6, 6)};
+    ASSERT_EQ(view.classify(p), snapshot.classify(p));
+  }
+  for (int i = 0; i < 400; ++i) {
+    const geom::Aabb box = random_box(rng);
+    ASSERT_EQ(view.any_occupied_in_box(box, false), snapshot.any_occupied_in_box(box, false));
+    ASSERT_EQ(view.any_occupied_in_box(box, true), snapshot.any_occupied_in_box(box, true));
+  }
+  // Batch answers equal pointwise answers.
+  std::vector<OcKey> keys(64);
+  for (auto& key : keys) key = random_key(rng);
+  std::vector<Occupancy> batch;
+  view.classify_batch(keys, batch, 12);
+  ASSERT_EQ(batch.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(batch[i], view.classify(keys[i], 12));
+  }
+}
+
+TEST(WorldQueryView, FederatedAnswersMatchMonolithicSnapshot) {
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 5;
+  FederationFixture f(cfg);
+  const auto view = f.world.capture_view();
+  EXPECT_GT(view->tile_count(), 3u);
+  EXPECT_EQ(view->leaf_count(),
+            map::normalize_to_min_depth(f.mono.leaves_sorted(), f.world.grid().tile_depth())
+                .size());
+  expect_view_matches_snapshot(*view, *f.mono_snapshot, 41);
+}
+
+TEST(WorldQueryView, FederationMatchesAcrossTileSpans) {
+  for (const int shift : {3, 8, 13, 16}) {
+    TiledWorldConfig cfg;
+    cfg.tile_shift = shift;
+    FederationFixture f(cfg, 100 + static_cast<uint64_t>(shift));
+    const auto view = f.world.capture_view();
+    expect_view_matches_snapshot(*view, *f.mono_snapshot, 500 + static_cast<uint64_t>(shift));
+  }
+}
+
+TEST(WorldQueryView, OnDemandLoadOfEvictedTilesFederatesIdentically) {
+  const std::vector<SweepScan> scans = make_sweep_scans(77, 24, 250);
+
+  TiledWorldConfig unbounded;
+  unbounded.tile_shift = 5;
+  TiledWorldMap sizing_world(unbounded);
+  map::OccupancyOctree mono(unbounded.resolution, unbounded.params);
+  {
+    map::ScanInserter world_inserter(sizing_world);
+    map::ScanInserter mono_inserter(mono);
+    for (const SweepScan& scan : scans) {
+      world_inserter.insert_scan(scan.points, scan.origin);
+      mono_inserter.insert_scan(scan.points, scan.origin);
+    }
+  }
+  const std::size_t total_bytes = sizing_world.pager_stats().resident_bytes;
+
+  TempDir dir("world_view_evict");
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 5;
+  cfg.directory = dir.path();
+  cfg.resident_byte_budget = (total_bytes * 2) / 3;
+  TiledWorldMap world(cfg);
+  {
+    map::ScanInserter inserter(world);
+    for (const SweepScan& scan : scans) inserter.insert_scan(scan.points, scan.origin);
+  }
+  ASSERT_GT(world.pager_stats().evictions, 0u);
+
+  // The first capture pulls evicted tiles from disk on demand; the second
+  // reuses every cached per-tile snapshot (no further disk reads).
+  const auto view = world.capture_view();
+  const uint64_t transient_after_first = world.pager_stats().transient_reads;
+  EXPECT_GT(transient_after_first, 0u);
+  const auto view2 = world.capture_view();
+  EXPECT_EQ(world.pager_stats().transient_reads, transient_after_first);
+  EXPECT_EQ(view2->leaf_count(), view->leaf_count());
+
+  map::OctreeBackend mono_backend(mono);
+  const auto mono_snapshot = query::MapSnapshot::capture(mono_backend);
+  expect_view_matches_snapshot(*view, *mono_snapshot, 909);
+  // Capturing views must not page tiles in: residency stays under budget.
+  EXPECT_LE(world.pager_stats().resident_bytes, cfg.resident_byte_budget);
+}
+
+TEST(WorldQueryView, SnapshotCacheReleasesMemoryWithTheLastView) {
+  // The per-tile snapshot cache holds weak references: snapshot memory is
+  // owned by live views only. Dropping every view frees the flattened
+  // copies, so the next capture of evicted tiles re-reads from disk.
+  const std::vector<SweepScan> scans = make_sweep_scans(88, 16, 200);
+  TempDir dir("world_cache_release");
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 5;
+  cfg.directory = dir.path();
+  cfg.resident_byte_budget = 128 * 1024;
+  TiledWorldMap world(cfg);
+  {
+    map::ScanInserter inserter(world);
+    for (const SweepScan& scan : scans) inserter.insert_scan(scan.points, scan.origin);
+  }
+  ASSERT_GT(world.pager_stats().evictions, 0u);
+
+  auto view = world.capture_view();
+  const uint64_t reads_first = world.pager_stats().transient_reads;
+  ASSERT_GT(reads_first, 0u);
+  // Held view: a second capture reuses every cached snapshot.
+  world.capture_view();
+  EXPECT_EQ(world.pager_stats().transient_reads, reads_first);
+  // Dropped views: the cache no longer pins anything, so evicted tiles
+  // must be re-read.
+  view.reset();
+  world.capture_view();
+  EXPECT_GT(world.pager_stats().transient_reads, reads_first);
+}
+
+TEST(WorldQueryView, ViewEpochsIncreasePerCapture) {
+  TiledWorldConfig cfg;
+  cfg.tile_shift = 6;
+  TiledWorldMap world(cfg);
+  const auto v1 = world.capture_view();
+  const auto v2 = world.capture_view();
+  EXPECT_LT(v1->epoch(), v2->epoch());
+
+  WorldViewService service;
+  EXPECT_EQ(service.view(), nullptr);
+  world.attach_view_service(&service);
+  ASSERT_NE(service.view(), nullptr);  // attach publishes immediately
+  const uint64_t first = service.view()->epoch();
+  world.flush();
+  EXPECT_GT(service.view()->epoch(), first);
+  EXPECT_EQ(service.publications(), 2u);
+}
+
+}  // namespace
+}  // namespace omu::world

@@ -1,0 +1,79 @@
+// Shared fixtures for the world-layer suites: throwaway world directories
+// and the multi-tile sweep scan stream the equivalence tests replay into
+// both the tiled world and the monolithic reference octree.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "geom/pointcloud.hpp"
+#include "geom/rng.hpp"
+#include "geom/vec3.hpp"
+
+namespace omu::world::testing {
+
+/// RAII scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("omu_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One sensor scan: world-frame endpoints plus the ray origin.
+struct SweepScan {
+  geom::PointCloud points;
+  geom::Vec3d origin;
+};
+
+/// A deterministic scan stream whose origin sweeps back and forth along x,
+/// so the update stream crosses many tiles and *revisits* earlier ones —
+/// the access pattern that makes an LRU pager evict and reload.
+inline std::vector<SweepScan> make_sweep_scans(uint64_t seed, int scans, int points_per_scan,
+                                               double half_span = 12.0) {
+  geom::SplitMix64 rng(seed);
+  std::vector<SweepScan> out;
+  out.reserve(static_cast<std::size_t>(scans));
+  for (int s = 0; s < scans; ++s) {
+    // Triangle sweep: 0 -> +half_span -> -half_span -> 0 over the stream.
+    const double phase = static_cast<double>(s) / static_cast<double>(scans);
+    const double x = half_span * (phase < 0.5 ? 4.0 * phase - 1.0 : 3.0 - 4.0 * phase);
+    SweepScan scan;
+    scan.origin = {x, rng.uniform(-0.5, 0.5), 0.0};
+    for (int i = 0; i < points_per_scan; ++i) {
+      const double az = rng.uniform(-3.14159, 3.14159);
+      const double el = rng.uniform(-0.35, 0.35);
+      const double r = rng.uniform(1.5, 6.0);
+      scan.points.push_back(
+          geom::Vec3f{static_cast<float>(scan.origin.x + r * std::cos(el) * std::cos(az)),
+                      static_cast<float>(scan.origin.y + r * std::cos(el) * std::sin(az)),
+                      static_cast<float>(scan.origin.z + r * std::sin(el))});
+    }
+    out.push_back(std::move(scan));
+  }
+  return out;
+}
+
+}  // namespace omu::world::testing
