@@ -1,0 +1,5 @@
+# CMake package entry point for installed OMU: provides the omu::core
+# target (public headers in include/omu/ + the static library).
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/omuTargets.cmake")

@@ -1,24 +1,26 @@
 // Corridor mapping, out of core: the paper's FR-079 scenario streamed
-// into a TiledWorldMap under a hard resident-memory budget.
+// into a tiled-world omu::Mapper session under a hard resident-memory
+// budget.
 //
 //   $ ./corridor_mapping [scale]
 //
 // Streams a scaled synthetic FR-079 corridor dataset scan by scan — the
-// way a robot would integrate its sensor stream — into (a) the serial
-// software octree and (b) a tiled world map whose LRU pager must evict
+// way a robot would integrate its sensor stream — into (a) a serial
+// octree session and (b) a tiled-world session whose LRU pager must evict
 // cold tiles to disk to stay under a byte budget sized well below the
-// full map. Reports per-scan progress and pager churn, verifies the
-// world map is bit-identical to the monolithic tree despite the paging,
-// answers queries through a federated WorldQueryView, and persists the
-// world directory (reloadable via world::TiledWorldMap::open).
+// full map. Both sessions are plain omu::Mapper instances; only the
+// MapperConfig differs. Reports per-scan progress and pager churn,
+// verifies the world map is bit-identical to the monolithic tree despite
+// the paging, answers queries through a facade snapshot, and persists the
+// world directory (reloadable via omu::Mapper::open).
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 
-#include "data/datasets.hpp"
-#include "map/scan_inserter.hpp"
-#include "world/tiled_world_map.hpp"
-#include "world/world_manifest.hpp"
+#include <omu/omu.hpp>
+
+#include "example_common.hpp"
+#include "map/occupancy_octree.hpp"     // internal: normalized leaf comparison
+#include "world/tiled_world_map.hpp"    // internal: tile-grid introspection
 
 int main(int argc, char** argv) {
   using namespace omu;
@@ -33,95 +35,89 @@ int main(int argc, char** argv) {
   std::printf("FR-079 corridor (synthetic), %zu scans, ~%zu rays/scan\n",
               dataset.scan_count(), dataset.rays_per_scan());
 
-  // ---- Reference pass: the monolithic octree, and the batches to replay --
-  map::OccupancyOctree tree(0.2);
-  map::ScanInserter inserter(tree);
-  std::vector<map::UpdateBatch> batches(dataset.scan_count());
-  uint64_t total_updates = 0;
-  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
-    const data::DatasetScan scan = dataset.scan(i);
-    inserter.collect_updates(scan.points, scan.pose.translation(), batches[i]);
-    inserter.apply_updates(batches[i]);
-    total_updates += batches[i].size();
-  }
+  // ---- Reference pass: a monolithic octree session ------------------------
+  Mapper reference = examples::require_value(
+      Mapper::create(MapperConfig().resolution(0.2)), "Mapper::create(octree)");
+  examples::stream_dataset(reference, dataset);
+  const std::size_t monolithic_bytes = reference.stats().memory_bytes;
 
-  // ---- Out-of-core pass: identical batches through the tiled world -------
+  // ---- Out-of-core pass: the identical stream through a tiled world -------
   // Budget: under half the monolithic footprint, so the pager must evict.
-  world::TiledWorldConfig cfg;
-  cfg.resolution = 0.2;
-  cfg.tile_shift = 5;  // 6.4 m tiles; the corridor spans several
-  cfg.directory = "corridor_world";
-  cfg.resident_byte_budget = tree.memory_bytes() / 2;
-  // corridor_world/ is this example's scratch output. A fresh
-  // TiledWorldMap refuses to shadow an existing world, so a leftover from
-  // a previous run is removed — loudly, and only if it actually is a
-  // world directory (anything else in the way is the user's, not ours).
-  if (std::filesystem::exists(cfg.directory)) {
-    if (!std::filesystem::exists(world::WorldManifest::manifest_path(cfg.directory))) {
-      std::fprintf(stderr, "%s exists but is not a world directory; move it aside\n",
-                   cfg.directory.c_str());
-      return 2;
-    }
-    std::printf("removing previous %s/ (this example's scratch world)\n", cfg.directory.c_str());
-    std::filesystem::remove_all(cfg.directory);
-  }
-  world::TiledWorldMap world(cfg);
+  const std::string world_dir = "corridor_world";
+  examples::reset_scratch_world(world_dir);
+  Mapper world = examples::require_value(
+      Mapper::create(MapperConfig()
+                         .resolution(0.2)
+                         .backend(BackendKind::kTiledWorld)
+                         .tile_shift(5)  // 6.4 m tiles; the corridor spans several
+                         .world_directory(world_dir)
+                         .resident_byte_budget(monolithic_bytes / 2)),
+      "Mapper::create(tiled-world)");
 
-  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
-    world.apply(batches[i]);
+  examples::stream_dataset(world, dataset, [&](std::size_t i, const data::DatasetScan&) {
     if (i % 16 == 0 || i + 1 == dataset.scan_count()) {
-      const world::TilePagerStats stats = world.pager_stats();
-      std::printf("  scan %3zu: %6zu updates, tiles %zu known / %zu resident, "
+      const WorldPagingStats stats = examples::require_value(world.paging_stats(), "paging_stats");
+      std::printf("  scan %3zu: tiles %zu known / %zu resident, "
                   "%5.1f KiB resident (budget %5.1f), %llu evictions\n",
-                  i, batches[i].size(), stats.known_tiles, stats.resident_tiles,
+                  i, stats.known_tiles, stats.resident_tiles,
                   static_cast<double>(stats.resident_bytes) / 1024.0,
-                  static_cast<double>(cfg.resident_byte_budget) / 1024.0,
+                  static_cast<double>(stats.resident_byte_budget) / 1024.0,
                   static_cast<unsigned long long>(stats.evictions));
     }
-  }
-  world.flush();
+  });
+  examples::require_ok(world.flush(), "flush");
 
   // ---- Pager statistics ---------------------------------------------------
-  const world::TilePagerStats stats = world.pager_stats();
+  const WorldPagingStats stats = examples::require_value(world.paging_stats(), "paging_stats");
+  const world::TiledWorldMap& world_map = *world.internal_world();
   std::printf("\npager statistics:\n");
   std::printf("  tiles known / resident : %zu / %zu (span %.1f m)\n", stats.known_tiles,
-              stats.resident_tiles, world.grid().tile_size());
+              stats.resident_tiles, world_map.grid().tile_size());
   std::printf("  evictions / reloads    : %llu / %llu (%llu tile file writes)\n",
               static_cast<unsigned long long>(stats.evictions),
               static_cast<unsigned long long>(stats.reloads),
               static_cast<unsigned long long>(stats.tile_writes));
   std::printf("  peak resident          : %.1f KiB (budget %.1f KiB, monolithic %.1f KiB)\n",
               static_cast<double>(stats.peak_resident_bytes) / 1024.0,
-              static_cast<double>(cfg.resident_byte_budget) / 1024.0,
-              static_cast<double>(tree.memory_bytes()) / 1024.0);
+              static_cast<double>(stats.resident_byte_budget) / 1024.0,
+              static_cast<double>(monolithic_bytes) / 1024.0);
 
   // ---- Equivalence: paging must not cost a single bit ---------------------
+  // (Internal leaf export: the one comparison the facade cannot express,
+  // since a monolithic tree may merge whole tiles above the tile depth.)
   const bool identical =
-      world.leaves_sorted() ==
-      map::normalize_to_min_depth(tree.leaves_sorted(), world.grid().tile_depth());
+      world_map.leaves_sorted() ==
+      map::normalize_to_min_depth(reference.internal_octree()->leaves_sorted(),
+                                  world_map.grid().tile_depth());
   std::printf("  maps bit-identical     : %s\n", identical ? "yes" : "NO (bug!)");
 
-  // ---- Query through a federated view ------------------------------------
-  const auto view = world.capture_view();
+  // ---- Query through a facade snapshot (federated under the hood) ---------
+  const MapView view = examples::require_value(world.snapshot(), "snapshot");
   std::size_t occupied = 0;
   std::size_t free_cells = 0;
-  for (const map::LeafRecord& leaf : tree.leaves_sorted()) {
-    const map::Occupancy occ = view->classify(leaf.key);
-    occupied += occ == map::Occupancy::kOccupied;
-    free_cells += occ == map::Occupancy::kFree;
+  const map::KeyCoder& coder = reference.internal_octree()->coder();
+  for (const map::LeafRecord& leaf : reference.internal_octree()->leaves_sorted()) {
+    const geom::Vec3d center = coder.coord_for(leaf.key);
+    const Occupancy occ = view.classify(Vec3{center.x, center.y, center.z});
+    occupied += occ == Occupancy::kOccupied;
+    free_cells += occ == Occupancy::kFree;
   }
-  std::printf("\nfederated view: %zu tiles, %zu leaves, %zu occupied / %zu free sampled\n",
-              view->tile_count(), view->leaf_count(), occupied, free_cells);
+  std::printf("\nfacade snapshot: %zu leaves, %zu occupied / %zu free sampled (epoch %llu)\n",
+              view.leaf_count(), occupied, free_cells,
+              static_cast<unsigned long long>(view.epoch()));
 
-  // ---- Persist and reload -------------------------------------------------
-  world.save();
-  const auto reopened = world::TiledWorldMap::open(cfg.directory);
-  const bool reload_ok = reopened->content_hash() == world.content_hash();
-  std::printf("saved world to %s/ (%zu tiles, %s reload)\n", cfg.directory.c_str(),
-              reopened->tile_count(), reload_ok ? "verified" : "FAILED");
+  // ---- Persist and reload through the facade ------------------------------
+  examples::require_ok(world.save(), "save");
+  Mapper reopened = examples::require_value(Mapper::open(world_dir), "Mapper::open");
+  const bool reload_ok =
+      examples::require_value(reopened.content_hash(), "content_hash") ==
+      examples::require_value(world.content_hash(), "content_hash");
+  std::printf("saved world to %s/ (%zu tiles, %s reload)\n", world_dir.c_str(),
+              examples::require_value(reopened.paging_stats(), "paging_stats").known_tiles,
+              reload_ok ? "verified" : "FAILED");
 
   if (!identical || !reload_ok) return 1;
   std::printf("\n%llu updates mapped out-of-core with zero accuracy loss\n",
-              static_cast<unsigned long long>(total_updates));
+              static_cast<unsigned long long>(world.stats().voxel_updates));
   return 0;
 }

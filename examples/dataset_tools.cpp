@@ -1,16 +1,17 @@
 // Dataset tooling: generate a synthetic scan dataset, inspect its workload
 // statistics against the paper's Table II, and export/import it as a text
 // scan log (the bridge for running real captured logs through the
-// pipeline).
+// pipeline). Maps are built through the public omu::Mapper facade.
 //
 //   $ ./dataset_tools [corridor|campus|newcollege] [scale]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include <omu/omu.hpp>
+
 #include "data/scan_log.hpp"
-#include "map/occupancy_octree.hpp"
-#include "map/scan_inserter.hpp"
+#include "example_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace omu;
@@ -40,29 +41,25 @@ int main(int argc, char** argv) {
               paper.updates_per_point());
 
   // ---- Generate all scans, measure actual statistics ----------------------
-  map::OccupancyOctree tree(0.2);
-  map::ScanInserter inserter(tree);
+  Mapper mapper = examples::require_value(Mapper::create(MapperConfig().resolution(0.2)),
+                                          "Mapper::create(octree)");
   std::vector<data::DatasetScan> scans;
-  uint64_t points = 0;
-  uint64_t updates = 0;
-  map::UpdateBatch buffer;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     scans.push_back(dataset.scan(i));
     const data::DatasetScan& scan = scans.back();
-    points += scan.points.size();
-    buffer.clear();
-    inserter.collect_updates(scan.points, scan.pose.translation(), buffer);
-    inserter.apply_updates(buffer);
-    updates += buffer.size();
+    examples::require_ok(examples::insert_cloud(mapper, scan.points, scan.pose.translation()),
+                         "insert_scan");
   }
-  const double upd_per_pt = static_cast<double>(updates) / static_cast<double>(points);
+  const MapperStats stats = mapper.stats();
+  const double upd_per_pt =
+      static_cast<double>(stats.voxel_updates) / static_cast<double>(stats.points_inserted);
   std::printf("generated        : %zu scans, %llu points, %llu updates (%.1f updates/pt, "
               "paper %.1f -> %+.0f%%)\n",
-              scans.size(), static_cast<unsigned long long>(points),
-              static_cast<unsigned long long>(updates), upd_per_pt, paper.updates_per_point(),
-              100.0 * (upd_per_pt / paper.updates_per_point() - 1.0));
-  std::printf("map              : %zu leaves, %zu inner, %.1f KiB\n", tree.leaf_count(),
-              tree.inner_count(), static_cast<double>(tree.memory_bytes()) / 1024.0);
+              scans.size(), static_cast<unsigned long long>(stats.points_inserted),
+              static_cast<unsigned long long>(stats.voxel_updates), upd_per_pt,
+              paper.updates_per_point(), 100.0 * (upd_per_pt / paper.updates_per_point() - 1.0));
+  std::printf("map              : %.1f KiB resident\n",
+              static_cast<double>(stats.memory_bytes) / 1024.0);
 
   // ---- Export to scan log and verify the round trip -----------------------
   const char* path = "dataset_export.scanlog";
@@ -76,12 +73,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   // Rebuild the map from the reloaded log; content must match.
-  map::OccupancyOctree tree2(0.2);
-  map::ScanInserter inserter2(tree2);
+  Mapper mapper2 = examples::require_value(Mapper::create(MapperConfig().resolution(0.2)),
+                                           "Mapper::create(octree)");
   for (const data::DatasetScan& scan : *reloaded) {
-    inserter2.insert_scan(scan.points, scan.pose.translation());
+    examples::require_ok(examples::insert_cloud(mapper2, scan.points, scan.pose.translation()),
+                         "insert_scan");
   }
+  const bool identical = examples::require_value(mapper2.content_hash(), "content_hash") ==
+                         examples::require_value(mapper.content_hash(), "content_hash");
   std::printf("scan log         : wrote %s, reload %s (map %s)\n", path, "ok",
-              tree2.content_hash() == tree.content_hash() ? "identical" : "MISMATCH");
-  return tree2.content_hash() == tree.content_hash() ? 0 : 1;
+              identical ? "identical" : "MISMATCH");
+  return identical ? 0 : 1;
 }

@@ -1,43 +1,47 @@
-// Drone collision checking: the paper's motivating edge use case (Fig. 1).
+// Drone collision checking: the paper's motivating edge use case (Fig. 1),
+// driven through the public omu::Mapper facade.
 //
 //   $ ./drone_collision_check
 //
 // A micro aerial vehicle maps a courtyard with its onboard sensor, then
-// plans a straight-line flight and uses the OMU voxel-query service to
-// check the corridor of flight for obstacles — occupied or unknown voxels
-// both count as unsafe, the conservative policy a real planner uses.
+// plans a straight-line flight and uses the accelerator session's voxel
+// queries to check the corridor of flight for obstacles — occupied or
+// unknown voxels both count as unsafe, the conservative policy a real
+// planner uses. A software octree session maps the identical stream and
+// must agree with every accelerator answer.
 #include <cstdio>
 
-#include "accel/omu_accelerator.hpp"
+#include <omu/omu.hpp>
+
+#include "accel/omu_accelerator.hpp"  // internal: query-unit cycle counters
 #include "data/scan_generator.hpp"
 #include "data/scene_builder.hpp"
-#include "map/occupancy_octree.hpp"
-#include "map/scan_inserter.hpp"
+#include "example_common.hpp"
 
 namespace {
 
 using namespace omu;
 
 /// Checks the straight segment from a to b at `step` spacing against the
-/// accelerator's query service. Returns the first unsafe sample, if any.
+/// accelerator session's query service. Returns the first unsafe sample,
+/// if any.
 struct CheckResult {
   bool safe = true;
-  geom::Vec3d blocker;
-  map::Occupancy occupancy = map::Occupancy::kFree;
+  Vec3 blocker;
+  Occupancy occupancy = Occupancy::kFree;
   uint64_t queries = 0;
 };
 
-CheckResult check_segment(accel::OmuAccelerator& omu, const geom::Vec3d& a, const geom::Vec3d& b,
-                          double step = 0.1) {
+CheckResult check_segment(Mapper& mapper, const Vec3& a, const Vec3& b, double step = 0.1) {
   CheckResult r;
-  const double len = geom::distance(a, b);
+  const double len = geom::distance(geom::Vec3d{a.x, a.y, a.z}, geom::Vec3d{b.x, b.y, b.z});
   const auto n = static_cast<std::size_t>(len / step) + 1;
   for (std::size_t i = 0; i <= n; ++i) {
     const double t = static_cast<double>(i) / static_cast<double>(n);
-    const geom::Vec3d p = a + (b - a) * t;
-    const map::Occupancy occ = omu.classify(p);
+    const Vec3 p{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t, a.z + (b.z - a.z) * t};
+    const Occupancy occ = examples::require_value(mapper.classify(p), "classify");
     ++r.queries;
-    if (occ != map::Occupancy::kFree) {
+    if (occ != Occupancy::kFree) {
       r.safe = false;
       r.blocker = p;
       r.occupancy = occ;
@@ -62,34 +66,37 @@ int main() {
 
   // Dense hover scans over a courtyard outgrow the paper's 256 KiB/PE
   // TreeMem; model the DMA-backed spill (paper Fig. 7) with more rows.
-  accel::OmuConfig cfg;
-  cfg.rows_per_bank = std::size_t{1} << 17;
-  accel::OmuAccelerator omu(cfg);
-  map::OccupancyOctree reference(0.2);
-  map::ScanInserter inserter(reference);
+  AcceleratorOptions accel_opts;
+  accel_opts.rows_per_bank = std::size_t{1} << 17;
+  Mapper hardware = examples::require_value(
+      Mapper::create(
+          MapperConfig().resolution(0.2).backend(BackendKind::kAccelerator).accelerator(accel_opts)),
+      "Mapper::create(accelerator)");
+  Mapper reference = examples::require_value(Mapper::create(MapperConfig().resolution(0.2)),
+                                             "Mapper::create(octree)");
 
   const geom::Vec3d hover_points[] = {{-20, -20, 1.5}, {0, 0, 1.5}, {18, 14, 1.5}};
-  map::UpdateBatch updates;
   for (const geom::Vec3d& hover : hover_points) {
     const geom::Pose pose(hover, 0.0);
     const geom::PointCloud cloud = generator.generate(pose);
-    updates.clear();
-    inserter.collect_updates(cloud, hover, updates);
-    inserter.apply_updates(updates);
-    omu.simulate_updates(updates);
-    std::printf("mapped from (%+5.1f, %+5.1f): %6zu points, map now %zu leaves\n", hover.x,
-                hover.y, cloud.size(), reference.leaf_count());
+    examples::require_ok(examples::insert_cloud(reference, cloud, hover), "insert_scan(sw)");
+    examples::require_ok(examples::insert_cloud(hardware, cloud, hover), "insert_scan(hw)");
+    std::printf("mapped from (%+5.1f, %+5.1f): %6zu points, %llu updates so far\n", hover.x,
+                hover.y, cloud.size(),
+                static_cast<unsigned long long>(reference.stats().voxel_updates));
   }
+  examples::require_ok(hardware.flush(), "flush");
+  const accel::OmuAccelerator& omu_model = *hardware.internal_accelerator();
   std::printf("map build: %.2f ms of accelerator time (%.1f cycles/update)\n\n",
-              omu.totals().seconds(omu.config().clock_hz) * 1e3,
-              static_cast<double>(omu.totals().map_cycles) /
-                  static_cast<double>(omu.totals().updates_dispatched));
+              omu_model.totals().seconds(omu_model.config().clock_hz) * 1e3,
+              static_cast<double>(omu_model.totals().map_cycles) /
+                  static_cast<double>(omu_model.totals().updates_dispatched));
 
   // ---- 2. Plan candidate flight legs and collision-check them -------------
   struct Leg {
     const char* name;
-    geom::Vec3d from;
-    geom::Vec3d to;
+    Vec3 from;
+    Vec3 to;
   };
   const Leg legs[] = {
       {"short hop in mapped plaza", {0, 0, 1.5}, {3.0, 1.5, 1.5}},
@@ -101,18 +108,19 @@ int main() {
 
   uint64_t total_queries = 0;
   for (const Leg& leg : legs) {
-    const CheckResult r = check_segment(omu, leg.from, leg.to);
+    const CheckResult r = check_segment(hardware, leg.from, leg.to);
     total_queries += r.queries;
     if (r.safe) {
       std::printf("leg '%s': SAFE (%llu voxel queries)\n", leg.name,
                   static_cast<unsigned long long>(r.queries));
     } else {
       std::printf("leg '%s': BLOCKED at (%+.1f, %+.1f, %.1f) — %s voxel\n", leg.name, r.blocker.x,
-                  r.blocker.y, r.blocker.z, map::to_string(r.occupancy));
+                  r.blocker.y, r.blocker.z, to_string(r.occupancy));
     }
     // The software map must agree with the accelerator's answers.
-    const map::Occupancy sw = reference.classify(r.safe ? leg.to : r.blocker);
-    const map::Occupancy hw = omu.classify(r.safe ? leg.to : r.blocker);
+    const Vec3 probe = r.safe ? leg.to : r.blocker;
+    const Occupancy sw = examples::require_value(reference.classify(probe), "classify(sw)");
+    const Occupancy hw = examples::require_value(hardware.classify(probe), "classify(hw)");
     if (sw != hw) {
       std::printf("  !! software/accelerator disagreement — bug\n");
       return 1;
@@ -120,7 +128,7 @@ int main() {
   }
 
   // ---- 3. Query-service cost ----------------------------------------------
-  const auto& qstats = omu.query_unit().stats();
+  const auto& qstats = hardware.internal_accelerator()->query_unit().stats();
   std::printf("\nquery service: %llu queries, %.1f cycles each "
               "(%llu occupied / %llu free / %llu unknown)\n",
               static_cast<unsigned long long>(qstats.queries),

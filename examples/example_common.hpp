@@ -1,0 +1,99 @@
+// Shared plumbing of the example programs.
+//
+// Every example builds its maps through the public omu::Mapper facade
+// (<omu/omu.hpp>); the helpers here are the glue that used to be
+// copy-pasted per example: synthetic input generation, bridging the
+// internal geom::PointCloud data containers into facade insert calls,
+// dataset streaming, status handling and scratch world-directory
+// hygiene. Examples remain free to include internal src/ headers for
+// *instrumentation* (accelerator counters, map export) — construction
+// and mapping go through the facade only.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <omu/omu.hpp>
+
+#include "data/datasets.hpp"
+#include "geom/pointcloud.hpp"
+#include "geom/rng.hpp"
+#include "world/world_manifest.hpp"
+
+namespace omu::examples {
+
+/// Exits with an error when a facade call failed; examples treat any
+/// non-ok Status as fatal.
+inline void require_ok(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s failed: %s\n", what, status.to_string().c_str());
+  std::exit(1);
+}
+
+/// Unwraps a facade Result or exits (the Result flavour of require_ok).
+template <typename T>
+T require_value(Result<T> result, const char* what) {
+  require_ok(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Integrates one internal point-cloud container through the facade
+/// (PointCloud stores contiguous float32 xyz triples).
+inline Status insert_cloud(Mapper& mapper, const geom::PointCloud& cloud,
+                           const geom::Vec3d& origin) {
+  return mapper.insert_scan(cloud.empty() ? nullptr : &cloud.points().front().x, cloud.size(),
+                            Vec3{origin.x, origin.y, origin.z});
+}
+
+/// A toy scan: endpoints on a noisy sphere of `radius` metres around the
+/// origin — a "room" whose walls the rays hit (the quickstart workload).
+inline geom::PointCloud sphere_room_cloud(uint64_t seed, int points, double radius) {
+  geom::PointCloud cloud;
+  geom::SplitMix64 rng(seed);
+  cloud.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double az = rng.uniform(-3.14159, 3.14159);
+    const double el = rng.uniform(-0.4, 0.4);
+    const double r = radius + rng.normal(0.0, 0.02);
+    cloud.push_back(geom::Vec3f{static_cast<float>(r * std::cos(el) * std::cos(az)),
+                                static_cast<float>(r * std::cos(el) * std::sin(az)),
+                                static_cast<float>(r * std::sin(el))});
+  }
+  return cloud;
+}
+
+/// Streams every scan of a synthetic dataset into a mapper, invoking
+/// `per_scan(index, scan)` after each insertion (for progress reporting).
+template <typename PerScan>
+void stream_dataset(Mapper& mapper, const data::SyntheticDataset& dataset, PerScan&& per_scan) {
+  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
+    const data::DatasetScan scan = dataset.scan(i);
+    require_ok(insert_cloud(mapper, scan.points, scan.pose.translation()), "insert_scan");
+    per_scan(i, scan);
+  }
+}
+
+inline void stream_dataset(Mapper& mapper, const data::SyntheticDataset& dataset) {
+  stream_dataset(mapper, dataset, [](std::size_t, const data::DatasetScan&) {});
+}
+
+/// Clears an example's scratch world directory from a previous run —
+/// loudly, and only if it actually is a world directory (anything else in
+/// the way is the user's, not ours). Exits when the path is occupied by
+/// something unrecognized.
+inline void reset_scratch_world(const std::string& directory) {
+  if (!std::filesystem::exists(directory)) return;
+  if (!std::filesystem::exists(world::WorldManifest::manifest_path(directory))) {
+    std::fprintf(stderr, "%s exists but is not a world directory; move it aside\n",
+                 directory.c_str());
+    std::exit(2);
+  }
+  std::printf("removing previous %s/ (this example's scratch world)\n", directory.c_str());
+  std::filesystem::remove_all(directory);
+}
+
+}  // namespace omu::examples

@@ -1,6 +1,7 @@
-// Map export: build a corridor map and export human-viewable artifacts —
-// a 2D occupancy slice (PGM image) and the occupied voxels as a PLY point
-// cloud — plus an ASCII rendering of the slice in the terminal.
+// Map export: build a corridor map through the omu::Mapper facade and
+// export human-viewable artifacts — a 2D occupancy slice (PGM image) and
+// the occupied voxels as a PLY point cloud — plus an ASCII rendering of
+// the slice in the terminal.
 //
 //   $ ./map_export_viewer [scale]
 //
@@ -9,9 +10,10 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "data/datasets.hpp"
-#include "map/map_export.hpp"
-#include "map/scan_inserter.hpp"
+#include <omu/omu.hpp>
+
+#include "example_common.hpp"
+#include "map/map_export.hpp"  // internal: PGM/PLY exporters over the octree
 
 int main(int argc, char** argv) {
   using namespace omu;
@@ -19,12 +21,10 @@ int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.002;
   const data::SyntheticDataset dataset(data::DatasetId::kFr079Corridor, scale, 1);
 
-  map::OccupancyOctree tree(0.2);
-  map::ScanInserter inserter(tree);
-  for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
-    const data::DatasetScan scan = dataset.scan(i);
-    inserter.insert_scan(scan.points, scan.pose.translation());
-  }
+  Mapper mapper = examples::require_value(Mapper::create(MapperConfig().resolution(0.2)),
+                                          "Mapper::create(octree)");
+  examples::stream_dataset(mapper, dataset);
+  const map::OccupancyOctree& tree = *mapper.internal_octree();
   std::printf("built corridor map: %zu leaves, %zu inner nodes\n", tree.leaf_count(),
               tree.inner_count());
 

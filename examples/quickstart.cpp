@@ -1,87 +1,87 @@
 // Quickstart: build a probabilistic 3D occupancy map from one synthetic
-// scan, query it, and run the identical workload through the OMU
-// accelerator model.
+// scan through the public omu::Mapper facade, query it, and run the
+// identical workload through the OMU accelerator model.
 //
 //   $ ./quickstart
 //
-// Walks through the three core APIs:
-//   1. map::OccupancyOctree + map::ScanInserter  (software OctoMap)
-//   2. accel::OmuAccelerator                     (cycle-level accelerator)
-//   3. equivalence + speedup reporting
+// Walks through the public API:
+//   1. omu::MapperConfig -> omu::Mapper      (software OctoMap session)
+//   2. the same session on the accelerator   (backend = kAccelerator)
+//   3. equivalence + modeled speedup reporting
 #include <cstdio>
 
-#include "accel/omu_accelerator.hpp"
-#include "cpumodel/cpu_cost_model.hpp"
-#include "geom/rng.hpp"
-#include "map/occupancy_octree.hpp"
-#include "map/scan_inserter.hpp"
+#include <omu/omu.hpp>
+
+#include "accel/omu_accelerator.hpp"    // internal: accelerator cycle counters
+#include "cpumodel/cpu_cost_model.hpp"  // internal: modeled CPU latencies
+#include "example_common.hpp"
+#include "map/occupancy_octree.hpp"     // internal: leaf-count introspection
 
 int main() {
   using namespace omu;
 
   // ---- 1. Make a toy scan: a room whose walls are 4 m away ---------------
-  geom::PointCloud cloud;
-  geom::SplitMix64 rng(7);
-  for (int i = 0; i < 2000; ++i) {
-    // Random directions, endpoint on a sphere of radius ~4 m (a "room").
-    const double az = rng.uniform(-3.14159, 3.14159);
-    const double el = rng.uniform(-0.4, 0.4);
-    const double r = 4.0 + rng.normal(0.0, 0.02);
-    cloud.push_back(geom::Vec3f{static_cast<float>(r * std::cos(el) * std::cos(az)),
-                                static_cast<float>(r * std::cos(el) * std::sin(az)),
-                                static_cast<float>(r * std::sin(el))});
-  }
+  const geom::PointCloud cloud = examples::sphere_room_cloud(/*seed=*/7, 2000, /*radius=*/4.0);
   const geom::Vec3d sensor_origin{0.0, 0.0, 0.0};
 
-  // ---- 2. Software OctoMap baseline --------------------------------------
-  map::OccupancyOctree tree(/*resolution=*/0.2);
-  map::ScanInserter inserter(tree);
-  const auto inserted = inserter.insert_scan(cloud, sensor_origin);
+  // ---- 2. Software OctoMap baseline through the facade -------------------
+  Mapper software = examples::require_value(
+      Mapper::create(MapperConfig().resolution(0.2).backend(BackendKind::kOctree)),
+      "Mapper::create(octree)");
+  examples::require_ok(examples::insert_cloud(software, cloud, sensor_origin), "insert_scan");
 
-  std::printf("software OctoMap:\n");
+  const MapperStats sw_stats = software.stats();
+  std::printf("software OctoMap (omu::Mapper, backend=octree):\n");
   std::printf("  points               : %llu\n",
-              static_cast<unsigned long long>(inserted.points));
-  std::printf("  voxel updates        : %llu (%llu free + %llu occupied)\n",
-              static_cast<unsigned long long>(inserted.total_updates()),
-              static_cast<unsigned long long>(inserted.free_updates),
-              static_cast<unsigned long long>(inserted.occupied_updates));
+              static_cast<unsigned long long>(sw_stats.points_inserted));
+  std::printf("  voxel updates        : %llu\n",
+              static_cast<unsigned long long>(sw_stats.voxel_updates));
   std::printf("  leaf nodes           : %zu (pruning compresses free space)\n",
-              tree.leaf_count());
+              software.internal_octree()->leaf_count());
 
   // Query three representative points.
-  const geom::Vec3d wall_point{4.0, 0.0, 0.0};
-  const geom::Vec3d free_point{2.0, 0.0, 0.0};
-  const geom::Vec3d unknown_point{9.0, 9.0, 0.0};
-  std::printf("  classify wall        : %s\n", map::to_string(tree.classify(wall_point)));
-  std::printf("  classify mid-room    : %s\n", map::to_string(tree.classify(free_point)));
-  std::printf("  classify outside     : %s\n", map::to_string(tree.classify(unknown_point)));
+  const Vec3 wall_point{4.0, 0.0, 0.0};
+  const Vec3 free_point{2.0, 0.0, 0.0};
+  const Vec3 unknown_point{9.0, 9.0, 0.0};
+  std::printf("  classify wall        : %s\n",
+              to_string(examples::require_value(software.classify(wall_point), "classify")));
+  std::printf("  classify mid-room    : %s\n",
+              to_string(examples::require_value(software.classify(free_point), "classify")));
+  std::printf("  classify outside     : %s\n",
+              to_string(examples::require_value(software.classify(unknown_point), "classify")));
 
   // ---- 3. The same scan on the OMU accelerator ---------------------------
-  accel::OmuAccelerator omu;  // paper defaults: 8 PEs, 8 banks, 1 GHz
-  const auto sim = omu.integrate_scan(cloud, sensor_origin);
+  Mapper hardware = examples::require_value(
+      Mapper::create(MapperConfig().resolution(0.2).backend(BackendKind::kAccelerator)),
+      "Mapper::create(accelerator)");  // paper defaults: 8 PEs, 8 banks, 1 GHz
+  examples::require_ok(examples::insert_cloud(hardware, cloud, sensor_origin), "insert_scan");
+  examples::require_ok(hardware.flush(), "flush");
 
+  const accel::OmuAccelerator& omu_model = *hardware.internal_accelerator();
   std::printf("\nOMU accelerator (8 PEs @ 1 GHz):\n");
   std::printf("  map cycles           : %llu (%.1f cycles/update)\n",
-              static_cast<unsigned long long>(sim.map_cycles),
-              static_cast<double>(sim.map_cycles) /
-                  static_cast<double>(sim.cast.total_updates()));
+              static_cast<unsigned long long>(omu_model.totals().map_cycles),
+              static_cast<double>(omu_model.totals().map_cycles) /
+                  static_cast<double>(omu_model.totals().updates_dispatched));
   std::printf("  wall time            : %.3f ms\n",
-              omu.totals().seconds(omu.config().clock_hz) * 1e3);
+              omu_model.totals().seconds(omu_model.config().clock_hz) * 1e3);
   std::printf("  query wall           : %s\n",
-              map::to_string(omu.classify(wall_point)));
+              to_string(examples::require_value(hardware.classify(wall_point), "classify")));
   std::printf("  query mid-room       : %s\n",
-              map::to_string(omu.classify(free_point)));
+              to_string(examples::require_value(hardware.classify(free_point), "classify")));
 
-  // Bit-exact equivalence of the two maps.
-  const bool equivalent = tree.content_hash() == omu.content_hash();
+  // Bit-exact equivalence of the two maps, straight off the facade.
+  const bool equivalent =
+      examples::require_value(software.content_hash(), "content_hash") ==
+      examples::require_value(hardware.content_hash(), "content_hash");
   std::printf("  maps bit-identical   : %s\n", equivalent ? "yes" : "NO (bug!)");
 
   // ---- 4. Modeled CPU comparison -----------------------------------------
   const cpumodel::CpuCostModel i9(cpumodel::CpuCostParams::intel_i9_9940x());
   const cpumodel::CpuCostModel a57(cpumodel::CpuCostParams::arm_a57());
-  const double i9_s = i9.total_seconds(tree.stats());
-  const double a57_s = a57.total_seconds(tree.stats());
-  const double omu_s = omu.totals().seconds(omu.config().clock_hz);
+  const double i9_s = i9.total_seconds(software.internal_octree()->stats());
+  const double a57_s = a57.total_seconds(software.internal_octree()->stats());
+  const double omu_s = omu_model.totals().seconds(omu_model.config().clock_hz);
   std::printf("\nmodeled build latency for this scan:\n");
   std::printf("  Intel i9 CPU         : %8.3f ms\n", i9_s * 1e3);
   std::printf("  Arm A57 CPU (TX2)    : %8.3f ms\n", a57_s * 1e3);

@@ -1,0 +1,143 @@
+// omu::Status / omu::Result<T> — the error-reporting vocabulary of the
+// public mapping API (include/omu/).
+//
+// Every fallible operation on the omu::Mapper facade returns a Status (or
+// a Result<T> bundling a Status with a value) instead of throwing: the
+// facade is the stability boundary of the library, and internal exception
+// types are an implementation detail that must not leak across it.
+// Messages are written to be actionable — a rejected configuration names
+// the offending field and the value it held.
+//
+// This header is part of the installed public API and must stay
+// self-contained: it may include only the C++ standard library and other
+// include/omu/ headers.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace omu {
+
+/// Machine-readable category of a Status (the coarse classes a caller can
+/// sensibly branch on; the message carries the specifics).
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,     ///< a configuration or call argument is unusable
+  kFailedPrecondition,  ///< the call is valid but not in this state/mode
+  kNotFound,            ///< a named resource (world directory, file) is absent
+  kDataLoss,            ///< stored map data failed validation (corruption)
+  kIoError,             ///< the filesystem/stream failed
+  kResourceExhausted,   ///< a capacity limit was hit (e.g. accelerator TreeMem)
+  kInternal,            ///< an invariant broke inside the library
+};
+
+/// Short stable name of a code ("ok", "invalid-argument", ...).
+const char* to_string(StatusCode code);
+
+/// The outcome of a fallible facade operation: a code plus a human-readable
+/// message. Default-constructed Status is OK; the message of an OK status
+/// is empty.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, reading like the call sites that produce them
+  /// (an OK status is just `Status()`).
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status data_loss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status io_error(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>" — what operator<< prints.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Thrown only by Result<T>::value() when the result holds an error — the
+/// one deliberate exception of the public API, reserved for callers who
+/// choose the throwing accessor over checking ok() first.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::runtime_error("omu::Result accessed without a value: " + status.to_string()) {}
+};
+
+/// A Status plus, on success, a value of type T (move-only T supported).
+template <typename T>
+class Result {
+ public:
+  /// An error result. Programming error if `status.ok()` — an OK result
+  /// must carry a value; this is normalized to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::internal("Result constructed from an OK status without a value");
+    }
+  }
+
+  /// A success result carrying `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The value; throws BadResultAccess when the result is an error.
+  T& value() & {
+    ensure_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    ensure_ok();
+    return *value_;
+  }
+  T&& value() && {
+    ensure_ok();
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  void ensure_ok() const {
+    if (!status_.ok()) throw BadResultAccess(status_);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace omu

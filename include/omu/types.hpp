@@ -1,0 +1,96 @@
+// Value types of the public mapping API (include/omu/).
+//
+// The facade speaks plain metric geometry: double positions, float32
+// measurement endpoints (the precision of real sensor streams) and an
+// occupancy classification enum. These types are deliberately independent
+// of the library's internal geometry headers so the public API stays
+// self-contained; the facade converts at the boundary.
+//
+// This header is part of the installed public API and must stay
+// self-contained: it may include only the C++ standard library and other
+// include/omu/ headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace omu {
+
+/// A metric position or direction in the world frame (doubles: poses and
+/// query points accumulate error where float32 endpoints do not).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr bool operator==(const Vec3&) const = default;
+};
+
+/// One float32 measurement endpoint of a scan, world frame.
+struct Point {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr bool operator==(const Point&) const = default;
+};
+static_assert(sizeof(Point) == 3 * sizeof(float),
+              "Point must be three packed floats (insert_scan treats point "
+              "arrays as contiguous xyz triples)");
+
+/// One sensor ray: where the sensor was and what it hit. insert_rays
+/// integrates the free space along the ray plus the occupied endpoint.
+struct Ray {
+  Vec3 origin;
+  Point endpoint;
+};
+
+/// An axis-aligned metric box (collision-query region).
+struct Box {
+  Vec3 min;
+  Vec3 max;
+};
+
+/// Occupancy classification of a voxel returned by map queries.
+enum class Occupancy : uint8_t {
+  kUnknown,   ///< never observed
+  kFree,      ///< observed, log-odds at or below the occupancy threshold
+  kOccupied,  ///< observed, log-odds above the occupancy threshold
+};
+
+/// Short human-readable name ("unknown"/"free"/"occupied").
+constexpr const char* to_string(Occupancy occ) {
+  switch (occ) {
+    case Occupancy::kUnknown: return "unknown";
+    case Occupancy::kFree: return "free";
+    case Occupancy::kOccupied: return "occupied";
+  }
+  return "?";
+}
+
+/// Cheap run counters of a mapping session (see Mapper::stats).
+struct MapperStats {
+  uint64_t scans_inserted = 0;    ///< insert_scan calls that integrated points
+  uint64_t rays_inserted = 0;     ///< rays integrated via insert_rays
+  uint64_t points_inserted = 0;   ///< measurement endpoints consumed
+  uint64_t voxel_updates = 0;     ///< per-voxel updates issued to the backend
+  uint64_t flushes = 0;           ///< flush() barriers (snapshot epochs published)
+  /// Resident bytes of the map structure, when the backend can account for
+  /// them (octree: tree nodes; tiled world: resident tiles; 0 = unknown).
+  std::size_t memory_bytes = 0;
+};
+
+/// Paging counters of a tiled-world session (see Mapper::paging_stats).
+struct WorldPagingStats {
+  std::size_t known_tiles = 0;
+  std::size_t resident_tiles = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t peak_resident_bytes = 0;
+  std::size_t resident_byte_budget = 0;  ///< 0 = unbounded
+  uint64_t evictions = 0;
+  uint64_t reloads = 0;
+  uint64_t tile_writes = 0;
+};
+
+}  // namespace omu

@@ -3,7 +3,10 @@
 #include <cstdlib>
 #include <string>
 
+#include <omu/omu.hpp>
+
 #include "map/scan_inserter.hpp"
+#include "omu_api/convert.hpp"
 
 namespace omu::harness {
 
@@ -15,6 +18,17 @@ void fill_cpu_fractions(PlatformResult& r, const cpumodel::CpuPhaseBreakdown& b)
   r.frac_update_leaf = b.update_leaf_frac();
   r.frac_update_parents = b.update_parents_frac();
   r.frac_prune_expand = b.prune_expand_frac();
+}
+
+/// An accelerator session over a fully specified internal OmuConfig (the
+/// ablation surface the builder's AcceleratorOptions doesn't cover).
+Mapper make_accelerator_mapper(const accel::OmuConfig& cfg) {
+  return Mapper::create(MapperConfig()
+                            .backend(BackendKind::kAccelerator)
+                            .resolution(cfg.resolution)
+                            .sensor_model(api::to_sensor_model(cfg.params))
+                            .accelerator_config(cfg))
+      .value();
 }
 
 }  // namespace
@@ -41,32 +55,37 @@ ExperimentResult ExperimentRunner::run(data::DatasetId id) const {
   result.name = dataset.name();
   result.scale = options_.scale;
 
-  // Accelerator configuration (capacity note in the header).
+  // Accelerator configuration (capacity note in the header); both
+  // platform sessions are facade-built, sharing one sensor model.
   accel::OmuConfig cfg = options_.omu_config;
   cfg.resolution = 0.2;
   if (options_.enlarge_rows_for_capacity) cfg.rows_per_bank = options_.enlarged_rows_per_bank;
-  accel::OmuAccelerator omu(cfg);
+  Mapper hw = make_accelerator_mapper(cfg);
+  Mapper sw = Mapper::create(MapperConfig()
+                                 .resolution(cfg.resolution)
+                                 .sensor_model(api::to_sensor_model(cfg.params)))
+                  .value();
+  accel::OmuAccelerator& omu = *hw.internal_accelerator();
+  map::OccupancyOctree& tree = *sw.internal_octree();
 
-  // Software baseline with the same quantized parameters.
-  map::OccupancyOctree tree(cfg.resolution, cfg.params);
-  map::ScanInserter inserter(tree);
-
+  // The measurement loop needs the identical update stream on both
+  // platforms, so it drives the backends' batch interface directly (one
+  // ray-cast pass, two consumers) instead of facade insert_scan.
+  map::ScanInserter inserter(*sw.internal_backend());
   map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
     const data::DatasetScan scan = dataset.scan(i);
     result.measured.points += scan.points.size();
 
-    // One ray-casting pass defines the identical update stream for both
-    // platforms.
     updates.clear();
     inserter.collect_updates(scan.points, scan.pose.translation(), updates);
     inserter.apply_updates(updates);
     // Scans stream through the accelerator back-to-back (feed per scan,
     // one flush at the end), as in a deployed pipeline.
-    omu.feed_updates(updates);
+    hw.internal_backend()->apply(updates);
     result.measured.voxel_updates += updates.size();
   }
-  omu.flush();
+  hw.internal_backend()->flush();
   result.measured.scans = dataset.scan_count();
   result.measured.map_stats = tree.stats();
   result.measured.leaf_nodes = tree.leaf_count();
@@ -176,12 +195,13 @@ ExperimentResult ExperimentRunner::run_accelerator_only(data::DatasetId id,
 
   accel::OmuConfig cfg = config;
   cfg.resolution = 0.2;
-  accel::OmuAccelerator omu(cfg);
+  Mapper hw = make_accelerator_mapper(cfg);
+  accel::OmuAccelerator& omu = *hw.internal_accelerator();
 
-  // A throwaway tree provides the ScanInserter front-end for update
-  // collection (ray casting is platform-independent).
-  map::OccupancyOctree tree(cfg.resolution, cfg.params);
-  map::ScanInserter inserter(tree);
+  // The session's backend doubles as the ScanInserter front-end for
+  // update collection (ray casting is platform-independent), replacing
+  // the throwaway octree the hand-wired setup needed.
+  map::ScanInserter inserter(*hw.internal_backend());
 
   map::UpdateBatch updates;
   for (std::size_t i = 0; i < dataset.scan_count(); ++i) {
@@ -189,10 +209,10 @@ ExperimentResult ExperimentRunner::run_accelerator_only(data::DatasetId id,
     result.measured.points += scan.points.size();
     updates.clear();
     inserter.collect_updates(scan.points, scan.pose.translation(), updates);
-    omu.feed_updates(updates);
+    inserter.apply_updates(updates);
     result.measured.voxel_updates += updates.size();
   }
-  omu.flush();
+  hw.internal_backend()->flush();
   result.measured.scans = dataset.scan_count();
   result.measured.updates_per_point =
       result.measured.points > 0

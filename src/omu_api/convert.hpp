@@ -1,0 +1,35 @@
+// Conversions between the public facade types and their internal
+// counterparts — the single definition of the SensorModel <->
+// OccupancyParams field mapping, shared by the facade implementation and
+// internal consumers (harness) that mirror a hand-wired parameter set
+// into a facade session. Internal header: not installed.
+#pragma once
+
+#include "map/occupancy_params.hpp"
+#include "omu/config.hpp"
+
+namespace omu::api {
+
+inline map::OccupancyParams to_occupancy_params(const SensorModel& sm) {
+  map::OccupancyParams p;
+  p.log_hit = sm.log_hit;
+  p.log_miss = sm.log_miss;
+  p.clamp_min = sm.clamp_min;
+  p.clamp_max = sm.clamp_max;
+  p.occ_threshold = sm.occ_threshold;
+  p.quantized = sm.quantized;
+  return p;
+}
+
+inline SensorModel to_sensor_model(const map::OccupancyParams& p) {
+  SensorModel sm;
+  sm.log_hit = p.log_hit;
+  sm.log_miss = p.log_miss;
+  sm.clamp_min = p.clamp_min;
+  sm.clamp_max = p.clamp_max;
+  sm.occ_threshold = p.occ_threshold;
+  sm.quantized = p.quantized;
+  return sm;
+}
+
+}  // namespace omu::api

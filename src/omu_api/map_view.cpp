@@ -1,0 +1,66 @@
+#include "omu/map_view.hpp"
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "omu_api/view_rep.hpp"
+
+namespace omu {
+
+namespace {
+
+Occupancy from_internal(map::Occupancy occ) {
+  switch (occ) {
+    case map::Occupancy::kUnknown: return Occupancy::kUnknown;
+    case map::Occupancy::kFree: return Occupancy::kFree;
+    case map::Occupancy::kOccupied: return Occupancy::kOccupied;
+  }
+  return Occupancy::kUnknown;
+}
+
+geom::Vec3d to_internal(const Vec3& v) { return {v.x, v.y, v.z}; }
+
+geom::Aabb to_internal(const Box& box) {
+  return geom::Aabb{to_internal(box.min), to_internal(box.max)};
+}
+
+}  // namespace
+
+Occupancy MapView::classify(const Vec3& position) const {
+  if (!rep_) return Occupancy::kUnknown;
+  if (rep_->world) return from_internal(rep_->world->classify(to_internal(position)));
+  return from_internal(rep_->snapshot->classify(to_internal(position)));
+}
+
+void MapView::classify_batch(const std::vector<Vec3>& positions,
+                             std::vector<Occupancy>& out) const {
+  out.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) out[i] = classify(positions[i]);
+}
+
+bool MapView::any_occupied_in_box(const Box& box, bool treat_unknown_as_occupied) const {
+  if (!rep_) return treat_unknown_as_occupied;
+  if (rep_->world) return rep_->world->any_occupied_in_box(to_internal(box), treat_unknown_as_occupied);
+  return rep_->snapshot->any_occupied_in_box(to_internal(box), treat_unknown_as_occupied);
+}
+
+uint64_t MapView::epoch() const {
+  if (!rep_) return 0;
+  return rep_->world ? rep_->world->epoch() : rep_->snapshot->epoch();
+}
+
+std::size_t MapView::leaf_count() const {
+  if (!rep_) return 0;
+  return rep_->world ? rep_->world->leaf_count() : rep_->snapshot->leaf_count();
+}
+
+double MapView::resolution() const {
+  if (!rep_) return 0.0;
+  return rep_->world ? rep_->world->resolution() : rep_->snapshot->resolution();
+}
+
+std::size_t MapView::memory_bytes() const {
+  if (!rep_) return 0;
+  return rep_->world ? rep_->world->memory_bytes() : rep_->snapshot->memory_bytes();
+}
+
+}  // namespace omu

@@ -1,0 +1,451 @@
+// omu::Mapper implementation: composes the internal subsystems (octree /
+// accelerator / sharded pipeline / tiled world + query services) behind
+// the public facade, and translates internal exceptions into Status at
+// the boundary.
+#include "omu/mapper.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "accel/accel_backend.hpp"
+#include "accel/omu_accelerator.hpp"
+#include "geom/pointcloud.hpp"
+#include "map/map_backend.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/octree_io.hpp"
+#include "map/scan_inserter.hpp"
+#include "omu_api/convert.hpp"
+#include "omu_api/view_rep.hpp"
+#include "pipeline/sharded_map_pipeline.hpp"
+#include "query/query_service.hpp"
+#include "world/tiled_world_map.hpp"
+#include "world/world_manifest.hpp"
+
+namespace omu {
+
+namespace {
+
+map::InsertPolicy insert_policy_of(const SensorModel& sm) {
+  map::InsertPolicy policy;
+  policy.mode = sm.deduplicate ? map::InsertMode::kDiscretized : map::InsertMode::kRayByRay;
+  policy.max_range = sm.max_range;
+  return policy;
+}
+
+Occupancy from_internal(map::Occupancy occ) {
+  switch (occ) {
+    case map::Occupancy::kUnknown: return Occupancy::kUnknown;
+    case map::Occupancy::kFree: return Occupancy::kFree;
+    case map::Occupancy::kOccupied: return Occupancy::kOccupied;
+  }
+  return Occupancy::kUnknown;
+}
+
+/// Stored-map failures read as data loss; everything else I/O.
+Status status_of_runtime_error(const char* what) {
+  const std::string msg(what);
+  for (const char* marker : {"checksum", "corrupt", "truncated", "mismatch"}) {
+    if (msg.find(marker) != std::string::npos) return Status::data_loss(msg);
+  }
+  return Status::io_error(msg);
+}
+
+/// The facade boundary: no internal exception escapes a Mapper call.
+template <typename Fn>
+Status guarded(Fn&& fn) {
+  try {
+    fn();
+    return Status();
+  } catch (const accel::CapacityExhausted& e) {
+    return Status::resource_exhausted(e.what());
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::runtime_error& e) {
+    return status_of_runtime_error(e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::resource_exhausted("out of memory");
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
+}
+
+}  // namespace
+
+struct Mapper::Impl {
+  MapperConfig config;
+  std::string backend_name;  ///< survives close() for introspection
+
+  // Engines — exactly one group is set, `backend` points at it.
+  std::unique_ptr<map::OccupancyOctree> tree;
+  std::unique_ptr<map::OctreeBackend> octree_backend;
+  std::unique_ptr<accel::OmuAccelerator> accelerator;
+  std::unique_ptr<accel::AcceleratorBackend> accel_backend;
+  std::unique_ptr<pipeline::ShardedMapPipeline> sharded;
+  std::unique_ptr<world::TiledWorldMap> world;
+  map::MapBackend* backend = nullptr;
+
+  std::unique_ptr<map::ScanInserter> inserter;
+  std::unique_ptr<query::QueryService> query_service;    // non-world sessions
+  std::unique_ptr<world::WorldViewService> view_service; // world sessions
+
+  geom::PointCloud cloud_scratch;  ///< reused per insert call
+  MapperStats stats;
+  bool open = false;
+
+  /// Tears the session down in dependency order (publishers detach before
+  /// the services they publish into die).
+  void release() {
+    open = false;
+    inserter.reset();
+    if (sharded) sharded->attach_query_service(nullptr);
+    if (world) world->attach_view_service(nullptr);
+    backend = nullptr;
+    octree_backend.reset();
+    tree.reset();
+    accel_backend.reset();
+    accelerator.reset();
+    sharded.reset();
+    world.reset();
+    query_service.reset();
+    view_service.reset();
+  }
+
+  /// Wires the inserter + publication service once `backend` is set.
+  void finish_wiring(const map::InsertPolicy& policy) {
+    backend_name = backend->name();
+    inserter = std::make_unique<map::ScanInserter>(*backend, policy);
+    if (world) {
+      view_service = std::make_unique<world::WorldViewService>();
+      world->attach_view_service(view_service.get());  // publishes an initial view
+    } else {
+      query_service = std::make_unique<query::QueryService>();  // epoch-0 placeholder
+      if (sharded) sharded->attach_query_service(query_service.get());
+    }
+    open = true;
+  }
+
+  Status integrate_cloud(const geom::Vec3d& origin) {
+    return guarded([&] {
+      const map::ScanInsertResult r = inserter->insert_scan(cloud_scratch, origin);
+      stats.points_inserted += r.points;
+      stats.voxel_updates += r.total_updates();
+    });
+  }
+};
+
+Mapper::Mapper(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Mapper::Mapper(Mapper&&) noexcept = default;
+Mapper& Mapper::operator=(Mapper&&) noexcept = default;
+
+Mapper::~Mapper() {
+  if (impl_ && impl_->open) close();
+}
+
+Result<Mapper> Mapper::create(const MapperConfig& config) {
+  if (Status s = config.validate(); !s.ok()) return s;
+
+  auto impl = std::make_unique<Impl>();
+  impl->config = config;
+  const map::OccupancyParams params = api::to_occupancy_params(config.sensor_model());
+
+  const Status built = guarded([&] {
+    switch (config.backend()) {
+      case BackendKind::kOctree: {
+        impl->tree = std::make_unique<map::OccupancyOctree>(config.resolution(), params);
+        impl->octree_backend = std::make_unique<map::OctreeBackend>(*impl->tree);
+        impl->backend = impl->octree_backend.get();
+        break;
+      }
+      case BackendKind::kAccelerator: {
+        accel::OmuConfig cfg;
+        if (config.accelerator_config() != nullptr) {
+          cfg = *config.accelerator_config();
+        } else if (config.accelerator().has_value()) {
+          const AcceleratorOptions& o = *config.accelerator();
+          cfg.pe_count = o.pe_count;
+          cfg.banks_per_pe = o.banks_per_pe;
+          cfg.rows_per_bank = o.rows_per_bank;
+          cfg.clock_hz = o.clock_hz;
+          cfg.reuse_pruned_rows = o.reuse_pruned_rows;
+        }
+        cfg.resolution = config.resolution();
+        cfg.params = params;
+        impl->accelerator = std::make_unique<accel::OmuAccelerator>(cfg);
+        impl->accel_backend = std::make_unique<accel::AcceleratorBackend>(*impl->accelerator);
+        impl->backend = impl->accel_backend.get();
+        break;
+      }
+      case BackendKind::kSharded: {
+        pipeline::ShardedPipelineConfig cfg;
+        cfg.shard_count = config.threads();
+        cfg.queue_depth = config.queue_depth();
+        cfg.resolution = config.resolution();
+        cfg.params = params;
+        impl->sharded = std::make_unique<pipeline::ShardedMapPipeline>(cfg);
+        impl->backend = impl->sharded.get();
+        break;
+      }
+      case BackendKind::kTiledWorld: {
+        world::TiledWorldConfig cfg;
+        cfg.resolution = config.resolution();
+        cfg.params = params;
+        cfg.tile_shift = config.tile_shift();
+        cfg.resident_byte_budget = config.resident_byte_budget();
+        cfg.directory = config.world_directory();
+        impl->world = std::make_unique<world::TiledWorldMap>(cfg);
+        impl->backend = impl->world.get();
+        break;
+      }
+    }
+  });
+  if (!built.ok()) {
+    // A fresh-world constructor refusing to shadow an existing manifest is
+    // a state problem with a specific remedy, not a bad argument.
+    if (built.code() == StatusCode::kInvalidArgument &&
+        config.backend() == BackendKind::kTiledWorld &&
+        built.message().find("manifest") != std::string::npos) {
+      return Status::failed_precondition(built.message() +
+                                         " (reopen existing worlds via Mapper::open)");
+    }
+    return built;
+  }
+
+  impl->finish_wiring(insert_policy_of(config.sensor_model()));
+  return Mapper(std::move(impl));
+}
+
+Result<Mapper> Mapper::open(const std::string& world_directory, const OpenOptions& options) {
+  std::error_code ec;
+  const std::string manifest = world::WorldManifest::manifest_path(world_directory);
+  if (!std::filesystem::exists(manifest, ec) || ec) {
+    return Status::not_found("world_directory: \"" + world_directory +
+                             "\" holds no world manifest (" + manifest +
+                             "); create new worlds via Mapper::create");
+  }
+
+  auto impl = std::make_unique<Impl>();
+  const Status opened = guarded([&] {
+    impl->world = world::TiledWorldMap::open(world_directory, options.resident_byte_budget);
+    impl->backend = impl->world.get();
+  });
+  if (!opened.ok()) return opened;
+
+  // The occupancy model comes back from the manifest; the ray policy is
+  // session-side and supplied by the caller (see OpenOptions).
+  const world::TiledWorldConfig& wcfg = impl->world->config();
+  SensorModel sensor = api::to_sensor_model(wcfg.params);
+  sensor.max_range = options.max_range;
+  sensor.deduplicate = options.deduplicate;
+  impl->config = MapperConfig()
+                     .backend(BackendKind::kTiledWorld)
+                     .resolution(wcfg.resolution)
+                     .sensor_model(sensor)
+                     .tile_shift(wcfg.tile_shift)
+                     .resident_byte_budget(wcfg.resident_byte_budget)
+                     .world_directory(wcfg.directory);
+  impl->finish_wiring(insert_policy_of(impl->config.sensor_model()));
+  return Mapper(std::move(impl));
+}
+
+namespace {
+
+Status closed_status() {
+  return Status::failed_precondition("mapper is closed (or moved from)");
+}
+
+}  // namespace
+
+Status Mapper::insert_scan(const float* xyz, std::size_t point_count, const Vec3& origin) {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (point_count > 0 && xyz == nullptr) {
+    return Status::invalid_argument("insert_scan: xyz must not be null for point_count " +
+                                    std::to_string(point_count));
+  }
+  impl_->cloud_scratch.clear();
+  impl_->cloud_scratch.reserve(point_count);
+  for (std::size_t i = 0; i < point_count; ++i) {
+    impl_->cloud_scratch.push_back(geom::Vec3f{xyz[3 * i], xyz[3 * i + 1], xyz[3 * i + 2]});
+  }
+  const Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z});
+  if (s.ok() && point_count > 0) ++impl_->stats.scans_inserted;
+  return s;
+}
+
+Status Mapper::insert_rays(const Ray* rays, std::size_t ray_count) {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (ray_count == 0) return Status();
+  if (rays == nullptr) {
+    return Status::invalid_argument("insert_rays: rays must not be null for ray_count " +
+                                    std::to_string(ray_count));
+  }
+  std::size_t i = 0;
+  while (i < ray_count) {
+    const Vec3 origin = rays[i].origin;
+    impl_->cloud_scratch.clear();
+    std::size_t j = i;
+    while (j < ray_count && rays[j].origin == origin) {
+      const Point& p = rays[j].endpoint;
+      impl_->cloud_scratch.push_back(geom::Vec3f{p.x, p.y, p.z});
+      ++j;
+    }
+    if (Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z}); !s.ok()) return s;
+    impl_->stats.rays_inserted += j - i;
+    i = j;
+  }
+  return Status();
+}
+
+Status Mapper::flush() {
+  if (!impl_ || !impl_->open) return closed_status();
+  const Status s = guarded([&] {
+    if (impl_->query_service && !impl_->sharded) {
+      // Synchronous backends publish explicitly; the sharded pipeline and
+      // the tiled world publish from inside their own flush().
+      impl_->query_service->refresh_from(*impl_->backend);
+    } else {
+      impl_->backend->flush();
+    }
+  });
+  if (s.ok()) ++impl_->stats.flushes;
+  return s;
+}
+
+Result<MapView> Mapper::snapshot() const {
+  if (!impl_ || !impl_->open) return closed_status();
+  auto rep = std::make_shared<MapView::Rep>();
+  if (impl_->view_service) {
+    rep->world = impl_->view_service->view();
+  } else {
+    rep->snapshot = impl_->query_service->snapshot();
+  }
+  return MapView(std::move(rep));
+}
+
+Result<Occupancy> Mapper::classify(const Vec3& position) {
+  if (!impl_ || !impl_->open) return closed_status();
+  Occupancy occ = Occupancy::kUnknown;
+  const Status s = guarded([&] {
+    occ = from_internal(impl_->backend->classify(geom::Vec3d{position.x, position.y, position.z}));
+  });
+  if (!s.ok()) return s;
+  return occ;
+}
+
+Status Mapper::save() {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (!impl_->world) {
+    return Status::failed_precondition(
+        "save: this is a " + std::string(to_string(backend())) +
+        " session with no world directory; use save_map(path) for a single-file map");
+  }
+  if (impl_->config.world_directory().empty()) {
+    return Status::failed_precondition(
+        "save: this tiled-world session is in-memory — configure world_directory() at create "
+        "time to make the world persistable");
+  }
+  return guarded([&] { impl_->world->save(); });
+}
+
+Status Mapper::save_map(const std::string& path) {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (impl_->world) {
+    if (impl_->config.world_directory().empty()) {
+      return Status::failed_precondition(
+          "save_map: a tiled-world session persists tile-by-tile, not as one file — recreate it "
+          "with world_directory() set, then use save()");
+    }
+    return Status::failed_precondition(
+        "save_map: a tiled-world session persists into its world directory; use save()");
+  }
+  return guarded([&] {
+    impl_->backend->flush();
+    bool written = false;
+    if (impl_->tree) {
+      written = map::OctreeIo::write_file(*impl_->tree, path);
+    } else if (impl_->sharded) {
+      written = map::OctreeIo::write_file(impl_->sharded->merged_octree(), path);
+    } else {
+      written = map::OctreeIo::write_file(impl_->accelerator->to_octree(), path);
+    }
+    if (!written) throw std::runtime_error("save_map: cannot write '" + path + "'");
+  });
+}
+
+Status Mapper::close() {
+  if (!impl_) return closed_status();
+  if (!impl_->open) return Status();  // idempotent
+  const Status s = guarded([&] { impl_->backend->flush(); });
+  impl_->release();
+  return s;
+}
+
+bool Mapper::is_open() const { return impl_ != nullptr && impl_->open; }
+
+const MapperConfig& Mapper::config() const {
+  static const MapperConfig kEmpty;
+  return impl_ ? impl_->config : kEmpty;
+}
+
+BackendKind Mapper::backend() const { return config().backend(); }
+
+std::string Mapper::backend_name() const { return impl_ ? impl_->backend_name : std::string(); }
+
+double Mapper::resolution() const { return config().resolution(); }
+
+MapperStats Mapper::stats() const {
+  if (!impl_) return MapperStats{};
+  MapperStats s = impl_->stats;
+  if (impl_->tree) {
+    s.memory_bytes = impl_->tree->memory_bytes();
+  } else if (impl_->world) {
+    s.memory_bytes = impl_->world->pager_stats().resident_bytes;
+  }
+  return s;
+}
+
+Result<WorldPagingStats> Mapper::paging_stats() const {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (!impl_->world) {
+    return Status::failed_precondition("paging_stats: only tiled-world sessions page; this is a " +
+                                       std::string(to_string(backend())) + " session");
+  }
+  const world::TilePagerStats p = impl_->world->pager_stats();
+  WorldPagingStats out;
+  out.known_tiles = p.known_tiles;
+  out.resident_tiles = p.resident_tiles;
+  out.resident_bytes = p.resident_bytes;
+  out.peak_resident_bytes = p.peak_resident_bytes;
+  out.resident_byte_budget = impl_->config.resident_byte_budget();
+  out.evictions = p.evictions;
+  out.reloads = p.reloads;
+  out.tile_writes = p.tile_writes;
+  return out;
+}
+
+Result<uint64_t> Mapper::content_hash() {
+  if (!impl_ || !impl_->open) return closed_status();
+  uint64_t hash = 0;
+  const Status s = guarded([&] {
+    impl_->backend->flush();
+    hash = impl_->backend->content_hash();
+  });
+  if (!s.ok()) return s;
+  return hash;
+}
+
+map::MapBackend* Mapper::internal_backend() { return impl_ ? impl_->backend : nullptr; }
+map::OccupancyOctree* Mapper::internal_octree() { return impl_ ? impl_->tree.get() : nullptr; }
+accel::OmuAccelerator* Mapper::internal_accelerator() {
+  return impl_ ? impl_->accelerator.get() : nullptr;
+}
+pipeline::ShardedMapPipeline* Mapper::internal_pipeline() {
+  return impl_ ? impl_->sharded.get() : nullptr;
+}
+world::TiledWorldMap* Mapper::internal_world() { return impl_ ? impl_->world.get() : nullptr; }
+query::QueryService* Mapper::internal_query_service() {
+  return impl_ ? impl_->query_service.get() : nullptr;
+}
+
+}  // namespace omu

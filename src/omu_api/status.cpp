@@ -1,0 +1,35 @@
+#include "omu/status.hpp"
+
+#include <ostream>
+
+namespace omu {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = omu::to_string(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.to_string();
+}
+
+}  // namespace omu

@@ -1,0 +1,76 @@
+// Status / Result<T>: the error vocabulary of the public API boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include <omu/status.hpp>
+
+namespace omu {
+namespace {
+
+TEST(FacadeStatus, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(FacadeStatus, NamedConstructorsCarryCodeAndMessage) {
+  const Status s = Status::invalid_argument("resolution: must be positive, got -1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "resolution: must be positive, got -1");
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::data_loss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::io_error("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(FacadeStatus, IsStreamPrintable) {
+  std::ostringstream os;
+  os << Status::invalid_argument("threads: must be >= 1, got 0");
+  EXPECT_EQ(os.str(), "invalid-argument: threads: must be >= 1, got 0");
+  std::ostringstream ok;
+  ok << Status();
+  EXPECT_EQ(ok.str(), "ok");
+}
+
+TEST(FacadeStatus, CodeNamesAreStable) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(to_string(StatusCode::kNotFound), "not-found");
+}
+
+TEST(FacadeResult, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(FacadeResult, HoldsStatusOnError) {
+  Result<int> r(Status::not_found("no such world"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.value(), BadResultAccess);
+}
+
+TEST(FacadeResult, OkStatusWithoutValueIsNormalizedToInternal) {
+  Result<int> r{Status()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(FacadeResult, SupportsMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+}  // namespace
+}  // namespace omu
