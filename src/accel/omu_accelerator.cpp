@@ -177,6 +177,10 @@ uint32_t OmuAccelerator::peak_rows_touched() const {
 
 std::vector<map::LeafRecord> OmuAccelerator::leaves_sorted() const {
   std::vector<map::LeafRecord> out;
+  // Same flush-footgun fix as the software tree's leaf_reserve_hint():
+  // every leaf lives in one of the in-use TreeMem rows (8 slots each), so
+  // one reservation replaces the log(n) regrowth of a large export.
+  out.reserve(static_cast<std::size_t>(rows_in_use()) * 8 + pes_.size());
   for (const auto& pe : pes_) {
     pe->for_each_leaf([&out](const map::OcKey& key, int depth, float log_odds) {
       out.push_back(map::LeafRecord{key, depth, log_odds});

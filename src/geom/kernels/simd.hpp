@@ -1,0 +1,40 @@
+// Build-time SIMD toggle for the data-oriented insert hot path.
+//
+// The batch kernels in this directory ship two implementations: a portable
+// scalar loop (always compiled, the bit-exact reference) and an SSE2 path
+// selected when the build enables OMU_SIMD and the target has SSE2 (always
+// true on x86-64). One CMake option — OMU_SIMD=ON/OFF — drives the whole
+// selection via the OMU_SIMD_ENABLED compile definition, so the scalar
+// fallback is a first-class build configuration (CI compiles and runs the
+// full Tier-1 suite with it) rather than dead code.
+//
+// Contract: for every kernel, the SIMD variant produces bit-identical
+// outputs to the scalar variant on every input (IEEE element-wise ops in
+// the same order, no FMA contraction — the kernel TUs build with
+// -ffp-contract=off). tests/geom/test_kernels.cpp enforces this on
+// randomized batches including the edge rays.
+#pragma once
+
+#ifndef OMU_SIMD_ENABLED
+// Built without the CMake plumbing (e.g. a direct compiler invocation):
+// default to the vectorized path when the ISA allows.
+#define OMU_SIMD_ENABLED 1
+#endif
+
+#if OMU_SIMD_ENABLED && defined(__SSE2__)
+#define OMU_KERNELS_SSE2 1
+#include <emmintrin.h>
+#else
+#define OMU_KERNELS_SSE2 0
+#endif
+
+namespace omu::geom::kernels {
+
+/// True when the SIMD kernel variants are compiled in and dispatched to.
+constexpr bool simd_active() { return OMU_KERNELS_SSE2 != 0; }
+
+/// Name of the active instruction set ("sse2" or "scalar"), for bench
+/// output and environment capture.
+constexpr const char* simd_isa() { return OMU_KERNELS_SSE2 ? "sse2" : "scalar"; }
+
+}  // namespace omu::geom::kernels

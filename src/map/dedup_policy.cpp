@@ -1,17 +1,32 @@
 #include "map/dedup_policy.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace omu::map {
+
+namespace {
+
+constexpr OcKey unpack48(uint64_t p) {
+  return OcKey{static_cast<uint16_t>(p & 0xFFFF), static_cast<uint16_t>((p >> 16) & 0xFFFF),
+               static_cast<uint16_t>((p >> 32) & 0xFFFF)};
+}
+
+void sort_unique(std::vector<uint64_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
 
 void UpdateDeduper::begin_scan(UpdateBatch& out) {
   out_ = &out;
   result_ = ScanInsertResult{};
   if (mode_ == InsertMode::kDiscretized) {
-    // Fresh sets each scan: cheap at scan granularity, and keeps the
-    // emission order independent of earlier scans' bucket history.
-    free_cells_ = KeySet{};
-    occupied_cells_ = KeySet{};
+    // clear() keeps capacity: after the first scan of a stream the
+    // accumulation runs allocation-free.
+    free_packed_.clear();
+    occupied_packed_.clear();
   }
 }
 
@@ -32,23 +47,28 @@ void UpdateDeduper::consume(const RaySegment& ray) {
     return;
   }
 
-  free_cells_.insert(ray.free_keys.begin(), ray.free_keys.end());
-  if (ray.endpoint) occupied_cells_.insert(*ray.endpoint);
+  for (const OcKey& key : ray.free_keys) free_packed_.push_back(key.packed());
+  if (ray.endpoint) occupied_packed_.push_back(ray.endpoint->packed());
 }
 
 ScanInsertResult UpdateDeduper::finish_scan() {
   assert(out_ != nullptr && "begin_scan must be called before finish_scan");
   if (mode_ == InsertMode::kDiscretized) {
+    sort_unique(free_packed_);
+    sort_unique(occupied_packed_);
     // Occupied endpoints win over free traversals of the same cell, as in
-    // OctoMap's insertPointCloud.
-    for (const OcKey& key : free_cells_) {
-      if (!occupied_cells_.contains(key)) {
-        out_->push(key, false);
-        result_.free_updates++;
-      }
+    // OctoMap's insertPointCloud: a linear set-difference over the two
+    // sorted unique spans drops the overlap from the free side.
+    auto occ = occupied_packed_.cbegin();
+    const auto occ_end = occupied_packed_.cend();
+    for (const uint64_t p : free_packed_) {
+      while (occ != occ_end && *occ < p) ++occ;
+      if (occ != occ_end && *occ == p) continue;
+      out_->push(unpack48(p), false);
+      result_.free_updates++;
     }
-    for (const OcKey& key : occupied_cells_) {
-      out_->push(key, true);
+    for (const uint64_t p : occupied_packed_) {
+      out_->push(unpack48(p), true);
       result_.occupied_updates++;
     }
   }

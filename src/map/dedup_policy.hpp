@@ -4,12 +4,21 @@
 // emits one UpdateBatch per scan. The two policies mirror OctoMap's two
 // insertion paths (see insert_policy.hpp):
 //  * kRayByRay streams every traversal straight into the batch;
-//  * kDiscretized collects the scan's cells into key sets, resolves
-//    occupied-beats-free, and emits the de-duplicated cells when the scan
-//    finishes.
+//  * kDiscretized collects the scan's cells as packed 48-bit keys in flat
+//    arrays, sorts and uniques them at scan end, resolves occupied-beats-
+//    free with a linear merge over the two sorted spans, and emits the
+//    de-duplicated cells in ascending packed-key order (free first, then
+//    occupied). Sorted spans replace the former hash-set probes: the flat
+//    sort/unique/merge streams through caches, allocates nothing in steady
+//    state (buffers are reused scan over scan) and makes the emission
+//    order canonical instead of hash-bucket dependent. The de-duplicated
+//    cell sets — and therefore the resulting map — are unchanged.
 // Either way the output is the same kind of batch, so stage 3 (dispatch to
 // a MapBackend) and every downstream consumer is policy-agnostic.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "map/insert_policy.hpp"
 #include "map/ockey.hpp"
@@ -39,8 +48,10 @@ class UpdateDeduper {
   InsertMode mode_;
   UpdateBatch* out_ = nullptr;
   ScanInsertResult result_;
-  KeySet free_cells_;
-  KeySet occupied_cells_;
+  // Discretized-mode scratch: packed 48-bit keys, sorted at finish_scan.
+  // Members (not locals) so capacity persists across scans.
+  std::vector<uint64_t> free_packed_;
+  std::vector<uint64_t> occupied_packed_;
 };
 
 }  // namespace omu::map

@@ -2,94 +2,117 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 #include <limits>
 
+#include "geom/kernels/key_kernels.hpp"
+#include "geom/kernels/logodds_kernels.hpp"
+#include "geom/kernels/simd.hpp"
+
 namespace omu::map {
 
-namespace {
-
-/// OctoMap's early-abort condition: the update cannot change a leaf whose
-/// value is already clamped in the direction of the update.
-constexpr bool is_saturating(float value, float delta, const OccupancyParams& p) {
-  return (delta >= 0.0f && value >= p.clamp_max) || (delta <= 0.0f && value <= p.clamp_min);
-}
-
-}  // namespace
+namespace kernels = geom::kernels;
 
 OccupancyOctree::OccupancyOctree(double resolution, OccupancyParams params)
     : coder_(resolution), params_(params.quantized ? params.snapped_to_fixed_point() : params) {
-  pool_.push_back(Node{});  // root, initially unknown
+  // pool_ construction seeds the unknown root (arena line 0).
 }
 
 void OccupancyOctree::clear() {
   pool_.clear();
-  pool_.push_back(Node{});
-  free_blocks_.clear();
-}
-
-int32_t OccupancyOctree::alloc_block() {
-  if (!free_blocks_.empty()) {
-    const int32_t base = free_blocks_.back();
-    free_blocks_.pop_back();
-    return base;
-  }
-  const auto base = static_cast<int32_t>(pool_.size());
-  pool_.resize(pool_.size() + 8);
-  return base;
-}
-
-void OccupancyOctree::free_block(int32_t base) {
-  for (int i = 0; i < 8; ++i) pool_[static_cast<std::size_t>(base + i)] = Node{};
-  free_blocks_.push_back(base);
+  cache_depth_ = 0;
 }
 
 int32_t OccupancyOctree::materialize_children(int32_t node_idx, bool& was_expand) {
-  const int32_t base = alloc_block();  // may reallocate pool_
+  const int32_t base = alloc_block();  // may reallocate the arena
   Node& node = pool_[static_cast<std::size_t>(node_idx)];
-  was_expand = (node.state == NodeState::kLeaf);
+  was_expand = node.is_leaf();
   if (was_expand) {
     // Expansion of a pruned leaf: all children inherit the collapsed value
     // (paper Fig. 2b in reverse).
     for (int i = 0; i < 8; ++i) {
-      pool_[static_cast<std::size_t>(base + i)] = Node{node.value, -1, NodeState::kLeaf};
+      pool_[static_cast<std::size_t>(base + i)].make_leaf(node.value);
     }
     stats_.expands++;
   } else {
-    for (int i = 0; i < 8; ++i) {
-      pool_[static_cast<std::size_t>(base + i)] = Node{};
-    }
+    // Arena blocks arrive zeroed (all slots unknown) — nothing to write.
     stats_.fresh_allocs++;
   }
   node.children = base;
-  node.state = NodeState::kInner;
   return base;
 }
 
 void OccupancyOctree::apply_leaf_delta(Node& leaf, float delta) {
   // With quantized parameters every operand is an exact multiple of 2^-10
   // below 2^5 in magnitude, so this float arithmetic is bit-identical to
-  // the accelerator's 16-bit fixed-point datapath.
-  leaf.value = std::clamp(leaf.value + delta, params_.clamp_min, params_.clamp_max);
+  // the accelerator's 16-bit fixed-point datapath. saturating_add is the
+  // branchless max/min form of std::clamp(value + delta, lo, hi).
+  leaf.value = kernels::saturating_add(leaf.value, delta, params_.clamp_min, params_.clamp_max);
   stats_.leaf_updates++;
 }
 
 bool OccupancyOctree::update_inner_and_try_prune(int32_t node_idx) {
   Node& node = pool_[static_cast<std::size_t>(node_idx)];
-  assert(node.state == NodeState::kInner);
+  assert(node.is_inner());
   const int32_t base = node.children;
   stats_.parent_updates++;
 
+#if OMU_KERNELS_SSE2
+  // The child block is one 64-byte-aligned cache line of 8 {float value,
+  // int32 children} pairs; four aligned 128-bit loads cover it. Deinterleave
+  // values/children, blend unknown lanes to -inf, and reduce: parent value,
+  // the all-leaves test and the prune-equality test all come from the same
+  // four registers with no per-child branches.
+  const Node* blk = pool_.block(base);
+  const __m128i r0 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk + 0));
+  const __m128i r1 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk + 2));
+  const __m128i r2 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk + 4));
+  const __m128i r3 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk + 6));
+  const __m128 v01 =
+      _mm_shuffle_ps(_mm_castsi128_ps(r0), _mm_castsi128_ps(r1), _MM_SHUFFLE(2, 0, 2, 0));
+  const __m128 v23 =
+      _mm_shuffle_ps(_mm_castsi128_ps(r2), _mm_castsi128_ps(r3), _MM_SHUFFLE(2, 0, 2, 0));
+  const __m128i c01 = _mm_castps_si128(
+      _mm_shuffle_ps(_mm_castsi128_ps(r0), _mm_castsi128_ps(r1), _MM_SHUFFLE(3, 1, 3, 1)));
+  const __m128i c23 = _mm_castps_si128(
+      _mm_shuffle_ps(_mm_castsi128_ps(r2), _mm_castsi128_ps(r3), _MM_SHUFFLE(3, 1, 3, 1)));
+
+  const __m128i unknown = _mm_set1_epi32(Node::kUnknownChild);
+  const __m128 u01 = _mm_castsi128_ps(_mm_cmpeq_epi32(c01, unknown));
+  const __m128 u23 = _mm_castsi128_ps(_mm_cmpeq_epi32(c23, unknown));
+  const __m128 neg_inf = _mm_set1_ps(-std::numeric_limits<float>::infinity());
+  const __m128 k01 = _mm_or_ps(_mm_and_ps(u01, neg_inf), _mm_andnot_ps(u01, v01));
+  const __m128 k23 = _mm_or_ps(_mm_and_ps(u23, neg_inf), _mm_andnot_ps(u23, v23));
+  __m128 m = _mm_max_ps(k01, k23);
+  m = _mm_max_ps(m, _mm_shuffle_ps(m, m, _MM_SHUFFLE(1, 0, 3, 2)));
+  m = _mm_max_ps(m, _mm_shuffle_ps(m, m, _MM_SHUFFLE(2, 3, 0, 1)));
+  // The update path guarantees at least one known child below.
+  node.value = _mm_cvtss_f32(m);
+
+  const __m128i leaf_tag = _mm_set1_epi32(Node::kLeafChild);
+  const int leaf_mask =
+      _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(c01, leaf_tag))) |
+      (_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(c23, leaf_tag))) << 4);
+  if (leaf_mask != 0xFF) return false;
+
+  stats_.prune_checks++;
+  const __m128 first_splat = _mm_shuffle_ps(v01, v01, _MM_SHUFFLE(0, 0, 0, 0));
+  const int eq_mask = _mm_movemask_ps(_mm_cmpeq_ps(v01, first_splat)) |
+                      (_mm_movemask_ps(_mm_cmpeq_ps(v23, first_splat)) << 4);
+  if (eq_mask != 0xFF) return false;
+  const float first = blk[0].value;
+#else
   bool all_known_leaves = true;
   float max_value = -std::numeric_limits<float>::infinity();
   for (int i = 0; i < 8; ++i) {
     const Node& child = pool_[static_cast<std::size_t>(base + i)];
-    if (child.state == NodeState::kUnknown) {
+    if (child.is_unknown()) {
       all_known_leaves = false;
       continue;
     }
     max_value = std::max(max_value, child.value);
-    if (child.state != NodeState::kLeaf) all_known_leaves = false;
+    if (!child.is_leaf()) all_known_leaves = false;
   }
   // The update path guarantees at least one known child below.
   node.value = max_value;
@@ -101,17 +124,12 @@ bool OccupancyOctree::update_inner_and_try_prune(int32_t node_idx) {
   for (int i = 1; i < 8; ++i) {
     if (pool_[static_cast<std::size_t>(base + i)].value != first) return false;
   }
+#endif
   // All eight children are identical leaves: collapse them (paper Fig. 2b).
   free_block(base);
-  node.children = -1;
-  node.state = NodeState::kLeaf;
-  node.value = first;
+  node.make_leaf(first);
   stats_.prunes++;
   return true;
-}
-
-void OccupancyOctree::update_node(const OcKey& key, bool occupied) {
-  update_node_log_odds(key, occupied ? params_.log_hit : params_.log_miss);
 }
 
 void OccupancyOctree::update_node(const geom::Vec3d& position, bool occupied) {
@@ -120,28 +138,63 @@ void OccupancyOctree::update_node(const geom::Vec3d& position, bool occupied) {
 
 void OccupancyOctree::update_node_log_odds(const OcKey& key, float delta) {
   if (params_.quantized) delta = geom::Fixed16::from_float(delta).to_float();
+  update_node_snapped(key, delta);
+}
+
+void OccupancyOctree::update_node_snapped(const OcKey& key, float delta) {
   stats_.voxel_updates++;
 
-  std::array<int32_t, kTreeDepth + 1> path;  // node index per depth
-  int32_t idx = 0;
-  path[0] = idx;
-  for (int depth = 0; depth < kTreeDepth; ++depth) {
+  // One Morton interleave up front turns the 16-level descent into a
+  // shift+mask per level instead of three per-axis bit extracts.
+  const uint64_t morton = kernels::morton48(key[0], key[1], key[2]);
+
+  // Resume the descent from the cached path where this key's Morton prefix
+  // matches the previous key's. Every skipped level is one the fresh walk
+  // would have traversed identically: the cached nodes there are inner
+  // (validity invariant), so no early abort or materialization is being
+  // bypassed, and the skipped descend_steps/descend_reads increments are
+  // exactly the ones the walk would have made (every node on a valid
+  // cached path is known).
+  int start = cache_depth_;
+  if (start > 0) {
+    const uint64_t diff = morton ^ cached_morton_;
+    if (diff != 0) {
+      const int highest_bit = 63 - std::countl_zero(diff);
+      start = std::min(start, kTreeDepth - 1 - highest_bit / 3);
+    }
+  }
+  stats_.descend_steps += static_cast<uint64_t>(start);
+  stats_.descend_reads += static_cast<uint64_t>(start);
+
+  std::array<int32_t, kTreeDepth + 1>& path = path_cache_;  // node index per depth
+  path[0] = 0;
+  int32_t idx = path[static_cast<std::size_t>(start)];
+  // Shallowest path depth materialized from *unknown* this update: such a
+  // node newly joins its parent's max aggregation, so the unwind below may
+  // not early-exit at or below it.
+  int fresh_depth = kTreeDepth + 1;
+  for (int depth = start; depth < kTreeDepth; ++depth) {
     {
       Node& node = pool_[static_cast<std::size_t>(idx)];
-      if (node.state != NodeState::kInner) {
-        if (node.state == NodeState::kLeaf && is_saturating(node.value, delta, params_)) {
+      if (!node.is_inner()) {
+        if (node.is_leaf() &&
+            kernels::update_saturates(node.value, delta, params_.clamp_min, params_.clamp_max)) {
           // The pruned leaf is already clamped in the update direction; the
           // update is a no-op for the whole subtree (OctoMap early abort).
           stats_.early_aborts++;
+          cached_morton_ = morton;
+          cache_depth_ = depth;
           return;
         }
         bool was_expand = false;
         materialize_children(idx, was_expand);
+        if (!was_expand && fresh_depth > depth) fresh_depth = depth;
       }
     }
     stats_.descend_steps++;
-    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, depth);
-    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kUnknown) {
+    idx = pool_[static_cast<std::size_t>(idx)].children +
+          static_cast<int32_t>((morton >> (3 * (kTreeDepth - 1 - depth))) & 7);
+    if (!pool_[static_cast<std::size_t>(idx)].is_unknown()) {
       stats_.descend_reads++;
     }
     path[static_cast<std::size_t>(depth + 1)] = idx;
@@ -149,70 +202,91 @@ void OccupancyOctree::update_node_log_odds(const OcKey& key, float delta) {
 
   {
     Node& leaf = pool_[static_cast<std::size_t>(idx)];
-    if (leaf.state == NodeState::kLeaf && is_saturating(leaf.value, delta, params_)) {
+    if (leaf.is_leaf() &&
+        kernels::update_saturates(leaf.value, delta, params_.clamp_min, params_.clamp_max)) {
       stats_.early_aborts++;
+      cached_morton_ = morton;
+      cache_depth_ = kTreeDepth;
       return;
     }
-    if (leaf.state == NodeState::kUnknown) {
-      leaf.state = NodeState::kLeaf;
-      leaf.value = 0.0f;
-    }
+    if (leaf.is_unknown()) leaf.make_leaf(0.0f);
     apply_leaf_delta(leaf, delta);
   }
 
-  // Unwind: refresh ancestors bottom-up, pruning where possible. Stops
-  // early once an ancestor neither changed value nor was prunable? OctoMap
-  // updates every ancestor on the path; we match that behaviour so the
-  // operation counts feeding the CPU cost model are faithful.
+  // Unwind: refresh ancestors bottom-up, pruning where possible. OctoMap
+  // updates every ancestor on the path and we keep its operation counts
+  // (they feed the CPU cost model) — but once a step neither prunes nor
+  // changes its node's value bits, and that node was known before this
+  // update, every remaining ancestor's refresh is provably a pure no-op:
+  // its only touched child kept value and known-ness, so its max is
+  // unchanged, and its child is still inner so its all-leaves prune check
+  // cannot trigger. Those steps are replaced by their exact counter
+  // arithmetic (one parent_update each, nothing else). A prune at depth d
+  // frees the cached path below d, so the cache is clamped there.
+  int valid = kTreeDepth;
   for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
-    update_inner_and_try_prune(path[static_cast<std::size_t>(depth)]);
+    Node& node = pool_[static_cast<std::size_t>(path[static_cast<std::size_t>(depth)])];
+    const float old_value = node.value;
+    if (update_inner_and_try_prune(path[static_cast<std::size_t>(depth)])) {
+      valid = depth;
+      continue;
+    }
+    if (depth < fresh_depth &&
+        std::bit_cast<uint32_t>(node.value) == std::bit_cast<uint32_t>(old_value)) {
+      stats_.parent_updates += static_cast<uint64_t>(depth);
+      break;
+    }
   }
+  cached_morton_ = morton;
+  cache_depth_ = valid;
 }
 
 void OccupancyOctree::set_node_log_odds(const OcKey& key, float log_odds) {
   if (params_.quantized) log_odds = geom::Fixed16::from_float(log_odds).to_float();
   stats_.voxel_updates++;
+  const uint64_t morton = kernels::morton48(key[0], key[1], key[2]);
 
   std::array<int32_t, kTreeDepth + 1> path;
   int32_t idx = 0;
   path[0] = idx;
   for (int depth = 0; depth < kTreeDepth; ++depth) {
-    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+    if (!pool_[static_cast<std::size_t>(idx)].is_inner()) {
       bool was_expand = false;
       materialize_children(idx, was_expand);
     }
     stats_.descend_steps++;
-    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, depth);
+    idx = pool_[static_cast<std::size_t>(idx)].children +
+          static_cast<int32_t>((morton >> (3 * (kTreeDepth - 1 - depth))) & 7);
     path[static_cast<std::size_t>(depth + 1)] = idx;
   }
-  Node& leaf = pool_[static_cast<std::size_t>(idx)];
-  leaf.state = NodeState::kLeaf;
-  leaf.value = log_odds;
+  pool_[static_cast<std::size_t>(idx)].make_leaf(log_odds);
   stats_.leaf_updates++;
 
   for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
     update_inner_and_try_prune(path[static_cast<std::size_t>(depth)]);
   }
+  cache_depth_ = 0;  // prunes above may have freed cached path indices
 }
 
 void OccupancyOctree::set_leaf_at_depth(const OcKey& key, int depth, float log_odds) {
   assert(depth > 0 && depth <= kTreeDepth);
   if (params_.quantized) log_odds = geom::Fixed16::from_float(log_odds).to_float();
+  const uint64_t morton = kernels::morton48(key[0], key[1], key[2]);
 
   std::array<int32_t, kTreeDepth + 1> path;
   int32_t idx = 0;
   path[0] = idx;
   for (int d = 0; d < depth; ++d) {
-    if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+    if (!pool_[static_cast<std::size_t>(idx)].is_inner()) {
       bool was_expand = false;
       materialize_children(idx, was_expand);
     }
     stats_.descend_steps++;
-    idx = pool_[static_cast<std::size_t>(idx)].children + child_index(key, d);
+    idx = pool_[static_cast<std::size_t>(idx)].children +
+          static_cast<int32_t>((morton >> (3 * (kTreeDepth - 1 - d))) & 7);
     path[static_cast<std::size_t>(d + 1)] = idx;
   }
-  Node& node = pool_[static_cast<std::size_t>(idx)];
-  if (node.state == NodeState::kInner) {
+  if (pool_[static_cast<std::size_t>(idx)].is_inner()) {
     // Replace an existing subtree: release its blocks depth-first.
     std::vector<int32_t> stack{idx};
     // Collect blocks below (excluding `idx` itself, handled after).
@@ -221,34 +295,32 @@ void OccupancyOctree::set_leaf_at_depth(const OcKey& key, int depth, float log_o
       const int32_t cur = stack.back();
       stack.pop_back();
       const Node& n = pool_[static_cast<std::size_t>(cur)];
-      if (n.state != NodeState::kInner) continue;
+      if (!n.is_inner()) continue;
       blocks.push_back(n.children);
       for (int i = 0; i < 8; ++i) stack.push_back(n.children + i);
     }
     for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) free_block(*it);
   }
-  node.state = NodeState::kLeaf;
-  node.children = -1;
-  node.value = log_odds;
+  pool_[static_cast<std::size_t>(idx)].make_leaf(log_odds);
   stats_.leaf_updates++;
 
   for (int d = depth - 1; d >= 0; --d) {
     update_inner_and_try_prune(path[static_cast<std::size_t>(d)]);
   }
+  cache_depth_ = 0;  // subtree release / prunes invalidate cached indices
 }
 
 std::optional<NodeView> OccupancyOctree::search(const OcKey& key, int max_depth) const {
-  int32_t idx = 0;
   int depth = 0;
   const Node* node = &pool_[0];
-  if (node->state == NodeState::kUnknown) return std::nullopt;
-  while (depth < max_depth && node->state == NodeState::kInner) {
-    idx = node->children + child_index(key, depth);
+  if (node->is_unknown()) return std::nullopt;
+  while (depth < max_depth && node->is_inner()) {
+    const int32_t idx = node->children + child_index(key, depth);
     node = &pool_[static_cast<std::size_t>(idx)];
     ++depth;
-    if (node->state == NodeState::kUnknown) return std::nullopt;
+    if (node->is_unknown()) return std::nullopt;
   }
-  return NodeView{node->value, depth, node->state == NodeState::kLeaf};
+  return NodeView{node->value, depth, node->is_leaf()};
 }
 
 Occupancy OccupancyOctree::classify(const OcKey& key) const {
@@ -279,14 +351,9 @@ bool OccupancyOctree::box_query_recurs(int32_t node_idx, const OcKey& base, int 
   if (!node_box.intersects(box)) return false;
 
   const Node& node = pool_[static_cast<std::size_t>(node_idx)];
-  switch (node.state) {
-    case NodeState::kUnknown:
-      return unknown_occupied;
-    case NodeState::kLeaf:
-      return params_.classify(node.value) == Occupancy::kOccupied;
-    case NodeState::kInner:
-      break;
-  }
+  if (node.is_unknown()) return unknown_occupied;
+  if (node.is_leaf()) return params_.classify(node.value) == Occupancy::kOccupied;
+
   const int bit = kTreeDepth - 1 - depth;
   for (int i = 0; i < 8; ++i) {
     OcKey child_base = base;
@@ -382,7 +449,7 @@ void OccupancyOctree::for_each_leaf_in_box(
     const Frame f = stack.back();
     stack.pop_back();
     const Node& node = pool_[static_cast<std::size_t>(f.idx)];
-    if (node.state == NodeState::kUnknown) continue;
+    if (node.is_unknown()) continue;
 
     const double size = coder_.node_size(f.depth);
     const geom::Vec3d lo{(static_cast<double>(f.base[0]) - kKeyOrigin) * res,
@@ -390,7 +457,7 @@ void OccupancyOctree::for_each_leaf_in_box(
                          (static_cast<double>(f.base[2]) - kKeyOrigin) * res};
     if (!geom::Aabb{lo, lo + geom::Vec3d{size, size, size}}.intersects(box)) continue;
 
-    if (node.state == NodeState::kLeaf) {
+    if (node.is_leaf()) {
       fn(f.base, f.depth, node.value);
       continue;
     }
@@ -409,6 +476,7 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
   if (other.resolution() != resolution()) {
     throw std::invalid_argument("OccupancyOctree::merge: resolution mismatch");
   }
+  cache_depth_ = 0;  // the per-leaf walks below prune/free outside the cache bookkeeping
   // Fold the other map's leaves into this one. Leaves at depth 16 are a
   // plain log-odds addition; pruned leaves apply their value across the
   // covered subtree, which set-wise is again a single update at that depth
@@ -420,7 +488,7 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
     int32_t idx = 0;
     path[0] = idx;
     for (int d = 0; d < depth; ++d) {
-      if (pool_[static_cast<std::size_t>(idx)].state != NodeState::kInner) {
+      if (!pool_[static_cast<std::size_t>(idx)].is_inner()) {
         bool was_expand = false;
         materialize_children(idx, was_expand);
       }
@@ -434,22 +502,17 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
       const int32_t cur = stack.back();
       stack.pop_back();
       Node& node = pool_[static_cast<std::size_t>(cur)];
-      switch (node.state) {
-        case NodeState::kUnknown:
-          node.state = NodeState::kLeaf;
-          node.value = std::clamp(value, params_.clamp_min, params_.clamp_max);
-          break;
-        case NodeState::kLeaf:
-          node.value = std::clamp(node.value + value, params_.clamp_min, params_.clamp_max);
-          break;
-        case NodeState::kInner:
-          for (int i = 0; i < 8; ++i) stack.push_back(node.children + i);
-          break;
+      if (node.is_unknown()) {
+        node.make_leaf(std::clamp(value, params_.clamp_min, params_.clamp_max));
+      } else if (node.is_leaf()) {
+        node.value = std::clamp(node.value + value, params_.clamp_min, params_.clamp_max);
+      } else {
+        for (int i = 0; i < 8; ++i) stack.push_back(node.children + i);
       }
     }
     // Restore inner values / pruning along the path (bottom-up). The
     // subtree interior is repaired by a local prune pass.
-    if (pool_[static_cast<std::size_t>(idx)].state == NodeState::kInner) {
+    if (pool_[static_cast<std::size_t>(idx)].is_inner()) {
       std::size_t pruned = 0;
       prune_recurs(idx, depth, pruned);
     }
@@ -460,14 +523,15 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
 }
 
 void OccupancyOctree::prune() {
+  cache_depth_ = 0;  // the full-tree pass frees blocks the cache may reference
   std::size_t pruned = 0;
-  if (pool_[0].state == NodeState::kInner) prune_recurs(0, 0, pruned);
+  if (pool_[0].is_inner()) prune_recurs(0, 0, pruned);
 }
 
 void OccupancyOctree::prune_recurs(int32_t node_idx, int depth, std::size_t& pruned) {
   const int32_t base = pool_[static_cast<std::size_t>(node_idx)].children;
   for (int i = 0; i < 8; ++i) {
-    if (pool_[static_cast<std::size_t>(base + i)].state == NodeState::kInner) {
+    if (pool_[static_cast<std::size_t>(base + i)].is_inner()) {
       prune_recurs(base + i, depth + 1, pruned);
     }
   }
@@ -475,11 +539,12 @@ void OccupancyOctree::prune_recurs(int32_t node_idx, int depth, std::size_t& pru
 }
 
 void OccupancyOctree::expand_all() {
-  if (pool_[0].state == NodeState::kLeaf) {
+  cache_depth_ = 0;
+  if (pool_[0].is_leaf()) {
     bool was_expand = false;
     materialize_children(0, was_expand);
   }
-  if (pool_[0].state == NodeState::kInner) expand_recurs(0, 0);
+  if (pool_[0].is_inner()) expand_recurs(0, 0);
 }
 
 void OccupancyOctree::expand_recurs(int32_t node_idx, int depth) {
@@ -488,12 +553,11 @@ void OccupancyOctree::expand_recurs(int32_t node_idx, int depth) {
     // Re-read the child pointer every iteration: materialize_children can
     // grow the pool and move nodes.
     const int32_t child = pool_[static_cast<std::size_t>(node_idx)].children + i;
-    Node& child_node = pool_[static_cast<std::size_t>(child)];
-    if (child_node.state == NodeState::kLeaf) {
+    if (pool_[static_cast<std::size_t>(child)].is_leaf()) {
       bool was_expand = false;
       materialize_children(child, was_expand);
     }
-    if (pool_[static_cast<std::size_t>(child)].state == NodeState::kInner) {
+    if (pool_[static_cast<std::size_t>(child)].is_inner()) {
       expand_recurs(child, depth + 1);
     }
   }
@@ -516,22 +580,13 @@ std::size_t OccupancyOctree::inner_count() const {
 void OccupancyOctree::count_recurs(int32_t node_idx, std::size_t& leaves,
                                    std::size_t& inners) const {
   const Node& node = pool_[static_cast<std::size_t>(node_idx)];
-  switch (node.state) {
-    case NodeState::kUnknown:
-      return;
-    case NodeState::kLeaf:
-      ++leaves;
-      return;
-    case NodeState::kInner:
-      ++inners;
-      for (int i = 0; i < 8; ++i) count_recurs(node.children + i, leaves, inners);
-      return;
+  if (node.is_unknown()) return;
+  if (node.is_leaf()) {
+    ++leaves;
+    return;
   }
-}
-
-std::size_t OccupancyOctree::memory_bytes() const {
-  return pool_.capacity() * sizeof(Node) + free_blocks_.capacity() * sizeof(int32_t) +
-         sizeof(*this);
+  ++inners;
+  for (int i = 0; i < 8; ++i) count_recurs(node.children + i, leaves, inners);
 }
 
 void OccupancyOctree::for_each_leaf(
@@ -543,14 +598,10 @@ void OccupancyOctree::leaves_recurs(
     int32_t node_idx, const OcKey& base, int depth,
     const std::function<void(const OcKey&, int, float)>& fn) const {
   const Node& node = pool_[static_cast<std::size_t>(node_idx)];
-  switch (node.state) {
-    case NodeState::kUnknown:
-      return;
-    case NodeState::kLeaf:
-      fn(base, depth, node.value);
-      return;
-    case NodeState::kInner:
-      break;
+  if (node.is_unknown()) return;
+  if (node.is_leaf()) {
+    fn(base, depth, node.value);
+    return;
   }
   const int bit = kTreeDepth - 1 - depth;
   for (int i = 0; i < 8; ++i) {
@@ -564,6 +615,9 @@ void OccupancyOctree::leaves_recurs(
 
 std::vector<OccupancyOctree::LeafRecord> OccupancyOctree::leaves_sorted() const {
   std::vector<LeafRecord> out;
+  // Reserve from arena occupancy: one allocation instead of log(n) regrows
+  // when flushing a large map.
+  out.reserve(leaf_reserve_hint());
   for_each_leaf([&out](const OcKey& key, int depth, float value) {
     out.push_back(LeafRecord{key, depth, value});
   });

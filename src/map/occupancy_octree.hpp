@@ -4,17 +4,26 @@
 //
 // Differences from the original pointer-per-child implementation, chosen
 // to keep the software baseline honest but analyzable:
-//  * Nodes live in a pool (std::vector) and children are allocated as
-//    contiguous blocks of 8, mirroring the row-of-8-children layout of the
-//    accelerator's TreeMem and making prune/expand an O(1) block free/alloc.
-//  * Unknown children are represented explicitly (NodeState::kUnknown)
-//    instead of null pointers, since a block always holds 8 slots.
+//  * Nodes are packed 8-byte records (node_arena.hpp) in a 64-byte-aligned
+//    arena; children are allocated as contiguous blocks of 8 — one cache
+//    line per block — mirroring the row-of-8-children layout of the
+//    accelerator's TreeMem and making prune/expand an O(1) block
+//    free/alloc. Child links are 32-bit arena offsets, not pointers.
+//  * Unknown children are represented explicitly (a children-field
+//    sentinel) instead of null pointers, since a block always holds 8
+//    slots.
+//  * The root-to-leaf descent consumes a precomputed 48-bit Morton
+//    interleave of the key (3 bits per level) and the bottom-up parent
+//    update runs an SSE2 kernel over each one-line child block when the
+//    build enables OMU_SIMD (portable scalar fallback otherwise; both
+//    paths produce identical trees and identical PhaseStats).
 // The update/prune/expand semantics — log-odds addition with clamping,
 // parent = max(children), prune when all 8 children are equal leaves,
 // early abort on saturated leaves — follow OctoMap exactly, and are
 // verified bit-for-bit against the accelerator model in the test suite.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -22,18 +31,12 @@
 
 #include "geom/aabb.hpp"
 #include "geom/vec3.hpp"
+#include "map/node_arena.hpp"
 #include "map/ockey.hpp"
 #include "map/occupancy_params.hpp"
 #include "map/phase_stats.hpp"
 
 namespace omu::map {
-
-/// Lifecycle state of a pool node.
-enum class NodeState : uint8_t {
-  kUnknown,  ///< slot exists in a block but this octant was never observed
-  kLeaf,     ///< carries a log-odds value; no children (may be a pruned subtree)
-  kInner,    ///< has a child block; value is max over known children
-};
 
 /// Read-only view of a node returned by queries.
 struct NodeView {
@@ -58,7 +61,11 @@ class OccupancyOctree {
   /// Integrates one measurement for the voxel at `key`: adds log_hit if
   /// `occupied`, else log_miss, clamps, updates ancestors bottom-up and
   /// prunes/expands as needed (paper Fig. 2).
-  void update_node(const OcKey& key, bool occupied);
+  void update_node(const OcKey& key, bool occupied) {
+    // params_ is pre-snapped to the fixed-point grid at construction, so
+    // the hot path skips the per-update quantization of the generic entry.
+    update_node_snapped(key, occupied ? params_.log_hit : params_.log_miss);
+  }
 
   /// Convenience overload taking a metric coordinate; out-of-range
   /// coordinates are ignored (counted in stats as neither update nor abort).
@@ -154,13 +161,20 @@ class OccupancyOctree {
   /// Known nodes = leaves + inner nodes.
   std::size_t node_count() const { return leaf_count() + inner_count(); }
 
-  /// Allocated pool slots (including unknown placeholders and free blocks);
-  /// proxy for peak memory of the pool allocator.
-  std::size_t pool_slots() const { return pool_.size(); }
+  /// Allocated pool slots (including unknown placeholders, the root line's
+  /// 7 alignment pads, and free blocks); proxy for peak memory of the
+  /// arena allocator.
+  std::size_t pool_slots() const { return pool_.slots(); }
   /// Currently free (reusable) child blocks.
-  std::size_t free_blocks() const { return free_blocks_.size(); }
+  std::size_t free_blocks() const { return pool_.free_block_count(); }
   /// Approximate memory footprint of the map structure in bytes.
-  std::size_t memory_bytes() const;
+  std::size_t memory_bytes() const { return pool_.memory_bytes() + sizeof(*this); }
+
+  /// O(1) upper bound on leaf_count() derived from arena occupancy (every
+  /// leaf lives in one of the live blocks, or is the root). Snapshot
+  /// export and leaf collection use it as a reserve hint so flushing a
+  /// large map does not re-grow the output vector log(n) times.
+  std::size_t leaf_reserve_hint() const { return 8 * pool_.live_blocks() + 1; }
 
   /// Iterates over all known leaves: callback(key_of_leaf_origin, depth,
   /// log_odds). The key passed is aligned to the leaf's depth (low bits 0).
@@ -190,16 +204,17 @@ class OccupancyOctree {
  private:
   friend class OctreeIo;
 
-  struct Node {
-    float value = 0.0f;     // log-odds; valid when state != kUnknown
-    int32_t children = -1;  // pool index of the first of 8 child slots
-    NodeState state = NodeState::kUnknown;
-  };
+  using Node = OctreeNode;
 
-  // Pool block management. Blocks are 8 contiguous slots; index 0 is the
-  // root (not part of any block).
-  int32_t alloc_block();
-  void free_block(int32_t base);
+  // Arena block management (blocks are 8 contiguous one-line slots).
+  int32_t alloc_block() { return pool_.alloc_block(); }
+  void free_block(int32_t base) { pool_.free_block(base); }
+
+  // The hot update path: `delta` must already be on the fixed-point grid
+  // when params_.quantized (params_ itself is pre-snapped; snapping is
+  // idempotent, so snapped deltas pass through the generic entry
+  // unchanged).
+  void update_node_snapped(const OcKey& key, float delta);
 
   // Seeds a fresh child block for `node_idx`; children copy the parent's
   // value when the parent was a pruned leaf (expansion), else start
@@ -222,9 +237,22 @@ class OccupancyOctree {
 
   KeyCoder coder_;
   OccupancyParams params_;
-  std::vector<Node> pool_;
-  std::vector<int32_t> free_blocks_;
+  NodeArena pool_;
   PhaseStats stats_;
+
+  // Descent memoization for the hot update path (update_node_snapped):
+  // the root-to-leaf node-index path of the last update plus how many of
+  // its levels are still valid. Consecutive scan updates hit adjacent
+  // voxels (ray steps; sorted discretized batches), whose Morton codes
+  // share a deep prefix, so most descents resume a dozen-plus levels down
+  // instead of chasing 16 dependent loads from the root. Pure memoization:
+  // the resumed walk visits exactly the nodes a fresh descent would, so
+  // results and PhaseStats are bit-identical with the cache disabled.
+  // cache_depth_ is clamped by unwind prunes (which free cached indices
+  // below the prune) and zeroed by every non-update mutation.
+  std::array<int32_t, kTreeDepth + 1> path_cache_{};
+  uint64_t cached_morton_ = 0;
+  int cache_depth_ = 0;
 };
 
 /// Canonical leaf triple shared with the accelerator model.

@@ -70,10 +70,13 @@ void OctreeIo::write(const OccupancyOctree& tree, std::ostream& os) {
 
 void OctreeIo::write_recurs(const OccupancyOctree& tree, int32_t node_idx, std::ostream& os) {
   const auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
-  write_pod(os, static_cast<uint8_t>(node.state));
-  if (node.state == NodeState::kUnknown) return;
+  // state() maps the arena's children-field sentinels back to the v1/v2
+  // state byte (0 unknown, 1 leaf, 2 inner) — the on-disk format is
+  // unchanged by the arena node layout.
+  write_pod(os, static_cast<uint8_t>(node.state()));
+  if (node.is_unknown()) return;
   write_pod(os, node.value);
-  if (node.state == NodeState::kInner) {
+  if (node.is_inner()) {
     for (int i = 0; i < 8; ++i) write_recurs(tree, node.children + i, os);
   }
 }
@@ -135,21 +138,16 @@ void OctreeIo::read_recurs(std::istream& is, OccupancyOctree& tree, int32_t node
   const auto state = static_cast<NodeState>(read_pod<uint8_t>(is));
   switch (state) {
     case NodeState::kUnknown:
-      tree.pool_[static_cast<std::size_t>(node_idx)] = OccupancyOctree::Node{};
+      tree.pool_[static_cast<std::size_t>(node_idx)].make_unknown();
       return;
-    case NodeState::kLeaf: {
-      auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
-      node.state = NodeState::kLeaf;
-      node.value = read_pod<float>(is);
-      node.children = -1;
+    case NodeState::kLeaf:
+      tree.pool_[static_cast<std::size_t>(node_idx)].make_leaf(read_pod<float>(is));
       return;
-    }
     case NodeState::kInner: {
       if (depth >= kTreeDepth) throw std::runtime_error("OctreeIo: inner node below max depth");
       const float value = read_pod<float>(is);
       const int32_t base = tree.alloc_block();
       auto& node = tree.pool_[static_cast<std::size_t>(node_idx)];
-      node.state = NodeState::kInner;
       node.value = value;
       node.children = base;
       for (int i = 0; i < 8; ++i) read_recurs(is, tree, base + i, depth + 1);

@@ -7,6 +7,13 @@
 // keeping the generator policy-free means both insert modes consume the
 // exact same per-ray streams, which is what makes their update batches
 // comparable.
+//
+// Internally the generator is data-oriented: a RayBatchPlanner
+// (ray_batch.hpp) lays the whole scan out as SoA arrays and batch-computes
+// clip/quantize/DDA-setup through the geom/kernels layer (SIMD when
+// OMU_SIMD is on); only the serial per-ray DDA walk and the sink dispatch
+// remain in the loop below. The per-ray semantics are unchanged bit for
+// bit from the legacy one-point-at-a-time pipeline.
 #pragma once
 
 #include <optional>
@@ -17,6 +24,7 @@
 #include "geom/vec3.hpp"
 #include "map/ockey.hpp"
 #include "map/phase_stats.hpp"
+#include "map/ray_batch.hpp"
 #include "map/ray_keys.hpp"
 
 namespace omu::map {
@@ -45,7 +53,7 @@ inline bool clip_ray_to_max_range(const geom::Vec3d& origin, geom::Vec3d& end, d
 /// Casts every ray of a scan and reports the per-ray voxel addresses.
 class RayUpdateGenerator {
  public:
-  explicit RayUpdateGenerator(const KeyCoder& coder) : coder_(&coder) {}
+  explicit RayUpdateGenerator(const KeyCoder& coder) : coder_(&coder), planner_(coder) {}
 
   const KeyCoder& coder() const { return *coder_; }
 
@@ -57,15 +65,24 @@ class RayUpdateGenerator {
   template <typename Sink>
   void generate(const geom::PointCloud& world_points, const geom::Vec3d& origin, double max_range,
                 PhaseStats* stats, Sink&& sink) {
-    for (const geom::Vec3f& pf : world_points) {
-      geom::Vec3d end = pf.cast<double>();
+    planner_.prepare(world_points, origin, max_range);
+    const std::size_t n = planner_.size();
+    const double res = coder_->resolution();
+    for (std::size_t i = 0; i < n; ++i) {
       RaySegment segment;
-      segment.truncated = clip_ray_to_max_range(origin, end, max_range);
+      segment.truncated = planner_.truncated(i);
 
       ray_buffer_.clear();
-      if (compute_ray_keys(*coder_, origin, end, ray_buffer_, stats)) {
+      if (planner_.ray_valid(i)) {
+        if (stats != nullptr) stats->ray_casts++;
+        const OcKey end_key = planner_.end_key(i);
+        if (!(end_key == planner_.origin_key())) {  // same cell: nothing traversed
+          DdaState dda;
+          planner_.init_dda(i, dda);
+          dda_walk(dda, planner_.length(i), res, ray_buffer_, stats);
+        }
         segment.free_keys = std::span<const OcKey>(ray_buffer_);
-        if (!segment.truncated) segment.endpoint = coder_->key_for(end);
+        if (!segment.truncated) segment.endpoint = end_key;
       }
       sink(static_cast<const RaySegment&>(segment));
     }
@@ -73,6 +90,7 @@ class RayUpdateGenerator {
 
  private:
   const KeyCoder* coder_;
+  RayBatchPlanner planner_;
   std::vector<OcKey> ray_buffer_;
 };
 

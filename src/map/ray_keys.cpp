@@ -6,6 +6,60 @@
 
 namespace omu::map {
 
+void dda_walk(const DdaState& dda, double length, double res, std::vector<OcKey>& out,
+              PhaseStats* stats) {
+  // Copy the walk state into locals: push_back below touches the heap, so
+  // working through the DdaState reference would force the compiler to
+  // reload/spill every field each step instead of keeping the six doubles
+  // and the key in registers.
+  OcKey current = dda.current;
+  const OcKey end = dda.end;
+  const int step0 = dda.step[0], step1 = dda.step[1], step2 = dda.step[2];
+  double t_max0 = dda.t_max[0], t_max1 = dda.t_max[1], t_max2 = dda.t_max[2];
+  const double t_delta0 = dda.t_delta[0], t_delta1 = dda.t_delta[1], t_delta2 = dda.t_delta[2];
+
+  // Upper bound on steps: Manhattan distance in cells plus slack; guards
+  // against pathological floating-point states.
+  const long max_steps = std::abs(static_cast<long>(end.k[0]) - static_cast<long>(current.k[0])) +
+                         std::abs(static_cast<long>(end.k[1]) - static_cast<long>(current.k[1])) +
+                         std::abs(static_cast<long>(end.k[2]) - static_cast<long>(current.k[2])) +
+                         3;
+
+  out.push_back(current);
+  if (stats != nullptr) stats->ray_cast_steps++;
+
+  const double t_limit = length + res;
+  for (long i = 0; i < max_steps; ++i) {
+    int axis = 0;
+    if (t_max1 < t_max0) axis = 1;
+    if (t_max2 < (axis == 0 ? t_max0 : t_max1)) axis = 2;
+
+    if (axis == 0) {
+      t_max0 += t_delta0;
+      current[0] = static_cast<uint16_t>(current[0] + step0);
+    } else if (axis == 1) {
+      t_max1 += t_delta1;
+      current[1] = static_cast<uint16_t>(current[1] + step1);
+    } else {
+      t_max2 += t_delta2;
+      current[2] = static_cast<uint16_t>(current[2] + step2);
+    }
+
+    if (current == end) break;
+
+    // Defensive: if we have marched past the segment end without landing on
+    // the end key (can only happen under floating-point corner cases when
+    // the endpoint sits exactly on a voxel boundary), stop.
+    double t_smallest = t_max0;
+    if (t_max1 < t_smallest) t_smallest = t_max1;
+    if (t_max2 < t_smallest) t_smallest = t_max2;
+    if (t_smallest > t_limit) break;
+
+    out.push_back(current);
+    if (stats != nullptr) stats->ray_cast_steps++;
+  }
+}
+
 bool compute_ray_keys(const KeyCoder& coder, const geom::Vec3d& origin, const geom::Vec3d& end,
                       std::vector<OcKey>& out, PhaseStats* stats) {
   const auto key_origin = coder.key_for(origin);
@@ -22,65 +76,33 @@ bool compute_ray_keys(const KeyCoder& coder, const geom::Vec3d& origin, const ge
   const double length = direction.norm();
   const geom::Vec3d dir = direction / length;
 
-  OcKey current = *key_origin;
-  int step[3];
-  double t_max[3];
-  double t_delta[3];
+  DdaState dda;
+  dda.current = *key_origin;
+  dda.end = *key_end;
   const double res = coder.resolution();
 
   for (int axis = 0; axis < 3; ++axis) {
     if (dir[axis] > 0.0) {
-      step[axis] = 1;
+      dda.step[axis] = 1;
     } else if (dir[axis] < 0.0) {
-      step[axis] = -1;
+      dda.step[axis] = -1;
     } else {
-      step[axis] = 0;
+      dda.step[axis] = 0;
     }
-    if (step[axis] != 0) {
+    if (dda.step[axis] != 0) {
       // Distance from the origin to the first boundary along this axis.
       const double voxel_border =
-          coder.axis_coord(current[static_cast<std::size_t>(axis)]) +
-          static_cast<double>(step[axis]) * 0.5 * res;
-      t_max[axis] = (voxel_border - origin[axis]) / dir[axis];
-      t_delta[axis] = res / std::abs(dir[axis]);
+          coder.axis_coord(dda.current[static_cast<std::size_t>(axis)]) +
+          static_cast<double>(dda.step[axis]) * 0.5 * res;
+      dda.t_max[axis] = (voxel_border - origin[axis]) / dir[axis];
+      dda.t_delta[axis] = res / std::abs(dir[axis]);
     } else {
-      t_max[axis] = std::numeric_limits<double>::infinity();
-      t_delta[axis] = std::numeric_limits<double>::infinity();
+      dda.t_max[axis] = std::numeric_limits<double>::infinity();
+      dda.t_delta[axis] = std::numeric_limits<double>::infinity();
     }
   }
 
-  // Upper bound on steps: Manhattan distance in cells plus slack; guards
-  // against pathological floating-point states.
-  const long max_steps =
-      std::abs(static_cast<long>(key_end->k[0]) - static_cast<long>(key_origin->k[0])) +
-      std::abs(static_cast<long>(key_end->k[1]) - static_cast<long>(key_origin->k[1])) +
-      std::abs(static_cast<long>(key_end->k[2]) - static_cast<long>(key_origin->k[2])) + 3;
-
-  out.push_back(current);
-  if (stats != nullptr) stats->ray_cast_steps++;
-
-  for (long i = 0; i < max_steps; ++i) {
-    int axis = 0;
-    if (t_max[1] < t_max[axis]) axis = 1;
-    if (t_max[2] < t_max[axis]) axis = 2;
-
-    t_max[axis] += t_delta[axis];
-    current[static_cast<std::size_t>(axis)] =
-        static_cast<uint16_t>(current[static_cast<std::size_t>(axis)] + step[axis]);
-
-    if (current == *key_end) break;
-
-    // Defensive: if we have marched past the segment end without landing on
-    // the end key (can only happen under floating-point corner cases when
-    // the endpoint sits exactly on a voxel boundary), stop.
-    double t_smallest = t_max[0];
-    if (t_max[1] < t_smallest) t_smallest = t_max[1];
-    if (t_max[2] < t_smallest) t_smallest = t_max[2];
-    if (t_smallest > length + res) break;
-
-    out.push_back(current);
-    if (stats != nullptr) stats->ray_cast_steps++;
-  }
+  dda_walk(dda, length, res, out, stats);
   return true;
 }
 

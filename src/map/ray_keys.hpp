@@ -5,6 +5,11 @@
 // analyzer — the same algorithm OctoMap's computeRayKeys uses. Cells from
 // the origin cell (inclusive) to the endpoint cell (exclusive) are reported
 // as free space; the endpoint voxel itself is the occupied hit.
+//
+// The walk itself (DdaState + dda_walk) is factored out of the single-ray
+// entry point so the SoA batch planner (ray_batch.hpp) can drive the
+// identical stepping loop from kernel-computed per-axis setup: one walk
+// implementation, two front ends, bit-identical traversals.
 #pragma once
 
 #include <vector>
@@ -14,6 +19,26 @@
 #include "map/phase_stats.hpp"
 
 namespace omu::map {
+
+/// Initialized Amanatides-Woo traversal state for one ray: the origin and
+/// endpoint cells plus the per-axis step direction and parametric boundary
+/// distances (metres along the ray).
+struct DdaState {
+  OcKey current;      ///< origin cell; mutated during the walk
+  OcKey end;          ///< endpoint cell (walk stops when reached)
+  int step[3];        ///< -1 / 0 / +1 per axis
+  double t_max[3];    ///< distance to the first boundary crossing per axis
+  double t_delta[3];  ///< distance between consecutive crossings per axis
+};
+
+/// Runs the DDA stepping loop: appends every traversed cell from
+/// `dda.current` (inclusive) to `dda.end` (exclusive) to `out`. `length` is
+/// the metric ray length and `res` the voxel edge (both bound the defensive
+/// early exit for endpoints sitting exactly on voxel boundaries). `stats`,
+/// when non-null, receives one ray_cast_steps increment per emitted cell.
+/// Precondition: dda.current != dda.end and the per-axis state is set up.
+void dda_walk(const DdaState& dda, double length, double res, std::vector<OcKey>& out,
+              PhaseStats* stats);
 
 /// Computes the keys of all voxels strictly traversed by the segment from
 /// `origin` to `end` (endpoint voxel excluded) and appends them to `out`.

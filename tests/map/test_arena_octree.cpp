@@ -1,0 +1,370 @@
+// Bit-identity of the arena-allocated octree against an independent
+// heap-reference implementation.
+//
+// The reference tree below is the textbook OctoMap structure — one
+// heap-allocated node per known octant, unique_ptr children, fresh
+// root-to-leaf descent on every update, no Morton codes, no descent
+// memoization, no SIMD — deliberately sharing *no* code with
+// occupancy_octree.cpp beyond the child_index() convention. Every update
+// semantic (log-odds add + clamp, saturation early abort, parent =
+// max(known children), prune on 8 equal leaves) is restated from scratch,
+// so agreement here means the arena layout, the Morton descent, the
+// path-cache resume and the unwind early-exit are all pure representation
+// changes: same map, bit for bit.
+#include "map/occupancy_octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "map/octree_io.hpp"
+
+namespace omu::map {
+namespace {
+
+// ---- Heap-reference octree -------------------------------------------------
+
+struct RefNode {
+  float value = 0.0f;
+  bool known = false;  // meaningful only when children is null
+  std::unique_ptr<std::array<RefNode, 8>> children;
+
+  bool is_unknown() const { return !known && !children; }
+  bool is_leaf() const { return known && !children; }
+  bool is_inner() const { return children != nullptr; }
+};
+
+class ReferenceOctree {
+ public:
+  explicit ReferenceOctree(OccupancyParams params) : params_(params.snapped_to_fixed_point()) {}
+
+  void update_node(const OcKey& key, bool occupied) {
+    update(key, occupied ? params_.log_hit : params_.log_miss);
+  }
+
+  void update(const OcKey& key, float delta) {
+    std::array<RefNode*, kTreeDepth + 1> path;
+    RefNode* node = &root_;
+    path[0] = node;
+    for (int depth = 0; depth < kTreeDepth; ++depth) {
+      if (!node->is_inner()) {
+        if (node->is_leaf() && saturates(node->value, delta)) return;  // early abort
+        const bool expand = node->is_leaf();
+        node->children = std::make_unique<std::array<RefNode, 8>>();
+        if (expand) {
+          for (RefNode& c : *node->children) {
+            c.known = true;
+            c.value = node->value;
+          }
+        }
+      }
+      node = &(*node->children)[static_cast<std::size_t>(child_index(key, depth))];
+      path[static_cast<std::size_t>(depth + 1)] = node;
+    }
+    if (node->is_leaf() && saturates(node->value, delta)) return;
+    if (node->is_unknown()) {
+      node->known = true;
+      node->value = 0.0f;
+    }
+    node->value = std::clamp(node->value + delta, params_.clamp_min, params_.clamp_max);
+
+    for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
+      RefNode* n = path[static_cast<std::size_t>(depth)];
+      float max_value = -std::numeric_limits<float>::infinity();
+      bool all_known_leaves = true;
+      for (const RefNode& c : *n->children) {
+        if (c.is_unknown()) {
+          all_known_leaves = false;
+          continue;
+        }
+        max_value = std::max(max_value, c.value);
+        if (!c.is_leaf()) all_known_leaves = false;
+      }
+      n->value = max_value;
+      if (all_known_leaves) {
+        const float first = (*n->children)[0].value;
+        bool equal = true;
+        for (const RefNode& c : *n->children) equal = equal && c.value == first;
+        if (equal) {
+          n->children.reset();
+          n->known = true;
+          n->value = first;
+        }
+      }
+    }
+  }
+
+  Occupancy classify(const OcKey& key) const {
+    const RefNode* node = &root_;
+    if (node->is_unknown()) return Occupancy::kUnknown;
+    int depth = 0;
+    while (node->is_inner() && depth < kTreeDepth) {
+      node = &(*node->children)[static_cast<std::size_t>(child_index(key, depth))];
+      ++depth;
+      if (node->is_unknown()) return Occupancy::kUnknown;
+    }
+    return params_.classify(node->value);
+  }
+
+  std::vector<LeafRecord> leaves_sorted() const {
+    std::vector<LeafRecord> out;
+    collect(root_, OcKey{}, 0, out);
+    std::sort(out.begin(), out.end(), canonical_leaf_less);
+    return out;
+  }
+
+  std::size_t leaf_count() const { return count(root_).first; }
+  std::size_t inner_count() const { return count(root_).second; }
+
+ private:
+  bool saturates(float value, float delta) const {
+    return (delta >= 0.0f && value >= params_.clamp_max) ||
+           (delta <= 0.0f && value <= params_.clamp_min);
+  }
+
+  static void collect(const RefNode& node, const OcKey& base, int depth,
+                      std::vector<LeafRecord>& out) {
+    if (node.is_leaf()) {
+      out.push_back(LeafRecord{base, depth, node.value});
+      return;
+    }
+    if (!node.is_inner()) return;
+    const int bit = kTreeDepth - 1 - depth;
+    for (int i = 0; i < 8; ++i) {
+      OcKey child_base = base;
+      child_base[0] = static_cast<uint16_t>(child_base[0] | ((i & 1) << bit));
+      child_base[1] = static_cast<uint16_t>(child_base[1] | (((i >> 1) & 1) << bit));
+      child_base[2] = static_cast<uint16_t>(child_base[2] | (((i >> 2) & 1) << bit));
+      collect((*node.children)[static_cast<std::size_t>(i)], child_base, depth + 1, out);
+    }
+  }
+
+  static std::pair<std::size_t, std::size_t> count(const RefNode& node) {
+    if (node.is_leaf()) return {1, 0};
+    if (!node.is_inner()) return {0, 0};
+    std::pair<std::size_t, std::size_t> totals{0, 1};
+    for (const RefNode& c : *node.children) {
+      const auto sub = count(c);
+      totals.first += sub.first;
+      totals.second += sub.second;
+    }
+    return totals;
+  }
+
+  OccupancyParams params_;
+  RefNode root_;
+};
+
+// ---- Shared helpers --------------------------------------------------------
+
+OcKey random_key(geom::SplitMix64& rng, int span) {
+  return OcKey{static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                     static_cast<uint64_t>(span) / 2),
+               static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                     static_cast<uint64_t>(span) / 2),
+               static_cast<uint16_t>(kKeyOrigin + rng.next_below(static_cast<uint64_t>(span)) -
+                                     static_cast<uint64_t>(span) / 2)};
+}
+
+void expect_leaves_bitwise_eq(const std::vector<LeafRecord>& a, const std::vector<LeafRecord>& b,
+                              const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << what << " record " << i;
+    EXPECT_EQ(a[i].depth, b[i].depth) << what << " record " << i;
+    EXPECT_EQ(std::bit_cast<uint32_t>(a[i].log_odds), std::bit_cast<uint32_t>(b[i].log_odds))
+        << what << " record " << i;
+  }
+}
+
+void expect_stats_eq(const PhaseStats& a, const PhaseStats& b) {
+  EXPECT_EQ(a.ray_casts, b.ray_casts);
+  EXPECT_EQ(a.ray_cast_steps, b.ray_cast_steps);
+  EXPECT_EQ(a.voxel_updates, b.voxel_updates);
+  EXPECT_EQ(a.descend_steps, b.descend_steps);
+  EXPECT_EQ(a.descend_reads, b.descend_reads);
+  EXPECT_EQ(a.leaf_updates, b.leaf_updates);
+  EXPECT_EQ(a.early_aborts, b.early_aborts);
+  EXPECT_EQ(a.parent_updates, b.parent_updates);
+  EXPECT_EQ(a.prune_checks, b.prune_checks);
+  EXPECT_EQ(a.prunes, b.prunes);
+  EXPECT_EQ(a.expands, b.expands);
+  EXPECT_EQ(a.fresh_allocs, b.fresh_allocs);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+// A workload with the locality structure of real scan ingest: runs of
+// face-adjacent voxels (DDA steps) interleaved with jumps to fresh rays —
+// exactly the access pattern the descent memoization exploits, plus heavy
+// saturation/prune churn from the narrow span.
+template <typename TreeLike>
+void drive_scanlike(TreeLike& tree, uint64_t seed, int span, int updates) {
+  geom::SplitMix64 rng(seed);
+  OcKey key = random_key(rng, span);
+  for (int i = 0; i < updates; ++i) {
+    if (rng.next_below(100) < 60) {
+      // Step to a face-adjacent neighbour, like one DDA step of a ray.
+      const auto axis = static_cast<std::size_t>(rng.next_below(3));
+      key[axis] = static_cast<uint16_t>(key[axis] + (rng.next_below(2) == 0 ? 1 : -1));
+    } else {
+      key = random_key(rng, span);
+    }
+    tree.update_node(key, rng.next_below(100) < 40);
+  }
+}
+
+// ---- Tests -----------------------------------------------------------------
+
+TEST(ArenaOctree, RandomizedUpdatesMatchHeapReference) {
+  for (const int span : {16, 512}) {
+    OccupancyOctree tree(0.2);
+    ReferenceOctree ref(tree.params());
+    drive_scanlike(tree, 1000 + static_cast<uint64_t>(span), span, 25000);
+    drive_scanlike(ref, 1000 + static_cast<uint64_t>(span), span, 25000);
+
+    expect_leaves_bitwise_eq(tree.leaves_sorted(), ref.leaves_sorted(), "span");
+    EXPECT_EQ(tree.leaf_count(), ref.leaf_count()) << "span " << span;
+    EXPECT_EQ(tree.inner_count(), ref.inner_count()) << "span " << span;
+
+    geom::SplitMix64 probe(99);
+    for (int i = 0; i < 2000; ++i) {
+      const OcKey key = random_key(probe, span * 2);
+      EXPECT_EQ(tree.classify(key), ref.classify(key)) << "span " << span << " probe " << i;
+    }
+  }
+}
+
+TEST(ArenaOctree, SaturatedLeafEarlyAbortMatchesReference) {
+  OccupancyOctree tree(0.2);
+  ReferenceOctree ref(tree.params());
+  const OcKey a{kKeyOrigin, kKeyOrigin, kKeyOrigin};
+  const OcKey sibling{kKeyOrigin + 1, kKeyOrigin, kKeyOrigin};
+
+  // Saturate `a` at clamp_max, then update a deep-prefix neighbour (the
+  // descent resumes from the early-abort cache state) and hit `a` again.
+  for (int i = 0; i < 10; ++i) {
+    tree.update_node(a, true);
+    ref.update_node(a, true);
+  }
+  for (int i = 0; i < 3; ++i) {
+    tree.update_node(sibling, false);
+    ref.update_node(sibling, false);
+  }
+  tree.update_node(a, true);
+  ref.update_node(a, true);
+
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), ref.leaves_sorted(), "early-abort");
+  const auto view = tree.search(a);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->log_odds, tree.params().clamp_max);
+}
+
+TEST(ArenaOctree, SerializeRoundTripPreservesMapAndStaysLive) {
+  OccupancyOctree tree(0.2);
+  drive_scanlike(tree, 7, 64, 8000);
+
+  std::stringstream stream;
+  OctreeIo::write(tree, stream);
+  OccupancyOctree restored = OctreeIo::read(stream);
+
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), restored.leaves_sorted(), "round-trip");
+  EXPECT_EQ(tree.content_hash(), restored.content_hash());
+  EXPECT_EQ(tree.leaf_count(), restored.leaf_count());
+  EXPECT_EQ(tree.inner_count(), restored.inner_count());
+
+  // The restored arena must be fully live, not just readable: continuing
+  // the same update stream on both maps keeps them identical through
+  // allocation, pruning and block recycling.
+  drive_scanlike(tree, 8, 64, 3000);
+  drive_scanlike(restored, 8, 64, 3000);
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), restored.leaves_sorted(), "post-restore");
+  EXPECT_EQ(tree.content_hash(), restored.content_hash());
+}
+
+TEST(ArenaOctree, PruneIsIdempotentAndExpandAllRoundTrips) {
+  OccupancyOctree tree(0.2);
+  drive_scanlike(tree, 21, 16, 20000);
+  // Saturate an aligned 8^3 voxel region at clamp_min (6 misses each pass
+  // -2.0): its blocks collapse level by level, guaranteeing pruned leaves
+  // above the finest level for expand_all to re-open.
+  for (int pass = 0; pass < 6; ++pass) {
+    for (uint16_t x = 0; x < 8; ++x) {
+      for (uint16_t y = 0; y < 8; ++y) {
+        for (uint16_t z = 0; z < 8; ++z) {
+          tree.update_node(OcKey{static_cast<uint16_t>(kKeyOrigin + 64 + x),
+                                 static_cast<uint16_t>(kKeyOrigin + 64 + y),
+                                 static_cast<uint16_t>(kKeyOrigin + 64 + z)},
+                           false);
+        }
+      }
+    }
+  }
+
+  const auto canonical = tree.leaves_sorted();
+  tree.prune();  // update_node prunes incrementally; a full pass finds nothing
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), canonical, "prune #1");
+  tree.prune();
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), canonical, "prune #2");
+
+  const std::size_t pruned_leaves = tree.leaf_count();
+  tree.expand_all();
+  EXPECT_GT(tree.leaf_count(), pruned_leaves);  // the narrow span guarantees pruned subtrees
+  tree.prune();
+  expect_leaves_bitwise_eq(tree.leaves_sorted(), canonical, "expand+prune");
+}
+
+TEST(ArenaOctree, DescentCacheIsPureMemoization) {
+  // Tree A runs the scan-like stream with its descent cache warm; tree B
+  // runs the identical stream but has the cache invalidated constantly
+  // (merging an empty map zeroes cache_depth_ and touches nothing else).
+  // Identical leaves AND identical PhaseStats prove the memoized descent
+  // visits exactly the nodes — and books exactly the counter increments —
+  // of a fresh root descent.
+  OccupancyOctree a(0.2);
+  OccupancyOctree b(0.2);
+  const OccupancyOctree empty(0.2);
+
+  geom::SplitMix64 rng(33);
+  OcKey key = random_key(rng, 32);
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.next_below(100) < 60) {
+      const auto axis = static_cast<std::size_t>(rng.next_below(3));
+      key[axis] = static_cast<uint16_t>(key[axis] + (rng.next_below(2) == 0 ? 1 : -1));
+    } else {
+      key = random_key(rng, 32);
+    }
+    const bool occupied = rng.next_below(100) < 40;
+    a.update_node(key, occupied);
+    b.update_node(key, occupied);
+    if (i % 7 == 0) b.merge(empty);
+  }
+
+  expect_leaves_bitwise_eq(a.leaves_sorted(), b.leaves_sorted(), "cache purity");
+  expect_stats_eq(a.stats(), b.stats());
+}
+
+TEST(ArenaOctree, LeafReserveHintBoundsLeafCount) {
+  OccupancyOctree tree(0.2);
+  EXPECT_GE(tree.leaf_reserve_hint(), tree.leaf_count());
+
+  drive_scanlike(tree, 55, 128, 15000);
+  EXPECT_GE(tree.leaf_reserve_hint(), tree.leaf_count());
+
+  tree.expand_all();
+  EXPECT_GE(tree.leaf_reserve_hint(), tree.leaf_count());
+  tree.prune();
+  EXPECT_GE(tree.leaf_reserve_hint(), tree.leaf_count());
+
+  tree.clear();
+  EXPECT_GE(tree.leaf_reserve_hint(), tree.leaf_count());
+}
+
+}  // namespace
+}  // namespace omu::map

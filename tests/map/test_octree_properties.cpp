@@ -197,10 +197,11 @@ TEST_P(OctreeProperty, LeavesSortedIsStrictlyOrderedAndDisjoint) {
 
 TEST_P(OctreeProperty, PoolNeverLeaksBlocks) {
   // Every allocated slot is either reachable from the root or parked on
-  // the free list: slots = 1 (root) + 8 * (inner nodes + free blocks).
+  // the free list: slots = 8 (the root's 64-byte arena line, root + 7
+  // alignment pads) + 8 * (inner nodes + free blocks).
   OccupancyOctree tree = random_tree(5000, 10);
   const std::size_t inner = tree.inner_count();
-  EXPECT_EQ(tree.pool_slots(), 1 + 8 * (inner + tree.free_blocks()));
+  EXPECT_EQ(tree.pool_slots(), 8 + 8 * (inner + tree.free_blocks()));
 }
 
 TEST_P(OctreeProperty, QuantizedValuesSitOnQ510Grid) {
