@@ -1,0 +1,190 @@
+// Incremental snapshot publication (O(changed) flush). A flush republishes
+// the read-optimized MapSnapshot; with delta publication only the dirty
+// first-level branches are rebuilt and the rest of the epoch is spliced
+// from refcounted chunks shared with the previous one. Axes:
+//
+//   map_size         small | large       leaves in the published snapshot
+//   touched_fraction 12 | 25 | 50 | 100  percent of first-level branches
+//                                        churned between flushes (12% = 1
+//                                        branch, the splice granularity)
+//
+// Each case times steady-state churn flushes and reports the isolated
+// publication cost (export delta + splice + publish) next to the cost of
+// the full rebuild every flush used to pay. Shape checks: the incremental
+// path is actually taken and stays bit-identical to the map, publication
+// cost grows with the touched fraction, and at the minimum touched
+// fraction on the large map the splice is >=3x cheaper than a full
+// rebuild.
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchkit/benchmark.hpp"
+#include "geom/rng.hpp"
+#include "map/map_backend.hpp"
+#include "map/occupancy_octree.hpp"
+#include "query/map_snapshot.hpp"
+#include "query/query_service.hpp"
+
+namespace {
+
+using namespace omu;
+using Clock = std::chrono::steady_clock;
+
+double ns_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+/// A random finest-depth key inside one first-level octant (the sign
+/// triple pins bit 15 of each coordinate, i.e. the root child index).
+map::OcKey octant_key(geom::SplitMix64& rng, int octant, uint32_t span) {
+  const auto coord = [&](bool high) {
+    const uint16_t r = static_cast<uint16_t>(rng.next_below(span));
+    return high ? static_cast<uint16_t>(map::kKeyOrigin + r)
+                : static_cast<uint16_t>(map::kKeyOrigin - 1 - r);
+  };
+  return map::OcKey{coord((octant & 1) != 0), coord((octant & 2) != 0),
+                    coord((octant & 4) != 0)};
+}
+
+/// One tree per map_size, shared across the touched_fraction axis. Churn
+/// toggles a fixed per-branch key pool between free and occupied, so the
+/// map's size (and therefore the cost baseline) stays constant across
+/// cases and repeats while every flush still has real dirty content.
+struct DeltaFixture {
+  static constexpr int kChurnPerBranch = 128;
+
+  map::OccupancyOctree tree{0.2};
+  map::OctreeBackend backend{tree};
+  std::vector<map::OcKey> churn_pool[8];
+  uint64_t flush_parity = 0;
+
+  explicit DeltaFixture(int keys_per_branch) {
+    geom::SplitMix64 rng(777);
+    map::UpdateBatch batch;
+    for (int b = 0; b < 8; ++b) {
+      batch.clear();
+      for (int i = 0; i < keys_per_branch; ++i) {
+        const map::OcKey key = octant_key(rng, b, 4096);
+        if (i < kChurnPerBranch) churn_pool[b].push_back(key);
+        batch.push(key, true);
+      }
+      backend.apply(batch);
+    }
+    backend.flush();
+  }
+
+  /// Dirties the first `touched` branches (toggle: never saturates, so
+  /// every flush carries genuine content changes).
+  void churn(int touched) {
+    const bool occupied = (++flush_parity & 1) != 0;
+    map::UpdateBatch batch;
+    for (int b = 0; b < touched; ++b) {
+      for (const map::OcKey& key : churn_pool[b]) batch.push(key, occupied);
+    }
+    backend.apply(batch);
+    backend.flush();
+  }
+};
+
+DeltaFixture& fixture(const std::string& map_size) {
+  static std::map<std::string, DeltaFixture*> cache;
+  auto it = cache.find(map_size);
+  if (it == cache.end()) {
+    const int keys_per_branch = map_size == "large" ? 24000 : 4000;
+    it = cache.emplace(map_size, new DeltaFixture(keys_per_branch)).first;
+  }
+  return *it->second;
+}
+
+/// Per-(map_size, touched_fraction) publication cost, for the cross-case
+/// scaling check (may be partial under a --filter; the check degenerates
+/// to trivially true then).
+std::map<std::pair<std::string, int64_t>, double>& publish_ns_cache() {
+  static std::map<std::pair<std::string, int64_t>, double> cache;
+  return cache;
+}
+
+void snapshot_delta(benchkit::State& state) {
+  const std::string map_size = state.param("map_size");
+  const int64_t pct = state.param_int("touched_fraction");
+  const int touched = std::max(1, static_cast<int>(pct * 8 / 100));
+
+  state.pause_timing();
+  DeltaFixture& f = fixture(map_size);
+
+  // The comparison baseline: what every flush used to cost — re-export
+  // the whole map and rebuild the snapshot from scratch.
+  double full_ns = 0.0;
+  uint64_t full_hash = 0;
+  constexpr int kFullReps = 2;
+  for (int r = 0; r < kFullReps; ++r) {
+    const auto t0 = Clock::now();
+    const auto full = query::MapSnapshot::build(f.backend.export_snapshot_data());
+    full_ns += ns_since(t0);
+    full_hash = full->content_hash();
+  }
+  full_ns /= kFullReps;
+
+  query::QueryService service;
+  service.refresh_from(f.backend);  // epoch 1: the one unavoidable full build
+  state.resume_timing();
+
+  constexpr int kFlushes = 12;
+  double publish_ns = 0.0;
+  for (int i = 0; i < kFlushes; ++i) {
+    f.churn(touched);
+    const auto t0 = Clock::now();
+    service.refresh_from(f.backend);
+    publish_ns += ns_since(t0);
+  }
+  publish_ns /= kFlushes;
+
+  state.set_items_processed(kFlushes);
+  state.set_counter("incremental_publish_ns", publish_ns);
+  state.set_counter("full_rebuild_ns", full_ns);
+  state.set_counter("splice_speedup", full_ns / publish_ns);
+  state.set_counter("snapshot_leaves",
+                    static_cast<double>(service.snapshot()->leaf_count()));
+
+  const query::SnapshotPublishStats stats = service.publish_stats();
+  const double bytes_touched = static_cast<double>(stats.bytes_reused + stats.bytes_rebuilt);
+  if (bytes_touched > 0) {
+    state.set_counter("reused_byte_share",
+                      static_cast<double>(stats.bytes_reused) / bytes_touched);
+  }
+
+  // Every churn flush must take the splice path and stay bit-identical.
+  state.check("incremental_path_used",
+              stats.incremental_publications == static_cast<uint64_t>(kFlushes));
+  state.check("bit_identical_to_tree",
+              service.snapshot()->content_hash() == f.tree.content_hash());
+  // The pre-churn full rebuild sees the same map the first publish did.
+  state.check("full_rebuild_reference_valid", full_hash != 0);
+
+  // Publication cost is O(changed): more touched branches => more cost,
+  // and at the minimum touched fraction the splice beats the full rebuild
+  // by >=3x on the large map (where the rebuilt-vs-shared gap dominates
+  // constant overheads).
+  publish_ns_cache()[{map_size, pct}] = publish_ns;
+  if (pct == 100) {
+    const auto min_it = publish_ns_cache().find({map_size, INT64_C(12)});
+    if (min_it != publish_ns_cache().end()) {
+      state.check("publish_cost_scales_with_touched_fraction",
+                  publish_ns >= min_it->second);
+    }
+  }
+  if (map_size == "large" && pct == 12) {
+    state.check("splice_3x_faster_than_full_rebuild", full_ns >= 3.0 * publish_ns);
+  }
+}
+
+OMU_BENCHMARK(snapshot_delta)
+    .axis("map_size", std::vector<std::string>{"small", "large"})
+    .axis("touched_fraction", std::vector<int64_t>{12, 25, 50, 100})
+    .default_warmup(0);
+
+}  // namespace

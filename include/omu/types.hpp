@@ -75,10 +75,23 @@ struct MapperStats {
   uint64_t rays_inserted = 0;     ///< rays integrated via insert_rays
   uint64_t points_inserted = 0;   ///< measurement endpoints consumed
   uint64_t voxel_updates = 0;     ///< per-voxel updates issued to the backend
-  uint64_t flushes = 0;           ///< flush() barriers (snapshot epochs published)
+  uint64_t flushes = 0;           ///< flush() barriers requested
   /// Resident bytes of the map structure, when the backend can account for
   /// them (octree: tree nodes; tiled world: resident tiles; 0 = unknown).
   std::size_t memory_bytes = 0;
+
+  // Snapshot-publication counters. Publication is delta-based: a flush
+  // rebuilds only what changed since the previous epoch and shares the
+  // rest with it, and a flush with no changes publishes nothing. The
+  // sharing unit is a first-level branch chunk for octree / accelerator /
+  // sharded sessions and a tile snapshot for tiled-world sessions.
+  uint64_t snapshots_published = 0;      ///< epochs readers actually saw
+  uint64_t incremental_publications = 0; ///< publications spliced onto the previous epoch
+  uint64_t noop_flushes = 0;             ///< flushes that published nothing (no change)
+  uint64_t snapshot_chunks_reused = 0;   ///< chunks/tiles shared with the previous epoch
+  uint64_t snapshot_chunks_rebuilt = 0;  ///< chunks/tiles rebuilt from the map
+  std::size_t snapshot_bytes_reused = 0;   ///< snapshot bytes shared, not reallocated
+  std::size_t snapshot_bytes_rebuilt = 0;  ///< snapshot bytes freshly built
 };
 
 /// Paging counters of a tiled-world session (see Mapper::paging_stats).

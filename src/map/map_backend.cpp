@@ -14,4 +14,22 @@ void OctreeBackend::apply(const UpdateBatch& batch) {
   for (const VoxelUpdate& u : batch) tree_->update_node(u.key, u.occupied);
 }
 
+MapSnapshotDelta OctreeBackend::export_snapshot_delta(uint64_t since_generation) {
+  const DirtyHarvest harvest = tree_->harvest_dirty_branches(since_generation);
+  MapSnapshotDelta delta;
+  delta.full = harvest.full;
+  delta.dirty_mask = harvest.dirty_mask;
+  delta.resolution = tree_->resolution();
+  delta.params = tree_->params();
+  delta.generation = harvest.generation;
+  if (harvest.full) {
+    delta.leaves = tree_->leaves_sorted();
+  } else {
+    for (int b = 0; b < 8; ++b) {
+      if (harvest.dirty_mask & (1u << b)) tree_->collect_branch_leaves(b, delta.leaves);
+    }
+  }
+  return delta;
+}
+
 }  // namespace omu::map

@@ -36,6 +36,28 @@ struct MapSnapshotData {
   OccupancyParams params{};
 };
 
+/// Delta form of the snapshot export (incremental flush): either the whole
+/// map (`full`), or only the leaves of the first-level branches whose
+/// content changed since the caller's previous export — the input of
+/// query::MapSnapshot::build_incremental, which splices these onto the
+/// unchanged branches' chunks shared from the previous snapshot. A delta
+/// with `!full` and an empty dirty_mask means "nothing changed": the
+/// caller can skip publication entirely.
+struct MapSnapshotDelta {
+  bool full = true;
+  /// When !full: bit b set = branch b's complete leaf set is in `leaves`
+  /// (an empty branch contributes no records but still counts as dirty).
+  uint8_t dirty_mask = 0xFF;
+  /// The whole map (full) or the dirty branches' leaves, in canonical
+  /// (packed key, depth) order within each branch.
+  std::vector<LeafRecord> leaves;
+  double resolution = 0.2;
+  OccupancyParams params{};
+  /// Harvest tag to pass back as since_generation on the next export; 0 =
+  /// this backend does not track deltas (every export is full).
+  uint64_t generation = 0;
+};
+
 /// Abstract consumer of voxel-update batches.
 class MapBackend {
  public:
@@ -79,6 +101,27 @@ class MapBackend {
     return MapSnapshotData{leaves_sorted(), coder().resolution(), occupancy_params()};
   }
 
+  /// Incremental snapshot export: the changes since the harvest tagged
+  /// `since_generation` (0 = no previous harvest; always answered full).
+  /// Non-const — backends that track dirtiness drain their accumulator.
+  /// The default has no tracking and degrades to a full export tagged
+  /// generation 0, so every backend stays a valid delta source. Callers
+  /// serialize exports per backend (the QueryService publish mutex); a
+  /// second independent consumer simply forces full exports via the
+  /// generation mismatch.
+  virtual MapSnapshotDelta export_snapshot_delta(uint64_t since_generation) {
+    (void)since_generation;
+    MapSnapshotData data = export_snapshot_data();
+    MapSnapshotDelta delta;
+    delta.full = true;
+    delta.dirty_mask = 0xFF;
+    delta.leaves = std::move(data.leaves);
+    delta.resolution = data.resolution;
+    delta.params = data.params;
+    delta.generation = 0;
+    return delta;
+  }
+
   /// Where the ray-casting front-end should record its PhaseStats, or
   /// nullptr when the backend keeps no software-side counters (the caller
   /// then uses its own).
@@ -100,6 +143,7 @@ class OctreeBackend final : public MapBackend {
   Occupancy classify(const OcKey& key) override { return tree_->classify(key); }
   std::vector<LeafRecord> leaves_sorted() const override { return tree_->leaves_sorted(); }
   uint64_t content_hash() const override { return tree_->content_hash(); }
+  MapSnapshotDelta export_snapshot_delta(uint64_t since_generation) override;
   PhaseStats* ray_stats() override { return &tree_->stats(); }
 
   OccupancyOctree& tree() { return *tree_; }

@@ -22,6 +22,7 @@ OccupancyOctree::OccupancyOctree(double resolution, OccupancyParams params)
 void OccupancyOctree::clear() {
   pool_.clear();
   cache_depth_ = 0;
+  dirty_all_ = true;
 }
 
 int32_t OccupancyOctree::materialize_children(int32_t node_idx, bool& was_expand) {
@@ -189,6 +190,9 @@ void OccupancyOctree::update_node_snapped(const OcKey& key, float delta) {
         bool was_expand = false;
         materialize_children(idx, was_expand);
         if (!was_expand && fresh_depth > depth) fresh_depth = depth;
+        // A collapsed *root* splitting open changes the leaf set of all 8
+        // branches (each gains a copy of the depth-0 value).
+        if (depth == 0 && was_expand) dirty_all_ = true;
       }
     }
     stats_.descend_steps++;
@@ -212,6 +216,10 @@ void OccupancyOctree::update_node_snapped(const OcKey& key, float delta) {
     if (leaf.is_unknown()) leaf.make_leaf(0.0f);
     apply_leaf_delta(leaf, delta);
   }
+  // Content changed (every early abort returned above): mark the key's
+  // first-level branch dirty. Morton bits 45..47 are the level-0 child
+  // index, i.e. exactly first_level_branch(key).
+  dirty_branches_ |= static_cast<uint8_t>(1u << ((morton >> 45) & 7));
 
   // Unwind: refresh ancestors bottom-up, pruning where possible. OctoMap
   // updates every ancestor on the path and we keep its operation counts
@@ -253,6 +261,7 @@ void OccupancyOctree::set_node_log_odds(const OcKey& key, float log_odds) {
     if (!pool_[static_cast<std::size_t>(idx)].is_inner()) {
       bool was_expand = false;
       materialize_children(idx, was_expand);
+      if (depth == 0 && was_expand) dirty_all_ = true;
     }
     stats_.descend_steps++;
     idx = pool_[static_cast<std::size_t>(idx)].children +
@@ -261,6 +270,7 @@ void OccupancyOctree::set_node_log_odds(const OcKey& key, float log_odds) {
   }
   pool_[static_cast<std::size_t>(idx)].make_leaf(log_odds);
   stats_.leaf_updates++;
+  dirty_branches_ |= static_cast<uint8_t>(1u << ((morton >> 45) & 7));
 
   for (int depth = kTreeDepth - 1; depth >= 0; --depth) {
     update_inner_and_try_prune(path[static_cast<std::size_t>(depth)]);
@@ -280,6 +290,7 @@ void OccupancyOctree::set_leaf_at_depth(const OcKey& key, int depth, float log_o
     if (!pool_[static_cast<std::size_t>(idx)].is_inner()) {
       bool was_expand = false;
       materialize_children(idx, was_expand);
+      if (d == 0 && was_expand) dirty_all_ = true;
     }
     stats_.descend_steps++;
     idx = pool_[static_cast<std::size_t>(idx)].children +
@@ -303,6 +314,7 @@ void OccupancyOctree::set_leaf_at_depth(const OcKey& key, int depth, float log_o
   }
   pool_[static_cast<std::size_t>(idx)].make_leaf(log_odds);
   stats_.leaf_updates++;
+  dirty_branches_ |= static_cast<uint8_t>(1u << ((morton >> 45) & 7));
 
   for (int d = depth - 1; d >= 0; --d) {
     update_inner_and_try_prune(path[static_cast<std::size_t>(d)]);
@@ -477,6 +489,7 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
     throw std::invalid_argument("OccupancyOctree::merge: resolution mismatch");
   }
   cache_depth_ = 0;  // the per-leaf walks below prune/free outside the cache bookkeeping
+  dirty_all_ = true;  // a whole-map fold can touch every branch
   // Fold the other map's leaves into this one. Leaves at depth 16 are a
   // plain log-odds addition; pruned leaves apply their value across the
   // covered subtree, which set-wise is again a single update at that depth
@@ -526,6 +539,9 @@ void OccupancyOctree::prune() {
   cache_depth_ = 0;  // the full-tree pass frees blocks the cache may reference
   std::size_t pruned = 0;
   if (pool_[0].is_inner()) prune_recurs(0, 0, pruned);
+  // A prune rewrites the leaf list (8 fine leaves -> 1 coarse) without a
+  // per-key mutation to attribute, so the whole export is dirty.
+  if (pruned > 0) dirty_all_ = true;
 }
 
 void OccupancyOctree::prune_recurs(int32_t node_idx, int depth, std::size_t& pruned) {
@@ -540,6 +556,7 @@ void OccupancyOctree::prune_recurs(int32_t node_idx, int depth, std::size_t& pru
 
 void OccupancyOctree::expand_all() {
   cache_depth_ = 0;
+  dirty_all_ = true;  // every pruned leaf splits; the leaf list changes everywhere
   if (pool_[0].is_leaf()) {
     bool was_expand = false;
     materialize_children(0, was_expand);
@@ -623,6 +640,43 @@ std::vector<OccupancyOctree::LeafRecord> OccupancyOctree::leaves_sorted() const 
   });
   std::sort(out.begin(), out.end(), canonical_leaf_less);
   return out;
+}
+
+DirtyHarvest OccupancyOctree::harvest_dirty_branches(uint64_t since_generation) {
+  DirtyHarvest h;
+  const bool tracked = since_generation != 0 && since_generation == harvest_generation_;
+  if (tracked && !dirty_all_ && dirty_branches_ == 0) {
+    // Nothing changed since the caller's last harvest — even a collapsed
+    // root is reported as an empty delta, so a no-op flush stays
+    // publication-free.
+    h.full = false;
+    h.dirty_mask = 0;
+  } else {
+    h.full = !tracked || dirty_all_ || root_collapsed();
+    h.dirty_mask = h.full ? 0xFF : dirty_branches_;
+  }
+  dirty_branches_ = 0;
+  dirty_all_ = false;
+  h.generation = ++harvest_generation_;
+  return h;
+}
+
+void OccupancyOctree::collect_branch_leaves(int branch, std::vector<LeafRecord>& out) const {
+  assert(branch >= 0 && branch < 8);
+  const Node& root = pool_[0];
+  if (!root.is_inner()) return;  // empty or collapsed map: no branch buckets
+  const int bit = kTreeDepth - 1;
+  OcKey base{};
+  base[0] = static_cast<uint16_t>((branch & 1) << bit);
+  base[1] = static_cast<uint16_t>(((branch >> 1) & 1) << bit);
+  base[2] = static_cast<uint16_t>(((branch >> 2) & 1) << bit);
+  // The ascending-child DFS emits leaves in ascending packed order (child
+  // index i orders by the same (z, y, x) bit significance packed() uses),
+  // so the appended run is already canonically sorted within the branch.
+  leaves_recurs(root.children + branch, base, 1,
+                [&out](const OcKey& key, int depth, float value) {
+                  out.push_back(LeafRecord{key, depth, value});
+                });
 }
 
 uint64_t OccupancyOctree::content_hash() const {

@@ -45,6 +45,19 @@ struct NodeView {
   bool is_leaf = true;    ///< false if the query stopped at an inner node
 };
 
+/// Result of draining the dirty-branch accumulator (the producer side of
+/// incremental snapshot export, see MapBackend::export_snapshot_delta).
+struct DirtyHarvest {
+  /// Per-branch collection is unusable — export the whole map. Set on the
+  /// first harvest, on a generation mismatch (another consumer harvested in
+  /// between), after whole-tree mutations (clear/prune/expand/merge/load),
+  /// and whenever the root is a collapsed leaf (a depth-0 record has no
+  /// branch bucket).
+  bool full = true;
+  uint8_t dirty_mask = 0xFF;  ///< bit b set = first-level branch b changed
+  uint64_t generation = 0;    ///< pass back as since_generation next time
+};
+
 /// The probabilistic occupancy octree (software baseline of the paper).
 class OccupancyOctree {
  public:
@@ -190,6 +203,35 @@ class OccupancyOctree {
   };
   std::vector<LeafRecord> leaves_sorted() const;
 
+  // ---- Dirty-branch tracking (incremental snapshot export) ---------------
+  //
+  // Every mutation cheaply records which first-level branches (root child
+  // octants) it touched; a snapshot publisher drains the accumulator at
+  // flush and re-exports only those branches' leaves, splicing the rest
+  // from the previous epoch (query::MapSnapshot::build_incremental). The
+  // tracking is conservative: a marked branch may be content-identical
+  // (e.g. a set_node_log_odds writing the value already there), but an
+  // unmarked branch is guaranteed unchanged since the last harvest.
+
+  /// Drains the dirty accumulator. `since_generation` is the generation of
+  /// the caller's previous harvest (0 = none); a mismatch — first call, or
+  /// another consumer harvested in between — forces a full export, as do
+  /// whole-tree mutations and a collapsed (root-leaf) map. Returns the new
+  /// generation and clears the accumulator.
+  DirtyHarvest harvest_dirty_branches(uint64_t since_generation);
+
+  /// Collects the leaves under first-level branch `branch` (0..7), appended
+  /// to `out` in canonical (packed key, depth) order — the DFS emits
+  /// children in ascending packed order, so no sort is needed. A collapsed
+  /// (root-leaf) or empty map contributes nothing; harvest_dirty_branches
+  /// reports `full` for the collapsed case so callers never depend on
+  /// per-branch collection there.
+  void collect_branch_leaves(int branch, std::vector<LeafRecord>& out) const;
+
+  /// True when the whole map is one pruned depth-0 leaf (every branch
+  /// equal-valued and merged at the root).
+  bool root_collapsed() const { return pool_[0].is_leaf(); }
+
   /// FNV-1a hash over the canonical leaf list; two maps with equal hashes
   /// have identical content (up to hash collision).
   uint64_t content_hash() const;
@@ -253,6 +295,15 @@ class OccupancyOctree {
   std::array<int32_t, kTreeDepth + 1> path_cache_{};
   uint64_t cached_morton_ = 0;
   int cache_depth_ = 0;
+
+  // Dirty-branch accumulator (see harvest_dirty_branches). dirty_all_
+  // starts true so the first harvest is a full export; whole-tree
+  // mutations and root-level expansion (a depth-0 leaf splitting into all
+  // 8 branches) re-set it. A root-level *prune* needs no flag: the next
+  // harvest sees the collapsed root directly.
+  uint8_t dirty_branches_ = 0;
+  bool dirty_all_ = true;
+  uint64_t harvest_generation_ = 0;  ///< 0 = never harvested
 };
 
 /// Canonical leaf triple shared with the accelerator model.

@@ -402,6 +402,27 @@ MapperStats Mapper::stats() const {
   } else if (impl_->world) {
     s.memory_bytes = impl_->world->pager_stats().resident_bytes;
   }
+  if (impl_->query_service) {
+    const query::SnapshotPublishStats ps = impl_->query_service->publish_stats();
+    s.snapshots_published = ps.publications;
+    s.incremental_publications = ps.incremental_publications;
+    s.noop_flushes = ps.noop_refreshes;
+    s.snapshot_chunks_reused = ps.chunks_reused;
+    s.snapshot_chunks_rebuilt = ps.chunks_rebuilt;
+    s.snapshot_bytes_reused = ps.bytes_reused;
+    s.snapshot_bytes_rebuilt = ps.bytes_rebuilt;
+  } else if (impl_->world) {
+    // World sessions count per-tile snapshots: a splice rebuilt some of a
+    // tile's branches and shared the rest (its bytes land on both sides).
+    const world::WorldViewBuildStats ws = impl_->world->view_build_stats();
+    s.snapshots_published = ws.views_built;
+    s.incremental_publications = ws.tiles_spliced;
+    s.noop_flushes = ws.noop_flushes;
+    s.snapshot_chunks_reused = ws.tiles_reused;
+    s.snapshot_chunks_rebuilt = ws.tiles_rebuilt + ws.tiles_spliced;
+    s.snapshot_bytes_reused = ws.bytes_reused;
+    s.snapshot_bytes_rebuilt = ws.bytes_rebuilt;
+  }
   return s;
 }
 

@@ -123,7 +123,7 @@ void ShardedMapPipeline::flush() {
       // idle map republishing identical content would only burn rebuilds.
       return;
     }
-    map::MapSnapshotData data = export_snapshot_data();
+    map::MapSnapshotDelta delta = export_delta_locked(query_service_->delta_since(this));
     // Re-check after the export: an apply() racing this (foreign) flush
     // could have landed updates on some shards mid-export, making the
     // view torn across shards. Any such batch holds the producer token
@@ -133,13 +133,74 @@ void ShardedMapPipeline::flush() {
     // apply's routed increment visible to the comparison.)
     if (in_flight_.load(std::memory_order_acquire) == 0 &&
         updates_routed_.load(std::memory_order_relaxed) == routed_before) {
-      query_service_->publish(std::move(data));
+      query_service_->publish_delta(std::move(delta), this);
       published_routed_ = routed_before;
       published_once_ = true;
       return;
     }
+    // Torn export discarded. Its harvest already consumed the shard dirty
+    // accumulators and bumped export_generation_, so the service's paired
+    // generation no longer matches and the retry degrades to a full export
+    // — correct (full carries everything), just not O(changed) on this
+    // rare racing-apply path.
     wait_until_idle();
   }
+}
+
+map::MapSnapshotDelta ShardedMapPipeline::export_snapshot_delta(uint64_t since_generation) {
+  std::lock_guard lock(publish_hook_mutex_);
+  return export_delta_locked(since_generation);
+}
+
+map::MapSnapshotDelta ShardedMapPipeline::export_delta_locked(uint64_t since_generation) {
+  const std::size_t n = shards_.size();
+  if (shard_harvest_gen_.size() != n) shard_harvest_gen_.assign(n, 0);
+  const bool tracked = since_generation != 0 && since_generation == export_generation_;
+
+  map::MapSnapshotDelta delta;
+  delta.resolution = cfg_.resolution;
+  delta.params = cfg_.params;
+
+  // Harvest every shard even when the result will be full: the harvests
+  // reset the per-shard accumulators and stamp fresh generations, so the
+  // export after a full one can be incremental again.
+  bool full = !tracked;
+  uint8_t mask = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard tree_lock(shard.tree_mutex);
+    const map::DirtyHarvest h =
+        shard.tree.harvest_dirty_branches(tracked ? shard_harvest_gen_[s] : 0);
+    shard_harvest_gen_[s] = h.generation;
+    if (h.full) full = true;
+    mask |= h.dirty_mask;
+  }
+  delta.generation = ++export_generation_;
+
+  if (full) {
+    // First export, caller out of sync, or some shard saw a whole-tree
+    // mutation (prune, merge, root collapse/expand — with one shard the
+    // tree can collapse to a depth-0 record, which per-branch runs cannot
+    // represent). The merged export carries the canonical normalization.
+    delta.full = true;
+    delta.dirty_mask = 0xFF;
+    delta.leaves = leaves_sorted();
+    return delta;
+  }
+
+  delta.full = false;
+  delta.dirty_mask = mask;
+  // Branch b lives wholly in shard b mod n, and with n >= 2 a shard tree
+  // never prunes above depth 1 (its root always has unknown children), so
+  // the branch's leaf run in the shard tree is bit-identical to the serial
+  // tree's — the same property the merged export rests on.
+  for (int b = 0; b < 8; ++b) {
+    if (!(mask & (1u << b))) continue;
+    Shard& shard = *shards_[static_cast<std::size_t>(b) % n];
+    std::lock_guard tree_lock(shard.tree_mutex);
+    shard.tree.collect_branch_leaves(b, delta.leaves);
+  }
+  return delta;
 }
 
 void ShardedMapPipeline::wait_until_idle() {

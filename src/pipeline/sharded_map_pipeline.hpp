@@ -88,8 +88,22 @@ class ShardedMapPipeline final : public map::MapBackend {
 
   /// Blocks until every routed update has been applied to its shard tree,
   /// then publishes a snapshot to the attached query service (if any) —
-  /// flush() is the epoch boundary concurrent readers observe.
+  /// flush() is the epoch boundary concurrent readers observe. The
+  /// publication is delta-based: only the first-level branches some shard
+  /// dirtied since the previous flush are re-exported and rebuilt; clean
+  /// branch chunks are shared from the previous epoch, and a flush with
+  /// nothing new publishes no epoch at all.
   void flush() override;
+
+  /// Per-shard dirty-branch harvest federated into one map-level delta.
+  /// Incremental when `since_generation` matches this pipeline's previous
+  /// export; any shard reporting a whole-tree change (prune, clear,
+  /// collapsed root) degrades the whole export to full. Don't call
+  /// QueryService::refresh_from on a pipeline whose flush() already
+  /// publishes (see attach_query_service): beyond double publication, the
+  /// two paths take the service and pipeline publication locks in opposite
+  /// orders.
+  map::MapSnapshotDelta export_snapshot_delta(uint64_t since_generation) override;
 
   /// Attaches a query service that receives a fresh MapSnapshot at every
   /// flush boundary. Pass nullptr to detach. Not synchronized against a
@@ -150,6 +164,9 @@ class ShardedMapPipeline final : public map::MapBackend {
   void worker_loop(Shard& shard);
   void wait_until_idle();
 
+  /// export_snapshot_delta body; caller holds publish_hook_mutex_.
+  map::MapSnapshotDelta export_delta_locked(uint64_t since_generation);
+
   ShardedPipelineConfig cfg_;
   map::KeyCoder coder_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -166,6 +183,14 @@ class ShardedMapPipeline final : public map::MapBackend {
   std::atomic<uint64_t> updates_routed_{0};
   uint64_t published_routed_ = 0;   // guarded by publish_hook_mutex_
   bool published_once_ = false;     // guarded by publish_hook_mutex_
+
+  // Delta-export state, guarded by publish_hook_mutex_. export_generation_
+  // is the pipeline-level generation handed out with each delta; a caller
+  // passing anything else as since_generation gets a full export.
+  // shard_harvest_gen_[s] is shard s's tree-level harvest generation from
+  // the previous export (the octree accumulators are per shard).
+  uint64_t export_generation_ = 0;
+  std::vector<uint64_t> shard_harvest_gen_;
 };
 
 }  // namespace omu::pipeline

@@ -8,21 +8,30 @@
 // the live map. This is the same reader/writer decoupling OHM and the
 // OpenVDB mapping pipeline get from immutable/flattened map views.
 //
-// Representation: the canonical packed-key-sorted leaf array, plus a
-// first-level index — leaves and (reconstructed) inner nodes are bucketed
-// by the root child octant the OMU voxel scheduler routes by, then by
-// depth, as flat sorted arrays of packed aligned keys. Every query is a
-// short chain of binary searches; inner-node values are the max over the
-// descendant leaves, which is bit-identical to the octree's parent
-// max-propagation (max over the same floats is associative), so snapshot
-// answers match a flushed serial classify()/search() exactly — the
-// property tests/query/test_snapshot_equivalence.cpp enforces across all
-// three backends.
+// Representation: eight refcounted immutable *chunks*, one per first-level
+// branch (the root child octant the OMU voxel scheduler routes by). Each
+// chunk holds its branch's canonical leaf run plus per-depth flat sorted
+// arrays of packed aligned keys; reconstructed inner-node values are the
+// max over descendant leaves, which is bit-identical to the octree's
+// parent max-propagation (max over the same floats is associative), so
+// snapshot answers match a flushed serial classify()/search() exactly —
+// the property tests/query/test_snapshot_equivalence.cpp enforces across
+// all backends. Every query is a short chain of binary searches inside
+// one chunk.
+//
+// The chunk split is what makes publication O(changed): build_incremental
+// rebuilds only the branches a MapSnapshotDelta marks dirty and shares
+// the remaining chunks — by shared_ptr, no copy — with the previous
+// epoch. A reader holding an old snapshot keeps exactly the chunks that
+// epoch referenced alive; chunks die when the last snapshot referencing
+// them does.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -62,9 +71,63 @@ struct SnapshotNodeProbe {
 /// snapshot alive across a concurrent publication of its successor.
 class MapSnapshot {
  public:
+  /// One depth level of one first-level branch: parallel sorted arrays of
+  /// packed depth-aligned keys and node values.
+  struct Level {
+    std::vector<uint64_t> leaf_keys;
+    std::vector<float> leaf_values;
+    std::vector<uint64_t> inner_keys;
+    std::vector<float> inner_max;  ///< max log-odds over descendant leaves
+  };
+
+  /// The immutable flattened content of one first-level branch. Built
+  /// once, then shared read-only between every snapshot epoch in which the
+  /// branch did not change; freed when the last snapshot referencing it is
+  /// dropped. Exposed (read-only) so tests can assert the sharing and
+  /// lifetime properties directly.
+  class Chunk {
+   public:
+    /// This branch's leaves in canonical (packed key, depth) order.
+    const std::vector<map::LeafRecord>& leaves() const { return leaves_; }
+    std::size_t leaf_count() const { return leaves_.size(); }
+    /// Max log-odds over the branch's leaves (feeds the root's value).
+    float max_log_odds() const { return max_log_odds_; }
+    std::size_t memory_bytes() const;
+
+   private:
+    friend class MapSnapshot;
+    std::array<Level, map::kTreeDepth + 1> levels_;  ///< index 0 unused
+    std::vector<map::LeafRecord> leaves_;
+    float max_log_odds_ = 0.0f;
+  };
+
+  /// What an incremental build reused vs. rebuilt (facade stats surface
+  /// this as reused-vs-rebuilt bytes per flush).
+  struct BuildStats {
+    bool incremental = false;  ///< false = the build was a full rebuild
+    uint32_t chunks_reused = 0;
+    uint32_t chunks_rebuilt = 0;
+    std::size_t bytes_reused = 0;   ///< memory shared from the previous epoch
+    std::size_t bytes_rebuilt = 0;  ///< fresh memory allocated by this build
+  };
+
   /// Builds a snapshot from a backend's export. `epoch` tags the snapshot
   /// with its publication sequence number (see QueryService).
   static std::shared_ptr<const MapSnapshot> build(map::MapSnapshotData data, uint64_t epoch = 0);
+
+  /// Incremental build: rebuilds only the branches `delta` marks dirty and
+  /// shares every other chunk with `prev` — O(changed) time and fresh
+  /// memory. `prev` must be the snapshot built from the delta source's
+  /// previous harvest (the QueryService tracks this pairing). A full delta
+  /// degrades to build(). Produces bit-identical query answers and
+  /// flattened arrays to a full rebuild of the same backend state,
+  /// including the backend's root-collapse normalization: when all eight
+  /// spliced branches are a single equal-valued depth-1 leaf — the state
+  /// in which the sharded pipeline's merged-tree export prunes to one
+  /// depth-0 record — the result collapses the same way.
+  static std::shared_ptr<const MapSnapshot> build_incremental(
+      const MapSnapshot& prev, map::MapSnapshotDelta delta, uint64_t epoch,
+      BuildStats* stats = nullptr);
 
   /// Convenience: flushes the backend and snapshots its current content.
   static std::shared_ptr<const MapSnapshot> capture(map::MapBackend& backend, uint64_t epoch = 0);
@@ -113,42 +176,47 @@ class MapSnapshot {
   const map::OccupancyParams& params() const { return params_; }
   double resolution() const { return coder_.resolution(); }
   uint64_t epoch() const { return epoch_; }
-  std::size_t leaf_count() const { return leaves_.size(); }
-  bool empty() const { return leaves_.empty(); }
+  std::size_t leaf_count() const;
+  bool empty() const { return root_.kind == NodeKind::kUnknown; }
 
-  /// The canonical sorted leaf array the snapshot was built from.
-  const std::vector<map::LeafRecord>& leaves() const { return leaves_; }
+  /// The canonical sorted leaf array of the whole map. Incremental builds
+  /// materialize it lazily (merging the chunk runs, O(map), cached and
+  /// thread-safe) — the query paths never need it, so an O(changed) flush
+  /// stays O(changed) unless a consumer asks for the flat form.
+  const std::vector<map::LeafRecord>& leaves() const;
 
   /// Hash of the canonical leaf content, comparable with the backends'
-  /// content_hash() (same depth>=1 normalization).
-  uint64_t content_hash() const { return content_hash_; }
+  /// content_hash() (same depth>=1 normalization). Lazily computed with
+  /// leaves(), then cached.
+  uint64_t content_hash() const;
 
-  /// Approximate memory footprint of the flattened structure in bytes.
+  /// The refcounted chunk of first-level branch `branch` (0..7); null when
+  /// the branch is unknown or the map is a collapsed depth-0 leaf. Two
+  /// consecutive epochs returning the same pointer shared the branch.
+  std::shared_ptr<const Chunk> branch_chunk(int branch) const {
+    return chunks_[static_cast<std::size_t>(branch)];
+  }
+
+  /// Approximate memory footprint in bytes. Chunks are counted fully even
+  /// when shared with other epochs (each snapshot answers for everything
+  /// it keeps alive); materialized lazy caches are included.
   std::size_t memory_bytes() const;
 
  private:
-  MapSnapshot(map::MapSnapshotData data, uint64_t epoch);
-
-  /// One depth level of one first-level branch: parallel sorted arrays of
-  /// packed depth-aligned keys and node values.
-  struct Level {
-    std::vector<uint64_t> leaf_keys;
-    std::vector<float> leaf_values;
-    std::vector<uint64_t> inner_keys;
-    std::vector<float> inner_max;  ///< max log-odds over descendant leaves
-  };
-
-  /// First-level index: the per-branch bucket of levels 1..16 (index 0 of
-  /// `levels` is unused; the root is held explicitly below).
-  struct Branch {
-    std::array<Level, map::kTreeDepth + 1> levels;
-  };
-
   enum class NodeKind : uint8_t { kUnknown, kLeaf, kInner };
   struct NodeLookup {
     NodeKind kind = NodeKind::kUnknown;
     float value = 0.0f;
   };
+
+  MapSnapshot(double resolution, const map::OccupancyParams& params, uint64_t epoch)
+      : coder_(resolution),
+        params_(params.quantized ? params.snapped_to_fixed_point() : params),
+        epoch_(epoch) {}
+
+  /// Builds the immutable chunk of one branch from its canonical leaf run.
+  /// Returns null for an empty run (unknown branch).
+  static std::shared_ptr<const Chunk> build_chunk(std::vector<map::LeafRecord> branch_leaves);
 
   /// Node at (aligned key, depth) — kLeaf with its value, kInner with the
   /// subtree max, or kUnknown.
@@ -157,13 +225,22 @@ class MapSnapshot {
   bool box_recurs(const map::OcKey& base, int depth, const geom::Aabb& box,
                   bool unknown_occupied) const;
 
+  /// Fills leaves_cache_/content_hash_cache_ under lazy_mutex_ (double-
+  /// checked via lazy_ready_). Full builds pre-fill in the constructor
+  /// path, so only incremental snapshots ever pay the merge.
+  void ensure_flat() const;
+
   map::KeyCoder coder_;
   map::OccupancyParams params_;
   uint64_t epoch_ = 0;
-  uint64_t content_hash_ = 0;
-  std::vector<map::LeafRecord> leaves_;
   NodeLookup root_;  ///< the depth-0 node
-  std::array<Branch, 8> branches_;
+  std::array<std::shared_ptr<const Chunk>, 8> chunks_;  ///< null = unknown branch
+
+  // Lazily materialized flat form (leaves() / content_hash()).
+  mutable std::mutex lazy_mutex_;
+  mutable std::atomic<bool> lazy_ready_{false};
+  mutable std::vector<map::LeafRecord> leaves_cache_;
+  mutable uint64_t content_hash_cache_ = 0;
 };
 
 }  // namespace omu::query

@@ -56,18 +56,86 @@ void QueryService::swap_in(std::shared_ptr<const MapSnapshot> next) {
 }
 
 uint64_t QueryService::publish(map::MapSnapshotData data) {
-  // Serialize publishers so epochs stay dense and monotonic; the build —
-  // the expensive part — happens here, outside the readers' swap mutex.
-  std::lock_guard lock(publish_mutex_);
-  const uint64_t epoch = publications_.load(std::memory_order_relaxed) + 1;
-  swap_in(MapSnapshot::build(std::move(data), epoch));
-  publications_.store(epoch, std::memory_order_release);
-  return epoch;
+  // A classic full publish is a full delta from an anonymous source: it
+  // rebuilds everything and resets the incremental pairing, so the next
+  // refresh_from of any backend starts from a full export.
+  map::MapSnapshotDelta delta;
+  delta.full = true;
+  delta.leaves = std::move(data.leaves);
+  delta.resolution = data.resolution;
+  delta.params = data.params;
+  delta.generation = 0;
+  return publish_delta(std::move(delta), nullptr);
 }
 
 uint64_t QueryService::refresh_from(map::MapBackend& backend) {
   backend.flush();
-  return publish(backend.export_snapshot_data());
+  // The export runs under the publish mutex: harvesting the backend's
+  // dirty accumulator and recording which snapshot it paired with must be
+  // atomic against other publishers.
+  std::lock_guard lock(publish_mutex_);
+  const uint64_t since = delta_source_ == &backend ? delta_generation_ : 0;
+  return publish_delta_locked(backend.export_snapshot_delta(since), &backend);
+}
+
+uint64_t QueryService::publish_delta(map::MapSnapshotDelta delta, const void* source) {
+  std::lock_guard lock(publish_mutex_);
+  return publish_delta_locked(std::move(delta), source);
+}
+
+uint64_t QueryService::delta_since(const void* source) const {
+  std::lock_guard lock(publish_mutex_);
+  return delta_source_ == source ? delta_generation_ : 0;
+}
+
+SnapshotPublishStats QueryService::publish_stats() const {
+  std::lock_guard lock(publish_mutex_);
+  return publish_stats_;
+}
+
+uint64_t QueryService::publish_delta_locked(map::MapSnapshotDelta delta, const void* source) {
+  const uint64_t generation = delta.generation;
+  if (!delta.full && delta.dirty_mask == 0) {
+    // Nothing changed since this source's last delta: publish-free no-op.
+    // Readers keep the current epoch and all its chunks.
+    publish_stats_.noop_refreshes++;
+    if (source != nullptr && delta_source_ == source) delta_generation_ = generation;
+    return publications_.load(std::memory_order_relaxed);
+  }
+
+  const uint64_t epoch = publications_.load(std::memory_order_relaxed) + 1;
+  MapSnapshot::BuildStats build_stats;
+  std::shared_ptr<const MapSnapshot> next;
+  if (delta.full || delta_source_ != source || !delta_base_) {
+    if (!delta.full) {
+      // delta_since(source) returns 0 without a pairing, which forces the
+      // backend to answer full — an incremental delta here is a caller bug.
+      throw std::logic_error("QueryService::publish_delta: incremental delta without a base");
+    }
+    next = MapSnapshot::build(
+        map::MapSnapshotData{std::move(delta.leaves), delta.resolution, delta.params}, epoch);
+    for (int b = 0; b < 8; ++b) {
+      if (const auto chunk = next->branch_chunk(b)) {
+        build_stats.chunks_rebuilt++;
+        build_stats.bytes_rebuilt += chunk->memory_bytes();
+      }
+    }
+  } else {
+    next = MapSnapshot::build_incremental(*delta_base_, std::move(delta), epoch, &build_stats);
+    publish_stats_.incremental_publications++;
+  }
+  publish_stats_.chunks_reused += build_stats.chunks_reused;
+  publish_stats_.chunks_rebuilt += build_stats.chunks_rebuilt;
+  publish_stats_.bytes_reused += build_stats.bytes_reused;
+  publish_stats_.bytes_rebuilt += build_stats.bytes_rebuilt;
+
+  delta_source_ = source;
+  delta_generation_ = generation;
+  delta_base_ = next;
+  swap_in(next);
+  publications_.store(epoch, std::memory_order_release);
+  publish_stats_.publications = epoch;
+  return epoch;
 }
 
 }  // namespace omu::query

@@ -42,6 +42,21 @@
 
 namespace omu::query {
 
+/// Cumulative counters of the service's publication side: how many epochs
+/// were published, how many were incremental splices, how many refreshes
+/// were skipped outright because nothing changed, and how much chunk
+/// memory the incremental builds shared vs. allocated. Snapshot-consistent
+/// (copied under the publish mutex).
+struct SnapshotPublishStats {
+  uint64_t publications = 0;              ///< epochs actually published
+  uint64_t incremental_publications = 0;  ///< of which spliced onto the previous epoch
+  uint64_t noop_refreshes = 0;            ///< refreshes skipped: empty delta, no new epoch
+  uint64_t chunks_reused = 0;
+  uint64_t chunks_rebuilt = 0;
+  std::size_t bytes_reused = 0;   ///< chunk bytes shared from previous epochs
+  std::size_t bytes_rebuilt = 0;  ///< chunk bytes freshly built
+};
+
 /// Publishes immutable map snapshots to concurrent readers.
 class QueryService {
  public:
@@ -79,17 +94,38 @@ class QueryService {
 
   /// Builds a snapshot from exported data and publishes it under the next
   /// epoch. Returns that epoch. The build runs outside the reader-visible
-  /// swap mutex; only the pointer swap itself excludes readers.
+  /// swap mutex; only the pointer swap itself excludes readers. Always a
+  /// full rebuild — prefer refresh_from / publish_delta, which splice
+  /// unchanged chunks from the previous epoch.
   uint64_t publish(map::MapSnapshotData data);
 
-  /// Flushes the backend and publishes its current content: the epoch
-  /// boundary a caller invokes at the cadence its consumers need. Don't
-  /// combine with ShardedMapPipeline::attach_query_service on the same
-  /// backend — its flush() already publishes, so refresh_from would build
-  /// and publish the identical content a second time (two epochs per
-  /// refresh). Pick one publication path: attach (publish every flush) or
-  /// refresh_from (publish on the caller's schedule).
+  /// Flushes the backend and publishes its changes since this service's
+  /// previous refresh of the same backend, splicing unchanged branch
+  /// chunks from that epoch's snapshot (O(changed) build). When nothing
+  /// changed, no epoch is published at all — readers keep the current
+  /// snapshot, and its epoch is returned. Falls back to a full rebuild on
+  /// the first refresh, on a source change, and whenever the backend
+  /// reports it (whole-tree mutations, collapsed root, no tracking).
+  /// Don't combine with ShardedMapPipeline::attach_query_service on the
+  /// same backend — its flush() already publishes. Pick one publication
+  /// path: attach (publish every flush) or refresh_from (publish on the
+  /// caller's schedule).
   uint64_t refresh_from(map::MapBackend& backend);
+
+  /// Publishes a delta the caller exported itself (the sharded pipeline
+  /// brackets its export with routing-stability re-checks before handing
+  /// it over). `source` identifies the exporter: an incremental delta is
+  /// spliced onto the snapshot built from that source's previous delta.
+  /// Obtain since_generation for the export via delta_since(source).
+  /// Returns the published epoch (or the current epoch for an empty
+  /// incremental delta, which publishes nothing).
+  uint64_t publish_delta(map::MapSnapshotDelta delta, const void* source);
+
+  /// The since_generation to pass to MapBackend::export_snapshot_delta so
+  /// the result can be spliced by publish_delta(…, source): the generation
+  /// of that source's last published delta, or 0 (forcing a full export)
+  /// when the service has no splice base from it.
+  uint64_t delta_since(const void* source) const;
 
   // ---- Introspection -----------------------------------------------------
 
@@ -98,6 +134,9 @@ class QueryService {
 
   /// Total snapshots published (excluding the placeholder).
   uint64_t publications() const { return publications_.load(std::memory_order_relaxed); }
+
+  /// Publication-side counters (see SnapshotPublishStats).
+  SnapshotPublishStats publish_stats() const;
 
  private:
   /// Per-thread cache of the last snapshots a thread observed, a few
@@ -119,11 +158,25 @@ class QueryService {
 
   void swap_in(std::shared_ptr<const MapSnapshot> next);
 
+  uint64_t publish_delta_locked(map::MapSnapshotDelta delta, const void* source);
+
   std::shared_ptr<const MapSnapshot> current_;  ///< guarded by swap_mutex_
   mutable std::mutex swap_mutex_;  ///< guards current_; held only across pointer swaps
   std::atomic<uint64_t> current_version_{0};  ///< globally unique per publication
-  std::mutex publish_mutex_;  ///< serializes publishers (and their builds)
+  mutable std::mutex publish_mutex_;  ///< serializes publishers (and their builds)
   std::atomic<uint64_t> publications_{0};
+
+  // Incremental splice state, guarded by publish_mutex_: the snapshot
+  // built from delta_source_'s last delta (generation delta_generation_).
+  // An incremental delta from the same source splices onto delta_base_; a
+  // publish from anyone else resets the pairing, so the next refresh of
+  // the source is a full rebuild. delta_base_ == current_ in the supported
+  // single-publisher flow, but correctness only needs the pairing: base +
+  // delta is the source backend's full state regardless of current_.
+  const void* delta_source_ = nullptr;
+  uint64_t delta_generation_ = 0;
+  std::shared_ptr<const MapSnapshot> delta_base_;
+  SnapshotPublishStats publish_stats_;  ///< guarded by publish_mutex_
 
   static std::atomic<uint64_t> next_version_;
 };

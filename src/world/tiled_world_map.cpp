@@ -91,7 +91,16 @@ void TiledWorldMap::flush() {
     if (map::TileBackend* tile = pager_.resident_backend(id)) tile->backend().flush();
   }
   sync_manifest_locked();
-  if (view_service_ != nullptr) view_service_->publish(capture_view_locked());
+  if (view_service_ == nullptr) return;
+  if (published_once_ && updates_applied_ == published_updates_) {
+    // No update landed since the last published view: publish-free no-op
+    // — readers keep the current view and its epoch.
+    view_stats_.noop_flushes++;
+    return;
+  }
+  view_service_->publish(capture_view_locked());
+  published_once_ = true;
+  published_updates_ = updates_applied_;
 }
 
 map::Occupancy TiledWorldMap::classify(const map::OcKey& key) {
@@ -137,26 +146,62 @@ std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view_locked() {
   for (const TileId id : known) {
     const uint64_t version = pager_.version(id);
     const auto cached = snapshot_cache_.find(id);
-    std::shared_ptr<const query::MapSnapshot> snapshot;
-    if (cached != snapshot_cache_.end() && cached->second.version == version) {
-      snapshot = cached->second.snapshot.lock();  // null if no view holds it anymore
+    std::shared_ptr<const query::MapSnapshot> prev;
+    uint64_t prev_generation = 0;
+    if (cached != snapshot_cache_.end()) {
+      prev = cached->second.snapshot.lock();  // null if no view holds it anymore
+      prev_generation = cached->second.delta_generation;
     }
-    if (snapshot == nullptr) {
-      map::MapSnapshotData data;
-      if (map::TileBackend* tile = pager_.resident_backend(id)) {
-        tile->backend().flush();
-        data = tile->backend().export_snapshot_data();
+
+    std::shared_ptr<const query::MapSnapshot> snapshot;
+    if (prev != nullptr && cached->second.version == version) {
+      // Unchanged tile still alive through some view: share it outright.
+      snapshot = prev;
+      view_stats_.tiles_reused++;
+      view_stats_.bytes_reused += snapshot->memory_bytes();
+    } else if (map::TileBackend* tile = pager_.resident_backend(id)) {
+      tile->backend().flush();
+      // Branch-level splice within the changed tile: export only the
+      // first-level branches touched since the cached snapshot's harvest.
+      // An evicted-and-reloaded tile has a fresh backend whose generation
+      // cannot match, so it answers full — eviction forces a rebuild.
+      map::MapSnapshotDelta delta =
+          tile->backend().export_snapshot_delta(prev != nullptr ? prev_generation : 0);
+      const uint64_t generation = delta.generation;
+      if (!delta.full && delta.dirty_mask == 0 && prev != nullptr) {
+        // The tile's version moved but its content did not (saturated
+        // updates): keep sharing the previous snapshot.
+        snapshot = prev;
+        view_stats_.tiles_reused++;
+        view_stats_.bytes_reused += snapshot->memory_bytes();
+      } else if (!delta.full && prev != nullptr) {
+        query::MapSnapshot::BuildStats bstats;
+        snapshot = query::MapSnapshot::build_incremental(*prev, std::move(delta), version, &bstats);
+        view_stats_.tiles_spliced++;
+        view_stats_.bytes_reused += bstats.bytes_reused;
+        view_stats_.bytes_rebuilt += bstats.bytes_rebuilt;
       } else {
-        // On-demand load of an evicted tile, off-residency: the snapshot
-        // is read-side memory, not a paged-in tile.
-        const std::unique_ptr<map::TileBackend> tile_copy = pager_.read_transient(id);
-        data = tile_copy->backend().export_snapshot_data();
+        snapshot = query::MapSnapshot::build(
+            map::MapSnapshotData{std::move(delta.leaves), delta.resolution, delta.params},
+            version);
+        view_stats_.tiles_rebuilt++;
+        view_stats_.bytes_rebuilt += snapshot->memory_bytes();
       }
-      snapshot = query::MapSnapshot::build(std::move(data), version);
-      snapshot_cache_[id] = CachedSnapshot{snapshot, version};
+      snapshot_cache_[id] = CachedSnapshot{snapshot, version, generation};
+    } else {
+      // On-demand load of an evicted tile, off-residency: the snapshot is
+      // read-side memory, not a paged-in tile. Full export — a transient
+      // copy has no dirty accumulator history; generation 0 forces the
+      // next resident export to answer full too.
+      const std::unique_ptr<map::TileBackend> tile_copy = pager_.read_transient(id);
+      snapshot = query::MapSnapshot::build(tile_copy->backend().export_snapshot_data(), version);
+      view_stats_.tiles_rebuilt++;
+      view_stats_.bytes_rebuilt += snapshot->memory_bytes();
+      snapshot_cache_[id] = CachedSnapshot{snapshot, version, 0};
     }
     tiles.emplace_back(id, std::move(snapshot));
   }
+  view_stats_.views_built++;
   return WorldQueryView::build(grid_, params_, std::move(tiles), ++view_epoch_);
 }
 
@@ -164,7 +209,11 @@ void TiledWorldMap::attach_view_service(WorldViewService* service) {
   std::lock_guard lock(mutex_);
   view_service_ = service;
   // Publish immediately so an attached service never hands out nullptr.
-  if (view_service_ != nullptr) view_service_->publish(capture_view_locked());
+  if (view_service_ != nullptr) {
+    view_service_->publish(capture_view_locked());
+    published_once_ = true;
+    published_updates_ = updates_applied_;
+  }
 }
 
 void TiledWorldMap::save() {
@@ -216,6 +265,11 @@ TilePagerStats TiledWorldMap::pager_stats() const {
 uint64_t TiledWorldMap::updates_applied() const {
   std::lock_guard lock(mutex_);
   return updates_applied_;
+}
+
+WorldViewBuildStats TiledWorldMap::view_build_stats() const {
+  std::lock_guard lock(mutex_);
+  return view_stats_;
 }
 
 }  // namespace omu::world

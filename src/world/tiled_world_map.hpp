@@ -76,6 +76,22 @@ struct TiledWorldConfig {
   std::string directory;
 };
 
+/// Cumulative counters of the world's view-publication side: how many
+/// views were built, how many flush boundaries published nothing because
+/// no update had landed, and — per tile snapshot — whether a capture
+/// shared the previous epoch's snapshot outright, spliced only its dirty
+/// branches, or rebuilt it from scratch (eviction/reload always forces a
+/// rebuild: the reloaded backend's dirty accumulator starts over).
+struct WorldViewBuildStats {
+  uint64_t views_built = 0;    ///< views actually constructed and published
+  uint64_t noop_flushes = 0;   ///< flush() boundaries skipped: no new epoch
+  uint64_t tiles_reused = 0;   ///< tile snapshots shared by pointer
+  uint64_t tiles_spliced = 0;  ///< tile snapshots rebuilt only in dirty branches
+  uint64_t tiles_rebuilt = 0;  ///< tile snapshots rebuilt in full
+  std::size_t bytes_reused = 0;   ///< snapshot bytes shared from previous epochs
+  std::size_t bytes_rebuilt = 0;  ///< snapshot bytes freshly built
+};
+
 /// The tiled out-of-core world map (a map::MapBackend).
 class TiledWorldMap final : public map::MapBackend {
  public:
@@ -114,7 +130,11 @@ class TiledWorldMap final : public map::MapBackend {
 
   /// Flushes every resident tile backend, then publishes a fresh
   /// WorldQueryView to the attached view service (if any) — the epoch
-  /// boundary concurrent readers observe.
+  /// boundary concurrent readers observe. Publication is O(changed):
+  /// unchanged tiles share their snapshot with the previous view, changed
+  /// resident tiles splice only their dirty first-level branches, and a
+  /// flush with no updates since the last published view publishes no
+  /// epoch at all.
   void flush() override;
 
   /// Classifies a voxel against the live map, synchronously reloading the
@@ -154,6 +174,8 @@ class TiledWorldMap final : public map::MapBackend {
   TilePagerStats pager_stats() const;
   /// Voxel updates applied so far.
   uint64_t updates_applied() const;
+  /// View-publication counters (see WorldViewBuildStats).
+  WorldViewBuildStats view_build_stats() const;
 
  private:
   /// Tag for the open() path, which must skip the fresh-constructor guard
@@ -191,8 +213,16 @@ class TiledWorldMap final : public map::MapBackend {
   struct CachedSnapshot {
     std::weak_ptr<const query::MapSnapshot> snapshot;
     uint64_t version = 0;
+    /// Generation of the tile backend's dirty harvest the snapshot was
+    /// built from; pairs the snapshot with export_snapshot_delta so a
+    /// changed tile splices only its dirty branches onto it.
+    uint64_t delta_generation = 0;
   };
   std::unordered_map<TileId, CachedSnapshot> snapshot_cache_;  ///< guarded by mutex_
+
+  WorldViewBuildStats view_stats_;     ///< guarded by mutex_
+  bool published_once_ = false;        ///< guarded by mutex_
+  uint64_t published_updates_ = 0;     ///< updates_applied_ at last publish
 
   // Routing scratch, reused batch over batch (guarded by mutex_).
   std::vector<map::UpdateBatch> split_;

@@ -35,15 +35,26 @@ TEST(MapperLifecycle, FlushPublishesNewEpochsAndCountsStats) {
   EXPECT_GT(first.leaf_count(), 0u);
   const uint64_t first_epoch = first.epoch();
 
+  // A flush with nothing new is publish-free: readers keep the epoch.
+  ASSERT_TRUE(mapper.flush().ok());
+  EXPECT_EQ(mapper.snapshot().value().epoch(), first_epoch);
+  EXPECT_EQ(mapper.stats().noop_flushes, 1u);
+
+  // New content publishes a new epoch.
+  const float point[] = {4.0f, 2.0f, 1.0f};
+  ASSERT_TRUE(mapper.insert_scan(point, 1, Vec3{0, 0, 0}).ok());
   ASSERT_TRUE(mapper.flush().ok());
   EXPECT_GT(mapper.snapshot().value().epoch(), first_epoch);
 
   const MapperStats stats = mapper.stats();
-  EXPECT_EQ(stats.scans_inserted, test_scans().size());
+  EXPECT_EQ(stats.scans_inserted, test_scans().size() + 1);
   EXPECT_GT(stats.points_inserted, 0u);
   EXPECT_GT(stats.voxel_updates, stats.points_inserted);  // rays free >1 voxel
-  EXPECT_EQ(stats.flushes, 2u);
+  EXPECT_EQ(stats.flushes, 3u);
   EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_EQ(stats.snapshots_published, 2u);
+  EXPECT_GE(stats.incremental_publications, 1u);  // second publish spliced
+  EXPECT_GT(stats.snapshot_bytes_reused, 0u);     // unchanged branches shared
 }
 
 TEST(MapperLifecycle, ViewSurvivesMapperClose) {

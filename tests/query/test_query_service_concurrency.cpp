@@ -210,6 +210,85 @@ TEST(QueryServiceConcurrency, ConcurrentFlushesNeverPublishStaleContent) {
   EXPECT_EQ(service.snapshot()->leaf_count(), static_cast<std::size_t>(kRounds));
 }
 
+TEST(QueryServiceConcurrency, ReadersRaceIncrementalChurnPublications) {
+  // Incremental publication under readers: the writer churns one octant
+  // (all-positive coordinates pin every update to a single first-level
+  // branch) and publishes spliced epochs, while readers hammer the live
+  // snapshot *and* force its lazy flat form (leaves()/content_hash() —
+  // several threads can hit the same snapshot's first materialization at
+  // once, exercising the double-checked ensure_flat path). Readers also
+  // hold superseded epochs and re-verify their hashes never move while
+  // later epochs splice chunks the held epoch still shares.
+  constexpr int kEpochs = 24;
+  constexpr int kReaders = 4;
+
+  QueryService service;
+  map::OccupancyOctree tree(0.2);
+  map::OctreeBackend backend(tree);
+  map::ScanInserter inserter(backend);
+
+  geom::SplitMix64 seed_rng(303);
+  // Base content in every octant so most chunks are shareable.
+  inserter.insert_scan(random_cloud(seed_rng, 400), {0.0, 0.1, 0.2});
+  service.refresh_from(backend);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      geom::SplitMix64 rng(static_cast<uint64_t>(r) * 1299709 + 7);
+      std::shared_ptr<const MapSnapshot> held;
+      uint64_t held_hash = 0;
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snapshot = service.snapshot();
+        ASSERT_GE(snapshot->epoch(), last_epoch);
+        last_epoch = snapshot->epoch();
+        // Race the lazy flat-form materialization with the other readers.
+        const uint64_t hash = snapshot->content_hash();
+        ASSERT_EQ(snapshot->leaves().size(), snapshot->leaf_count());
+        ASSERT_EQ(snapshot->content_hash(), hash);  // idempotent
+        // Point queries against the same immutable epoch.
+        for (int i = 0; i < 32; ++i) {
+          const OcKey key{static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                          static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(64) - 32),
+                          static_cast<uint16_t>(map::kKeyOrigin + rng.next_below(16) - 8)};
+          snapshot->classify(key);
+        }
+        if (held == nullptr) {
+          held = snapshot;
+          held_hash = hash;
+        } else {
+          // The held epoch shares chunks with snapshots the writer keeps
+          // splicing; its content must never move.
+          ASSERT_EQ(held->content_hash(), held_hash);
+          if (rng.next_below(8) == 0) held.reset();  // rotate the held epoch
+        }
+      }
+    });
+  }
+
+  geom::SplitMix64 churn_rng(909);
+  for (int e = 0; e < kEpochs; ++e) {
+    geom::PointCloud cloud;
+    for (int i = 0; i < 60; ++i) {
+      cloud.push_back(geom::Vec3f{static_cast<float>(churn_rng.uniform(2, 6)),
+                                  static_cast<float>(churn_rng.uniform(2, 6)),
+                                  static_cast<float>(churn_rng.uniform(0.3, 1.5))});
+    }
+    inserter.insert_scan(cloud, {2.0, 2.0, 0.5});
+    service.refresh_from(backend);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  const SnapshotPublishStats stats = service.publish_stats();
+  EXPECT_EQ(stats.publications, static_cast<uint64_t>(kEpochs) + 1);
+  EXPECT_GT(stats.incremental_publications, 0u);
+  EXPECT_GT(stats.chunks_reused, 0u);
+  EXPECT_EQ(service.snapshot()->content_hash(), tree.content_hash());
+}
+
 TEST(QueryServiceConcurrency, ConcurrentPublishersSerializeWithMonotonicEpochs) {
   // Several threads publishing concurrently (e.g. two pipelines flushing):
   // epochs stay dense and monotonic, the final count is exact.

@@ -200,6 +200,16 @@ TEST(WorldQueryView, ViewEpochsIncreasePerCapture) {
   world.attach_view_service(&service);
   ASSERT_NE(service.view(), nullptr);  // attach publishes immediately
   const uint64_t first = service.view()->epoch();
+  // A flush with no update since the last published view is publish-free:
+  // readers keep the current view and its epoch.
+  world.flush();
+  EXPECT_EQ(service.view()->epoch(), first);
+  EXPECT_EQ(service.publications(), 1u);
+  EXPECT_EQ(world.view_build_stats().noop_flushes, 1u);
+  // A flush after an update publishes a fresh epoch.
+  map::ScanInserter inserter(world);
+  inserter.insert_scan(geom::PointCloud{{geom::Vec3f{2.0f, 1.0f, 0.5f}}},
+                       geom::Vec3d{0.0, 0.0, 0.0});
   world.flush();
   EXPECT_GT(service.view()->epoch(), first);
   EXPECT_EQ(service.publications(), 2u);
