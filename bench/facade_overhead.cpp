@@ -52,9 +52,9 @@ double measure_query_qps(int n, ClassifyFn&& classify_at) {
 MapperConfig config_for(const std::string& backend) {
   MapperConfig cfg = MapperConfig().resolution(0.2);
   if (backend == "sharded") {
-    cfg.backend(BackendKind::kSharded).threads(kShardThreads);
+    cfg.backend(BackendKind::kSharded).sharded({.threads = kShardThreads});
   } else if (backend == "world") {
-    cfg.backend(BackendKind::kTiledWorld).tile_shift(kTileShift);
+    cfg.backend(BackendKind::kTiledWorld).world({.tile_shift = kTileShift});
   }
   return cfg;
 }
@@ -127,8 +127,8 @@ void facade(benchkit::State& state) {
   const auto facade_start = std::chrono::steady_clock::now();
   for (const data::DatasetScan& scan : scans) {
     const geom::Vec3d origin = scan.pose.translation();
-    const Status s = mapper.insert_scan(&scan.points.points().front().x, scan.points.size(),
-                                        Vec3{origin.x, origin.y, origin.z});
+    const Status s = mapper.insert(&scan.points.points().front().x, scan.points.size(),
+                                   Vec3{origin.x, origin.y, origin.z});
     if (!s.ok()) throw std::runtime_error("facade insert failed: " + s.to_string());
   }
   if (Status s = mapper.flush(); !s.ok()) {
@@ -150,9 +150,9 @@ void facade(benchkit::State& state) {
   state.check("insert_overhead_sane", facade_insert_s < hand_insert_s * 2.0 + 0.05);
 
   const MapperStats stats = mapper.stats();
-  state.set_items_processed(stats.voxel_updates);
+  state.set_items_processed(stats.ingest.voxel_updates);
   state.set_counter("facade_insert_updates_per_sec",
-                    static_cast<double>(stats.voxel_updates) / facade_insert_s);
+                    static_cast<double>(stats.ingest.voxel_updates) / facade_insert_s);
   state.set_counter("vs_handwired_insert", hand_insert_s / facade_insert_s);
   state.set_counter("facade_mqps", facade_qps / 1e6);
   state.set_counter("vs_handwired_query", facade_qps / hand_qps);

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   Mapper reference = examples::require_value(
       Mapper::create(MapperConfig().resolution(0.2)), "Mapper::create(octree)");
   examples::stream_dataset(reference, dataset);
-  const std::size_t monolithic_bytes = reference.stats().memory_bytes;
+  const std::size_t monolithic_bytes = reference.stats().ingest.memory_bytes;
 
   // ---- Out-of-core pass: the identical stream through a tiled world -------
   // Budget: under half the monolithic footprint, so the pager must evict.
@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
       Mapper::create(MapperConfig()
                          .resolution(0.2)
                          .backend(BackendKind::kTiledWorld)
-                         .tile_shift(5)  // 6.4 m tiles; the corridor spans several
-                         .world_directory(world_dir)
-                         .resident_byte_budget(monolithic_bytes / 2)),
+                         .world({.directory = world_dir,  // 6.4 m tiles; the corridor
+                                 .resident_byte_budget = monolithic_bytes / 2,
+                                 .tile_shift = 5})),
       "Mapper::create(tiled-world)");
 
   examples::stream_dataset(world, dataset, [&](std::size_t i, const data::DatasetScan&) {
@@ -118,6 +118,6 @@ int main(int argc, char** argv) {
 
   if (!identical || !reload_ok) return 1;
   std::printf("\n%llu updates mapped out-of-core with zero accuracy loss\n",
-              static_cast<unsigned long long>(world.stats().voxel_updates));
+              static_cast<unsigned long long>(world.stats().ingest.voxel_updates));
   return 0;
 }

@@ -52,14 +52,14 @@ int main(int argc, char** argv) {
   }
   const MapperStats stats = mapper.stats();
   const double upd_per_pt =
-      static_cast<double>(stats.voxel_updates) / static_cast<double>(stats.points_inserted);
+      static_cast<double>(stats.ingest.voxel_updates) / static_cast<double>(stats.ingest.points_inserted);
   std::printf("generated        : %zu scans, %llu points, %llu updates (%.1f updates/pt, "
               "paper %.1f -> %+.0f%%)\n",
-              scans.size(), static_cast<unsigned long long>(stats.points_inserted),
-              static_cast<unsigned long long>(stats.voxel_updates), upd_per_pt,
+              scans.size(), static_cast<unsigned long long>(stats.ingest.points_inserted),
+              static_cast<unsigned long long>(stats.ingest.voxel_updates), upd_per_pt,
               paper.updates_per_point(), 100.0 * (upd_per_pt / paper.updates_per_point() - 1.0));
   std::printf("map              : %.1f KiB resident\n",
-              static_cast<double>(stats.memory_bytes) / 1024.0);
+              static_cast<double>(stats.ingest.memory_bytes) / 1024.0);
 
   // ---- Export to scan log and verify the round trip -----------------------
   const char* path = "dataset_export.scanlog";

@@ -45,8 +45,8 @@ T require_value(Result<T> result, const char* what) {
 /// (PointCloud stores contiguous float32 xyz triples).
 inline Status insert_cloud(Mapper& mapper, const geom::PointCloud& cloud,
                            const geom::Vec3d& origin) {
-  return mapper.insert_scan(cloud.empty() ? nullptr : &cloud.points().front().x, cloud.size(),
-                            Vec3{origin.x, origin.y, origin.z});
+  return mapper.insert(cloud.empty() ? nullptr : &cloud.points().front().x, cloud.size(),
+                       Vec3{origin.x, origin.y, origin.z});
 }
 
 /// A toy scan: endpoints on a noisy sphere of `radius` metres around the

@@ -33,9 +33,9 @@ int main() {
   const MapperStats sw_stats = software.stats();
   std::printf("software OctoMap (omu::Mapper, backend=octree):\n");
   std::printf("  points               : %llu\n",
-              static_cast<unsigned long long>(sw_stats.points_inserted));
+              static_cast<unsigned long long>(sw_stats.ingest.points_inserted));
   std::printf("  voxel updates        : %llu\n",
-              static_cast<unsigned long long>(sw_stats.voxel_updates));
+              static_cast<unsigned long long>(sw_stats.ingest.voxel_updates));
   std::printf("  leaf nodes           : %zu (pruning compresses free space)\n",
               software.internal_octree()->leaf_count());
 

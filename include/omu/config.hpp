@@ -2,17 +2,27 @@
 //
 // A MapperConfig describes a whole mapping session: metric resolution,
 // sensor model, which backend integrates updates (serial octree, the OMU
-// accelerator model, the key-sharded thread pipeline, or the tiled
-// out-of-core world map), and the mode-specific knobs (thread count,
-// resident-byte budget, world directory, tile span). Mapper::create
-// validates the combination up front and returns an actionable
-// Status::invalid_argument naming the offending field and value — a
-// misconfiguration is told at build time, never via a deep crash later.
+// accelerator model, the key-sharded thread pipeline, the tiled
+// out-of-core world map, or the hybrid dense-front write absorber), and
+// the mode-specific knobs grouped into one options struct per backend
+// (ShardedOptions, WorldOptions, HybridOptions, AcceleratorOptions).
+// Mapper::create validates the combination up front and returns an
+// actionable Status::invalid_argument naming the offending field and
+// value — a misconfiguration is told at build time, never via a deep
+// crash later.
 //
-//   auto mapper = omu::Mapper::create(omu::MapperConfig()
-//                                         .resolution(0.2)
-//                                         .backend(omu::BackendKind::kSharded)
-//                                         .threads(4));
+//   auto mapper = omu::Mapper::create(
+//       omu::MapperConfig()
+//           .resolution(0.2)
+//           .backend(omu::BackendKind::kSharded)
+//           .sharded({.threads = 4}));
+//
+// The pre-0.6 flat setters (threads, queue_depth, world_directory,
+// resident_byte_budget, tile_shift) still compile: they forward into the
+// nested option structs and warn once per process on first use. Mixing a
+// flat setter with its nested group in one config is rejected by
+// validate() — the two spellings of the same knob would silently shadow
+// each other otherwise.
 //
 // This header is part of the installed public API and must stay
 // self-contained: it may include only the C++ standard library and other
@@ -21,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -40,6 +51,7 @@ enum class BackendKind {
   kAccelerator, ///< cycle-level OMU accelerator model
   kSharded,     ///< key-sharded parallel pipeline (N threads, private shards)
   kTiledWorld,  ///< tiled out-of-core world map (disk paging, bounded RAM)
+  kHybrid,      ///< dense scrolling-window write absorber over a back backend
 };
 
 /// Short stable name of a backend kind ("octree", "accelerator", ...).
@@ -75,6 +87,44 @@ struct AcceleratorOptions {
   bool reuse_pruned_rows = true;     ///< prune address manager row recycling
 };
 
+/// Options of the key-sharded pipeline (BackendKind::kSharded, or the
+/// back backend of a hybrid session).
+struct ShardedOptions {
+  std::size_t threads = 1;       ///< worker threads / private octree shards
+  std::size_t queue_depth = 64;  ///< per-shard channel capacity in sub-batches
+};
+
+/// Options of the tiled out-of-core world map (BackendKind::kTiledWorld,
+/// or the back backend of a hybrid session).
+struct WorldOptions {
+  /// Manifest + tiles/ directory. Empty = purely in-memory world.
+  std::string directory;
+  /// Hard resident-tile byte budget (0 = unbounded; a nonzero budget
+  /// requires `directory` so cold tiles have somewhere to go).
+  std::size_t resident_byte_budget = 0;
+  /// log2 tile span in finest voxels per axis (1..16).
+  int tile_shift = 12;
+};
+
+/// Options of the hybrid dense-front write absorber
+/// (BackendKind::kHybrid): a fixed-size scrolling voxel window absorbs
+/// the update stream near the sensor and flushes per-voxel aggregated
+/// deltas into `back_backend` — bit-identical to inserting directly, but
+/// each hot voxel costs one tree edit per flush instead of one per ray.
+struct HybridOptions {
+  /// Dense window edge length in voxels (power of two in [2, 256]).
+  uint32_t window_voxels = 64;
+  /// Flush the window into the back backend once this many distinct
+  /// voxels are dirty (0 = only at scrolls and explicit flush boundaries,
+  /// i.e. a high water of window_voxels^3).
+  std::size_t flush_high_water = 0;
+  /// The durable map behind the window. Any kind except kAccelerator
+  /// (its map lives in modeled TreeMem and cannot absorb aggregated
+  /// deltas) and kHybrid (no nesting). Configure it through sharded() /
+  /// world() as usual.
+  BackendKind back_backend = BackendKind::kOctree;
+};
+
 /// Fluent builder for a Mapper session. Setters return *this so a whole
 /// configuration reads as one expression; validate() (also run by
 /// Mapper::create) reports the first offending field by name and value.
@@ -102,37 +152,26 @@ class MapperConfig {
     return *this;
   }
 
-  /// Worker threads / octree shards (kSharded only; default 1).
-  MapperConfig& threads(std::size_t count) {
-    threads_ = count;
+  /// Sharded-pipeline options (kSharded sessions, or hybrid sessions
+  /// whose back_backend is kSharded).
+  MapperConfig& sharded(const ShardedOptions& options) {
+    sharded_ = options;
+    nested_sharded_ = true;
     return *this;
   }
 
-  /// Per-shard channel capacity in sub-batches (kSharded back-pressure
-  /// bound; default 64).
-  MapperConfig& queue_depth(std::size_t depth) {
-    queue_depth_ = depth;
+  /// Tiled-world options (kTiledWorld sessions, or hybrid sessions whose
+  /// back_backend is kTiledWorld).
+  MapperConfig& world(const WorldOptions& options) {
+    world_ = options;
+    nested_world_ = true;
     return *this;
   }
 
-  /// Hard resident-tile byte budget (kTiledWorld only; 0 = unbounded;
-  /// requires world_directory so cold tiles have somewhere to go).
-  MapperConfig& resident_byte_budget(std::size_t bytes) {
-    resident_byte_budget_ = bytes;
-    return *this;
-  }
-
-  /// World directory for the tiled world map (manifest + tiles/);
-  /// kTiledWorld only. Empty = purely in-memory world.
-  MapperConfig& world_directory(std::string directory) {
-    world_directory_ = std::move(directory);
-    return *this;
-  }
-
-  /// log2 tile span in finest voxels per axis (kTiledWorld only; 1..16,
-  /// default 12).
-  MapperConfig& tile_shift(int shift) {
-    tile_shift_ = shift;
+  /// Hybrid write-absorber options (kHybrid only).
+  MapperConfig& hybrid(const HybridOptions& options) {
+    hybrid_ = options;
+    hybrid_set_ = true;
     return *this;
   }
 
@@ -150,37 +189,69 @@ class MapperConfig {
   /// caveat as Mapper's internal_*() accessors.
   MapperConfig& accelerator_config(const accel::OmuConfig& config);
 
+  // ---- Deprecated flat setters (pre-0.6 spelling) ------------------------
+  // Each forwards into its nested options group and warns once per
+  // process on first use; validate() rejects a config that mixes a flat
+  // setter with its nested group. New code: sharded({...}) / world({...}).
+
+  /// \deprecated Use sharded(ShardedOptions{.threads = ...}).
+  MapperConfig& threads(std::size_t count);
+  /// \deprecated Use sharded(ShardedOptions{.queue_depth = ...}).
+  MapperConfig& queue_depth(std::size_t depth);
+  /// \deprecated Use world(WorldOptions{.resident_byte_budget = ...}).
+  MapperConfig& resident_byte_budget(std::size_t bytes);
+  /// \deprecated Use world(WorldOptions{.directory = ...}).
+  MapperConfig& world_directory(std::string directory);
+  /// \deprecated Use world(WorldOptions{.tile_shift = ...}).
+  MapperConfig& tile_shift(int shift);
+
   // ---- Getters -----------------------------------------------------------
 
   double resolution() const { return resolution_; }
   BackendKind backend() const { return backend_; }
   const SensorModel& sensor_model() const { return sensor_model_; }
-  std::size_t threads() const { return threads_; }
-  std::size_t queue_depth() const { return queue_depth_; }
-  std::size_t resident_byte_budget() const { return resident_byte_budget_; }
-  const std::string& world_directory() const { return world_directory_; }
-  int tile_shift() const { return tile_shift_; }
+  const ShardedOptions& sharded() const { return sharded_; }
+  const WorldOptions& world() const { return world_; }
+  const HybridOptions& hybrid() const { return hybrid_; }
   const std::optional<AcceleratorOptions>& accelerator() const { return accelerator_; }
   /// Non-null when accelerator_config() was used.
   const accel::OmuConfig* accelerator_config() const { return accel_config_.get(); }
+
+  // Flat convenience getters (read the nested groups; never warn).
+  std::size_t threads() const { return sharded_.threads; }
+  std::size_t queue_depth() const { return sharded_.queue_depth; }
+  std::size_t resident_byte_budget() const { return world_.resident_byte_budget; }
+  const std::string& world_directory() const { return world_.directory; }
+  int tile_shift() const { return world_.tile_shift; }
 
   /// Checks the whole configuration; the returned error names the first
   /// offending field and the value it held. Mapper::create calls this.
   Status validate() const;
 
  private:
+  // Which deprecated flat setters were called (for the mixed-API check).
+  enum LegacyField : uint8_t {
+    kLegacyThreads = 1u << 0,
+    kLegacyQueueDepth = 1u << 1,
+    kLegacyBudget = 1u << 2,
+    kLegacyDirectory = 1u << 3,
+    kLegacyTileShift = 1u << 4,
+  };
+
   double resolution_ = 0.2;
   BackendKind backend_ = BackendKind::kOctree;
   SensorModel sensor_model_{};
-  std::size_t threads_ = 1;
-  std::size_t queue_depth_ = 64;
-  std::size_t resident_byte_budget_ = 0;
-  std::string world_directory_;
-  int tile_shift_ = 12;
+  ShardedOptions sharded_{};
+  WorldOptions world_{};
+  HybridOptions hybrid_{};
   std::optional<AcceleratorOptions> accelerator_;
   // shared_ptr so MapperConfig stays copyable with only a forward
   // declaration of the internal type (the control block owns the deleter).
   std::shared_ptr<const accel::OmuConfig> accel_config_;
+  bool nested_sharded_ = false;  ///< sharded({...}) was called
+  bool nested_world_ = false;    ///< world({...}) was called
+  bool hybrid_set_ = false;      ///< hybrid({...}) was called
+  uint8_t legacy_fields_ = 0;    ///< LegacyField bits of flat setters used
 };
 
 }  // namespace omu

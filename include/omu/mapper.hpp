@@ -5,12 +5,15 @@
 // publishes immutable MapViews at flush boundaries, answers live queries,
 // and persists its map — whichever engine the config selected:
 //
-//   create/open -> insert_scan/insert_rays -> flush -> snapshot()/classify
+//   create/open -> insert -> flush -> snapshot()/classify
 //               -> save/save_map -> close
 //
 // Internally the facade composes the existing subsystems — the serial
 // octree, the OMU accelerator model, the key-sharded thread pipeline, the
-// tiled out-of-core world map, and the concurrent query/view services —
+// tiled out-of-core world map, the hybrid dense-front write absorber
+// (a scrolling voxel window that follows the sensor origin and flushes
+// aggregated per-voxel deltas into a back backend), and the concurrent
+// query/view services —
 // so every combination the config can express routes through one code
 // path, and maps built through the facade are bit-identical to hand-wired
 // sessions of the same backend (tests/facade enforces this).
@@ -61,6 +64,9 @@ class TiledWorldMap;
 }
 namespace omu::query {
 class QueryService;
+}
+namespace omu::localgrid {
+class HybridMapBackend;
 }
 
 namespace omu {
@@ -113,22 +119,48 @@ class Mapper {
 
   // ---- Ingest ------------------------------------------------------------
 
-  /// Integrates one scan: `point_count` world-frame float32 endpoints as
-  /// packed xyz triples, ray-cast from `origin`.
-  Status insert_scan(const float* xyz, std::size_t point_count, const Vec3& origin);
+  /// Integrates one scan described by a non-owning ScanView: endpoints
+  /// ray-cast from the shared origin, or — when scan.ray_origins is set —
+  /// from each ray's own origin (consecutive rays sharing an origin are
+  /// integrated as one scan, so a sorted ray stream costs the same as a
+  /// plain scan). This is the one ingest entry point; every other insert
+  /// overload and the legacy insert_scan/insert_rays names funnel here.
+  Status insert(const ScanView& scan);
+
+  /// Integrates `point_count` world-frame float32 endpoints as packed xyz
+  /// triples, ray-cast from `origin`.
+  Status insert(const float* xyz, std::size_t point_count, const Vec3& origin);
 
   /// Same, from a vector of Points.
-  Status insert_scan(const std::vector<Point>& points, const Vec3& origin) {
-    return insert_scan(points.empty() ? nullptr : &points.front().x, points.size(), origin);
+  Status insert(const std::vector<Point>& points, const Vec3& origin) {
+    ScanView scan;
+    scan.points = points.empty() ? nullptr : points.data();
+    scan.point_count = points.size();
+    scan.origin = origin;
+    return insert(scan);
   }
 
   /// Integrates explicit rays (free space along each ray + occupied
-  /// endpoint). Consecutive rays sharing an origin are integrated as one
-  /// scan, so a sorted ray stream costs the same as insert_scan.
-  Status insert_rays(const Ray* rays, std::size_t ray_count);
-  Status insert_rays(const std::vector<Ray>& rays) {
-    return insert_rays(rays.empty() ? nullptr : rays.data(), rays.size());
+  /// endpoint), each from its own origin.
+  Status insert(const Ray* rays, std::size_t ray_count);
+  Status insert(const std::vector<Ray>& rays) {
+    return insert(rays.empty() ? nullptr : rays.data(), rays.size());
   }
+
+  // Legacy ingest names (pre-0.6): thin forwarders to insert().
+
+  /// \deprecated Use insert(xyz, point_count, origin).
+  Status insert_scan(const float* xyz, std::size_t point_count, const Vec3& origin) {
+    return insert(xyz, point_count, origin);
+  }
+  /// \deprecated Use insert(points, origin).
+  Status insert_scan(const std::vector<Point>& points, const Vec3& origin) {
+    return insert(points, origin);
+  }
+  /// \deprecated Use insert(rays, ray_count).
+  Status insert_rays(const Ray* rays, std::size_t ray_count) { return insert(rays, ray_count); }
+  /// \deprecated Use insert(rays).
+  Status insert_rays(const std::vector<Ray>& rays) { return insert(rays); }
 
   /// Retires any asynchronous backlog (sharded queues, accelerator
   /// pipeline, dirty tiles) and publishes a fresh snapshot/view — the
@@ -176,10 +208,13 @@ class Mapper {
   std::string backend_name() const;
   double resolution() const;
 
-  /// Cheap cumulative session counters.
+  /// Cheap cumulative session counters, grouped per subsystem:
+  /// stats().ingest / .publication / .paging / .absorber.
   MapperStats stats() const;
 
-  /// Paging counters (kTiledWorld sessions; kFailedPrecondition otherwise).
+  /// Paging counters (sessions with a tiled world — kTiledWorld or
+  /// hybrid-over-world; kFailedPrecondition otherwise). The same numbers
+  /// appear in stats().paging.
   Result<WorldPagingStats> paging_stats() const;
 
   /// Hash of the canonical merged leaf content — equal hashes mean
@@ -196,6 +231,10 @@ class Mapper {
   accel::OmuAccelerator* internal_accelerator();
   pipeline::ShardedMapPipeline* internal_pipeline();
   world::TiledWorldMap* internal_world();
+  /// The hybrid write absorber (kHybrid sessions). The back backend is
+  /// still reachable through the engine accessors above (e.g.
+  /// internal_pipeline() for a hybrid-over-sharded session).
+  localgrid::HybridMapBackend* internal_hybrid();
   /// The snapshot publication service (non-world sessions; nullptr for
   /// kTiledWorld, whose views publish through its internal view service).
   query::QueryService* internal_query_service();

@@ -2,10 +2,12 @@
 //
 //   #include <omu/omu.hpp>
 //
-//   auto mapper = omu::Mapper::create(
-//       omu::MapperConfig().resolution(0.2).backend(omu::BackendKind::kSharded).threads(4));
+//   auto mapper = omu::Mapper::create(omu::MapperConfig()
+//                                         .resolution(0.2)
+//                                         .backend(omu::BackendKind::kSharded)
+//                                         .sharded({.threads = 4}));
 //   if (!mapper.ok()) { /* mapper.status() names the offending field */ }
-//   mapper->insert_scan(points, origin);
+//   mapper->insert(points, origin);
 //   mapper->flush();
 //   omu::MapView view = mapper->snapshot().value();
 //   if (view.classify({1.0, 2.0, 0.5}) == omu::Occupancy::kOccupied) { ... }

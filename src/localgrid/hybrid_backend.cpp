@@ -1,0 +1,82 @@
+#include "localgrid/hybrid_backend.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace omu::localgrid {
+
+namespace {
+std::size_t window_capacity(uint32_t window_voxels) {
+  return static_cast<std::size_t>(window_voxels) * window_voxels * window_voxels;
+}
+}  // namespace
+
+HybridMapBackend::HybridMapBackend(map::MapBackend& back, const HybridConfig& config)
+    : back_(&back),
+      cfg_(config),
+      grid_(config.window_voxels, back.occupancy_params()) {
+  const std::size_t capacity = window_capacity(cfg_.window_voxels);
+  high_water_ = cfg_.flush_high_water == 0 ? capacity : cfg_.flush_high_water;
+  if (high_water_ > capacity) {
+    throw std::invalid_argument(
+        "HybridMapBackend: flush_high_water " + std::to_string(high_water_) +
+        " exceeds the window capacity " + std::to_string(capacity) + " (window_voxels^3)");
+  }
+}
+
+void HybridMapBackend::apply(const map::UpdateBatch& batch) {
+  if (batch.empty()) return;
+  const map::OccupancyParams params = grid_.params();
+  pass_through_.clear();
+  for (const map::VoxelUpdate& u : batch) {
+    if (grid_.contains(u.key)) {
+      grid_.absorb(u.key, u.occupied ? params.log_hit : params.log_miss);
+      ++stats_.updates_absorbed;
+    } else {
+      pass_through_.push(u);
+    }
+  }
+  if (!pass_through_.empty()) {
+    stats_.updates_passed_through += pass_through_.size();
+    back_->apply(pass_through_);
+  }
+  if (grid_.dirty_count() >= high_water_) {
+    ++stats_.high_water_flushes;
+    drain_window();
+  }
+}
+
+void HybridMapBackend::drain_window() {
+  if (grid_.dirty_count() == 0) return;
+  flush_scratch_.clear();
+  grid_.drain(flush_scratch_);
+  stats_.voxels_flushed += flush_scratch_.size();
+  ++stats_.window_flushes;
+  back_->apply_aggregated(flush_scratch_);
+}
+
+void HybridMapBackend::flush() {
+  drain_window();
+  back_->flush();
+}
+
+void HybridMapBackend::follow(const geom::Vec3d& origin) {
+  const auto key = coder().key_for(origin);
+  if (!key) return;
+  const uint32_t w = grid_.window_voxels();
+  const std::array<uint16_t, 3> desired = {
+      static_cast<uint16_t>((*key)[0] - w / 2),
+      static_cast<uint16_t>((*key)[1] - w / 2),
+      static_cast<uint16_t>((*key)[2] - w / 2)};
+  if (desired == grid_.base()) return;
+  flush_scratch_.clear();
+  grid_.scroll(desired, flush_scratch_);
+  ++stats_.scrolls;
+  if (!flush_scratch_.empty()) {
+    stats_.scroll_evictions += flush_scratch_.size();
+    stats_.voxels_flushed += flush_scratch_.size();
+    back_->apply_aggregated(flush_scratch_);
+  }
+}
+
+}  // namespace omu::localgrid

@@ -1,0 +1,149 @@
+#include "localgrid/scrolling_grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "geom/kernels/key_kernels.hpp"
+#include "geom/kernels/logodds_kernels.hpp"
+
+namespace omu::localgrid {
+
+namespace {
+bool is_power_of_two(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+ScrollingGrid::ScrollingGrid(uint32_t window_voxels, const map::OccupancyParams& params)
+    // Snap like OccupancyOctree's constructor does (idempotent): some
+    // backends hand out their raw config params, but their trees update
+    // with the snapped ones, and the composition must match bitwise.
+    : window_(window_voxels), params_(params.quantized ? params.snapped_to_fixed_point() : params) {
+  if (!is_power_of_two(window_voxels) || window_voxels < 2 || window_voxels > 256) {
+    throw std::invalid_argument("ScrollingGrid: window_voxels must be a power of two in "
+                                "[2, 256], got " +
+                                std::to_string(window_voxels));
+  }
+  if (!params.quantized) {
+    throw std::invalid_argument(
+        "ScrollingGrid: requires a quantized sensor model (the aggregated "
+        "delta composition is bit-exact only on the Q5.10 lattice)");
+  }
+  mask_ = window_ - 1;
+  shift_ = 0;
+  while ((1u << shift_) < window_) ++shift_;
+
+  const std::size_t slots = static_cast<std::size_t>(window_) * window_ * window_;
+  run_min_.resize(slots, 0.0f);
+  run_max_.resize(slots, 0.0f);
+  shift_acc_.resize(slots, 0.0f);
+  from_unknown_.resize(slots, 0.0f);
+  dirty_.resize(slots, 0);
+
+  // Start centered on the world origin; follow()/scroll() re-centers.
+  const auto centered = static_cast<uint16_t>(map::kKeyOrigin - window_ / 2);
+  base_ = {centered, centered, centered};
+}
+
+void ScrollingGrid::absorb(const map::OcKey& key, float delta) {
+  namespace kern = geom::kernels;
+  const uint32_t slot = slot_of(key);
+  if (!dirty_[slot]) {
+    dirty_[slot] = 1;
+    dirty_slots_.push_back(slot);
+    // Identity aggregate: run over the whole admissible value range, no
+    // shift, unknown seed at 0 (see AggregatedVoxelDelta::identity).
+    run_min_[slot] = params_.clamp_min;
+    run_max_[slot] = params_.clamp_max;
+    shift_acc_[slot] = 0.0f;
+    from_unknown_[slot] = 0.0f;
+  }
+  // The compose closure rule of aggregated_delta.hpp, inlined against the
+  // SoA streams (same saturating-add kernel, same freeze rule, so a
+  // drained record is bitwise what AggregatedVoxelDelta::compose builds).
+  run_min_[slot] = kern::saturating_add(run_min_[slot], delta, params_.clamp_min, params_.clamp_max);
+  run_max_[slot] = kern::saturating_add(run_max_[slot], delta, params_.clamp_min, params_.clamp_max);
+  shift_acc_[slot] += delta;
+  from_unknown_[slot] =
+      kern::saturating_add(from_unknown_[slot], delta, params_.clamp_min, params_.clamp_max);
+  if (shift_acc_[slot] >= run_max_[slot] - params_.clamp_min) {
+    run_min_[slot] = run_max_[slot];
+    shift_acc_[slot] = 0.0f;
+  } else if (shift_acc_[slot] <= run_min_[slot] - params_.clamp_max) {
+    run_max_[slot] = run_min_[slot];
+    shift_acc_[slot] = 0.0f;
+  }
+}
+
+map::OcKey ScrollingGrid::key_of_slot(uint32_t slot,
+                                      const std::array<uint16_t, 3>& base) const {
+  map::OcKey key;
+  for (int a = 0; a < 3; ++a) {
+    const auto bits = static_cast<uint16_t>((slot >> (a * shift_)) & mask_);
+    const auto offset = static_cast<uint16_t>((bits - base[a]) & mask_);
+    key[static_cast<std::size_t>(a)] = static_cast<uint16_t>(base[a] + offset);
+  }
+  return key;
+}
+
+void ScrollingGrid::sort_tail_by_packed_key(std::vector<map::AggregatedVoxelDelta>& records,
+                                            std::size_t first) {
+  const std::size_t n = records.size() - first;
+  if (n < 2) return;
+  // Batch-pack the keys (SoA spans through the shared key kernel), then
+  // sort an index permutation — the records move once.
+  std::vector<uint16_t> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const map::OcKey& k = records[first + i].key;
+    x[i] = k[0];
+    y[i] = k[1];
+    z[i] = k[2];
+  }
+  std::vector<uint64_t> packed(n);
+  geom::kernels::packed48_batch(x.data(), y.data(), z.data(), n, packed.data());
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&packed](uint32_t a, uint32_t b) { return packed[a] < packed[b]; });
+  std::vector<map::AggregatedVoxelDelta> sorted;
+  sorted.reserve(n);
+  for (const uint32_t i : order) sorted.push_back(records[first + i]);
+  std::copy(sorted.begin(), sorted.end(), records.begin() + static_cast<std::ptrdiff_t>(first));
+}
+
+void ScrollingGrid::scroll(const std::array<uint16_t, 3>& new_base,
+                           std::vector<map::AggregatedVoxelDelta>& evicted) {
+  if (new_base == base_) return;
+  const std::size_t first = evicted.size();
+  std::vector<uint32_t> kept;
+  kept.reserve(dirty_slots_.size());
+  for (const uint32_t slot : dirty_slots_) {
+    const map::OcKey key = key_of_slot(slot, base_);
+    if (static_cast<uint16_t>(key[0] - new_base[0]) < window_ &&
+        static_cast<uint16_t>(key[1] - new_base[1]) < window_ &&
+        static_cast<uint16_t>(key[2] - new_base[2]) < window_) {
+      kept.push_back(slot);  // same low bits => same slot under the new base
+      continue;
+    }
+    evicted.push_back(map::AggregatedVoxelDelta{key, run_min_[slot], run_max_[slot],
+                                                shift_acc_[slot], from_unknown_[slot]});
+    dirty_[slot] = 0;
+  }
+  dirty_slots_ = std::move(kept);
+  base_ = new_base;
+  sort_tail_by_packed_key(evicted, first);
+}
+
+void ScrollingGrid::drain(std::vector<map::AggregatedVoxelDelta>& out) {
+  const std::size_t first = out.size();
+  for (const uint32_t slot : dirty_slots_) {
+    out.push_back(map::AggregatedVoxelDelta{key_of_slot(slot, base_), run_min_[slot],
+                                            run_max_[slot], shift_acc_[slot],
+                                            from_unknown_[slot]});
+    dirty_[slot] = 0;
+  }
+  dirty_slots_.clear();
+  sort_tail_by_packed_key(out, first);
+}
+
+}  // namespace omu::localgrid

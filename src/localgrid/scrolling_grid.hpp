@@ -1,0 +1,114 @@
+// The dense scrolling local grid: a fixed-size voxel array over a moving
+// power-of-two window of global keys.
+//
+// This is the dense near-sensor layer of the hybrid architecture (OHM,
+// OpenVDB mapping, scrollgrid): high-rate updates land in a flat array at
+// cache speed — one slot index computation, no tree descent, no
+// allocation — and leave as aggregated per-voxel deltas
+// (map/aggregated_delta.hpp) when the window scrolls past them, on an
+// explicit drain, or when the dirty high-water mark trips upstream.
+//
+// Addressing is toroidal: slot(key) is built from the low log2(window)
+// bits of each axis key, so a voxel keeps its slot for as long as it stays
+// inside the window and scrolling never copies the array — moving the
+// window base just re-labels which global key each slot means. Scrolling
+// is O(dirty voxels): the grid walks its dirty-slot list, reconstructs
+// each slot's global key under the *old* base, and evicts exactly the
+// voxels the new window no longer covers (a surviving voxel's low key
+// bits, and therefore its slot, are unchanged).
+//
+// The window lives on the global key lattice: it covers
+// [base, base + window) per axis in uint16 wraparound arithmetic, and a
+// slot's global key is reconstructed as base + ((slot_bits - base) &
+// (window - 1)). Every eviction and drain emits records in ascending
+// packed-key order — the defined deterministic flush order of the hybrid
+// backend's bit-identity contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "map/aggregated_delta.hpp"
+#include "map/ockey.hpp"
+#include "map/occupancy_params.hpp"
+
+namespace omu::localgrid {
+
+/// The fixed-size dense window of aggregated per-voxel deltas.
+class ScrollingGrid {
+ public:
+  /// `window_voxels` is the per-axis window extent: a power of two in
+  /// [2, 256] (throws std::invalid_argument otherwise; 256^3 slots is the
+  /// practical memory ceiling). `params` must be quantized — the composed
+  /// delta form is bit-exact only on the Q5.10 lattice.
+  ScrollingGrid(uint32_t window_voxels, const map::OccupancyParams& params);
+
+  uint32_t window_voxels() const { return window_; }
+  const map::OccupancyParams& params() const { return params_; }
+
+  /// Inclusive lower corner of the window, per axis, in global key units.
+  const std::array<uint16_t, 3>& base() const { return base_; }
+
+  /// Voxels currently holding a pending (non-identity) aggregate.
+  std::size_t dirty_count() const { return dirty_slots_.size(); }
+
+  /// True when the window covers `key` at its current position.
+  bool contains(const map::OcKey& key) const {
+    return axis_in(key[0], base_[0]) && axis_in(key[1], base_[1]) && axis_in(key[2], base_[2]);
+  }
+
+  /// Composes one log-odds update into the voxel's aggregate.
+  /// Precondition: contains(key).
+  void absorb(const map::OcKey& key, float delta);
+
+  /// Moves the window so its lower corner sits at `new_base`, appending an
+  /// aggregated record for every dirty voxel the new window no longer
+  /// covers (in ascending packed-key order) and forgetting those slots.
+  /// Dirty voxels covered by both windows stay in place untouched.
+  void scroll(const std::array<uint16_t, 3>& new_base,
+              std::vector<map::AggregatedVoxelDelta>& evicted);
+
+  /// Appends an aggregated record for every dirty voxel (ascending
+  /// packed-key order) and resets the window to empty; the base stays.
+  void drain(std::vector<map::AggregatedVoxelDelta>& out);
+
+ private:
+  bool axis_in(uint16_t key, uint16_t base) const {
+    return static_cast<uint16_t>(key - base) < window_;
+  }
+
+  uint32_t slot_of(const map::OcKey& key) const {
+    return (static_cast<uint32_t>(key[0]) & mask_) |
+           ((static_cast<uint32_t>(key[1]) & mask_) << shift_) |
+           ((static_cast<uint32_t>(key[2]) & mask_) << (2 * shift_));
+  }
+
+  /// Global key of a slot under `base` (inverse of slot_of for in-window
+  /// keys; see the toroidal reconstruction in the header comment).
+  map::OcKey key_of_slot(uint32_t slot, const std::array<uint16_t, 3>& base) const;
+
+  /// Sorts `records[first..]` into ascending packed-key order in place
+  /// (batch packed-key kernel + index sort).
+  static void sort_tail_by_packed_key(std::vector<map::AggregatedVoxelDelta>& records,
+                                      std::size_t first);
+
+  uint32_t window_ = 0;  ///< per-axis extent (power of two)
+  uint32_t mask_ = 0;    ///< window_ - 1
+  uint32_t shift_ = 0;   ///< log2(window_)
+  map::OccupancyParams params_{};
+  std::array<uint16_t, 3> base_{0, 0, 0};
+
+  // Per-slot aggregate state, struct-of-arrays (the compose hot loop reads
+  // and writes four floats per update; the SoA split keeps each stream
+  // dense). `dirty_` flags initialized slots; `dirty_slots_` lists them so
+  // drain/scroll never sweep the whole array.
+  std::vector<float> run_min_;
+  std::vector<float> run_max_;
+  std::vector<float> shift_acc_;
+  std::vector<float> from_unknown_;
+  std::vector<uint8_t> dirty_;
+  std::vector<uint32_t> dirty_slots_;
+};
+
+}  // namespace omu::localgrid

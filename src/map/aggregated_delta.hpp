@@ -1,0 +1,117 @@
+// Aggregated per-voxel log-odds deltas — the flush currency of the hybrid
+// dense-front write absorber (src/localgrid/).
+//
+// A voxel's update sequence d1..dn under OctoMap's clamped integration is
+// a fold of saturating adds  v' = max(lo, min(hi, v + d))  (see
+// geom/kernels/logodds_kernels.hpp). That fold composes exactly: the
+// composition of any number of saturating adds is again of the form
+//
+//     g(v) = max(run_min, min(run_max, v + shift))
+//
+// with the closure rule (compose one more delta d onto g):
+//
+//     run_min' = sat_add(run_min, d)      // where the run clamped low
+//     run_max' = sat_add(run_max, d)      // where the run clamped high
+//     shift'   = shift + d                // where it never clamped
+//
+// starting from the identity-on-[lo,hi] triple (run_min = lo,
+// run_max = hi, shift = 0). Proof sketch: given g of that form,
+// h(g(v)) = max(lo, min(hi, max(m, min(M, v+S)) + d)); distributing +d
+// and folding the outer clamp into the inner max/min gives exactly
+// max(sat_add(m,d), min(sat_add(M,d), v + S + d)).
+//
+// Two refinements make the composed form usable verbatim as the absorber's
+// per-voxel state:
+//
+//  * Unknown-start track. The octree seeds an unknown voxel at log-odds
+//    0.0f and then applies the deltas (OccupancyOctree::update_node), and
+//    0.0f need not lie in [lo, hi]. `from_unknown` therefore folds the
+//    same saturating adds from 0.0f directly — bit-for-bit the sequence
+//    the tree would have run.
+//
+//  * Shift freeze. `shift` is the only unclamped accumulator; over a long
+//    absorb window it could grow past the range where lattice sums stay
+//    exact in float. Whenever the composed map becomes constant over the
+//    whole value domain [lo, hi] — shift >= run_max - lo (everything
+//    clamps high) or shift <= run_min - hi (everything clamps low) — the
+//    triple collapses to that constant and shift resets to 0. Every voxel
+//    value a clamped map can hold lies in [lo, hi], so the collapse loses
+//    nothing, and it bounds |shift| by (hi - lo) + max|d| forever after.
+//
+// Exactness: with OccupancyParams::quantized (the hybrid backend requires
+// it), every value and delta is a multiple of 2^-10 with magnitude < 32
+// (Q5.10), the freeze bounds every intermediate sum far below 2^14, and
+// float arithmetic on that lattice is exact — so applying the composed
+// form is bit-identical to replaying the sequence update by update. The
+// randomized churn suites in tests/localgrid/ enforce this end to end.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/kernels/logodds_kernels.hpp"
+#include "map/occupancy_octree.hpp"
+#include "map/ockey.hpp"
+#include "map/occupancy_params.hpp"
+
+namespace omu::map {
+
+/// The exact composition of one voxel's pending update sequence: what the
+/// sequence does to any prior known value (`apply_to`) and what it leaves
+/// in a previously unknown voxel (`from_unknown`).
+struct AggregatedVoxelDelta {
+  OcKey key;
+  float run_min = 0.0f;       ///< m: result floor (reached when the run clamped low)
+  float run_max = 0.0f;       ///< M: result ceiling (reached when the run clamped high)
+  float shift = 0.0f;         ///< S: net unclamped log-odds movement
+  float from_unknown = 0.0f;  ///< fold of the sequence from the unknown seed 0.0f
+
+  /// The empty-sequence (identity) record for a voxel.
+  static AggregatedVoxelDelta identity(const OcKey& k, const OccupancyParams& p) {
+    return AggregatedVoxelDelta{k, p.clamp_min, p.clamp_max, 0.0f, 0.0f};
+  }
+
+  /// Composes one more update onto the record (see the closure rule above).
+  void compose(float delta, const OccupancyParams& p) {
+    namespace kern = geom::kernels;
+    run_min = kern::saturating_add(run_min, delta, p.clamp_min, p.clamp_max);
+    run_max = kern::saturating_add(run_max, delta, p.clamp_min, p.clamp_max);
+    shift += delta;
+    from_unknown = kern::saturating_add(from_unknown, delta, p.clamp_min, p.clamp_max);
+    if (shift >= run_max - p.clamp_min) {
+      // Constant run_max over all of [lo, hi]: v + shift clears the ceiling
+      // from every admissible start.
+      run_min = run_max;
+      shift = 0.0f;
+    } else if (shift <= run_min - p.clamp_max) {
+      // Constant run_min over all of [lo, hi]: v + shift undershoots the
+      // floor from every admissible start.
+      run_max = run_min;
+      shift = 0.0f;
+    }
+  }
+
+  /// Final value of a voxel that held `value` (in [clamp_min, clamp_max])
+  /// before the sequence.
+  float apply_to(float value) const {
+    return std::max(run_min, std::min(run_max, value + shift));
+  }
+};
+
+/// Applies one aggregated record to an octree: looks up the voxel's prior
+/// value, computes the final value the replayed sequence would have
+/// produced, and installs it via set_node_log_odds (which maintains
+/// parents, pruning and dirty-branch marking). A known voxel already
+/// holding the final value is skipped — exactly the no-op the replay's
+/// saturation early-abort would have been; an unknown voxel is always
+/// materialized (the replay's first update creates it). Returns true when
+/// the tree changed.
+inline bool apply_aggregated_to_tree(OccupancyOctree& tree, const AggregatedVoxelDelta& d) {
+  const auto view = tree.search(d.key);
+  const float final_value = view ? d.apply_to(view->log_odds) : d.from_unknown;
+  if (view && view->log_odds == final_value) return false;
+  tree.set_node_log_odds(d.key, final_value);
+  return true;
+}
+
+}  // namespace omu::map

@@ -1,6 +1,13 @@
 #include "map/map_backend.hpp"
 
+#include <stdexcept>
+
 namespace omu::map {
+
+void MapBackend::apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas) {
+  (void)deltas;
+  throw std::logic_error("MapBackend '" + name() + "' does not accept aggregated deltas");
+}
 
 Occupancy MapBackend::classify(const geom::Vec3d& position) {
   const auto key = coder().key_for(position);
@@ -12,6 +19,10 @@ uint64_t MapBackend::content_hash() const { return hash_leaf_records(leaves_sort
 
 void OctreeBackend::apply(const UpdateBatch& batch) {
   for (const VoxelUpdate& u : batch) tree_->update_node(u.key, u.occupied);
+}
+
+void OctreeBackend::apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas) {
+  for (const AggregatedVoxelDelta& d : deltas) apply_aggregated_to_tree(*tree_, d);
 }
 
 MapSnapshotDelta OctreeBackend::export_snapshot_delta(uint64_t since_generation) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "geom/vec3.hpp"
+#include "map/aggregated_delta.hpp"
 #include "map/occupancy_octree.hpp"
 #include "map/ockey.hpp"
 #include "map/update_batch.hpp"
@@ -74,6 +75,20 @@ class MapBackend {
 
   /// Integrates one batch of voxel updates (possibly asynchronously).
   virtual void apply(const UpdateBatch& batch) = 0;
+
+  /// Integrates a batch of aggregated per-voxel deltas — the flush unit of
+  /// the hybrid dense-front absorber (localgrid/hybrid_backend.hpp). Each
+  /// record carries the exact composition of one voxel's pending update
+  /// sequence (aggregated_delta.hpp); applying it leaves the map
+  /// bit-identical to replaying that sequence through apply(). Callers
+  /// pass records in ascending packed-key order (the defined deterministic
+  /// flush order) and follow the same single-producer contract as apply().
+  /// Applied synchronously: asynchronous backends first retire any queued
+  /// apply() backlog so per-voxel ordering holds. The default throws
+  /// std::logic_error — backends that cannot replay an aggregated sequence
+  /// (the accelerator stream) are rejected as hybrid back ends at
+  /// configuration time instead of silently diverging.
+  virtual void apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas);
 
   /// Retires any asynchronous backlog; no-op for synchronous backends.
   virtual void flush() {}
@@ -140,6 +155,7 @@ class OctreeBackend final : public MapBackend {
   const KeyCoder& coder() const override { return tree_->coder(); }
   OccupancyParams occupancy_params() const override { return tree_->params(); }
   void apply(const UpdateBatch& batch) override;
+  void apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas) override;
   Occupancy classify(const OcKey& key) override { return tree_->classify(key); }
   std::vector<LeafRecord> leaves_sorted() const override { return tree_->leaves_sorted(); }
   uint64_t content_hash() const override { return tree_->content_hash(); }

@@ -1,10 +1,14 @@
 // MapperConfig validation: every rejection names the offending field and
 // the value it held, so a misconfigured session is diagnosed at build
-// time instead of via a deep crash in a subsystem.
+// time instead of via a deep crash in a subsystem. Also home of the
+// deprecated flat setters — non-inline so each can warn exactly once per
+// process before forwarding into its nested options group.
 #include "omu/config.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "accel/omu_config.hpp"
@@ -21,6 +25,17 @@ std::string fmt(T value) {
   os << value;
   return os.str();
 }
+
+void warn_deprecated(std::once_flag& flag, const char* old_setter, const char* replacement) {
+  std::call_once(flag, [&] {
+    std::fprintf(stderr,
+                 "omu: MapperConfig::%s is deprecated; use MapperConfig::%s "
+                 "(this warning prints once per process)\n",
+                 old_setter, replacement);
+  });
+}
+
+bool is_power_of_two(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 /// Range/sanity checks shared by AcceleratorOptions and a full OmuConfig
 /// (`field` is the builder-field prefix for the error message).
@@ -53,6 +68,7 @@ const char* to_string(BackendKind kind) {
     case BackendKind::kAccelerator: return "accelerator";
     case BackendKind::kSharded: return "sharded";
     case BackendKind::kTiledWorld: return "tiled-world";
+    case BackendKind::kHybrid: return "hybrid";
   }
   return "?";
 }
@@ -62,7 +78,81 @@ MapperConfig& MapperConfig::accelerator_config(const accel::OmuConfig& config) {
   return *this;
 }
 
+// ---- Deprecated flat setters ------------------------------------------------
+
+MapperConfig& MapperConfig::threads(std::size_t count) {
+  static std::once_flag warned;
+  warn_deprecated(warned, "threads()", "sharded(ShardedOptions{.threads = ...})");
+  sharded_.threads = count;
+  legacy_fields_ |= kLegacyThreads;
+  return *this;
+}
+
+MapperConfig& MapperConfig::queue_depth(std::size_t depth) {
+  static std::once_flag warned;
+  warn_deprecated(warned, "queue_depth()", "sharded(ShardedOptions{.queue_depth = ...})");
+  sharded_.queue_depth = depth;
+  legacy_fields_ |= kLegacyQueueDepth;
+  return *this;
+}
+
+MapperConfig& MapperConfig::resident_byte_budget(std::size_t bytes) {
+  static std::once_flag warned;
+  warn_deprecated(warned, "resident_byte_budget()",
+                  "world(WorldOptions{.resident_byte_budget = ...})");
+  world_.resident_byte_budget = bytes;
+  legacy_fields_ |= kLegacyBudget;
+  return *this;
+}
+
+MapperConfig& MapperConfig::world_directory(std::string directory) {
+  static std::once_flag warned;
+  warn_deprecated(warned, "world_directory()", "world(WorldOptions{.directory = ...})");
+  world_.directory = std::move(directory);
+  legacy_fields_ |= kLegacyDirectory;
+  return *this;
+}
+
+MapperConfig& MapperConfig::tile_shift(int shift) {
+  static std::once_flag warned;
+  warn_deprecated(warned, "tile_shift()", "world(WorldOptions{.tile_shift = ...})");
+  world_.tile_shift = shift;
+  legacy_fields_ |= kLegacyTileShift;
+  return *this;
+}
+
+// ---- Validation -------------------------------------------------------------
+
 Status MapperConfig::validate() const {
+  // Mixed-API detection first: when both spellings of a knob were used,
+  // whichever was called last silently won, so the stored value cannot be
+  // trusted to mean what the caller intended.
+  if (nested_sharded_ && (legacy_fields_ & (kLegacyThreads | kLegacyQueueDepth))) {
+    const bool is_threads = (legacy_fields_ & kLegacyThreads) != 0;
+    const std::string field = is_threads ? "threads" : "queue_depth";
+    const std::string value = is_threads ? fmt(sharded_.threads) : fmt(sharded_.queue_depth);
+    return Status::invalid_argument(
+        field + ": the deprecated flat setter (currently " + value +
+        ") was mixed with sharded(ShardedOptions{...}) in one config; set "
+        "ShardedOptions::" + field + " only");
+  }
+  if (nested_world_ &&
+      (legacy_fields_ & (kLegacyBudget | kLegacyDirectory | kLegacyTileShift))) {
+    std::string field = "resident_byte_budget";
+    std::string value = fmt(world_.resident_byte_budget);
+    if (legacy_fields_ & kLegacyDirectory) {
+      field = "world_directory";
+      value = "\"" + world_.directory + "\"";
+    } else if (legacy_fields_ & kLegacyTileShift) {
+      field = "tile_shift";
+      value = fmt(world_.tile_shift);
+    }
+    return Status::invalid_argument(
+        field + ": the deprecated flat setter (currently " + value +
+        ") was mixed with world(WorldOptions{...}) in one config; set the "
+        "WorldOptions field only");
+  }
+
   if (!(resolution_ > 0.0) || !std::isfinite(resolution_)) {
     return Status::invalid_argument(
         "resolution: must be a positive finite voxel edge length in metres, got " +
@@ -86,45 +176,96 @@ Status MapperConfig::validate() const {
                                     fmt(sm.clamp_min) + " clamp_max=" + fmt(sm.clamp_max));
   }
 
-  if (threads_ == 0) {
+  // The backend kinds that actually integrate updates in this session:
+  // for hybrid, the back backend's knobs apply.
+  const bool is_hybrid = backend_ == BackendKind::kHybrid;
+  const BackendKind effective = is_hybrid ? hybrid_.back_backend : backend_;
+
+  if (sharded_.threads == 0) {
     return Status::invalid_argument(
-        "threads: must be >= 1, got 0 (use 1 for a single-worker session)");
+        "sharded.threads: must be >= 1, got 0 (use 1 for a single-worker session)");
   }
-  if (threads_ > 1 && backend_ != BackendKind::kSharded) {
+  if (sharded_.threads > 1 && effective != BackendKind::kSharded) {
     return Status::invalid_argument(
-        "threads: " + fmt(threads_) + " worker threads require backend(BackendKind::kSharded); "
-        "the " + std::string(to_string(backend_)) + " backend integrates on the calling thread");
+        "sharded.threads: " + fmt(sharded_.threads) +
+        " worker threads require backend(BackendKind::kSharded)" +
+        (is_hybrid ? std::string(" behind the hybrid window (HybridOptions::back_backend)")
+                   : std::string()) +
+        "; the " + std::string(to_string(effective)) +
+        " backend integrates on the calling thread");
   }
-  if (queue_depth_ == 0) {
-    return Status::invalid_argument("queue_depth: must be >= 1 sub-batches, got 0");
+  if (sharded_.queue_depth == 0) {
+    return Status::invalid_argument("sharded.queue_depth: must be >= 1 sub-batches, got 0");
   }
 
-  const bool wants_world = !world_directory_.empty() || resident_byte_budget_ > 0;
-  if (wants_world && backend_ != BackendKind::kTiledWorld) {
+  const bool wants_world = !world_.directory.empty() || world_.resident_byte_budget > 0;
+  if (wants_world && effective != BackendKind::kTiledWorld) {
     const std::string field =
-        !world_directory_.empty() ? "world_directory" : "resident_byte_budget";
-    const std::string value = !world_directory_.empty() ? "\"" + world_directory_ + "\""
-                                                        : fmt(resident_byte_budget_) + " bytes";
-    if (backend_ == BackendKind::kAccelerator) {
+        !world_.directory.empty() ? "world.directory" : "world.resident_byte_budget";
+    const std::string value = !world_.directory.empty()
+                                  ? "\"" + world_.directory + "\""
+                                  : fmt(world_.resident_byte_budget) + " bytes";
+    if (effective == BackendKind::kAccelerator) {
       return Status::invalid_argument(
           field + ": " + value + " is unsupported with the accelerator backend (its map lives in "
           "modeled TreeMem and cannot page to disk); use backend(BackendKind::kTiledWorld) for "
           "out-of-core mapping");
     }
     return Status::invalid_argument(
-        field + ": " + value + " only applies to backend(BackendKind::kTiledWorld); for a "
-        "single-file map of the " + std::string(to_string(backend_)) +
+        field + ": " + value + " only applies to a tiled-world engine "
+        "(backend(BackendKind::kTiledWorld), or a hybrid session whose back_backend is "
+        "kTiledWorld); for a single-file map of the " + std::string(to_string(effective)) +
         " backend use Mapper::save_map");
   }
-  if (backend_ == BackendKind::kTiledWorld) {
-    if (resident_byte_budget_ > 0 && world_directory_.empty()) {
+  if (effective == BackendKind::kTiledWorld) {
+    if (world_.resident_byte_budget > 0 && world_.directory.empty()) {
       return Status::invalid_argument(
-          "resident_byte_budget: " + fmt(resident_byte_budget_) +
-          " bytes requires world_directory() — cold tiles need a directory to be evicted to");
+          "world.resident_byte_budget: " + fmt(world_.resident_byte_budget) +
+          " bytes requires world.directory — cold tiles need a directory to be evicted to");
     }
-    if (tile_shift_ < 1 || tile_shift_ > map::kTreeDepth) {
-      return Status::invalid_argument("tile_shift: must be in [1, " + fmt(map::kTreeDepth) +
-                                      "] (log2 voxels per tile axis), got " + fmt(tile_shift_));
+    if (world_.tile_shift < 1 || world_.tile_shift > map::kTreeDepth) {
+      return Status::invalid_argument("world.tile_shift: must be in [1, " + fmt(map::kTreeDepth) +
+                                      "] (log2 voxels per tile axis), got " +
+                                      fmt(world_.tile_shift));
+    }
+  }
+
+  if (hybrid_set_ && !is_hybrid) {
+    return Status::invalid_argument(
+        "hybrid: HybridOptions were set but backend is " + std::string(to_string(backend_)) +
+        "; they only apply to backend(BackendKind::kHybrid)");
+  }
+  if (is_hybrid) {
+    if (hybrid_.back_backend == BackendKind::kAccelerator) {
+      return Status::invalid_argument(
+          "hybrid.back_backend: kAccelerator cannot sit behind the hybrid window — the "
+          "accelerator model integrates raw per-ray updates in modeled TreeMem and does not "
+          "accept aggregated voxel deltas");
+    }
+    if (hybrid_.back_backend == BackendKind::kHybrid) {
+      return Status::invalid_argument(
+          "hybrid.back_backend: kHybrid cannot nest inside itself; pick the durable map kind "
+          "(kOctree, kSharded or kTiledWorld)");
+    }
+    if (!is_power_of_two(hybrid_.window_voxels) || hybrid_.window_voxels < 2 ||
+        hybrid_.window_voxels > 256) {
+      return Status::invalid_argument(
+          "hybrid.window_voxels: must be a power of two in [2, 256] (toroidal addressing masks "
+          "key bits), got " + fmt(hybrid_.window_voxels));
+    }
+    const std::size_t capacity = static_cast<std::size_t>(hybrid_.window_voxels) *
+                                 hybrid_.window_voxels * hybrid_.window_voxels;
+    if (hybrid_.flush_high_water > capacity) {
+      return Status::invalid_argument(
+          "hybrid.flush_high_water: " + fmt(hybrid_.flush_high_water) +
+          " exceeds the window capacity " + fmt(capacity) + " (window_voxels^3 = " +
+          fmt(hybrid_.window_voxels) + "^3); the dirty count can never reach it");
+    }
+    if (!sm.quantized) {
+      return Status::invalid_argument(
+          "sensor_model.quantized: false is incompatible with backend(BackendKind::kHybrid) — "
+          "the write absorber's aggregated deltas are bit-exact only on the Q5.10 fixed-point "
+          "lattice");
     }
   }
 

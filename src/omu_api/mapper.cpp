@@ -12,6 +12,7 @@
 #include "accel/accel_backend.hpp"
 #include "accel/omu_accelerator.hpp"
 #include "geom/pointcloud.hpp"
+#include "localgrid/hybrid_backend.hpp"
 #include "map/map_backend.hpp"
 #include "map/occupancy_octree.hpp"
 #include "map/octree_io.hpp"
@@ -84,6 +85,9 @@ struct Mapper::Impl {
   std::unique_ptr<accel::AcceleratorBackend> accel_backend;
   std::unique_ptr<pipeline::ShardedMapPipeline> sharded;
   std::unique_ptr<world::TiledWorldMap> world;
+  // Hybrid sessions wrap one of the engines above (the back backend stays
+  // in its slot); `backend` then points at the hybrid.
+  std::unique_ptr<localgrid::HybridMapBackend> hybrid;
   map::MapBackend* backend = nullptr;
 
   std::unique_ptr<map::ScanInserter> inserter;
@@ -102,6 +106,7 @@ struct Mapper::Impl {
     if (sharded) sharded->attach_query_service(nullptr);
     if (world) world->attach_view_service(nullptr);
     backend = nullptr;
+    hybrid.reset();  // non-owning view over a back engine: dies first
     octree_backend.reset();
     tree.reset();
     accel_backend.reset();
@@ -121,16 +126,23 @@ struct Mapper::Impl {
       world->attach_view_service(view_service.get());  // publishes an initial view
     } else {
       query_service = std::make_unique<query::QueryService>();  // epoch-0 placeholder
-      if (sharded) sharded->attach_query_service(query_service.get());
+      // Hybrid sessions publish through the hybrid (refresh_from drains
+      // the window first), never from inside a sharded back's flush —
+      // attaching the service to the back would publish snapshots that
+      // miss the absorbed-but-unflushed window content.
+      if (sharded && !hybrid) sharded->attach_query_service(query_service.get());
     }
     open = true;
   }
 
   Status integrate_cloud(const geom::Vec3d& origin) {
     return guarded([&] {
+      // The absorber window follows the sensor: re-center before the scan
+      // integrates, so the dense front covers the rays about to land.
+      if (hybrid) hybrid->follow(origin);
       const map::ScanInsertResult r = inserter->insert_scan(cloud_scratch, origin);
-      stats.points_inserted += r.points;
-      stats.voxel_updates += r.total_updates();
+      stats.ingest.points_inserted += r.points;
+      stats.ingest.voxel_updates += r.total_updates();
     });
   }
 };
@@ -150,12 +162,36 @@ Result<Mapper> Mapper::create(const MapperConfig& config) {
   impl->config = config;
   const map::OccupancyParams params = api::to_occupancy_params(config.sensor_model());
 
+  // One engine builder per kind, reused by the hybrid case for its back.
+  const auto build_octree = [&] {
+    impl->tree = std::make_unique<map::OccupancyOctree>(config.resolution(), params);
+    impl->octree_backend = std::make_unique<map::OctreeBackend>(*impl->tree);
+    impl->backend = impl->octree_backend.get();
+  };
+  const auto build_sharded = [&] {
+    pipeline::ShardedPipelineConfig cfg;
+    cfg.shard_count = config.sharded().threads;
+    cfg.queue_depth = config.sharded().queue_depth;
+    cfg.resolution = config.resolution();
+    cfg.params = params;
+    impl->sharded = std::make_unique<pipeline::ShardedMapPipeline>(cfg);
+    impl->backend = impl->sharded.get();
+  };
+  const auto build_world = [&] {
+    world::TiledWorldConfig cfg;
+    cfg.resolution = config.resolution();
+    cfg.params = params;
+    cfg.tile_shift = config.world().tile_shift;
+    cfg.resident_byte_budget = config.world().resident_byte_budget;
+    cfg.directory = config.world().directory;
+    impl->world = std::make_unique<world::TiledWorldMap>(cfg);
+    impl->backend = impl->world.get();
+  };
+
   const Status built = guarded([&] {
     switch (config.backend()) {
       case BackendKind::kOctree: {
-        impl->tree = std::make_unique<map::OccupancyOctree>(config.resolution(), params);
-        impl->octree_backend = std::make_unique<map::OctreeBackend>(*impl->tree);
-        impl->backend = impl->octree_backend.get();
+        build_octree();
         break;
       }
       case BackendKind::kAccelerator: {
@@ -178,24 +214,26 @@ Result<Mapper> Mapper::create(const MapperConfig& config) {
         break;
       }
       case BackendKind::kSharded: {
-        pipeline::ShardedPipelineConfig cfg;
-        cfg.shard_count = config.threads();
-        cfg.queue_depth = config.queue_depth();
-        cfg.resolution = config.resolution();
-        cfg.params = params;
-        impl->sharded = std::make_unique<pipeline::ShardedMapPipeline>(cfg);
-        impl->backend = impl->sharded.get();
+        build_sharded();
         break;
       }
       case BackendKind::kTiledWorld: {
-        world::TiledWorldConfig cfg;
-        cfg.resolution = config.resolution();
-        cfg.params = params;
-        cfg.tile_shift = config.tile_shift();
-        cfg.resident_byte_budget = config.resident_byte_budget();
-        cfg.directory = config.world_directory();
-        impl->world = std::make_unique<world::TiledWorldMap>(cfg);
-        impl->backend = impl->world.get();
+        build_world();
+        break;
+      }
+      case BackendKind::kHybrid: {
+        // The back engine lands in its usual slot; the hybrid wraps it
+        // and becomes the session backend.
+        switch (config.hybrid().back_backend) {
+          case BackendKind::kSharded: build_sharded(); break;
+          case BackendKind::kTiledWorld: build_world(); break;
+          default: build_octree(); break;  // validate() leaves only kOctree
+        }
+        localgrid::HybridConfig hcfg;
+        hcfg.window_voxels = config.hybrid().window_voxels;
+        hcfg.flush_high_water = config.hybrid().flush_high_water;
+        impl->hybrid = std::make_unique<localgrid::HybridMapBackend>(*impl->backend, hcfg);
+        impl->backend = impl->hybrid.get();
         break;
       }
     }
@@ -238,13 +276,15 @@ Result<Mapper> Mapper::open(const std::string& world_directory, const OpenOption
   SensorModel sensor = api::to_sensor_model(wcfg.params);
   sensor.max_range = options.max_range;
   sensor.deduplicate = options.deduplicate;
+  WorldOptions world_options;
+  world_options.directory = wcfg.directory;
+  world_options.resident_byte_budget = wcfg.resident_byte_budget;
+  world_options.tile_shift = wcfg.tile_shift;
   impl->config = MapperConfig()
                      .backend(BackendKind::kTiledWorld)
                      .resolution(wcfg.resolution)
                      .sensor_model(sensor)
-                     .tile_shift(wcfg.tile_shift)
-                     .resident_byte_budget(wcfg.resident_byte_budget)
-                     .world_directory(wcfg.directory);
+                     .world(world_options);
   impl->finish_wiring(insert_policy_of(impl->config.sensor_model()));
   return Mapper(std::move(impl));
 }
@@ -257,10 +297,49 @@ Status closed_status() {
 
 }  // namespace
 
-Status Mapper::insert_scan(const float* xyz, std::size_t point_count, const Vec3& origin) {
+Status Mapper::insert(const ScanView& scan) {
+  if (!impl_ || !impl_->open) return closed_status();
+  if (scan.point_count > 0 && scan.points == nullptr) {
+    return Status::invalid_argument("insert: scan.points must not be null for point_count " +
+                                    std::to_string(scan.point_count));
+  }
+
+  if (scan.ray_origins == nullptr) {
+    // One shared origin: the whole view is a single scan.
+    impl_->cloud_scratch.clear();
+    impl_->cloud_scratch.reserve(scan.point_count);
+    for (std::size_t i = 0; i < scan.point_count; ++i) {
+      const Point& p = scan.points[i];
+      impl_->cloud_scratch.push_back(geom::Vec3f{p.x, p.y, p.z});
+    }
+    const Status s = impl_->integrate_cloud({scan.origin.x, scan.origin.y, scan.origin.z});
+    if (s.ok() && scan.point_count > 0) ++impl_->stats.ingest.scans_inserted;
+    return s;
+  }
+
+  // Per-ray origins: consecutive rays sharing an origin integrate as one
+  // scan, so a sorted ray stream costs the same as a plain scan.
+  std::size_t i = 0;
+  while (i < scan.point_count) {
+    const Vec3 origin = scan.ray_origins[i];
+    impl_->cloud_scratch.clear();
+    std::size_t j = i;
+    while (j < scan.point_count && scan.ray_origins[j] == origin) {
+      const Point& p = scan.points[j];
+      impl_->cloud_scratch.push_back(geom::Vec3f{p.x, p.y, p.z});
+      ++j;
+    }
+    if (Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z}); !s.ok()) return s;
+    impl_->stats.ingest.rays_inserted += j - i;
+    i = j;
+  }
+  return Status();
+}
+
+Status Mapper::insert(const float* xyz, std::size_t point_count, const Vec3& origin) {
   if (!impl_ || !impl_->open) return closed_status();
   if (point_count > 0 && xyz == nullptr) {
-    return Status::invalid_argument("insert_scan: xyz must not be null for point_count " +
+    return Status::invalid_argument("insert: xyz must not be null for point_count " +
                                     std::to_string(point_count));
   }
   impl_->cloud_scratch.clear();
@@ -269,15 +348,15 @@ Status Mapper::insert_scan(const float* xyz, std::size_t point_count, const Vec3
     impl_->cloud_scratch.push_back(geom::Vec3f{xyz[3 * i], xyz[3 * i + 1], xyz[3 * i + 2]});
   }
   const Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z});
-  if (s.ok() && point_count > 0) ++impl_->stats.scans_inserted;
+  if (s.ok() && point_count > 0) ++impl_->stats.ingest.scans_inserted;
   return s;
 }
 
-Status Mapper::insert_rays(const Ray* rays, std::size_t ray_count) {
+Status Mapper::insert(const Ray* rays, std::size_t ray_count) {
   if (!impl_ || !impl_->open) return closed_status();
   if (ray_count == 0) return Status();
   if (rays == nullptr) {
-    return Status::invalid_argument("insert_rays: rays must not be null for ray_count " +
+    return Status::invalid_argument("insert: rays must not be null for ray_count " +
                                     std::to_string(ray_count));
   }
   std::size_t i = 0;
@@ -291,7 +370,7 @@ Status Mapper::insert_rays(const Ray* rays, std::size_t ray_count) {
       ++j;
     }
     if (Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z}); !s.ok()) return s;
-    impl_->stats.rays_inserted += j - i;
+    impl_->stats.ingest.rays_inserted += j - i;
     i = j;
   }
   return Status();
@@ -300,7 +379,12 @@ Status Mapper::insert_rays(const Ray* rays, std::size_t ray_count) {
 Status Mapper::flush() {
   if (!impl_ || !impl_->open) return closed_status();
   const Status s = guarded([&] {
-    if (impl_->query_service && !impl_->sharded) {
+    if (impl_->hybrid && impl_->query_service) {
+      // Hybrid: drain the window (and any asynchronous back) first, then
+      // publish through the hybrid so absorbed content is in the epoch.
+      impl_->backend->flush();
+      impl_->query_service->refresh_from(*impl_->backend);
+    } else if (impl_->query_service && !impl_->sharded) {
       // Synchronous backends publish explicitly; the sharded pipeline and
       // the tiled world publish from inside their own flush().
       impl_->query_service->refresh_from(*impl_->backend);
@@ -308,7 +392,7 @@ Status Mapper::flush() {
       impl_->backend->flush();
     }
   });
-  if (s.ok()) ++impl_->stats.flushes;
+  if (s.ok()) ++impl_->stats.ingest.flushes;
   return s;
 }
 
@@ -345,7 +429,12 @@ Status Mapper::save() {
         "save: this tiled-world session is in-memory — configure world_directory() at create "
         "time to make the world persistable");
   }
-  return guarded([&] { impl_->world->save(); });
+  return guarded([&] {
+    // A hybrid-over-world session may hold absorbed updates that never
+    // reached a tile yet; the back's own apply path is synchronous.
+    if (impl_->hybrid) impl_->backend->flush();
+    impl_->world->save();
+  });
 }
 
 Status Mapper::save_map(const std::string& path) {
@@ -357,7 +446,8 @@ Status Mapper::save_map(const std::string& path) {
           "with world_directory() set, then use save()");
     }
     return Status::failed_precondition(
-        "save_map: a tiled-world session persists into its world directory; use save()");
+        "save_map: this session's map lives in a tiled world, which persists into its world "
+        "directory; use save()");
   }
   return guarded([&] {
     impl_->backend->flush();
@@ -398,30 +488,51 @@ MapperStats Mapper::stats() const {
   if (!impl_) return MapperStats{};
   MapperStats s = impl_->stats;
   if (impl_->tree) {
-    s.memory_bytes = impl_->tree->memory_bytes();
+    s.ingest.memory_bytes = impl_->tree->memory_bytes();
   } else if (impl_->world) {
-    s.memory_bytes = impl_->world->pager_stats().resident_bytes;
+    s.ingest.memory_bytes = impl_->world->pager_stats().resident_bytes;
   }
   if (impl_->query_service) {
     const query::SnapshotPublishStats ps = impl_->query_service->publish_stats();
-    s.snapshots_published = ps.publications;
-    s.incremental_publications = ps.incremental_publications;
-    s.noop_flushes = ps.noop_refreshes;
-    s.snapshot_chunks_reused = ps.chunks_reused;
-    s.snapshot_chunks_rebuilt = ps.chunks_rebuilt;
-    s.snapshot_bytes_reused = ps.bytes_reused;
-    s.snapshot_bytes_rebuilt = ps.bytes_rebuilt;
+    s.publication.snapshots_published = ps.publications;
+    s.publication.incremental_publications = ps.incremental_publications;
+    s.publication.noop_flushes = ps.noop_refreshes;
+    s.publication.chunks_reused = ps.chunks_reused;
+    s.publication.chunks_rebuilt = ps.chunks_rebuilt;
+    s.publication.bytes_reused = ps.bytes_reused;
+    s.publication.bytes_rebuilt = ps.bytes_rebuilt;
   } else if (impl_->world) {
     // World sessions count per-tile snapshots: a splice rebuilt some of a
     // tile's branches and shared the rest (its bytes land on both sides).
     const world::WorldViewBuildStats ws = impl_->world->view_build_stats();
-    s.snapshots_published = ws.views_built;
-    s.incremental_publications = ws.tiles_spliced;
-    s.noop_flushes = ws.noop_flushes;
-    s.snapshot_chunks_reused = ws.tiles_reused;
-    s.snapshot_chunks_rebuilt = ws.tiles_rebuilt + ws.tiles_spliced;
-    s.snapshot_bytes_reused = ws.bytes_reused;
-    s.snapshot_bytes_rebuilt = ws.bytes_rebuilt;
+    s.publication.snapshots_published = ws.views_built;
+    s.publication.incremental_publications = ws.tiles_spliced;
+    s.publication.noop_flushes = ws.noop_flushes;
+    s.publication.chunks_reused = ws.tiles_reused;
+    s.publication.chunks_rebuilt = ws.tiles_rebuilt + ws.tiles_spliced;
+    s.publication.bytes_reused = ws.bytes_reused;
+    s.publication.bytes_rebuilt = ws.bytes_rebuilt;
+  }
+  if (impl_->world) {
+    const world::TilePagerStats p = impl_->world->pager_stats();
+    s.paging.known_tiles = p.known_tiles;
+    s.paging.resident_tiles = p.resident_tiles;
+    s.paging.resident_bytes = p.resident_bytes;
+    s.paging.peak_resident_bytes = p.peak_resident_bytes;
+    s.paging.resident_byte_budget = impl_->config.world().resident_byte_budget;
+    s.paging.evictions = p.evictions;
+    s.paging.reloads = p.reloads;
+    s.paging.tile_writes = p.tile_writes;
+  }
+  if (impl_->hybrid) {
+    const localgrid::AbsorberStats a = impl_->hybrid->absorber_stats();
+    s.absorber.updates_absorbed = a.updates_absorbed;
+    s.absorber.updates_passed_through = a.updates_passed_through;
+    s.absorber.voxels_flushed = a.voxels_flushed;
+    s.absorber.window_flushes = a.window_flushes;
+    s.absorber.high_water_flushes = a.high_water_flushes;
+    s.absorber.scrolls = a.scrolls;
+    s.absorber.scroll_evictions = a.scroll_evictions;
   }
   return s;
 }
@@ -429,20 +540,11 @@ MapperStats Mapper::stats() const {
 Result<WorldPagingStats> Mapper::paging_stats() const {
   if (!impl_ || !impl_->open) return closed_status();
   if (!impl_->world) {
-    return Status::failed_precondition("paging_stats: only tiled-world sessions page; this is a " +
+    return Status::failed_precondition("paging_stats: only sessions with a tiled world page; "
+                                       "this is a " +
                                        std::string(to_string(backend())) + " session");
   }
-  const world::TilePagerStats p = impl_->world->pager_stats();
-  WorldPagingStats out;
-  out.known_tiles = p.known_tiles;
-  out.resident_tiles = p.resident_tiles;
-  out.resident_bytes = p.resident_bytes;
-  out.peak_resident_bytes = p.peak_resident_bytes;
-  out.resident_byte_budget = impl_->config.resident_byte_budget();
-  out.evictions = p.evictions;
-  out.reloads = p.reloads;
-  out.tile_writes = p.tile_writes;
-  return out;
+  return stats().paging;
 }
 
 Result<uint64_t> Mapper::content_hash() {
@@ -465,6 +567,9 @@ pipeline::ShardedMapPipeline* Mapper::internal_pipeline() {
   return impl_ ? impl_->sharded.get() : nullptr;
 }
 world::TiledWorldMap* Mapper::internal_world() { return impl_ ? impl_->world.get() : nullptr; }
+localgrid::HybridMapBackend* Mapper::internal_hybrid() {
+  return impl_ ? impl_->hybrid.get() : nullptr;
+}
 query::QueryService* Mapper::internal_query_service() {
   return impl_ ? impl_->query_service.get() : nullptr;
 }

@@ -97,6 +97,37 @@ void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
   }
 }
 
+void ShardedMapPipeline::apply_aggregated(const std::vector<map::AggregatedVoxelDelta>& deltas) {
+  if (deltas.empty()) return;
+  // Order barrier: updates already routed for these voxels retire into
+  // their shard trees before the aggregated tail lands on top.
+  wait_until_idle();
+
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<map::AggregatedVoxelDelta>> split(n);
+  for (const map::AggregatedVoxelDelta& d : deltas) {
+    split[static_cast<std::size_t>(shard_for_key(d.key))].push_back(d);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (split[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    uint64_t mutated = 0;
+    {
+      std::lock_guard lock(shard.tree_mutex);
+      for (const map::AggregatedVoxelDelta& d : split[s]) {
+        if (map::apply_aggregated_to_tree(shard.tree, d)) ++mutated;
+      }
+    }
+    if (mutated == 0) continue;
+    // Count only the records that changed a tree, so flush()'s
+    // nothing-new-since-last-publication check stays exact: an aggregated
+    // apply that skipped everywhere publishes no epoch.
+    shard.updates_routed += mutated;
+    shard.updates_applied.fetch_add(mutated, std::memory_order_relaxed);
+    updates_routed_.fetch_add(mutated, std::memory_order_relaxed);
+  }
+}
+
 void ShardedMapPipeline::flush() {
   wait_until_idle();
   if (query_service_ == nullptr) return;

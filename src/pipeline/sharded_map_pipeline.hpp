@@ -86,6 +86,13 @@ class ShardedMapPipeline final : public map::MapBackend {
   /// any thread.
   void apply(const map::UpdateBatch& batch) override;
 
+  /// Synchronous aggregated-delta ingestion (the hybrid absorber's flush
+  /// path): drains the channels so every earlier routed update has retired
+  /// — per-voxel ordering is the equivalence contract — then applies each
+  /// record to its owning shard tree under that shard's lock. Same
+  /// single-producer contract as apply().
+  void apply_aggregated(const std::vector<map::AggregatedVoxelDelta>& deltas) override;
+
   /// Blocks until every routed update has been applied to its shard tree,
   /// then publishes a snapshot to the attached query service (if any) —
   /// flush() is the epoch boundary concurrent readers observe. The

@@ -85,6 +85,36 @@ void TiledWorldMap::apply(const map::UpdateBatch& batch) {
   sync_manifest_locked();
 }
 
+void TiledWorldMap::apply_aggregated(const std::vector<map::AggregatedVoxelDelta>& deltas) {
+  if (deltas.empty()) return;
+  std::lock_guard lock(mutex_);
+
+  // Split per tile like apply(); the bucket append preserves the caller's
+  // ascending-key order within each tile.
+  std::unordered_map<TileId, std::size_t> index;
+  std::vector<TileId> ids;
+  std::vector<std::vector<map::AggregatedVoxelDelta>> split;
+  for (const map::AggregatedVoxelDelta& d : deltas) {
+    const TileId id = grid_.tile_id(d.key);
+    const auto [it, inserted] = index.try_emplace(id, ids.size());
+    if (inserted) {
+      ids.push_back(id);
+      split.emplace_back();
+    }
+    split[it->second].push_back(d);
+  }
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const TileId id = ids[i];
+    map::TileBackend& tile = pager_.acquire(id);
+    tile.backend().apply_aggregated(split[i]);
+    pager_.mark_dirty(id);
+    pager_.rebalance(id);
+  }
+  updates_applied_ += deltas.size();
+  sync_manifest_locked();
+}
+
 void TiledWorldMap::flush() {
   std::lock_guard lock(mutex_);
   for (const TileId id : pager_.known_tiles()) {

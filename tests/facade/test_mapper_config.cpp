@@ -62,32 +62,125 @@ TEST(MapperConfigValidation, RejectsZeroQueueDepth) {
 
 TEST(MapperConfigValidation, RejectsWorldPagingOnAccelerator) {
   const Status dir = expect_rejected(
-      MapperConfig().backend(BackendKind::kAccelerator).world_directory("/tmp/w"),
-      {"world_directory", "/tmp/w", "accelerator", "kTiledWorld"});
+      MapperConfig().backend(BackendKind::kAccelerator).world({.directory = "/tmp/w"}),
+      {"world.directory", "/tmp/w", "accelerator", "kTiledWorld"});
   EXPECT_EQ(dir.code(), StatusCode::kInvalidArgument);
   expect_rejected(
-      MapperConfig().backend(BackendKind::kAccelerator).resident_byte_budget(1 << 20),
-      {"resident_byte_budget", "1048576", "accelerator"});
+      MapperConfig().backend(BackendKind::kAccelerator).world({.resident_byte_budget = 1 << 20}),
+      {"world.resident_byte_budget", "1048576", "accelerator"});
 }
 
 TEST(MapperConfigValidation, RejectsWorldFieldsOnOctreeAndSharded) {
-  expect_rejected(MapperConfig().world_directory("w"), {"world_directory", "w", "kTiledWorld"});
-  expect_rejected(MapperConfig().backend(BackendKind::kSharded).threads(2).resident_byte_budget(64),
-                  {"resident_byte_budget", "64", "sharded"});
+  expect_rejected(MapperConfig().world({.directory = "w"}),
+                  {"world.directory", "w", "kTiledWorld"});
+  expect_rejected(MapperConfig()
+                      .backend(BackendKind::kSharded)
+                      .sharded({.threads = 2})
+                      .world({.resident_byte_budget = 64}),
+                  {"world.resident_byte_budget", "64", "sharded"});
 }
 
 TEST(MapperConfigValidation, RejectsBudgetWithoutWorldDirectory) {
   const Status s = expect_rejected(
-      MapperConfig().backend(BackendKind::kTiledWorld).resident_byte_budget(4096),
-      {"resident_byte_budget", "4096", "world_directory"});
+      MapperConfig().backend(BackendKind::kTiledWorld).world({.resident_byte_budget = 4096}),
+      {"world.resident_byte_budget", "4096", "world.directory"});
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MapperConfigValidation, RejectsOutOfRangeTileShift) {
-  expect_rejected(MapperConfig().backend(BackendKind::kTiledWorld).tile_shift(0),
-                  {"tile_shift", "0"});
-  expect_rejected(MapperConfig().backend(BackendKind::kTiledWorld).tile_shift(17),
-                  {"tile_shift", "17"});
+  expect_rejected(MapperConfig().backend(BackendKind::kTiledWorld).world({.tile_shift = 0}),
+                  {"world.tile_shift", "0"});
+  expect_rejected(MapperConfig().backend(BackendKind::kTiledWorld).world({.tile_shift = 17}),
+                  {"world.tile_shift", "17"});
+}
+
+// ---- Hybrid write-absorber options ------------------------------------------
+
+TEST(MapperConfigValidation, RejectsHybridWindowNotPowerOfTwo) {
+  expect_rejected(
+      MapperConfig().backend(BackendKind::kHybrid).hybrid({.window_voxels = 48}),
+      {"hybrid.window_voxels", "48", "power of two"});
+  expect_rejected(MapperConfig().backend(BackendKind::kHybrid).hybrid({.window_voxels = 1}),
+                  {"hybrid.window_voxels", "1"});
+  expect_rejected(MapperConfig().backend(BackendKind::kHybrid).hybrid({.window_voxels = 512}),
+                  {"hybrid.window_voxels", "512"});
+}
+
+TEST(MapperConfigValidation, RejectsHybridHighWaterAboveWindowCapacity) {
+  const Status s = expect_rejected(
+      MapperConfig().backend(BackendKind::kHybrid).hybrid(
+          {.window_voxels = 4, .flush_high_water = 65}),
+      {"hybrid.flush_high_water", "65", "64"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MapperConfigValidation, RejectsHybridOverAccelerator) {
+  expect_rejected(MapperConfig().backend(BackendKind::kHybrid).hybrid(
+                      {.back_backend = BackendKind::kAccelerator}),
+                  {"hybrid.back_backend", "kAccelerator"});
+}
+
+TEST(MapperConfigValidation, RejectsHybridNestedInsideHybrid) {
+  expect_rejected(MapperConfig().backend(BackendKind::kHybrid).hybrid(
+                      {.back_backend = BackendKind::kHybrid}),
+                  {"hybrid.back_backend", "kHybrid"});
+}
+
+TEST(MapperConfigValidation, RejectsHybridOptionsOnOtherBackends) {
+  expect_rejected(MapperConfig().hybrid(HybridOptions{}), {"hybrid", "octree", "kHybrid"});
+}
+
+TEST(MapperConfigValidation, RejectsUnquantizedSensorModelUnderHybrid) {
+  SensorModel sm;
+  sm.quantized = false;
+  expect_rejected(MapperConfig().backend(BackendKind::kHybrid).sensor_model(sm),
+                  {"sensor_model.quantized", "kHybrid"});
+}
+
+// ---- Deprecated flat setters: forward, but never silently mix ---------------
+
+TEST(MapperConfigValidation, RejectsFlatSetterMixedWithNestedSharded) {
+  const Status s = expect_rejected(MapperConfig()
+                                       .backend(BackendKind::kSharded)
+                                       .sharded({.threads = 4})
+                                       .threads(2),
+                                   {"threads", "2", "ShardedOptions"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  expect_rejected(MapperConfig()
+                      .backend(BackendKind::kSharded)
+                      .queue_depth(8)
+                      .sharded({.threads = 2}),
+                  {"queue_depth", "ShardedOptions"});
+}
+
+TEST(MapperConfigValidation, RejectsFlatSetterMixedWithNestedWorld) {
+  expect_rejected(MapperConfig()
+                      .backend(BackendKind::kTiledWorld)
+                      .world({.directory = "w"})
+                      .tile_shift(5),
+                  {"tile_shift", "5", "WorldOptions"});
+  expect_rejected(MapperConfig()
+                      .backend(BackendKind::kTiledWorld)
+                      .world_directory("w")
+                      .world({.tile_shift = 6}),
+                  {"world_directory", "WorldOptions"});
+}
+
+TEST(MapperConfigValidation, DeprecatedFlatSettersStillForward) {
+  const MapperConfig cfg =
+      MapperConfig().backend(BackendKind::kSharded).threads(4).queue_depth(32);
+  EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();
+  EXPECT_EQ(cfg.sharded().threads, 4u);
+  EXPECT_EQ(cfg.sharded().queue_depth, 32u);
+  const MapperConfig world_cfg = MapperConfig()
+                                     .backend(BackendKind::kTiledWorld)
+                                     .world_directory("legacy_dir")
+                                     .tile_shift(5)
+                                     .resident_byte_budget(1 << 16);
+  EXPECT_TRUE(world_cfg.validate().ok()) << world_cfg.validate();
+  EXPECT_EQ(world_cfg.world().directory, "legacy_dir");
+  EXPECT_EQ(world_cfg.world().tile_shift, 5);
+  EXPECT_EQ(world_cfg.world().resident_byte_budget, std::size_t{1} << 16);
 }
 
 TEST(MapperConfigValidation, RejectsAcceleratorOptionsOnOtherBackends) {
@@ -139,7 +232,8 @@ TEST(MapperConfigValidation, RejectsMalformedSensorModel) {
 
 TEST(MapperConfigValidation, AcceptsEveryBackendKindWhenWellFormed) {
   EXPECT_TRUE(MapperConfig().validate().ok());
-  EXPECT_TRUE(MapperConfig().backend(BackendKind::kSharded).threads(4).validate().ok());
+  EXPECT_TRUE(
+      MapperConfig().backend(BackendKind::kSharded).sharded({.threads = 4}).validate().ok());
   EXPECT_TRUE(MapperConfig()
                   .backend(BackendKind::kAccelerator)
                   .accelerator(AcceleratorOptions{})
@@ -147,9 +241,24 @@ TEST(MapperConfigValidation, AcceptsEveryBackendKindWhenWellFormed) {
                   .ok());
   EXPECT_TRUE(MapperConfig()
                   .backend(BackendKind::kTiledWorld)
-                  .tile_shift(5)
-                  .world_directory("some_dir")
-                  .resident_byte_budget(1 << 20)
+                  .world({.directory = "some_dir",
+                          .resident_byte_budget = 1 << 20,
+                          .tile_shift = 5})
+                  .validate()
+                  .ok());
+  EXPECT_TRUE(MapperConfig().backend(BackendKind::kHybrid).validate().ok());
+  EXPECT_TRUE(MapperConfig()
+                  .backend(BackendKind::kHybrid)
+                  .hybrid({.window_voxels = 32,
+                           .flush_high_water = 4096,
+                           .back_backend = BackendKind::kSharded})
+                  .sharded({.threads = 4})
+                  .validate()
+                  .ok());
+  EXPECT_TRUE(MapperConfig()
+                  .backend(BackendKind::kHybrid)
+                  .hybrid({.back_backend = BackendKind::kTiledWorld})
+                  .world({.directory = "some_dir", .tile_shift = 5})
                   .validate()
                   .ok());
 }

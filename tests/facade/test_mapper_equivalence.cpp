@@ -108,9 +108,11 @@ TEST(FacadeEquivalence, AcceleratorSessionMatchesHandWired) {
 }
 
 TEST(FacadeEquivalence, ShardedSessionMatchesHandWired) {
-  Mapper mapper =
-      Mapper::create(MapperConfig().resolution(0.2).backend(BackendKind::kSharded).threads(4))
-          .value();
+  Mapper mapper = Mapper::create(MapperConfig()
+                                     .resolution(0.2)
+                                     .backend(BackendKind::kSharded)
+                                     .sharded({.threads = 4}))
+                      .value();
   stream_into(mapper, test_scans());
 
   pipeline::ShardedPipelineConfig cfg;
@@ -152,9 +154,9 @@ TEST(FacadeEquivalence, TiledWorldSessionMatchesHandWired) {
   Mapper mapper = Mapper::create(MapperConfig()
                                      .resolution(0.2)
                                      .backend(BackendKind::kTiledWorld)
-                                     .tile_shift(5)
-                                     .world_directory(dir.path())
-                                     .resident_byte_budget(budget))
+                                     .world({.directory = dir.path(),
+                                             .resident_byte_budget = budget,
+                                             .tile_shift = 5}))
                       .value();
   stream_into(mapper, test_scans());
   ASSERT_TRUE(mapper.flush().ok());
@@ -182,6 +184,143 @@ TEST(FacadeEquivalence, TiledWorldSessionMatchesHandWired) {
   }
 }
 
+// ---- Hybrid write-absorber sessions -----------------------------------------
+// The hybrid backend's whole contract is that absorbing writes in the
+// dense window costs zero bits: after a flush boundary the session is
+// indistinguishable from one that inserted directly into the back.
+
+TEST(FacadeEquivalence, HybridOverOctreeMatchesDirectSession) {
+  Mapper direct = Mapper::create(MapperConfig().resolution(0.2)).value();
+  Mapper hybrid = Mapper::create(MapperConfig()
+                                     .resolution(0.2)
+                                     .backend(BackendKind::kHybrid)
+                                     .hybrid({.window_voxels = 32}))
+                      .value();
+  stream_into(direct, test_scans());
+  stream_into(hybrid, test_scans());
+  ASSERT_TRUE(hybrid.flush().ok());
+
+  EXPECT_EQ(hybrid.content_hash().value(), direct.content_hash().value());
+  EXPECT_EQ(hybrid.content_hash().value(), reference_tree().content_hash());
+  EXPECT_EQ(hybrid.backend_name(), "hybrid[octree]");
+
+  // The window actually absorbed work (the sweep stays near each origin).
+  const MapperStats stats = hybrid.stats();
+  EXPECT_GT(stats.absorber.updates_absorbed, 0u);
+  EXPECT_GT(stats.absorber.window_flushes, 0u);
+  EXPECT_NE(hybrid.internal_hybrid(), nullptr);
+  EXPECT_EQ(direct.internal_hybrid(), nullptr);
+
+  // Facade snapshot published at the flush answers like the direct tree.
+  const MapView view = hybrid.snapshot().value();
+  for (const Vec3& p : probe_positions(reference_tree())) {
+    const map::Occupancy expect = reference_tree().classify(geom::Vec3d{p.x, p.y, p.z});
+    EXPECT_EQ(static_cast<int>(view.classify(p)), static_cast<int>(expect));
+  }
+}
+
+TEST(FacadeEquivalence, HybridOverShardedMatchesDirectSession) {
+  Mapper hybrid = Mapper::create(MapperConfig()
+                                     .resolution(0.2)
+                                     .backend(BackendKind::kHybrid)
+                                     .hybrid({.window_voxels = 32,
+                                              .back_backend = BackendKind::kSharded})
+                                     .sharded({.threads = 4}))
+                      .value();
+  stream_into(hybrid, test_scans());
+  ASSERT_TRUE(hybrid.flush().ok());
+
+  EXPECT_EQ(hybrid.backend_name(), "hybrid[sharded-pipeline-x4]");
+  EXPECT_EQ(hybrid.content_hash().value(), reference_tree().content_hash());
+  EXPECT_GT(hybrid.stats().absorber.updates_absorbed, 0u);
+}
+
+TEST(FacadeEquivalence, HybridOverTiledWorldMatchesDirectSession) {
+  TempDir dir("facade_hybrid_world");
+  Mapper hybrid = Mapper::create(MapperConfig()
+                                     .resolution(0.2)
+                                     .backend(BackendKind::kHybrid)
+                                     .hybrid({.window_voxels = 32,
+                                              .back_backend = BackendKind::kTiledWorld})
+                                     .world({.directory = dir.path(), .tile_shift = 5}))
+                      .value();
+  stream_into(hybrid, test_scans());
+  ASSERT_TRUE(hybrid.flush().ok());
+
+  world::TiledWorldConfig cfg;
+  cfg.resolution = 0.2;
+  cfg.tile_shift = 5;
+  world::TiledWorldMap hand(cfg);
+  stream_into(hand, test_scans());
+  hand.flush();
+
+  EXPECT_EQ(hybrid.content_hash().value(), hand.content_hash());
+  EXPECT_GT(hybrid.stats().absorber.updates_absorbed, 0u);
+}
+
+// A tiny window under a wide sweep forces constant scrolling: most
+// updates either pass through or get evicted mid-stream. Bit-identity
+// must survive that churn too.
+TEST(FacadeEquivalence, HybridScrollChurnCostsNoBits) {
+  Mapper hybrid = Mapper::create(MapperConfig()
+                                     .resolution(0.2)
+                                     .backend(BackendKind::kHybrid)
+                                     .hybrid({.window_voxels = 8, .flush_high_water = 96}))
+                      .value();
+  stream_into(hybrid, test_scans());
+  ASSERT_TRUE(hybrid.flush().ok());
+
+  EXPECT_EQ(hybrid.content_hash().value(), reference_tree().content_hash());
+  const MapperStats::Absorber& a = hybrid.stats().absorber;
+  EXPECT_GT(a.updates_passed_through, 0u);  // the 1.6 m window cannot hold a scan
+  EXPECT_GT(a.scrolls, 0u);                 // the sweep moves the origin every scan
+}
+
+// ---- insert(ScanView) unification -------------------------------------------
+
+TEST(FacadeEquivalence, InsertScanViewMatchesInsertScan) {
+  Mapper by_scan = Mapper::create(MapperConfig().resolution(0.2)).value();
+  Mapper by_view = Mapper::create(MapperConfig().resolution(0.2)).value();
+
+  for (const auto& scan : test_scans()) {
+    ASSERT_TRUE(insert_cloud(by_scan, scan.points, scan.origin).ok());
+    std::vector<Point> points;
+    points.reserve(scan.points.size());
+    for (const geom::Vec3f& p : scan.points) points.push_back(Point{p.x, p.y, p.z});
+    ScanView view;
+    view.points = points.data();
+    view.point_count = points.size();
+    view.origin = Vec3{scan.origin.x, scan.origin.y, scan.origin.z};
+    ASSERT_TRUE(by_view.insert(view).ok());
+  }
+  EXPECT_EQ(by_scan.content_hash().value(), by_view.content_hash().value());
+  EXPECT_EQ(by_view.stats().ingest.scans_inserted, test_scans().size());
+}
+
+TEST(FacadeEquivalence, InsertScanViewWithRayOriginsMatchesInsertRays) {
+  Mapper by_rays = Mapper::create(MapperConfig().resolution(0.2)).value();
+  Mapper by_view = Mapper::create(MapperConfig().resolution(0.2)).value();
+
+  for (const auto& scan : test_scans()) {
+    std::vector<Ray> rays;
+    std::vector<Point> points;
+    std::vector<Vec3> origins;
+    for (const geom::Vec3f& p : scan.points) {
+      const Vec3 origin{scan.origin.x, scan.origin.y, scan.origin.z};
+      rays.push_back(Ray{origin, Point{p.x, p.y, p.z}});
+      points.push_back(Point{p.x, p.y, p.z});
+      origins.push_back(origin);
+    }
+    ASSERT_TRUE(by_rays.insert(rays).ok());
+    ScanView view;
+    view.points = points.data();
+    view.point_count = points.size();
+    view.ray_origins = origins.data();
+    ASSERT_TRUE(by_view.insert(view).ok());
+  }
+  EXPECT_EQ(by_rays.content_hash().value(), by_view.content_hash().value());
+}
+
 TEST(FacadeEquivalence, InsertRaysMatchesInsertScan) {
   Mapper by_scan = Mapper::create(MapperConfig().resolution(0.2)).value();
   Mapper by_rays = Mapper::create(MapperConfig().resolution(0.2)).value();
@@ -196,7 +335,7 @@ TEST(FacadeEquivalence, InsertRaysMatchesInsertScan) {
     ASSERT_TRUE(by_rays.insert_rays(rays).ok());
   }
   EXPECT_EQ(by_scan.content_hash().value(), by_rays.content_hash().value());
-  EXPECT_EQ(by_rays.stats().rays_inserted, by_rays.stats().points_inserted);
+  EXPECT_EQ(by_rays.stats().ingest.rays_inserted, by_rays.stats().ingest.points_inserted);
 }
 
 TEST(FacadeEquivalence, SensorModelPropagatesToEveryBackend) {
@@ -207,10 +346,12 @@ TEST(FacadeEquivalence, SensorModelPropagatesToEveryBackend) {
   sm.max_range = 4.0;
 
   Mapper octree = Mapper::create(MapperConfig().resolution(0.2).sensor_model(sm)).value();
-  Mapper sharded =
-      Mapper::create(
-          MapperConfig().resolution(0.2).sensor_model(sm).backend(BackendKind::kSharded).threads(3))
-          .value();
+  Mapper sharded = Mapper::create(MapperConfig()
+                                      .resolution(0.2)
+                                      .sensor_model(sm)
+                                      .backend(BackendKind::kSharded)
+                                      .sharded({.threads = 3}))
+                       .value();
   stream_into(octree, test_scans());
   stream_into(sharded, test_scans());
   EXPECT_EQ(octree.content_hash().value(), sharded.content_hash().value());

@@ -38,7 +38,7 @@ TEST(MapperLifecycle, FlushPublishesNewEpochsAndCountsStats) {
   // A flush with nothing new is publish-free: readers keep the epoch.
   ASSERT_TRUE(mapper.flush().ok());
   EXPECT_EQ(mapper.snapshot().value().epoch(), first_epoch);
-  EXPECT_EQ(mapper.stats().noop_flushes, 1u);
+  EXPECT_EQ(mapper.stats().publication.noop_flushes, 1u);
 
   // New content publishes a new epoch.
   const float point[] = {4.0f, 2.0f, 1.0f};
@@ -47,14 +47,14 @@ TEST(MapperLifecycle, FlushPublishesNewEpochsAndCountsStats) {
   EXPECT_GT(mapper.snapshot().value().epoch(), first_epoch);
 
   const MapperStats stats = mapper.stats();
-  EXPECT_EQ(stats.scans_inserted, test_scans().size() + 1);
-  EXPECT_GT(stats.points_inserted, 0u);
-  EXPECT_GT(stats.voxel_updates, stats.points_inserted);  // rays free >1 voxel
-  EXPECT_EQ(stats.flushes, 3u);
-  EXPECT_GT(stats.memory_bytes, 0u);
-  EXPECT_EQ(stats.snapshots_published, 2u);
-  EXPECT_GE(stats.incremental_publications, 1u);  // second publish spliced
-  EXPECT_GT(stats.snapshot_bytes_reused, 0u);     // unchanged branches shared
+  EXPECT_EQ(stats.ingest.scans_inserted, test_scans().size() + 1);
+  EXPECT_GT(stats.ingest.points_inserted, 0u);
+  EXPECT_GT(stats.ingest.voxel_updates, stats.ingest.points_inserted);  // rays free >1 voxel
+  EXPECT_EQ(stats.ingest.flushes, 3u);
+  EXPECT_GT(stats.ingest.memory_bytes, 0u);
+  EXPECT_EQ(stats.publication.snapshots_published, 2u);
+  EXPECT_GE(stats.publication.incremental_publications, 1u);  // second publish spliced
+  EXPECT_GT(stats.publication.bytes_reused, 0u);     // unchanged branches shared
 }
 
 TEST(MapperLifecycle, ViewSurvivesMapperClose) {

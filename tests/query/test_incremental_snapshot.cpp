@@ -390,16 +390,16 @@ TEST(IncrementalSnapshotChurn, FacadeChurnPublishesIncrementallyAndStaysIdentica
   }
 
   const MapperStats stats = mapper.stats();
-  EXPECT_EQ(stats.snapshots_published, 8u);
-  EXPECT_GE(stats.incremental_publications, 6u);  // localized epochs spliced
-  EXPECT_GT(stats.snapshot_chunks_reused, 0u);
-  EXPECT_GT(stats.snapshot_bytes_reused, 0u);
-  EXPECT_GT(stats.snapshot_bytes_rebuilt, 0u);
+  EXPECT_EQ(stats.publication.snapshots_published, 8u);
+  EXPECT_GE(stats.publication.incremental_publications, 6u);  // localized epochs spliced
+  EXPECT_GT(stats.publication.chunks_reused, 0u);
+  EXPECT_GT(stats.publication.bytes_reused, 0u);
+  EXPECT_GT(stats.publication.bytes_rebuilt, 0u);
 
   // Idle facade flush: counted, but publishes nothing.
   ASSERT_TRUE(mapper.flush().ok());
-  EXPECT_EQ(mapper.stats().snapshots_published, 8u);
-  EXPECT_EQ(mapper.stats().noop_flushes, 1u);
+  EXPECT_EQ(mapper.stats().publication.snapshots_published, 8u);
+  EXPECT_EQ(mapper.stats().publication.noop_flushes, 1u);
 }
 
 // ---- Chunk refcount lifecycle property tests -------------------------------

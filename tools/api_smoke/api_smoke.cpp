@@ -1,10 +1,10 @@
 // Public-API smoke: a complete mapping session written against nothing
 // but the installed <omu/omu.hpp> surface. Exercises the documented
-// lifecycle — builder config (including a rejection), insert, flush,
-// snapshot queries, live queries, cross-backend bit-identity, save_map —
-// and exits nonzero on any deviation. Compiling this file with no src/
-// include path is itself the test that the public headers are
-// self-contained.
+// lifecycle — nested builder config (including rejections), insert,
+// flush, snapshot queries, live queries, cross-backend bit-identity
+// (sharded and hybrid vs octree), save_map — and exits nonzero on any
+// deviation. Compiling this file with no src/ include path is itself
+// the test that the public headers are self-contained.
 #include <omu/omu.hpp>
 
 #include <cmath>
@@ -34,38 +34,61 @@ int fail(const char* what, const omu::Status& status) {
   return 1;
 }
 
+/// Expects a config to be rejected with kInvalidArgument naming `field`.
+int expect_rejected(omu::Result<omu::Mapper>& bad, const char* field) {
+  if (bad.ok()) {
+    std::fprintf(stderr, "FAIL: config naming %s was accepted\n", field);
+    return 1;
+  }
+  if (bad.status().code() != omu::StatusCode::kInvalidArgument ||
+      bad.status().message().find(field) == std::string::npos) {
+    return fail(field, bad.status());
+  }
+  std::cout << "rejected as expected: " << bad.status() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   using namespace omu;
 
-  // ---- Config validation speaks field names -------------------------------
+  // ---- Config validation speaks nested field names ------------------------
   {
-    Result<Mapper> bad = Mapper::create(MapperConfig().threads(0));
-    if (bad.ok()) {
-      std::fprintf(stderr, "FAIL: zero-thread config was accepted\n");
-      return 1;
-    }
-    if (bad.status().code() != StatusCode::kInvalidArgument ||
-        bad.status().message().find("threads") == std::string::npos) {
-      return fail("rejection message", bad.status());
-    }
-    std::cout << "rejected as expected: " << bad.status() << "\n";
+    Result<Mapper> bad =
+        Mapper::create(MapperConfig().backend(BackendKind::kSharded).sharded({.threads = 0}));
+    if (int rc = expect_rejected(bad, "sharded.threads")) return rc;
+  }
+  {
+    Result<Mapper> bad = Mapper::create(
+        MapperConfig().backend(BackendKind::kHybrid).hybrid({.window_voxels = 48}));
+    if (int rc = expect_rejected(bad, "hybrid.window_voxels")) return rc;
+  }
+  {
+    Result<Mapper> bad = Mapper::create(MapperConfig().backend(BackendKind::kHybrid).hybrid(
+        {.back_backend = BackendKind::kAccelerator}));
+    if (int rc = expect_rejected(bad, "hybrid.back_backend")) return rc;
   }
 
-  // ---- Octree and sharded sessions over the identical stream --------------
+  // ---- Octree, sharded, and hybrid sessions over the identical stream -----
   Result<Mapper> octree = Mapper::create(MapperConfig().resolution(0.2));
   if (!octree.ok()) return fail("create(octree)", octree.status());
-  Result<Mapper> sharded =
-      Mapper::create(MapperConfig().resolution(0.2).backend(BackendKind::kSharded).threads(4));
+  Result<Mapper> sharded = Mapper::create(
+      MapperConfig().resolution(0.2).backend(BackendKind::kSharded).sharded({.threads = 4}));
   if (!sharded.ok()) return fail("create(sharded)", sharded.status());
+  Result<Mapper> hybrid = Mapper::create(
+      MapperConfig().resolution(0.2).backend(BackendKind::kHybrid).hybrid(
+          {.window_voxels = 64, .back_backend = BackendKind::kOctree}));
+  if (!hybrid.ok()) return fail("create(hybrid)", hybrid.status());
 
   const std::vector<Point> scan = room_scan(2000);
   const Vec3 origin{0.0, 0.0, 0.0};
-  if (Status s = octree->insert_scan(scan, origin); !s.ok()) return fail("insert(octree)", s);
-  if (Status s = sharded->insert_scan(scan, origin); !s.ok()) return fail("insert(sharded)", s);
+  if (Status s = octree->insert(scan, origin); !s.ok()) return fail("insert(octree)", s);
+  if (Status s = sharded->insert(scan, origin); !s.ok()) return fail("insert(sharded)", s);
+  if (Status s = hybrid->insert(scan, origin); !s.ok()) return fail("insert(hybrid)", s);
   if (Status s = octree->flush(); !s.ok()) return fail("flush(octree)", s);
   if (Status s = sharded->flush(); !s.ok()) return fail("flush(sharded)", s);
+  if (Status s = hybrid->flush(); !s.ok()) return fail("flush(hybrid)", s);
 
   // ---- Snapshot + live queries -------------------------------------------
   Result<MapView> view = sharded->snapshot();
@@ -96,10 +119,27 @@ int main() {
   // ---- Cross-backend bit-identity ----------------------------------------
   Result<uint64_t> h1 = octree->content_hash();
   Result<uint64_t> h2 = sharded->content_hash();
+  Result<uint64_t> h3 = hybrid->content_hash();
   if (!h1.ok() || !h2.ok() || h1.value() != h2.value()) {
     std::fprintf(stderr, "FAIL: octree and sharded maps not bit-identical\n");
     return 1;
   }
+  if (!h3.ok() || h1.value() != h3.value()) {
+    std::fprintf(stderr, "FAIL: hybrid-absorbed map not bit-identical to octree\n");
+    return 1;
+  }
+
+  // ---- The absorber did the work it claims --------------------------------
+  const MapperStats hybrid_stats = hybrid->stats();
+  if (hybrid_stats.absorber.updates_absorbed == 0) {
+    std::fprintf(stderr, "FAIL: hybrid session absorbed no updates\n");
+    return 1;
+  }
+  if (hybrid_stats.absorber.window_flushes == 0) {
+    std::fprintf(stderr, "FAIL: hybrid session never flushed its window\n");
+    return 1;
+  }
+  std::cout << hybrid_stats.absorber << "\n";
 
   // ---- Persistence + close ------------------------------------------------
   if (Status s = octree->save_map("api_smoke_map.omap"); !s.ok()) return fail("save_map", s);
@@ -111,9 +151,10 @@ int main() {
 
   const MapperStats stats = sharded->stats();
   std::printf("api smoke ok: %llu points -> %llu updates, %zu snapshot leaves, "
-              "hash %016llx (%s)\n",
-              static_cast<unsigned long long>(stats.points_inserted),
-              static_cast<unsigned long long>(stats.voxel_updates), view->leaf_count(),
-              static_cast<unsigned long long>(h2.value()), sharded->backend_name().c_str());
+              "hash %016llx (%s vs %s)\n",
+              static_cast<unsigned long long>(stats.ingest.points_inserted),
+              static_cast<unsigned long long>(stats.ingest.voxel_updates), view->leaf_count(),
+              static_cast<unsigned long long>(h2.value()), sharded->backend_name().c_str(),
+              hybrid->backend_name().c_str());
   return 0;
 }
