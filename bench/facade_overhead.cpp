@@ -149,7 +149,7 @@ void facade(benchkit::State& state) {
   // Generous band: host noise on shared runners, not a perf claim.
   state.check("insert_overhead_sane", facade_insert_s < hand_insert_s * 2.0 + 0.05);
 
-  const MapperStats stats = mapper.stats();
+  const MapperStats stats = mapper.stats().value();
   state.set_items_processed(stats.ingest.voxel_updates);
   state.set_counter("facade_insert_updates_per_sec",
                     static_cast<double>(stats.ingest.voxel_updates) / facade_insert_s);

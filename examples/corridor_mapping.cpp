@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   Mapper reference = examples::require_value(
       Mapper::create(MapperConfig().resolution(0.2)), "Mapper::create(octree)");
   examples::stream_dataset(reference, dataset);
-  const std::size_t monolithic_bytes = reference.stats().ingest.memory_bytes;
+  const std::size_t monolithic_bytes = reference.stats()->ingest.memory_bytes;
 
   // ---- Out-of-core pass: the identical stream through a tiled world -------
   // Budget: under half the monolithic footprint, so the pager must evict.
@@ -118,6 +118,6 @@ int main(int argc, char** argv) {
 
   if (!identical || !reload_ok) return 1;
   std::printf("\n%llu updates mapped out-of-core with zero accuracy loss\n",
-              static_cast<unsigned long long>(world.stats().ingest.voxel_updates));
+              static_cast<unsigned long long>(world.stats()->ingest.voxel_updates));
   return 0;
 }

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     examples::require_ok(examples::insert_cloud(mapper, scan.points, scan.pose.translation()),
                          "insert_scan");
   }
-  const MapperStats stats = mapper.stats();
+  const MapperStats stats = mapper.stats().value();
   const double upd_per_pt =
       static_cast<double>(stats.ingest.voxel_updates) / static_cast<double>(stats.ingest.points_inserted);
   std::printf("generated        : %zu scans, %llu points, %llu updates (%.1f updates/pt, "

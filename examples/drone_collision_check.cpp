@@ -83,7 +83,7 @@ int main() {
     examples::require_ok(examples::insert_cloud(hardware, cloud, hover), "insert_scan(hw)");
     std::printf("mapped from (%+5.1f, %+5.1f): %6zu points, %llu updates so far\n", hover.x,
                 hover.y, cloud.size(),
-                static_cast<unsigned long long>(reference.stats().ingest.voxel_updates));
+                static_cast<unsigned long long>(reference.stats()->ingest.voxel_updates));
   }
   examples::require_ok(hardware.flush(), "flush");
   const accel::OmuAccelerator& omu_model = *hardware.internal_accelerator();

@@ -30,7 +30,7 @@ int main() {
       "Mapper::create(octree)");
   examples::require_ok(examples::insert_cloud(software, cloud, sensor_origin), "insert_scan");
 
-  const MapperStats sw_stats = software.stats();
+  const MapperStats sw_stats = software.stats().value();
   std::printf("software OctoMap (omu::Mapper, backend=octree):\n");
   std::printf("  points               : %llu\n",
               static_cast<unsigned long long>(sw_stats.ingest.points_inserted));

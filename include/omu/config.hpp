@@ -38,6 +38,7 @@
 #include <utility>
 
 #include "omu/status.hpp"
+#include "omu/telemetry.hpp"
 
 namespace omu::accel {
 struct OmuConfig;  // internal accelerator model configuration (src/accel)
@@ -181,6 +182,13 @@ class MapperConfig {
     return *this;
   }
 
+  /// Telemetry options (any backend): timing metrics default on, the
+  /// trace journal default off (see omu/telemetry.hpp).
+  MapperConfig& telemetry(const TelemetryOptions& options) {
+    telemetry_ = options;
+    return *this;
+  }
+
   /// Advanced: a complete internal accel::OmuConfig (cycle costs, queue
   /// depths, issue rates — everything). Takes precedence over
   /// accelerator(); its resolution/params fields are overridden by this
@@ -213,6 +221,7 @@ class MapperConfig {
   const ShardedOptions& sharded() const { return sharded_; }
   const WorldOptions& world() const { return world_; }
   const HybridOptions& hybrid() const { return hybrid_; }
+  const TelemetryOptions& telemetry() const { return telemetry_; }
   const std::optional<AcceleratorOptions>& accelerator() const { return accelerator_; }
   /// Non-null when accelerator_config() was used.
   const accel::OmuConfig* accelerator_config() const { return accel_config_.get(); }
@@ -244,6 +253,7 @@ class MapperConfig {
   ShardedOptions sharded_{};
   WorldOptions world_{};
   HybridOptions hybrid_{};
+  TelemetryOptions telemetry_{};
   std::optional<AcceleratorOptions> accelerator_;
   // shared_ptr so MapperConfig stays copyable with only a forward
   // declaration of the internal type (the control block owns the deleter).

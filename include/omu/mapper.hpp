@@ -44,6 +44,7 @@
 #include "omu/config.hpp"
 #include "omu/map_view.hpp"
 #include "omu/status.hpp"
+#include "omu/telemetry.hpp"
 #include "omu/types.hpp"
 
 // Internal subsystem types reachable through the internal_*() escape
@@ -209,8 +210,17 @@ class Mapper {
   double resolution() const;
 
   /// Cheap cumulative session counters, grouped per subsystem:
-  /// stats().ingest / .publication / .paging / .absorber.
-  MapperStats stats() const;
+  /// stats()->ingest / .publication / .paging / .absorber. The groups are
+  /// views over the session's named telemetry metrics (the same numbers
+  /// telemetry() exports as counters). kFailedPrecondition after close().
+  Result<MapperStats> stats() const;
+
+  /// Full telemetry export: every named counter, gauge and latency
+  /// histogram the session's subsystems recorded, plus the trace journal
+  /// when TelemetryOptions::journal is on (see omu/telemetry.hpp for the
+  /// metric catalog and the JSON/Prometheus serializations).
+  /// kFailedPrecondition after close().
+  Result<TelemetrySnapshot> telemetry() const;
 
   /// Paging counters (sessions with a tiled world — kTiledWorld or
   /// hybrid-over-world; kFailedPrecondition otherwise). The same numbers

@@ -24,8 +24,15 @@ HybridMapBackend::HybridMapBackend(map::MapBackend& back, const HybridConfig& co
   }
 }
 
+void HybridMapBackend::set_telemetry(obs::Telemetry* telemetry) {
+  absorb_ns_ = telemetry != nullptr ? telemetry->histogram("absorber.absorb_ns") : nullptr;
+  drain_ns_ = telemetry != nullptr ? telemetry->histogram("absorber.drain_ns") : nullptr;
+  journal_ = telemetry != nullptr ? telemetry->journal() : nullptr;
+}
+
 void HybridMapBackend::apply(const map::UpdateBatch& batch) {
   if (batch.empty()) return;
+  obs::TraceSpan span(absorb_ns_, journal_, "absorber.absorb");
   const map::OccupancyParams params = grid_.params();
   pass_through_.clear();
   for (const map::VoxelUpdate& u : batch) {
@@ -48,6 +55,7 @@ void HybridMapBackend::apply(const map::UpdateBatch& batch) {
 
 void HybridMapBackend::drain_window() {
   if (grid_.dirty_count() == 0) return;
+  obs::TraceSpan span(drain_ns_, journal_, "absorber.drain");
   flush_scratch_.clear();
   grid_.drain(flush_scratch_);
   stats_.voxels_flushed += flush_scratch_.size();

@@ -37,6 +37,7 @@
 #include "localgrid/scrolling_grid.hpp"
 #include "map/map_backend.hpp"
 #include "map/update_batch.hpp"
+#include "obs/telemetry.hpp"
 
 namespace omu::localgrid {
 
@@ -123,6 +124,12 @@ class HybridMapBackend final : public map::MapBackend {
   const ScrollingGrid& grid() const { return grid_; }
   const AbsorberStats& absorber_stats() const { return stats_; }
 
+  /// Resolves the absorber instrumentation handles ("absorber.absorb_ns"
+  /// around each apply()'s split/absorb pass, "absorber.drain_ns" around
+  /// each window drain into the back). Null detaches. Externally
+  /// serialized like every other mutation.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   map::MapBackend* back_;
   HybridConfig cfg_;
@@ -131,6 +138,9 @@ class HybridMapBackend final : public map::MapBackend {
   AbsorberStats stats_;
   map::UpdateBatch pass_through_;                       ///< per-apply scratch
   std::vector<map::AggregatedVoxelDelta> flush_scratch_;  ///< per-drain scratch
+  obs::Histogram* absorb_ns_ = nullptr;  // "absorber.absorb_ns"
+  obs::Histogram* drain_ns_ = nullptr;   // "absorber.drain_ns"
+  obs::TraceJournal* journal_ = nullptr;
 };
 
 }  // namespace omu::localgrid

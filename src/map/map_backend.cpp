@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace omu::map {
 
 void MapBackend::apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas) {
@@ -23,6 +25,11 @@ void OctreeBackend::apply(const UpdateBatch& batch) {
 
 void OctreeBackend::apply_aggregated(const std::vector<AggregatedVoxelDelta>& deltas) {
   for (const AggregatedVoxelDelta& d : deltas) apply_aggregated_to_tree(*tree_, d);
+}
+
+void OctreeBackend::set_telemetry(obs::Telemetry* telemetry) {
+  tree_->set_prune_histogram(telemetry != nullptr ? telemetry->histogram("ingest.prune_ns")
+                                                  : nullptr);
 }
 
 MapSnapshotDelta OctreeBackend::export_snapshot_delta(uint64_t since_generation) {

@@ -25,6 +25,10 @@
 #include "map/ockey.hpp"
 #include "map/update_batch.hpp"
 
+namespace omu::obs {
+class Telemetry;  // obs/telemetry.hpp
+}
+
 namespace omu::map {
 
 /// Everything a backend exports to build an immutable map snapshot (see
@@ -161,6 +165,10 @@ class OctreeBackend final : public MapBackend {
   uint64_t content_hash() const override { return tree_->content_hash(); }
   MapSnapshotDelta export_snapshot_delta(uint64_t since_generation) override;
   PhaseStats* ray_stats() override { return &tree_->stats(); }
+
+  /// Telemetry hook: wires the tree's prune-latency histogram
+  /// ("ingest.prune_ns"). Null detaches.
+  void set_telemetry(obs::Telemetry* telemetry);
 
   OccupancyOctree& tree() { return *tree_; }
   const OccupancyOctree& tree() const { return *tree_; }

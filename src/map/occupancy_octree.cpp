@@ -9,6 +9,7 @@
 #include "geom/kernels/key_kernels.hpp"
 #include "geom/kernels/logodds_kernels.hpp"
 #include "geom/kernels/simd.hpp"
+#include "obs/trace.hpp"
 
 namespace omu::map {
 
@@ -536,6 +537,7 @@ void OccupancyOctree::merge(const OccupancyOctree& other) {
 }
 
 void OccupancyOctree::prune() {
+  obs::TraceSpan span(prune_ns_, "ingest.prune");
   cache_depth_ = 0;  // the full-tree pass frees blocks the cache may reference
   std::size_t pruned = 0;
   if (pool_[0].is_inner()) prune_recurs(0, 0, pruned);

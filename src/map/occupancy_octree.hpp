@@ -36,6 +36,11 @@
 #include "map/occupancy_params.hpp"
 #include "map/phase_stats.hpp"
 
+namespace omu::obs {
+class Histogram;  // obs/metrics.hpp; kept a forward declaration so the
+                  // hottest map header stays free of the obs includes
+}
+
 namespace omu::map {
 
 /// Read-only view of a node returned by queries.
@@ -163,6 +168,10 @@ class OccupancyOctree {
   /// for maps edited via set_node_log_odds.
   void prune();
 
+  /// Telemetry hook: pass latency of prune() ("ingest.prune_ns"). Null
+  /// (the default) records nothing.
+  void set_prune_histogram(obs::Histogram* histogram) { prune_ns_ = histogram; }
+
   /// Expands every pruned leaf above the finest level into explicit
   /// children (OctoMap's `expand()`); inverse of prune() for testing.
   void expand_all();
@@ -281,6 +290,7 @@ class OccupancyOctree {
   OccupancyParams params_;
   NodeArena pool_;
   PhaseStats stats_;
+  obs::Histogram* prune_ns_ = nullptr;  // "ingest.prune_ns" telemetry hook
 
   // Descent memoization for the hot update path (update_node_snapped):
   // the root-to-leaf node-index path of the last update plus how many of

@@ -26,6 +26,7 @@
 #include "map/phase_stats.hpp"
 #include "map/ray_batch.hpp"
 #include "map/ray_keys.hpp"
+#include "obs/trace.hpp"
 
 namespace omu::map {
 
@@ -57,6 +58,10 @@ class RayUpdateGenerator {
 
   const KeyCoder& coder() const { return *coder_; }
 
+  /// Telemetry hook: latency of the SoA batch-prepare stage
+  /// ("ingest.prepare_ns"). Null (the default) records nothing.
+  void set_prepare_histogram(obs::Histogram* histogram) { prepare_ns_ = histogram; }
+
   /// Invokes `sink(const RaySegment&)` once per point of the scan, in scan
   /// order. A ray whose endpoints fall outside the representable key space
   /// yields an empty segment (the point is still reported so the sink can
@@ -65,7 +70,10 @@ class RayUpdateGenerator {
   template <typename Sink>
   void generate(const geom::PointCloud& world_points, const geom::Vec3d& origin, double max_range,
                 PhaseStats* stats, Sink&& sink) {
-    planner_.prepare(world_points, origin, max_range);
+    {
+      obs::TraceSpan span(prepare_ns_, "ingest.prepare");
+      planner_.prepare(world_points, origin, max_range);
+    }
     const std::size_t n = planner_.size();
     const double res = coder_->resolution();
     for (std::size_t i = 0; i < n; ++i) {
@@ -92,6 +100,7 @@ class RayUpdateGenerator {
   const KeyCoder* coder_;
   RayBatchPlanner planner_;
   std::vector<OcKey> ray_buffer_;
+  obs::Histogram* prepare_ns_ = nullptr;
 };
 
 }  // namespace omu::map

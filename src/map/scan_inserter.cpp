@@ -19,8 +19,17 @@ ScanInserter::ScanInserter(MapBackend& backend, InsertPolicy policy)
   if (ray_stats_ == nullptr) ray_stats_ = &local_ray_stats_;
 }
 
+void ScanInserter::set_telemetry(obs::Telemetry* telemetry) {
+  insert_ns_ = telemetry != nullptr ? telemetry->histogram("ingest.insert_ns") : nullptr;
+  apply_ns_ = telemetry != nullptr ? telemetry->histogram("ingest.apply_ns") : nullptr;
+  journal_ = telemetry != nullptr ? telemetry->journal() : nullptr;
+  generator_.set_prepare_histogram(
+      telemetry != nullptr ? telemetry->histogram("ingest.prepare_ns") : nullptr);
+}
+
 ScanInsertResult ScanInserter::insert_scan(const geom::PointCloud& world_points,
                                            const geom::Vec3d& origin) {
+  obs::TraceSpan span(insert_ns_, journal_, "ingest.insert");
   scratch_.clear();
   const ScanInsertResult result = collect_updates(world_points, origin, scratch_);
   apply_updates(scratch_);
@@ -48,6 +57,9 @@ ScanInsertResult ScanInserter::collect_updates(const geom::PointCloud& world_poi
   return result;
 }
 
-void ScanInserter::apply_updates(const UpdateBatch& updates) { backend_->apply(updates); }
+void ScanInserter::apply_updates(const UpdateBatch& updates) {
+  obs::TraceSpan span(apply_ns_, journal_, "ingest.apply");
+  backend_->apply(updates);
+}
 
 }  // namespace omu::map

@@ -25,6 +25,7 @@
 #include "map/occupancy_octree.hpp"
 #include "map/ray_generator.hpp"
 #include "map/update_batch.hpp"
+#include "obs/telemetry.hpp"
 
 namespace omu::map {
 
@@ -43,6 +44,12 @@ class ScanInserter {
 
   const InsertPolicy& policy() const { return policy_; }
   MapBackend& backend() { return *backend_; }
+
+  /// Resolves the ingest instrumentation handles ("ingest.insert_ns",
+  /// "ingest.prepare_ns", "ingest.apply_ns") against `telemetry`. Null
+  /// detaches; handles are resolved once here, so record sites stay a
+  /// null-check when telemetry is off.
+  void set_telemetry(obs::Telemetry* telemetry);
 
   /// Integrates a world-frame point cloud captured from `origin`.
   ScanInsertResult insert_scan(const geom::PointCloud& world_points, const geom::Vec3d& origin);
@@ -72,6 +79,9 @@ class ScanInserter {
   UpdateDeduper deduper_;
   UpdateBatch scratch_;
   std::size_t last_scan_updates_ = 0;  // reserve hint for the next scan
+  obs::Histogram* insert_ns_ = nullptr;  // "ingest.insert_ns"
+  obs::Histogram* apply_ns_ = nullptr;   // "ingest.apply_ns"
+  obs::TraceJournal* journal_ = nullptr;
 };
 
 }  // namespace omu::map

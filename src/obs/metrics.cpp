@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace omu::obs {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: the smallest rank whose value is a
+  // valid q-quantile of the recorded multiset (matches a sorted
+  // reference's sample at index ceil(q*count)-1).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      const double lo = static_cast<double>(bucket_lower(i));
+      double hi = static_cast<double>(bucket_upper(i));
+      // The last recorded value caps the top bucket's honest upper edge.
+      if (static_cast<double>(max) < hi && static_cast<double>(max) >= lo) {
+        hi = static_cast<double>(max);
+      }
+      // Linear interpolation across the bucket's ranks.
+      const double within = static_cast<double>(rank - cumulative);
+      const double frac = within / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+template <typename T>
+T* MetricRegistry::get(const std::string& name, MetricKind kind) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    if constexpr (std::is_same_v<T, Counter>) entry.counter = std::make_unique<Counter>();
+    if constexpr (std::is_same_v<T, Gauge>) entry.gauge = std::make_unique<Gauge>();
+    if constexpr (std::is_same_v<T, Histogram>) entry.histogram = std::make_unique<Histogram>();
+  } else if (entry.kind != kind) {
+    throw std::logic_error("MetricRegistry: metric '" + name +
+                           "' already registered as a different kind");
+  }
+  if constexpr (std::is_same_v<T, Counter>) return entry.counter.get();
+  if constexpr (std::is_same_v<T, Gauge>) return entry.gauge.get();
+  if constexpr (std::is_same_v<T, Histogram>) return entry.histogram.get();
+}
+
+template Counter* MetricRegistry::get<Counter>(const std::string&, MetricKind);
+template Gauge* MetricRegistry::get<Gauge>(const std::string&, MetricKind);
+template Histogram* MetricRegistry::get<Histogram>(const std::string&, MetricKind);
+
+std::vector<MetricSample> MetricRegistry::samples() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter: sample.counter = entry.counter->value(); break;
+      case MetricKind::kGauge: sample.gauge = entry.gauge->value(); break;
+      case MetricKind::kHistogram: sample.histogram = entry.histogram->snapshot(); break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace omu::obs

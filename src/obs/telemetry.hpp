@@ -1,0 +1,74 @@
+// obs::Telemetry — one session's telemetry context: the metric registry,
+// the optional trace journal, and the handle-resolution policy that makes
+// disabled instrumentation free.
+//
+// Subsystems never consult configuration at record time. At wiring time
+// they resolve named handles through this object:
+//   - counter(name): always non-null — plain counters back MapperStats
+//     and stay live in every configuration (their cost is one relaxed add,
+//     which the pre-telemetry stats code already paid);
+//   - histogram(name) / gauge(name): nullptr unless timing metrics are
+//     enabled (TelemetryOptions::metrics and the OMU_TELEMETRY build
+//     toggle), so a disabled site's entire cost is a null check and no
+//     clock is ever read;
+//   - journal(): nullptr unless the bounded trace journal is enabled.
+//
+// snapshot() exports everything as the public omu::TelemetrySnapshot
+// value; to_json()/to_prometheus() are conveniences over it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "omu/telemetry.hpp"
+
+namespace omu::obs {
+
+/// Construction options (mirrors the public omu::TelemetryOptions).
+struct TelemetryConfig {
+  bool metrics = true;
+  bool journal = false;
+  std::size_t journal_capacity = 8192;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryConfig& config = TelemetryConfig{});
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryConfig& config() const { return cfg_; }
+
+  /// Timing instrumentation active (config AND the build toggle).
+  bool metrics_enabled() const { return metrics_enabled_; }
+
+  // ---- Handle resolution (wiring time; see header comment) ---------------
+
+  Counter* counter(const std::string& name) { return registry_.counter(name); }
+  Gauge* gauge(const std::string& name) {
+    return metrics_enabled_ ? registry_.gauge(name) : nullptr;
+  }
+  Histogram* histogram(const std::string& name) {
+    return metrics_enabled_ ? registry_.histogram(name) : nullptr;
+  }
+  TraceJournal* journal() { return journal_.get(); }
+
+  MetricRegistry& registry() { return registry_; }
+
+  // ---- Export ------------------------------------------------------------
+
+  omu::TelemetrySnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+  std::string to_prometheus() const { return snapshot().to_prometheus(); }
+
+ private:
+  TelemetryConfig cfg_;
+  bool metrics_enabled_;
+  MetricRegistry registry_;
+  std::unique_ptr<TraceJournal> journal_;  ///< null when disabled
+};
+
+}  // namespace omu::obs

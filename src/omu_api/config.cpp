@@ -269,6 +269,17 @@ Status MapperConfig::validate() const {
     }
   }
 
+  if (telemetry_.journal && telemetry_.journal_capacity == 0) {
+    return Status::invalid_argument(
+        "telemetry.journal_capacity: must be >= 1 events when the trace journal is enabled, "
+        "got 0");
+  }
+  if (telemetry_.journal_capacity > (std::size_t{1} << 24)) {
+    return Status::invalid_argument(
+        "telemetry.journal_capacity: " + fmt(telemetry_.journal_capacity) +
+        " events exceeds the 2^24 bound (the journal is a bounded debugging ring, not a full "
+        "trace store)");
+  }
   if ((accelerator_.has_value() || accel_config_) && backend_ != BackendKind::kAccelerator) {
     return Status::invalid_argument(
         std::string(accel_config_ ? "accelerator_config" : "accelerator") +

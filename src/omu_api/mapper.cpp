@@ -17,6 +17,7 @@
 #include "map/occupancy_octree.hpp"
 #include "map/octree_io.hpp"
 #include "map/scan_inserter.hpp"
+#include "obs/telemetry.hpp"
 #include "omu_api/convert.hpp"
 #include "omu_api/view_rep.hpp"
 #include "pipeline/sharded_map_pipeline.hpp"
@@ -95,11 +96,24 @@ struct Mapper::Impl {
   std::unique_ptr<world::WorldViewService> view_service; // world sessions
 
   geom::PointCloud cloud_scratch;  ///< reused per insert call
-  MapperStats stats;
+
+  // Session telemetry (obs/telemetry.hpp): owns the metric registry and
+  // the optional trace journal; the engines above hold resolved handles
+  // into it, so it must outlive them (release() resets it last). The
+  // ingest counters below back the MapperStats ingest block and are live
+  // in every build configuration.
+  std::unique_ptr<obs::Telemetry> telemetry;
+  obs::Counter* scans_inserted = nullptr;   // "ingest.scans"
+  obs::Counter* rays_inserted = nullptr;    // "ingest.rays"
+  obs::Counter* points_inserted = nullptr;  // "ingest.points"
+  obs::Counter* voxel_updates = nullptr;    // "ingest.voxel_updates"
+  obs::Counter* flushes = nullptr;          // "ingest.flushes"
+
   bool open = false;
 
   /// Tears the session down in dependency order (publishers detach before
-  /// the services they publish into die).
+  /// the services they publish into die; telemetry outlives every handle
+  /// holder).
   void release() {
     open = false;
     inserter.reset();
@@ -115,17 +129,44 @@ struct Mapper::Impl {
     world.reset();
     query_service.reset();
     view_service.reset();
+    scans_inserted = nullptr;
+    rays_inserted = nullptr;
+    points_inserted = nullptr;
+    voxel_updates = nullptr;
+    flushes = nullptr;
+    telemetry.reset();
+  }
+
+  /// Builds the telemetry context from `config` and resolves the facade's
+  /// own counters. Must run before the engines (the sharded pipeline takes
+  /// the pointer at construction).
+  void make_telemetry() {
+    obs::TelemetryConfig tcfg;
+    tcfg.metrics = config.telemetry().metrics;
+    tcfg.journal = config.telemetry().journal;
+    tcfg.journal_capacity = config.telemetry().journal_capacity;
+    telemetry = std::make_unique<obs::Telemetry>(tcfg);
+    scans_inserted = telemetry->counter("ingest.scans");
+    rays_inserted = telemetry->counter("ingest.rays");
+    points_inserted = telemetry->counter("ingest.points");
+    voxel_updates = telemetry->counter("ingest.voxel_updates");
+    flushes = telemetry->counter("ingest.flushes");
   }
 
   /// Wires the inserter + publication service once `backend` is set.
   void finish_wiring(const map::InsertPolicy& policy) {
     backend_name = backend->name();
     inserter = std::make_unique<map::ScanInserter>(*backend, policy);
+    inserter->set_telemetry(telemetry.get());
+    if (octree_backend) octree_backend->set_telemetry(telemetry.get());
+    if (world) world->set_telemetry(telemetry.get());
+    if (hybrid) hybrid->set_telemetry(telemetry.get());
     if (world) {
       view_service = std::make_unique<world::WorldViewService>();
       world->attach_view_service(view_service.get());  // publishes an initial view
     } else {
       query_service = std::make_unique<query::QueryService>();  // epoch-0 placeholder
+      query_service->set_telemetry(telemetry.get());
       // Hybrid sessions publish through the hybrid (refresh_from drains
       // the window first), never from inside a sharded back's flush —
       // attaching the service to the back would publish snapshots that
@@ -141,9 +182,45 @@ struct Mapper::Impl {
       // integrates, so the dense front covers the rays about to land.
       if (hybrid) hybrid->follow(origin);
       const map::ScanInsertResult r = inserter->insert_scan(cloud_scratch, origin);
-      stats.ingest.points_inserted += r.points;
-      stats.ingest.voxel_updates += r.total_updates();
+      points_inserted->add(r.points);
+      voxel_updates->add(r.total_updates());
     });
+  }
+
+  /// Mirrors the derived (subsystem-owned) stats into registry counters so
+  /// one telemetry export carries the whole session. Counters are
+  /// monotonic adds; the sources are cumulative, so add the delta.
+  void sync_derived_counters() {
+    const auto sync = [&](const char* name, uint64_t value) {
+      obs::Counter* c = telemetry->counter(name);
+      const uint64_t seen = c->value();
+      if (value > seen) c->add(value - seen);
+    };
+    if (query_service) {
+      const query::SnapshotPublishStats ps = query_service->publish_stats();
+      sync("publish.snapshots", ps.publications);
+      sync("publish.incremental", ps.incremental_publications);
+      sync("publish.noop_flushes", ps.noop_refreshes);
+    } else if (world) {
+      const world::WorldViewBuildStats ws = world->view_build_stats();
+      sync("publish.snapshots", ws.views_built);
+      sync("publish.incremental", ws.tiles_spliced);
+      sync("publish.noop_flushes", ws.noop_flushes);
+    }
+    if (world) {
+      const world::TilePagerStats p = world->pager_stats();
+      sync("paging.evictions", p.evictions);
+      sync("paging.reloads", p.reloads);
+      sync("paging.tile_writes", p.tile_writes);
+    }
+    if (hybrid) {
+      const localgrid::AbsorberStats a = hybrid->absorber_stats();
+      sync("absorber.updates_absorbed", a.updates_absorbed);
+      sync("absorber.updates_passed_through", a.updates_passed_through);
+      sync("absorber.voxels_flushed", a.voxels_flushed);
+      sync("absorber.window_flushes", a.window_flushes);
+      sync("absorber.scrolls", a.scrolls);
+    }
   }
 };
 
@@ -160,6 +237,7 @@ Result<Mapper> Mapper::create(const MapperConfig& config) {
 
   auto impl = std::make_unique<Impl>();
   impl->config = config;
+  impl->make_telemetry();
   const map::OccupancyParams params = api::to_occupancy_params(config.sensor_model());
 
   // One engine builder per kind, reused by the hybrid case for its back.
@@ -174,6 +252,7 @@ Result<Mapper> Mapper::create(const MapperConfig& config) {
     cfg.queue_depth = config.sharded().queue_depth;
     cfg.resolution = config.resolution();
     cfg.params = params;
+    cfg.telemetry = impl->telemetry.get();
     impl->sharded = std::make_unique<pipeline::ShardedMapPipeline>(cfg);
     impl->backend = impl->sharded.get();
   };
@@ -285,6 +364,7 @@ Result<Mapper> Mapper::open(const std::string& world_directory, const OpenOption
                      .resolution(wcfg.resolution)
                      .sensor_model(sensor)
                      .world(world_options);
+  impl->make_telemetry();
   impl->finish_wiring(insert_policy_of(impl->config.sensor_model()));
   return Mapper(std::move(impl));
 }
@@ -313,7 +393,7 @@ Status Mapper::insert(const ScanView& scan) {
       impl_->cloud_scratch.push_back(geom::Vec3f{p.x, p.y, p.z});
     }
     const Status s = impl_->integrate_cloud({scan.origin.x, scan.origin.y, scan.origin.z});
-    if (s.ok() && scan.point_count > 0) ++impl_->stats.ingest.scans_inserted;
+    if (s.ok() && scan.point_count > 0) impl_->scans_inserted->add(1);
     return s;
   }
 
@@ -330,7 +410,7 @@ Status Mapper::insert(const ScanView& scan) {
       ++j;
     }
     if (Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z}); !s.ok()) return s;
-    impl_->stats.ingest.rays_inserted += j - i;
+    impl_->rays_inserted->add(j - i);
     i = j;
   }
   return Status();
@@ -348,7 +428,7 @@ Status Mapper::insert(const float* xyz, std::size_t point_count, const Vec3& ori
     impl_->cloud_scratch.push_back(geom::Vec3f{xyz[3 * i], xyz[3 * i + 1], xyz[3 * i + 2]});
   }
   const Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z});
-  if (s.ok() && point_count > 0) ++impl_->stats.ingest.scans_inserted;
+  if (s.ok() && point_count > 0) impl_->scans_inserted->add(1);
   return s;
 }
 
@@ -370,7 +450,7 @@ Status Mapper::insert(const Ray* rays, std::size_t ray_count) {
       ++j;
     }
     if (Status s = impl_->integrate_cloud({origin.x, origin.y, origin.z}); !s.ok()) return s;
-    impl_->stats.ingest.rays_inserted += j - i;
+    impl_->rays_inserted->add(j - i);
     i = j;
   }
   return Status();
@@ -392,7 +472,7 @@ Status Mapper::flush() {
       impl_->backend->flush();
     }
   });
-  if (s.ok()) ++impl_->stats.ingest.flushes;
+  if (s.ok()) impl_->flushes->add(1);
   return s;
 }
 
@@ -484,9 +564,14 @@ std::string Mapper::backend_name() const { return impl_ ? impl_->backend_name : 
 
 double Mapper::resolution() const { return config().resolution(); }
 
-MapperStats Mapper::stats() const {
-  if (!impl_) return MapperStats{};
-  MapperStats s = impl_->stats;
+Result<MapperStats> Mapper::stats() const {
+  if (!impl_ || !impl_->open) return closed_status();
+  MapperStats s;
+  s.ingest.scans_inserted = impl_->scans_inserted->value();
+  s.ingest.rays_inserted = impl_->rays_inserted->value();
+  s.ingest.points_inserted = impl_->points_inserted->value();
+  s.ingest.voxel_updates = impl_->voxel_updates->value();
+  s.ingest.flushes = impl_->flushes->value();
   if (impl_->tree) {
     s.ingest.memory_bytes = impl_->tree->memory_bytes();
   } else if (impl_->world) {
@@ -537,6 +622,14 @@ MapperStats Mapper::stats() const {
   return s;
 }
 
+Result<TelemetrySnapshot> Mapper::telemetry() const {
+  if (!impl_ || !impl_->open) return closed_status();
+  // Mirror the subsystem-owned cumulative stats into registry counters
+  // first, so the export is one self-contained document.
+  impl_->sync_derived_counters();
+  return impl_->telemetry->snapshot();
+}
+
 Result<WorldPagingStats> Mapper::paging_stats() const {
   if (!impl_ || !impl_->open) return closed_status();
   if (!impl_->world) {
@@ -544,7 +637,7 @@ Result<WorldPagingStats> Mapper::paging_stats() const {
                                        "this is a " +
                                        std::string(to_string(backend())) + " session");
   }
-  return stats().paging;
+  return stats()->paging;
 }
 
 Result<uint64_t> Mapper::content_hash() {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "pipeline/batch_router.hpp"
 #include "query/query_service.hpp"
 
@@ -18,6 +19,11 @@ ShardedMapPipeline::ShardedMapPipeline(const ShardedPipelineConfig& config)
   shards_.reserve(cfg_.shard_count);
   for (std::size_t i = 0; i < cfg_.shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>(cfg_));
+    if (cfg_.telemetry != nullptr) {
+      const std::string prefix = "pipeline.shard" + std::to_string(i) + ".";
+      shards_.back()->queue_depth_gauge = cfg_.telemetry->gauge(prefix + "queue_depth");
+      shards_.back()->apply_ns = cfg_.telemetry->histogram(prefix + "apply_ns");
+    }
   }
   // Spawn after the vector is fully built so worker_loop never sees a
   // partially constructed pipeline.
@@ -39,7 +45,11 @@ std::string ShardedMapPipeline::name() const {
 
 void ShardedMapPipeline::worker_loop(Shard& shard) {
   while (auto batch = shard.channel.pop()) {
+    if (shard.queue_depth_gauge != nullptr) {
+      shard.queue_depth_gauge->set(static_cast<int64_t>(shard.channel.size()));
+    }
     {
+      obs::TraceSpan span(shard.apply_ns, "pipeline.apply");
       std::lock_guard lock(shard.tree_mutex);
       for (const map::VoxelUpdate& u : *batch) shard.tree.update_node(u.key, u.occupied);
     }
@@ -81,6 +91,9 @@ void ShardedMapPipeline::apply(const map::UpdateBatch& batch) {
     if (shard.channel.push(std::move(split[s]))) {
       shard.updates_routed += count;
       updates_routed_.fetch_add(count, std::memory_order_relaxed);
+      if (shard.queue_depth_gauge != nullptr) {
+        shard.queue_depth_gauge->set(static_cast<int64_t>(shard.channel.size()));
+      }
     } else {
       // Channel closed (destruction race): the sub-batch was dropped, so
       // undo its in-flight accounting. The producer token below keeps the

@@ -36,6 +36,12 @@ namespace omu::query {
 class QueryService;
 }
 
+namespace omu::obs {
+class Telemetry;  // obs/telemetry.hpp
+class Gauge;      // obs/metrics.hpp
+class Histogram;  // obs/metrics.hpp
+}
+
 namespace omu::pipeline {
 
 /// Construction parameters of the sharded pipeline.
@@ -48,6 +54,12 @@ struct ShardedPipelineConfig {
   std::size_t queue_depth = 64;
   double resolution = 0.2;
   map::OccupancyParams params{};
+  /// Telemetry sink resolved at construction (workers start in the ctor,
+  /// so there is no safe post-construction wiring point). Per shard N the
+  /// pipeline registers "pipeline.shardN.queue_depth" (gauge, channel
+  /// occupancy) and "pipeline.shardN.apply_ns" (histogram, per-sub-batch
+  /// tree-apply latency). Null = no instrumentation.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Per-shard observability counters.
@@ -166,6 +178,10 @@ class ShardedMapPipeline final : public map::MapBackend {
     std::atomic<uint64_t> updates_applied{0};
     uint64_t updates_routed = 0;      // producer-side only
     std::size_t last_routed_size = 0; // reserve hint for the next split
+
+    // Telemetry handles, resolved once in the pipeline ctor (null = off).
+    obs::Gauge* queue_depth_gauge = nullptr;  // "pipeline.shardN.queue_depth"
+    obs::Histogram* apply_ns = nullptr;       // "pipeline.shardN.apply_ns"
   };
 
   void worker_loop(Shard& shard);

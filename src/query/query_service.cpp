@@ -1,5 +1,7 @@
 #include "query/query_service.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace omu::query {
 
 std::atomic<uint64_t> QueryService::next_version_{1};
@@ -68,12 +70,21 @@ uint64_t QueryService::publish(map::MapSnapshotData data) {
   return publish_delta(std::move(delta), nullptr);
 }
 
+void QueryService::set_telemetry(obs::Telemetry* telemetry) {
+  std::lock_guard lock(publish_mutex_);
+  refresh_ns_ = telemetry != nullptr ? telemetry->histogram("publish.refresh_ns") : nullptr;
+  splice_ns_ = telemetry != nullptr ? telemetry->histogram("publish.splice_ns") : nullptr;
+  build_ns_ = telemetry != nullptr ? telemetry->histogram("publish.build_ns") : nullptr;
+  journal_ = telemetry != nullptr ? telemetry->journal() : nullptr;
+}
+
 uint64_t QueryService::refresh_from(map::MapBackend& backend) {
   backend.flush();
   // The export runs under the publish mutex: harvesting the backend's
   // dirty accumulator and recording which snapshot it paired with must be
   // atomic against other publishers.
   std::lock_guard lock(publish_mutex_);
+  obs::TraceSpan span(refresh_ns_, journal_, "publish.refresh");
   const uint64_t since = delta_source_ == &backend ? delta_generation_ : 0;
   return publish_delta_locked(backend.export_snapshot_delta(since), &backend);
 }
@@ -112,6 +123,7 @@ uint64_t QueryService::publish_delta_locked(map::MapSnapshotDelta delta, const v
       // backend to answer full — an incremental delta here is a caller bug.
       throw std::logic_error("QueryService::publish_delta: incremental delta without a base");
     }
+    obs::TraceSpan span(build_ns_, journal_, "publish.build");
     next = MapSnapshot::build(
         map::MapSnapshotData{std::move(delta.leaves), delta.resolution, delta.params}, epoch);
     for (int b = 0; b < 8; ++b) {
@@ -121,6 +133,7 @@ uint64_t QueryService::publish_delta_locked(map::MapSnapshotDelta delta, const v
       }
     }
   } else {
+    obs::TraceSpan span(splice_ns_, journal_, "publish.splice");
     next = MapSnapshot::build_incremental(*delta_base_, std::move(delta), epoch, &build_stats);
     publish_stats_.incremental_publications++;
   }

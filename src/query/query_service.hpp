@@ -40,6 +40,12 @@
 #include "map/map_backend.hpp"
 #include "query/map_snapshot.hpp"
 
+namespace omu::obs {
+class Telemetry;     // obs/telemetry.hpp
+class Histogram;     // obs/metrics.hpp
+class TraceJournal;  // obs/trace.hpp
+}
+
 namespace omu::query {
 
 /// Cumulative counters of the service's publication side: how many epochs
@@ -138,6 +144,13 @@ class QueryService {
   /// Publication-side counters (see SnapshotPublishStats).
   SnapshotPublishStats publish_stats() const;
 
+  /// Resolves the publication instrumentation handles: "publish.refresh_ns"
+  /// around each refresh_from publication (export + build + swap, after
+  /// the backend flush), "publish.splice_ns" around each incremental
+  /// splice build, and "publish.build_ns" around each full rebuild. Null
+  /// detaches. Takes the publish mutex; safe any time.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   /// Per-thread cache of the last snapshots a thread observed, a few
   /// services wide so a thread reading several maps (local costmap +
@@ -177,6 +190,12 @@ class QueryService {
   uint64_t delta_generation_ = 0;
   std::shared_ptr<const MapSnapshot> delta_base_;
   SnapshotPublishStats publish_stats_;  ///< guarded by publish_mutex_
+
+  // Telemetry handles, guarded by publish_mutex_ (null = off).
+  obs::Histogram* refresh_ns_ = nullptr;  ///< "publish.refresh_ns"
+  obs::Histogram* splice_ns_ = nullptr;   ///< "publish.splice_ns"
+  obs::Histogram* build_ns_ = nullptr;    ///< "publish.build_ns"
+  obs::TraceJournal* journal_ = nullptr;
 
   static std::atomic<uint64_t> next_version_;
 };

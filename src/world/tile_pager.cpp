@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "world/world_manifest.hpp"
 
 namespace omu::world {
@@ -130,7 +131,10 @@ map::TileBackend& TilePager::acquire(TileId id) {
       // budget + one tile (one residency step).
       rebalance(id);
     }
-    slot.handle = load_file(id, slot);
+    {
+      obs::TraceSpan span(reload_ns_, "paging.reload");
+      slot.handle = load_file(id, slot);
+    }
     slot.dirty = false;
     counters_.reloads++;
     resident_tiles_++;
@@ -162,7 +166,13 @@ void TilePager::mark_dirty(TileId id) {
   set_resident_bytes(slot, slot.handle->memory_bytes());
 }
 
+void TilePager::set_telemetry(obs::Telemetry* telemetry) {
+  evict_ns_ = telemetry != nullptr ? telemetry->histogram("paging.evict_ns") : nullptr;
+  reload_ns_ = telemetry != nullptr ? telemetry->histogram("paging.reload_ns") : nullptr;
+}
+
 void TilePager::evict(TileId id, Slot& slot) {
+  obs::TraceSpan span(evict_ns_, "paging.evict");
   if (slot.dirty) write_file(id, slot);
   set_resident_bytes(slot, 0);
   slot.handle.reset();

@@ -29,6 +29,11 @@
 #include "map/backend_factory.hpp"
 #include "world/tile_grid.hpp"
 
+namespace omu::obs {
+class Telemetry;  // obs/telemetry.hpp
+class Histogram;  // obs/metrics.hpp
+}
+
 namespace omu::world {
 
 /// Pager construction parameters.
@@ -135,6 +140,12 @@ class TilePager {
 
   TilePagerStats stats() const;
 
+  /// Resolves the paging instrumentation handles ("paging.evict_ns" around
+  /// each eviction write-back+drop, "paging.reload_ns" around each paged-in
+  /// reload). Null detaches. The pager is externally serialized by its
+  /// owning TiledWorldMap, so wiring any time before use is safe.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct Slot {
     std::unique_ptr<map::TileBackend> handle;  ///< null when evicted
@@ -160,6 +171,8 @@ class TilePager {
   std::size_t resident_bytes_ = 0;
   std::size_t resident_tiles_ = 0;
   mutable TilePagerStats counters_{};  // evictions/reloads/writes/transient
+  obs::Histogram* evict_ns_ = nullptr;   // "paging.evict_ns"
+  obs::Histogram* reload_ns_ = nullptr;  // "paging.reload_ns"
 };
 
 }  // namespace omu::world

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "world/world_manifest.hpp"
 
 namespace omu::world {
@@ -169,7 +170,14 @@ std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view() {
   return capture_view_locked();
 }
 
+void TiledWorldMap::set_telemetry(obs::Telemetry* telemetry) {
+  std::lock_guard lock(mutex_);
+  pager_.set_telemetry(telemetry);
+  view_build_ns_ = telemetry != nullptr ? telemetry->histogram("publish.view_build_ns") : nullptr;
+}
+
 std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view_locked() {
+  obs::TraceSpan span(view_build_ns_, "publish.view_build");
   std::vector<std::pair<TileId, std::shared_ptr<const query::MapSnapshot>>> tiles;
   const std::vector<TileId> known = pager_.known_tiles();
   tiles.reserve(known.size());

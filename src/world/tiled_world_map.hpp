@@ -179,6 +179,11 @@ class TiledWorldMap final : public map::MapBackend {
 
   std::size_t tile_count() const;
   TilePagerStats pager_stats() const;
+
+  /// Resolves world-layer instrumentation: forwards paging handles to the
+  /// pager and wires "publish.view_build_ns" around each view capture.
+  /// Null detaches. Takes the world mutex; safe any time.
+  void set_telemetry(obs::Telemetry* telemetry);
   /// Voxel updates applied so far.
   uint64_t updates_applied() const;
   /// View-publication counters (see WorldViewBuildStats).
@@ -204,6 +209,7 @@ class TiledWorldMap final : public map::MapBackend {
   map::PhaseStats ray_stats_;
   WorldViewService* view_service_ = nullptr;  ///< guarded by mutex_
   uint64_t view_epoch_ = 0;                   ///< guarded by mutex_
+  obs::Histogram* view_build_ns_ = nullptr;   ///< "publish.view_build_ns"; guarded by mutex_
   uint64_t updates_applied_ = 0;              ///< guarded by mutex_
   /// Manifest freshness: once a manifest exists on disk (open()/save()),
   /// it is rewritten whenever evictions touch tile files, so the on-disk

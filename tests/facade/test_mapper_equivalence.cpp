@@ -205,7 +205,7 @@ TEST(FacadeEquivalence, HybridOverOctreeMatchesDirectSession) {
   EXPECT_EQ(hybrid.backend_name(), "hybrid[octree]");
 
   // The window actually absorbed work (the sweep stays near each origin).
-  const MapperStats stats = hybrid.stats();
+  const MapperStats stats = hybrid.stats().value();
   EXPECT_GT(stats.absorber.updates_absorbed, 0u);
   EXPECT_GT(stats.absorber.window_flushes, 0u);
   EXPECT_NE(hybrid.internal_hybrid(), nullptr);
@@ -232,7 +232,7 @@ TEST(FacadeEquivalence, HybridOverShardedMatchesDirectSession) {
 
   EXPECT_EQ(hybrid.backend_name(), "hybrid[sharded-pipeline-x4]");
   EXPECT_EQ(hybrid.content_hash().value(), reference_tree().content_hash());
-  EXPECT_GT(hybrid.stats().absorber.updates_absorbed, 0u);
+  EXPECT_GT(hybrid.stats()->absorber.updates_absorbed, 0u);
 }
 
 TEST(FacadeEquivalence, HybridOverTiledWorldMatchesDirectSession) {
@@ -255,7 +255,7 @@ TEST(FacadeEquivalence, HybridOverTiledWorldMatchesDirectSession) {
   hand.flush();
 
   EXPECT_EQ(hybrid.content_hash().value(), hand.content_hash());
-  EXPECT_GT(hybrid.stats().absorber.updates_absorbed, 0u);
+  EXPECT_GT(hybrid.stats()->absorber.updates_absorbed, 0u);
 }
 
 // A tiny window under a wide sweep forces constant scrolling: most
@@ -271,7 +271,7 @@ TEST(FacadeEquivalence, HybridScrollChurnCostsNoBits) {
   ASSERT_TRUE(hybrid.flush().ok());
 
   EXPECT_EQ(hybrid.content_hash().value(), reference_tree().content_hash());
-  const MapperStats::Absorber& a = hybrid.stats().absorber;
+  const MapperStats::Absorber a = hybrid.stats()->absorber;
   EXPECT_GT(a.updates_passed_through, 0u);  // the 1.6 m window cannot hold a scan
   EXPECT_GT(a.scrolls, 0u);                 // the sweep moves the origin every scan
 }
@@ -294,7 +294,7 @@ TEST(FacadeEquivalence, InsertScanViewMatchesInsertScan) {
     ASSERT_TRUE(by_view.insert(view).ok());
   }
   EXPECT_EQ(by_scan.content_hash().value(), by_view.content_hash().value());
-  EXPECT_EQ(by_view.stats().ingest.scans_inserted, test_scans().size());
+  EXPECT_EQ(by_view.stats()->ingest.scans_inserted, test_scans().size());
 }
 
 TEST(FacadeEquivalence, InsertScanViewWithRayOriginsMatchesInsertRays) {
@@ -335,7 +335,7 @@ TEST(FacadeEquivalence, InsertRaysMatchesInsertScan) {
     ASSERT_TRUE(by_rays.insert_rays(rays).ok());
   }
   EXPECT_EQ(by_scan.content_hash().value(), by_rays.content_hash().value());
-  EXPECT_EQ(by_rays.stats().ingest.rays_inserted, by_rays.stats().ingest.points_inserted);
+  EXPECT_EQ(by_rays.stats()->ingest.rays_inserted, by_rays.stats()->ingest.points_inserted);
 }
 
 TEST(FacadeEquivalence, SensorModelPropagatesToEveryBackend) {

@@ -38,7 +38,7 @@ TEST(MapperLifecycle, FlushPublishesNewEpochsAndCountsStats) {
   // A flush with nothing new is publish-free: readers keep the epoch.
   ASSERT_TRUE(mapper.flush().ok());
   EXPECT_EQ(mapper.snapshot().value().epoch(), first_epoch);
-  EXPECT_EQ(mapper.stats().publication.noop_flushes, 1u);
+  EXPECT_EQ(mapper.stats()->publication.noop_flushes, 1u);
 
   // New content publishes a new epoch.
   const float point[] = {4.0f, 2.0f, 1.0f};
@@ -46,7 +46,7 @@ TEST(MapperLifecycle, FlushPublishesNewEpochsAndCountsStats) {
   ASSERT_TRUE(mapper.flush().ok());
   EXPECT_GT(mapper.snapshot().value().epoch(), first_epoch);
 
-  const MapperStats stats = mapper.stats();
+  const MapperStats stats = mapper.stats().value();
   EXPECT_EQ(stats.ingest.scans_inserted, test_scans().size() + 1);
   EXPECT_GT(stats.ingest.points_inserted, 0u);
   EXPECT_GT(stats.ingest.voxel_updates, stats.ingest.points_inserted);  // rays free >1 voxel
@@ -97,6 +97,8 @@ TEST(MapperLifecycle, EveryCallFailsClosedAfterClose) {
   EXPECT_EQ(mapper.classify(Vec3{0, 0, 0}).status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(mapper.save_map("x.omap").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(mapper.content_hash().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mapper.stats().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(mapper.telemetry().status().code(), StatusCode::kFailedPrecondition);
   // Introspection still answers.
   EXPECT_EQ(mapper.backend_name(), "octree");
   EXPECT_EQ(mapper.backend(), BackendKind::kOctree);

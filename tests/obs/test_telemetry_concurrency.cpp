@@ -1,0 +1,159 @@
+// Concurrency coverage for the telemetry primitives, aimed at the TSan CI
+// leg (suite name matches the sanitizer job's ctest regex): recorder
+// threads hammer counters/gauges/histograms while a reader repeatedly
+// snapshots, registration races get-or-create, and journal appends race
+// the event reader. Assertions check the coherence contract — monotone
+// counts, no torn totals once writers join — not exact interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace omu::obs {
+namespace {
+
+constexpr int kRecorders = 4;
+constexpr int kRecordsPerThread = 20000;
+
+TEST(TelemetryConcurrency, RecordersRacingSnapshotReaderStayCoherent) {
+  Histogram histogram;
+  Counter counter;
+  Gauge gauge;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    uint64_t prev_count = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot snap = histogram.snapshot();
+      // Counts are monotone across snapshots, and no snapshot can hold
+      // more bucket entries than records that completed the bucket add.
+      EXPECT_GE(snap.count + kRecorders, prev_count);  // relaxed-race slack
+      prev_count = snap.count > prev_count ? snap.count : prev_count;
+      (void)snap.quantile(0.99);
+      (void)counter.value();
+      (void)gauge.value();
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        histogram.record(static_cast<uint64_t>(t * 1000 + (i % 977)));
+        counter.add(1);
+        gauge.set(i);
+      }
+    });
+  }
+  for (std::thread& thread : recorders) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiescent state: every record landed exactly once.
+  const HistogramSnapshot final_snap = histogram.snapshot();
+  const uint64_t expected = uint64_t{kRecorders} * kRecordsPerThread;
+  EXPECT_EQ(final_snap.count, expected);
+  EXPECT_EQ(counter.value(), expected);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : final_snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, expected);
+}
+
+TEST(TelemetryConcurrency, RegistrationRacesResolveToOneInstance) {
+  MetricRegistry registry;
+  std::vector<Counter*> seen(kRecorders, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* c = registry.counter("race.counter");
+      c->add(1);
+      // Re-resolving under load must return the same stable pointer.
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(registry.counter("race.counter"), c);
+      seen[t] = c;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kRecorders; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kRecorders));
+}
+
+#if OMU_TELEMETRY_ENABLED
+
+TEST(TelemetryConcurrency, JournalAppendsRaceEventReader) {
+  TraceJournal journal(256);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Append order, not timestamp order: concurrent writers read the
+      // clock before taking the append lock, so t_ns may interleave.
+      const std::vector<TraceEvent> events = journal.events();
+      EXPECT_LE(events.size(), 256u);
+      for (const TraceEvent& e : events) EXPECT_STREQ(e.stage, "race.stage");
+      (void)journal.dropped();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kRecorders; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        TraceSpan span(nullptr, &journal, "race.stage");
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // 2 events per span; the ring retains the newest 256 and reports the rest.
+  const uint64_t total = uint64_t{2} * kRecorders * 2000;
+  EXPECT_EQ(journal.events().size(), 256u);
+  EXPECT_EQ(journal.dropped(), total - 256u);
+}
+
+#endif  // OMU_TELEMETRY_ENABLED
+
+TEST(TelemetryConcurrency, SnapshotRacesLiveTelemetryRecorders) {
+  // End-to-end: spans recording through a Telemetry context while another
+  // thread exports full snapshots (the Mapper::telemetry() read path).
+  Telemetry telemetry(TelemetryConfig{.metrics = true, .journal = true, .journal_capacity = 128});
+  Histogram* h = telemetry.histogram("ingest.insert_ns");
+  Counter* c = telemetry.counter("ingest.scans");
+  std::atomic<bool> stop{false};
+
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TelemetrySnapshot snap = telemetry.snapshot();
+      EXPECT_EQ(snap.metrics_enabled, static_cast<bool>(OMU_TELEMETRY_ENABLED));
+      (void)snap.to_json();
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        TraceSpan span(h, telemetry.journal(), "ingest.insert");
+        c->add(1);
+      }
+    });
+  }
+  for (std::thread& thread : recorders) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+
+  const TelemetrySnapshot snap = telemetry.snapshot();
+  const TelemetrySnapshot::Metric* scans = snap.find("ingest.scans");
+  ASSERT_NE(scans, nullptr);
+  EXPECT_EQ(scans->counter, uint64_t{kRecorders} * 5000);
+}
+
+}  // namespace
+}  // namespace omu::obs

@@ -1,0 +1,125 @@
+// TraceSpan / TraceJournal unit tests: RAII spans record into their
+// histogram, journal begin/end events pair into a reconstructible
+// timeline, the ring bound keeps the newest events and reports drops.
+// Timing-dependent assertions are gated on OMU_TELEMETRY_ENABLED so the
+// suite also passes (as stub coverage) in the compiled-out build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace omu::obs {
+namespace {
+
+TEST(ObsTrace, SpanRecordsIntoHistogram) {
+  Histogram h;
+  {
+    TraceSpan span(&h, "stage");
+  }
+#if OMU_TELEMETRY_ENABLED
+  EXPECT_EQ(h.count(), 1u);
+#else
+  EXPECT_EQ(h.count(), 0u);  // stub span: no clock read, no record
+#endif
+}
+
+TEST(ObsTrace, NullHandleSpanRecordsNothing) {
+  {
+    TraceSpan span(nullptr, nullptr, "stage");
+    TraceSpan histogram_only(nullptr, "stage");
+  }
+  SUCCEED();  // the contract is "no crash, no work"; nothing observable
+}
+
+TEST(ObsTrace, FinishIsIdempotent) {
+  Histogram h;
+  TraceSpan span(&h, "stage");
+  span.finish();
+  span.finish();  // second finish and the destructor must both no-op
+#if OMU_TELEMETRY_ENABLED
+  EXPECT_EQ(h.count(), 1u);
+#endif
+}
+
+#if OMU_TELEMETRY_ENABLED
+
+TEST(ObsTrace, JournalPairsBeginAndEndEvents) {
+  TraceJournal journal(64);
+  Histogram h;
+  {
+    TraceSpan outer(&h, &journal, "ingest.insert");
+    TraceSpan inner(&h, &journal, "ingest.apply");
+  }
+  const std::vector<TraceEvent> events = journal.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(journal.dropped(), 0u);
+
+  // Begin/end pair up by span id, one begin and one end each, and the
+  // nesting order holds: outer begins first, ends last.
+  std::map<uint64_t, int> opens;
+  for (const TraceEvent& e : events) opens[e.span_id] += e.begin ? 1 : -1;
+  for (const auto& [id, balance] : opens) EXPECT_EQ(balance, 0) << "span " << id;
+  EXPECT_TRUE(events[0].begin);
+  EXPECT_STREQ(events[0].stage, "ingest.insert");
+  EXPECT_TRUE(events[1].begin);
+  EXPECT_STREQ(events[1].stage, "ingest.apply");
+  EXPECT_FALSE(events[3].begin);
+  EXPECT_STREQ(events[3].stage, "ingest.insert");
+  EXPECT_EQ(events[3].span_id, events[0].span_id);
+}
+
+TEST(ObsTrace, JournalTimestampsAreEpochRelativeAndMonotone) {
+  TraceJournal journal(16);
+  {
+    TraceSpan span(nullptr, &journal, "a");
+  }
+  {
+    TraceSpan span(nullptr, &journal, "b");
+  }
+  const std::vector<TraceEvent> events = journal.events();
+  ASSERT_EQ(events.size(), 4u);
+  uint64_t prev = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.t_ns, prev);  // steady clock, epoch-relative
+    prev = e.t_ns;
+  }
+  // Journal-only spans still count the journal as a live handle: both
+  // spans got distinct ids.
+  EXPECT_NE(events[0].span_id, events[2].span_id);
+}
+
+TEST(ObsTrace, RingBoundKeepsNewestAndCountsDrops) {
+  TraceJournal journal(4);
+  for (int i = 0; i < 8; ++i) {
+    TraceSpan span(nullptr, &journal, "s");  // 2 events per span
+  }
+  const std::vector<TraceEvent> events = journal.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(journal.dropped(), 12u);  // 16 appended, 4 retained
+
+  // The survivors are the newest events: the last two spans' begin/end.
+  std::vector<TraceEvent> all_time_order = events;
+  for (std::size_t i = 1; i < all_time_order.size(); ++i) {
+    EXPECT_GE(all_time_order[i].t_ns, all_time_order[i - 1].t_ns);
+    EXPECT_GE(all_time_order[i].span_id, all_time_order[i - 1].span_id);
+  }
+  EXPECT_EQ(events.back().span_id, journal.events().back().span_id);
+}
+
+TEST(ObsTrace, ZeroCapacityClampsToOne) {
+  TraceJournal journal(0);
+  {
+    TraceSpan span(nullptr, &journal, "s");
+  }
+  EXPECT_EQ(journal.events().size(), 1u);  // newest event retained
+  EXPECT_EQ(journal.dropped(), 1u);
+}
+
+#endif  // OMU_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace omu::obs

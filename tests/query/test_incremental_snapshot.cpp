@@ -389,7 +389,7 @@ TEST(IncrementalSnapshotChurn, FacadeChurnPublishesIncrementallyAndStaysIdentica
     ASSERT_EQ(view.leaf_count(), full->leaf_count()) << "epoch " << e;
   }
 
-  const MapperStats stats = mapper.stats();
+  const MapperStats stats = mapper.stats().value();
   EXPECT_EQ(stats.publication.snapshots_published, 8u);
   EXPECT_GE(stats.publication.incremental_publications, 6u);  // localized epochs spliced
   EXPECT_GT(stats.publication.chunks_reused, 0u);
@@ -398,8 +398,8 @@ TEST(IncrementalSnapshotChurn, FacadeChurnPublishesIncrementallyAndStaysIdentica
 
   // Idle facade flush: counted, but publishes nothing.
   ASSERT_TRUE(mapper.flush().ok());
-  EXPECT_EQ(mapper.stats().publication.snapshots_published, 8u);
-  EXPECT_EQ(mapper.stats().publication.noop_flushes, 1u);
+  EXPECT_EQ(mapper.stats()->publication.snapshots_published, 8u);
+  EXPECT_EQ(mapper.stats()->publication.noop_flushes, 1u);
 }
 
 // ---- Chunk refcount lifecycle property tests -------------------------------

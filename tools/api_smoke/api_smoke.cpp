@@ -130,7 +130,7 @@ int main() {
   }
 
   // ---- The absorber did the work it claims --------------------------------
-  const MapperStats hybrid_stats = hybrid->stats();
+  const MapperStats hybrid_stats = hybrid->stats().value();
   if (hybrid_stats.absorber.updates_absorbed == 0) {
     std::fprintf(stderr, "FAIL: hybrid session absorbed no updates\n");
     return 1;
@@ -149,7 +149,7 @@ int main() {
     return 1;
   }
 
-  const MapperStats stats = sharded->stats();
+  const MapperStats stats = sharded->stats().value();
   std::printf("api smoke ok: %llu points -> %llu updates, %zu snapshot leaves, "
               "hash %016llx (%s vs %s)\n",
               static_cast<unsigned long long>(stats.ingest.points_inserted),
