@@ -1,0 +1,256 @@
+#include "obs/prom_text.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace omu::obs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("prometheus text line " + std::to_string(line_no) + ": " + what);
+}
+
+bool is_name_char(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string parse_name(const std::string& line, std::size_t& pos, std::size_t line_no) {
+  const std::size_t start = pos;
+  while (pos < line.size() && is_name_char(line[pos], pos == start)) ++pos;
+  if (pos == start) fail(line_no, "expected metric name");
+  return line.substr(start, pos - start);
+}
+
+void skip_spaces(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+}
+
+std::string parse_label_value(const std::string& line, std::size_t& pos, std::size_t line_no) {
+  if (pos >= line.size() || line[pos] != '"') fail(line_no, "expected '\"' to open label value");
+  ++pos;
+  std::string value;
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos];
+    if (c == '\\') {
+      ++pos;
+      if (pos >= line.size()) fail(line_no, "dangling escape in label value");
+      switch (line[pos]) {
+        case 'n': c = '\n'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default: fail(line_no, "unknown escape in label value");
+      }
+    }
+    value.push_back(c);
+    ++pos;
+  }
+  if (pos >= line.size()) fail(line_no, "unterminated label value");
+  ++pos;  // closing quote
+  return value;
+}
+
+double parse_value(const std::string& token, std::size_t line_no) {
+  if (token == "+Inf" || token == "Inf") return std::numeric_limits<double>::infinity();
+  if (token == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (token == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || end != token.c_str() + token.size()) {
+    fail(line_no, "malformed sample value '" + token + "'");
+  }
+  return value;
+}
+
+/// Strips the histogram-series suffix so `foo_bucket`/`foo_sum`/`foo_count`
+/// group under family `foo` when a `# TYPE foo histogram` was declared.
+std::string family_for(const std::string& sample_name,
+                       const std::unordered_map<std::string, std::size_t>& declared) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - s.size());
+      if (declared.count(base) != 0) return base;
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+const PromFamily* PromScrape::find(const std::string& name) const {
+  for (const auto& family : families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+std::size_t PromScrape::sample_count() const {
+  std::size_t n = 0;
+  for (const auto& family : families) n += family.samples.size();
+  return n;
+}
+
+PromScrape parse_prometheus_text(const std::string& text) {
+  PromScrape scrape;
+  std::unordered_map<std::string, std::size_t> index;  // family name -> families idx
+
+  const auto family_slot = [&](const std::string& name) -> PromFamily& {
+    const auto [it, inserted] = index.try_emplace(name, scrape.families.size());
+    if (inserted) {
+      scrape.families.push_back(PromFamily{name, "untyped", "", {}});
+    }
+    return scrape.families[it->second];
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t pos = 0;
+    skip_spaces(line, pos);
+    if (pos >= line.size()) continue;  // blank
+
+    if (line[pos] == '#') {
+      ++pos;
+      skip_spaces(line, pos);
+      const std::size_t word_start = pos;
+      while (pos < line.size() && line[pos] != ' ') ++pos;
+      const std::string keyword = line.substr(word_start, pos - word_start);
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // plain comment
+      skip_spaces(line, pos);
+      const std::string name = parse_name(line, pos, line_no);
+      skip_spaces(line, pos);
+      const std::string rest = line.substr(pos);
+      PromFamily& family = family_slot(name);
+      if (keyword == "HELP") {
+        family.help = rest;
+      } else {
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          fail(line_no, "unknown metric type '" + rest + "'");
+        }
+        family.type = rest;
+      }
+      continue;
+    }
+
+    PromSample sample;
+    sample.name = parse_name(line, pos, line_no);
+    skip_spaces(line, pos);
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      skip_spaces(line, pos);
+      while (pos < line.size() && line[pos] != '}') {
+        const std::string label = parse_name(line, pos, line_no);
+        skip_spaces(line, pos);
+        if (pos >= line.size() || line[pos] != '=') fail(line_no, "expected '=' after label name");
+        ++pos;
+        skip_spaces(line, pos);
+        const std::string value = parse_label_value(line, pos, line_no);
+        if (!sample.labels.emplace(label, value).second) {
+          fail(line_no, "duplicate label '" + label + "'");
+        }
+        skip_spaces(line, pos);
+        if (pos < line.size() && line[pos] == ',') {
+          ++pos;
+          skip_spaces(line, pos);
+        }
+      }
+      if (pos >= line.size()) fail(line_no, "unterminated label set");
+      ++pos;  // '}'
+      skip_spaces(line, pos);
+    }
+    const std::size_t value_start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') ++pos;
+    if (pos == value_start) fail(line_no, "missing sample value");
+    sample.value = parse_value(line.substr(value_start, pos - value_start), line_no);
+    // An optional trailing timestamp is accepted and ignored.
+    skip_spaces(line, pos);
+    if (pos < line.size()) {
+      const std::size_t ts_start = pos;
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') ++pos;
+      parse_value(line.substr(ts_start, pos - ts_start), line_no);
+      skip_spaces(line, pos);
+      if (pos < line.size()) fail(line_no, "trailing garbage after sample");
+    }
+
+    family_slot(family_for(sample.name, index)).samples.push_back(std::move(sample));
+  }
+  return scrape;
+}
+
+std::string validate_prometheus_text(const std::string& text) {
+  PromScrape scrape;
+  try {
+    scrape = parse_prometheus_text(text);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  for (const auto& family : scrape.families) {
+    if (family.type != "histogram") continue;
+    // Partition the series by label set (tenant-labeled histograms carry
+    // one bucket ladder per label combination).
+    std::map<std::string, bool> saw_inf;
+    bool saw_sum = false;
+    bool saw_count = false;
+    const auto series_key = [](const PromSample& s) {
+      std::string key;
+      for (const auto& [name, value] : s.labels) {
+        if (name == "le") continue;
+        key += name + "=" + value + ",";
+      }
+      return key;
+    };
+    for (const auto& sample : family.samples) {
+      if (sample.name == family.name + "_sum") saw_sum = true;
+      if (sample.name == family.name + "_count") saw_count = true;
+      if (sample.name == family.name + "_bucket") {
+        const auto le = sample.labels.find("le");
+        if (le == sample.labels.end()) {
+          return "histogram '" + family.name + "' has a bucket without an le label";
+        }
+        auto& inf = saw_inf[series_key(sample)];
+        if (le->second == "+Inf") inf = true;
+      }
+    }
+    if (family.samples.empty()) continue;
+    if (!saw_sum || !saw_count) {
+      return "histogram '" + family.name + "' is missing _sum or _count series";
+    }
+    for (const auto& [key, inf] : saw_inf) {
+      if (!inf) {
+        return "histogram '" + family.name + "' series {" + key + "} lacks a +Inf bucket";
+      }
+    }
+    if (saw_inf.empty()) {
+      return "histogram '" + family.name + "' has no bucket series";
+    }
+  }
+  return "";
+}
+
+std::string escape_prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace omu::obs

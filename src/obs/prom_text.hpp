@@ -1,0 +1,59 @@
+// A small Prometheus text-exposition parser — the inverse of
+// TelemetrySnapshot::to_prometheus and the service's fleet exporter.
+//
+// Three consumers: `omu_top --prometheus <url-or-file>` renders a live
+// service scrape (or a saved one) for humans, the CI service-smoke job
+// validates every scrape it takes, and the rollup tests round-trip the
+// labeled per-tenant export through it. The parser accepts the subset of
+// the format those exporters emit — `# HELP`/`# TYPE` comments, samples
+// with optional `{name="value",...}` label sets, decimal/scientific
+// values, `+Inf` bucket bounds — and reports the first malformed line by
+// number, so a well-formedness check is just parse() succeeding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace omu::obs {
+
+/// One sample line: `name{labels} value`.
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// One metric family (grouped by sample name; `# TYPE` annotates).
+struct PromFamily {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram" | "untyped"
+  std::string help;
+  std::vector<PromSample> samples;
+};
+
+/// A parsed scrape, families in first-seen order.
+struct PromScrape {
+  std::vector<PromFamily> families;
+
+  const PromFamily* find(const std::string& name) const;
+  std::size_t sample_count() const;
+};
+
+/// Parses a Prometheus text exposition. Throws std::runtime_error naming
+/// the first offending line on malformed input.
+PromScrape parse_prometheus_text(const std::string& text);
+
+/// Well-formedness check: empty string when `text` parses cleanly and
+/// every `# TYPE` matches its family's sample shapes (histogram families
+/// have *_bucket/_sum/_count series and a trailing +Inf bucket);
+/// otherwise a diagnostic.
+std::string validate_prometheus_text(const std::string& text);
+
+/// Escapes a Prometheus label value (backslash, double quote, newline) —
+/// shared by the service's per-tenant exporter so distinct tenant names
+/// can never collide or break the exposition.
+std::string escape_prometheus_label_value(const std::string& value);
+
+}  // namespace omu::obs

@@ -17,6 +17,7 @@
 // live shard trees; leaves_sorted()/merged_octree() export the merged map.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -156,6 +157,16 @@ class ShardedMapPipeline final : public map::MapBackend {
 
   /// Updates routed across all shards so far.
   uint64_t updates_routed() const { return updates_routed_.load(std::memory_order_relaxed); }
+
+  /// Deepest current channel occupancy across shards, in sub-batches —
+  /// the back-pressure signal the map service's admission control reads
+  /// (the same number the "pipeline.shardN.queue_depth" gauges export; a
+  /// value at queue_depth means the next routed batch would block).
+  std::size_t max_queue_depth() const {
+    std::size_t depth = 0;
+    for (const auto& shard : shards_) depth = std::max(depth, shard->channel.size());
+    return depth;
+  }
 
   /// Reconstructs the merged map as one octree (the serial-equivalent
   /// form); also the DMA-readback analogue of OmuAccelerator::to_octree.

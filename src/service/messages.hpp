@@ -1,0 +1,288 @@
+// Typed RPC messages of the map service protocol.
+//
+// Each RPC has a request struct and a reply struct with symmetric
+// encode(WireWriter&)/decode(WireReader&) methods; the request's frame
+// type comes from MsgType and the reply echoes it with kReplyBit set.
+// Every reply starts with a WireStatus — the wire form of omu::Status
+// plus a retry_after_ms hint, which is how admission control tells an
+// over-quota tenant to back off (StatusCode::kResourceExhausted with a
+// nonzero retry hint) without tearing down the connection.
+//
+// Delta subscription frames (MsgType::kDeltaEvent) are server-initiated
+// events, request_id 0: each carries the epoch's changed shards as full
+// canonical leaf runs keyed by a uint64 shard key — the first-level
+// branch index (0..7) for snapshot-backed sessions, the TileId for
+// tiled-world sessions — plus the keys of shards that vanished and,
+// optionally, the publisher's content hash so a mirror can prove
+// convergence every epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/occupancy_octree.hpp"
+#include "omu/config.hpp"
+#include "omu/status.hpp"
+#include "omu/types.hpp"
+#include "service/wire.hpp"
+
+namespace omu::service {
+
+enum class MsgType : uint16_t {
+  kHello = 1,
+  kCreate = 2,
+  kOpen = 3,
+  kInsert = 4,
+  kFlush = 5,
+  kQuery = 6,
+  kClassify = 7,
+  kContentHash = 8,
+  kSave = 9,
+  kClose = 10,
+  kSubscribe = 11,
+  kUnsubscribe = 12,
+  kMetrics = 13,
+  /// Server-initiated subscription delta (an event, never a reply).
+  kDeltaEvent = 100,
+};
+
+inline uint16_t request_type(MsgType t) { return static_cast<uint16_t>(t); }
+inline uint16_t reply_type(MsgType t) { return static_cast<uint16_t>(t) | kReplyBit; }
+
+/// Wire form of omu::Status plus the admission-control retry hint.
+struct WireStatus {
+  uint16_t code = 0;  ///< omu::StatusCode
+  uint32_t retry_after_ms = 0;
+  std::string message;
+
+  bool ok() const { return code == 0; }
+  omu::Status to_status() const;
+  static WireStatus from(const omu::Status& status, uint32_t retry_after_ms = 0);
+
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// Per-tenant admission quotas (0 = unlimited).
+struct TenantQuota {
+  /// Resident paged bytes this tenant may hold across its world-backed
+  /// sessions (enforced against the shared-budget arbiter's accounting).
+  uint64_t max_resident_bytes = 0;
+  /// Sustained insert rate in points/s (token bucket, 1 s of burst).
+  uint64_t max_points_per_sec = 0;
+  /// Largest single insert in points (violations are kInvalidArgument —
+  /// a request that can never succeed is not retryable).
+  uint64_t max_points_per_insert = 0;
+
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// Everything needed to build a session's MapperConfig server-side.
+struct SessionSpec {
+  std::string tenant = "default";
+  uint8_t backend = 0;  ///< omu::BackendKind
+  double resolution = 0.2;
+
+  // Sensor model (omu::SensorModel fields).
+  float log_hit = 0.85f;
+  float log_miss = -0.4f;
+  float clamp_min = -2.0f;
+  float clamp_max = 3.5f;
+  float occ_threshold = 0.0f;
+  uint8_t quantized = 1;
+  double max_range = -1.0;
+  uint8_t deduplicate = 0;
+
+  uint32_t shard_threads = 1;
+  uint32_t shard_queue_depth = 64;
+
+  std::string world_directory;
+  uint64_t world_resident_byte_budget = 0;
+  uint32_t tile_shift = 12;
+
+  uint32_t hybrid_window_voxels = 64;
+  uint64_t hybrid_flush_high_water = 0;
+  uint8_t hybrid_back_backend = 0;
+
+  uint8_t telemetry_metrics = 1;
+  uint8_t telemetry_journal = 0;
+
+  TenantQuota quota;
+
+  omu::MapperConfig to_config() const;
+  static SessionSpec from_config(const omu::MapperConfig& config);
+
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct HelloRequest {
+  std::string client_name;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct HelloReply {
+  WireStatus status;
+  std::string server_name;
+  uint16_t protocol_version = kWireVersion;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct CreateRequest {
+  SessionSpec spec;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// Reopen a saved world directory as a session (Mapper::open).
+struct OpenRequest {
+  std::string tenant = "default";
+  std::string world_directory;
+  uint64_t resident_byte_budget = 0;
+  TenantQuota quota;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct SessionReply {
+  WireStatus status;
+  uint64_t session_id = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct InsertRequest {
+  uint64_t session_id = 0;
+  double origin[3] = {0, 0, 0};
+  /// Packed xyz float triples, bit-exact across the wire.
+  std::vector<float> xyz;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct StatusReply {
+  WireStatus status;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct FlushReply {
+  WireStatus status;
+  uint64_t epoch = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// Batch classification against the last published snapshot/view.
+struct QueryRequest {
+  uint64_t session_id = 0;
+  std::vector<double> positions;  ///< packed xyz triples
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct QueryReply {
+  WireStatus status;
+  std::vector<uint8_t> occupancy;  ///< omu::Occupancy per position
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// Single-point classification against the live backend.
+struct ClassifyRequest {
+  uint64_t session_id = 0;
+  double position[3] = {0, 0, 0};
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct ClassifyReply {
+  WireStatus status;
+  uint8_t occupancy = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct SessionRequest {  // flush / content-hash / close / unsubscribe target
+  uint64_t session_id = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct ContentHashReply {
+  WireStatus status;
+  uint64_t content_hash = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct SaveRequest {
+  uint64_t session_id = 0;
+  /// Empty = world save() into its directory; otherwise save_map(path).
+  std::string path;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct SubscribeRequest {
+  uint64_t session_id = 0;
+  /// Ask the publisher to compute and attach its content hash to every
+  /// delta (costs an O(map) hash per epoch; benches turn it off).
+  uint8_t include_hash = 1;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct SubscribeReply {
+  WireStatus status;
+  uint64_t subscription_id = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct UnsubscribeRequest {
+  uint64_t session_id = 0;
+  uint64_t subscription_id = 0;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct MetricsRequest {
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+struct MetricsReply {
+  WireStatus status;
+  std::string prometheus_text;
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+/// One changed shard in a delta: its full canonical leaf run.
+struct DeltaShard {
+  uint64_t shard_key = 0;
+  std::vector<map::LeafRecord> leaves;
+};
+
+/// A subscription delta event (server -> client, request_id 0).
+struct DeltaEvent {
+  uint64_t session_id = 0;
+  uint64_t subscription_id = 0;
+  uint64_t epoch = 0;
+  /// First event of a subscription: the mirror must reset before applying.
+  uint8_t baseline = 0;
+  uint8_t has_hash = 0;
+  uint64_t publisher_hash = 0;
+  std::vector<uint64_t> removed_shards;
+  std::vector<DeltaShard> changed_shards;
+
+  void encode(WireWriter& w) const;
+  void decode(WireReader& r);
+};
+
+}  // namespace omu::service

@@ -1,0 +1,148 @@
+#include "service/metrics_http.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace omu::service {
+
+namespace {
+
+std::string http_response(int code, const std::string& reason, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads up to the end of the request headers (CRLFCRLF) — request bodies
+/// are ignored; GET has none and anything else gets a 405 anyway.
+std::string read_request_head(Transport& transport) {
+  std::string head;
+  char buf[512];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > 64 * 1024) throw std::runtime_error("http request head too large");
+    const std::size_t n = transport.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    head.append(buf, n);
+  }
+  return head;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(uint16_t port, Renderer renderer)
+    : renderer_(std::move(renderer)), listener_(SocketListener::listen_tcp(port)) {
+  accept_thread_ = std::thread([this] {
+    while (auto transport = listener_->accept()) {
+      // Scrapes are short and rare (one per Prometheus interval); serving
+      // them inline on the accept thread keeps the server to one thread.
+      serve_connection(std::move(transport));
+    }
+  });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void MetricsHttpServer::serve_connection(std::unique_ptr<Transport> transport) {
+  try {
+    const std::string head = read_request_head(*transport);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string request_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+    const std::string method = sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+    const std::string target = sp1 == std::string::npos || sp2 == std::string::npos
+                                   ? ""
+                                   : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::string response;
+    if (method != "GET") {
+      response = http_response(405, "Method Not Allowed", "text/plain", "GET only\n");
+    } else if (target == "/metrics" || target == "/metrics/") {
+      response = http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                               renderer_ ? renderer_() : "");
+    } else {
+      response = http_response(404, "Not Found", "text/plain", "try /metrics\n");
+    }
+    transport->write_all(response.data(), response.size());
+  } catch (const std::exception&) {
+    // A malformed or dropped scrape never takes the server down.
+  }
+  transport->shutdown();
+}
+
+bool parse_http_url(const std::string& url, std::string& host, uint16_t& port,
+                    std::string& path) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.rfind(scheme, 0) == 0) rest = rest.substr(scheme.size());
+  if (rest.rfind("https://", 0) == 0) return false;  // no TLS here
+
+  const std::size_t slash = rest.find('/');
+  const std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+  path = slash == std::string::npos ? "/metrics" : rest.substr(slash);
+
+  const std::size_t colon = authority.rfind(':');
+  if (colon == std::string::npos) {
+    host = authority;
+    port = 80;
+  } else {
+    host = authority.substr(0, colon);
+    const std::string port_text = authority.substr(colon + 1);
+    if (port_text.empty()) return false;
+    char* end = nullptr;
+    const long value = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0 || value > 65535) return false;
+    port = static_cast<uint16_t>(value);
+  }
+  return !host.empty();
+}
+
+std::string http_get(const std::string& host, uint16_t port, const std::string& path) {
+  std::unique_ptr<Transport> transport;
+  try {
+    transport = connect_tcp(host, port);
+  } catch (const WireError& e) {
+    throw std::runtime_error(e.what());
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  transport->write_all(request.data(), request.size());
+
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const std::size_t n = transport->read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    response.append(buf, n);
+  }
+
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) throw std::runtime_error("http: truncated response");
+  const std::size_t line_end = response.find("\r\n");
+  const std::string status_line = response.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.compare(sp + 1, 3, "200") != 0) {
+    throw std::runtime_error("http: " + status_line);
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace omu::service

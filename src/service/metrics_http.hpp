@@ -1,0 +1,60 @@
+// MetricsHttpServer — the one HTTP surface of the map service: a tiny
+// HTTP/1.1 responder on a TCP listener serving GET /metrics with the
+// Prometheus text exposition produced by a renderer callback. It speaks
+// just enough HTTP for a Prometheus scraper (request line + headers in,
+// 200/404/405 with Content-Length out, connection closed per response) —
+// it is not a general web server and never will be.
+//
+// http_get / parse_http_url are the matching client-side helpers used by
+// `omu_top --prometheus` and the CI smoke job to scrape the endpoint
+// without a curl dependency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/transport.hpp"
+
+namespace omu::service {
+
+/// Serves GET /metrics on 127.0.0.1:`port` (0 = ephemeral; see port()).
+/// The renderer runs on the serving thread per scrape.
+class MetricsHttpServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  /// Binds and starts the accept thread. Throws WireError on bind failure.
+  MetricsHttpServer(uint16_t port, Renderer renderer);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return listener_->port(); }
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_connection(std::unique_ptr<Transport> transport);
+
+  Renderer renderer_;
+  std::unique_ptr<SocketListener> listener_;
+  std::thread accept_thread_;
+  bool stopped_ = false;
+};
+
+/// Splits "http://host:port/path" (scheme optional, path defaults to
+/// "/metrics"). Returns false on anything it cannot parse.
+bool parse_http_url(const std::string& url, std::string& host, uint16_t& port,
+                    std::string& path);
+
+/// One blocking HTTP/1.1 GET; returns the response body. Throws
+/// std::runtime_error on connection failure or a non-200 status.
+std::string http_get(const std::string& host, uint16_t port, const std::string& path);
+
+}  // namespace omu::service

@@ -1,0 +1,177 @@
+#include "service/telemetry_rollup.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/prom_text.hpp"
+
+namespace omu::service {
+
+namespace {
+
+using Metric = omu::TelemetrySnapshot::Metric;
+
+/// Rebuilds the fixed-size obs histogram cells from an exported (trimmed)
+/// bucket vector so the merge and quantile math live in one place.
+obs::HistogramSnapshot to_cells(const omu::TelemetrySnapshot::Histogram& h) {
+  obs::HistogramSnapshot cells;
+  cells.count = h.count;
+  cells.sum = h.sum;
+  cells.max = h.max;
+  const std::size_t n = std::min(h.buckets.size(), obs::HistogramSnapshot::kBuckets);
+  std::copy(h.buckets.begin(), h.buckets.begin() + n, cells.buckets.begin());
+  return cells;
+}
+
+void from_cells(const obs::HistogramSnapshot& cells, omu::TelemetrySnapshot::Histogram& h) {
+  h.count = cells.count;
+  h.sum = cells.sum;
+  h.max = cells.max;
+  h.p50 = cells.quantile(0.50);
+  h.p90 = cells.quantile(0.90);
+  h.p99 = cells.quantile(0.99);
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < obs::HistogramSnapshot::kBuckets; ++i) {
+    if (cells.buckets[i] != 0) last = i + 1;
+  }
+  h.buckets.assign(cells.buckets.begin(), cells.buckets.begin() + last);
+}
+
+void merge_metric(Metric& into, const Metric& from) {
+  switch (into.kind) {
+    case Metric::Kind::kCounter:
+      into.counter += from.counter;
+      break;
+    case Metric::Kind::kGauge:
+      into.gauge += from.gauge;
+      break;
+    case Metric::Kind::kHistogram: {
+      obs::HistogramSnapshot cells = to_cells(into.histogram);
+      cells.merge(to_cells(from.histogram));
+      from_cells(cells, into.histogram);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void TelemetryRollup::add(const omu::TelemetrySnapshot& snapshot) {
+  metrics_enabled_ = metrics_enabled_ || snapshot.metrics_enabled;
+  journal_enabled_ = journal_enabled_ || snapshot.journal_enabled;
+  journal_dropped_ += snapshot.journal_dropped;
+  ++merged_count_;
+
+  for (const Metric& m : snapshot.metrics) {
+    const auto it = std::lower_bound(
+        metrics_.begin(), metrics_.end(), m.name,
+        [](const Metric& a, const std::string& name) { return a.name < name; });
+    if (it != metrics_.end() && it->name == m.name && it->kind == m.kind) {
+      merge_metric(*it, m);
+    } else if (it != metrics_.end() && it->name == m.name) {
+      // Same name, different kind across sessions (should not happen with
+      // the library's fixed catalog): last-writer-wins is the least
+      // surprising resolution, and the alternative — throwing from a
+      // metrics scrape — could take down a healthy service.
+      *it = m;
+    } else {
+      metrics_.insert(it, m);
+    }
+  }
+}
+
+omu::TelemetrySnapshot TelemetryRollup::merged() const {
+  omu::TelemetrySnapshot out;
+  out.metrics_enabled = metrics_enabled_;
+  out.journal_enabled = journal_enabled_;
+  out.journal_dropped = journal_dropped_;
+  out.metrics = metrics_;
+  // Quantiles were re-derived at each fold; re-derive once more so a
+  // snapshot that was folded exactly once also reports interpolated
+  // values consistent with its bucket array.
+  for (Metric& m : out.metrics) {
+    if (m.kind == Metric::Kind::kHistogram) {
+      const obs::HistogramSnapshot cells = to_cells(m.histogram);
+      from_cells(cells, m.histogram);
+    }
+  }
+  return out;
+}
+
+omu::TelemetrySnapshot merge_telemetry(const std::vector<omu::TelemetrySnapshot>& snapshots) {
+  TelemetryRollup rollup;
+  for (const auto& snapshot : snapshots) rollup.add(snapshot);
+  return rollup.merged();
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& prefix, const std::string& name) {
+  std::string out = prefix;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_labels(const std::vector<std::pair<std::string, std::string>>& labels,
+                          const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += name + "=\"" + obs::escape_prometheus_label_value(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_to_prometheus(
+    const omu::TelemetrySnapshot& snapshot, const std::string& prefix,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::ostringstream os;
+  const std::string label_set = render_labels(labels);
+  for (const Metric& m : snapshot.metrics) {
+    const std::string name = prometheus_name(prefix, m.name);
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << label_set << " " << m.counter << "\n";
+        break;
+      case Metric::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << label_set << " " << m.gauge << "\n";
+        break;
+      case Metric::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.histogram.buckets.size(); ++i) {
+          cumulative += m.histogram.buckets[i];
+          const uint64_t le = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+          os << name << "_bucket"
+             << render_labels(labels, "le=\"" + std::to_string(le) + "\"") << " "
+             << cumulative << "\n";
+        }
+        os << name << "_bucket" << render_labels(labels, "le=\"+Inf\"") << " "
+           << m.histogram.count << "\n";
+        os << name << "_sum" << label_set << " " << m.histogram.sum << "\n";
+        os << name << "_count" << label_set << " " << m.histogram.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace omu::service

@@ -1,0 +1,66 @@
+// Fleet telemetry rollups — merging per-session TelemetrySnapshots into
+// per-tenant and fleet-wide aggregates for the service's /metrics endpoint.
+//
+// The merge is name-keyed and order-independent: counters and gauges add
+// (a fleet gauge like resident bytes or queue depth is the sum of the
+// per-session levels), histograms merge elementwise (count/sum/bucket
+// adds, max of maxes — exactly obs::HistogramSnapshot::merge) and the
+// p50/p90/p99 estimates are re-derived from the merged buckets, so they
+// carry the same worst-case factor-2 in-bucket error bound as any single
+// session's export (quantiles themselves don't merge; bucket arrays do).
+// Merging K snapshots in any order yields the identical result
+// (tests/service/test_telemetry_rollup.cpp proves it).
+//
+// The service exports three layers from one scrape:
+//   omu_service_*  — the service's own metrics (sessions, admissions, ...)
+//   omu_tenant_*{tenant="..."} — per-tenant rollups, label-escaped so
+//                    distinct tenant names can never collide
+//   omu_fleet_*    — the rollup over every live session
+// snapshot_to_prometheus renders any snapshot under a caller-chosen
+// prefix and label set in the same text exposition format as
+// TelemetrySnapshot::to_prometheus.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omu/telemetry.hpp"
+
+namespace omu::service {
+
+/// Accumulates TelemetrySnapshots into one merged snapshot.
+class TelemetryRollup {
+ public:
+  /// Folds `snapshot` in (commutative and associative over add() calls).
+  void add(const omu::TelemetrySnapshot& snapshot);
+
+  /// The merged export: metrics name-sorted, histogram quantiles
+  /// re-derived from the merged buckets. Trace journals do not merge
+  /// (they are per-session debugging surfaces); the result's trace is
+  /// empty and journal_dropped sums the inputs'.
+  omu::TelemetrySnapshot merged() const;
+
+  std::size_t snapshots_merged() const { return merged_count_; }
+
+ private:
+  std::vector<omu::TelemetrySnapshot::Metric> metrics_;  // name-sorted
+  bool metrics_enabled_ = false;
+  bool journal_enabled_ = false;
+  uint64_t journal_dropped_ = 0;
+  std::size_t merged_count_ = 0;
+};
+
+/// Merges snapshots in one call (convenience over TelemetryRollup).
+omu::TelemetrySnapshot merge_telemetry(const std::vector<omu::TelemetrySnapshot>& snapshots);
+
+/// Prometheus text exposition of `snapshot` under `prefix` (e.g.
+/// "omu_fleet_") with `labels` attached to every sample. Label values are
+/// escaped with obs::escape_prometheus_label_value; histogram bucket
+/// series append their `le` after the caller's labels.
+std::string snapshot_to_prometheus(
+    const omu::TelemetrySnapshot& snapshot, const std::string& prefix,
+    const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+}  // namespace omu::service

@@ -1,0 +1,275 @@
+#include "service/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/wire.hpp"
+
+namespace omu::service {
+
+bool read_exact(Transport& transport, void* data, std::size_t size) {
+  auto* p = static_cast<uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = transport.read_some(p + got, size - got);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw WireError("stream truncated mid-frame (" + std::to_string(got) + "/" +
+                      std::to_string(size) + " bytes)");
+    }
+    got += n;
+  }
+  return true;
+}
+
+// ---- Loopback ------------------------------------------------------------
+
+void ByteQueue::write(const uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  std::unique_lock lock(mutex_);
+  writable_.wait(lock, [&] { return closed_ || bytes_ < capacity_; });
+  if (closed_) throw WireError("loopback transport closed");
+  // One chunk per write keeps frames cheap to move; allowing one chunk of
+  // overshoot past capacity keeps writers from having to split frames.
+  chunks_.emplace_back(data, data + size);
+  bytes_ += size;
+  readable_.notify_all();
+}
+
+std::size_t ByteQueue::read_some(uint8_t* data, std::size_t size) {
+  std::unique_lock lock(mutex_);
+  readable_.wait(lock, [&] { return closed_ || bytes_ > 0; });
+  if (bytes_ == 0) return 0;  // closed and drained
+  std::size_t out = 0;
+  while (out < size && !chunks_.empty()) {
+    const std::vector<uint8_t>& front = chunks_.front();
+    const std::size_t take = std::min(size - out, front.size() - front_offset_);
+    std::memcpy(data + out, front.data() + front_offset_, take);
+    out += take;
+    front_offset_ += take;
+    bytes_ -= take;
+    if (front_offset_ == front.size()) {
+      chunks_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+  writable_.notify_all();
+  return out;
+}
+
+void ByteQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void LoopbackTransport::write_all(const void* data, std::size_t size) {
+  out_->write(static_cast<const uint8_t*>(data), size);
+}
+
+std::size_t LoopbackTransport::read_some(void* data, std::size_t size) {
+  return in_->read_some(static_cast<uint8_t*>(data), size);
+}
+
+void LoopbackTransport::shutdown() {
+  in_->close();
+  out_->close();
+}
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_loopback_pair(
+    std::size_t capacity_bytes) {
+  auto a_to_b = std::make_shared<ByteQueue>(capacity_bytes);
+  auto b_to_a = std::make_shared<ByteQueue>(capacity_bytes);
+  auto a = std::make_unique<LoopbackTransport>(b_to_a, a_to_b);
+  auto b = std::make_unique<LoopbackTransport>(a_to_b, b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+std::unique_ptr<Transport> LoopbackListener::connect(std::size_t capacity_bytes) {
+  auto [client, server] = make_loopback_pair(capacity_bytes);
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) throw WireError("loopback listener closed");
+    pending_.push_back(std::move(server));
+  }
+  pending_cv_.notify_one();
+  return std::move(client);
+}
+
+std::unique_ptr<Transport> LoopbackListener::accept() {
+  std::unique_lock lock(mutex_);
+  pending_cv_.wait(lock, [&] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return nullptr;
+  auto t = std::move(pending_.front());
+  pending_.pop_front();
+  return t;
+}
+
+void LoopbackListener::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  pending_cv_.notify_all();
+}
+
+// ---- POSIX sockets -------------------------------------------------------
+
+SocketTransport::~SocketTransport() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketTransport::write_all(const void* data, std::size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("socket send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t SocketTransport::read_some(void* data, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A shutdown() from another thread surfaces as a failed read; treat
+      // it (and a reset peer) as end-of-stream rather than corruption.
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void SocketTransport::shutdown() {
+  std::lock_guard lock(mutex_);
+  if (shut_ || fd_ < 0) return;
+  shut_ = true;
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw WireError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::unique_ptr<SocketListener> SocketListener::listen_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw WireError("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // replace a stale socket file
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  return std::unique_ptr<SocketListener>(new SocketListener(fd, 0, path));
+}
+
+std::unique_ptr<SocketListener> SocketListener::listen_tcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  return std::unique_ptr<SocketListener>(new SocketListener(fd, ntohs(addr.sin_port), ""));
+}
+
+SocketListener::~SocketListener() { close(); }
+
+std::unique_ptr<Transport> SocketListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;  // listener closed (or fatally broken): stop accepting
+    }
+    return std::make_unique<SocketTransport>(fd);
+  }
+}
+
+void SocketListener::close() {
+  std::lock_guard lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  if (fd_ >= 0) {
+    // shutdown() unblocks a concurrent accept(); close() releases the fd.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+std::unique_ptr<Transport> connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw WireError("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect(" + path + ")");
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+std::unique_ptr<Transport> connect_tcp(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw WireError("connect_tcp: not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+}  // namespace omu::service

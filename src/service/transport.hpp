@@ -1,0 +1,176 @@
+// Byte-stream transports for the map service: the one abstraction both
+// the server and client speak through, with two implementations —
+//
+//   - SocketTransport: a connected POSIX stream socket (Unix-domain or
+//     TCP). SocketListener binds/accepts; connect_unix/connect_tcp dial.
+//   - LoopbackTransport: an in-process pair of bounded byte queues, so
+//     the equivalence tests and the `service` bench family exercise the
+//     full RPC path (framing, checksums, back-pressure) without touching
+//     real sockets. LoopbackListener hands the server side of each
+//     connect() to an accept loop, exactly like a socket listener.
+//
+// A Transport is used by at most one reader thread and any number of
+// writer threads serialized by the caller (the connection's send mutex);
+// shutdown() may be called from any thread and unblocks both directions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omu::service {
+
+/// A connected, reliable, ordered byte stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all `size` bytes (blocking); throws WireError when the peer
+  /// has gone away or the transport was shut down.
+  virtual void write_all(const void* data, std::size_t size) = 0;
+
+  /// Reads between 1 and `size` bytes, blocking until data is available;
+  /// returns the count, or 0 on end-of-stream / shutdown.
+  virtual std::size_t read_some(void* data, std::size_t size) = 0;
+
+  /// Unblocks readers and writers on both ends; further I/O fails or
+  /// reports end-of-stream. Idempotent, callable from any thread.
+  virtual void shutdown() = 0;
+};
+
+/// Reads exactly `size` bytes. Returns false when the stream ended before
+/// the first byte (a clean between-frames close); throws WireError when it
+/// ends mid-way (a truncated frame).
+bool read_exact(Transport& transport, void* data, std::size_t size);
+
+/// Accepts service connections (socket or loopback).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  /// Blocks for the next connection; nullptr once the listener is closed.
+  virtual std::unique_ptr<Transport> accept() = 0;
+  /// Unblocks accept(); further accepts return nullptr. Idempotent.
+  virtual void close() = 0;
+};
+
+// ---- In-process loopback -------------------------------------------------
+
+/// One direction of a loopback connection: a bounded FIFO of byte chunks.
+/// Writers block while the queue is at capacity (the transport-level
+/// back-pressure a socket's send buffer provides).
+class ByteQueue {
+ public:
+  explicit ByteQueue(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  void write(const uint8_t* data, std::size_t size);
+  std::size_t read_some(uint8_t* data, std::size_t size);
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<std::vector<uint8_t>> chunks_;
+  std::size_t front_offset_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<ByteQueue> in, std::shared_ptr<ByteQueue> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~LoopbackTransport() override { shutdown(); }
+
+  void write_all(const void* data, std::size_t size) override;
+  std::size_t read_some(void* data, std::size_t size) override;
+  void shutdown() override;
+
+ private:
+  std::shared_ptr<ByteQueue> in_;
+  std::shared_ptr<ByteQueue> out_;
+};
+
+/// Two connected loopback transports (client end, server end).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_loopback_pair(
+    std::size_t capacity_bytes = 1u << 20);
+
+/// An in-process listener: connect() returns the client end and queues the
+/// server end for accept().
+class LoopbackListener final : public Listener {
+ public:
+  ~LoopbackListener() override { close(); }
+
+  /// Dials a new connection; never fails while the listener is open.
+  /// Throws WireError after close().
+  std::unique_ptr<Transport> connect(std::size_t capacity_bytes = 1u << 20);
+
+  std::unique_ptr<Transport> accept() override;
+  void close() override;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<Transport>> pending_;
+  bool closed_ = false;
+};
+
+// ---- POSIX sockets -------------------------------------------------------
+
+/// A connected stream socket (Unix-domain or TCP); owns the fd.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  ~SocketTransport() override;
+
+  void write_all(const void* data, std::size_t size) override;
+  std::size_t read_some(void* data, std::size_t size) override;
+  void shutdown() override;
+
+ private:
+  int fd_ = -1;
+  std::mutex mutex_;  ///< guards fd lifecycle vs shutdown()
+  bool shut_ = false;
+};
+
+/// A bound+listening socket. Throws WireError on bind/listen failure.
+class SocketListener final : public Listener {
+ public:
+  /// Unix-domain socket at `path` (an existing stale socket file is
+  /// replaced).
+  static std::unique_ptr<SocketListener> listen_unix(const std::string& path);
+  /// TCP on 127.0.0.1; port 0 picks an ephemeral port (see port()).
+  static std::unique_ptr<SocketListener> listen_tcp(uint16_t port);
+
+  ~SocketListener() override;
+
+  std::unique_ptr<Transport> accept() override;
+  void close() override;
+
+  /// The bound TCP port (0 for Unix-domain listeners).
+  uint16_t port() const { return port_; }
+
+ private:
+  SocketListener(int fd, uint16_t port, std::string unlink_path)
+      : fd_(fd), port_(port), unlink_path_(std::move(unlink_path)) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::string unlink_path_;
+  std::mutex mutex_;
+  bool closed_ = false;
+};
+
+/// Dials a Unix-domain service socket. Throws WireError on failure.
+std::unique_ptr<Transport> connect_unix(const std::string& path);
+/// Dials a TCP service endpoint. Throws WireError on failure.
+std::unique_ptr<Transport> connect_tcp(const std::string& host, uint16_t port);
+
+}  // namespace omu::service

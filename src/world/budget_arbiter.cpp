@@ -1,0 +1,104 @@
+#include "world/budget_arbiter.hpp"
+
+#include <algorithm>
+
+namespace omu::world {
+
+uint64_t BudgetArbiter::add_participant(std::string name, Shedder* shedder) {
+  std::lock_guard lock(registry_mutex_);
+  const uint64_t id = next_id_++;
+  Participant p;
+  p.name = std::move(name);
+  p.shedder = shedder;
+  p.bytes = std::make_shared<std::atomic<std::ptrdiff_t>>(0);
+  participants_.emplace(id, std::move(p));
+  return id;
+}
+
+void BudgetArbiter::remove_participant(uint64_t id) {
+  // Taking shed_mutex_ first waits out any in-flight request_shed pass,
+  // whose victim snapshot may still hold this participant's Shedder
+  // pointer — after this returns, the arbiter can never call into the
+  // (possibly destructing) participant again. Safe even when the caller
+  // holds its own world mutex: shed passes only try_lock world mutexes,
+  // never block on them.
+  std::lock_guard shed_lock(shed_mutex_);
+  std::lock_guard lock(registry_mutex_);
+  const auto it = participants_.find(id);
+  if (it == participants_.end()) return;
+  const std::ptrdiff_t remaining = it->second.bytes->load(std::memory_order_relaxed);
+  if (remaining > 0) {
+    total_.fetch_sub(static_cast<std::size_t>(remaining), std::memory_order_relaxed);
+  }
+  participants_.erase(it);
+}
+
+void BudgetArbiter::report(uint64_t id, std::ptrdiff_t delta_bytes) {
+  if (delta_bytes == 0) return;
+  std::shared_ptr<std::atomic<std::ptrdiff_t>> cell;
+  {
+    std::lock_guard lock(registry_mutex_);
+    const auto it = participants_.find(id);
+    if (it == participants_.end()) return;
+    cell = it->second.bytes;
+  }
+  cell->fetch_add(delta_bytes, std::memory_order_relaxed);
+  if (delta_bytes > 0) {
+    total_.fetch_add(static_cast<std::size_t>(delta_bytes), std::memory_order_relaxed);
+  } else {
+    total_.fetch_sub(static_cast<std::size_t>(-delta_bytes), std::memory_order_relaxed);
+  }
+}
+
+std::size_t BudgetArbiter::participant_bytes(uint64_t id) const {
+  std::lock_guard lock(registry_mutex_);
+  const auto it = participants_.find(id);
+  if (it == participants_.end()) return 0;
+  const std::ptrdiff_t bytes = it->second.bytes->load(std::memory_order_relaxed);
+  return bytes > 0 ? static_cast<std::size_t>(bytes) : 0;
+}
+
+std::vector<std::pair<std::string, std::size_t>> BudgetArbiter::participants() const {
+  std::lock_guard lock(registry_mutex_);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(participants_.size());
+  for (const auto& [id, p] : participants_) {
+    const std::ptrdiff_t bytes = p.bytes->load(std::memory_order_relaxed);
+    out.emplace_back(p.name, bytes > 0 ? static_cast<std::size_t>(bytes) : 0);
+  }
+  return out;
+}
+
+std::size_t BudgetArbiter::request_shed(uint64_t caller, std::size_t want_bytes) {
+  if (want_bytes == 0) return 0;
+  std::lock_guard shed_lock(shed_mutex_);
+
+  // Snapshot the victims under the registry lock, then shed outside it so
+  // a victim's try_shed (which takes its world mutex) cannot hold up
+  // registration, and report() stays uncontended throughout.
+  struct Victim {
+    Shedder* shedder;
+    std::size_t bytes;
+  };
+  std::vector<Victim> victims;
+  {
+    std::lock_guard lock(registry_mutex_);
+    victims.reserve(participants_.size());
+    for (const auto& [id, p] : participants_) {
+      if (id == caller || p.shedder == nullptr) continue;
+      const std::ptrdiff_t bytes = p.bytes->load(std::memory_order_relaxed);
+      if (bytes > 0) victims.push_back({p.shedder, static_cast<std::size_t>(bytes)});
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.bytes > b.bytes; });
+
+  std::size_t freed = 0;
+  for (const Victim& victim : victims) {
+    if (freed >= want_bytes) break;
+    freed += victim.shedder->try_shed(want_bytes - freed);
+  }
+  return freed;
+}
+
+}  // namespace omu::world

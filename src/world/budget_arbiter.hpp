@@ -1,0 +1,108 @@
+// BudgetArbiter — one shared resident-byte budget across many tile
+// pagers (the map service's multi-tenant memory governor).
+//
+// Each TiledWorldMap under the arbiter registers as a *participant*: its
+// pager reports every residency change (one atomic add per accounting
+// step, so reporting is free to take under the world's own mutex), and
+// the arbiter maintains per-participant and global totals. Enforcement is
+// cooperative and grower-pays:
+//
+//   1. The pager whose operation grew the global total past the budget
+//      first evicts its own LRU tiles (down to its one hot tile) — the
+//      tenant that caused the pressure pays first.
+//   2. Still over (the grower is at its floor), it calls request_shed():
+//      the arbiter walks the other participants largest-resident-first
+//      and asks each to shed via Shedder::try_shed, which try_locks the
+//      victim's world mutex — a victim busy in its own operation is
+//      skipped, never blocked (and since every operation ends with a
+//      rebalance, a busy victim re-checks the global budget itself the
+//      moment it finishes).
+//
+// The resulting bound matches the single-pager contract, globally: at any
+// point where no operation is in flight, total resident bytes fit the
+// shared budget (provided it covers every participant's one-hot-tile
+// floor); transiently, an in-flight operation can overshoot by its own
+// residency step. The governance suite drives 8 concurrent tenants at
+// half their combined footprint against exactly this bound.
+//
+// Lock order: a participant's world mutex may be held when calling
+// report()/request_shed(); the arbiter never blocks on a world mutex
+// (victims are try_locked only), so the cross-participant edge can never
+// deadlock. request_shed serializes concurrent shedders on its own mutex.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omu::world {
+
+class BudgetArbiter {
+ public:
+  /// A participant's cooperative eviction hook (TiledWorldMap implements
+  /// it with a try_lock on its own mutex).
+  class Shedder {
+   public:
+    virtual ~Shedder() = default;
+    /// Frees up to `want_bytes` of resident bytes if the participant is
+    /// idle; returns the bytes actually freed (0 when busy).
+    virtual std::size_t try_shed(std::size_t want_bytes) = 0;
+  };
+
+  /// `budget_bytes` 0 = unbounded (accounting only, no enforcement).
+  explicit BudgetArbiter(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+  BudgetArbiter(const BudgetArbiter&) = delete;
+  BudgetArbiter& operator=(const BudgetArbiter&) = delete;
+
+  std::size_t budget() const { return budget_; }
+  std::size_t total_bytes() const { return total_.load(std::memory_order_relaxed); }
+
+  /// Registers a participant; the returned id keys report()/removal. The
+  /// shedder must outlive its registration.
+  uint64_t add_participant(std::string name, Shedder* shedder);
+
+  /// Unregisters; the participant's remaining bytes leave the total.
+  void remove_participant(uint64_t id);
+
+  /// Accounts a residency change (bytes grown > 0, shrunk < 0). Lock-free;
+  /// safe under the participant's own mutex.
+  void report(uint64_t id, std::ptrdiff_t delta_bytes);
+
+  /// This participant's resident bytes (0 for an unknown id).
+  std::size_t participant_bytes(uint64_t id) const;
+
+  /// (name, resident bytes) per participant — the per-tenant accounting
+  /// the service's metrics rollup exports.
+  std::vector<std::pair<std::string, std::size_t>> participants() const;
+
+  /// Asks other participants (largest resident first) to shed until
+  /// `want_bytes` are freed or every idle victim has been tried; returns
+  /// the bytes freed. Never blocks on a victim's mutex.
+  std::size_t request_shed(uint64_t caller, std::size_t want_bytes);
+
+ private:
+  struct Participant {
+    std::string name;
+    Shedder* shedder = nullptr;
+    /// shared_ptr so report() can hold the cell without the registry lock.
+    std::shared_ptr<std::atomic<std::ptrdiff_t>> bytes;
+  };
+
+  std::size_t budget_;
+  std::atomic<std::size_t> total_{0};
+  mutable std::mutex registry_mutex_;
+  std::map<uint64_t, Participant> participants_;
+  uint64_t next_id_ = 1;
+  /// Serializes concurrent request_shed passes (they would otherwise
+  /// double-count each other's victims).
+  std::mutex shed_mutex_;
+};
+
+}  // namespace omu::world

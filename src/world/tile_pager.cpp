@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.hpp"
+#include "world/budget_arbiter.hpp"
 #include "world/world_manifest.hpp"
 
 namespace omu::world {
@@ -111,6 +112,10 @@ void TilePager::set_resident_bytes(Slot& slot, std::size_t bytes) {
     counters_.max_residency_step_bytes =
         std::max(counters_.max_residency_step_bytes, bytes - slot.bytes);
   }
+  if (arbiter_ != nullptr && bytes != slot.bytes) {
+    arbiter_->report(arbiter_id_, static_cast<std::ptrdiff_t>(bytes) -
+                                      static_cast<std::ptrdiff_t>(slot.bytes));
+  }
   resident_bytes_ -= slot.bytes;
   slot.bytes = bytes;
   resident_bytes_ += bytes;
@@ -126,7 +131,7 @@ map::TileBackend& TilePager::acquire(TileId id) {
     resident_tiles_++;
     set_resident_bytes(slot, slot.handle->memory_bytes());
   } else if (slot.handle == nullptr) {
-    if (cfg_.byte_budget > 0 && resident_bytes_ > 0) {
+    if ((cfg_.byte_budget > 0 || arbiter_ != nullptr) && resident_bytes_ > 0) {
       // Make room before paging in so mid-load residency stays bounded by
       // budget + one tile (one residency step).
       rebalance(id);
@@ -180,22 +185,74 @@ void TilePager::evict(TileId id, Slot& slot) {
   counters_.evictions++;
 }
 
+TilePager::Slot* TilePager::lru_victim(TileId keep, TileId* victim_id) {
+  Slot* victim_slot = nullptr;
+  for (auto& [id, slot] : slots_) {
+    if (slot.handle == nullptr || id == keep) continue;
+    if (victim_slot == nullptr || slot.lru_tick < victim_slot->lru_tick) {
+      *victim_id = id;
+      victim_slot = &slot;
+    }
+  }
+  return victim_slot;
+}
+
 void TilePager::rebalance(TileId keep) {
-  if (cfg_.byte_budget == 0) return;
-  while (resident_bytes_ > cfg_.byte_budget && resident_tiles_ > 0) {
-    // Victim: least-recently-used resident tile other than `keep`.
+  while (cfg_.byte_budget > 0 && resident_bytes_ > cfg_.byte_budget && resident_tiles_ > 0) {
+    TileId victim = 0;
+    Slot* victim_slot = lru_victim(keep, &victim);
+    if (victim_slot == nullptr) break;  // only `keep` is resident
+    evict(victim, *victim_slot);
+  }
+  if (arbiter_ == nullptr || arbiter_->budget() == 0) return;
+  // Shared-budget enforcement, grower-pays: this pager just grew (or is
+  // about to page in), so it gives back its own cold tiles first. A zero
+  // arbiter budget means unbounded — attached for accounting only.
+  while (arbiter_->total_bytes() > arbiter_->budget() && resident_tiles_ > 0) {
+    TileId victim = 0;
+    Slot* victim_slot = lru_victim(keep, &victim);
+    if (victim_slot == nullptr) break;  // down to the hot tile: the floor
+    evict(victim, *victim_slot);
+  }
+  // Still over at our floor: ask the arbiter to reclaim from the other
+  // participants (largest resident first; busy ones are skipped and will
+  // re-check at their own next operation boundary).
+  const std::size_t total = arbiter_->total_bytes();
+  if (total > arbiter_->budget()) {
+    arbiter_->request_shed(arbiter_id_, total - arbiter_->budget());
+  }
+}
+
+void TilePager::attach_arbiter(BudgetArbiter* arbiter, uint64_t participant_id) {
+  if (arbiter_ != nullptr && resident_bytes_ > 0) {
+    arbiter_->report(arbiter_id_, -static_cast<std::ptrdiff_t>(resident_bytes_));
+  }
+  arbiter_ = arbiter;
+  arbiter_id_ = participant_id;
+  if (arbiter_ != nullptr && resident_bytes_ > 0) {
+    arbiter_->report(arbiter_id_, static_cast<std::ptrdiff_t>(resident_bytes_));
+  }
+}
+
+std::size_t TilePager::shed(std::size_t want_bytes) {
+  std::size_t freed = 0;
+  while (freed < want_bytes && resident_tiles_ > 0) {
+    // No tile is hot here — the owner is idle (try_shed holds its world
+    // mutex) — so every resident tile is evictable, true LRU first.
     TileId victim = 0;
     Slot* victim_slot = nullptr;
     for (auto& [id, slot] : slots_) {
-      if (slot.handle == nullptr || id == keep) continue;
+      if (slot.handle == nullptr) continue;
       if (victim_slot == nullptr || slot.lru_tick < victim_slot->lru_tick) {
         victim = id;
         victim_slot = &slot;
       }
     }
-    if (victim_slot == nullptr) break;  // only `keep` is resident
+    if (victim_slot == nullptr) break;
+    freed += victim_slot->bytes;
     evict(victim, *victim_slot);
   }
+  return freed;
 }
 
 uint64_t TilePager::version(TileId id) const { return slots_.at(id).version; }

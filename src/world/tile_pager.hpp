@@ -36,6 +36,8 @@ class Histogram;  // obs/metrics.hpp
 
 namespace omu::world {
 
+class BudgetArbiter;  // world/budget_arbiter.hpp
+
 /// Pager construction parameters.
 struct TilePagerConfig {
   /// World directory (tiles live in <dir>/tiles/). Empty = in-memory only:
@@ -146,6 +148,21 @@ class TilePager {
   /// owning TiledWorldMap, so wiring any time before use is safe.
   void set_telemetry(obs::Telemetry* telemetry);
 
+  /// Joins a shared cross-pager budget (see world/budget_arbiter.hpp):
+  /// every residency change is reported under `participant_id`, and
+  /// rebalance() additionally enforces the arbiter's *global* budget —
+  /// self-evicting first (grower pays), then asking the arbiter to shed
+  /// other participants. Requires a directory (evictions need somewhere
+  /// to go); the local byte_budget stays independently enforced (0 =
+  /// governed by the shared budget alone). Null detaches.
+  void attach_arbiter(BudgetArbiter* arbiter, uint64_t participant_id);
+
+  /// Evicts least-recently-used resident tiles until `want_bytes` are
+  /// freed or nothing is resident; returns the bytes freed. The arbiter's
+  /// cross-participant eviction path (the owner is idle when this runs —
+  /// TiledWorldMap::try_shed holds the world mutex).
+  std::size_t shed(std::size_t want_bytes);
+
  private:
   struct Slot {
     std::unique_ptr<map::TileBackend> handle;  ///< null when evicted
@@ -167,8 +184,14 @@ class TilePager {
   const map::TileBackendFactory* factory_;
   TileGrid grid_;
   std::unordered_map<TileId, Slot> slots_;
+  /// Least-recently-used resident tile other than `keep` (nullptr when
+  /// none); shared by rebalance() and shed().
+  Slot* lru_victim(TileId keep, TileId* victim_id);
+
   uint64_t lru_clock_ = 0;
   std::size_t resident_bytes_ = 0;
+  BudgetArbiter* arbiter_ = nullptr;
+  uint64_t arbiter_id_ = 0;
   std::size_t resident_tiles_ = 0;
   mutable TilePagerStats counters_{};  // evictions/reloads/writes/transient
   obs::Histogram* evict_ns_ = nullptr;   // "paging.evict_ns"

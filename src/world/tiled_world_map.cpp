@@ -176,6 +176,47 @@ void TiledWorldMap::set_telemetry(obs::Telemetry* telemetry) {
   view_build_ns_ = telemetry != nullptr ? telemetry->histogram("publish.view_build_ns") : nullptr;
 }
 
+TiledWorldMap::~TiledWorldMap() {
+  std::lock_guard lock(mutex_);
+  if (arbiter_ != nullptr) {
+    pager_.attach_arbiter(nullptr, 0);
+    arbiter_->remove_participant(arbiter_id_);
+    arbiter_ = nullptr;
+  }
+}
+
+void TiledWorldMap::attach_budget_arbiter(BudgetArbiter* arbiter, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (arbiter != nullptr && cfg_.directory.empty()) {
+    throw std::invalid_argument(
+        "TiledWorldMap: a shared budget requires a world directory to evict into");
+  }
+  if (arbiter_ != nullptr) {
+    pager_.attach_arbiter(nullptr, 0);
+    arbiter_->remove_participant(arbiter_id_);
+    arbiter_ = nullptr;
+  }
+  if (arbiter == nullptr) return;
+  arbiter_ = arbiter;
+  arbiter_id_ = arbiter->add_participant(name, this);
+  pager_.attach_arbiter(arbiter_, arbiter_id_);
+}
+
+std::size_t TiledWorldMap::arbiter_resident_bytes() const {
+  std::lock_guard lock(mutex_);
+  return arbiter_ != nullptr ? arbiter_->participant_bytes(arbiter_id_) : 0;
+}
+
+std::size_t TiledWorldMap::try_shed(std::size_t want_bytes) {
+  // Never blocks: a world busy in its own operation simply declines (it
+  // re-checks the shared budget at its own operation boundary).
+  std::unique_lock lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;
+  const std::size_t freed = pager_.shed(want_bytes);
+  if (freed > 0) sync_manifest_locked();
+  return freed;
+}
+
 std::shared_ptr<const WorldQueryView> TiledWorldMap::capture_view_locked() {
   obs::TraceSpan span(view_build_ns_, "publish.view_build");
   std::vector<std::pair<TileId, std::shared_ptr<const query::MapSnapshot>>> tiles;

@@ -53,6 +53,7 @@
 #include "map/map_backend.hpp"
 #include "map/phase_stats.hpp"
 #include "pipeline/batch_router.hpp"
+#include "world/budget_arbiter.hpp"
 #include "world/tile_grid.hpp"
 #include "world/tile_pager.hpp"
 #include "world/world_query_view.hpp"
@@ -92,8 +93,9 @@ struct WorldViewBuildStats {
   std::size_t bytes_rebuilt = 0;  ///< snapshot bytes freshly built
 };
 
-/// The tiled out-of-core world map (a map::MapBackend).
-class TiledWorldMap final : public map::MapBackend {
+/// The tiled out-of-core world map (a map::MapBackend, and — when
+/// enrolled in a shared budget — a cooperative BudgetArbiter shedder).
+class TiledWorldMap final : public map::MapBackend, private BudgetArbiter::Shedder {
  public:
   /// Creates a fresh world. Throws std::invalid_argument when
   /// config.directory already holds a world manifest — reopening an
@@ -111,6 +113,7 @@ class TiledWorldMap final : public map::MapBackend {
 
   TiledWorldMap(const TiledWorldMap&) = delete;
   TiledWorldMap& operator=(const TiledWorldMap&) = delete;
+  ~TiledWorldMap() override;
 
   const TiledWorldConfig& config() const { return cfg_; }
   const TileGrid& grid() const { return grid_; }
@@ -184,6 +187,19 @@ class TiledWorldMap final : public map::MapBackend {
   /// pager and wires "publish.view_build_ns" around each view capture.
   /// Null detaches. Takes the world mutex; safe any time.
   void set_telemetry(obs::Telemetry* telemetry);
+
+  /// Enrolls this world in a shared cross-tenant resident-byte budget
+  /// (the map service's governor; see world/budget_arbiter.hpp): registers
+  /// as `name`, reports every residency change, self-evicts first when the
+  /// *global* budget is exceeded, and accepts cooperative shed requests
+  /// from other participants whenever no operation of its own is in
+  /// flight. Requires a world directory (shed targets must be evictable).
+  /// The arbiter must outlive this map (the destructor unregisters).
+  void attach_budget_arbiter(BudgetArbiter* arbiter, const std::string& name);
+
+  /// This world's bytes as accounted by the attached arbiter (0 without
+  /// one) — the per-tenant number the service's quota checks read.
+  std::size_t arbiter_resident_bytes() const;
   /// Voxel updates applied so far.
   uint64_t updates_applied() const;
   /// View-publication counters (see WorldViewBuildStats).
@@ -199,6 +215,9 @@ class TiledWorldMap final : public map::MapBackend {
   void write_manifest_locked();
   void sync_manifest_locked();
 
+  /// BudgetArbiter::Shedder: evict LRU tiles if idle (try_lock), else 0.
+  std::size_t try_shed(std::size_t want_bytes) override;
+
   TiledWorldConfig cfg_;
   TileGrid grid_;
   map::KeyCoder coder_;
@@ -208,6 +227,8 @@ class TiledWorldMap final : public map::MapBackend {
   mutable TilePager pager_;       ///< guarded by mutex_ (const exports read transiently)
   map::PhaseStats ray_stats_;
   WorldViewService* view_service_ = nullptr;  ///< guarded by mutex_
+  BudgetArbiter* arbiter_ = nullptr;          ///< guarded by mutex_
+  uint64_t arbiter_id_ = 0;                   ///< guarded by mutex_
   uint64_t view_epoch_ = 0;                   ///< guarded by mutex_
   obs::Histogram* view_build_ns_ = nullptr;   ///< "publish.view_build_ns"; guarded by mutex_
   uint64_t updates_applied_ = 0;              ///< guarded by mutex_

@@ -155,6 +155,14 @@ std::shared_ptr<const query::MapSnapshot> WorldQueryView::tile_snapshot(TileId i
   return it == tiles_.end() ? nullptr : it->second;
 }
 
+std::vector<TileId> WorldQueryView::tile_ids() const {
+  std::vector<TileId> ids;
+  ids.reserve(tiles_.size());
+  for (const auto& [id, snapshot] : tiles_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 uint64_t WorldViewService::publish(std::shared_ptr<const WorldQueryView> next) {
   const uint64_t epoch = next->epoch();
   std::lock_guard lock(mutex_);

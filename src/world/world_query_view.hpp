@@ -95,6 +95,10 @@ class WorldQueryView {
   /// The tile snapshot covering `id`, or nullptr.
   std::shared_ptr<const query::MapSnapshot> tile_snapshot(TileId id) const;
 
+  /// All non-empty tile ids in ascending order — the shard keys a delta
+  /// subscription diffs between epochs (service layer).
+  std::vector<TileId> tile_ids() const;
+
  private:
   WorldQueryView(const TileGrid& grid, map::OccupancyParams params,
                  std::vector<std::pair<TileId, std::shared_ptr<const query::MapSnapshot>>> tiles,

@@ -1,0 +1,128 @@
+// Shared fixtures for the map-service suites: an in-process loopback
+// service (full RPC path — framing, checksums, back-pressure — without
+// sockets), throwaway directories, and the deterministic scan streams the
+// equivalence tests replay through both the wire and the in-process
+// facade.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omu/mapper.hpp"
+#include "service/client.hpp"
+#include "service/map_service.hpp"
+#include "service/transport.hpp"
+
+namespace omu::service::testing {
+
+/// RAII scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("omu_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A MapService on an in-process loopback listener; connect() dials a new
+/// client transport through the full wire path.
+class LoopbackService {
+ public:
+  explicit LoopbackService(ServiceConfig config = ServiceConfig{})
+      : service_(std::move(config)), listener_(std::make_shared<LoopbackListener>()) {
+    service_.start(listener_);
+  }
+  ~LoopbackService() { service_.stop(); }
+
+  std::unique_ptr<Transport> connect() { return listener_->connect(); }
+  MapService& service() { return service_; }
+
+ private:
+  MapService service_;
+  std::shared_ptr<LoopbackListener> listener_;
+};
+
+/// One deterministic scan: a ring of wall endpoints around `origin`,
+/// varied per (stream, scan) so distinct streams build distinct maps.
+inline std::vector<float> make_scan(int stream, int scan, int points, double radius = 2.5) {
+  std::vector<float> xyz;
+  xyz.reserve(static_cast<std::size_t>(points) * 3);
+  for (int i = 0; i < points; ++i) {
+    const double az = 2.0 * 3.14159265358979 * i / points + 0.05 * stream + 0.01 * scan;
+    xyz.push_back(static_cast<float>(radius * std::cos(az)));
+    xyz.push_back(static_cast<float>(radius * std::sin(az)));
+    xyz.push_back(static_cast<float>(0.3 * std::sin(4.0 * az + stream)));
+  }
+  return xyz;
+}
+
+/// A scan stream whose origin sweeps along x so updates cross tiles and
+/// revisit earlier ones — the pattern that makes an LRU pager evict and
+/// reload (mirrors the world suites' sweep stream).
+struct SweepScan {
+  omu::Vec3 origin;
+  std::vector<float> xyz;
+};
+
+inline std::vector<SweepScan> make_sweep_scans(int stream, int scans, int points_per_scan,
+                                               double half_span = 12.0) {
+  std::vector<SweepScan> out;
+  out.reserve(static_cast<std::size_t>(scans));
+  for (int s = 0; s < scans; ++s) {
+    const double phase = static_cast<double>(s) / static_cast<double>(scans);
+    const double x = half_span * (phase < 0.5 ? 4.0 * phase - 1.0 : 3.0 - 4.0 * phase);
+    SweepScan scan;
+    scan.origin = omu::Vec3{x, 0.1 * stream, 0.0};
+    scan.xyz = make_scan(stream, s, points_per_scan, 3.0);
+    for (std::size_t i = 0; i < scan.xyz.size(); i += 3) {
+      scan.xyz[i] += static_cast<float>(scan.origin.x);
+      scan.xyz[i + 1] += static_cast<float>(scan.origin.y);
+      scan.xyz[i + 2] += static_cast<float>(scan.origin.z);
+    }
+    out.push_back(std::move(scan));
+  }
+  return out;
+}
+
+/// Replays a scan stream into an in-process Mapper (the reference the
+/// wire-built sessions are compared against).
+inline omu::Status replay_into(omu::Mapper& mapper, const std::vector<SweepScan>& scans,
+                               int flush_every = 4) {
+  int since_flush = 0;
+  for (const SweepScan& scan : scans) {
+    if (omu::Status s = mapper.insert(scan.xyz.data(), scan.xyz.size() / 3, scan.origin);
+        !s.ok()) {
+      return s;
+    }
+    if (++since_flush == flush_every) {
+      since_flush = 0;
+      if (omu::Status s = mapper.flush(); !s.ok()) return s;
+    }
+  }
+  return mapper.flush();
+}
+
+}  // namespace omu::service::testing

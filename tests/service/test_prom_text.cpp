@@ -1,0 +1,128 @@
+// The Prometheus text parser/validator: round-trips the library's own
+// exporters, accepts the format subset they emit, and reports malformed
+// expositions with line-numbered diagnostics instead of mis-parsing.
+#include "obs/prom_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace omu::obs {
+namespace {
+
+TEST(PromText, RoundTripsTelemetryExport) {
+  Telemetry telemetry(TelemetryConfig{.metrics = true});
+  telemetry.counter("ingest.scans")->add(42);
+  telemetry.counter("publish.epochs")->add(7);
+  if (auto* histogram = telemetry.histogram("ingest.insert_ns")) {
+    histogram->record(1000);
+    histogram->record(2000);
+    histogram->record(1000000);
+  }
+
+  const std::string text = telemetry.snapshot().to_prometheus();
+  EXPECT_EQ(validate_prometheus_text(text), "");
+
+  const PromScrape scrape = parse_prometheus_text(text);
+  const PromFamily* scans = scrape.find("omu_ingest_scans");
+  ASSERT_NE(scans, nullptr);
+  EXPECT_EQ(scans->type, "counter");
+  ASSERT_EQ(scans->samples.size(), 1u);
+  EXPECT_EQ(scans->samples[0].value, 42.0);
+
+  if (telemetry.histogram("ingest.insert_ns") != nullptr) {
+    const PromFamily* latency = scrape.find("omu_ingest_insert_ns");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->type, "histogram");
+    // _count/_sum series fold into the base family; the trailing bucket
+    // is +Inf and cumulative counts are monotone.
+    double count = -1, sum = -1, last_bucket = -1;
+    for (const auto& sample : latency->samples) {
+      if (sample.name == "omu_ingest_insert_ns_count") count = sample.value;
+      if (sample.name == "omu_ingest_insert_ns_sum") sum = sample.value;
+      if (sample.name == "omu_ingest_insert_ns_bucket") {
+        EXPECT_GE(sample.value, last_bucket);
+        last_bucket = sample.value;
+        ASSERT_NE(sample.labels.find("le"), sample.labels.end());
+      }
+    }
+    EXPECT_EQ(count, 3.0);
+    EXPECT_EQ(sum, 1003000.0);
+    EXPECT_EQ(last_bucket, 3.0);  // the +Inf bucket holds everything
+  }
+}
+
+TEST(PromText, ParsesLabelsEscapesAndSpecialValues) {
+  const std::string text =
+      "# HELP demo_metric a metric\n"
+      "# TYPE demo_metric gauge\n"
+      "demo_metric{tenant=\"a\\\"b\",zone=\"x\\\\y\\nz\"} 1.5\n"
+      "demo_metric{tenant=\"plain\"} -2e3\n"
+      "demo_inf +Inf\n"
+      "demo_ts 4 1700000000000\n";
+  const PromScrape scrape = parse_prometheus_text(text);
+  const PromFamily* demo = scrape.find("demo_metric");
+  ASSERT_NE(demo, nullptr);
+  ASSERT_EQ(demo->samples.size(), 2u);
+  EXPECT_EQ(demo->samples[0].labels.at("tenant"), "a\"b");
+  EXPECT_EQ(demo->samples[0].labels.at("zone"), "x\\y\nz");
+  EXPECT_EQ(demo->samples[1].value, -2000.0);
+  ASSERT_NE(scrape.find("demo_inf"), nullptr);
+  ASSERT_NE(scrape.find("demo_ts"), nullptr);
+  EXPECT_EQ(scrape.find("demo_ts")->samples[0].value, 4.0);
+}
+
+TEST(PromText, RejectsMalformedLinesWithLineNumbers) {
+  EXPECT_THROW(parse_prometheus_text("ok_metric 1\nbroken{ 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_prometheus_text("no_value_here\n"), std::runtime_error);
+  EXPECT_THROW(parse_prometheus_text("bad_value nope\n"), std::runtime_error);
+  try {
+    parse_prometheus_text("fine 1\nfine 2\nbro ken words\n");
+    FAIL() << "malformed line parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos)
+        << "diagnostic does not name the offending line: " << e.what();
+  }
+}
+
+TEST(PromText, ValidateCatchesHistogramShapeViolations) {
+  // A histogram family missing its _sum series.
+  const std::string missing_sum =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\n"
+      "h_bucket{le=\"+Inf\"} 1\n"
+      "h_count 1\n";
+  EXPECT_NE(validate_prometheus_text(missing_sum), "");
+
+  // A histogram whose bucket series never reaches +Inf.
+  const std::string no_inf =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\n"
+      "h_sum 1\n"
+      "h_count 1\n";
+  EXPECT_NE(validate_prometheus_text(no_inf), "");
+
+  // The well-shaped version passes.
+  const std::string good =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\n"
+      "h_bucket{le=\"+Inf\"} 1\n"
+      "h_sum 1\n"
+      "h_count 1\n";
+  EXPECT_EQ(validate_prometheus_text(good), "");
+}
+
+TEST(PromText, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd";
+  const std::string text =
+      "# TYPE m gauge\nm{tenant=\"" + escape_prometheus_label_value(nasty) + "\"} 1\n";
+  EXPECT_EQ(validate_prometheus_text(text), "");
+  const PromScrape scrape = parse_prometheus_text(text);
+  ASSERT_NE(scrape.find("m"), nullptr);
+  EXPECT_EQ(scrape.find("m")->samples[0].labels.at("tenant"), nasty);
+}
+
+}  // namespace
+}  // namespace omu::obs

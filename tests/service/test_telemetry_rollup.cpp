@@ -1,0 +1,165 @@
+// Cross-session telemetry rollups: merging K session registries is
+// order-independent, merged histogram quantiles keep the log-bucket
+// factor-2 error bound, and per-tenant Prometheus labels can never
+// collide or corrupt the exposition — whatever the tenant calls itself.
+#include "service/telemetry_rollup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/prom_text.hpp"
+#include "obs/telemetry.hpp"
+
+namespace omu::service {
+namespace {
+
+/// A registry with a deterministic workload recorded into it: counters,
+/// a gauge and a latency histogram, shaped by `seed` so distinct
+/// sessions produce distinct telemetry.
+std::unique_ptr<obs::Telemetry> make_session_telemetry(int seed) {
+  auto telemetry = std::make_unique<obs::Telemetry>(obs::TelemetryConfig{.metrics = true});
+  telemetry->counter("ingest.scans")->add(10u + static_cast<uint64_t>(seed));
+  telemetry->counter("ingest.points")->add(1000u * static_cast<uint64_t>(seed + 1));
+  if (auto* gauge = telemetry->gauge("paging.resident_bytes")) {
+    gauge->set(4096 * (seed + 1));
+  }
+  if (auto* histogram = telemetry->histogram("ingest.insert_ns")) {
+    for (int i = 0; i < 100; ++i) {
+      histogram->record(static_cast<uint64_t>(1000 * (seed + 1) + i * 17));
+    }
+  }
+  return telemetry;
+}
+
+TEST(ServiceTelemetryRollup, MergeIsOrderIndependent) {
+  constexpr int kSessions = 5;
+  std::vector<omu::TelemetrySnapshot> snapshots;
+  for (int s = 0; s < kSessions; ++s) {
+    snapshots.push_back(make_session_telemetry(s)->snapshot());
+  }
+
+  const omu::TelemetrySnapshot forward = merge_telemetry(snapshots);
+
+  std::vector<omu::TelemetrySnapshot> reversed(snapshots.rbegin(), snapshots.rend());
+  const omu::TelemetrySnapshot backward = merge_telemetry(reversed);
+
+  // A third order: odd sessions first, then even.
+  std::vector<omu::TelemetrySnapshot> interleaved;
+  for (int s = 1; s < kSessions; s += 2) interleaved.push_back(snapshots[s]);
+  for (int s = 0; s < kSessions; s += 2) interleaved.push_back(snapshots[s]);
+  const omu::TelemetrySnapshot shuffled = merge_telemetry(interleaved);
+
+  // The merged export — names, kinds, counts, buckets, quantiles — is
+  // byte-identical regardless of merge order.
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+  EXPECT_EQ(forward.to_json(), shuffled.to_json());
+  EXPECT_EQ(forward.to_prometheus(), backward.to_prometheus());
+
+  // Counters added: sum of 10+s across sessions.
+  const auto* scans = forward.find("ingest.scans");
+  ASSERT_NE(scans, nullptr);
+  uint64_t expected = 0;
+  for (int s = 0; s < kSessions; ++s) expected += 10u + static_cast<uint64_t>(s);
+  EXPECT_EQ(scans->counter, expected);
+}
+
+TEST(ServiceTelemetryRollup, RollupClassMatchesFreeFunctionAndCounts) {
+  std::vector<omu::TelemetrySnapshot> snapshots;
+  for (int s = 0; s < 3; ++s) snapshots.push_back(make_session_telemetry(s)->snapshot());
+
+  TelemetryRollup rollup;
+  for (const auto& snapshot : snapshots) rollup.add(snapshot);
+  EXPECT_EQ(rollup.snapshots_merged(), 3u);
+  EXPECT_EQ(rollup.merged().to_json(), merge_telemetry(snapshots).to_json());
+}
+
+TEST(ServiceTelemetryRollup, MergedQuantilesKeepLogBucketErrorBound) {
+  auto a = std::make_unique<obs::Telemetry>(obs::TelemetryConfig{.metrics = true});
+  auto b = std::make_unique<obs::Telemetry>(obs::TelemetryConfig{.metrics = true});
+  auto* ha = a->histogram("ingest.insert_ns");
+  auto* hb = b->histogram("ingest.insert_ns");
+  if (ha == nullptr || hb == nullptr) {
+    GTEST_SKIP() << "timing telemetry compiled out (OMU_TELEMETRY=OFF)";
+  }
+  // Session A: 900 samples at ~1000 ns. Session B: 100 samples at
+  // ~1,000,000 ns. True p50 of the union is 1000; true p95+ is 1e6.
+  for (int i = 0; i < 900; ++i) ha->record(1000);
+  for (int i = 0; i < 100; ++i) hb->record(1000000);
+
+  const omu::TelemetrySnapshot merged =
+      merge_telemetry({a->snapshot(), b->snapshot()});
+  const auto* metric = merged.find("ingest.insert_ns");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->histogram.count, 1000u);
+  EXPECT_EQ(metric->histogram.max, 1000000u);
+
+  // Log buckets guarantee a worst-case factor-2 value error: a quantile
+  // whose true value is v reports within [v/2, 2v].
+  EXPECT_GE(metric->histogram.p50, 500.0);
+  EXPECT_LE(metric->histogram.p50, 2000.0);
+  EXPECT_GE(metric->histogram.p99, 500000.0);
+  EXPECT_LE(metric->histogram.p99, 2000000.0);
+  // The sum is exact — merging adds cells, it never resamples.
+  const double mean = metric->histogram.sum / 1000.0;
+  EXPECT_NEAR(mean, (900.0 * 1000.0 + 100.0 * 1000000.0) / 1000.0, 1e-6);
+}
+
+TEST(ServiceTelemetryRollup, TenantLabelsNeverCollide) {
+  // Tenants named to break naive label rendering: embedded quotes,
+  // backslashes, newlines, and a pair whose raw bytes differ only in
+  // characters that sloppy escaping would conflate.
+  const std::vector<std::string> tenants = {
+      "plain", "quote\"inside", "back\\slash", "new\nline", "trail\\", "quote\\\"both"};
+
+  std::string exposition;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    auto telemetry = make_session_telemetry(static_cast<int>(t));
+    exposition += snapshot_to_prometheus(telemetry->snapshot(), "omu_tenant_",
+                                         {{"tenant", tenants[t]}});
+  }
+
+  // The combined exposition stays well-formed...
+  const std::string problem = obs::validate_prometheus_text(exposition);
+  EXPECT_TRUE(problem.empty()) << problem;
+
+  // ...and every tenant's series survives as its own label value,
+  // round-tripping back to the exact original name.
+  const obs::PromScrape scrape = obs::parse_prometheus_text(exposition);
+  const obs::PromFamily* family = scrape.find("omu_tenant_ingest_scans");
+  ASSERT_NE(family, nullptr);
+  ASSERT_EQ(family->samples.size(), tenants.size());
+  std::vector<std::string> seen;
+  for (const auto& sample : family->samples) {
+    const auto label = sample.labels.find("tenant");
+    ASSERT_NE(label, sample.labels.end());
+    seen.push_back(label->second);
+  }
+  std::vector<std::string> expected = tenants;
+  std::sort(seen.begin(), seen.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+
+  // Distinct tenants kept distinct values (no two collapsed together).
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(ServiceTelemetryRollup, MergePreservesEnablementFlags) {
+  obs::Telemetry on(obs::TelemetryConfig{.metrics = true});
+  obs::Telemetry journal(obs::TelemetryConfig{.metrics = true, .journal = true});
+  on.counter("x")->add(1);
+  journal.counter("x")->add(2);
+
+  const omu::TelemetrySnapshot merged = merge_telemetry({on.snapshot(), journal.snapshot()});
+  EXPECT_EQ(merged.journal_enabled, on.snapshot().journal_enabled ||
+                                        journal.snapshot().journal_enabled);
+  const auto* x = merged.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->counter, 3u);
+}
+
+}  // namespace
+}  // namespace omu::service

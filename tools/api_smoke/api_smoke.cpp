@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -50,8 +51,16 @@ int expect_rejected(omu::Result<omu::Mapper>& bad, const char* field) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omu;
+
+  // Artifacts go to a scratch directory (argv[1] if given, else the
+  // system temp dir) — never the invoking checkout.
+  const std::filesystem::path scratch =
+      argc > 1 ? std::filesystem::path(argv[1]) : std::filesystem::temp_directory_path();
+  std::error_code scratch_ec;
+  std::filesystem::create_directories(scratch, scratch_ec);
+  const std::string map_path = (scratch / "api_smoke_map.omap").string();
 
   // ---- Config validation speaks nested field names ------------------------
   {
@@ -142,7 +151,7 @@ int main() {
   std::cout << hybrid_stats.absorber << "\n";
 
   // ---- Persistence + close ------------------------------------------------
-  if (Status s = octree->save_map("api_smoke_map.omap"); !s.ok()) return fail("save_map", s);
+  if (Status s = octree->save_map(map_path); !s.ok()) return fail("save_map", s);
   if (Status s = octree->close(); !s.ok()) return fail("close", s);
   if (octree->flush().code() != StatusCode::kFailedPrecondition) {
     std::fprintf(stderr, "FAIL: flush after close did not fail-precondition\n");

@@ -1,0 +1,131 @@
+// omu_serve — run the multi-tenant map service.
+//
+//   omu_serve --unix <path> | --tcp <port>
+//             [--metrics-port <port>]   HTTP /metrics on 127.0.0.1 (0 = ephemeral)
+//             [--budget <bytes>]        shared resident-byte budget across
+//                                       every world-backed session
+//             [--max-sessions <n>]      admission cap on concurrent sessions
+//             [--world-root <dir>]      base for relative world directories
+//             [--name <text>]           server name in the hello handshake
+//
+// Serves until SIGINT/SIGTERM. Prints one "listening ..." line per
+// endpoint (with resolved ephemeral ports) so scripts can scrape them.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "service/map_service.hpp"
+#include "service/metrics_http.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: omu_serve (--unix <path> | --tcp <port>) [--metrics-port <port>]\n"
+               "                 [--budget <bytes>] [--max-sessions <n>]\n"
+               "                 [--world-root <dir>] [--name <text>]\n");
+  return 2;
+}
+
+bool parse_u64(const char* text, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0' && *text != '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  uint64_t tcp_port = 0;
+  bool tcp = false;
+  std::optional<uint64_t> metrics_port;
+  omu::service::ServiceConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--unix" && value != nullptr) {
+      unix_path = value;
+      ++i;
+    } else if (arg == "--tcp" && value != nullptr && parse_u64(value, tcp_port) &&
+               tcp_port <= 65535) {
+      tcp = true;
+      ++i;
+    } else if (arg == "--metrics-port" && value != nullptr) {
+      uint64_t port = 0;
+      if (!parse_u64(value, port) || port > 65535) return usage();
+      metrics_port = port;
+      ++i;
+    } else if (arg == "--budget" && value != nullptr) {
+      uint64_t bytes = 0;
+      if (!parse_u64(value, bytes)) return usage();
+      cfg.shared_resident_byte_budget = bytes;
+      ++i;
+    } else if (arg == "--max-sessions" && value != nullptr) {
+      uint64_t n = 0;
+      if (!parse_u64(value, n)) return usage();
+      cfg.max_sessions = n;
+      ++i;
+    } else if (arg == "--world-root" && value != nullptr) {
+      cfg.world_root = value;
+      ++i;
+    } else if (arg == "--name" && value != nullptr) {
+      cfg.name = value;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+  if (unix_path.empty() && !tcp) return usage();
+
+  // Block the shutdown signals before any thread spawns, so every thread
+  // inherits the mask and only the main thread's sigwait sees them.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  omu::service::MapService service(cfg);
+  try {
+    if (!unix_path.empty()) {
+      service.start(omu::service::SocketListener::listen_unix(unix_path));
+      std::printf("listening unix %s\n", unix_path.c_str());
+    }
+    if (tcp) {
+      auto listener = omu::service::SocketListener::listen_tcp(static_cast<uint16_t>(tcp_port));
+      std::printf("listening tcp 127.0.0.1:%u\n", listener->port());
+      service.start(std::move(listener));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "omu_serve: listen failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::unique_ptr<omu::service::MetricsHttpServer> metrics_http;
+  if (metrics_port.has_value()) {
+    try {
+      metrics_http = std::make_unique<omu::service::MetricsHttpServer>(
+          static_cast<uint16_t>(*metrics_port),
+          [&service] { return service.metrics_prometheus(); });
+      std::printf("metrics http://127.0.0.1:%u/metrics\n", metrics_http->port());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "omu_serve: metrics listen failed: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("omu_serve: signal %d, shutting down\n", signal_number);
+
+  if (metrics_http != nullptr) metrics_http->stop();
+  service.stop();
+  return 0;
+}

@@ -4,6 +4,12 @@
 //   omu_top --demo [out.json]    run a small instrumented hybrid session
 //                                (journal on), write its telemetry JSON,
 //                                then render it
+//   omu_top --prometheus <url-or-file>
+//                                scrape a map service /metrics endpoint
+//                                (http://host:port[/metrics]) or read a
+//                                saved exposition, validate it, and render
+//                                the families grouped by prefix with
+//                                per-tenant columns
 //
 // The metrics table groups the hierarchical names by their first segment
 // (ingest / publish / absorber / paging / pipeline) and shows counters,
@@ -25,6 +31,8 @@
 #include <omu/omu.hpp>
 
 #include "benchkit/json.hpp"
+#include "obs/prom_text.hpp"
+#include "service/metrics_http.hpp"
 
 namespace {
 
@@ -187,10 +195,98 @@ std::string demo_telemetry() {
   return mapper.telemetry().value().to_json();
 }
 
+// ---- Prometheus scrape view -------------------------------------------------
+
+/// Sorts and groups a parsed scrape by family-name prefix (omu_service /
+/// omu_tenant / omu_fleet / ...), one line per sample with its labels.
+void render_prometheus(const omu::obs::PromScrape& scrape) {
+  std::printf("prometheus scrape: %zu families, %zu samples\n", scrape.families.size(),
+              scrape.sample_count());
+  std::string group;
+  for (const auto& family : scrape.families) {
+    // Second "_"-segment prefix: omu_service_requests -> omu_service.
+    std::size_t cut = family.name.find('_');
+    if (cut != std::string::npos) cut = family.name.find('_', cut + 1);
+    const std::string g = cut == std::string::npos ? family.name : family.name.substr(0, cut);
+    if (g != group) {
+      group = g;
+      std::printf("\n  [%s]\n", group.c_str());
+    }
+    if (family.type == "histogram") {
+      // Summarize: one line per label-series from its _count/_sum samples
+      // (the parser folds the suffixed series into the base family).
+      std::map<std::string, std::pair<double, double>> series;  // labels -> count, sum
+      for (const auto& sample : family.samples) {
+        const bool is_count = sample.name == family.name + "_count";
+        const bool is_sum = sample.name == family.name + "_sum";
+        if (!is_count && !is_sum) continue;
+        std::string key;
+        for (const auto& [k, v] : sample.labels) key += k + "=" + v + " ";
+        if (is_count) series[key].first = sample.value;
+        if (is_sum) series[key].second = sample.value;
+      }
+      for (const auto& [labels, cs] : series) {
+        std::printf("    %-44s %10s  mean %8s  %s\n", family.name.c_str(),
+                    format_count(static_cast<uint64_t>(cs.first)).c_str(),
+                    format_ns(cs.first > 0 ? cs.second / cs.first : 0).c_str(), labels.c_str());
+      }
+    } else {
+      for (const auto& sample : family.samples) {
+        std::string labels;
+        for (const auto& [k, v] : sample.labels) labels += k + "=" + v + " ";
+        std::printf("    %-44s %10.6g  (%s) %s\n", sample.name.c_str(), sample.value,
+                    family.type.c_str(), labels.c_str());
+      }
+    }
+  }
+}
+
+int run_prometheus(const std::string& source) {
+  std::string text;
+  // A URL scrapes; anything else is a saved exposition file. An existing
+  // file wins a host:port-shaped name, so saved scrapes always render.
+  const bool looks_like_url = source.rfind("http://", 0) == 0 ||
+                              (!std::ifstream(source).good() &&
+                               source.find(':') != std::string::npos);
+  if (looks_like_url) {
+    std::string host, path;
+    uint16_t port = 0;
+    if (!omu::service::parse_http_url(source, host, port, path)) {
+      std::fprintf(stderr, "omu_top: cannot parse url %s\n", source.c_str());
+      return 1;
+    }
+    try {
+      text = omu::service::http_get(host, port, path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "omu_top: scrape %s failed: %s\n", source.c_str(), e.what());
+      return 1;
+    }
+  } else {
+    std::ifstream in(source);
+    if (!in) {
+      std::fprintf(stderr, "omu_top: cannot read %s\n", source.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  const std::string problem = omu::obs::validate_prometheus_text(text);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "omu_top: malformed exposition: %s\n", problem.c_str());
+    return 1;
+  }
+  render_prometheus(omu::obs::parse_prometheus_text(text));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: omu_top <telemetry.json>   render a Mapper::telemetry() export\n"
-               "       omu_top --demo [out.json]  run an instrumented demo session\n");
+               "       omu_top --demo [out.json]  run an instrumented demo session\n"
+               "       omu_top --prometheus <url-or-file>\n"
+               "                                  render a /metrics scrape (or saved file)\n");
   return 2;
 }
 
@@ -200,6 +296,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
 
   std::string text;
+  if (std::string(argv[1]) == "--prometheus") {
+    if (argc < 3) return usage();
+    return run_prometheus(argv[2]);
+  }
   if (std::string(argv[1]) == "--demo") {
     text = demo_telemetry();
     if (text.empty()) {
